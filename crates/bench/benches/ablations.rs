@@ -1,0 +1,98 @@
+//! Design-choice ablations called out in DESIGN.md:
+//!
+//! * leaf-merge on/off — component granularity (Table III's `− #leaves`);
+//! * residual balancing on/off — the §III-D acceleration hook;
+//! * GPU threads-per-block sweep — the §IV-D parameter (per-iteration
+//!   simulated device time enters through the host-side launch cost here;
+//!   the modeled times themselves are reported by `fig3`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpu_sim::DeviceProps;
+use opf_admm::{AdmmOptions, Backend, ResidualBalancing, SolverFreeAdmm};
+use opf_model::decompose;
+use opf_net::{feeders, ComponentGraph};
+
+fn bench_leaf_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("leaf_merge");
+    group.sample_size(20);
+    let net = feeders::ieee123();
+    for (label, merge) in [("merged", true), ("unmerged", false)] {
+        let graph = ComponentGraph::build_with(&net, merge);
+        let dec = decompose(&net, &graph).expect("decompose");
+        let solver = SolverFreeAdmm::new(&dec).expect("precompute");
+        // 50 fixed iterations: granularity affects per-iteration cost.
+        group.bench_with_input(BenchmarkId::new("iterations50", label), &(), |b, _| {
+            b.iter(|| {
+                solver.solve(&AdmmOptions {
+                    max_iters: 50,
+                    check_every: 50,
+                    ..AdmmOptions::default()
+                })
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_residual_balancing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("residual_balancing");
+    group.sample_size(10);
+    let net = feeders::ieee13();
+    let graph = ComponentGraph::build(&net);
+    let dec = decompose(&net, &graph).expect("decompose");
+    let solver = SolverFreeAdmm::new(&dec).expect("precompute");
+    for (label, adapt) in [
+        ("off", None),
+        ("on", Some(ResidualBalancing::default())),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("to_convergence", label),
+            &adapt,
+            |b, adapt| {
+                b.iter(|| {
+                    solver.solve(&AdmmOptions {
+                        rho_adapt: *adapt,
+                        max_iters: 50_000,
+                        ..AdmmOptions::default()
+                    })
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_gpu_thread_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gpu_threads_host_cost");
+    group.sample_size(20);
+    let net = feeders::ieee123();
+    let graph = ComponentGraph::build(&net);
+    let dec = decompose(&net, &graph).expect("decompose");
+    let solver = SolverFreeAdmm::new(&dec).expect("precompute");
+    for t in [1usize, 16, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, &t| {
+            b.iter(|| {
+                solver.solve(&AdmmOptions {
+                    backend: Backend::Gpu {
+                        props: DeviceProps::a100(),
+                        threads_per_block: t,
+                    },
+                    max_iters: 25,
+                    check_every: 25,
+                    ..AdmmOptions::default()
+                })
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20);
+    targets = bench_leaf_merge, bench_residual_balancing, bench_gpu_thread_sweep
+}
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Criterion micro-benchmarks of the three ADMM update kernels
+//! (the per-iteration building blocks of Algorithm 1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use opf_admm::{updates, Precomputed, SolverFreeAdmm};
+use opf_bench::load_instance;
+
+fn bench_updates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("updates");
+    for name in ["ieee13", "ieee123"] {
+        let inst = load_instance(name);
+        let solver = SolverFreeAdmm::new(&inst.dec).expect("precompute");
+        let pre: &Precomputed = solver.precomputed();
+        let (x, z, lambda) = solver.initial_state();
+        let rho = 100.0;
+
+        group.bench_with_input(BenchmarkId::new("global", name), &inst, |b, inst| {
+            let mut out = vec![0.0; inst.dec.n];
+            b.iter(|| {
+                updates::global_update_range(
+                    0..inst.dec.n,
+                    rho,
+                    true,
+                    &inst.dec.c,
+                    &inst.dec.lower,
+                    &inst.dec.upper,
+                    &pre.copies_ptr,
+                    &pre.copies_idx,
+                    &z,
+                    &lambda,
+                    &mut out,
+                );
+            });
+        });
+
+        group.bench_with_input(BenchmarkId::new("local", name), &inst, |b, inst| {
+            let mut zbuf = z.clone();
+            b.iter(|| {
+                for s in 0..inst.dec.s() {
+                    let r = pre.range(s);
+                    let (_, tail) = zbuf.split_at_mut(r.start);
+                    let zs = &mut tail[..r.len()];
+                    updates::local_update_component(s, pre, rho, &x, &lambda[r], zs);
+                }
+            });
+        });
+
+        group.bench_with_input(BenchmarkId::new("dual", name), &inst, |b, inst| {
+            let mut lbuf = lambda.clone();
+            b.iter(|| {
+                for s in 0..inst.dec.s() {
+                    let r = pre.range(s);
+                    let (_, tail) = lbuf.split_at_mut(r.start);
+                    let ls = &mut tail[..r.len()];
+                    updates::dual_update_component(
+                        &pre.stacked_to_global[r.clone()],
+                        rho,
+                        &x,
+                        &z[r],
+                        ls,
+                    );
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_residuals(c: &mut Criterion) {
+    let inst = load_instance("ieee123");
+    let solver = SolverFreeAdmm::new(&inst.dec).expect("precompute");
+    let pre = solver.precomputed();
+    let (x, z, lambda) = solver.initial_state();
+    c.bench_function("residuals/ieee123", |b| {
+        b.iter(|| updates::Residuals::compute(pre, 1e-3, 100.0, &x, &z, &z, &lambda));
+    });
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20);
+    targets = bench_updates, bench_residuals
+}
+criterion_main!(benches);

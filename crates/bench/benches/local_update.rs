@@ -1,0 +1,102 @@
+//! The paper's central ablation at kernel scale: the solver-free
+//! closed-form local update (15) versus the benchmark's box-QP solve of
+//! (14) — one full sweep over all components of each instance.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use opf_admm::{updates, SolverFreeAdmm};
+use opf_bench::load_instance;
+use opf_qp::{BoxQp, QpOptions};
+
+fn bench_local_update_styles(c: &mut Criterion) {
+    let mut group = c.benchmark_group("local_update");
+    for name in ["ieee13", "ieee123"] {
+        let inst = load_instance(name);
+        let solver = SolverFreeAdmm::new(&inst.dec).expect("precompute");
+        let pre = solver.precomputed();
+        let (x, z, lambda) = solver.initial_state();
+        let rho = 100.0;
+        // The real ADMM loop presents a *different* target every
+        // iteration; cycling dual variants keeps the QP's warm start
+        // honest (a stationary target would let it converge instantly).
+        let variants: Vec<Vec<f64>> = (0..8)
+            .map(|k| {
+                lambda
+                    .iter()
+                    .enumerate()
+                    .map(|(j, &l)| l + 0.05 * (((j + k) % 13) as f64 - 6.0))
+                    .collect()
+            })
+            .collect();
+
+        group.bench_with_input(
+            BenchmarkId::new("closed_form", name),
+            &inst,
+            |b, inst| {
+                let mut zbuf = z.clone();
+                let mut k = 0usize;
+                b.iter(|| {
+                    let lam = &variants[k % variants.len()];
+                    k += 1;
+                    for s in 0..inst.dec.s() {
+                        let r = pre.range(s);
+                        let (_, tail) = zbuf.split_at_mut(r.start);
+                        let zs = &mut tail[..r.len()];
+                        updates::local_update_component(s, pre, rho, &x, &lam[r], zs);
+                    }
+                });
+            },
+        );
+
+        // Benchmark-style: iterative QP with bounds, warm-started.
+        let projectors: Vec<BoxQp> = inst
+            .dec
+            .components
+            .iter()
+            .map(|comp| {
+                let (lo, hi) = comp.local_bounds(&inst.dec.lower, &inst.dec.upper);
+                BoxQp::new(comp.a.clone(), comp.b.clone(), lo, hi)
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::new("box_qp", name), &inst, |b, inst| {
+            let mut warm: Vec<Vec<f64>> = inst
+                .dec
+                .components
+                .iter()
+                .map(|comp| vec![0.0; comp.m()])
+                .collect();
+            let opts = QpOptions {
+                tol: 1e-8,
+                ..QpOptions::default()
+            };
+            let mut k = 0usize;
+            b.iter(|| {
+                let lam = &variants[k % variants.len()];
+                k += 1;
+                for s in 0..inst.dec.s() {
+                    let r = pre.range(s);
+                    let globals = &pre.stacked_to_global[r.clone()];
+                    let target: Vec<f64> = globals
+                        .iter()
+                        .zip(&lam[r])
+                        .map(|(&g, &l)| x[g] + l / rho)
+                        .collect();
+                    let proj = projectors[s]
+                        .project(&target, Some(&warm[s]), opts)
+                        .expect("QP");
+                    warm[s] = proj.mu;
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20);
+    targets = bench_local_update_styles
+}
+criterion_main!(benches);

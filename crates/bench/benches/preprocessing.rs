@@ -1,0 +1,46 @@
+//! Preprocessing benchmarks: model assembly, component-wise
+//! decomposition (with §IV-B row reduction), and Algorithm 1's
+//! `Ā_s`/`b̄_s` precomputation. The paper notes these are one-off costs
+//! amortized over thousands of iterations — these benches quantify them.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use opf_admm::Precomputed;
+use opf_model::{assemble, decompose};
+use opf_net::{feeders, ComponentGraph};
+
+fn bench_preprocessing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("preprocessing");
+    group.sample_size(20);
+    for name in ["ieee13", "ieee123"] {
+        let net = feeders::by_name(name).expect("instance");
+        group.bench_with_input(BenchmarkId::new("assemble", name), &net, |b, net| {
+            b.iter(|| assemble(net));
+        });
+        let graph = ComponentGraph::build(&net);
+        group.bench_with_input(BenchmarkId::new("decompose", name), &net, |b, net| {
+            b.iter(|| decompose(net, &graph).expect("decompose"));
+        });
+        let dec = decompose(&net, &graph).expect("decompose");
+        group.bench_with_input(BenchmarkId::new("precompute", name), &dec, |b, dec| {
+            b.iter(|| Precomputed::build(dec).expect("precompute"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_feeder_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("feeder_generation");
+    group.sample_size(20);
+    group.bench_function("ieee123", |b| b.iter(feeders::ieee123));
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20);
+    targets = bench_preprocessing, bench_feeder_generation
+}
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! Regenerates Fig. 2 (CPU vs GPU residual traces, IEEE 13).
+fn main() {
+    print!("{}", opf_bench::figures::fig2());
+}

@@ -1,0 +1,45 @@
+//! Device-generation study: modeled per-iteration and total times of
+//! Algorithm 1 on V100 / A100 / H100-class devices — the paper's closing
+//! claim that "the speedup achieved by GPU would be significantly
+//! increasing with much larger instances" extends across generations.
+//!
+//! ```text
+//! cargo run -p opf-bench --release --bin study_devices [--full]
+//! ```
+
+use gpu_sim::DeviceProps;
+use opf_admm::{AdmmOptions, Backend, SolverFreeAdmm};
+use opf_bench::harness::{fmt_secs, full_mode, load_instance, standard_instances};
+
+fn main() {
+    let full = full_mode();
+    let devices: [(&str, DeviceProps); 3] = [
+        ("V100", DeviceProps::v100()),
+        ("A100", DeviceProps::a100()),
+        ("H100", DeviceProps::h100()),
+    ];
+    for name in standard_instances(full) {
+        let inst = load_instance(name);
+        let solver = SolverFreeAdmm::new(&inst.dec).expect("precompute");
+        println!("{name}: modeled device time to convergence (T = 64)");
+        for (dname, props) in devices {
+            let r = solver.solve(&AdmmOptions {
+                backend: Backend::Gpu {
+                    props,
+                    threads_per_block: 64,
+                },
+                ..AdmmOptions::default()
+            });
+            let (g, l, d) = r.timings.per_iteration();
+            println!(
+                "  {dname}: total {:>9}  ({} iters; per-iter g {} l {} d {})",
+                fmt_secs(r.timings.total_s()),
+                r.iterations,
+                fmt_secs(g),
+                fmt_secs(l),
+                fmt_secs(d)
+            );
+        }
+        println!();
+    }
+}

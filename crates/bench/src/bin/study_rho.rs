@@ -1,0 +1,40 @@
+//! Sensitivity study: iterations-to-convergence versus the penalty ρ,
+//! with and without residual balancing \[29\] — context for the paper's
+//! fixed choice ρ = 100 (§V-A).
+//!
+//! ```text
+//! cargo run -p opf-bench --release --bin study_rho
+//! ```
+
+use opf_admm::{AdmmOptions, ResidualBalancing, SolverFreeAdmm};
+use opf_bench::load_instance;
+
+fn main() {
+    let rhos = [1.0, 10.0, 50.0, 100.0, 200.0, 1000.0];
+    for name in ["ieee13", "ieee123"] {
+        let inst = load_instance(name);
+        let solver = SolverFreeAdmm::new(&inst.dec).expect("precompute");
+        println!("{name}: iterations to ε_rel = 1e-3 (cap 200k)");
+        println!("  ρ        fixed       residual-balanced");
+        for &rho in &rhos {
+            let fixed = solver.solve(&AdmmOptions {
+                rho,
+                ..AdmmOptions::default()
+            });
+            let balanced = solver.solve(&AdmmOptions {
+                rho,
+                rho_adapt: Some(ResidualBalancing::default()),
+                ..AdmmOptions::default()
+            });
+            let show = |r: &opf_admm::SolveResult| {
+                if r.converged {
+                    format!("{:>7}", r.iterations)
+                } else {
+                    format!("{:>7}*", r.iterations)
+                }
+            };
+            println!("  {rho:<7}  {}     {}", show(&fixed), show(&balanced));
+        }
+        println!("  (* hit the iteration cap)\n");
+    }
+}

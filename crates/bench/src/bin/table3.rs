@@ -1,0 +1,4 @@
+//! Regenerates Table III. Pass `--full` to include IEEE 8500.
+fn main() {
+    print!("{}", opf_bench::tables::table3(opf_bench::harness::full_mode()));
+}

@@ -1,0 +1,85 @@
+//! Shared harness: instance loading and formatting.
+
+use opf_model::{decompose, DecomposedProblem};
+use opf_net::{feeders, ComponentGraph, Network};
+
+/// A loaded, decomposed evaluation instance.
+pub struct Instance {
+    /// Instance name (`ieee13` / `ieee123` / `ieee8500`).
+    pub name: String,
+    /// The feeder.
+    pub net: Network,
+    /// Its component graph.
+    pub graph: ComponentGraph,
+    /// The decomposed OPF problem.
+    pub dec: DecomposedProblem,
+}
+
+/// Load and decompose one of the paper's instances.
+///
+/// # Panics
+/// Panics on an unknown name or a decomposition failure.
+pub fn load_instance(name: &str) -> Instance {
+    let net = feeders::by_name(name).unwrap_or_else(|| panic!("unknown instance {name}"));
+    let graph = ComponentGraph::build(&net);
+    let dec = decompose(&net, &graph).unwrap_or_else(|e| panic!("{name}: {e}"));
+    Instance {
+        name: name.to_string(),
+        net,
+        graph,
+        dec,
+    }
+}
+
+/// The instance list: quick mode covers IEEE 13/123; full mode adds the
+/// 8500-bus system.
+pub fn standard_instances(full: bool) -> Vec<&'static str> {
+    if full {
+        vec!["ieee13", "ieee123", "ieee8500"]
+    } else {
+        vec!["ieee13", "ieee123"]
+    }
+}
+
+/// `--full` flag helper for the bin targets.
+pub fn full_mode() -> bool {
+    std::env::args().any(|a| a == "--full")
+}
+
+/// Pretty seconds with engineering units.
+pub fn fmt_secs(s: f64) -> String {
+    if s >= 100.0 {
+        format!("{s:.0} s")
+    } else if s >= 1.0 {
+        format!("{s:.2} s")
+    } else if s >= 1e-3 {
+        format!("{:.2} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.2} µs", s * 1e6)
+    } else {
+        format!("{:.0} ns", s * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loads_quick_instances() {
+        for name in standard_instances(false) {
+            let inst = load_instance(name);
+            assert!(inst.dec.s() > 0);
+            assert_eq!(inst.graph.s(), inst.dec.s());
+        }
+    }
+
+    #[test]
+    fn formats_times() {
+        assert_eq!(fmt_secs(2.5), "2.50 s");
+        assert_eq!(fmt_secs(0.002), "2.00 ms");
+        assert_eq!(fmt_secs(3.2e-6), "3.20 µs");
+        assert_eq!(fmt_secs(5e-8), "50 ns");
+        assert_eq!(fmt_secs(120.0), "120 s");
+    }
+}

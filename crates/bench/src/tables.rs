@@ -1,0 +1,292 @@
+//! Tables II–V of the paper.
+
+use crate::harness::{fmt_secs, load_instance, standard_instances};
+use comm_sim::CommModel;
+use opf_admm::{
+    AdmmOptions, Backend, BenchmarkAdmm, ClusterSpec, RankKind, SolverFreeAdmm,
+};
+use opf_model::{assemble, stats};
+
+/// Paper's published values for side-by-side printing.
+mod paper {
+    /// Table II: (rows, cols) of `A`.
+    pub const TABLE2: [(&str, usize, usize); 3] = [
+        ("ieee13", 456, 454),
+        ("ieee123", 1834, 1834),
+        ("ieee8500", 86_114, 87_285),
+    ];
+    /// Table III: (nodes, lines, leaves, S).
+    pub const TABLE3: [(&str, usize, usize, usize, usize); 3] = [
+        ("ieee13", 29, 28, 7, 50),
+        ("ieee123", 147, 146, 43, 250),
+        ("ieee8500", 11_932, 14_291, 1_222, 25_001),
+    ];
+    /// Table V: (ours CPUs, ours time, ours iters, bench CPUs, bench time, bench iters).
+    pub const TABLE5: [(&str, usize, f64, usize, usize, f64, usize); 3] = [
+        ("ieee13", 16, 4.91, 944, 32, 28.13, 1_064),
+        ("ieee123", 16, 7.25, 3_496, 128, 169.67, 3_215),
+        ("ieee8500", 16, 668.30, 15_817, 512, 44_720.11, 26_252),
+    ];
+}
+
+/// Table II: size of the centralized `A`.
+pub fn table2(full: bool) -> String {
+    let mut out = String::from(
+        "Table II — rows/cols of A in the centralized LP (7)\n\
+         instance    ours (rows, cols)      paper (rows, cols)\n",
+    );
+    for name in standard_instances(full) {
+        let inst = load_instance(name);
+        let lp = assemble(&inst.net);
+        let t = stats::table2(name, &lp);
+        let p = paper::TABLE2.iter().find(|r| r.0 == name).expect("known");
+        out += &format!(
+            "{name:<10}  ({:>6}, {:>6})       ({:>6}, {:>6})\n",
+            t.rows, t.cols, p.1, p.2
+        );
+    }
+    out
+}
+
+/// Table III: component-graph statistics.
+pub fn table3(full: bool) -> String {
+    let mut out = String::from(
+        "Table III — component graph (nodes, lines, leaves, S)\n\
+         instance       ours                        paper\n",
+    );
+    for name in standard_instances(full) {
+        let inst = load_instance(name);
+        let t = stats::table3(name, &inst.graph);
+        let p = paper::TABLE3.iter().find(|r| r.0 == name).expect("known");
+        out += &format!(
+            "{name:<10}  ({:>5}, {:>5}, {:>4}, {:>5})   ({:>5}, {:>5}, {:>4}, {:>5})\n",
+            t.n_nodes, t.n_lines, t.n_leaves, t.s, p.1, p.2, p.3, p.4
+        );
+    }
+    out
+}
+
+/// Table IV: component subproblem size summaries.
+pub fn table4(full: bool) -> String {
+    let mut out = String::from("Table IV — component subproblem sizes m_s, n_s\n");
+    for name in standard_instances(full) {
+        let inst = load_instance(name);
+        let t = stats::table4(name, &inst.dec);
+        out += &format!(
+            "{name}:\n  m_s: min {:>3}  max {:>3}  mean {:>6.2}  stdev {:>6.2}  sum {:>7}\n  n_s: min {:>3}  max {:>3}  mean {:>6.2}  stdev {:>6.2}  sum {:>7}\n",
+            t.m.min, t.m.max, t.m.mean, t.m.stdev, t.m.sum,
+            t.n.min, t.n.max, t.n.mean, t.n.stdev, t.n.sum,
+        );
+    }
+    out += "paper (IEEE13):   m: 4/22/9.08/4.42/453      n: 8/34/16.1/5.14/805\n";
+    out += "paper (IEEE123):  m: 2/42/7.34/4.43/1834     n: 4/57/13.16/6.5/3289\n";
+    out += "paper (IEEE8500): m: 2/18/3.44/2.66/86108    n: 4/24/6.69/3.21/167394\n";
+    out
+}
+
+/// One Table V row: solve to convergence, then attribute cluster time.
+struct Table5Row {
+    name: String,
+    ours_cpus: usize,
+    ours_time: f64,
+    ours_iters: usize,
+    bench_cpus: usize,
+    bench_time: f64,
+    bench_iters: usize,
+    bench_extrapolated: bool,
+}
+
+/// Estimate iterations-to-convergence from a truncated residual trace by
+/// log-linear extrapolation of the worst residual ratio.
+fn extrapolate_iterations(
+    trace: &[opf_admm::TraceEntry],
+    cap: usize,
+) -> (usize, bool) {
+    // ratio(t) = max(pres/eps_prim, dres/eps_dual); fit log(ratio) ~ a+bt
+    // over the TAIL of the trace (the early fast transient would
+    // otherwise wildly underestimate the iteration count).
+    let all: Vec<(f64, f64)> = trace
+        .iter()
+        .filter(|e| e.pres > 0.0 && e.dres > 0.0)
+        .map(|e| {
+            let ratio = (e.pres / e.eps_prim.max(1e-300)).max(e.dres / e.eps_dual.max(1e-300));
+            (e.iter as f64, ratio.max(1e-12).ln())
+        })
+        .collect();
+    let pts: Vec<(f64, f64)> = all[all.len() / 2..].to_vec();
+    if pts.len() < 4 {
+        return (cap, true);
+    }
+    let n = pts.len() as f64;
+    let sx: f64 = pts.iter().map(|p| p.0).sum();
+    let sy: f64 = pts.iter().map(|p| p.1).sum();
+    let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+    let slope = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+    let intercept = (sy - slope * sx) / n;
+    if slope >= -1e-12 {
+        return (cap, true); // no decay visible; report the cap
+    }
+    // ratio = 1 → iter = −intercept/slope.
+    let est = (-intercept / slope).ceil();
+    (est.max(1.0) as usize, true)
+}
+
+fn table5_row(name: &str, full: bool) -> Table5Row {
+    let inst = load_instance(name);
+    let p = paper::TABLE5.iter().find(|r| r.0 == name).expect("known");
+    let (ours_cpus, bench_cpus) = (p.1, p.4);
+    let opts = AdmmOptions::default();
+
+    // --- Ours: converge (serial arithmetic), attribute 16-CPU time. ---
+    let solver = SolverFreeAdmm::new(&inst.dec).expect("precompute");
+    let ours = solver.solve(&AdmmOptions {
+        backend: Backend::Serial,
+        ..opts.clone()
+    });
+    let spec = ClusterSpec {
+        n_ranks: ours_cpus,
+        comm: CommModel::cpu_cluster(),
+        kind: RankKind::Cpu,
+    };
+    let probe_iters = if inst.dec.s() > 10_000 { 5 } else { 25 };
+    let (bd, _) = solver.measure_cluster(&opts, &spec, probe_iters);
+    let ours_time = ours.iterations as f64 * bd.total_s();
+
+    // --- Benchmark: converge where affordable, else extrapolate. ---
+    let bench = BenchmarkAdmm::new(&inst.dec).expect("precompute");
+    let large = inst.dec.s() > 10_000;
+    let (bench_iters, bench_extrapolated) = if large && full {
+        // Run to convergence when the budget allows; the cap bounds the
+        // harness at roughly ten minutes on one core.
+        let cap = 25_000;
+        let (r, _) = bench.solve(&AdmmOptions {
+            max_iters: cap,
+            trace_every: 100,
+            ..opts.clone()
+        });
+        if r.converged {
+            (r.iterations, false)
+        } else {
+            extrapolate_iterations(&r.trace, cap)
+        }
+    } else if large {
+        // Quick mode: skip the expensive truncated run entirely.
+        (0, true)
+    } else {
+        let (r, _) = bench.solve(&AdmmOptions {
+            max_iters: 100_000,
+            ..opts.clone()
+        });
+        (r.iterations, !r.converged)
+    };
+    let bench_time = if bench_iters == 0 {
+        0.0
+    } else {
+        let spec = ClusterSpec {
+            n_ranks: bench_cpus,
+            comm: CommModel::cpu_cluster(),
+            kind: RankKind::Cpu,
+        };
+        let probe = if large { 3 } else { 20 };
+        let (bbd, _) = bench.measure_cluster(&opts, &spec, probe);
+        bench_iters as f64 * bbd.total_s()
+    };
+
+    Table5Row {
+        name: name.to_string(),
+        ours_cpus,
+        ours_time,
+        ours_iters: ours.iterations,
+        bench_cpus,
+        bench_time,
+        bench_iters,
+        bench_extrapolated,
+    }
+}
+
+/// Table V: total time and iterations to convergence, ours vs benchmark.
+pub fn table5(full: bool) -> String {
+    let mut out = String::from(
+        "Table V — total time and iterations until convergence (ρ=100, ε=1e-3)\n\
+         instance    | ours: CPUs  time        iters   | benchmark: CPUs  time        iters\n",
+    );
+    for name in standard_instances(full) {
+        let r = table5_row(name, full);
+        let bench_time = if r.bench_iters == 0 {
+            "   (skipped)".to_string()
+        } else {
+            format!("{:>10}{}", fmt_secs(r.bench_time), if r.bench_extrapolated { "*" } else { " " })
+        };
+        let p = paper::TABLE5.iter().find(|x| x.0 == name).expect("known");
+        out += &format!(
+            "{:<11} |       {:>3}  {:>10}  {:>6}  |            {:>3}  {}  {:>6}\n",
+            r.name,
+            r.ours_cpus,
+            fmt_secs(r.ours_time),
+            r.ours_iters,
+            r.bench_cpus,
+            bench_time,
+            r.bench_iters,
+        );
+        out += &format!(
+            "  (paper)   |       {:>3}  {:>10}  {:>6}  |            {:>3}  {:>10}   {:>6}\n",
+            p.1,
+            fmt_secs(p.2),
+            p.3,
+            p.4,
+            fmt_secs(p.5),
+            p.6
+        );
+    }
+    out += "* iterations extrapolated from a truncated run (see EXPERIMENTS.md)\n";
+    out
+}
+
+/// Speedup helper used by tests: ours vs benchmark total time on an
+/// instance (quick path).
+pub fn speedup(name: &str) -> f64 {
+    let r = table5_row(name, false);
+    if r.bench_time == 0.0 {
+        f64::NAN
+    } else {
+        r.bench_time / r.ours_time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_prints_both_columns() {
+        let t = table2(false);
+        assert!(t.contains("ieee13"));
+        assert!(t.contains("456")); // paper value present
+    }
+
+    #[test]
+    fn table3_matches_paper_exactly() {
+        let t = table3(false);
+        // Our synthetic instances match Table III by construction; the
+        // printed ours/paper tuples must coincide.
+        for line in t.lines().skip(2) {
+            let halves: Vec<&str> = line.splitn(2, '(').collect();
+            assert_eq!(halves.len(), 2, "row: {line}");
+            let rest = halves[1];
+            let (ours, paper) = rest.split_once('(').expect("two tuples");
+            let clean = |s: &str| {
+                s.chars()
+                    .filter(|c| c.is_ascii_digit() || *c == ',')
+                    .collect::<String>()
+            };
+            assert_eq!(clean(ours), clean(paper), "row: {line}");
+        }
+    }
+
+    #[test]
+    fn ieee13_benchmark_slower_than_ours() {
+        let s = speedup("ieee13");
+        assert!(s > 1.0, "expected benchmark slower; speedup = {s}");
+    }
+}

@@ -1,0 +1,575 @@
+//! Argument parsing and command implementations for the `gridflow` CLI.
+//!
+//! Kept as a library so the parsing and command logic are unit-testable;
+//! `main.rs` is a thin shim.
+
+use comm_sim::Compression;
+use gpu_sim::DeviceProps;
+use opf_admm::{AdmmOptions, Backend, SolverFreeAdmm};
+use opf_model::{decompose, report, VarSpace};
+use opf_net::{feeders, ComponentGraph};
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `gridflow info <instance>`
+    Info { instance: String },
+    /// `gridflow solve <instance> [options]`
+    Solve {
+        instance: String,
+        backend: BackendArg,
+        rho: f64,
+        eps: f64,
+        max_iters: usize,
+        distributed: Option<usize>,
+        compress: Compression,
+        show_report: bool,
+        save_state: Option<String>,
+        resume: Option<String>,
+    },
+    /// `gridflow export <instance> <path.json>`
+    Export { instance: String, path: String },
+    /// `gridflow tables [--full]` / `gridflow figures [--full]`
+    Tables { full: bool },
+    /// See [`Command::Tables`].
+    Figures { full: bool },
+    /// `gridflow help`
+    Help,
+}
+
+/// Backend selection from the command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BackendArg {
+    /// `--backend serial`
+    Serial,
+    /// `--backend rayon:N`
+    Rayon(usize),
+    /// `--backend gpu[:T]`
+    Gpu(usize),
+}
+
+impl BackendArg {
+    fn to_backend(&self) -> Backend {
+        match self {
+            BackendArg::Serial => Backend::Serial,
+            BackendArg::Rayon(n) => Backend::Rayon { threads: *n },
+            BackendArg::Gpu(t) => Backend::Gpu {
+                props: DeviceProps::a100(),
+                threads_per_block: *t,
+            },
+        }
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+gridflow — GPU-accelerated distributed OPF (paper reproduction)
+
+USAGE:
+  gridflow info <instance>
+  gridflow solve <instance> [--backend serial|rayon:N|gpu[:T]] [--rho R]
+                 [--eps E] [--max-iters N] [--distributed N]
+                 [--compress fp32|topk:F] [--report]
+                 [--save-state path.json] [--resume path.json]
+  gridflow export <instance> <path.json>
+  gridflow tables  [--full]
+  gridflow figures [--full]
+
+Instances: ieee13, ieee123, ieee8500, ieee13-detailed.
+";
+
+/// Errors from parsing or running a command.
+#[derive(Debug, PartialEq)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Parse an argument vector (without the program name).
+pub fn parse(args: &[String]) -> Result<Command, CliError> {
+    let mut it = args.iter();
+    let cmd = it.next().map(String::as_str).unwrap_or("help");
+    match cmd {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "info" => {
+            let instance = it
+                .next()
+                .ok_or(CliError("info: missing <instance>".into()))?;
+            Ok(Command::Info {
+                instance: instance.clone(),
+            })
+        }
+        "export" => {
+            let instance = it
+                .next()
+                .ok_or(CliError("export: missing <instance>".into()))?
+                .clone();
+            let path = it
+                .next()
+                .ok_or(CliError("export: missing <path.json>".into()))?
+                .clone();
+            Ok(Command::Export { instance, path })
+        }
+        "tables" => Ok(Command::Tables {
+            full: args.iter().any(|a| a == "--full"),
+        }),
+        "figures" => Ok(Command::Figures {
+            full: args.iter().any(|a| a == "--full"),
+        }),
+        "solve" => {
+            let instance = it
+                .next()
+                .ok_or(CliError("solve: missing <instance>".into()))?
+                .clone();
+            let mut backend = BackendArg::Serial;
+            let mut rho = 100.0;
+            let mut eps = 1e-3;
+            let mut max_iters = 200_000;
+            let mut distributed = None;
+            let mut compress = Compression::None;
+            let mut show_report = false;
+            let mut save_state = None;
+            let mut resume = None;
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--backend" => {
+                        let v = it.next().ok_or(CliError("--backend needs a value".into()))?;
+                        backend = parse_backend(v)?;
+                    }
+                    "--rho" => rho = parse_num(it.next(), "--rho")?,
+                    "--eps" => eps = parse_num(it.next(), "--eps")?,
+                    "--max-iters" => max_iters = parse_num(it.next(), "--max-iters")? as usize,
+                    "--distributed" => {
+                        distributed = Some(parse_num(it.next(), "--distributed")? as usize)
+                    }
+                    "--compress" => {
+                        let v = it.next().ok_or(CliError("--compress needs a value".into()))?;
+                        compress = parse_compress(v)?;
+                    }
+                    "--report" => show_report = true,
+                    "--save-state" => {
+                        save_state = Some(
+                            it.next()
+                                .ok_or(CliError("--save-state needs a path".into()))?
+                                .clone(),
+                        )
+                    }
+                    "--resume" => {
+                        resume = Some(
+                            it.next()
+                                .ok_or(CliError("--resume needs a path".into()))?
+                                .clone(),
+                        )
+                    }
+                    other => return Err(CliError(format!("unknown flag {other}"))),
+                }
+            }
+            Ok(Command::Solve {
+                instance,
+                backend,
+                rho,
+                eps,
+                max_iters,
+                distributed,
+                compress,
+                show_report,
+                save_state,
+                resume,
+            })
+        }
+        other => Err(CliError(format!("unknown command {other}"))),
+    }
+}
+
+fn parse_num(v: Option<&String>, flag: &str) -> Result<f64, CliError> {
+    v.ok_or(CliError(format!("{flag} needs a value")))?
+        .parse()
+        .map_err(|_| CliError(format!("{flag}: not a number")))
+}
+
+fn parse_backend(v: &str) -> Result<BackendArg, CliError> {
+    if v == "serial" {
+        Ok(BackendArg::Serial)
+    } else if let Some(n) = v.strip_prefix("rayon:") {
+        n.parse()
+            .map(BackendArg::Rayon)
+            .map_err(|_| CliError("rayon:N — N must be an integer".into()))
+    } else if v == "gpu" {
+        Ok(BackendArg::Gpu(64))
+    } else if let Some(t) = v.strip_prefix("gpu:") {
+        t.parse()
+            .map(BackendArg::Gpu)
+            .map_err(|_| CliError("gpu:T — T must be an integer".into()))
+    } else {
+        Err(CliError(format!("unknown backend {v}")))
+    }
+}
+
+fn parse_compress(v: &str) -> Result<Compression, CliError> {
+    if v == "fp32" {
+        Ok(Compression::Fp32)
+    } else if let Some(f) = v.strip_prefix("topk:") {
+        let fraction: f64 = f
+            .parse()
+            .map_err(|_| CliError("topk:F — F must be a number".into()))?;
+        if !(0.0..=1.0).contains(&fraction) || fraction == 0.0 {
+            return Err(CliError("topk fraction must be in (0, 1]".into()));
+        }
+        Ok(Compression::TopK { fraction })
+    } else {
+        Err(CliError(format!("unknown compression {v}")))
+    }
+}
+
+/// Execute a command, writing human output to the returned string.
+pub fn run(cmd: Command) -> Result<String, CliError> {
+    match cmd {
+        Command::Help => Ok(USAGE.to_string()),
+        Command::Info { instance } => {
+            let net = load(&instance)?;
+            let graph = ComponentGraph::build(&net);
+            let dec = decompose(&net, &graph).map_err(|e| CliError(e.to_string()))?;
+            Ok(format!(
+                "{instance}: {} buses, {} branches, {} generators, {} loads\n\
+                 component graph: {} nodes, {} lines, {} leaves → S = {}\n\
+                 variables n = {}, stacked local dim Σn_s = {}, Σm_s = {}\n\
+                 total reference load: {:.4} p.u.\n",
+                net.buses.len(),
+                net.branches.len(),
+                net.generators.len(),
+                net.loads.len(),
+                graph.n_nodes,
+                graph.n_lines,
+                graph.n_leaves,
+                graph.s(),
+                dec.n,
+                dec.total_local_dim(),
+                dec.total_local_rows(),
+                net.total_p_ref(),
+            ))
+        }
+        Command::Export { instance, path } => {
+            let net = load(&instance)?;
+            let json = serde_json::to_string_pretty(&net)
+                .map_err(|e| CliError(format!("serialize: {e}")))?;
+            std::fs::write(&path, &json).map_err(|e| CliError(format!("write {path}: {e}")))?;
+            Ok(format!("wrote {} bytes to {path}\n", json.len()))
+        }
+        Command::Tables { full } => Ok([
+            opf_bench::tables::table2(full),
+            opf_bench::tables::table3(full),
+            opf_bench::tables::table4(full),
+            opf_bench::tables::table5(full),
+        ]
+        .join("\n")),
+        Command::Figures { full } => Ok([
+            opf_bench::figures::fig1(full),
+            opf_bench::figures::fig2(),
+            opf_bench::figures::fig3(full),
+            opf_bench::figures::fig4(full),
+        ]
+        .join("\n")),
+        Command::Solve {
+            instance,
+            backend,
+            rho,
+            eps,
+            max_iters,
+            distributed,
+            compress,
+            show_report,
+            save_state,
+            resume,
+        } => {
+            let net = load(&instance)?;
+            let graph = ComponentGraph::build(&net);
+            let dec = decompose(&net, &graph).map_err(|e| CliError(e.to_string()))?;
+            let solver = SolverFreeAdmm::new(&dec).map_err(|e| CliError(e.to_string()))?;
+            let resume_state = match &resume {
+                Some(path) => Some(load_checkpoint(path, &instance, dec.n)?),
+                None => None,
+            };
+            let opts = AdmmOptions {
+                rho,
+                eps_rel: eps,
+                max_iters,
+                backend: backend.to_backend(),
+                ..AdmmOptions::default()
+            };
+            let mut out = String::new();
+            let mut final_state = None;
+            let (x, iterations, converged, objective) = if let Some(ranks) = distributed {
+                let r = solver.solve_distributed_compressed(&opts, ranks, compress);
+                (r.x, r.iterations, r.converged, r.objective)
+            } else {
+                let r = match resume_state {
+                    Some(state) => solver.solve_from(&opts, state),
+                    None => solver.solve(&opts),
+                };
+                final_state = Some((r.x.clone(), r.z.clone(), r.lambda.clone()));
+                let (g, l, d) = r.timings.per_iteration();
+                out += &format!(
+                    "per-iteration: global {:.2e}s local {:.2e}s dual {:.2e}s{}\n",
+                    g,
+                    l,
+                    d,
+                    if r.timings.simulated {
+                        " (modeled device time)"
+                    } else {
+                        ""
+                    }
+                );
+                (r.x, r.iterations, r.converged, r.objective)
+            };
+            out += &format!(
+                "{instance}: converged = {converged} in {iterations} iterations, Σp^g = {objective:.4} p.u.\n"
+            );
+            if show_report {
+                let vs = VarSpace::build(&net);
+                let rep = report(&net, &vs, &x);
+                out += &format!("{}\n", rep.summary());
+            }
+            if let Some(path) = save_state {
+                match final_state {
+                    Some(state) => {
+                        save_checkpoint(&path, &instance, &state)?;
+                        out += &format!("state saved to {path}\n");
+                    }
+                    None => {
+                        return Err(CliError(
+                            "--save-state is not supported with --distributed".into(),
+                        ))
+                    }
+                }
+            }
+            Ok(out)
+        }
+    }
+}
+
+/// Warm-start iterates `(x, z, λ)` as stored in a checkpoint file.
+type WarmState = (Vec<f64>, Vec<f64>, Vec<f64>);
+
+/// Serialized warm-start state: `{instance, x, z, lambda}`.
+fn save_checkpoint(
+    path: &str,
+    instance: &str,
+    state: &WarmState,
+) -> Result<(), CliError> {
+    let value = serde_json::json!({
+        "instance": instance,
+        "x": state.0,
+        "z": state.1,
+        "lambda": state.2,
+    });
+    std::fs::write(path, serde_json::to_string(&value).expect("serialize"))
+        .map_err(|e| CliError(format!("write {path}: {e}")))
+}
+
+fn load_checkpoint(
+    path: &str,
+    instance: &str,
+    n: usize,
+) -> Result<WarmState, CliError> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| CliError(format!("read {path}: {e}")))?;
+    let v: serde_json::Value =
+        serde_json::from_str(&text).map_err(|e| CliError(format!("parse {path}: {e}")))?;
+    let saved_instance = v["instance"].as_str().unwrap_or_default();
+    if saved_instance != instance {
+        return Err(CliError(format!(
+            "checkpoint is for {saved_instance}, not {instance}"
+        )));
+    }
+    let vecf = |key: &str| -> Result<Vec<f64>, CliError> {
+        v[key]
+            .as_array()
+            .ok_or(CliError(format!("{path}: missing {key}")))?
+            .iter()
+            .map(|x| x.as_f64().ok_or(CliError(format!("{path}: bad {key}"))))
+            .collect()
+    };
+    let x = vecf("x")?;
+    if x.len() != n {
+        return Err(CliError(format!(
+            "checkpoint dimension {} does not match instance ({n})",
+            x.len()
+        )));
+    }
+    Ok((x, vecf("z")?, vecf("lambda")?))
+}
+
+fn load(instance: &str) -> Result<opf_net::Network, CliError> {
+    feeders::by_name(instance).ok_or_else(|| {
+        CliError(format!(
+            "unknown instance {instance} (try ieee13, ieee123, ieee8500, ieee13-detailed)"
+        ))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_help_and_unknown() {
+        assert_eq!(parse(&sv(&["help"])), Ok(Command::Help));
+        assert_eq!(parse(&[]), Ok(Command::Help));
+        assert!(parse(&sv(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn parses_solve_flags() {
+        let c = parse(&sv(&[
+            "solve", "ieee13", "--backend", "rayon:4", "--rho", "50", "--eps", "1e-4",
+            "--max-iters", "1000", "--report",
+        ]))
+        .unwrap();
+        match c {
+            Command::Solve {
+                instance,
+                backend,
+                rho,
+                eps,
+                max_iters,
+                show_report,
+                ..
+            } => {
+                assert_eq!(instance, "ieee13");
+                assert_eq!(backend, BackendArg::Rayon(4));
+                assert_eq!(rho, 50.0);
+                assert_eq!(eps, 1e-4);
+                assert_eq!(max_iters, 1000);
+                assert!(show_report);
+            }
+            _ => panic!("wrong command"),
+        }
+    }
+
+    #[test]
+    fn parses_backends_and_compression() {
+        assert_eq!(parse_backend("serial").unwrap(), BackendArg::Serial);
+        assert_eq!(parse_backend("gpu").unwrap(), BackendArg::Gpu(64));
+        assert_eq!(parse_backend("gpu:8").unwrap(), BackendArg::Gpu(8));
+        assert!(parse_backend("tpu").is_err());
+        assert_eq!(parse_compress("fp32").unwrap(), Compression::Fp32);
+        assert!(matches!(
+            parse_compress("topk:0.5").unwrap(),
+            Compression::TopK { .. }
+        ));
+        assert!(parse_compress("topk:0").is_err());
+        assert!(parse_compress("zip").is_err());
+    }
+
+    #[test]
+    fn info_runs_on_small_instance() {
+        let out = run(Command::Info {
+            instance: "ieee13".into(),
+        })
+        .unwrap();
+        assert!(out.contains("S = 50"), "{out}");
+    }
+
+    #[test]
+    fn solve_runs_quickly_with_iteration_cap() {
+        let out = run(Command::Solve {
+            instance: "ieee13".into(),
+            backend: BackendArg::Serial,
+            rho: 100.0,
+            eps: 1e-3,
+            max_iters: 50,
+            distributed: None,
+            compress: Compression::None,
+            show_report: true,
+            save_state: None,
+            resume: None,
+        })
+        .unwrap();
+        assert!(out.contains("converged = false"), "{out}");
+        assert!(out.contains("V ∈"), "{out}");
+    }
+
+    #[test]
+    fn export_round_trips_via_json() {
+        let dir = std::env::temp_dir().join("gridflow-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("net.json");
+        let out = run(Command::Export {
+            instance: "ieee13".into(),
+            path: path.to_string_lossy().into_owned(),
+        })
+        .unwrap();
+        assert!(out.contains("wrote"));
+        let json = std::fs::read_to_string(&path).unwrap();
+        let net: opf_net::Network = serde_json::from_str(&json).unwrap();
+        assert_eq!(net.buses.len(), 29);
+        net.validate().unwrap();
+    }
+
+    #[test]
+    fn checkpoint_save_and_resume_roundtrip() {
+        let dir = std::env::temp_dir().join("gridflow-cli-ckpt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("state.json").to_string_lossy().into_owned();
+        let base = Command::Solve {
+            instance: "ieee13".into(),
+            backend: BackendArg::Serial,
+            rho: 100.0,
+            eps: 1e-3,
+            max_iters: 200,
+            distributed: None,
+            compress: Compression::None,
+            show_report: false,
+            save_state: Some(path.clone()),
+            resume: None,
+        };
+        let out = run(base).unwrap();
+        assert!(out.contains("state saved"));
+        // Resume and finish: far fewer than a cold solve's iterations.
+        let resumed = run(Command::Solve {
+            instance: "ieee13".into(),
+            backend: BackendArg::Serial,
+            rho: 100.0,
+            eps: 1e-3,
+            max_iters: 200_000,
+            distributed: None,
+            compress: Compression::None,
+            show_report: false,
+            save_state: None,
+            resume: Some(path.clone()),
+        })
+        .unwrap();
+        assert!(resumed.contains("converged = true"), "{resumed}");
+        // Wrong instance is rejected.
+        let e = run(Command::Solve {
+            instance: "ieee123".into(),
+            backend: BackendArg::Serial,
+            rho: 100.0,
+            eps: 1e-3,
+            max_iters: 10,
+            distributed: None,
+            compress: Compression::None,
+            show_report: false,
+            save_state: None,
+            resume: Some(path),
+        })
+        .unwrap_err();
+        assert!(e.0.contains("checkpoint is for"), "{e}");
+    }
+
+    #[test]
+    fn unknown_instance_is_a_clean_error() {
+        let e = run(Command::Info {
+            instance: "ieee99999".into(),
+        })
+        .unwrap_err();
+        assert!(e.0.contains("unknown instance"));
+    }
+}

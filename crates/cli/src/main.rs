@@ -1,0 +1,14 @@
+//! `gridflow` — command-line front end (see `gridflow help`).
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match gridflow_cli::parse(&args).and_then(gridflow_cli::run) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprint!("{}", gridflow_cli::USAGE);
+            std::process::exit(2);
+        }
+    }
+}

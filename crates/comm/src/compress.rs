@@ -1,0 +1,149 @@
+//! Lossy message compression for the consensus exchange.
+//!
+//! The paper's closing remarks point to floating-point lossy compression
+//! \[37\] as the mitigation for the aggregator's communication burden. This
+//! module implements two standard schemes and their wire-size accounting,
+//! used both by the α–β time model (smaller messages → less comm time)
+//! and by the distributed runtime (values actually lose precision, so
+//! convergence under compression is testable).
+
+/// A compression scheme applied to `f64` payloads.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Compression {
+    /// No compression: 8 bytes/value.
+    None,
+    /// Round to `f32` on the wire: 4 bytes/value, ~1e-7 relative error.
+    Fp32,
+    /// Magnitude top-k sparsification: keep the largest `fraction` of
+    /// entries (by |value|), zero the rest; wire cost is 4-byte index +
+    /// 4-byte value per kept entry.
+    TopK {
+        /// Fraction of entries kept, in `(0, 1]`.
+        fraction: f64,
+    },
+}
+
+impl Compression {
+    /// Bytes on the wire for `n` values.
+    pub fn wire_bytes(&self, n: usize) -> usize {
+        match self {
+            Compression::None => 8 * n,
+            Compression::Fp32 => 4 * n,
+            Compression::TopK { fraction } => {
+                let k = ((n as f64) * fraction).ceil() as usize;
+                8 * k.min(n)
+            }
+        }
+    }
+
+    /// Apply the scheme's information loss in place (what the receiver
+    /// reconstructs).
+    pub fn apply(&self, data: &mut [f64]) {
+        match self {
+            Compression::None => {}
+            Compression::Fp32 => {
+                for v in data.iter_mut() {
+                    *v = *v as f32 as f64;
+                }
+            }
+            Compression::TopK { fraction } => {
+                let n = data.len();
+                if n == 0 {
+                    return;
+                }
+                let k = (((n as f64) * fraction).ceil() as usize).clamp(1, n);
+                if k == n {
+                    return;
+                }
+                // Threshold = k-th largest magnitude.
+                let mut mags: Vec<f64> = data.iter().map(|v| v.abs()).collect();
+                mags.sort_by(|a, b| b.partial_cmp(a).expect("no NaN payloads"));
+                let thresh = mags[k - 1];
+                let mut kept = 0;
+                for v in data.iter_mut() {
+                    if v.abs() >= thresh && kept < k {
+                        kept += 1;
+                        *v = *v as f32 as f64; // kept values ride as f32
+                    } else {
+                        *v = 0.0;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Compression ratio versus raw `f64` (1.0 = no saving).
+    pub fn ratio(&self, n: usize) -> f64 {
+        if n == 0 {
+            return 1.0;
+        }
+        self.wire_bytes(n) as f64 / (8 * n) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_bytes_accounting() {
+        assert_eq!(Compression::None.wire_bytes(10), 80);
+        assert_eq!(Compression::Fp32.wire_bytes(10), 40);
+        assert_eq!(Compression::TopK { fraction: 0.3 }.wire_bytes(10), 24);
+        assert_eq!(Compression::TopK { fraction: 1.0 }.wire_bytes(10), 80);
+    }
+
+    #[test]
+    fn fp32_error_is_bounded() {
+        let mut v: Vec<f64> = (0..100).map(|i| (i as f64 * 0.731).sin() * 1e3).collect();
+        let orig = v.clone();
+        Compression::Fp32.apply(&mut v);
+        for (a, b) in v.iter().zip(&orig) {
+            let rel = (a - b).abs() / b.abs().max(1e-30);
+            assert!(rel < 1e-6, "relative error {rel}");
+        }
+    }
+
+    #[test]
+    fn none_is_lossless() {
+        let mut v = vec![1.0e-17, 2.5, -3.125];
+        let orig = v.clone();
+        Compression::None.apply(&mut v);
+        assert_eq!(v, orig);
+    }
+
+    #[test]
+    fn topk_keeps_largest_magnitudes() {
+        let mut v = vec![0.1, -5.0, 0.2, 4.0, -0.05];
+        Compression::TopK { fraction: 0.4 }.apply(&mut v);
+        // 2 kept: -5.0 and 4.0.
+        assert_eq!(v[0], 0.0);
+        assert!((v[1] - (-5.0)).abs() < 1e-6);
+        assert_eq!(v[2], 0.0);
+        assert!((v[3] - 4.0).abs() < 1e-6);
+        assert_eq!(v[4], 0.0);
+    }
+
+    #[test]
+    fn topk_full_fraction_is_identity() {
+        let mut v = vec![1.0, -2.0, 3.0];
+        let orig = v.clone();
+        Compression::TopK { fraction: 1.0 }.apply(&mut v);
+        assert_eq!(v, orig);
+    }
+
+    #[test]
+    fn topk_empty_and_tiny() {
+        let mut empty: Vec<f64> = vec![];
+        Compression::TopK { fraction: 0.5 }.apply(&mut empty);
+        let mut one = vec![7.0];
+        Compression::TopK { fraction: 0.01 }.apply(&mut one);
+        assert!((one[0] - 7.0).abs() < 1e-6); // k clamps to ≥ 1
+    }
+
+    #[test]
+    fn ratios() {
+        assert_eq!(Compression::Fp32.ratio(100), 0.5);
+        assert_eq!(Compression::None.ratio(0), 1.0);
+    }
+}

@@ -1,0 +1,16 @@
+//! Communication substrate: a message-passing rank runtime plus α–β cost
+//! models for the cluster fabrics in the paper's evaluation (§IV-E, Fig.
+//! 1c and Fig. 3 middle row).
+//!
+//! * [`runtime`] — MPI.jl stand-in: ranks as threads, full-mesh channels,
+//!   gather / broadcast / barrier collectives;
+//! * [`model`] — analytic communication times: CPU-MPI, GPU-over-MPI with
+//!   PCIe staging, and GPU-RPC (the tRPC remark) endpoints.
+
+pub mod compress;
+pub mod model;
+pub mod runtime;
+
+pub use compress::Compression;
+pub use model::{CommModel, Endpoint};
+pub use runtime::{run_ranks, Message, RankCtx};

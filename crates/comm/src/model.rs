@@ -1,0 +1,188 @@
+//! α–β communication cost models.
+//!
+//! The paper's Fig. 1c measures the communication half of the local
+//! update: every iteration the aggregator gathers `x_s`/`λ_s` from all
+//! ranks and broadcasts the new global iterate. With more ranks the
+//! per-rank compute shrinks but the aggregator handles more messages, so
+//! communication time *grows* with rank count — that crossover is what the
+//! model reproduces.
+//!
+//! Endpoints differ in staging: plain CPU MPI sends straight from host
+//! memory; GPUs communicating over MPI must stage through the host
+//! (device→host before send, host→device after receive — §IV-E), while an
+//! RPC transport (the tRPC remark) ships device buffers without the
+//! per-message staging penalty.
+
+/// Where a rank's buffers live and how they reach the wire.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Endpoint {
+    /// CPU rank using MPI: no staging.
+    CpuMpi,
+    /// GPU rank using MPI: PCIe staging on both sides of every message.
+    GpuMpi {
+        /// PCIe bandwidth (bytes/s).
+        pcie_bandwidth: f64,
+        /// PCIe per-transfer latency (s).
+        pcie_latency: f64,
+    },
+    /// GPU rank using an RPC transport with direct device buffers.
+    GpuRpc,
+}
+
+impl Endpoint {
+    /// A100-class PCIe staging endpoint.
+    pub fn gpu_mpi_a100() -> Endpoint {
+        Endpoint::GpuMpi {
+            pcie_bandwidth: 25.0e9,
+            pcie_latency: 10.0e-6,
+        }
+    }
+
+    /// Staging time added on one side of a message.
+    fn staging_time(&self, bytes: usize) -> f64 {
+        match self {
+            Endpoint::CpuMpi | Endpoint::GpuRpc => 0.0,
+            Endpoint::GpuMpi {
+                pcie_bandwidth,
+                pcie_latency,
+            } => {
+                if bytes == 0 {
+                    0.0
+                } else {
+                    pcie_latency + bytes as f64 / pcie_bandwidth
+                }
+            }
+        }
+    }
+}
+
+/// Network α–β parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct CommModel {
+    /// Per-message latency α (s).
+    pub latency: f64,
+    /// Link bandwidth β⁻¹ (bytes/s).
+    pub bandwidth: f64,
+    /// Endpoint type of every rank.
+    pub endpoint: Endpoint,
+}
+
+impl CommModel {
+    /// 100 Gb/s InfiniBand-like fabric between CPU ranks (Bebop).
+    pub fn cpu_cluster() -> Self {
+        CommModel {
+            latency: 2.0e-6,
+            bandwidth: 12.5e9,
+            endpoint: Endpoint::CpuMpi,
+        }
+    }
+
+    /// GPU ranks over MPI with PCIe staging (Swing, §IV-E).
+    pub fn gpu_cluster_mpi() -> Self {
+        CommModel {
+            latency: 2.0e-6,
+            bandwidth: 12.5e9,
+            endpoint: Endpoint::gpu_mpi_a100(),
+        }
+    }
+
+    /// GPU ranks over an RPC transport (tRPC remark in §IV-E): comparable
+    /// to CPU ranks.
+    pub fn gpu_cluster_rpc() -> Self {
+        CommModel {
+            latency: 5.0e-6,
+            bandwidth: 12.5e9,
+            endpoint: Endpoint::GpuRpc,
+        }
+    }
+
+    /// One point-to-point message of `bytes`.
+    pub fn message_time(&self, bytes: usize) -> f64 {
+        self.latency
+            + bytes as f64 / self.bandwidth
+            + 2.0 * self.endpoint.staging_time(bytes)
+    }
+
+    /// Gather onto the aggregator: the root receives one message per
+    /// non-root rank, serialized at the root's NIC.
+    pub fn gather_time(&self, per_rank_bytes: &[usize]) -> f64 {
+        per_rank_bytes
+            .iter()
+            .skip(1) // rank 0 is the aggregator; its own data is local
+            .map(|&b| self.message_time(b))
+            .sum()
+    }
+
+    /// Broadcast `bytes` from the aggregator: binomial tree, `⌈log₂ N⌉`
+    /// rounds.
+    pub fn broadcast_time(&self, bytes: usize, n_ranks: usize) -> f64 {
+        if n_ranks <= 1 {
+            return 0.0;
+        }
+        let rounds = (n_ranks as f64).log2().ceil();
+        rounds * self.message_time(bytes)
+    }
+
+    /// One ADMM-iteration exchange: broadcast the `n`-vector global
+    /// iterate, gather each rank's local/dual slices.
+    pub fn iteration_time(&self, n_global: usize, per_rank_local: &[usize]) -> f64 {
+        let bcast = self.broadcast_time(8 * n_global, per_rank_local.len());
+        let gathered: Vec<usize> = per_rank_local.iter().map(|&d| 16 * d).collect(); // x_s + λ_s
+        bcast + self.gather_time(&gathered)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_time_is_latency_plus_transfer() {
+        let m = CommModel::cpu_cluster();
+        let t = m.message_time(12_500);
+        assert!((t - (2.0e-6 + 1e-6)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gpu_mpi_slower_than_cpu_and_rpc() {
+        let bytes = 100_000;
+        let cpu = CommModel::cpu_cluster().message_time(bytes);
+        let gpu_mpi = CommModel::gpu_cluster_mpi().message_time(bytes);
+        let gpu_rpc = CommModel::gpu_cluster_rpc().message_time(bytes);
+        assert!(gpu_mpi > cpu, "staging must cost");
+        assert!(gpu_rpc < gpu_mpi, "RPC avoids staging");
+        // tRPC remark: GPU-RPC comparable to CPU (same order).
+        assert!(gpu_rpc < 2.0 * cpu + 5.0e-6);
+    }
+
+    #[test]
+    fn gather_grows_with_rank_count() {
+        let m = CommModel::cpu_cluster();
+        let t4 = m.gather_time(&[100; 4]);
+        let t16 = m.gather_time(&[100; 16]);
+        assert!(t16 > t4 * 3.0);
+    }
+
+    #[test]
+    fn broadcast_is_logarithmic() {
+        let m = CommModel::cpu_cluster();
+        let t2 = m.broadcast_time(1000, 2);
+        let t16 = m.broadcast_time(1000, 16);
+        assert!((t16 / t2 - 4.0).abs() < 1e-9);
+        assert_eq!(m.broadcast_time(1000, 1), 0.0);
+    }
+
+    #[test]
+    fn iteration_time_monotone_in_ranks() {
+        let m = CommModel::cpu_cluster();
+        // Fixed total local dim split across more ranks → more messages.
+        let total = 64_000usize;
+        let mut prev = 0.0;
+        for n in [2usize, 4, 8, 16, 32] {
+            let per = vec![total / n; n];
+            let t = m.iteration_time(10_000, &per);
+            assert!(t > prev, "n={n}");
+            prev = t;
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! A message-passing rank runtime (the MPI.jl stand-in).
+//!
+//! Ranks are OS threads connected by a full mesh of crossbeam channels.
+//! The collectives mirror the subset of MPI the algorithm needs —
+//! point-to-point send/recv, gather-to-root, broadcast, barrier — so the
+//! distributed execution path of Algorithm 1 actually runs as separate
+//! communicating workers in integration tests and examples, rather than
+//! being faked with shared memory.
+
+use crossbeam_channel::{unbounded, Receiver, Sender};
+
+/// A message: payload of `f64`s with a user tag.
+#[derive(Debug, Clone)]
+pub struct Message {
+    /// User-chosen tag (e.g. iteration number).
+    pub tag: u64,
+    /// Payload.
+    pub data: Vec<f64>,
+}
+
+/// Per-rank communication context handed to the rank body.
+pub struct RankCtx {
+    /// This rank's id in `0..n`.
+    pub rank: usize,
+    /// Total rank count.
+    pub n: usize,
+    /// `senders[j]` sends to rank `j`.
+    senders: Vec<Sender<(usize, Message)>>,
+    /// Receives `(from, message)` pairs addressed to this rank.
+    receiver: Receiver<(usize, Message)>,
+    /// Out-of-order receive buffer.
+    pending: Vec<(usize, Message)>,
+}
+
+impl RankCtx {
+    /// Send a message to `to`.
+    ///
+    /// # Panics
+    /// Panics if `to` is out of range or the cluster has shut down.
+    pub fn send(&self, to: usize, tag: u64, data: Vec<f64>) {
+        self.senders[to]
+            .send((self.rank, Message { tag, data }))
+            .expect("peer hung up");
+    }
+
+    /// Blocking receive of the next message from `from` with tag `tag`
+    /// (messages from other peers are buffered, not dropped).
+    pub fn recv(&mut self, from: usize, tag: u64) -> Vec<f64> {
+        if let Some(i) = self
+            .pending
+            .iter()
+            .position(|(f, m)| *f == from && m.tag == tag)
+        {
+            return self.pending.swap_remove(i).1.data;
+        }
+        loop {
+            let (f, m) = self.receiver.recv().expect("peer hung up");
+            if f == from && m.tag == tag {
+                return m.data;
+            }
+            self.pending.push((f, m));
+        }
+    }
+
+    /// Gather everyone's `data` at `root`. Returns `Some(slices)` ordered
+    /// by rank at the root, `None` elsewhere.
+    #[allow(clippy::needless_range_loop)] // index loop reads clearest here
+    pub fn gather(&mut self, root: usize, tag: u64, data: Vec<f64>) -> Option<Vec<Vec<f64>>> {
+        if self.rank == root {
+            let mut out: Vec<Vec<f64>> = vec![Vec::new(); self.n];
+            for r in 0..self.n {
+                if r == root {
+                    continue;
+                }
+                out[r] = self.recv(r, tag);
+            }
+            out[root] = data;
+            Some(out)
+        } else {
+            self.send(root, tag, data);
+            None
+        }
+    }
+
+    /// Broadcast `data` from `root`; every rank returns the payload.
+    pub fn broadcast(&mut self, root: usize, tag: u64, data: Vec<f64>) -> Vec<f64> {
+        if self.rank == root {
+            for r in 0..self.n {
+                if r != root {
+                    self.send(r, tag, data.clone());
+                }
+            }
+            data
+        } else {
+            self.recv(root, tag)
+        }
+    }
+
+    /// Barrier: gather-then-broadcast of empty payloads.
+    pub fn barrier(&mut self, tag: u64) {
+        let _ = self.gather(0, tag, Vec::new());
+        let _ = self.broadcast(0, tag, Vec::new());
+    }
+}
+
+/// Run `n` ranks, each executing `body(ctx)`, and collect their results
+/// in rank order. Panics in any rank propagate.
+pub fn run_ranks<R, F>(n: usize, body: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(RankCtx) -> R + Sync,
+{
+    assert!(n > 0, "need at least one rank");
+    let mut senders: Vec<Sender<(usize, Message)>> = Vec::with_capacity(n);
+    let mut receivers: Vec<Receiver<(usize, Message)>> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = unbounded();
+        senders.push(tx);
+        receivers.push(rx);
+    }
+    let mut ctxs: Vec<RankCtx> = receivers
+        .into_iter()
+        .enumerate()
+        .map(|(rank, receiver)| RankCtx {
+            rank,
+            n,
+            senders: senders.clone(),
+            receiver,
+            pending: Vec::new(),
+        })
+        .collect();
+    drop(senders);
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(n);
+        for ctx in ctxs.drain(..) {
+            let body = &body;
+            handles.push(scope.spawn(move || body(ctx)));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rank panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_to_point_roundtrip() {
+        let results = run_ranks(2, |mut ctx| {
+            if ctx.rank == 0 {
+                ctx.send(1, 7, vec![1.0, 2.0]);
+                ctx.recv(1, 8)
+            } else {
+                let got = ctx.recv(0, 7);
+                ctx.send(0, 8, got.iter().map(|v| v * 10.0).collect());
+                vec![]
+            }
+        });
+        assert_eq!(results[0], vec![10.0, 20.0]);
+    }
+
+    #[test]
+    fn gather_collects_in_rank_order() {
+        let results = run_ranks(4, |mut ctx| {
+            let mine = vec![ctx.rank as f64];
+            ctx.gather(0, 1, mine)
+        });
+        let at_root = results[0].as_ref().unwrap();
+        for (r, slice) in at_root.iter().enumerate() {
+            assert_eq!(slice, &vec![r as f64]);
+        }
+        assert!(results[1].is_none());
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone() {
+        let results = run_ranks(3, |mut ctx| {
+            let data = if ctx.rank == 1 { vec![42.0] } else { vec![] };
+            ctx.broadcast(1, 2, data)
+        });
+        for r in results {
+            assert_eq!(r, vec![42.0]);
+        }
+    }
+
+    #[test]
+    fn tags_demultiplex_out_of_order() {
+        let results = run_ranks(2, |mut ctx| {
+            if ctx.rank == 0 {
+                ctx.send(1, 2, vec![2.0]);
+                ctx.send(1, 1, vec![1.0]);
+                vec![]
+            } else {
+                // Receive tag 1 first even though tag 2 arrived first.
+                let a = ctx.recv(0, 1);
+                let b = ctx.recv(0, 2);
+                vec![a[0], b[0]]
+            }
+        });
+        assert_eq!(results[1], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn barrier_synchronizes() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let counter = AtomicUsize::new(0);
+        run_ranks(4, |mut ctx| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            ctx.barrier(9);
+            // After the barrier, every rank must have incremented.
+            assert_eq!(counter.load(Ordering::SeqCst), 4);
+        });
+    }
+
+    #[test]
+    fn single_rank_collectives_are_local() {
+        let results = run_ranks(1, |mut ctx| {
+            let g = ctx.gather(0, 1, vec![5.0]).unwrap();
+            let b = ctx.broadcast(0, 2, vec![6.0]);
+            (g, b)
+        });
+        assert_eq!(results[0].0, vec![vec![5.0]]);
+        assert_eq!(results[0].1, vec![6.0]);
+    }
+}

@@ -1,0 +1,84 @@
+//! Property tests for the communication cost model, the compression
+//! schemes, and the rank runtime.
+
+use comm_sim::{run_ranks, CommModel, Compression};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn message_time_monotone_in_bytes(a in 0usize..10_000_000, b in 0usize..10_000_000) {
+        let m = CommModel::cpu_cluster();
+        let (lo, hi) = (a.min(b), a.max(b));
+        prop_assert!(m.message_time(lo) <= m.message_time(hi) + 1e-18);
+    }
+
+    #[test]
+    fn gather_monotone_in_rank_count(bytes in 1usize..100_000, n in 2usize..64) {
+        let m = CommModel::cpu_cluster();
+        let small = m.gather_time(&vec![bytes; n]);
+        let large = m.gather_time(&vec![bytes; n + 1]);
+        prop_assert!(large > small);
+    }
+
+    #[test]
+    fn gpu_mpi_never_cheaper_than_cpu(bytes in 0usize..1_000_000) {
+        let cpu = CommModel::cpu_cluster().message_time(bytes);
+        let gpu = CommModel::gpu_cluster_mpi().message_time(bytes);
+        prop_assert!(gpu >= cpu);
+    }
+
+    #[test]
+    fn compression_never_grows_wire_bytes(n in 0usize..10_000, frac in 0.01f64..1.0) {
+        for c in [
+            Compression::None,
+            Compression::Fp32,
+            Compression::TopK { fraction: frac },
+        ] {
+            prop_assert!(c.wire_bytes(n) <= Compression::None.wire_bytes(n));
+        }
+    }
+
+    #[test]
+    fn fp32_is_idempotent(data in prop::collection::vec(-1e6f64..1e6, 0..200)) {
+        let mut once = data.clone();
+        Compression::Fp32.apply(&mut once);
+        let mut twice = once.clone();
+        Compression::Fp32.apply(&mut twice);
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn topk_zeroes_exactly_the_complement(
+        data in prop::collection::vec(-100f64..100.0, 1..100),
+        frac in 0.05f64..1.0,
+    ) {
+        let n = data.len();
+        let k = ((n as f64 * frac).ceil() as usize).clamp(1, n);
+        let mut v = data.clone();
+        Compression::TopK { fraction: frac }.apply(&mut v);
+        let kept = v.iter().filter(|x| **x != 0.0).count();
+        // Ties at the threshold can keep slightly fewer nonzeros (zeros in
+        // the input are never "kept" visibly), never more than k.
+        prop_assert!(kept <= k, "kept {kept} > k {k}");
+    }
+
+    #[test]
+    fn ring_pass_accumulates(n in 2usize..6, seed in 0f64..100.0) {
+        // Each rank adds its id and forwards; the value returning to rank
+        // 0 equals seed + Σ ids — exercises the runtime under proptest.
+        let results = run_ranks(n, |mut ctx| {
+            if ctx.rank == 0 {
+                ctx.send(1 % n, 1, vec![seed]);
+                let v = ctx.recv(n - 1, 1);
+                v[0]
+            } else {
+                let v = ctx.recv(ctx.rank - 1, 1);
+                let next = (ctx.rank + 1) % n;
+                ctx.send(next, 1, vec![v[0] + ctx.rank as f64]);
+                0.0
+            }
+        });
+        let expect = seed + (1..n).map(|r| r as f64).sum::<f64>();
+        prop_assert!((results[0] - expect).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,459 @@
+//! Rank-sweep timing simulation (Figs. 1, 3, 4 and Table V).
+//!
+//! The paper runs Algorithm 1 on up to 512 Bebop CPU cores and 8 Swing
+//! GPUs. Here, a "cluster run" executes the *same arithmetic* in one
+//! process while attributing time the way the cluster would:
+//!
+//! * components are divided into `n_ranks` nearly-even contiguous
+//!   partitions ("we distribute S subsystems nearly evenly", §V-A);
+//! * each rank's local/dual compute is timed separately — measured
+//!   wall-clock for CPU ranks, the analytic device model for GPU ranks —
+//!   and the slowest rank bounds the parallel step;
+//! * communication (broadcast `x`, gather `x_s`, `λ_s`) comes from the
+//!   α–β model, with PCIe staging when GPU ranks talk over MPI.
+
+use crate::benchmark::BenchmarkAdmm;
+use crate::gpu::{DualKernel, GlobalKernel, LocalKernel};
+use crate::precompute::Precomputed;
+use crate::solver::SolverFreeAdmm;
+use crate::types::AdmmOptions;
+use crate::updates::{self, Residuals};
+use comm_sim::CommModel;
+use gpu_sim::{BlockKernel, DeviceProps};
+use opf_qp::QpOptions;
+use std::time::Instant;
+
+/// What hardware each rank is.
+#[derive(Debug, Clone, Copy)]
+pub enum RankKind {
+    /// One CPU core per rank (measured wall-clock).
+    Cpu,
+    /// One GPU per rank (analytic device model).
+    Gpu {
+        /// Device parameters.
+        props: DeviceProps,
+        /// Threads per block.
+        threads_per_block: usize,
+    },
+}
+
+/// A simulated cluster configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterSpec {
+    /// Number of ranks.
+    pub n_ranks: usize,
+    /// Fabric model.
+    pub comm: CommModel,
+    /// Rank hardware.
+    pub kind: RankKind,
+}
+
+/// Per-iteration average times of a cluster run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ClusterBreakdown {
+    /// Global update at the aggregator (s/iter).
+    pub global_s: f64,
+    /// Local update, slowest rank (s/iter).
+    pub local_compute_s: f64,
+    /// Dual update, slowest rank (s/iter).
+    pub dual_s: f64,
+    /// Modeled communication (s/iter).
+    pub comm_s: f64,
+    /// Iterations measured.
+    pub iterations: usize,
+}
+
+impl ClusterBreakdown {
+    /// The paper's Fig. 1a quantity: local update wall time =
+    /// computation + communication.
+    pub fn local_total_s(&self) -> f64 {
+        self.local_compute_s + self.comm_s
+    }
+
+    /// Full per-iteration time (global + local + dual + comm).
+    pub fn total_s(&self) -> f64 {
+        self.global_s + self.local_compute_s + self.dual_s + self.comm_s
+    }
+}
+
+/// Split `s` components into `n_ranks` nearly-even contiguous partitions.
+pub fn partition_components(s: usize, n_ranks: usize) -> Vec<std::ops::Range<usize>> {
+    let n = n_ranks.max(1);
+    let base = s / n;
+    let rem = s % n;
+    let mut out = Vec::with_capacity(n);
+    let mut lo = 0;
+    for r in 0..n {
+        let len = base + usize::from(r < rem);
+        out.push(lo..lo + len);
+        lo += len;
+    }
+    out
+}
+
+/// Per-rank stacked dimensions for the comm model.
+fn per_rank_dims(pre: &Precomputed, parts: &[std::ops::Range<usize>]) -> Vec<usize> {
+    parts
+        .iter()
+        .map(|r| pre.offsets[r.end] - pre.offsets[r.start])
+        .collect()
+}
+
+/// A sub-grid view of a block kernel restricted to components
+/// `range` — used to cost one rank's share of a launch on its own GPU.
+struct KernelSlice<'k, K: BlockKernel> {
+    inner: &'k K,
+    base: usize,
+    len: usize,
+}
+
+impl<K: BlockKernel> BlockKernel for KernelSlice<'_, K> {
+    fn blocks(&self) -> usize {
+        self.len
+    }
+    fn out_len(&self, b: usize) -> usize {
+        self.inner.out_len(self.base + b)
+    }
+    fn run_block(&self, b: usize, threads: usize, out: &mut [f64]) {
+        self.inner.run_block(self.base + b, threads, out);
+    }
+    fn block_cost(&self, b: usize) -> gpu_sim::BlockCost {
+        self.inner.block_cost(self.base + b)
+    }
+}
+
+impl SolverFreeAdmm<'_> {
+    /// Run `iters` timed iterations of Algorithm 1 under a simulated
+    /// cluster and return per-iteration **median** times plus the final
+    /// residuals. Two untimed warm-up iterations run first (they advance
+    /// the state; the returned residuals reflect all iterations).
+    pub fn measure_cluster(
+        &self,
+        opts: &AdmmOptions,
+        spec: &ClusterSpec,
+        iters: usize,
+    ) -> (ClusterBreakdown, Residuals) {
+        let dec = self.problem();
+        let pre = self.precomputed();
+        let parts = partition_components(dec.s(), spec.n_ranks);
+        let dims = per_rank_dims(pre, &parts);
+        let comm_per_iter = spec.comm.iteration_time(dec.n, &dims);
+        let rho = opts.rho;
+
+        let (mut x, mut z, mut lambda) = self.initial_state();
+        let mut z_prev = z.clone();
+        let mut bd = ClusterBreakdown {
+            comm_s: comm_per_iter,
+            iterations: iters,
+            ..ClusterBreakdown::default()
+        };
+        let warmup = 2usize;
+        let mut global_ts = Vec::with_capacity(iters);
+        let mut local_ts = Vec::with_capacity(iters);
+        let mut dual_ts = Vec::with_capacity(iters);
+
+        for it in 0..iters + warmup {
+            // --- Global update at the aggregator. ---
+            match spec.kind {
+                RankKind::Cpu => {
+                    let t0 = Instant::now();
+                    updates::global_update_range(
+                        0..dec.n, rho, true, &dec.c, &dec.lower, &dec.upper,
+                        &pre.copies_ptr, &pre.copies_idx, &z, &lambda, &mut x,
+                    );
+                    if it >= warmup {
+                        global_ts.push(t0.elapsed().as_secs_f64());
+                    }
+                }
+                RankKind::Gpu {
+                    props,
+                    threads_per_block,
+                } => {
+                    let k = GlobalKernel {
+                        pre, c: &dec.c, lower: &dec.lower, upper: &dec.upper,
+                        z: &z, lambda: &lambda, rho, clip: true,
+                    };
+                    let mut dev = gpu_sim::Device::with_props(props);
+                    let t = dev.launch(&k, threads_per_block, &mut x).secs();
+                    if it >= warmup {
+                        global_ts.push(t);
+                    }
+                }
+            }
+
+            // --- Local update, per rank; slowest rank gates the step. ---
+            z_prev.copy_from_slice(&z);
+            let mut max_local = 0.0f64;
+            let mut max_dual = 0.0f64;
+            match spec.kind {
+                RankKind::Cpu => {
+                    for part in &parts {
+                        let t0 = Instant::now();
+                        for s in part.clone() {
+                            let r = pre.range(s);
+                            let (a, b) = z.split_at_mut(r.start);
+                            let _ = a;
+                            let zs = &mut b[..r.len()];
+                            updates::local_update_component(s, pre, rho, &x, &lambda[r], zs);
+                        }
+                        max_local = max_local.max(t0.elapsed().as_secs_f64());
+                    }
+                    for part in &parts {
+                        let t0 = Instant::now();
+                        for s in part.clone() {
+                            let r = pre.range(s);
+                            let (_, b) = lambda.split_at_mut(r.start);
+                            let ls = &mut b[..r.len()];
+                            updates::dual_update_component(
+                                &pre.stacked_to_global[r.clone()], rho, &x, &z[r], ls,
+                            );
+                        }
+                        max_dual = max_dual.max(t0.elapsed().as_secs_f64());
+                    }
+                }
+                RankKind::Gpu {
+                    props,
+                    threads_per_block,
+                } => {
+                    // Each rank launches its slice of blocks on its GPU;
+                    // time is the slowest device.
+                    let lk = LocalKernel { pre, x: &x, lambda: &lambda, rho };
+                    let mut rank_times = Vec::with_capacity(parts.len());
+                    {
+                        // Execute slices sequentially but cost per rank.
+                        for part in &parts {
+                            let slice = KernelSlice {
+                                inner: &lk,
+                                base: part.start,
+                                len: part.len(),
+                            };
+                            let lo = pre.offsets[part.start];
+                            let hi = pre.offsets[part.end];
+                            let mut dev = gpu_sim::Device::with_props(props);
+                            let t = dev.launch(&slice, threads_per_block, &mut z[lo..hi]);
+                            rank_times.push(t.secs());
+                        }
+                    }
+                    max_local = rank_times.iter().cloned().fold(0.0, f64::max);
+                    let dk = DualKernel { pre, x: &x, z: &z, rho };
+                    let mut dual_times = Vec::with_capacity(parts.len());
+                    for part in &parts {
+                        let slice = KernelSlice {
+                            inner: &dk,
+                            base: part.start,
+                            len: part.len(),
+                        };
+                        let lo = pre.offsets[part.start];
+                        let hi = pre.offsets[part.end];
+                        let mut dev = gpu_sim::Device::with_props(props);
+                        let t = dev.launch(&slice, threads_per_block, &mut lambda[lo..hi]);
+                        dual_times.push(t.secs());
+                    }
+                    max_dual = dual_times.iter().cloned().fold(0.0, f64::max);
+                }
+            }
+            if it >= warmup {
+                local_ts.push(max_local);
+                dual_ts.push(max_dual);
+            }
+        }
+
+        let res = Residuals::compute(pre, opts.eps_rel, rho, &x, &z, &z_prev, &lambda);
+        bd.global_s = median(&mut global_ts);
+        bd.local_compute_s = median(&mut local_ts);
+        bd.dual_s = median(&mut dual_ts);
+        (bd, res)
+    }
+}
+
+/// Median of a sample (robust to scheduler blips on shared hosts).
+fn median(xs: &mut [f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("no NaN times"));
+    xs[xs.len() / 2]
+}
+
+impl BenchmarkAdmm<'_> {
+    /// Cluster measurement for the benchmark ADMM (CPU ranks only — the
+    /// paper's benchmark is solver-based and runs on CPUs).
+    pub fn measure_cluster(
+        &self,
+        opts: &AdmmOptions,
+        spec: &ClusterSpec,
+        iters: usize,
+    ) -> (ClusterBreakdown, Residuals) {
+        let dec = self.problem();
+        let pre = self.precomputed();
+        let parts = partition_components(dec.s(), spec.n_ranks);
+        let dims = per_rank_dims(pre, &parts);
+        let comm_per_iter = spec.comm.iteration_time(dec.n, &dims);
+        let rho = opts.rho;
+        let qp_opts = QpOptions {
+            tol: 1e-8,
+            ..QpOptions::default()
+        };
+
+        let (mut x, mut z, mut lambda) = self.initial_state();
+        let mut z_prev = z.clone();
+        let mut warm: Vec<Vec<f64>> = dec.components.iter().map(|c| vec![0.0; c.m()]).collect();
+        let mut bd = ClusterBreakdown {
+            comm_s: comm_per_iter,
+            iterations: iters,
+            ..ClusterBreakdown::default()
+        };
+        let warmup = 1usize;
+        let mut global_ts = Vec::with_capacity(iters);
+        let mut local_ts = Vec::with_capacity(iters);
+        let mut dual_ts = Vec::with_capacity(iters);
+
+        for it in 0..iters + warmup {
+            let t0 = Instant::now();
+            updates::global_update_range(
+                0..dec.n, rho, false, &dec.c, &dec.lower, &dec.upper,
+                &pre.copies_ptr, &pre.copies_idx, &z, &lambda, &mut x,
+            );
+            if it >= warmup {
+                global_ts.push(t0.elapsed().as_secs_f64());
+            }
+
+            z_prev.copy_from_slice(&z);
+            let mut max_local = 0.0f64;
+            for part in &parts {
+                let t0 = Instant::now();
+                for s in part.clone() {
+                    let r = pre.range(s);
+                    let globals = &pre.stacked_to_global[r.clone()];
+                    let target: Vec<f64> = globals
+                        .iter()
+                        .zip(&lambda[r.clone()])
+                        .map(|(&g, &l)| x[g] + l / rho)
+                        .collect();
+                    let proj = self.projector(s)
+                        .project(&target, Some(&warm[s]), qp_opts)
+                        .unwrap_or_else(|e| panic!("component {s} QP failed: {e}"));
+                    z[r].copy_from_slice(&proj.x);
+                    warm[s] = proj.mu;
+                }
+                max_local = max_local.max(t0.elapsed().as_secs_f64());
+            }
+            if it >= warmup {
+                local_ts.push(max_local);
+            }
+
+            let mut max_dual = 0.0f64;
+            for part in &parts {
+                let t0 = Instant::now();
+                for s in part.clone() {
+                    let r = pre.range(s);
+                    let (_, b) = lambda.split_at_mut(r.start);
+                    let ls = &mut b[..r.len()];
+                    updates::dual_update_component(
+                        &pre.stacked_to_global[r.clone()], rho, &x, &z[r], ls,
+                    );
+                }
+                max_dual = max_dual.max(t0.elapsed().as_secs_f64());
+            }
+            if it >= warmup {
+                dual_ts.push(max_dual);
+            }
+        }
+
+        let res = Residuals::compute(pre, opts.eps_rel, rho, &x, &z, &z_prev, &lambda);
+        bd.global_s = median(&mut global_ts);
+        bd.local_compute_s = median(&mut local_ts);
+        bd.dual_s = median(&mut dual_ts);
+        (bd, res)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opf_model::decompose;
+    use opf_net::{feeders, ComponentGraph};
+
+    #[test]
+    fn partitions_cover_everything_evenly() {
+        let parts = partition_components(25_001, 16);
+        assert_eq!(parts.len(), 16);
+        assert_eq!(parts.last().unwrap().end, 25_001);
+        let sizes: Vec<usize> = parts.iter().map(|p| p.len()).collect();
+        let min = sizes.iter().min().unwrap();
+        let max = sizes.iter().max().unwrap();
+        assert!(max - min <= 1, "nearly even: {min}..{max}");
+        // Contiguity.
+        for w in parts.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+    }
+
+    #[test]
+    fn more_cpu_ranks_shrink_local_compute() {
+        let net = feeders::ieee123();
+        let g = ComponentGraph::build(&net);
+        let dec = decompose(&net, &g).unwrap();
+        let solver = SolverFreeAdmm::new(&dec).unwrap();
+        let opts = AdmmOptions::default();
+        let mk = |n| ClusterSpec {
+            n_ranks: n,
+            comm: CommModel::cpu_cluster(),
+            kind: RankKind::Cpu,
+        };
+        let (b1, _) = solver.measure_cluster(&opts, &mk(1), 20);
+        let (b8, _) = solver.measure_cluster(&opts, &mk(8), 20);
+        assert!(
+            b8.local_compute_s < b1.local_compute_s,
+            "8 ranks {} vs 1 rank {}",
+            b8.local_compute_s,
+            b1.local_compute_s
+        );
+        // Communication grows with ranks.
+        assert!(b8.comm_s > b1.comm_s);
+    }
+
+    #[test]
+    fn gpu_ranks_report_simulated_times() {
+        let net = feeders::ieee13();
+        let g = ComponentGraph::build(&net);
+        let dec = decompose(&net, &g).unwrap();
+        let solver = SolverFreeAdmm::new(&dec).unwrap();
+        let spec = ClusterSpec {
+            n_ranks: 2,
+            comm: CommModel::gpu_cluster_mpi(),
+            kind: RankKind::Gpu {
+                props: DeviceProps::a100(),
+                threads_per_block: 32,
+            },
+        };
+        let (bd, _) = solver.measure_cluster(&AdmmOptions::default(), &spec, 5);
+        assert!(bd.local_compute_s > 0.0);
+        assert!(bd.comm_s > 0.0);
+        assert!(bd.total_s() > bd.local_total_s());
+    }
+
+    #[test]
+    fn cluster_iteration_math_matches_plain_solver() {
+        // The cluster path must be the same arithmetic: residuals after k
+        // iterations agree with a plain serial run of k iterations.
+        let net = feeders::ieee13();
+        let g = ComponentGraph::build(&net);
+        let dec = decompose(&net, &g).unwrap();
+        let solver = SolverFreeAdmm::new(&dec).unwrap();
+        // measure_cluster runs 2 warm-up iterations before the timed
+        // window, so compare against a plain run of 25 + 2 iterations.
+        let plain = solver.solve(&AdmmOptions {
+            max_iters: 27,
+            ..AdmmOptions::default()
+        });
+        let spec = ClusterSpec {
+            n_ranks: 4,
+            comm: CommModel::cpu_cluster(),
+            kind: RankKind::Cpu,
+        };
+        let (_, res) = solver.measure_cluster(&AdmmOptions::default(), &spec, 25);
+        assert!((plain.residuals.pres - res.pres).abs() < 1e-9);
+        assert!((plain.residuals.dres - res.dres).abs() < 1e-9);
+    }
+}

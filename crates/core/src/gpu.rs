@@ -1,0 +1,243 @@
+//! GPU kernels for Algorithm 1 (§IV), expressed against the simulator.
+//!
+//! Mapping follows the paper: the local and dual updates launch one block
+//! per component with `T` threads computing the entries of that
+//! component's slice (§IV-D); the global update is an element-wise kernel
+//! over chunks of the global vector (the CuArray sparse path of §IV-C).
+
+use crate::precompute::Precomputed;
+use crate::updates;
+use gpu_sim::{BlockCost, BlockKernel, PairBlockKernel};
+
+/// Chunk size for element-wise kernels over the global vector.
+pub const GLOBAL_CHUNK: usize = 256;
+
+/// Global update (13)/(18) over chunks of `x`.
+pub struct GlobalKernel<'a> {
+    /// Precomputed layout.
+    pub pre: &'a Precomputed,
+    /// Cost vector.
+    pub c: &'a [f64],
+    /// Bounds.
+    pub lower: &'a [f64],
+    /// Bounds.
+    pub upper: &'a [f64],
+    /// Stacked locals.
+    pub z: &'a [f64],
+    /// Stacked duals.
+    pub lambda: &'a [f64],
+    /// Penalty ρ.
+    pub rho: f64,
+    /// Clip to bounds (solver-free) or not (benchmark).
+    pub clip: bool,
+}
+
+impl GlobalKernel<'_> {
+    fn n(&self) -> usize {
+        self.c.len()
+    }
+}
+
+impl BlockKernel for GlobalKernel<'_> {
+    fn blocks(&self) -> usize {
+        self.n().div_ceil(GLOBAL_CHUNK)
+    }
+
+    fn out_len(&self, b: usize) -> usize {
+        (self.n() - b * GLOBAL_CHUNK).min(GLOBAL_CHUNK)
+    }
+
+    fn run_block(&self, b: usize, _threads: usize, out: &mut [f64]) {
+        let lo = b * GLOBAL_CHUNK;
+        updates::global_update_range(
+            lo..lo + out.len(),
+            self.rho,
+            self.clip,
+            self.c,
+            self.lower,
+            self.upper,
+            &self.pre.copies_ptr,
+            &self.pre.copies_idx,
+            self.z,
+            self.lambda,
+            out,
+        );
+    }
+
+    fn block_cost(&self, b: usize) -> BlockCost {
+        let lo = b * GLOBAL_CHUNK;
+        let len = self.out_len(b);
+        let copies = self.pre.copies_ptr[lo + len] - self.pre.copies_ptr[lo];
+        BlockCost {
+            items: len,
+            flops_per_item: 2.0 * copies as f64 / len.max(1) as f64 + 4.0,
+            bytes_per_item: 8.0 * (2.0 * copies as f64 / len.max(1) as f64 + 4.0),
+        }
+    }
+}
+
+/// Solver-free local update (15): one block per component.
+pub struct LocalKernel<'a> {
+    /// Precomputed `Ā_s`, `b̄_s`, layout.
+    pub pre: &'a Precomputed,
+    /// Global iterate.
+    pub x: &'a [f64],
+    /// Stacked duals.
+    pub lambda: &'a [f64],
+    /// Penalty ρ.
+    pub rho: f64,
+}
+
+impl BlockKernel for LocalKernel<'_> {
+    fn blocks(&self) -> usize {
+        self.pre.s()
+    }
+
+    fn out_len(&self, s: usize) -> usize {
+        self.pre.range(s).len()
+    }
+
+    fn run_block(&self, s: usize, _threads: usize, out: &mut [f64]) {
+        let r = self.pre.range(s);
+        updates::local_update_component(s, self.pre, self.rho, self.x, &self.lambda[r], out);
+    }
+
+    fn block_cost(&self, s: usize) -> BlockCost {
+        let n = self.out_len(s);
+        BlockCost {
+            items: n,
+            // Each entry is a length-n dot product with a gather and an
+            // FMA per term.
+            flops_per_item: 4.0 * n as f64,
+            bytes_per_item: 8.0 * (n as f64 + 2.0),
+        }
+    }
+}
+
+/// Dual update (12): one block per component, in place on `λ`.
+pub struct DualKernel<'a> {
+    /// Precomputed layout.
+    pub pre: &'a Precomputed,
+    /// Global iterate.
+    pub x: &'a [f64],
+    /// Stacked locals.
+    pub z: &'a [f64],
+    /// Penalty ρ.
+    pub rho: f64,
+}
+
+impl BlockKernel for DualKernel<'_> {
+    fn blocks(&self) -> usize {
+        self.pre.s()
+    }
+
+    fn out_len(&self, s: usize) -> usize {
+        self.pre.range(s).len()
+    }
+
+    fn run_block(&self, s: usize, _threads: usize, out: &mut [f64]) {
+        let r = self.pre.range(s);
+        updates::dual_update_component(
+            &self.pre.stacked_to_global[r.clone()],
+            self.rho,
+            self.x,
+            &self.z[r],
+            out,
+        );
+    }
+
+    fn block_cost(&self, s: usize) -> BlockCost {
+        BlockCost {
+            items: self.out_len(s),
+            flops_per_item: 3.0,
+            bytes_per_item: 40.0,
+        }
+    }
+}
+
+/// Fused local (15) + dual (12) update: one block per component computes
+/// its new `x_s` and then its new `λ_s` in the same launch, saving one
+/// kernel-launch overhead per iteration (significant for small grids,
+/// where launch latency dominates — see the `fusion` ablation bench).
+pub struct FusedLocalDualKernel<'a> {
+    /// Precomputed `Ā_s`, `b̄_s`, layout.
+    pub pre: &'a Precomputed,
+    /// Global iterate.
+    pub x: &'a [f64],
+    /// Penalty ρ.
+    pub rho: f64,
+}
+
+impl PairBlockKernel for FusedLocalDualKernel<'_> {
+    fn blocks(&self) -> usize {
+        self.pre.s()
+    }
+
+    fn out_len(&self, s: usize) -> usize {
+        self.pre.range(s).len()
+    }
+
+    fn run_block(&self, s: usize, _threads: usize, z_out: &mut [f64], lambda: &mut [f64]) {
+        // `lambda` holds λ^{(t)} on entry (read by the local update) and
+        // λ^{(t+1)} on exit — exactly the in-place dual ascent.
+        updates::local_update_component(s, self.pre, self.rho, self.x, lambda, z_out);
+        let r = self.pre.range(s);
+        updates::dual_update_component(
+            &self.pre.stacked_to_global[r],
+            self.rho,
+            self.x,
+            z_out,
+            lambda,
+        );
+    }
+
+    fn block_cost(&self, s: usize) -> BlockCost {
+        let n = self.out_len(s);
+        BlockCost {
+            items: n,
+            flops_per_item: 4.0 * n as f64 + 3.0,
+            bytes_per_item: 8.0 * (n as f64 + 2.0) + 40.0,
+        }
+    }
+}
+
+/// Residual reduction (16): one block per component writes its five
+/// partial sums `[Σ(bx−z)², Σbx², Σz², Σ(z−z_prev)², Σλ²]`; the host sums
+/// the `5·S` partials (the tiny final reduction CUDA would do in a second
+/// kernel or on the host as well).
+pub struct ResidualKernel<'a> {
+    /// Precomputed layout.
+    pub pre: &'a Precomputed,
+    /// Global iterate.
+    pub x: &'a [f64],
+    /// Stacked locals.
+    pub z: &'a [f64],
+    /// Previous stacked locals.
+    pub z_prev: &'a [f64],
+    /// Stacked duals.
+    pub lambda: &'a [f64],
+}
+
+impl BlockKernel for ResidualKernel<'_> {
+    fn blocks(&self) -> usize {
+        self.pre.s()
+    }
+
+    fn out_len(&self, _s: usize) -> usize {
+        5
+    }
+
+    fn run_block(&self, s: usize, _threads: usize, out: &mut [f64]) {
+        updates::Residuals::component_partials(
+            self.pre, s, self.x, self.z, self.z_prev, self.lambda, out,
+        );
+    }
+
+    fn block_cost(&self, s: usize) -> BlockCost {
+        BlockCost {
+            items: self.pre.range(s).len(),
+            flops_per_item: 10.0,
+            bytes_per_item: 32.0,
+        }
+    }
+}

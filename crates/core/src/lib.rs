@@ -1,0 +1,32 @@
+//! `opf-admm` — the paper's contribution: a solver-free, GPU-acceleratable
+//! ADMM for the component-wise distributed multi-phase OPF model (9).
+//!
+//! * [`precompute`] — Algorithm 1 lines 2–3: `Ā_s`, `b̄_s`, stacked layout;
+//! * [`updates`] — the global (13)/(18), local (15), and dual (12) kernels
+//!   plus the termination residuals (16);
+//! * [`solver`] — [`SolverFreeAdmm`]: Algorithm 1 on serial / multi-CPU
+//!   (rayon) / simulated-GPU backends;
+//! * [`benchmark`] — [`BenchmarkAdmm`]: the solver-based ADMM for model
+//!   (8) the paper compares against;
+//! * [`gpu`] — the CUDA-style kernels (§IV) against the GPU simulator.
+
+pub mod benchmark;
+pub mod cluster;
+pub mod diagnose;
+pub mod distributed;
+pub mod gpu;
+pub mod nonideal;
+pub mod precompute;
+pub mod solver;
+pub mod types;
+pub mod updates;
+
+pub use benchmark::{BenchmarkAdmm, QpStats};
+pub use cluster::{partition_components, ClusterBreakdown, ClusterSpec, RankKind};
+pub use diagnose::{gap_report, worst_components, ComponentGap};
+pub use distributed::DistributedResult;
+pub use nonideal::NonIdealComm;
+pub use precompute::Precomputed;
+pub use solver::SolverFreeAdmm;
+pub use types::{AdmmOptions, Backend, ResidualBalancing, SolveResult, Timings, TraceEntry};
+pub use updates::Residuals;

@@ -1,0 +1,201 @@
+//! Precomputation step of Algorithm 1 (lines 2–3).
+//!
+//! For every component `s`, with the row-reduced full-row-rank `A_s`:
+//!
+//! ```text
+//! Ā_s = A_sᵀ (A_s A_sᵀ)⁻¹ A_s − I        (15b)
+//! b̄_s = A_sᵀ (A_s A_sᵀ)⁻¹ b_s            (15c)
+//! ```
+//!
+//! so the local update (15a) `x_s = (1/ρ)Ā_s d_s + b̄_s` is a single
+//! small matvec per iteration. Also builds the stacked-vector layout
+//! (`z = [x_1; …; x_S]`, eq. (17)) and the transpose scatter structure
+//! used by the global update's copy sums (§IV-C: `BᵀB` is diagonal).
+
+use opf_linalg::{CholFactor, LinalgError, Mat};
+use opf_model::DecomposedProblem;
+use rayon::prelude::*;
+
+/// Precomputed per-component data plus the stacked layout.
+#[derive(Debug, Clone)]
+pub struct Precomputed {
+    /// `Ā_s` per component.
+    pub abar: Vec<Mat>,
+    /// `b̄_s` per component.
+    pub bbar: Vec<Vec<f64>>,
+    /// Stacked offsets: component `s` owns `offsets[s]..offsets[s+1]` of
+    /// `z` and `λ`.
+    pub offsets: Vec<usize>,
+    /// Global index of each stacked position (the rows of `B`).
+    pub stacked_to_global: Vec<usize>,
+    /// CSR-style scatter: the stacked positions copying global `i` are
+    /// `copies_idx[copies_ptr[i]..copies_ptr[i+1]]`.
+    pub copies_ptr: Vec<usize>,
+    /// Scatter indices (see [`Precomputed::copies_ptr`]).
+    pub copies_idx: Vec<usize>,
+}
+
+impl Precomputed {
+    /// Run the precomputation (component-parallel, as Algorithm 1 notes).
+    ///
+    /// Fails with [`LinalgError::Singular`] only if some `A_s A_sᵀ` is not
+    /// SPD — i.e. the decomposition skipped row reduction.
+    pub fn build(dec: &DecomposedProblem) -> Result<Self, LinalgError> {
+        let per_comp: Vec<Result<(Mat, Vec<f64>), LinalgError>> = dec
+            .components
+            .par_iter()
+            .map(|c| {
+                let n = c.n();
+                if c.m() == 0 {
+                    // No equalities: projection is the identity, Ā = P − I = 0...
+                    // with P = 0 projection onto row space; Ā = −I, b̄ = 0,
+                    // giving x_s = −d/ρ = B_s x + λ/ρ as expected.
+                    let mut abar = Mat::zeros(n, n);
+                    for i in 0..n {
+                        abar[(i, i)] = -1.0;
+                    }
+                    return Ok((abar, vec![0.0; n]));
+                }
+                let gram = c.a.gram_aat();
+                let chol = CholFactor::new(&gram)?;
+                let inv = chol.inverse();
+                // Ā = Aᵀ (AAᵀ)⁻¹ A − I.
+                let at = c.a.transpose();
+                let mut abar = at.matmul(&inv).matmul(&c.a);
+                for i in 0..n {
+                    abar[(i, i)] -= 1.0;
+                }
+                // b̄ = Aᵀ (AAᵀ)⁻¹ b.
+                let bbar = at.matvec(&chol.solve(&c.b));
+                Ok((abar, bbar))
+            })
+            .collect();
+
+        let mut abar = Vec::with_capacity(dec.s());
+        let mut bbar = Vec::with_capacity(dec.s());
+        for r in per_comp {
+            let (a, b) = r?;
+            abar.push(a);
+            bbar.push(b);
+        }
+
+        let mut offsets = Vec::with_capacity(dec.s() + 1);
+        offsets.push(0);
+        let mut stacked_to_global = Vec::with_capacity(dec.total_local_dim());
+        for c in &dec.components {
+            stacked_to_global.extend_from_slice(&c.global_idx);
+            offsets.push(stacked_to_global.len());
+        }
+
+        // Transpose scatter (global → stacked copies).
+        let n = dec.n;
+        let mut counts = vec![0usize; n + 1];
+        for &g in &stacked_to_global {
+            counts[g + 1] += 1;
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let copies_ptr = counts.clone();
+        let mut next = copies_ptr.clone();
+        let mut copies_idx = vec![0usize; stacked_to_global.len()];
+        for (j, &g) in stacked_to_global.iter().enumerate() {
+            copies_idx[next[g]] = j;
+            next[g] += 1;
+        }
+
+        Ok(Precomputed {
+            abar,
+            bbar,
+            offsets,
+            stacked_to_global,
+            copies_ptr,
+            copies_idx,
+        })
+    }
+
+    /// Total stacked dimension `Σ n_s`.
+    pub fn total_dim(&self) -> usize {
+        self.stacked_to_global.len()
+    }
+
+    /// Component count `S`.
+    pub fn s(&self) -> usize {
+        self.abar.len()
+    }
+
+    /// The stacked slice range of component `s`.
+    pub fn range(&self, s: usize) -> std::ops::Range<usize> {
+        self.offsets[s]..self.offsets[s + 1]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opf_model::decompose;
+    use opf_net::{feeders, ComponentGraph};
+
+    fn pre_for(name: &str) -> (DecomposedProblem, Precomputed) {
+        let net = feeders::by_name(name).unwrap();
+        let g = ComponentGraph::build(&net);
+        let dec = decompose(&net, &g).unwrap();
+        let pre = Precomputed::build(&dec).unwrap();
+        (dec, pre)
+    }
+
+    #[test]
+    fn abar_satisfies_projection_identity() {
+        // For any d: x = (1/ρ)Ā d + b̄ must satisfy A x = b (it is the
+        // projection of −d/ρ onto the affine set).
+        let (dec, pre) = pre_for("ieee13");
+        let rho = 100.0;
+        for (s, c) in dec.components.iter().enumerate() {
+            let n = c.n();
+            let d: Vec<f64> = (0..n).map(|i| ((i * 7 + s) % 5) as f64 - 2.0).collect();
+            let mut x = pre.abar[s].matvec(&d);
+            for (xi, &bb) in x.iter_mut().zip(&pre.bbar[s]) {
+                *xi = *xi / rho + bb;
+            }
+            assert!(
+                c.infeasibility(&x) < 1e-8,
+                "component {s}: local update violates A_s x = b_s"
+            );
+        }
+    }
+
+    #[test]
+    fn stacked_layout_is_consistent() {
+        let (dec, pre) = pre_for("ieee13");
+        assert_eq!(pre.total_dim(), dec.total_local_dim());
+        assert_eq!(pre.s(), dec.s());
+        for (s, c) in dec.components.iter().enumerate() {
+            let r = pre.range(s);
+            assert_eq!(r.len(), c.n());
+            assert_eq!(&pre.stacked_to_global[r], c.global_idx.as_slice());
+        }
+    }
+
+    #[test]
+    fn scatter_matches_copy_counts() {
+        let (dec, pre) = pre_for("ieee13");
+        for g in 0..dec.n {
+            let n_copies = pre.copies_ptr[g + 1] - pre.copies_ptr[g];
+            assert_eq!(n_copies as f64, dec.copy_counts[g]);
+            for &j in &pre.copies_idx[pre.copies_ptr[g]..pre.copies_ptr[g + 1]] {
+                assert_eq!(pre.stacked_to_global[j], g);
+            }
+        }
+    }
+
+    #[test]
+    fn abar_is_negative_semidefinite_projection() {
+        // Ā = P − I with P an orthogonal projection ⇒ Ā² = −Ā.
+        let (dec, pre) = pre_for("ieee13");
+        for (s, _) in dec.components.iter().enumerate().take(10) {
+            let a2 = pre.abar[s].matmul(&pre.abar[s]);
+            let diff = a2.add(&pre.abar[s]);
+            assert!(diff.norm_max() < 1e-8, "component {s}: Ā² ≠ −Ā");
+        }
+    }
+}

@@ -1,0 +1,529 @@
+//! The solver-free ADMM (Algorithm 1).
+
+use crate::gpu::{DualKernel, FusedLocalDualKernel, GlobalKernel, LocalKernel, ResidualKernel};
+use crate::precompute::Precomputed;
+use crate::types::*;
+use crate::updates::{self, Residuals};
+use gpu_sim::Device;
+use opf_linalg::{vec_ops, LinalgError};
+use opf_model::DecomposedProblem;
+use rayon::prelude::*;
+use std::time::Instant;
+
+/// Split a stacked buffer into per-component mutable slices.
+pub(crate) fn split_by_offsets<'a>(buf: &'a mut [f64], offsets: &[usize]) -> Vec<&'a mut [f64]> {
+    let mut out = Vec::with_capacity(offsets.len() - 1);
+    let mut rest = buf;
+    let mut consumed = 0;
+    for w in offsets.windows(2) {
+        let len = w[1] - w[0];
+        let (head, tail) = rest.split_at_mut(len);
+        out.push(head);
+        rest = tail;
+        consumed += len;
+    }
+    debug_assert_eq!(consumed, offsets[offsets.len() - 1] - offsets[0]);
+    out
+}
+
+pub(crate) enum Exec {
+    Serial,
+    Pool(rayon::ThreadPool),
+    Gpu(Device, usize),
+}
+
+impl Exec {
+    fn from_backend(b: &Backend) -> Exec {
+        match b {
+            Backend::Serial => Exec::Serial,
+            Backend::Rayon { threads } => Exec::Pool(
+                rayon::ThreadPoolBuilder::new()
+                    .num_threads((*threads).max(1))
+                    .build()
+                    .expect("rayon pool"),
+            ),
+            Backend::Gpu {
+                props,
+                threads_per_block,
+            } => Exec::Gpu(Device::with_props(*props), (*threads_per_block).max(1)),
+        }
+    }
+
+    fn simulated(&self) -> bool {
+        matches!(self, Exec::Gpu(..))
+    }
+}
+
+/// The solver-free ADMM of the paper: precomputed projections, clipped
+/// global update, closed-form local update, dual ascent.
+pub struct SolverFreeAdmm<'a> {
+    dec: &'a DecomposedProblem,
+    pre: Precomputed,
+}
+
+impl<'a> SolverFreeAdmm<'a> {
+    /// Build the solver: runs Algorithm 1's precomputation (lines 2–3).
+    pub fn new(dec: &'a DecomposedProblem) -> Result<Self, LinalgError> {
+        Ok(SolverFreeAdmm {
+            pre: Precomputed::build(dec)?,
+            dec,
+        })
+    }
+
+    /// The decomposed problem.
+    pub fn problem(&self) -> &DecomposedProblem {
+        self.dec
+    }
+
+    /// The precomputed data (exposed for the cluster simulator and
+    /// benches).
+    pub fn precomputed(&self) -> &Precomputed {
+        &self.pre
+    }
+
+    /// The paper's initial iterates (§V-A): `λ = 0`; `x` and `x_s` from
+    /// the zero / bound-midpoint / unit-voltage rule.
+    pub fn initial_state(&self) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+        let mut x = self.dec.vars.initial_point();
+        vec_ops::clip(&mut x, &self.dec.lower, &self.dec.upper);
+        let mut z = vec![0.0; self.pre.total_dim()];
+        updates::gather_bx(&self.pre, &x, &mut z);
+        let lambda = vec![0.0; self.pre.total_dim()];
+        (x, z, lambda)
+    }
+
+    /// Run Algorithm 1 from the paper's initial point.
+    pub fn solve(&self, opts: &AdmmOptions) -> SolveResult {
+        self.solve_from(opts, self.initial_state())
+    }
+
+    /// Run Algorithm 1 from explicit iterates `(x, z, λ)` — warm starting.
+    ///
+    /// Warm starts are valid whenever the decomposition *structure* is
+    /// unchanged (same components and variable sets); parameter changes
+    /// such as load ramps or bound updates are fine. Typical use: MPC-style
+    /// re-dispatch or re-solving after a topology-preserving data update.
+    ///
+    /// # Panics
+    /// Panics if the state dimensions do not match the problem.
+    pub fn solve_from(
+        &self,
+        opts: &AdmmOptions,
+        state: (Vec<f64>, Vec<f64>, Vec<f64>),
+    ) -> SolveResult {
+        let mut exec = Exec::from_backend(&opts.backend);
+        let (mut x, mut z, mut lambda) = state;
+        assert_eq!(x.len(), self.dec.n, "warm start: x dimension");
+        assert_eq!(z.len(), self.pre.total_dim(), "warm start: z dimension");
+        assert_eq!(lambda.len(), self.pre.total_dim(), "warm start: λ dimension");
+        let mut z_prev = z.clone();
+        let mut rho = opts.rho;
+        let mut timings = Timings {
+            simulated: exec.simulated(),
+            ..Timings::default()
+        };
+        let mut trace = Vec::new();
+        let mut res = Residuals::default();
+        let mut converged = false;
+        let mut iterations = 0;
+
+        for t in 1..=opts.max_iters {
+            iterations = t;
+            // --- Global update (13). ---
+            timings.global_s += self.run_global(&mut exec, rho, true, &z, &lambda, &mut x);
+            // --- Local (15) + dual (12) updates, optionally fused into
+            //     one GPU launch. ---
+            z_prev.copy_from_slice(&z);
+            let mut fused = false;
+            if opts.fuse_local_dual {
+                if let Exec::Gpu(dev, tpb) = &mut exec {
+                    let k = FusedLocalDualKernel {
+                        pre: &self.pre,
+                        x: &x,
+                        rho,
+                    };
+                    timings.local_s += dev.launch_pair(&k, *tpb, &mut z, &mut lambda).secs();
+                    fused = true;
+                }
+            }
+            if !fused {
+                timings.local_s += self.run_local(&mut exec, rho, &x, &lambda, &mut z);
+                timings.dual_s += self.run_dual(&mut exec, rho, &x, &z, &mut lambda);
+            }
+
+            if t % opts.check_every == 0 || t == opts.max_iters {
+                res = match &mut exec {
+                    Exec::Gpu(dev, tpb) => {
+                        let k = ResidualKernel {
+                            pre: &self.pre,
+                            x: &x,
+                            z: &z,
+                            z_prev: &z_prev,
+                            lambda: &lambda,
+                        };
+                        let mut partials = vec![0.0; 5 * self.pre.s()];
+                        timings.residual_s += dev.launch(&k, *tpb, &mut partials).secs();
+                        let mut sums = [0.0f64; 5];
+                        for chunk in partials.chunks_exact(5) {
+                            for (a, b) in sums.iter_mut().zip(chunk) {
+                                *a += b;
+                            }
+                        }
+                        Residuals::from_sums(sums, opts.eps_rel, rho)
+                    }
+                    _ => {
+                        let t0 = Instant::now();
+                        let r = Residuals::compute(
+                            &self.pre, opts.eps_rel, rho, &x, &z, &z_prev, &lambda,
+                        );
+                        timings.residual_s += t0.elapsed().as_secs_f64();
+                        r
+                    }
+                };
+                if opts.trace_every > 0 && (t % opts.trace_every == 0 || t == 1) {
+                    trace.push(TraceEntry {
+                        iter: t,
+                        pres: res.pres,
+                        dres: res.dres,
+                        eps_prim: res.eps_prim,
+                        eps_dual: res.eps_dual,
+                        rho,
+                    });
+                }
+                if res.converged() {
+                    converged = true;
+                    break;
+                }
+                if let Some(rb) = opts.rho_adapt {
+                    if t % rb.every == 0 {
+                        if res.pres > rb.mu * res.dres {
+                            rho *= rb.tau;
+                        } else if res.dres > rb.mu * res.pres {
+                            rho /= rb.tau;
+                        }
+                    }
+                }
+            }
+        }
+        timings.iterations = iterations;
+
+        let objective = vec_ops::dot(&self.dec.c, &x);
+        SolveResult {
+            x,
+            z,
+            lambda,
+            objective,
+            iterations,
+            converged,
+            residuals: res,
+            timings,
+            trace,
+        }
+    }
+
+    pub(crate) fn run_global(
+        &self,
+        exec: &mut Exec,
+        rho: f64,
+        clip: bool,
+        z: &[f64],
+        lambda: &[f64],
+        x: &mut [f64],
+    ) -> f64 {
+        let n = self.dec.n;
+        match exec {
+            Exec::Serial => {
+                let t0 = Instant::now();
+                updates::global_update_range(
+                    0..n,
+                    rho,
+                    clip,
+                    &self.dec.c,
+                    &self.dec.lower,
+                    &self.dec.upper,
+                    &self.pre.copies_ptr,
+                    &self.pre.copies_idx,
+                    z,
+                    lambda,
+                    x,
+                );
+                t0.elapsed().as_secs_f64()
+            }
+            Exec::Pool(pool) => {
+                let t0 = Instant::now();
+                let chunk = n.div_ceil(4 * pool.current_num_threads()).max(64);
+                pool.install(|| {
+                    x.par_chunks_mut(chunk).enumerate().for_each(|(b, out)| {
+                        let lo = b * chunk;
+                        updates::global_update_range(
+                            lo..lo + out.len(),
+                            rho,
+                            clip,
+                            &self.dec.c,
+                            &self.dec.lower,
+                            &self.dec.upper,
+                            &self.pre.copies_ptr,
+                            &self.pre.copies_idx,
+                            z,
+                            lambda,
+                            out,
+                        );
+                    });
+                });
+                t0.elapsed().as_secs_f64()
+            }
+            Exec::Gpu(dev, tpb) => {
+                let k = GlobalKernel {
+                    pre: &self.pre,
+                    c: &self.dec.c,
+                    lower: &self.dec.lower,
+                    upper: &self.dec.upper,
+                    z,
+                    lambda,
+                    rho,
+                    clip,
+                };
+                dev.launch(&k, *tpb, x).secs()
+            }
+        }
+    }
+
+    pub(crate) fn run_local(
+        &self,
+        exec: &mut Exec,
+        rho: f64,
+        x: &[f64],
+        lambda: &[f64],
+        z: &mut [f64],
+    ) -> f64 {
+        match exec {
+            Exec::Serial => {
+                let t0 = Instant::now();
+                let slices = split_by_offsets(z, &self.pre.offsets);
+                for (s, zs) in slices.into_iter().enumerate() {
+                    let r = self.pre.range(s);
+                    updates::local_update_component(s, &self.pre, rho, x, &lambda[r], zs);
+                }
+                t0.elapsed().as_secs_f64()
+            }
+            Exec::Pool(pool) => {
+                let t0 = Instant::now();
+                let mut slices = split_by_offsets(z, &self.pre.offsets);
+                pool.install(|| {
+                    slices.par_iter_mut().enumerate().for_each(|(s, zs)| {
+                        let r = self.pre.range(s);
+                        updates::local_update_component(s, &self.pre, rho, x, &lambda[r], zs);
+                    });
+                });
+                t0.elapsed().as_secs_f64()
+            }
+            Exec::Gpu(dev, tpb) => {
+                let k = LocalKernel {
+                    pre: &self.pre,
+                    x,
+                    lambda,
+                    rho,
+                };
+                dev.launch(&k, *tpb, z).secs()
+            }
+        }
+    }
+
+    pub(crate) fn run_dual(
+        &self,
+        exec: &mut Exec,
+        rho: f64,
+        x: &[f64],
+        z: &[f64],
+        lambda: &mut [f64],
+    ) -> f64 {
+        match exec {
+            Exec::Serial => {
+                let t0 = Instant::now();
+                let slices = split_by_offsets(lambda, &self.pre.offsets);
+                for (s, ls) in slices.into_iter().enumerate() {
+                    let r = self.pre.range(s);
+                    updates::dual_update_component(
+                        &self.pre.stacked_to_global[r.clone()],
+                        rho,
+                        x,
+                        &z[r],
+                        ls,
+                    );
+                }
+                t0.elapsed().as_secs_f64()
+            }
+            Exec::Pool(pool) => {
+                let t0 = Instant::now();
+                let mut slices = split_by_offsets(lambda, &self.pre.offsets);
+                pool.install(|| {
+                    slices.par_iter_mut().enumerate().for_each(|(s, ls)| {
+                        let r = self.pre.range(s);
+                        updates::dual_update_component(
+                            &self.pre.stacked_to_global[r.clone()],
+                            rho,
+                            x,
+                            &z[r],
+                            ls,
+                        );
+                    });
+                });
+                t0.elapsed().as_secs_f64()
+            }
+            Exec::Gpu(dev, tpb) => {
+                let k = DualKernel {
+                    pre: &self.pre,
+                    x,
+                    z,
+                    rho,
+                };
+                dev.launch(&k, *tpb, lambda).secs()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opf_model::decompose;
+    use opf_net::{feeders, ComponentGraph};
+
+    fn solve_instance(name: &str, backend: Backend) -> (DecomposedProblem, SolveResult) {
+        let net = feeders::by_name(name).unwrap();
+        let g = ComponentGraph::build(&net);
+        let dec = decompose(&net, &g).unwrap();
+        let result = {
+            let solver = SolverFreeAdmm::new(&dec).unwrap();
+            solver.solve(&AdmmOptions {
+                backend,
+                max_iters: 60_000,
+                ..AdmmOptions::default()
+            })
+        };
+        (dec, result)
+    }
+
+    #[test]
+    fn converges_on_ieee13_detailed() {
+        let (dec, r) = solve_instance("ieee13-detailed", Backend::Serial);
+        assert!(r.converged, "pres {} dres {}", r.residuals.pres, r.residuals.dres);
+        // x respects bounds exactly (clipped update).
+        for i in 0..dec.n {
+            assert!(r.x[i] >= dec.lower[i] - 1e-12 && r.x[i] <= dec.upper[i] + 1e-12);
+        }
+        assert!(r.objective > 0.0);
+    }
+
+    #[test]
+    fn serial_and_rayon_agree() {
+        let (_, a) = solve_instance("ieee13", Backend::Serial);
+        let (_, b) = solve_instance("ieee13", Backend::Rayon { threads: 4 });
+        assert_eq!(a.iterations, b.iterations);
+        for (x, y) in a.x.iter().zip(&b.x) {
+            assert!((x - y).abs() < 1e-9, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn gpu_backend_matches_cpu_iterations_and_solution() {
+        // The paper's Fig. 2 point: CPU and GPU runs have identical
+        // convergence behaviour.
+        let (_, a) = solve_instance("ieee13", Backend::Serial);
+        let (_, b) = solve_instance(
+            "ieee13",
+            Backend::Gpu {
+                props: gpu_sim::DeviceProps::a100(),
+                threads_per_block: 32,
+            },
+        );
+        assert_eq!(a.iterations, b.iterations);
+        assert!((a.objective - b.objective).abs() < 1e-9);
+        assert!(b.timings.simulated);
+        assert!(!a.timings.simulated);
+        assert!(b.timings.total_s() > 0.0);
+    }
+
+    #[test]
+    fn solution_satisfies_local_equalities() {
+        let (dec, r) = solve_instance("ieee13-detailed", Backend::Serial);
+        // z lies on every component's affine set by construction of (15).
+        let mut off = 0;
+        for c in &dec.components {
+            let zs = &r.z[off..off + c.n()];
+            assert!(c.infeasibility(zs) < 1e-6);
+            off += c.n();
+        }
+        // Consensus gap is within the (scaled) tolerance.
+        assert!(r.residuals.pres <= r.residuals.eps_prim);
+    }
+
+    #[test]
+    fn trace_records_monotone_iterations() {
+        let net = feeders::ieee13();
+        let g = ComponentGraph::build(&net);
+        let dec = decompose(&net, &g).unwrap();
+        let solver = SolverFreeAdmm::new(&dec).unwrap();
+        let r = solver.solve(&AdmmOptions {
+            trace_every: 10,
+            max_iters: 500,
+            ..AdmmOptions::default()
+        });
+        assert!(!r.trace.is_empty());
+        for w in r.trace.windows(2) {
+            assert!(w[1].iter > w[0].iter);
+        }
+    }
+
+    #[test]
+    fn rho_adaptation_changes_rho_when_imbalanced() {
+        let net = feeders::ieee13();
+        let g = ComponentGraph::build(&net);
+        let dec = decompose(&net, &g).unwrap();
+        let solver = SolverFreeAdmm::new(&dec).unwrap();
+        // Absurdly small ρ forces pres ≫ dres, triggering adaptation.
+        let r = solver.solve(&AdmmOptions {
+            rho: 1e-3,
+            rho_adapt: Some(ResidualBalancing {
+                mu: 10.0,
+                tau: 2.0,
+                every: 10,
+            }),
+            trace_every: 10,
+            max_iters: 2_000,
+            ..AdmmOptions::default()
+        });
+        let rho_final = r.trace.last().unwrap().rho;
+        assert!(rho_final > 1e-3, "ρ should have been increased: {rho_final}");
+    }
+
+    #[test]
+    fn objective_matches_reference_solver() {
+        let net = feeders::ieee13_detailed();
+        let g = ComponentGraph::build(&net);
+        let dec = decompose(&net, &g).unwrap();
+        let solver = SolverFreeAdmm::new(&dec).unwrap();
+        let admm = solver.solve(&AdmmOptions {
+            eps_rel: 1e-4,
+            max_iters: 200_000,
+            ..AdmmOptions::default()
+        });
+        let lp = opf_model::assemble(&net);
+        let reference = opf_reference::solve_centralized(
+            &lp,
+            opf_reference::RefOptions {
+                tol: 1e-6,
+                max_iters: 60_000,
+                ..opf_reference::RefOptions::default()
+            },
+        )
+        .unwrap();
+        let rel = (admm.objective - reference.objective).abs() / reference.objective.abs();
+        assert!(
+            rel < 0.02,
+            "ADMM {} vs reference {} (rel {rel})",
+            admm.objective,
+            reference.objective
+        );
+    }
+}

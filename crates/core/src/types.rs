@@ -1,0 +1,191 @@
+//! Options, timings, traces, and results shared by the solvers.
+
+use crate::updates::Residuals;
+use gpu_sim::DeviceProps;
+
+/// Execution backend for the update kernels.
+#[derive(Debug, Clone)]
+pub enum Backend {
+    /// Single-threaded host execution (measured wall-clock).
+    Serial,
+    /// Multi-CPU execution via a rayon pool (measured wall-clock) — the
+    /// paper's "CPUs in parallel" configuration.
+    Rayon {
+        /// Worker thread count.
+        threads: usize,
+    },
+    /// Simulated-GPU execution (§IV): kernels run host-parallel with
+    /// bit-identical arithmetic; recorded times come from the device's
+    /// analytic model.
+    Gpu {
+        /// Device model parameters.
+        props: DeviceProps,
+        /// Threads per block `T` (the paper sweeps `T ∈ {1,…,64}`).
+        threads_per_block: usize,
+    },
+}
+
+/// Residual-balancing ρ adaptation \[29\] — the acceleration hook §III-D
+/// mentions (off by default, as in the paper).
+#[derive(Debug, Clone, Copy)]
+pub struct ResidualBalancing {
+    /// Imbalance factor μ (adapt when one residual exceeds μ× the other).
+    pub mu: f64,
+    /// Multiplicative step τ applied to ρ.
+    pub tau: f64,
+    /// Check cadence in iterations.
+    pub every: usize,
+}
+
+impl Default for ResidualBalancing {
+    fn default() -> Self {
+        ResidualBalancing {
+            mu: 10.0,
+            tau: 2.0,
+            every: 50,
+        }
+    }
+}
+
+/// Solver options. Defaults follow §V-A: `ρ = 100`, `ε_rel = 10⁻³`.
+#[derive(Debug, Clone)]
+pub struct AdmmOptions {
+    /// Penalty parameter ρ.
+    pub rho: f64,
+    /// Relative tolerance ε_rel of the termination test (16).
+    pub eps_rel: f64,
+    /// Iteration cap.
+    pub max_iters: usize,
+    /// Evaluate the termination test every `check_every` iterations.
+    pub check_every: usize,
+    /// Execution backend.
+    pub backend: Backend,
+    /// Optional residual-balancing adaptation.
+    pub rho_adapt: Option<ResidualBalancing>,
+    /// Record a trace entry every `trace_every` iterations (0 = off).
+    pub trace_every: usize,
+    /// Fuse the local and dual updates into one GPU kernel launch,
+    /// halving the per-iteration launch overhead (a standard CUDA
+    /// optimization; only affects the GPU backend's modeled time).
+    pub fuse_local_dual: bool,
+}
+
+impl Default for AdmmOptions {
+    fn default() -> Self {
+        AdmmOptions {
+            rho: 100.0,
+            eps_rel: 1e-3,
+            max_iters: 200_000,
+            check_every: 1,
+            backend: Backend::Serial,
+            rho_adapt: None,
+            trace_every: 0,
+            fuse_local_dual: false,
+        }
+    }
+}
+
+/// Accumulated per-update times over a solve.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Timings {
+    /// Total global-update time (s).
+    pub global_s: f64,
+    /// Total local-update time (s).
+    pub local_s: f64,
+    /// Total dual-update time (s).
+    pub dual_s: f64,
+    /// Total termination-test (residual) time (s) — reported separately;
+    /// the paper's per-iteration totals cover only the three updates.
+    pub residual_s: f64,
+    /// Iterations the totals cover.
+    pub iterations: usize,
+    /// `true` when the times come from the GPU's analytic model rather
+    /// than measured wall-clock.
+    pub simulated: bool,
+}
+
+impl Timings {
+    /// Sum of the three update totals.
+    pub fn total_s(&self) -> f64 {
+        self.global_s + self.local_s + self.dual_s
+    }
+
+    /// Per-iteration averages `(global, local, dual)`.
+    pub fn per_iteration(&self) -> (f64, f64, f64) {
+        let n = self.iterations.max(1) as f64;
+        (self.global_s / n, self.local_s / n, self.dual_s / n)
+    }
+}
+
+/// One recorded trace point (for the Fig. 2 residual curves).
+#[derive(Debug, Clone, Copy)]
+pub struct TraceEntry {
+    /// Iteration index (1-based).
+    pub iter: usize,
+    /// Primal residual.
+    pub pres: f64,
+    /// Dual residual.
+    pub dres: f64,
+    /// Primal tolerance at this iterate.
+    pub eps_prim: f64,
+    /// Dual tolerance at this iterate.
+    pub eps_dual: f64,
+    /// ρ in effect.
+    pub rho: f64,
+}
+
+/// Result of a solve.
+#[derive(Debug, Clone)]
+pub struct SolveResult {
+    /// Global iterate `x` (bound-feasible for the solver-free method).
+    pub x: Vec<f64>,
+    /// Stacked local iterate `z = [x_1; …; x_S]`.
+    pub z: Vec<f64>,
+    /// Stacked duals `λ`.
+    pub lambda: Vec<f64>,
+    /// Objective `cᵀx`.
+    pub objective: f64,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Whether (16) was met within the budget.
+    pub converged: bool,
+    /// Final residuals.
+    pub residuals: Residuals,
+    /// Accumulated update times.
+    pub timings: Timings,
+    /// Residual trace (empty unless `trace_every > 0`).
+    pub trace: Vec<TraceEntry>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_options_match_paper() {
+        let o = AdmmOptions::default();
+        assert_eq!(o.rho, 100.0);
+        assert_eq!(o.eps_rel, 1e-3);
+        assert!(o.rho_adapt.is_none());
+    }
+
+    #[test]
+    fn timings_averages() {
+        let t = Timings {
+            global_s: 2.0,
+            local_s: 4.0,
+            dual_s: 6.0,
+            residual_s: 0.5,
+            iterations: 2,
+            simulated: false,
+        };
+        assert_eq!(t.total_s(), 12.0);
+        assert_eq!(t.per_iteration(), (1.0, 2.0, 3.0));
+    }
+
+    #[test]
+    fn zero_iteration_timings_do_not_divide_by_zero() {
+        let t = Timings::default();
+        assert_eq!(t.per_iteration(), (0.0, 0.0, 0.0));
+    }
+}

@@ -1,0 +1,342 @@
+//! The three update kernels of Algorithm 1, as allocation-free functions
+//! over raw slices — the same math runs serially, under rayon, inside the
+//! GPU simulator's blocks, and on ranks of the cluster runtime.
+
+use crate::precompute::Precomputed;
+
+/// Global update (13)/(18) for global variables `range`:
+///
+/// `x̂_i = (−c_i/ρ + Σ_{j ∈ copies(i)} (z_j − λ_j/ρ)) / |copies(i)|`,
+/// then `x_i = clip(x̂_i, x̲_i, x̄_i)` if `clip` is set (the solver-free
+/// method keeps bounds here; the benchmark's global update is unclipped).
+#[allow(clippy::too_many_arguments)]
+pub fn global_update_range(
+    range: std::ops::Range<usize>,
+    rho: f64,
+    clip: bool,
+    c: &[f64],
+    lower: &[f64],
+    upper: &[f64],
+    copies_ptr: &[usize],
+    copies_idx: &[usize],
+    z: &[f64],
+    lambda: &[f64],
+    x_out: &mut [f64],
+) {
+    let inv_rho = 1.0 / rho;
+    for (o, i) in range.enumerate() {
+        let lo = copies_ptr[i];
+        let hi = copies_ptr[i + 1];
+        let mut acc = -c[i] * inv_rho;
+        for &j in &copies_idx[lo..hi] {
+            acc += z[j] - lambda[j] * inv_rho;
+        }
+        let mut v = acc / (hi - lo) as f64;
+        if clip {
+            v = v.max(lower[i]).min(upper[i]);
+        }
+        x_out[o] = v;
+    }
+}
+
+/// Solver-free local update (15) for component `s`:
+///
+/// `x_s = (1/ρ) Ā_s d_s + b̄_s` with `d_s = −ρ B_s x − λ_s`, i.e.
+/// `z_i = b̄_i − Σ_j Ā_ij (x_{g(j)} + λ_j/ρ)`.
+///
+/// `lambda_s` is the component's stacked dual slice; the result is written
+/// to the component's stacked slice `z_out`.
+pub fn local_update_component(
+    s: usize,
+    pre: &Precomputed,
+    rho: f64,
+    x: &[f64],
+    lambda_s: &[f64],
+    z_out: &mut [f64],
+) {
+    let abar = &pre.abar[s];
+    let bbar = &pre.bbar[s];
+    let base = pre.offsets[s];
+    let n = z_out.len();
+    debug_assert_eq!(abar.rows(), n);
+    let inv_rho = 1.0 / rho;
+    let globals = &pre.stacked_to_global[base..base + n];
+    for i in 0..n {
+        let row = abar.row(i);
+        let mut acc = bbar[i];
+        for j in 0..n {
+            let t = x[globals[j]] + lambda_s[j] * inv_rho;
+            acc -= row[j] * t;
+        }
+        z_out[i] = acc;
+    }
+}
+
+/// Dual update (12) for one component slice:
+/// `λ_j ← λ_j + ρ (x_{g(j)} − z_j)`.
+pub fn dual_update_component(
+    globals: &[usize],
+    rho: f64,
+    x: &[f64],
+    z_s: &[f64],
+    lambda_s: &mut [f64],
+) {
+    for ((l, &g), &zj) in lambda_s.iter_mut().zip(globals).zip(z_s) {
+        *l += rho * (x[g] - zj);
+    }
+}
+
+/// Gather `B x` into a stacked buffer (`out[j] = x[global(j)]`).
+pub fn gather_bx(pre: &Precomputed, x: &[f64], out: &mut [f64]) {
+    for (o, &g) in out.iter_mut().zip(&pre.stacked_to_global) {
+        *o = x[g];
+    }
+}
+
+/// The four quantities of the termination test (16), computed from the
+/// stacked vectors:
+///
+/// * `pres = ‖Bx − z‖₂`
+/// * `dres = ρ‖z − z_prev‖₂` (each `B_sᵀ` is injective on its slice)
+/// * `eps_prim = ε_rel · max(‖Bx‖₂, ‖z‖₂)`
+/// * `eps_dual = ε_rel · ‖λ‖₂` (= `ε_rel·√Σ‖B_sᵀλ_s‖²`)
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Residuals {
+    /// Primal residual.
+    pub pres: f64,
+    /// Dual residual.
+    pub dres: f64,
+    /// Primal tolerance (already scaled by `ε_rel`).
+    pub eps_prim: f64,
+    /// Dual tolerance (already scaled by `ε_rel`).
+    pub eps_dual: f64,
+}
+
+impl Residuals {
+    /// Evaluate (16) at the current iterates.
+    ///
+    /// Accumulates per-component partial sums first — the same order the
+    /// GPU reduction kernel uses — so CPU and GPU backends produce
+    /// bit-identical residuals.
+    pub fn compute(
+        pre: &Precomputed,
+        eps_rel: f64,
+        rho: f64,
+        x: &[f64],
+        z: &[f64],
+        z_prev: &[f64],
+        lambda: &[f64],
+    ) -> Residuals {
+        let mut sums = [0.0f64; 5];
+        let mut partial = [0.0f64; 5];
+        for s in 0..pre.s() {
+            Residuals::component_partials(pre, s, x, z, z_prev, lambda, &mut partial);
+            for (a, b) in sums.iter_mut().zip(&partial) {
+                *a += b;
+            }
+        }
+        Residuals::from_sums(sums, eps_rel, rho)
+    }
+
+    /// Component-wise partial sums used by the GPU reduction path:
+    /// `[Σ(bx−z)², Σbx², Σz², Σ(z−z_prev)², Σλ²]` for one component.
+    pub fn component_partials(
+        pre: &Precomputed,
+        s: usize,
+        x: &[f64],
+        z: &[f64],
+        z_prev: &[f64],
+        lambda: &[f64],
+        out: &mut [f64],
+    ) {
+        debug_assert_eq!(out.len(), 5);
+        let r = pre.range(s);
+        let globals = &pre.stacked_to_global[r.clone()];
+        let (mut pres2, mut bx2, mut z2, mut dz2, mut l2) = (0.0, 0.0, 0.0, 0.0, 0.0);
+        for (k, j) in r.clone().enumerate() {
+            let bx = x[globals[k]];
+            pres2 += (bx - z[j]) * (bx - z[j]);
+            bx2 += bx * bx;
+            z2 += z[j] * z[j];
+            dz2 += (z[j] - z_prev[j]) * (z[j] - z_prev[j]);
+            l2 += lambda[j] * lambda[j];
+        }
+        out[0] = pres2;
+        out[1] = bx2;
+        out[2] = z2;
+        out[3] = dz2;
+        out[4] = l2;
+    }
+
+    /// Assemble (16) from summed component partials
+    /// (`[Σpres², Σbx², Σz², Σdz², Σλ²]`).
+    pub fn from_sums(sums: [f64; 5], eps_rel: f64, rho: f64) -> Residuals {
+        Residuals {
+            pres: sums[0].sqrt(),
+            dres: rho * sums[3].sqrt(),
+            eps_prim: eps_rel * sums[1].sqrt().max(sums[2].sqrt()),
+            eps_dual: eps_rel * sums[4].sqrt(),
+        }
+    }
+
+    /// The termination test of (16). Non-finite residuals (a diverging
+    /// iterate) never count as converged.
+    pub fn converged(&self) -> bool {
+        self.pres.is_finite()
+            && self.dres.is_finite()
+            && self.eps_prim.is_finite()
+            && self.eps_dual.is_finite()
+            && self.pres <= self.eps_prim
+            && self.dres <= self.eps_dual
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::precompute::Precomputed;
+    use opf_model::{decompose, DecomposedProblem};
+    use opf_net::{feeders, ComponentGraph};
+
+    fn setup() -> (DecomposedProblem, Precomputed) {
+        let net = feeders::ieee13();
+        let g = ComponentGraph::build(&net);
+        let dec = decompose(&net, &g).unwrap();
+        let pre = Precomputed::build(&dec).unwrap();
+        (dec, pre)
+    }
+
+    #[test]
+    fn global_update_is_clipped_average_for_zero_cost_var() {
+        let (dec, pre) = setup();
+        // Find a variable with cost 0 and ≥ 2 copies.
+        let i = (0..dec.n)
+            .find(|&i| dec.c[i] == 0.0 && dec.copy_counts[i] >= 2.0)
+            .expect("such a variable exists");
+        let total = pre.total_dim();
+        let mut z = vec![0.0; total];
+        let lambda = vec![0.0; total];
+        // Set each copy of i to a distinct value; the update must average.
+        let copies = &pre.copies_idx[pre.copies_ptr[i]..pre.copies_ptr[i + 1]];
+        let mut expect = 0.0;
+        for (k, &j) in copies.iter().enumerate() {
+            z[j] = k as f64 + 1.0;
+            expect += k as f64 + 1.0;
+        }
+        expect /= copies.len() as f64;
+        expect = expect.max(dec.lower[i]).min(dec.upper[i]);
+        let mut out = vec![0.0; 1];
+        global_update_range(
+            i..i + 1, 100.0, true, &dec.c, &dec.lower, &dec.upper,
+            &pre.copies_ptr, &pre.copies_idx, &z, &lambda, &mut out,
+        );
+        assert!((out[0] - expect).abs() < 1e-12, "{} vs {expect}", out[0]);
+    }
+
+    #[test]
+    fn unclipped_update_can_leave_bounds() {
+        let (dec, pre) = setup();
+        // A bounded variable with one copy: set its copy far above the
+        // upper bound; unclipped must follow, clipped must not.
+        let i = (0..dec.n)
+            .find(|&i| dec.upper[i].is_finite() && dec.copy_counts[i] == 1.0 && dec.c[i] == 0.0)
+            .expect("bounded single-copy variable");
+        let mut z = vec![0.0; pre.total_dim()];
+        let lambda = vec![0.0; pre.total_dim()];
+        let j = pre.copies_idx[pre.copies_ptr[i]];
+        z[j] = dec.upper[i] + 100.0;
+        let mut clipped = vec![0.0; 1];
+        let mut raw = vec![0.0; 1];
+        global_update_range(i..i + 1, 100.0, true, &dec.c, &dec.lower, &dec.upper,
+            &pre.copies_ptr, &pre.copies_idx, &z, &lambda, &mut clipped);
+        global_update_range(i..i + 1, 100.0, false, &dec.c, &dec.lower, &dec.upper,
+            &pre.copies_ptr, &pre.copies_idx, &z, &lambda, &mut raw);
+        assert_eq!(clipped[0], dec.upper[i]);
+        assert!((raw[0] - (dec.upper[i] + 100.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn local_update_lands_on_affine_set() {
+        let (dec, pre) = setup();
+        let total = pre.total_dim();
+        let x: Vec<f64> = (0..dec.n).map(|i| (i as f64 * 0.37).sin()).collect();
+        let lambda: Vec<f64> = (0..total).map(|j| (j as f64 * 0.11).cos()).collect();
+        let mut z = vec![0.0; total];
+        for s in 0..dec.s() {
+            let r = pre.range(s);
+            let (lam_s, z_s) = (&lambda[r.clone()], &mut z[r.clone()]);
+            local_update_component(s, &pre, 100.0, &x, lam_s, z_s);
+            assert!(
+                dec.components[s].infeasibility(z_s) < 1e-7,
+                "component {s} off its affine set"
+            );
+        }
+    }
+
+    #[test]
+    fn local_update_matches_paper_formula_15() {
+        // Cross-check the allocation-free form against a direct
+        // evaluation of x_s = (1/ρ)Ā d + b̄, d = −ρBx − λ.
+        let (dec, pre) = setup();
+        let rho = 57.0;
+        let x: Vec<f64> = (0..dec.n).map(|i| (i % 7) as f64 * 0.1).collect();
+        let total = pre.total_dim();
+        let lambda: Vec<f64> = (0..total).map(|j| ((j % 5) as f64) - 2.0).collect();
+        for s in [0usize, 3, dec.s() - 1] {
+            let r = pre.range(s);
+            let n = r.len();
+            let globals = &pre.stacked_to_global[r.clone()];
+            let d: Vec<f64> = (0..n)
+                .map(|j| -rho * x[globals[j]] - lambda[r.start + j])
+                .collect();
+            let mut direct = pre.abar[s].matvec(&d);
+            for (v, &bb) in direct.iter_mut().zip(&pre.bbar[s]) {
+                *v = *v / rho + bb;
+            }
+            let mut z_s = vec![0.0; n];
+            local_update_component(s, &pre, rho, &x, &lambda[r.clone()], &mut z_s);
+            for (a, b) in z_s.iter().zip(&direct) {
+                assert!((a - b).abs() < 1e-10, "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn dual_update_moves_toward_consensus_violation() {
+        let globals = [3usize, 5];
+        let x = [0.0, 0.0, 0.0, 1.0, 0.0, 2.0];
+        let z = [0.5, 2.5];
+        let mut lam = [1.0, -1.0];
+        dual_update_component(&globals, 10.0, &x, &z, &mut lam);
+        // λ₀ += 10(1 − 0.5) = +5; λ₁ += 10(2 − 2.5) = −5.
+        assert_eq!(lam, [6.0, -6.0]);
+    }
+
+    #[test]
+    fn residuals_zero_at_consensus() {
+        let (dec, pre) = setup();
+        let x = dec.vars.initial_point();
+        let mut z = vec![0.0; pre.total_dim()];
+        gather_bx(&pre, &x, &mut z);
+        let lambda = vec![0.0; pre.total_dim()];
+        let r = Residuals::compute(&pre, 1e-3, 100.0, &x, &z, &z, &lambda);
+        assert_eq!(r.pres, 0.0);
+        assert_eq!(r.dres, 0.0);
+        assert!(r.converged());
+    }
+
+    #[test]
+    fn residuals_detect_violation() {
+        let (dec, pre) = setup();
+        let x = dec.vars.initial_point();
+        let mut z = vec![0.0; pre.total_dim()];
+        gather_bx(&pre, &x, &mut z);
+        let z_prev = z.clone();
+        z[0] += 1.0; // break consensus on one entry
+        let lambda = vec![0.0; pre.total_dim()];
+        let r = Residuals::compute(&pre, 1e-3, 100.0, &x, &z, &z_prev, &lambda);
+        assert!((r.pres - 1.0).abs() < 1e-12);
+        assert!((r.dres - 100.0).abs() < 1e-12);
+        assert!(!r.converged());
+    }
+}

@@ -1,0 +1,70 @@
+//! Determinism and cadence-invariance guarantees a downstream controller
+//! relies on.
+
+use opf_admm::{AdmmOptions, SolverFreeAdmm};
+use opf_model::decompose;
+use opf_net::{feeders, ComponentGraph};
+
+#[test]
+fn repeated_solves_are_bit_identical() {
+    let net = feeders::ieee123();
+    let g = ComponentGraph::build(&net);
+    let dec = decompose(&net, &g).unwrap();
+    let solver = SolverFreeAdmm::new(&dec).unwrap();
+    let a = solver.solve(&AdmmOptions::default());
+    let b = solver.solve(&AdmmOptions::default());
+    assert_eq!(a.iterations, b.iterations);
+    assert_eq!(a.x, b.x);
+    assert_eq!(a.lambda, b.lambda);
+}
+
+#[test]
+fn rebuilding_the_solver_changes_nothing() {
+    let net = feeders::ieee13();
+    let g = ComponentGraph::build(&net);
+    let dec = decompose(&net, &g).unwrap();
+    let a = SolverFreeAdmm::new(&dec).unwrap().solve(&AdmmOptions::default());
+    let b = SolverFreeAdmm::new(&dec).unwrap().solve(&AdmmOptions::default());
+    assert_eq!(a.x, b.x);
+}
+
+#[test]
+fn check_cadence_does_not_change_the_answer() {
+    // Checking every 10 iterations can only overshoot the stopping point,
+    // never land on a different trajectory.
+    let net = feeders::ieee13();
+    let g = ComponentGraph::build(&net);
+    let dec = decompose(&net, &g).unwrap();
+    let solver = SolverFreeAdmm::new(&dec).unwrap();
+    let every1 = solver.solve(&AdmmOptions::default());
+    let every10 = solver.solve(&AdmmOptions {
+        check_every: 10,
+        ..AdmmOptions::default()
+    });
+    assert!(every1.converged && every10.converged);
+    assert!(every10.iterations >= every1.iterations);
+    assert!(every10.iterations <= every1.iterations + 10);
+    let rel = (every1.objective - every10.objective).abs() / every1.objective;
+    assert!(rel < 1e-3, "{} vs {}", every1.objective, every10.objective);
+}
+
+#[test]
+fn tighter_tolerance_costs_more_iterations_and_agrees() {
+    let net = feeders::ieee13();
+    let g = ComponentGraph::build(&net);
+    let dec = decompose(&net, &g).unwrap();
+    let solver = SolverFreeAdmm::new(&dec).unwrap();
+    let loose = solver.solve(&AdmmOptions {
+        eps_rel: 1e-2,
+        ..AdmmOptions::default()
+    });
+    let tight = solver.solve(&AdmmOptions {
+        eps_rel: 1e-4,
+        max_iters: 400_000,
+        ..AdmmOptions::default()
+    });
+    assert!(loose.converged && tight.converged);
+    assert!(tight.iterations > loose.iterations);
+    let rel = (loose.objective - tight.objective).abs() / tight.objective.abs();
+    assert!(rel < 0.05, "{} vs {}", loose.objective, tight.objective);
+}

@@ -1,0 +1,169 @@
+//! Tests for the optional/extension features: warm starting and fused
+//! GPU kernels.
+
+use gpu_sim::DeviceProps;
+use opf_admm::{AdmmOptions, Backend, SolverFreeAdmm};
+use opf_model::decompose;
+use opf_net::{feeders, ComponentGraph, Network};
+
+fn solve_setup(net: &Network) -> (opf_model::DecomposedProblem, ComponentGraph) {
+    let g = ComponentGraph::build(net);
+    let dec = decompose(net, &g).unwrap();
+    (dec, g)
+}
+
+#[test]
+fn warm_start_after_load_ramp_cuts_iterations() {
+    // Solve the feeder, ramp every load by 5 %, re-solve warm-started
+    // from the previous iterates — the MPC-style re-dispatch workflow.
+    let net = feeders::ieee13_detailed();
+    let (dec, _) = solve_setup(&net);
+    let solver = SolverFreeAdmm::new(&dec).unwrap();
+    let opts = AdmmOptions::default();
+    let base = solver.solve(&opts);
+    assert!(base.converged);
+
+    let mut ramped = net.clone();
+    for l in &mut ramped.loads {
+        for p in &mut l.p_ref {
+            *p *= 1.05;
+        }
+        for q in &mut l.q_ref {
+            *q *= 1.05;
+        }
+    }
+    let (dec2, _) = solve_setup(&ramped);
+    // Structure is identical (same elements) — only b_s changed.
+    assert_eq!(dec2.n, dec.n);
+    let solver2 = SolverFreeAdmm::new(&dec2).unwrap();
+    let cold = solver2.solve(&opts);
+    let warm = solver2.solve_from(&opts, (base.x.clone(), base.z.clone(), base.lambda.clone()));
+    assert!(cold.converged && warm.converged);
+    assert!(
+        (warm.iterations as f64) < 0.8 * cold.iterations as f64,
+        "warm {} vs cold {} iterations",
+        warm.iterations,
+        cold.iterations
+    );
+    let rel = (warm.objective - cold.objective).abs() / cold.objective;
+    assert!(rel < 0.02, "{} vs {}", warm.objective, cold.objective);
+}
+
+#[test]
+fn warm_start_at_solution_converges_immediately() {
+    let net = feeders::ieee13();
+    let (dec, _) = solve_setup(&net);
+    let solver = SolverFreeAdmm::new(&dec).unwrap();
+    let opts = AdmmOptions::default();
+    let base = solver.solve(&opts);
+    let again = solver.solve_from(&opts, (base.x, base.z, base.lambda));
+    assert!(again.converged);
+    assert!(
+        again.iterations <= 3,
+        "resumed solve took {} iterations",
+        again.iterations
+    );
+}
+
+#[test]
+#[should_panic(expected = "warm start")]
+fn warm_start_rejects_wrong_dimensions() {
+    let net = feeders::ieee13();
+    let (dec, _) = solve_setup(&net);
+    let solver = SolverFreeAdmm::new(&dec).unwrap();
+    solver.solve_from(&AdmmOptions::default(), (vec![0.0; 3], vec![], vec![]));
+}
+
+#[test]
+fn fused_kernel_matches_unfused_and_saves_launch_overhead() {
+    let net = feeders::ieee13();
+    let (dec, _) = solve_setup(&net);
+    let solver = SolverFreeAdmm::new(&dec).unwrap();
+    let gpu = Backend::Gpu {
+        props: DeviceProps::a100(),
+        threads_per_block: 32,
+    };
+    let unfused = solver.solve(&AdmmOptions {
+        backend: gpu.clone(),
+        ..AdmmOptions::default()
+    });
+    let fused = solver.solve(&AdmmOptions {
+        backend: gpu,
+        fuse_local_dual: true,
+        ..AdmmOptions::default()
+    });
+    // Same math, same iterates.
+    assert_eq!(unfused.iterations, fused.iterations);
+    assert_eq!(unfused.objective, fused.objective);
+    for (a, b) in unfused.x.iter().zip(&fused.x) {
+        assert_eq!(a, b);
+    }
+    // One launch saved per iteration: modeled time strictly smaller.
+    assert!(
+        fused.timings.total_s() < unfused.timings.total_s(),
+        "fused {} vs unfused {}",
+        fused.timings.total_s(),
+        unfused.timings.total_s()
+    );
+}
+
+#[test]
+fn fusion_is_ignored_on_cpu_backends() {
+    let net = feeders::ieee13();
+    let (dec, _) = solve_setup(&net);
+    let solver = SolverFreeAdmm::new(&dec).unwrap();
+    let plain = solver.solve(&AdmmOptions {
+        max_iters: 200,
+        check_every: 200,
+        ..AdmmOptions::default()
+    });
+    let fused_flag = solver.solve(&AdmmOptions {
+        max_iters: 200,
+        check_every: 200,
+        fuse_local_dual: true,
+        ..AdmmOptions::default()
+    });
+    for (a, b) in plain.x.iter().zip(&fused_flag.x) {
+        assert_eq!(a, b);
+    }
+}
+
+#[test]
+fn distributed_solve_survives_fp32_compression() {
+    // The paper's conclusion points to lossy FP compression [37] for the
+    // communication burden; fp32 halves the wire bytes and must not
+    // derail convergence.
+    let net = feeders::ieee13();
+    let (dec, _) = solve_setup(&net);
+    let solver = SolverFreeAdmm::new(&dec).unwrap();
+    let opts = AdmmOptions {
+        max_iters: 60_000,
+        ..AdmmOptions::default()
+    };
+    let exact = solver.solve_distributed(&opts, 3);
+    let fp32 = solver.solve_distributed_compressed(&opts, 3, comm_sim::Compression::Fp32);
+    assert!(exact.converged && fp32.converged);
+    // Iteration counts stay in the same ballpark…
+    let ratio = fp32.iterations as f64 / exact.iterations as f64;
+    assert!((0.8..1.25).contains(&ratio), "iteration ratio {ratio}");
+    // …and the dispatch matches to compression precision.
+    let rel = (fp32.objective - exact.objective).abs() / exact.objective;
+    assert!(rel < 1e-3, "{} vs {}", fp32.objective, exact.objective);
+}
+
+#[test]
+fn mild_topk_compression_still_converges() {
+    let net = feeders::ieee13();
+    let (dec, _) = solve_setup(&net);
+    let solver = SolverFreeAdmm::new(&dec).unwrap();
+    let opts = AdmmOptions {
+        max_iters: 80_000,
+        ..AdmmOptions::default()
+    };
+    let r = solver.solve_distributed_compressed(
+        &opts,
+        2,
+        comm_sim::Compression::TopK { fraction: 0.95 },
+    );
+    assert!(r.converged, "top-95% sparsification broke convergence");
+}

@@ -1,0 +1,253 @@
+//! Simulated device properties and the analytic timing model.
+//!
+//! The reproduction has no physical GPU, so kernels execute on host
+//! threads (bit-identical arithmetic) while elapsed *device* time comes
+//! from an analytic model calibrated to the hardware the paper used
+//! (NVIDIA A100-40GB on the Swing cluster): SIMT wave scheduling over SMs,
+//! FMA-rate compute cost, HBM bandwidth cost, fixed kernel-launch
+//! overhead, and PCIe staging for host↔device transfers (the MPI path of
+//! §IV-E).
+
+/// Static properties of a simulated GPU.
+#[derive(Debug, Clone, Copy)]
+pub struct DeviceProps {
+    /// Number of streaming multiprocessors.
+    pub sm_count: usize,
+    /// Core clock (Hz).
+    pub clock_hz: f64,
+    /// FP64 FMA throughput per thread (flops/cycle); FMA counts as 2.
+    pub flops_per_cycle_per_thread: f64,
+    /// Cap on resident blocks per SM.
+    pub max_blocks_per_sm: usize,
+    /// Cap on resident threads per SM.
+    pub max_threads_per_sm: usize,
+    /// Device memory bandwidth (bytes/s).
+    pub mem_bandwidth: f64,
+    /// Fixed kernel-launch overhead (s).
+    pub launch_overhead: f64,
+    /// Host↔device (PCIe) bandwidth (bytes/s).
+    pub pcie_bandwidth: f64,
+    /// Host↔device latency per transfer (s).
+    pub pcie_latency: f64,
+}
+
+impl DeviceProps {
+    /// An NVIDIA A100-40GB–like device (Swing node GPU).
+    pub fn a100() -> Self {
+        DeviceProps {
+            sm_count: 108,
+            clock_hz: 1.41e9,
+            flops_per_cycle_per_thread: 2.0,
+            max_blocks_per_sm: 32,
+            max_threads_per_sm: 2048,
+            mem_bandwidth: 1.555e12,
+            launch_overhead: 4.0e-6,
+            pcie_bandwidth: 25.0e9,
+            pcie_latency: 10.0e-6,
+        }
+    }
+
+    /// An NVIDIA V100-16GB–like device (the A100's predecessor) — used by
+    /// the device-generation study.
+    pub fn v100() -> Self {
+        DeviceProps {
+            sm_count: 80,
+            clock_hz: 1.38e9,
+            flops_per_cycle_per_thread: 2.0,
+            max_blocks_per_sm: 32,
+            max_threads_per_sm: 2048,
+            mem_bandwidth: 0.9e12,
+            launch_overhead: 5.0e-6,
+            pcie_bandwidth: 12.0e9,
+            pcie_latency: 10.0e-6,
+        }
+    }
+
+    /// An NVIDIA H100-SXM–like device (the A100's successor).
+    pub fn h100() -> Self {
+        DeviceProps {
+            sm_count: 132,
+            clock_hz: 1.83e9,
+            flops_per_cycle_per_thread: 2.0,
+            max_blocks_per_sm: 32,
+            max_threads_per_sm: 2048,
+            mem_bandwidth: 3.35e12,
+            launch_overhead: 3.0e-6,
+            pcie_bandwidth: 55.0e9,
+            pcie_latency: 8.0e-6,
+        }
+    }
+
+    /// A deliberately small device for tests (2 SMs, slow clock) so wave
+    /// effects are visible with tiny launches.
+    pub fn tiny() -> Self {
+        DeviceProps {
+            sm_count: 2,
+            clock_hz: 1.0e6,
+            flops_per_cycle_per_thread: 1.0,
+            max_blocks_per_sm: 2,
+            max_threads_per_sm: 64,
+            mem_bandwidth: 1.0e9,
+            launch_overhead: 1.0e-6,
+            pcie_bandwidth: 1.0e9,
+            pcie_latency: 1.0e-6,
+        }
+    }
+
+    /// Concurrent resident blocks for a given block size (threads).
+    pub fn concurrent_blocks(&self, threads_per_block: usize) -> usize {
+        let t = threads_per_block.max(1);
+        let by_threads = self.max_threads_per_sm / t.min(self.max_threads_per_sm);
+        let per_sm = by_threads.clamp(1, self.max_blocks_per_sm);
+        (per_sm * self.sm_count).max(1)
+    }
+
+    /// Time to move `bytes` across PCIe (one direction, one message).
+    pub fn transfer_time(&self, bytes: usize) -> f64 {
+        if bytes == 0 {
+            return 0.0;
+        }
+        self.pcie_latency + bytes as f64 / self.pcie_bandwidth
+    }
+}
+
+/// Work declared by one block of a kernel launch.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BlockCost {
+    /// Independent work items in the block (one thread computes one item
+    /// at a time — the paper's "each thread computes the i-th entry of
+    /// `x_s`", §IV-D).
+    pub items: usize,
+    /// Flops per item.
+    pub flops_per_item: f64,
+    /// Device-memory bytes touched per item.
+    pub bytes_per_item: f64,
+}
+
+impl DeviceProps {
+    /// Simulated kernel time for a launch with the given per-block costs
+    /// and `threads` threads per block.
+    ///
+    /// Per-block cycles: `ceil(items/threads) · flops_per_item / rate`;
+    /// blocks run in waves of `concurrent_blocks`; the launch is also
+    /// lower-bounded by aggregate memory traffic over HBM bandwidth.
+    pub fn kernel_time(&self, costs: &[BlockCost], threads: usize) -> f64 {
+        if costs.is_empty() {
+            return self.launch_overhead;
+        }
+        let t = threads.max(1);
+        let conc = self.concurrent_blocks(t);
+        let mut compute_cycles = 0.0f64;
+        let mut wave_max = 0.0f64;
+        let mut in_wave = 0usize;
+        let mut total_bytes = 0.0f64;
+        for c in costs {
+            let rounds = c.items.div_ceil(t) as f64;
+            let cycles = rounds * c.flops_per_item / self.flops_per_cycle_per_thread;
+            wave_max = wave_max.max(cycles);
+            total_bytes += c.items as f64 * c.bytes_per_item;
+            in_wave += 1;
+            if in_wave == conc {
+                compute_cycles += wave_max;
+                wave_max = 0.0;
+                in_wave = 0;
+            }
+        }
+        compute_cycles += wave_max;
+        let compute_time = compute_cycles / self.clock_hz;
+        let memory_time = total_bytes / self.mem_bandwidth;
+        self.launch_overhead + compute_time.max(memory_time)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform(blocks: usize, items: usize) -> Vec<BlockCost> {
+        vec![
+            BlockCost {
+                items,
+                flops_per_item: 10.0,
+                bytes_per_item: 8.0,
+            };
+            blocks
+        ]
+    }
+
+    #[test]
+    fn more_threads_is_never_slower() {
+        let d = DeviceProps::a100();
+        let costs = uniform(25_001, 24);
+        let mut prev = f64::INFINITY;
+        for t in [1, 2, 4, 8, 16, 32, 64] {
+            let tt = d.kernel_time(&costs, t);
+            assert!(tt <= prev + 1e-15, "t={t}: {tt} > {prev}");
+            prev = tt;
+        }
+    }
+
+    #[test]
+    fn thread_gain_saturates_at_item_count() {
+        let d = DeviceProps::a100();
+        let costs = uniform(1000, 8);
+        let t8 = d.kernel_time(&costs, 8);
+        let t64 = d.kernel_time(&costs, 64);
+        // Same rounds (1) per block; only concurrency can differ — with
+        // ≤32 blocks/SM cap both are identical here.
+        assert!((t8 - t64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn waves_scale_with_block_count() {
+        let d = DeviceProps::tiny(); // 2 SMs × 2 blocks = 4 concurrent
+        let t4 = d.kernel_time(&uniform(4, 4), 4);
+        let t8 = d.kernel_time(&uniform(8, 4), 4);
+        // Twice the waves → roughly twice the compute part.
+        let c4 = t4 - d.launch_overhead;
+        let c8 = t8 - d.launch_overhead;
+        assert!((c8 / c4 - 2.0).abs() < 0.3, "ratio {}", c8 / c4);
+    }
+
+    #[test]
+    fn empty_launch_costs_only_overhead() {
+        let d = DeviceProps::a100();
+        assert_eq!(d.kernel_time(&[], 32), d.launch_overhead);
+    }
+
+    #[test]
+    fn memory_bound_kernel_uses_bandwidth() {
+        let mut d = DeviceProps::tiny();
+        d.mem_bandwidth = 1.0; // absurdly slow memory
+        let costs = uniform(2, 2);
+        let t = d.kernel_time(&costs, 2);
+        let bytes: f64 = 2.0 * 2.0 * 8.0;
+        assert!((t - d.launch_overhead - bytes).abs() < 1e-9);
+    }
+
+    #[test]
+    fn device_generations_are_ordered() {
+        let costs = uniform(25_001, 8);
+        let v = DeviceProps::v100().kernel_time(&costs, 64);
+        let a = DeviceProps::a100().kernel_time(&costs, 64);
+        let h = DeviceProps::h100().kernel_time(&costs, 64);
+        assert!(h < a && a < v, "h {h} a {a} v {v}");
+    }
+
+    #[test]
+    fn transfer_time_includes_latency() {
+        let d = DeviceProps::a100();
+        assert_eq!(d.transfer_time(0), 0.0);
+        let t = d.transfer_time(1_000_000);
+        assert!(t > d.pcie_latency);
+        assert!((t - d.pcie_latency - 1e6 / d.pcie_bandwidth).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concurrent_blocks_caps() {
+        let d = DeviceProps::a100();
+        assert_eq!(d.concurrent_blocks(1), 108 * 32);
+        assert_eq!(d.concurrent_blocks(64), 108 * 32);
+        assert_eq!(d.concurrent_blocks(1024), 108 * 2);
+    }
+}

@@ -1,0 +1,353 @@
+//! Kernel launches on the simulated device.
+//!
+//! A [`BlockKernel`] mirrors the CUDA mapping the paper uses (§IV-D): the
+//! grid has one block per component (or per chunk of a long vector), each
+//! block owns a disjoint contiguous slice of the output, and its threads
+//! compute the entries of that slice. Execution is host-parallel over
+//! blocks via rayon — numerically identical to a serial run — while the
+//! returned [`SimTime`] comes from the device's analytic cost model.
+
+use crate::device::{BlockCost, DeviceProps};
+use rayon::prelude::*;
+
+/// Simulated elapsed device time (seconds).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct SimTime(pub f64);
+
+impl SimTime {
+    /// Zero time.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Seconds as `f64`.
+    pub fn secs(self) -> f64 {
+        self.0
+    }
+}
+
+impl std::ops::Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl std::ops::AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl std::iter::Sum for SimTime {
+    fn sum<I: Iterator<Item = SimTime>>(iter: I) -> SimTime {
+        SimTime(iter.map(|t| t.0).sum())
+    }
+}
+
+/// A grid of blocks writing disjoint contiguous output slices.
+pub trait BlockKernel: Sync {
+    /// Number of blocks in the grid.
+    fn blocks(&self) -> usize;
+
+    /// Length of block `b`'s output slice. Slices are laid out
+    /// back-to-back in launch order.
+    fn out_len(&self, b: usize) -> usize;
+
+    /// Execute block `b`, writing its output slice. `threads` is the
+    /// launch's block size — numerically irrelevant (all schedules
+    /// compute the same values) but part of the interface so kernels can
+    /// mirror the thread-strided loops of the CUDA original.
+    fn run_block(&self, b: usize, threads: usize, out: &mut [f64]);
+
+    /// Declared work of block `b` for the timing model.
+    fn block_cost(&self, b: usize) -> BlockCost;
+}
+
+/// A grid of blocks writing two parallel disjoint output slices per
+/// block (used for fused kernels such as a combined local+dual update:
+/// one launch, two output vectors sharing the same block layout).
+pub trait PairBlockKernel: Sync {
+    /// Number of blocks in the grid.
+    fn blocks(&self) -> usize;
+    /// Length of block `b`'s slice in **both** outputs.
+    fn out_len(&self, b: usize) -> usize;
+    /// Execute block `b` against its two output slices.
+    fn run_block(&self, b: usize, threads: usize, out_a: &mut [f64], out_b: &mut [f64]);
+    /// Declared work of block `b` (the whole fused body).
+    fn block_cost(&self, b: usize) -> BlockCost;
+}
+
+/// A simulated GPU: properties plus launch bookkeeping.
+#[derive(Debug, Clone)]
+pub struct Device {
+    /// Hardware model parameters.
+    pub props: DeviceProps,
+    /// Accumulated simulated kernel time.
+    pub elapsed: SimTime,
+    /// Number of kernel launches performed.
+    pub launches: usize,
+}
+
+impl Device {
+    /// New device with A100-like properties.
+    pub fn a100() -> Self {
+        Device::with_props(DeviceProps::a100())
+    }
+
+    /// New device with explicit properties.
+    pub fn with_props(props: DeviceProps) -> Self {
+        Device {
+            props,
+            elapsed: SimTime::ZERO,
+            launches: 0,
+        }
+    }
+
+    /// Launch a kernel: executes all blocks (host-parallel), writes the
+    /// concatenated output into `out`, returns the simulated kernel time
+    /// and accumulates it on the device clock.
+    ///
+    /// # Panics
+    /// Panics if `out.len()` differs from the sum of block output lengths.
+    pub fn launch<K: BlockKernel>(&mut self, kernel: &K, threads: usize, out: &mut [f64]) -> SimTime {
+        let nblocks = kernel.blocks();
+        // Split `out` into per-block slices.
+        let mut slices: Vec<&mut [f64]> = Vec::with_capacity(nblocks);
+        let mut rest = out;
+        for b in 0..nblocks {
+            let len = kernel.out_len(b);
+            let (head, tail) = rest.split_at_mut(len);
+            slices.push(head);
+            rest = tail;
+        }
+        assert!(
+            rest.is_empty(),
+            "output buffer longer than total block output"
+        );
+        slices
+            .par_iter_mut()
+            .enumerate()
+            .for_each(|(b, s)| kernel.run_block(b, threads, s));
+
+        let costs: Vec<BlockCost> = (0..nblocks).map(|b| kernel.block_cost(b)).collect();
+        let t = SimTime(self.props.kernel_time(&costs, threads));
+        self.elapsed += t;
+        self.launches += 1;
+        t
+    }
+
+    /// Launch a fused kernel writing two parallel outputs (one launch
+    /// overhead instead of two — the point of kernel fusion).
+    ///
+    /// # Panics
+    /// Panics if either output's length differs from the block total.
+    pub fn launch_pair<K: PairBlockKernel>(
+        &mut self,
+        kernel: &K,
+        threads: usize,
+        out_a: &mut [f64],
+        out_b: &mut [f64],
+    ) -> SimTime {
+        let nblocks = kernel.blocks();
+        let mut slices: Vec<(&mut [f64], &mut [f64])> = Vec::with_capacity(nblocks);
+        let (mut rest_a, mut rest_b) = (out_a, out_b);
+        for b in 0..nblocks {
+            let len = kernel.out_len(b);
+            let (ha, ta) = rest_a.split_at_mut(len);
+            let (hb, tb) = rest_b.split_at_mut(len);
+            slices.push((ha, hb));
+            rest_a = ta;
+            rest_b = tb;
+        }
+        assert!(
+            rest_a.is_empty() && rest_b.is_empty(),
+            "output buffers longer than total block output"
+        );
+        slices
+            .par_iter_mut()
+            .enumerate()
+            .for_each(|(b, (sa, sb))| kernel.run_block(b, threads, sa, sb));
+
+        let costs: Vec<BlockCost> = (0..nblocks).map(|b| kernel.block_cost(b)).collect();
+        let t = SimTime(self.props.kernel_time(&costs, threads));
+        self.elapsed += t;
+        self.launches += 1;
+        t
+    }
+
+    /// Simulate a host→device or device→host transfer of `bytes`.
+    pub fn transfer(&mut self, bytes: usize) -> SimTime {
+        let t = SimTime(self.props.transfer_time(bytes));
+        self.elapsed += t;
+        t
+    }
+
+    /// Reset the device clock.
+    pub fn reset_clock(&mut self) {
+        self.elapsed = SimTime::ZERO;
+        self.launches = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Doubles each of `n` chunks of the input.
+    struct DoubleKernel<'a> {
+        input: &'a [f64],
+        chunk: usize,
+    }
+
+    impl BlockKernel for DoubleKernel<'_> {
+        fn blocks(&self) -> usize {
+            self.input.len().div_ceil(self.chunk)
+        }
+        fn out_len(&self, b: usize) -> usize {
+            let lo = b * self.chunk;
+            (self.input.len() - lo).min(self.chunk)
+        }
+        fn run_block(&self, b: usize, _threads: usize, out: &mut [f64]) {
+            let lo = b * self.chunk;
+            for (k, o) in out.iter_mut().enumerate() {
+                *o = 2.0 * self.input[lo + k];
+            }
+        }
+        fn block_cost(&self, b: usize) -> BlockCost {
+            BlockCost {
+                items: self.out_len(b),
+                flops_per_item: 1.0,
+                bytes_per_item: 16.0,
+            }
+        }
+    }
+
+    #[test]
+    fn launch_computes_and_times() {
+        let input: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let k = DoubleKernel {
+            input: &input,
+            chunk: 7,
+        };
+        let mut dev = Device::a100();
+        let mut out = vec![0.0; 100];
+        let t = dev.launch(&k, 32, &mut out);
+        assert!(t.secs() > 0.0);
+        assert_eq!(dev.launches, 1);
+        assert_eq!(dev.elapsed, t);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, 2.0 * i as f64);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_expected_regardless_of_threads() {
+        let input: Vec<f64> = (0..50).map(|i| (i as f64).sin()).collect();
+        let mut dev = Device::a100();
+        let mut out1 = vec![0.0; 50];
+        let mut out64 = vec![0.0; 50];
+        dev.launch(&DoubleKernel { input: &input, chunk: 3 }, 1, &mut out1);
+        dev.launch(&DoubleKernel { input: &input, chunk: 3 }, 64, &mut out64);
+        assert_eq!(out1, out64);
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_output_length_panics() {
+        let input = vec![1.0; 10];
+        let k = DoubleKernel {
+            input: &input,
+            chunk: 4,
+        };
+        let mut dev = Device::a100();
+        let mut out = vec![0.0; 11];
+        dev.launch(&k, 32, &mut out);
+    }
+
+    #[test]
+    fn clock_accumulates_and_resets() {
+        let input = vec![1.0; 10];
+        let k = DoubleKernel {
+            input: &input,
+            chunk: 5,
+        };
+        let mut dev = Device::a100();
+        let mut out = vec![0.0; 10];
+        let t1 = dev.launch(&k, 8, &mut out);
+        let t2 = dev.launch(&k, 8, &mut out);
+        assert!((dev.elapsed.secs() - (t1 + t2).secs()).abs() < 1e-18);
+        dev.reset_clock();
+        assert_eq!(dev.elapsed, SimTime::ZERO);
+        assert_eq!(dev.launches, 0);
+    }
+
+    struct PairDouble<'a> {
+        input: &'a [f64],
+        chunk: usize,
+    }
+
+    impl PairBlockKernel for PairDouble<'_> {
+        fn blocks(&self) -> usize {
+            self.input.len().div_ceil(self.chunk)
+        }
+        fn out_len(&self, b: usize) -> usize {
+            (self.input.len() - b * self.chunk).min(self.chunk)
+        }
+        fn run_block(&self, b: usize, _t: usize, a: &mut [f64], bb: &mut [f64]) {
+            let lo = b * self.chunk;
+            for k in 0..a.len() {
+                a[k] = 2.0 * self.input[lo + k];
+                bb[k] = 3.0 * self.input[lo + k];
+            }
+        }
+        fn block_cost(&self, b: usize) -> BlockCost {
+            BlockCost {
+                items: self.out_len(b),
+                flops_per_item: 2.0,
+                bytes_per_item: 24.0,
+            }
+        }
+    }
+
+    #[test]
+    fn launch_pair_writes_both_outputs_with_one_launch() {
+        let input: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let k = PairDouble {
+            input: &input,
+            chunk: 6,
+        };
+        let mut dev = Device::a100();
+        let mut a = vec![0.0; 20];
+        let mut b = vec![0.0; 20];
+        dev.launch_pair(&k, 8, &mut a, &mut b);
+        assert_eq!(dev.launches, 1);
+        for i in 0..20 {
+            assert_eq!(a[i], 2.0 * i as f64);
+            assert_eq!(b[i], 3.0 * i as f64);
+        }
+    }
+
+    #[test]
+    fn fused_launch_cheaper_than_two_launches() {
+        let input = vec![1.0; 64];
+        let mut dev = Device::a100();
+        let mut a = vec![0.0; 64];
+        let mut b = vec![0.0; 64];
+        let fused = dev
+            .launch_pair(&PairDouble { input: &input, chunk: 8 }, 8, &mut a, &mut b)
+            .secs();
+        let two = 2.0
+            * dev
+                .launch(&DoubleKernel { input: &input, chunk: 8 }, 8, &mut a)
+                .secs();
+        assert!(fused < two, "fused {fused} vs two launches {two}");
+    }
+
+    #[test]
+    fn sim_time_arithmetic() {
+        let a = SimTime(1.5);
+        let b = SimTime(0.5);
+        assert_eq!((a + b).secs(), 2.0);
+        let s: SimTime = [a, b].into_iter().sum();
+        assert_eq!(s.secs(), 2.0);
+    }
+}

@@ -1,0 +1,19 @@
+//! A SIMT GPU simulator with an A100-calibrated analytic timing model.
+//!
+//! The paper runs Algorithm 1 on NVIDIA A100 GPUs through CUDA.jl; this
+//! workspace has no GPU, so — per the substitution policy in `DESIGN.md` —
+//! kernels execute on host threads with **bit-identical arithmetic** while
+//! elapsed device time is produced by a calibrated cost model
+//! ([`DeviceProps::kernel_time`]): SIMT wave scheduling across SMs,
+//! FMA-rate compute, HBM bandwidth, kernel-launch overhead, and PCIe
+//! staging for the MPI communication path of §IV-E.
+//!
+//! The launch interface mirrors the paper's kernel design (§IV-D): one
+//! block per component, `T ∈ {1,…,64}` threads per block, each thread
+//! computing entries of that component's local solution.
+
+pub mod device;
+pub mod kernel;
+
+pub use device::{BlockCost, DeviceProps};
+pub use kernel::{BlockKernel, Device, PairBlockKernel, SimTime};

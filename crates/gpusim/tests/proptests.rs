@@ -1,0 +1,55 @@
+//! Property tests for the device timing model.
+
+use gpu_sim::{BlockCost, DeviceProps};
+use proptest::prelude::*;
+
+fn arb_costs() -> impl Strategy<Value = Vec<BlockCost>> {
+    prop::collection::vec(
+        (1usize..64, 1.0f64..200.0, 1.0f64..64.0).prop_map(|(items, flops, bytes)| BlockCost {
+            items,
+            flops_per_item: flops,
+            bytes_per_item: bytes,
+        }),
+        1..200,
+    )
+}
+
+proptest! {
+    #[test]
+    fn kernel_time_monotone_in_threads(costs in arb_costs()) {
+        // Doubling the block size never slows the modeled kernel.
+        let d = DeviceProps::a100();
+        let mut prev = f64::INFINITY;
+        for t in [1usize, 2, 4, 8, 16, 32, 64] {
+            let time = d.kernel_time(&costs, t);
+            prop_assert!(time <= prev + 1e-15, "t={t}");
+            prop_assert!(time >= d.launch_overhead);
+            prev = time;
+        }
+    }
+
+    #[test]
+    fn kernel_time_superadditive_in_blocks(costs in arb_costs(), extra in arb_costs()) {
+        // Adding blocks never makes the launch faster.
+        let d = DeviceProps::a100();
+        let t_base = d.kernel_time(&costs, 32);
+        let mut all = costs.clone();
+        all.extend(extra);
+        let t_all = d.kernel_time(&all, 32);
+        prop_assert!(t_all + 1e-15 >= t_base);
+    }
+
+    #[test]
+    fn faster_clock_is_never_slower(costs in arb_costs()) {
+        let slow = DeviceProps { clock_hz: 0.7e9, ..DeviceProps::a100() };
+        let fast = DeviceProps { clock_hz: 1.4e9, ..DeviceProps::a100() };
+        prop_assert!(fast.kernel_time(&costs, 32) <= slow.kernel_time(&costs, 32) + 1e-15);
+    }
+
+    #[test]
+    fn transfer_time_monotone_in_bytes(a in 0usize..1_000_000, b in 0usize..1_000_000) {
+        let d = DeviceProps::a100();
+        let (lo, hi) = (a.min(b), a.max(b));
+        prop_assert!(d.transfer_time(lo) <= d.transfer_time(hi) + 1e-18);
+    }
+}

@@ -1,0 +1,171 @@
+//! Conjugate gradient for symmetric positive (semi)definite operators.
+//!
+//! The centralized reference solver factors nothing at the IEEE-8500 scale;
+//! instead it solves its normal-equation systems `(AAᵀ + σI) y = r`
+//! iteratively. CG over a matrix-free operator keeps that memory-light.
+
+use crate::vec_ops::{axpy, dot, norm2};
+use crate::{LinalgError, Result};
+
+/// A symmetric positive definite linear operator `y = A x`.
+pub trait SpdOperator {
+    /// Dimension of the operator.
+    fn dim(&self) -> usize;
+    /// Apply the operator: `y ← A x` (both of length [`SpdOperator::dim`]).
+    fn apply(&self, x: &[f64], y: &mut [f64]);
+}
+
+/// Options controlling [`cg_solve`].
+#[derive(Debug, Clone, Copy)]
+pub struct CgOptions {
+    /// Relative residual tolerance `‖r‖ ≤ tol·‖b‖`.
+    pub tol: f64,
+    /// Iteration cap.
+    pub max_iters: usize,
+}
+
+impl Default for CgOptions {
+    fn default() -> Self {
+        CgOptions {
+            tol: 1e-10,
+            max_iters: 10_000,
+        }
+    }
+}
+
+/// Solve `A x = b` by conjugate gradients, starting from `x0` (or zero).
+///
+/// Returns the solution and the iteration count.
+///
+/// # Panics
+/// Panics if `b.len() != op.dim()`.
+pub fn cg_solve(
+    op: &dyn SpdOperator,
+    b: &[f64],
+    x0: Option<&[f64]>,
+    opts: CgOptions,
+) -> Result<(Vec<f64>, usize)> {
+    let n = op.dim();
+    assert_eq!(b.len(), n, "cg: rhs length mismatch");
+    let bnorm = norm2(b);
+    if bnorm == 0.0 {
+        return Ok((vec![0.0; n], 0));
+    }
+    let mut x = match x0 {
+        Some(x0) => {
+            assert_eq!(x0.len(), n, "cg: x0 length mismatch");
+            x0.to_vec()
+        }
+        None => vec![0.0; n],
+    };
+    let mut ax = vec![0.0; n];
+    op.apply(&x, &mut ax);
+    let mut r: Vec<f64> = b.iter().zip(&ax).map(|(bi, ai)| bi - ai).collect();
+    let mut p = r.clone();
+    let mut rs = dot(&r, &r);
+    let target = opts.tol * bnorm;
+
+    for it in 0..opts.max_iters {
+        if rs.sqrt() <= target {
+            return Ok((x, it));
+        }
+        op.apply(&p, &mut ax);
+        let pap = dot(&p, &ax);
+        if pap <= 0.0 {
+            // Operator not positive definite along p — numerical breakdown.
+            return Err(LinalgError::Singular { at: it });
+        }
+        let alpha = rs / pap;
+        axpy(alpha, &p, &mut x);
+        axpy(-alpha, &ax, &mut r);
+        let rs_new = dot(&r, &r);
+        let beta = rs_new / rs;
+        for (pi, &ri) in p.iter_mut().zip(&r) {
+            *pi = ri + beta * *pi;
+        }
+        rs = rs_new;
+    }
+    if rs.sqrt() <= target {
+        Ok((x, opts.max_iters))
+    } else {
+        Err(LinalgError::NoConvergence {
+            iterations: opts.max_iters,
+            residual: rs.sqrt(),
+        })
+    }
+}
+
+/// Dense-matrix adapter so a [`crate::Mat`] can be used as an operator.
+pub struct DenseOp<'a>(pub &'a crate::Mat);
+
+impl SpdOperator for DenseOp<'_> {
+    fn dim(&self) -> usize {
+        self.0.rows()
+    }
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        self.0.matvec_into(x, y);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Mat;
+
+    #[test]
+    fn solves_spd_system() {
+        let a = Mat::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]]);
+        let b = [1.0, 2.0];
+        let (x, iters) = cg_solve(&DenseOp(&a), &b, None, CgOptions::default()).unwrap();
+        assert!(iters <= 2 + 1);
+        let r = a.matvec(&x);
+        assert!((r[0] - b[0]).abs() < 1e-8 && (r[1] - b[1]).abs() < 1e-8);
+    }
+
+    #[test]
+    fn zero_rhs_returns_zero() {
+        let a = Mat::identity(3);
+        let (x, iters) = cg_solve(&DenseOp(&a), &[0.0; 3], None, CgOptions::default()).unwrap();
+        assert_eq!(x, vec![0.0; 3]);
+        assert_eq!(iters, 0);
+    }
+
+    #[test]
+    fn warm_start_converges_immediately() {
+        let a = Mat::from_rows(&[&[2.0, 0.0], &[0.0, 2.0]]);
+        let b = [2.0, 4.0];
+        let x0 = [1.0, 2.0];
+        let (_, iters) = cg_solve(&DenseOp(&a), &b, Some(&x0), CgOptions::default()).unwrap();
+        assert_eq!(iters, 0);
+    }
+
+    #[test]
+    fn iteration_cap_reports_no_convergence() {
+        // An ill-conditioned system with a 1-iteration cap.
+        let a = Mat::from_rows(&[&[1.0, 0.0], &[0.0, 1e8]]);
+        let opts = CgOptions {
+            tol: 1e-14,
+            max_iters: 1,
+        };
+        let e = cg_solve(&DenseOp(&a), &[1.0, 1.0], None, opts);
+        assert!(matches!(e, Err(LinalgError::NoConvergence { .. })));
+    }
+
+    #[test]
+    fn larger_diagonally_dominant_system() {
+        let n = 50;
+        let mut a = Mat::zeros(n, n);
+        for i in 0..n {
+            a[(i, i)] = 4.0;
+            if i + 1 < n {
+                a[(i, i + 1)] = -1.0;
+                a[(i + 1, i)] = -1.0;
+            }
+        }
+        let b: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        let (x, _) = cg_solve(&DenseOp(&a), &b, None, CgOptions::default()).unwrap();
+        let r = a.matvec(&x);
+        let err: f64 = r.iter().zip(&b).map(|(ri, bi)| (ri - bi).abs()).fold(0.0, f64::max);
+        assert!(err < 1e-7, "err = {err}");
+    }
+}

@@ -1,0 +1,159 @@
+//! Cholesky factorization for symmetric positive definite matrices.
+//!
+//! After the row-reduction preprocessing of §IV-B, each component matrix
+//! `A_s` has full row rank, so the Gram matrix `A_s A_sᵀ` is SPD and the
+//! closed-form local update (15) needs its inverse exactly once, at
+//! precomputation time (Algorithm 1 lines 2–3). Cholesky is the natural
+//! factorization for that.
+
+use crate::{dense::Mat, LinalgError, Result};
+
+/// A lower-triangular Cholesky factor `A = L Lᵀ`.
+#[derive(Debug, Clone)]
+pub struct CholFactor {
+    /// Lower-triangular factor stored densely (upper part zero).
+    l: Mat,
+}
+
+impl CholFactor {
+    /// Factor an SPD matrix. Fails with [`LinalgError::Singular`] if a
+    /// non-positive pivot (relative to the matrix scale) appears, which
+    /// signals rank deficiency — i.e. the caller skipped row reduction.
+    ///
+    /// # Panics
+    /// Panics if `a` is not square.
+    pub fn new(a: &Mat) -> Result<Self> {
+        assert_eq!(a.rows(), a.cols(), "Cholesky requires a square matrix");
+        let n = a.rows();
+        let scale = a.norm_max().max(1.0);
+        let tol = 1e-12 * scale;
+        let mut l = Mat::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut s = a[(i, j)];
+                for k in 0..j {
+                    s -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if s <= tol {
+                        return Err(LinalgError::Singular { at: i });
+                    }
+                    l[(i, i)] = s.sqrt();
+                } else {
+                    l[(i, j)] = s / l[(j, j)];
+                }
+            }
+        }
+        Ok(CholFactor { l })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// Borrow the lower-triangular factor.
+    pub fn l(&self) -> &Mat {
+        &self.l
+    }
+
+    /// Solve `A x = b` via forward/back substitution.
+    ///
+    /// # Panics
+    /// Panics if `b.len() != dim()`.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.dim();
+        assert_eq!(b.len(), n, "Cholesky solve: rhs length mismatch");
+        let mut x = b.to_vec();
+        // L y = b
+        for i in 0..n {
+            let mut s = x[i];
+            for j in 0..i {
+                s -= self.l[(i, j)] * x[j];
+            }
+            x[i] = s / self.l[(i, i)];
+        }
+        // Lᵀ x = y
+        for i in (0..n).rev() {
+            let mut s = x[i];
+            for j in (i + 1)..n {
+                s -= self.l[(j, i)] * x[j];
+            }
+            x[i] = s / self.l[(i, i)];
+        }
+        x
+    }
+
+    /// Explicit inverse `A⁻¹` (used once per component at precompute time).
+    pub fn inverse(&self) -> Mat {
+        let n = self.dim();
+        let mut inv = Mat::zeros(n, n);
+        let mut e = vec![0.0; n];
+        for j in 0..n {
+            e[j] = 1.0;
+            let col = self.solve(&e);
+            e[j] = 0.0;
+            for i in 0..n {
+                inv[(i, j)] = col[i];
+            }
+        }
+        inv
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> Mat {
+        // Diagonally dominant symmetric → SPD.
+        Mat::from_rows(&[&[4.0, 1.0, 0.5], &[1.0, 5.0, 1.5], &[0.5, 1.5, 6.0]])
+    }
+
+    #[test]
+    fn factor_reconstructs_matrix() {
+        let a = spd3();
+        let f = CholFactor::new(&a).unwrap();
+        let rec = f.l().matmul(&f.l().transpose());
+        assert!(rec.sub(&a).norm_max() < 1e-12);
+    }
+
+    #[test]
+    fn solve_matches_lu() {
+        let a = spd3();
+        let b = [1.0, -2.0, 0.5];
+        let xc = CholFactor::new(&a).unwrap().solve(&b);
+        let xl = crate::LuFactor::new(&a).unwrap().solve(&b);
+        for (c, l) in xc.iter().zip(&xl) {
+            assert!((c - l).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn inverse_is_correct() {
+        let a = spd3();
+        let inv = CholFactor::new(&a).unwrap().inverse();
+        assert!(a.matmul(&inv).sub(&Mat::identity(3)).norm_max() < 1e-12);
+    }
+
+    #[test]
+    fn indefinite_matrix_rejected() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, -1
+        assert!(matches!(CholFactor::new(&a), Err(LinalgError::Singular { .. })));
+    }
+
+    #[test]
+    fn semidefinite_matrix_rejected() {
+        // Rank-1 Gram matrix of a rank-deficient A — the case row
+        // reduction is supposed to prevent.
+        let a = Mat::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]);
+        assert!(CholFactor::new(&a).is_err());
+    }
+
+    #[test]
+    fn identity_solve_is_noop() {
+        let f = CholFactor::new(&Mat::identity(4)).unwrap();
+        let b = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(f.solve(&b), b.to_vec());
+    }
+}

@@ -1,0 +1,275 @@
+//! Compressed sparse row matrices.
+//!
+//! The stacked consensus matrix `B = [B_1; …; B_S]` of eq. (17) is a large
+//! 0-1 selection matrix (one nonzero per row); the global and dual updates
+//! of §IV-C are sparse `Bx` / `Bᵀv` products. CSR with rayon-parallel
+//! row loops covers both, and `BᵀB` being diagonal (each global variable's
+//! copy count) is exploited by the caller.
+
+use rayon::prelude::*;
+
+/// A CSR sparse matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csr {
+    rows: usize,
+    cols: usize,
+    /// Row pointer array, length `rows + 1`.
+    indptr: Vec<usize>,
+    /// Column indices, length `nnz`.
+    indices: Vec<u32>,
+    /// Nonzero values, length `nnz`.
+    values: Vec<f64>,
+}
+
+impl Csr {
+    /// Build from coordinate triplets `(row, col, value)`. Duplicate
+    /// entries are summed; explicit zeros are kept (harmless).
+    ///
+    /// # Panics
+    /// Panics if any index is out of bounds.
+    pub fn from_triplets(rows: usize, cols: usize, triplets: &[(usize, usize, f64)]) -> Self {
+        for &(r, c, _) in triplets {
+            assert!(r < rows && c < cols, "triplet ({r},{c}) out of bounds");
+        }
+        // Count per row, then bucket-sort.
+        let mut counts = vec![0usize; rows + 1];
+        for &(r, _, _) in triplets {
+            counts[r + 1] += 1;
+        }
+        for i in 0..rows {
+            counts[i + 1] += counts[i];
+        }
+        let indptr_raw = counts.clone();
+        let mut indices = vec![0u32; triplets.len()];
+        let mut values = vec![0.0; triplets.len()];
+        let mut next = indptr_raw.clone();
+        for &(r, c, v) in triplets {
+            let pos = next[r];
+            indices[pos] = c as u32;
+            values[pos] = v;
+            next[r] += 1;
+        }
+        // Sort within each row and merge duplicates.
+        let mut out_indptr = vec![0usize; rows + 1];
+        let mut out_indices = Vec::with_capacity(triplets.len());
+        let mut out_values = Vec::with_capacity(triplets.len());
+        for r in 0..rows {
+            let lo = indptr_raw[r];
+            let hi = indptr_raw[r + 1];
+            let mut row: Vec<(u32, f64)> = indices[lo..hi]
+                .iter()
+                .copied()
+                .zip(values[lo..hi].iter().copied())
+                .collect();
+            row.sort_unstable_by_key(|&(c, _)| c);
+            let mut iter = row.into_iter();
+            if let Some((mut cur_c, mut cur_v)) = iter.next() {
+                for (c, v) in iter {
+                    if c == cur_c {
+                        cur_v += v;
+                    } else {
+                        out_indices.push(cur_c);
+                        out_values.push(cur_v);
+                        cur_c = c;
+                        cur_v = v;
+                    }
+                }
+                out_indices.push(cur_c);
+                out_values.push(cur_v);
+            }
+            out_indptr[r + 1] = out_indices.len();
+        }
+        Csr {
+            rows,
+            cols,
+            indptr: out_indptr,
+            indices: out_indices,
+            values: out_values,
+        }
+    }
+
+    /// A selection matrix: row `i` has a single 1 at column `sel[i]`.
+    /// This is exactly the structure of the consensus matrices `B_s`.
+    pub fn selection(cols: usize, sel: &[usize]) -> Self {
+        let triplets: Vec<(usize, usize, f64)> =
+            sel.iter().enumerate().map(|(r, &c)| (r, c, 1.0)).collect();
+        Csr::from_triplets(sel.len(), cols, &triplets)
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored nonzeros.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Iterate the nonzeros of row `r` as `(col, value)` pairs.
+    pub fn row_iter(&self, r: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let lo = self.indptr[r];
+        let hi = self.indptr[r + 1];
+        self.indices[lo..hi]
+            .iter()
+            .map(|&c| c as usize)
+            .zip(self.values[lo..hi].iter().copied())
+    }
+
+    /// `y = A x` (sequential).
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "csr matvec: length mismatch");
+        let mut y = vec![0.0; self.rows];
+        self.matvec_into(x, &mut y);
+        y
+    }
+
+    /// `y = A x` into a preallocated buffer (sequential).
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "csr matvec: x length mismatch");
+        assert_eq!(y.len(), self.rows, "csr matvec: y length mismatch");
+        for r in 0..self.rows {
+            let mut s = 0.0;
+            for (c, v) in self.row_iter(r) {
+                s += v * x[c];
+            }
+            y[r] = s;
+        }
+    }
+
+    /// `y = A x` with rayon-parallel rows.
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    pub fn par_matvec_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "csr par_matvec: x length mismatch");
+        assert_eq!(y.len(), self.rows, "csr par_matvec: y length mismatch");
+        y.par_iter_mut().enumerate().for_each(|(r, yr)| {
+            let mut s = 0.0;
+            for (c, v) in self.row_iter(r) {
+                s += v * x[c];
+            }
+            *yr = s;
+        });
+    }
+
+    /// `y = Aᵀ x` (sequential scatter).
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    pub fn matvec_t(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.rows, "csr matvec_t: length mismatch");
+        let mut y = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            let xr = x[r];
+            if xr != 0.0 {
+                for (c, v) in self.row_iter(r) {
+                    y[c] += v * xr;
+                }
+            }
+        }
+        y
+    }
+
+    /// Transposed copy (CSR of `Aᵀ`), so `Bᵀλ` can also run as a parallel
+    /// row loop.
+    pub fn transpose(&self) -> Csr {
+        let triplets: Vec<(usize, usize, f64)> = (0..self.rows)
+            .flat_map(|r| self.row_iter(r).map(move |(c, v)| (c, r, v)))
+            .collect();
+        Csr::from_triplets(self.cols, self.rows, &triplets)
+    }
+
+    /// Diagonal of `AᵀA` — for a 0-1 selection matrix this is the number of
+    /// copies of each global variable, the denominator of the global
+    /// update (13) and the "diagonal `BᵀB`" observation of §IV-C.
+    pub fn column_sq_norms(&self) -> Vec<f64> {
+        let mut d = vec![0.0; self.cols];
+        for (&c, &v) in self.indices.iter().zip(&self.values) {
+            d[c as usize] += v * v;
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Csr {
+        // [[1, 0, 2],
+        //  [0, 0, 3],
+        //  [4, 5, 0]]
+        Csr::from_triplets(
+            3,
+            3,
+            &[(0, 0, 1.0), (0, 2, 2.0), (1, 2, 3.0), (2, 0, 4.0), (2, 1, 5.0)],
+        )
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        let a = sample();
+        let y = a.matvec(&[1.0, 2.0, 3.0]);
+        assert_eq!(y, vec![7.0, 9.0, 14.0]);
+    }
+
+    #[test]
+    fn par_matvec_matches_sequential() {
+        let a = sample();
+        let x = [0.5, -1.0, 2.0];
+        let mut y1 = vec![0.0; 3];
+        let mut y2 = vec![0.0; 3];
+        a.matvec_into(&x, &mut y1);
+        a.par_matvec_into(&x, &mut y2);
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn matvec_t_matches_transpose() {
+        let a = sample();
+        let x = [1.0, 2.0, 3.0];
+        assert_eq!(a.matvec_t(&x), a.transpose().matvec(&x));
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let a = Csr::from_triplets(1, 2, &[(0, 1, 2.0), (0, 1, 3.0)]);
+        assert_eq!(a.nnz(), 1);
+        assert_eq!(a.matvec(&[0.0, 1.0]), vec![5.0]);
+    }
+
+    #[test]
+    fn selection_matrix_selects() {
+        let b = Csr::selection(4, &[2, 0, 2]);
+        assert_eq!(b.matvec(&[10.0, 11.0, 12.0, 13.0]), vec![12.0, 10.0, 12.0]);
+        // Copy counts: column 2 selected twice, column 0 once.
+        assert_eq!(b.column_sq_norms(), vec![1.0, 0.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn empty_rows_are_fine() {
+        let a = Csr::from_triplets(3, 2, &[(0, 0, 1.0)]);
+        assert_eq!(a.matvec(&[1.0, 1.0]), vec![1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = sample();
+        assert_eq!(a.transpose().transpose(), a);
+    }
+}

@@ -1,0 +1,346 @@
+//! Row-major dense matrices.
+//!
+//! Component matrices `A_s` in the OPF decomposition are tiny (Table IV:
+//! at most a few dozen rows/columns), so a simple contiguous row-major
+//! layout with straightforward triple loops is both cache-friendly and
+//! fast enough that preprocessing time is negligible next to the ADMM
+//! iterations themselves.
+
+use crate::vec_ops;
+
+/// A dense row-major `rows × cols` matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mat {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Mat {
+    /// Create a zero matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Mat {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Create the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Mat::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Create a matrix from a row-major data vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "from_vec: data length mismatch");
+        Mat { rows, cols, data }
+    }
+
+    /// Create a matrix from nested row slices (convenient in tests).
+    ///
+    /// # Panics
+    /// Panics if the rows have inconsistent lengths.
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "from_rows: ragged rows");
+            data.extend_from_slice(row);
+        }
+        Mat { rows: r, cols: c, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow the underlying row-major data.
+    #[inline]
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutably borrow the underlying row-major data.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Borrow row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        debug_assert!(i < self.rows);
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `i` as a slice.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        debug_assert!(i < self.rows);
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Swap rows `i` and `j` in place.
+    pub fn swap_rows(&mut self, i: usize, j: usize) {
+        if i == j {
+            return;
+        }
+        let (lo, hi) = (i.min(j), i.max(j));
+        let (a, b) = self.data.split_at_mut(hi * self.cols);
+        a[lo * self.cols..(lo + 1) * self.cols].swap_with_slice(&mut b[..self.cols]);
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Mat {
+        let mut t = Mat::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Matrix-vector product `y = A x`.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != cols`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "matvec: length mismatch");
+        let mut y = vec![0.0; self.rows];
+        self.matvec_into(x, &mut y);
+        y
+    }
+
+    /// Matrix-vector product into a preallocated output (no allocation).
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "matvec_into: x length mismatch");
+        assert_eq!(y.len(), self.rows, "matvec_into: y length mismatch");
+        for (i, yi) in y.iter_mut().enumerate() {
+            *yi = vec_ops::dot(self.row(i), x);
+        }
+    }
+
+    /// Transposed matrix-vector product `y = Aᵀ x`.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != rows`.
+    pub fn matvec_t(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.rows, "matvec_t: length mismatch");
+        let mut y = vec![0.0; self.cols];
+        for i in 0..self.rows {
+            let xi = x[i];
+            if xi != 0.0 {
+                vec_ops::axpy(xi, self.row(i), &mut y);
+            }
+        }
+        y
+    }
+
+    /// Matrix-matrix product `A * B`.
+    ///
+    /// # Panics
+    /// Panics if `self.cols != rhs.rows`.
+    pub fn matmul(&self, rhs: &Mat) -> Mat {
+        assert_eq!(self.cols, rhs.rows, "matmul: inner dimension mismatch");
+        let mut out = Mat::zeros(self.rows, rhs.cols);
+        // i-k-j loop order: streams over rhs rows, good locality row-major.
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let aik = self[(i, k)];
+                if aik == 0.0 {
+                    continue;
+                }
+                let rrow = rhs.row(k);
+                let orow = out.row_mut(i);
+                for (o, &r) in orow.iter_mut().zip(rrow) {
+                    *o += aik * r;
+                }
+            }
+        }
+        out
+    }
+
+    /// Gram matrix `A Aᵀ` (symmetric positive semidefinite, `rows × rows`).
+    pub fn gram_aat(&self) -> Mat {
+        let mut g = Mat::zeros(self.rows, self.rows);
+        for i in 0..self.rows {
+            for j in i..self.rows {
+                let v = vec_ops::dot(self.row(i), self.row(j));
+                g[(i, j)] = v;
+                g[(j, i)] = v;
+            }
+        }
+        g
+    }
+
+    /// `A + B`.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn add(&self, rhs: &Mat) -> Mat {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "add: shape mismatch");
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Mat::from_vec(self.rows, self.cols, data)
+    }
+
+    /// `A - B`.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn sub(&self, rhs: &Mat) -> Mat {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "sub: shape mismatch");
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a - b)
+            .collect();
+        Mat::from_vec(self.rows, self.cols, data)
+    }
+
+    /// Scaled copy `c · A`.
+    pub fn scaled(&self, c: f64) -> Mat {
+        Mat::from_vec(self.rows, self.cols, self.data.iter().map(|a| c * a).collect())
+    }
+
+    /// Frobenius norm.
+    pub fn norm_fro(&self) -> f64 {
+        vec_ops::norm2(&self.data)
+    }
+
+    /// Maximum absolute entry.
+    pub fn norm_max(&self) -> f64 {
+        vec_ops::norm_inf(&self.data)
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Mat {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Mat {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Mat {
+        Mat::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]])
+    }
+
+    #[test]
+    fn shape_and_index() {
+        let m = sample();
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        assert_eq!(m[(1, 2)], 6.0);
+    }
+
+    #[test]
+    fn identity_matvec_is_noop() {
+        let x = [1.0, -2.0, 3.5];
+        assert_eq!(Mat::identity(3).matvec(&x), x.to_vec());
+    }
+
+    #[test]
+    fn matvec_matches_manual() {
+        let y = sample().matvec(&[1.0, 0.0, -1.0]);
+        assert_eq!(y, vec![-2.0, -2.0]);
+    }
+
+    #[test]
+    fn matvec_t_matches_transpose_matvec() {
+        let m = sample();
+        let x = [2.0, -1.0];
+        assert_eq!(m.matvec_t(&x), m.transpose().matvec(&x));
+    }
+
+    #[test]
+    fn matmul_matches_manual() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Mat::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c, Mat::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn gram_is_symmetric_and_matches_matmul() {
+        let m = sample();
+        let g = m.gram_aat();
+        let g2 = m.matmul(&m.transpose());
+        assert_eq!(g, g2);
+        for i in 0..g.rows() {
+            for j in 0..g.cols() {
+                assert_eq!(g[(i, j)], g[(j, i)]);
+            }
+        }
+    }
+
+    #[test]
+    fn swap_rows_works() {
+        let mut m = sample();
+        m.swap_rows(0, 1);
+        assert_eq!(m.row(0), &[4.0, 5.0, 6.0]);
+        assert_eq!(m.row(1), &[1.0, 2.0, 3.0]);
+        m.swap_rows(1, 1);
+        assert_eq!(m.row(1), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn transpose_twice_is_identity() {
+        let m = sample();
+        assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn add_sub_scaled() {
+        let m = sample();
+        assert_eq!(m.add(&m), m.scaled(2.0));
+        let z = m.sub(&m);
+        assert_eq!(z.norm_fro(), 0.0);
+        assert_eq!(m.norm_max(), 6.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn matmul_shape_mismatch_panics() {
+        sample().matmul(&sample());
+    }
+}

@@ -1,0 +1,96 @@
+//! Dense and sparse linear-algebra kernels for the `gridflow` workspace.
+//!
+//! The component-wise decomposition of the distributed OPF model produces
+//! many *small dense* matrices `A_s` (a few dozen rows/columns each, see
+//! Table IV of the paper) plus one *large sparse* 0-1 consensus matrix `B`
+//! (eq. (17)). This crate provides exactly the operations the algorithm
+//! needs, implemented from scratch:
+//!
+//! * [`Mat`] — row-major dense matrices with the usual BLAS-2/3 style ops;
+//! * [`lu::LuFactor`] — LU with partial pivoting (solve / inverse);
+//! * [`cholesky::CholFactor`] — Cholesky for the SPD Gram matrices
+//!   `A_s A_sᵀ` used by the closed-form local update (15);
+//! * [`rref`] — reduced row echelon form of `[A_s | b_s]`, the row-reduction
+//!   preprocessing of §IV-B that restores full row rank;
+//! * [`Csr`] — compressed sparse row matrices for the stacked consensus
+//!   matrix `B` and its transpose products (§IV-C);
+//! * [`cg`] — a conjugate-gradient solver for large SPD systems, used by the
+//!   centralized reference solver.
+//!
+//! Everything is `f64`; the matrices involved are small or sparse enough
+//! that double precision is both accurate and fast.
+
+// Index-based loops are the clearest notation for the dense factorization
+// kernels in this crate; silence clippy's iterator-style suggestion.
+#![allow(clippy::needless_range_loop)]
+
+pub mod cg;
+pub mod cholesky;
+pub mod csr;
+pub mod dense;
+pub mod lu;
+pub mod qr;
+pub mod rref;
+pub mod vec_ops;
+
+pub use cholesky::CholFactor;
+pub use csr::Csr;
+pub use dense::Mat;
+pub use lu::LuFactor;
+pub use qr::QrFactor;
+pub use rref::{rref_augmented, RrefResult};
+
+/// Errors produced by factorizations and solvers in this crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinalgError {
+    /// A factorization encountered an (numerically) singular matrix.
+    Singular {
+        /// Pivot index where breakdown was detected.
+        at: usize,
+    },
+    /// Matrix dimensions do not conform for the requested operation.
+    DimensionMismatch {
+        /// Human-readable description of the expected shape.
+        expected: String,
+        /// Human-readable description of the actual shape.
+        actual: String,
+    },
+    /// A linear system `Ax = b` has no solution (inconsistent rows).
+    Inconsistent {
+        /// Row of the reduced system where `0 = nonzero` appeared.
+        row: usize,
+    },
+    /// An iterative method failed to converge within its iteration budget.
+    NoConvergence {
+        /// Iterations performed.
+        iterations: usize,
+        /// Residual norm at exit.
+        residual: f64,
+    },
+}
+
+impl std::fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinalgError::Singular { at } => write!(f, "singular matrix (pivot {at})"),
+            LinalgError::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: expected {expected}, got {actual}")
+            }
+            LinalgError::Inconsistent { row } => {
+                write!(f, "inconsistent linear system (row {row}: 0 = nonzero)")
+            }
+            LinalgError::NoConvergence {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "iterative solver did not converge ({iterations} iterations, residual {residual:.3e})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, LinalgError>;

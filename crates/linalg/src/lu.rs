@@ -1,0 +1,203 @@
+//! LU factorization with partial pivoting.
+//!
+//! Used for inverting the small Gram matrices `A_s A_sᵀ` when they are not
+//! perfectly conditioned for Cholesky, and by the reference solver's KKT
+//! systems. Sizes here are tiny (≤ ~60), so a textbook Doolittle
+//! factorization with partial pivoting is appropriate.
+
+use crate::{dense::Mat, LinalgError, Result};
+
+/// An LU factorization `P A = L U` of a square matrix.
+#[derive(Debug, Clone)]
+pub struct LuFactor {
+    /// Packed LU factors: strictly-lower part stores L (unit diagonal
+    /// implicit), upper triangle stores U.
+    lu: Mat,
+    /// Row permutation: `perm[i]` is the original row that ended up at
+    /// position `i`.
+    perm: Vec<usize>,
+    /// Sign of the permutation (for determinants).
+    sign: f64,
+}
+
+impl LuFactor {
+    /// Factor a square matrix. Fails with [`LinalgError::Singular`] if a
+    /// pivot below `tol`·(max row magnitude) is encountered.
+    ///
+    /// # Panics
+    /// Panics if `a` is not square.
+    pub fn new(a: &Mat) -> Result<Self> {
+        Self::with_tolerance(a, 1e-12)
+    }
+
+    /// Factor with an explicit relative pivot tolerance.
+    ///
+    /// # Panics
+    /// Panics if `a` is not square.
+    pub fn with_tolerance(a: &Mat, tol: f64) -> Result<Self> {
+        assert_eq!(a.rows(), a.cols(), "LU requires a square matrix");
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+        let scale = lu.norm_max().max(1.0);
+
+        for k in 0..n {
+            // Partial pivot: largest |entry| in column k at/below row k.
+            let mut p = k;
+            let mut pmax = lu[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = lu[(i, k)].abs();
+                if v > pmax {
+                    pmax = v;
+                    p = i;
+                }
+            }
+            if pmax <= tol * scale {
+                return Err(LinalgError::Singular { at: k });
+            }
+            if p != k {
+                lu.swap_rows(p, k);
+                perm.swap(p, k);
+                sign = -sign;
+            }
+            let pivot = lu[(k, k)];
+            for i in (k + 1)..n {
+                let m = lu[(i, k)] / pivot;
+                lu[(i, k)] = m;
+                if m != 0.0 {
+                    for j in (k + 1)..n {
+                        let u = lu[(k, j)];
+                        lu[(i, j)] -= m * u;
+                    }
+                }
+            }
+        }
+        Ok(LuFactor { lu, perm, sign })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solve `A x = b`.
+    ///
+    /// # Panics
+    /// Panics if `b.len() != dim()`.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.dim();
+        assert_eq!(b.len(), n, "LU solve: rhs length mismatch");
+        // Apply permutation: y = P b.
+        let mut x: Vec<f64> = self.perm.iter().map(|&i| b[i]).collect();
+        // Forward substitution with unit-lower L.
+        for i in 1..n {
+            let mut s = x[i];
+            for j in 0..i {
+                s -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = s;
+        }
+        // Back substitution with U.
+        for i in (0..n).rev() {
+            let mut s = x[i];
+            for j in (i + 1)..n {
+                s -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = s / self.lu[(i, i)];
+        }
+        x
+    }
+
+    /// Solve for multiple right-hand sides given as the columns of `B`
+    /// (returns `X` with `A X = B`).
+    ///
+    /// # Panics
+    /// Panics if `b.rows() != dim()`.
+    pub fn solve_mat(&self, b: &Mat) -> Mat {
+        let n = self.dim();
+        assert_eq!(b.rows(), n, "LU solve_mat: rhs rows mismatch");
+        let mut out = Mat::zeros(n, b.cols());
+        let mut col = vec![0.0; n];
+        for j in 0..b.cols() {
+            for i in 0..n {
+                col[i] = b[(i, j)];
+            }
+            let x = self.solve(&col);
+            for i in 0..n {
+                out[(i, j)] = x[i];
+            }
+        }
+        out
+    }
+
+    /// Explicit inverse `A⁻¹`.
+    pub fn inverse(&self) -> Mat {
+        self.solve_mat(&Mat::identity(self.dim()))
+    }
+
+    /// Determinant of the factored matrix.
+    pub fn det(&self) -> f64 {
+        let mut d = self.sign;
+        for i in 0..self.dim() {
+            d *= self.lu[(i, i)];
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_known_system() {
+        let a = Mat::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let f = LuFactor::new(&a).unwrap();
+        let x = f.solve(&[3.0, 5.0]);
+        // Solution of 2x+y=3, x+3y=5 → x=0.8, y=1.4.
+        assert!((x[0] - 0.8).abs() < 1e-12);
+        assert!((x[1] - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_diagonal() {
+        let a = Mat::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let f = LuFactor::new(&a).unwrap();
+        let x = f.solve(&[2.0, 3.0]);
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+        assert!((f.det() - (-1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_rejected() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(matches!(LuFactor::new(&a), Err(LinalgError::Singular { .. })));
+    }
+
+    #[test]
+    fn inverse_times_matrix_is_identity() {
+        let a = Mat::from_rows(&[&[4.0, 2.0, 0.5], &[2.0, 5.0, 1.0], &[0.5, 1.0, 3.0]]);
+        let inv = LuFactor::new(&a).unwrap().inverse();
+        let prod = a.matmul(&inv);
+        let err = prod.sub(&Mat::identity(3)).norm_max();
+        assert!(err < 1e-12, "err = {err}");
+    }
+
+    #[test]
+    fn det_of_identity_is_one() {
+        let f = LuFactor::new(&Mat::identity(5)).unwrap();
+        assert!((f.det() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_mat_matches_columnwise_solve() {
+        let a = Mat::from_rows(&[&[3.0, 1.0], &[1.0, 2.0]]);
+        let b = Mat::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        let f = LuFactor::new(&a).unwrap();
+        let x = f.solve_mat(&b);
+        let prod = a.matmul(&x);
+        assert!(prod.sub(&Mat::identity(2)).norm_max() < 1e-12);
+    }
+}

@@ -1,0 +1,201 @@
+//! Row reduction of augmented systems `[A | b]` (paper §IV-B).
+//!
+//! The component matrices `A_s` extracted from the OPF model are not
+//! guaranteed to have full row rank (e.g. a wye load contributes both
+//! `p^b = p^d` and the load model for `p^d`, and bus balance may duplicate
+//! information on single-phase laterals). Algorithm 1 requires full row
+//! rank so that `A_s A_sᵀ` is invertible, so each augmented system is put
+//! in reduced row echelon form; zero rows are dropped and `0 = nonzero`
+//! rows are reported as model infeasibility.
+
+use crate::{dense::Mat, LinalgError, Result};
+
+/// Output of [`rref_augmented`].
+#[derive(Debug, Clone)]
+pub struct RrefResult {
+    /// Full-row-rank equality matrix (rank × cols).
+    pub a: Mat,
+    /// Matching right-hand side (length = rank).
+    pub b: Vec<f64>,
+    /// Rank detected.
+    pub rank: usize,
+    /// Pivot column of each returned row.
+    pub pivot_cols: Vec<usize>,
+}
+
+/// Reduce `[a | b]` to reduced row echelon form, dropping zero rows.
+///
+/// `tol` is a *relative* tolerance: entries below `tol · max|A|` are treated
+/// as zero. Returns [`LinalgError::Inconsistent`] if a row reduces to
+/// `0 = nonzero` (the component's equality constraints are infeasible).
+///
+/// # Panics
+/// Panics if `b.len() != a.rows()`.
+pub fn rref_augmented(a: &Mat, b: &[f64], tol: f64) -> Result<RrefResult> {
+    assert_eq!(b.len(), a.rows(), "rref: rhs length mismatch");
+    let (m, n) = (a.rows(), a.cols());
+    // Work on the augmented matrix [A | b].
+    let mut w = Mat::zeros(m, n + 1);
+    for i in 0..m {
+        w.row_mut(i)[..n].copy_from_slice(a.row(i));
+        w[(i, n)] = b[i];
+    }
+    let scale = a.norm_max().max(b.iter().fold(0.0f64, |s, v| s.max(v.abs()))).max(1.0);
+    let eps = tol * scale;
+
+    let mut pivot_cols = Vec::new();
+    let mut r = 0; // current pivot row
+    for c in 0..n {
+        if r == m {
+            break;
+        }
+        // Find the largest pivot candidate in column c at/below row r.
+        let mut p = r;
+        let mut pmax = w[(r, c)].abs();
+        for i in (r + 1)..m {
+            let v = w[(i, c)].abs();
+            if v > pmax {
+                pmax = v;
+                p = i;
+            }
+        }
+        if pmax <= eps {
+            continue; // free column
+        }
+        w.swap_rows(p, r);
+        // Normalize pivot row.
+        let piv = w[(r, c)];
+        for j in c..=n {
+            w[(r, j)] /= piv;
+        }
+        w[(r, c)] = 1.0;
+        // Eliminate the column everywhere else (full RREF).
+        for i in 0..m {
+            if i == r {
+                continue;
+            }
+            let f = w[(i, c)];
+            if f.abs() > 0.0 {
+                for j in c..=n {
+                    let v = w[(r, j)];
+                    w[(i, j)] -= f * v;
+                }
+                w[(i, c)] = 0.0;
+            }
+        }
+        pivot_cols.push(c);
+        r += 1;
+    }
+    let rank = r;
+
+    // Rows at/below `rank` have all-zero coefficients; any nonzero rhs there
+    // means the system is inconsistent.
+    for i in rank..m {
+        if w[(i, n)].abs() > eps {
+            return Err(LinalgError::Inconsistent { row: i });
+        }
+    }
+
+    let mut out_a = Mat::zeros(rank, n);
+    let mut out_b = vec![0.0; rank];
+    for i in 0..rank {
+        out_a.row_mut(i).copy_from_slice(&w.row(i)[..n]);
+        out_b[i] = w[(i, n)];
+    }
+    Ok(RrefResult {
+        a: out_a,
+        b: out_b,
+        rank,
+        pivot_cols,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOL: f64 = 1e-10;
+
+    #[test]
+    fn full_rank_input_passes_through() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let r = rref_augmented(&a, &[5.0, 6.0], TOL).unwrap();
+        assert_eq!(r.rank, 2);
+        assert_eq!(r.pivot_cols, vec![0, 1]);
+        // RREF of a full-rank square system is [I | x*].
+        assert!((r.a[(0, 0)] - 1.0).abs() < 1e-12);
+        assert!((r.a[(1, 1)] - 1.0).abs() < 1e-12);
+        assert!(r.a[(0, 1)].abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplicate_row_dropped_consistently() {
+        let a = Mat::from_rows(&[&[1.0, 1.0], &[2.0, 2.0]]);
+        let r = rref_augmented(&a, &[3.0, 6.0], TOL).unwrap();
+        assert_eq!(r.rank, 1);
+        assert_eq!(r.a.rows(), 1);
+        assert!((r.b[0] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inconsistent_duplicate_detected() {
+        let a = Mat::from_rows(&[&[1.0, 1.0], &[2.0, 2.0]]);
+        let e = rref_augmented(&a, &[3.0, 7.0], TOL);
+        assert!(matches!(e, Err(LinalgError::Inconsistent { .. })));
+    }
+
+    #[test]
+    fn solution_set_preserved() {
+        // x + y + z = 6; y - z = 0; and their sum (redundant).
+        let a = Mat::from_rows(&[
+            &[1.0, 1.0, 1.0],
+            &[0.0, 1.0, -1.0],
+            &[1.0, 2.0, 0.0],
+        ]);
+        let b = [6.0, 0.0, 6.0];
+        let r = rref_augmented(&a, &b, TOL).unwrap();
+        assert_eq!(r.rank, 2);
+        // Any x satisfying the reduced system must satisfy the original.
+        // Take x = (2, 2, 2): check both.
+        let x = [2.0, 2.0, 2.0];
+        for i in 0..r.rank {
+            let lhs: f64 = r.a.row(i).iter().zip(&x).map(|(a, b)| a * b).sum();
+            assert!((lhs - r.b[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zero_matrix_zero_rhs_is_rank_zero() {
+        let a = Mat::zeros(3, 4);
+        let r = rref_augmented(&a, &[0.0; 3], TOL).unwrap();
+        assert_eq!(r.rank, 0);
+        assert_eq!(r.a.rows(), 0);
+    }
+
+    #[test]
+    fn zero_matrix_nonzero_rhs_is_inconsistent() {
+        let a = Mat::zeros(2, 3);
+        assert!(rref_augmented(&a, &[0.0, 1.0], TOL).is_err());
+    }
+
+    #[test]
+    fn gram_of_reduced_matrix_is_invertible() {
+        // The property Algorithm 1 relies on: after RREF, A Aᵀ is SPD.
+        let a = Mat::from_rows(&[
+            &[1.0, 2.0, 3.0],
+            &[2.0, 4.0, 6.0], // dup
+            &[0.0, 1.0, 1.0],
+        ]);
+        let r = rref_augmented(&a, &[1.0, 2.0, 0.0], TOL).unwrap();
+        assert_eq!(r.rank, 2);
+        let gram = r.a.gram_aat();
+        assert!(crate::CholFactor::new(&gram).is_ok());
+    }
+
+    #[test]
+    fn near_zero_noise_respects_tolerance() {
+        let a = Mat::from_rows(&[&[1.0, 0.0], &[1e-14, 0.0]]);
+        let r = rref_augmented(&a, &[1.0, 1e-14], 1e-10).unwrap();
+        assert_eq!(r.rank, 1);
+    }
+}

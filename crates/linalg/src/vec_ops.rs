@@ -1,0 +1,156 @@
+//! Vector kernels used throughout the ADMM iteration.
+//!
+//! These are the element-wise operations that make up the global update
+//! (13)/(18) and dual update (12): clipped averages, axpy, norms. They are
+//! written over slices so the same code runs inside the GPU simulator's
+//! kernels and on the host.
+
+/// Dot product `xᵀy`.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot: length mismatch");
+    x.iter().zip(y).map(|(a, b)| a * b).sum()
+}
+
+/// Euclidean norm `‖x‖₂`.
+pub fn norm2(x: &[f64]) -> f64 {
+    dot(x, x).sqrt()
+}
+
+/// Squared Euclidean norm `‖x‖₂²`.
+pub fn norm2_sq(x: &[f64]) -> f64 {
+    dot(x, x)
+}
+
+/// Infinity norm `‖x‖∞` (0 for empty slices).
+pub fn norm_inf(x: &[f64]) -> f64 {
+    x.iter().fold(0.0, |m, v| m.max(v.abs()))
+}
+
+/// `y ← a·x + y`.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn axpy(a: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += a * xi;
+    }
+}
+
+/// `x ← a·x`.
+pub fn scale(a: f64, x: &mut [f64]) {
+    for xi in x.iter_mut() {
+        *xi *= a;
+    }
+}
+
+/// Element-wise clip: `out[i] = min(max(x[i], lo[i]), hi[i])` — eq. (13)'s
+/// projection onto the box `[x̲, x̄]`.
+///
+/// Infinite bounds are allowed (the common "unbounded variable" case).
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn clip(x: &mut [f64], lo: &[f64], hi: &[f64]) {
+    assert_eq!(x.len(), lo.len(), "clip: lo length mismatch");
+    assert_eq!(x.len(), hi.len(), "clip: hi length mismatch");
+    for ((xi, &l), &h) in x.iter_mut().zip(lo).zip(hi) {
+        *xi = xi.max(l).min(h);
+    }
+}
+
+/// Scalar clip helper used by the per-entry global update.
+#[inline]
+pub fn clip_scalar(x: f64, lo: f64, hi: f64) -> f64 {
+    x.max(lo).min(hi)
+}
+
+/// `‖x − y‖₂`.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn dist2(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dist2: length mismatch");
+    x.iter()
+        .zip(y)
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Copy `src` into `dst`.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn copy(src: &[f64], dst: &mut [f64]) {
+    dst.copy_from_slice(src);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_basic() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+    }
+
+    #[test]
+    fn dot_empty() {
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn norms() {
+        let x = [3.0, -4.0];
+        assert_eq!(norm2(&x), 5.0);
+        assert_eq!(norm2_sq(&x), 25.0);
+        assert_eq!(norm_inf(&x), 4.0);
+        assert_eq!(norm_inf(&[]), 0.0);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut y = [1.0, 1.0];
+        axpy(2.0, &[3.0, -1.0], &mut y);
+        assert_eq!(y, [7.0, -1.0]);
+    }
+
+    #[test]
+    fn scale_in_place() {
+        let mut x = [1.0, -2.0];
+        scale(-3.0, &mut x);
+        assert_eq!(x, [-3.0, 6.0]);
+    }
+
+    #[test]
+    fn clip_respects_bounds() {
+        let mut x = [-5.0, 0.5, 5.0];
+        clip(&mut x, &[0.0, 0.0, 0.0], &[1.0, 1.0, 1.0]);
+        assert_eq!(x, [0.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn clip_with_infinite_bounds() {
+        let mut x = [-5.0, 5.0];
+        clip(&mut x, &[f64::NEG_INFINITY, 0.0], &[f64::INFINITY, f64::INFINITY]);
+        assert_eq!(x, [-5.0, 5.0]);
+    }
+
+    #[test]
+    fn dist2_symmetric() {
+        let a = [1.0, 2.0];
+        let b = [4.0, 6.0];
+        assert_eq!(dist2(&a, &b), 5.0);
+        assert_eq!(dist2(&b, &a), 5.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn dot_length_mismatch_panics() {
+        dot(&[1.0], &[1.0, 2.0]);
+    }
+}

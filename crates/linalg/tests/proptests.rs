@@ -1,0 +1,136 @@
+//! Property-based tests for the linear-algebra kernels.
+
+use opf_linalg::{cg, rref_augmented, CholFactor, Csr, LuFactor, Mat};
+use proptest::prelude::*;
+
+/// Strategy: a well-conditioned SPD matrix built as `MMᵀ + n·I`.
+fn spd_mat(n: usize) -> impl Strategy<Value = Mat> {
+    prop::collection::vec(-2.0f64..2.0, n * n).prop_map(move |data| {
+        let m = Mat::from_vec(n, n, data);
+        let mut g = m.gram_aat();
+        for i in 0..n {
+            g[(i, i)] += n as f64;
+        }
+        g
+    })
+}
+
+fn arb_mat(rows: usize, cols: usize) -> impl Strategy<Value = Mat> {
+    prop::collection::vec(-5.0f64..5.0, rows * cols)
+        .prop_map(move |data| Mat::from_vec(rows, cols, data))
+}
+
+fn arb_vec(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-5.0f64..5.0, n)
+}
+
+proptest! {
+    #[test]
+    fn lu_solve_residual_small((a, b) in spd_mat(6).prop_flat_map(|a| (Just(a), arb_vec(6)))) {
+        let f = LuFactor::new(&a).unwrap();
+        let x = f.solve(&b);
+        let r = a.matvec(&x);
+        for (ri, bi) in r.iter().zip(&b) {
+            prop_assert!((ri - bi).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn cholesky_matches_lu((a, b) in spd_mat(5).prop_flat_map(|a| (Just(a), arb_vec(5)))) {
+        let xc = CholFactor::new(&a).unwrap().solve(&b);
+        let xl = LuFactor::new(&a).unwrap().solve(&b);
+        for (c, l) in xc.iter().zip(&xl) {
+            prop_assert!((c - l).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn matmul_associative_with_vector(a in arb_mat(4, 3), b in arb_mat(3, 5), x in arb_vec(5)) {
+        // (A B) x == A (B x)
+        let lhs = a.matmul(&b).matvec(&x);
+        let rhs = a.matvec(&b.matvec(&x));
+        for (l, r) in lhs.iter().zip(&rhs) {
+            prop_assert!((l - r).abs() < 1e-9 * (1.0 + l.abs()));
+        }
+    }
+
+    #[test]
+    fn transpose_matvec_adjoint(a in arb_mat(4, 6), x in arb_vec(6), y in arb_vec(4)) {
+        // ⟨Ax, y⟩ == ⟨x, Aᵀy⟩
+        let ax = a.matvec(&x);
+        let aty = a.matvec_t(&y);
+        let lhs: f64 = ax.iter().zip(&y).map(|(p, q)| p * q).sum();
+        let rhs: f64 = x.iter().zip(&aty).map(|(p, q)| p * q).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-8 * (1.0 + lhs.abs()));
+    }
+
+    #[test]
+    fn rref_preserves_solutions(seed_rows in prop::collection::vec(arb_vec(4), 1..4), dup in 0usize..3) {
+        // Build a matrix whose rows are the seeds plus a duplicated row,
+        // and a consistent rhs from a known solution.
+        let x_star = [1.0, -2.0, 0.5, 3.0];
+        let mut rows = seed_rows.clone();
+        let d = dup.min(rows.len() - 1);
+        rows.push(rows[d].clone());
+        let m = rows.len();
+        let mut a = Mat::zeros(m, 4);
+        let mut b = vec![0.0; m];
+        for (i, row) in rows.iter().enumerate() {
+            a.row_mut(i).copy_from_slice(row);
+            b[i] = row.iter().zip(&x_star).map(|(p, q)| p * q).sum();
+        }
+        let r = rref_augmented(&a, &b, 1e-9).unwrap();
+        prop_assert!(r.rank < m || r.rank == a.cols().min(m));
+        // x_star still satisfies the reduced system.
+        for i in 0..r.rank {
+            let lhs: f64 = r.a.row(i).iter().zip(&x_star).map(|(p, q)| p * q).sum();
+            prop_assert!((lhs - r.b[i]).abs() < 1e-7, "row {i}: {lhs} vs {}", r.b[i]);
+        }
+        // Reduced matrix has full row rank: Gram factorizable.
+        if r.rank > 0 {
+            prop_assert!(CholFactor::new(&r.a.gram_aat()).is_ok());
+        }
+    }
+
+    #[test]
+    fn csr_matvec_matches_dense(a in arb_mat(5, 7), x in arb_vec(7)) {
+        let mut triplets = Vec::new();
+        for i in 0..5 {
+            for j in 0..7 {
+                if a[(i, j)].abs() > 1e-12 {
+                    triplets.push((i, j, a[(i, j)]));
+                }
+            }
+        }
+        let s = Csr::from_triplets(5, 7, &triplets);
+        let yd = a.matvec(&x);
+        let ys = s.matvec(&x);
+        for (d, sp) in yd.iter().zip(&ys) {
+            prop_assert!((d - sp).abs() < 1e-10);
+        }
+        // Parallel path agrees too.
+        let mut yp = vec![0.0; 5];
+        s.par_matvec_into(&x, &mut yp);
+        prop_assert_eq!(ys, yp);
+    }
+
+    #[test]
+    fn cg_matches_cholesky((a, b) in spd_mat(8).prop_flat_map(|a| (Just(a), arb_vec(8)))) {
+        let (x, _) = cg::cg_solve(&cg::DenseOp(&a), &b, None, cg::CgOptions::default()).unwrap();
+        let xd = CholFactor::new(&a).unwrap().solve(&b);
+        for (i, d) in x.iter().zip(&xd) {
+            prop_assert!((i - d).abs() < 1e-6, "{i} vs {d}");
+        }
+    }
+
+    #[test]
+    fn selection_copy_counts(sel in prop::collection::vec(0usize..10, 1..30)) {
+        let b = Csr::selection(10, &sel);
+        let counts = b.column_sq_norms();
+        #[allow(clippy::needless_range_loop)]
+        for c in 0..10 {
+            let expected = sel.iter().filter(|&&s| s == c).count() as f64;
+            prop_assert_eq!(counts[c], expected);
+        }
+    }
+}

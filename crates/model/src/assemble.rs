@@ -1,0 +1,149 @@
+//! Centralized LP assembly — the abstract form (7):
+//! `min cᵀx  s.t.  Ax = b,  x̲ ≤ x ≤ x̄`.
+
+use crate::equations::{branch_equations, bus_equations, Equation};
+use crate::vars::VarSpace;
+use opf_linalg::Csr;
+use opf_net::{BranchId, BusId, Network};
+
+/// The centralized problem data.
+#[derive(Debug, Clone)]
+pub struct CentralizedLp {
+    /// Equality matrix `A` (rows = all equations in component order).
+    pub a: Csr,
+    /// Right-hand side `b`.
+    pub b: Vec<f64>,
+    /// Cost vector `c`.
+    pub c: Vec<f64>,
+    /// Lower bounds `x̲`.
+    pub lower: Vec<f64>,
+    /// Upper bounds `x̄`.
+    pub upper: Vec<f64>,
+    /// The variable space (kinds, index maps).
+    pub vars: VarSpace,
+}
+
+impl CentralizedLp {
+    /// Number of equality rows.
+    pub fn rows(&self) -> usize {
+        self.a.rows()
+    }
+
+    /// Number of variables.
+    pub fn cols(&self) -> usize {
+        self.a.cols()
+    }
+
+    /// Maximum equality violation `‖Ax − b‖∞` at a point.
+    pub fn infeasibility(&self, x: &[f64]) -> f64 {
+        let ax = self.a.matvec(x);
+        ax.iter()
+            .zip(&self.b)
+            .map(|(l, r)| (l - r).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Maximum bound violation at a point.
+    pub fn bound_violation(&self, x: &[f64]) -> f64 {
+        x.iter()
+            .zip(self.lower.iter().zip(&self.upper))
+            .map(|(&v, (&lo, &hi))| (lo - v).max(v - hi).max(0.0))
+            .fold(0.0, f64::max)
+    }
+
+    /// Objective `cᵀx`.
+    pub fn objective(&self, x: &[f64]) -> f64 {
+        self.c.iter().zip(x).map(|(c, v)| c * v).sum()
+    }
+}
+
+/// Collect every equation of the model, bus blocks first then branch
+/// blocks (the stacking order is immaterial; what matters is that the
+/// decomposition sees the same per-component blocks).
+pub fn all_equations(net: &Network, vs: &VarSpace) -> Vec<Equation> {
+    let mut eqs = Vec::new();
+    for i in 0..net.buses.len() {
+        eqs.extend(bus_equations(net, vs, BusId(i as u32)));
+    }
+    for e in 0..net.branches.len() {
+        eqs.extend(branch_equations(net, vs, BranchId(e as u32)));
+    }
+    eqs
+}
+
+/// Assemble the centralized LP (7) for a network.
+pub fn assemble(net: &Network) -> CentralizedLp {
+    let vs = VarSpace::build(net);
+    let eqs = all_equations(net, &vs);
+    let n = vs.n();
+    let mut triplets = Vec::new();
+    let mut b = Vec::with_capacity(eqs.len());
+    for (row, eq) in eqs.iter().enumerate() {
+        for &(col, coef) in &eq.terms {
+            triplets.push((row, col, coef));
+        }
+        b.push(eq.rhs);
+    }
+    let a = Csr::from_triplets(eqs.len(), n, &triplets);
+    CentralizedLp {
+        a,
+        b,
+        c: vs.cost.clone(),
+        lower: vs.lower.clone(),
+        upper: vs.upper.clone(),
+        vars: vs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opf_net::feeders;
+
+    #[test]
+    fn shapes_are_consistent() {
+        let net = feeders::ieee13();
+        let lp = assemble(&net);
+        assert_eq!(lp.b.len(), lp.rows());
+        assert_eq!(lp.c.len(), lp.cols());
+        assert_eq!(lp.lower.len(), lp.cols());
+        assert_eq!(lp.vars.n(), lp.cols());
+        assert!(lp.rows() > 0 && lp.cols() > 0);
+    }
+
+    #[test]
+    fn matrix_size_scale_matches_table2_shape() {
+        // Table II: (456, 454) for IEEE13-scale, (1834, 1834) for
+        // IEEE123-scale. Our synthetic instances should land in the same
+        // order of magnitude, and grow with the instance.
+        let lp13 = assemble(&feeders::ieee13());
+        let lp123 = assemble(&feeders::ieee123());
+        assert!(lp13.rows() > 150 && lp13.rows() < 1500, "{}", lp13.rows());
+        assert!(lp123.rows() > 3 * lp13.rows());
+        assert!(lp123.cols() > 3 * lp13.cols());
+    }
+
+    #[test]
+    fn every_column_touched_or_bounded() {
+        // Every variable should appear in at least one equation or carry
+        // finite bounds — otherwise the LP is unbounded in that direction.
+        let net = feeders::ieee13_detailed();
+        let lp = assemble(&net);
+        let at = lp.a.transpose();
+        for v in 0..lp.cols() {
+            let in_eq = at.row_iter(v).next().is_some();
+            let bounded = lp.lower[v].is_finite() && lp.upper[v].is_finite();
+            assert!(in_eq || bounded, "variable {v} free and untouched");
+        }
+    }
+
+    #[test]
+    fn infeasibility_and_objective_helpers() {
+        let net = feeders::ieee13();
+        let lp = assemble(&net);
+        let x0 = lp.vars.initial_point();
+        assert!(lp.infeasibility(&x0) > 0.0); // flat start isn't feasible
+        assert_eq!(lp.bound_violation(&x0), 0.0); // but respects bounds
+        assert!(lp.objective(&x0) >= 0.0);
+    }
+}

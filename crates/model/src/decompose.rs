@@ -1,0 +1,309 @@
+//! Component-wise decomposition — model (9).
+//!
+//! Each component `s` of the [`opf_net::ComponentGraph`] gets:
+//!
+//! * its structural variable set (the rows of the 0-1 consensus matrix
+//!   `B_s`, stored as the `local → global` index map),
+//! * its equality block `A_s x_s = b_s`, localized from the component's
+//!   equations and put through the row-reduction preprocessing of §IV-B so
+//!   `A_s` has full row rank,
+//! * no bounds — per the paper's key reformulation, all bound constraints
+//!   stay in the global update. The *benchmark* ADMM (model (8)) instead
+//!   reads the same bounds through [`ComponentProblem::local_bounds`].
+
+use crate::equations::{branch_equations, bus_equations, bus_var_set, branch_var_set, Equation};
+use crate::vars::VarSpace;
+use opf_linalg::{rref_augmented, Mat};
+use opf_net::{Component, ComponentGraph, Network};
+use rayon::prelude::*;
+
+/// One subproblem `s ∈ [S]` of model (9).
+#[derive(Debug, Clone)]
+pub struct ComponentProblem {
+    /// `local index → global index` (the consensus map `B_s`).
+    pub global_idx: Vec<usize>,
+    /// Full-row-rank equality matrix `A_s` (`m_s × n_s`), post row
+    /// reduction.
+    pub a: Mat,
+    /// Right-hand side `b_s` (length `m_s`).
+    pub b: Vec<f64>,
+    /// Raw equation count before row reduction (diagnostics).
+    pub m_raw: usize,
+}
+
+impl ComponentProblem {
+    /// `m_s` — number of (reduced) equality rows.
+    pub fn m(&self) -> usize {
+        self.a.rows()
+    }
+
+    /// `n_s` — number of local variables.
+    pub fn n(&self) -> usize {
+        self.global_idx.len()
+    }
+
+    /// Localized bounds `[x̲_s, x̄_s]` (used only by the benchmark ADMM
+    /// solving model (8)).
+    pub fn local_bounds(&self, lower: &[f64], upper: &[f64]) -> (Vec<f64>, Vec<f64>) {
+        let lo = self.global_idx.iter().map(|&g| lower[g]).collect();
+        let hi = self.global_idx.iter().map(|&g| upper[g]).collect();
+        (lo, hi)
+    }
+
+    /// Maximum equality violation `‖A_s x_s − b_s‖∞` of a local vector.
+    pub fn infeasibility(&self, xs: &[f64]) -> f64 {
+        let ax = self.a.matvec(xs);
+        ax.iter()
+            .zip(&self.b)
+            .map(|(l, r)| (l - r).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+/// The full decomposed problem (model (9)).
+#[derive(Debug, Clone)]
+pub struct DecomposedProblem {
+    /// Global dimension `n`.
+    pub n: usize,
+    /// Cost vector `c`.
+    pub c: Vec<f64>,
+    /// Global lower bounds `x̲`.
+    pub lower: Vec<f64>,
+    /// Global upper bounds `x̄`.
+    pub upper: Vec<f64>,
+    /// The subproblems.
+    pub components: Vec<ComponentProblem>,
+    /// `Σ_s |I_si|` — copies of each global variable (the diagonal of
+    /// `BᵀB`, §IV-C). Every entry is ≥ 1.
+    pub copy_counts: Vec<f64>,
+    /// The variable space (kinds, initial point).
+    pub vars: VarSpace,
+}
+
+/// Errors from decomposition.
+#[derive(Debug)]
+pub enum DecomposeError {
+    /// A component's equality block is self-inconsistent.
+    InfeasibleComponent {
+        /// Component index `s`.
+        s: usize,
+        /// Underlying row-reduction error.
+        source: opf_linalg::LinalgError,
+    },
+    /// A global variable is copied by no component (a modeling bug).
+    OrphanVariable {
+        /// The orphaned global index.
+        var: usize,
+    },
+}
+
+impl std::fmt::Display for DecomposeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecomposeError::InfeasibleComponent { s, source } => {
+                write!(f, "component {s} has inconsistent equalities: {source}")
+            }
+            DecomposeError::OrphanVariable { var } => {
+                write!(f, "global variable {var} owned by no component")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecomposeError {}
+
+/// Localize a set of global equations onto a component variable set and
+/// row-reduce the result (§IV-B).
+fn localize(
+    vars: &[usize],
+    eqs: &[Equation],
+    rref_tol: f64,
+) -> Result<(Mat, Vec<f64>, usize), opf_linalg::LinalgError> {
+    let n = vars.len();
+    let m_raw = eqs.len();
+    let mut pos = std::collections::HashMap::with_capacity(n);
+    for (loc, &g) in vars.iter().enumerate() {
+        pos.insert(g, loc);
+    }
+    let mut a = Mat::zeros(m_raw, n);
+    let mut b = vec![0.0; m_raw];
+    for (r, eq) in eqs.iter().enumerate() {
+        for &(g, coef) in &eq.terms {
+            let loc = *pos
+                .get(&g)
+                .expect("equation references variable outside component set");
+            a[(r, loc)] += coef;
+        }
+        b[r] = eq.rhs;
+    }
+    let red = rref_augmented(&a, &b, rref_tol)?;
+    Ok((red.a, red.b, m_raw))
+}
+
+/// Build the component-wise decomposition of the OPF model on a network.
+///
+/// Runs the per-component localization + row reduction in parallel
+/// (Algorithm 1 notes the preprocessing is embarrassingly parallel).
+pub fn decompose(net: &Network, graph: &ComponentGraph) -> Result<DecomposedProblem, DecomposeError> {
+    let vs = VarSpace::build(net);
+    let rref_tol = 1e-9;
+
+    let components: Vec<Result<ComponentProblem, DecomposeError>> = graph
+        .components
+        .par_iter()
+        .enumerate()
+        .map(|(s, comp)| {
+            let (vars, eqs) = match comp {
+                Component::Bus(i) => (bus_var_set(net, &vs, *i), bus_equations(net, &vs, *i)),
+                Component::Branch(e) => {
+                    (branch_var_set(net, &vs, *e), branch_equations(net, &vs, *e))
+                }
+                Component::LeafMerged { bus, branch } => {
+                    let mut vars = bus_var_set(net, &vs, *bus);
+                    vars.extend(branch_var_set(net, &vs, *branch));
+                    vars.sort_unstable();
+                    vars.dedup();
+                    let mut eqs = bus_equations(net, &vs, *bus);
+                    eqs.extend(branch_equations(net, &vs, *branch));
+                    (vars, eqs)
+                }
+            };
+            let (a, b, m_raw) = localize(&vars, &eqs, rref_tol)
+                .map_err(|source| DecomposeError::InfeasibleComponent { s, source })?;
+            Ok(ComponentProblem {
+                global_idx: vars,
+                a,
+                b,
+                m_raw,
+            })
+        })
+        .collect();
+    let components: Vec<ComponentProblem> =
+        components.into_iter().collect::<Result<_, _>>()?;
+
+    let mut copy_counts = vec![0.0f64; vs.n()];
+    for c in &components {
+        for &g in &c.global_idx {
+            copy_counts[g] += 1.0;
+        }
+    }
+    if let Some(var) = copy_counts.iter().position(|&c| c == 0.0) {
+        return Err(DecomposeError::OrphanVariable { var });
+    }
+
+    Ok(DecomposedProblem {
+        n: vs.n(),
+        c: vs.cost.clone(),
+        lower: vs.lower.clone(),
+        upper: vs.upper.clone(),
+        components,
+        copy_counts,
+        vars: vs,
+    })
+}
+
+impl DecomposedProblem {
+    /// Number of subsystems `S`.
+    pub fn s(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Total local dimension `Σ n_s` (the length of the stacked `z`).
+    pub fn total_local_dim(&self) -> usize {
+        self.components.iter().map(|c| c.n()).sum()
+    }
+
+    /// Total reduced equality rows `Σ m_s`.
+    pub fn total_local_rows(&self) -> usize {
+        self.components.iter().map(|c| c.m()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    
+
+    fn setup(name: &str) -> (Network, DecomposedProblem) {
+        let net = opf_net::feeders::by_name(name).unwrap();
+        let graph = ComponentGraph::build(&net);
+        let dec = decompose(&net, &graph).unwrap();
+        (net, dec)
+    }
+
+    #[test]
+    fn every_variable_has_a_copy() {
+        let (_, dec) = setup("ieee13");
+        assert!(dec.copy_counts.iter().all(|&c| c >= 1.0));
+    }
+
+    #[test]
+    fn reduced_blocks_have_full_row_rank() {
+        let (_, dec) = setup("ieee13");
+        for (s, c) in dec.components.iter().enumerate() {
+            if c.m() == 0 {
+                continue;
+            }
+            let gram = c.a.gram_aat();
+            assert!(
+                opf_linalg::CholFactor::new(&gram).is_ok(),
+                "component {s}: A_s A_sᵀ not SPD (m={}, n={})",
+                c.m(),
+                c.n()
+            );
+        }
+    }
+
+    #[test]
+    fn row_reduction_only_removes_rows() {
+        let (_, dec) = setup("ieee13");
+        for c in &dec.components {
+            assert!(c.m() <= c.m_raw);
+            assert!(c.m() <= c.n(), "more independent rows than variables");
+        }
+    }
+
+    #[test]
+    fn component_sizes_track_table4_shape() {
+        // Table IV (IEEE13): m ranges over a few to a few dozen; means
+        // near 9/16. Check our synthetic instance lands in a sane band.
+        let (_, dec) = setup("ieee13");
+        let ms: Vec<usize> = dec.components.iter().map(|c| c.m()).collect();
+        let ns: Vec<usize> = dec.components.iter().map(|c| c.n()).collect();
+        let mean_m = ms.iter().sum::<usize>() as f64 / ms.len() as f64;
+        let mean_n = ns.iter().sum::<usize>() as f64 / ns.len() as f64;
+        assert!(mean_m > 2.0 && mean_m < 30.0, "mean m = {mean_m}");
+        assert!(mean_n > 4.0 && mean_n < 40.0, "mean n = {mean_n}");
+        assert!(*ns.iter().max().unwrap() < 120);
+    }
+
+    #[test]
+    fn detailed_feeder_decomposes() {
+        let (_, dec) = setup("ieee13-detailed");
+        assert_eq!(dec.s(), 15 + 14 - 6);
+        assert!(dec.total_local_dim() > dec.n); // copies exist
+    }
+
+    #[test]
+    fn consensus_feasible_point_satisfies_centralized(
+    ) {
+        // Any x satisfying all local blocks through the consensus maps
+        // satisfies the centralized equalities: localized blocks after
+        // RREF span the same row space.
+        let (net, dec) = setup("ieee13");
+        let lp = crate::assemble::assemble(&net);
+        // Build a point satisfying the centralized system? Expensive here;
+        // instead verify per-component: localized raw equations imply that
+        // the reduced block evaluated on the restriction of any x equals
+        // the raw block's consistency (checked in linalg proptests).
+        // Here we sanity-check shapes only.
+        assert_eq!(lp.cols(), dec.n);
+    }
+
+    #[test]
+    fn ieee123_decomposes_cleanly() {
+        let (_, dec) = setup("ieee123");
+        assert_eq!(dec.s(), 250);
+        assert!(dec.copy_counts.iter().all(|&c| c >= 1.0));
+    }
+}

@@ -1,0 +1,494 @@
+//! The equality constraints of the linearized multi-phase OPF.
+//!
+//! Each function produces the equations *owned by one component* of the
+//! decomposition, expressed over global variable indices:
+//!
+//! * [`bus_equations`] — power balance (3a)/(3b) plus the voltage-dependent
+//!   ZIP load model (4a)–(4d) and the wye (4e) / delta (4f)–(4j) coupling;
+//! * [`branch_equations`] — the linearized power-flow equations
+//!   (5a)–(5c) with the `Mᵖ/Mᵠ` phase-coupling matrices.
+//!
+//! The centralized LP (7) stacks all of them; the decomposition localizes
+//! each component's block.
+
+use crate::vars::VarSpace;
+use opf_net::{BranchId, BusId, Connection, Network, Phase};
+
+/// One linear equality `Σ coefᵥ·xᵥ = rhs` over global variable indices.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Equation {
+    /// `(global variable index, coefficient)` pairs.
+    pub terms: Vec<(usize, f64)>,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+impl Equation {
+    /// Evaluate the residual `Σ coef·x − rhs` at a point.
+    pub fn residual(&self, x: &[f64]) -> f64 {
+        self.terms.iter().map(|&(v, c)| c * x[v]).sum::<f64>() - self.rhs
+    }
+}
+
+const SQRT3: f64 = 1.732_050_807_568_877_2;
+
+/// The `Mᵖ` and `Mᵠ` matrices of eq. (5c), built from the branch's 3×3
+/// `r`/`x` matrices. Entry pattern: diagonal `−2r` / `−2x`; the
+/// "next-phase" off-diagonal gets `r − √3x` / `x + √3r`, the
+/// "previous-phase" one `r + √3x` / `x − √3r`.
+pub fn mp_mq(r: &[[f64; 3]; 3], x: &[[f64; 3]; 3]) -> ([[f64; 3]; 3], [[f64; 3]; 3]) {
+    let mut mp = [[0.0; 3]; 3];
+    let mut mq = [[0.0; 3]; 3];
+    for phi in 0..3 {
+        for psi in 0..3 {
+            let (rv, xv) = (r[phi][psi], x[phi][psi]);
+            if phi == psi {
+                mp[phi][psi] = -2.0 * rv;
+                mq[phi][psi] = -2.0 * xv;
+            } else if psi == (phi + 1) % 3 {
+                mp[phi][psi] = rv - SQRT3 * xv;
+                mq[phi][psi] = xv + SQRT3 * rv;
+            } else {
+                mp[phi][psi] = rv + SQRT3 * xv;
+                mq[phi][psi] = xv - SQRT3 * rv;
+            }
+        }
+    }
+    (mp, mq)
+}
+
+/// Equations owned by the bus component of `i`: per-phase balance (3),
+/// the ZIP load model (4a)/(4b) with the wye/delta voltage coupling
+/// (4c)/(4d) substituted, and the wye (4e) / delta (4f)–(4j) links between
+/// bus withdrawals and load consumptions.
+pub fn bus_equations(net: &Network, vs: &VarSpace, i: BusId) -> Vec<Equation> {
+    let bus = net.bus(i);
+    let mut eqs = Vec::new();
+
+    // --- (3a)/(3b): balance per phase. ---
+    for p in bus.phases.iter() {
+        let k = p.index();
+        let mut pa = Vec::new();
+        let mut qa = Vec::new();
+        for (e, br, from_side) in net.branches_at(i) {
+            if br.phases.contains(p) {
+                pa.push((vs.flow_p(net, e, from_side, p), 1.0));
+                qa.push((vs.flow_q(net, e, from_side, p), 1.0));
+            }
+        }
+        for (l, ld) in net.loads_at(i) {
+            if ld.phases.contains(p) {
+                pa.push((vs.load_pb(net, l, p), 1.0));
+                qa.push((vs.load_qb(net, l, p), 1.0));
+            }
+        }
+        if bus.g_sh[k] != 0.0 {
+            pa.push((vs.bus_w(net, i, p), bus.g_sh[k]));
+        }
+        if bus.b_sh[k] != 0.0 {
+            qa.push((vs.bus_w(net, i, p), -bus.b_sh[k]));
+        }
+        for (g, gen) in net.generators_at(i) {
+            if gen.phases.contains(p) {
+                pa.push((vs.gen_p(net, g, p), -1.0));
+                qa.push((vs.gen_q(net, g, p), -1.0));
+            }
+        }
+        eqs.push(Equation { terms: pa, rhs: 0.0 });
+        eqs.push(Equation { terms: qa, rhs: 0.0 });
+    }
+
+    // --- (4): load model per load at the bus. ---
+    for (l, ld) in net.loads_at(i) {
+        let alpha = ld.zip.alpha();
+        // ŵ = κ·w with κ = 1 (wye, (4c)) or 3 (delta, (4d)).
+        let kappa = match ld.conn {
+            Connection::Wye => 1.0,
+            Connection::Delta => 3.0,
+        };
+        for p in ld.phases.iter() {
+            let k = p.index();
+            let (a, b) = (ld.p_ref[k], ld.q_ref[k]);
+            // (4a): p^d − (aα/2)·κ·w = a(1 − α/2).
+            eqs.push(Equation {
+                terms: vec![
+                    (vs.load_pd(net, l, p), 1.0),
+                    (vs.bus_w(net, i, p), -0.5 * a * alpha * kappa),
+                ],
+                rhs: a * (1.0 - 0.5 * alpha),
+            });
+            // (4b): q^d − (bβ/2)·κ·w = b(1 − β/2)  (β = α for ZIP classes).
+            eqs.push(Equation {
+                terms: vec![
+                    (vs.load_qd(net, l, p), 1.0),
+                    (vs.bus_w(net, i, p), -0.5 * b * alpha * kappa),
+                ],
+                rhs: b * (1.0 - 0.5 * alpha),
+            });
+        }
+        match ld.conn {
+            Connection::Wye => {
+                // (4e): p^b = p^d, q^b = q^d per phase.
+                for p in ld.phases.iter() {
+                    eqs.push(Equation {
+                        terms: vec![
+                            (vs.load_pb(net, l, p), 1.0),
+                            (vs.load_pd(net, l, p), -1.0),
+                        ],
+                        rhs: 0.0,
+                    });
+                    eqs.push(Equation {
+                        terms: vec![
+                            (vs.load_qb(net, l, p), 1.0),
+                            (vs.load_qd(net, l, p), -1.0),
+                        ],
+                        rhs: 0.0,
+                    });
+                }
+            }
+            Connection::Delta => {
+                // (4f): Σφ (p^b − p^d) = 0 and Σφ (q^b − q^d) = 0.
+                let mut fp = Vec::new();
+                let mut fq = Vec::new();
+                for p in ld.phases.iter() {
+                    fp.push((vs.load_pb(net, l, p), 1.0));
+                    fp.push((vs.load_pd(net, l, p), -1.0));
+                    fq.push((vs.load_qb(net, l, p), 1.0));
+                    fq.push((vs.load_qd(net, l, p), -1.0));
+                }
+                eqs.push(Equation { terms: fp, rhs: 0.0 });
+                eqs.push(Equation { terms: fq, rhs: 0.0 });
+                // (4g)–(4j): the phase-rotation coupling, written for the
+                // 3-phase delta case; 2-phase delta loads keep (4f) only.
+                if ld.phases.len() == 3 {
+                    let pb = |p| vs.load_pb(net, l, p);
+                    let qb = |p| vs.load_qb(net, l, p);
+                    let pd = |p| vs.load_pd(net, l, p);
+                    let qd = |p| vs.load_qd(net, l, p);
+                    use Phase::{A, B, C};
+                    // (4g): 3/2·p^b₂ − √3/2·q^b₂ = p^d₂ + 1/2·p^d₁ − √3/2·q^d₁
+                    eqs.push(Equation {
+                        terms: vec![
+                            (pb(B), 1.5),
+                            (qb(B), -0.5 * SQRT3),
+                            (pd(B), -1.0),
+                            (pd(A), -0.5),
+                            (qd(A), 0.5 * SQRT3),
+                        ],
+                        rhs: 0.0,
+                    });
+                    // (4h): √3/2·p^b₂ + 3/2·q^b₂ = √3/2·p^d₁ + 1/2·q^d₁ + q^d₂
+                    eqs.push(Equation {
+                        terms: vec![
+                            (pb(B), 0.5 * SQRT3),
+                            (qb(B), 1.5),
+                            (pd(A), -0.5 * SQRT3),
+                            (qd(A), -0.5),
+                            (qd(B), -1.0),
+                        ],
+                        rhs: 0.0,
+                    });
+                    // (4i): √3·q^b₂ + 3/2·p^b₃ − √3/2·q^b₃
+                    //        = 1/2·p^d₁ + √3/2·q^d₁ + p^d₃
+                    eqs.push(Equation {
+                        terms: vec![
+                            (qb(B), SQRT3),
+                            (pb(C), 1.5),
+                            (qb(C), -0.5 * SQRT3),
+                            (pd(A), -0.5),
+                            (qd(A), -0.5 * SQRT3),
+                            (pd(C), -1.0),
+                        ],
+                        rhs: 0.0,
+                    });
+                    // (4j): −√3·p^b₂ + √3/2·p^b₃ + 3/2·q^b₃
+                    //        = −√3/2·p^d₁ + 1/2·q^d₁ + q^d₃
+                    eqs.push(Equation {
+                        terms: vec![
+                            (pb(B), -SQRT3),
+                            (pb(C), 0.5 * SQRT3),
+                            (qb(C), 1.5),
+                            (pd(A), 0.5 * SQRT3),
+                            (qd(A), -0.5),
+                            (qd(C), -1.0),
+                        ],
+                        rhs: 0.0,
+                    });
+                }
+            }
+        }
+    }
+    eqs
+}
+
+/// Equations owned by the branch component of `e`: the linearized flow
+/// model (5a)–(5c) for in-service branches, or `flow = 0` pins for
+/// out-of-service (open-switch) branches.
+pub fn branch_equations(net: &Network, vs: &VarSpace, e: BranchId) -> Vec<Equation> {
+    let br = net.branch(e);
+    let mut eqs = Vec::new();
+    if !br.in_service() {
+        for p in br.phases.iter() {
+            for side in [true, false] {
+                eqs.push(Equation {
+                    terms: vec![(vs.flow_p(net, e, side, p), 1.0)],
+                    rhs: 0.0,
+                });
+                eqs.push(Equation {
+                    terms: vec![(vs.flow_q(net, e, side, p), 1.0)],
+                    rhs: 0.0,
+                });
+            }
+        }
+        return eqs;
+    }
+
+    let (i, j) = (br.from, br.to);
+    let (mp, mq) = mp_mq(&br.r, &br.x);
+    for p in br.phases.iter() {
+        let k = p.index();
+        // (5a): p_ij + p_ji − g^s_ij·w_i − g^s_ji·w_j = 0.
+        let mut t = vec![
+            (vs.flow_p(net, e, true, p), 1.0),
+            (vs.flow_p(net, e, false, p), 1.0),
+        ];
+        if br.g_sh_from[k] != 0.0 {
+            t.push((vs.bus_w(net, i, p), -br.g_sh_from[k]));
+        }
+        if br.g_sh_to[k] != 0.0 {
+            t.push((vs.bus_w(net, j, p), -br.g_sh_to[k]));
+        }
+        eqs.push(Equation { terms: t, rhs: 0.0 });
+        // (5b): q_ij + q_ji + b^s_ij·w_i + b^s_ji·w_j = 0.
+        let mut t = vec![
+            (vs.flow_q(net, e, true, p), 1.0),
+            (vs.flow_q(net, e, false, p), 1.0),
+        ];
+        if br.b_sh_from[k] != 0.0 {
+            t.push((vs.bus_w(net, i, p), br.b_sh_from[k]));
+        }
+        if br.b_sh_to[k] != 0.0 {
+            t.push((vs.bus_w(net, j, p), br.b_sh_to[k]));
+        }
+        eqs.push(Equation { terms: t, rhs: 0.0 });
+        // (5c): w_iφ − τ·w_jφ + Σψ Mᵖ_φψ (p_ijψ − g^s_ijψ w_iψ)
+        //                      + Σψ Mᵠ_φψ (q_ijψ + b^s_ijψ w_iψ) = 0.
+        let mut coef_wi = [0.0; 3];
+        coef_wi[k] += 1.0;
+        let mut t = vec![(vs.bus_w(net, j, p), -br.tap(k))];
+        for psi in br.phases.iter() {
+            let kp = psi.index();
+            let (cp, cq) = (mp[k][kp], mq[k][kp]);
+            if cp != 0.0 {
+                t.push((vs.flow_p(net, e, true, psi), cp));
+                coef_wi[kp] -= cp * br.g_sh_from[kp];
+            }
+            if cq != 0.0 {
+                t.push((vs.flow_q(net, e, true, psi), cq));
+                coef_wi[kp] += cq * br.b_sh_from[kp];
+            }
+        }
+        for psi in br.phases.iter() {
+            let kp = psi.index();
+            if coef_wi[kp] != 0.0 {
+                t.push((vs.bus_w(net, i, psi), coef_wi[kp]));
+            }
+        }
+        eqs.push(Equation { terms: t, rhs: 0.0 });
+    }
+    eqs
+}
+
+/// The structural variable set of the bus component of `i` (sorted global
+/// indices): its voltages, attached generator and load variables, and the
+/// incident flow ends.
+pub fn bus_var_set(net: &Network, vs: &VarSpace, i: BusId) -> Vec<usize> {
+    let bus = net.bus(i);
+    let mut set = Vec::new();
+    for p in bus.phases.iter() {
+        set.push(vs.bus_w(net, i, p));
+    }
+    for (g, gen) in net.generators_at(i) {
+        for p in gen.phases.iter() {
+            set.push(vs.gen_p(net, g, p));
+            set.push(vs.gen_q(net, g, p));
+        }
+    }
+    for (l, ld) in net.loads_at(i) {
+        for p in ld.phases.iter() {
+            set.push(vs.load_pb(net, l, p));
+            set.push(vs.load_qb(net, l, p));
+            set.push(vs.load_pd(net, l, p));
+            set.push(vs.load_qd(net, l, p));
+        }
+    }
+    for (e, br, from_side) in net.branches_at(i) {
+        for p in br.phases.iter() {
+            set.push(vs.flow_p(net, e, from_side, p));
+            set.push(vs.flow_q(net, e, from_side, p));
+        }
+    }
+    set.sort_unstable();
+    set.dedup();
+    set
+}
+
+/// The structural variable set of the branch component of `e`: both flow
+/// directions plus the terminal voltages on the branch phases (open
+/// switches keep only their pinned flows).
+pub fn branch_var_set(net: &Network, vs: &VarSpace, e: BranchId) -> Vec<usize> {
+    let br = net.branch(e);
+    let mut set = Vec::new();
+    for p in br.phases.iter() {
+        set.push(vs.flow_p(net, e, true, p));
+        set.push(vs.flow_q(net, e, true, p));
+        set.push(vs.flow_p(net, e, false, p));
+        set.push(vs.flow_q(net, e, false, p));
+        if br.in_service() {
+            set.push(vs.bus_w(net, br.from, p));
+            set.push(vs.bus_w(net, br.to, p));
+        }
+    }
+    set.sort_unstable();
+    set.dedup();
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opf_net::feeders;
+
+    #[test]
+    fn mp_mq_match_paper_pattern() {
+        let mut r = [[0.0; 3]; 3];
+        let mut x = [[0.0; 3]; 3];
+        for a in 0..3 {
+            for b in 0..3 {
+                r[a][b] = 1.0 + (a * 3 + b) as f64 * 0.1;
+                x[a][b] = 2.0 + (a * 3 + b) as f64 * 0.1;
+            }
+        }
+        let (mp, mq) = mp_mq(&r, &x);
+        // Row 1 of the paper's Mᵖ: [−2r11, r12−√3x12, r13+√3x13].
+        assert!((mp[0][0] + 2.0 * r[0][0]).abs() < 1e-12);
+        assert!((mp[0][1] - (r[0][1] - SQRT3 * x[0][1])).abs() < 1e-12);
+        assert!((mp[0][2] - (r[0][2] + SQRT3 * x[0][2])).abs() < 1e-12);
+        // Row 2: [r21+√3x21, −2r22, r23−√3x23].
+        assert!((mp[1][0] - (r[1][0] + SQRT3 * x[1][0])).abs() < 1e-12);
+        assert!((mp[1][2] - (r[1][2] - SQRT3 * x[1][2])).abs() < 1e-12);
+        // Row 3: [r31−√3x31, r32+√3x32, −2r33].
+        assert!((mp[2][0] - (r[2][0] - SQRT3 * x[2][0])).abs() < 1e-12);
+        assert!((mp[2][1] - (r[2][1] + SQRT3 * x[2][1])).abs() < 1e-12);
+        // Mᵠ row 1: [−2x11, x12+√3r12, x13−√3r13].
+        assert!((mq[0][0] + 2.0 * x[0][0]).abs() < 1e-12);
+        assert!((mq[0][1] - (x[0][1] + SQRT3 * r[0][1])).abs() < 1e-12);
+        assert!((mq[0][2] - (x[0][2] - SQRT3 * r[0][2])).abs() < 1e-12);
+        // Mᵠ rows 2-3 off-diagonals.
+        assert!((mq[1][0] - (x[1][0] - SQRT3 * r[1][0])).abs() < 1e-12);
+        assert!((mq[2][0] - (x[2][0] + SQRT3 * r[2][0])).abs() < 1e-12);
+        assert!((mq[2][1] - (x[2][1] - SQRT3 * r[2][1])).abs() < 1e-12);
+    }
+
+    #[test]
+    fn balance_counts_match_phases() {
+        let net = feeders::ieee13_detailed();
+        let vs = VarSpace::build(&net);
+        // Bus 611 (phase c only, one load): 2 balance + 2 load-model +
+        // 2 wye-link equations.
+        let bus_611 = opf_net::BusId(
+            net.buses.iter().position(|b| b.name == "611").unwrap() as u32,
+        );
+        let eqs = bus_equations(&net, &vs, bus_611);
+        assert_eq!(eqs.len(), 6);
+    }
+
+    #[test]
+    fn three_phase_delta_load_has_eight_link_equations() {
+        let net = feeders::ieee13_detailed();
+        let vs = VarSpace::build(&net);
+        // Bus 671: 3-phase delta constant-power load → 6 balance
+        // + 6 load-model + 2·(4f) + 4 rotation equations.
+        let bus_671 = opf_net::BusId(
+            net.buses.iter().position(|b| b.name == "671").unwrap() as u32,
+        );
+        let eqs = bus_equations(&net, &vs, bus_671);
+        assert_eq!(eqs.len(), 6 + 6 + 6);
+    }
+
+    #[test]
+    fn line_has_three_equations_per_phase() {
+        let net = feeders::ieee13_detailed();
+        let vs = VarSpace::build(&net);
+        for (e, br) in net.branches.iter().enumerate() {
+            if br.in_service() {
+                let eqs = branch_equations(&net, &vs, BranchId(e as u32));
+                assert_eq!(eqs.len(), 3 * br.phases.len(), "branch {}", br.name);
+            }
+        }
+    }
+
+    #[test]
+    fn open_switch_pins_flows() {
+        let mut net = feeders::ieee13_detailed();
+        net.set_switch("sw671-692", false);
+        let vs = VarSpace::build(&net);
+        let e = BranchId(
+            net.branches.iter().position(|b| b.name == "sw671-692").unwrap() as u32,
+        );
+        let eqs = branch_equations(&net, &vs, e);
+        // 4 pins per phase, 3 phases.
+        assert_eq!(eqs.len(), 12);
+        for eq in &eqs {
+            assert_eq!(eq.terms.len(), 1);
+            assert_eq!(eq.rhs, 0.0);
+        }
+    }
+
+    #[test]
+    fn equations_only_touch_component_vars() {
+        let net = feeders::ieee13_detailed();
+        let vs = VarSpace::build(&net);
+        for i in 0..net.buses.len() {
+            let id = BusId(i as u32);
+            let set: std::collections::HashSet<usize> =
+                bus_var_set(&net, &vs, id).into_iter().collect();
+            for eq in bus_equations(&net, &vs, id) {
+                for (v, _) in eq.terms {
+                    assert!(set.contains(&v), "bus {i}: var {v} outside set");
+                }
+            }
+        }
+        for e in 0..net.branches.len() {
+            let id = BranchId(e as u32);
+            let set: std::collections::HashSet<usize> =
+                branch_var_set(&net, &vs, id).into_iter().collect();
+            for eq in branch_equations(&net, &vs, id) {
+                for (v, _) in eq.terms {
+                    assert!(set.contains(&v), "branch {e}: var {v} outside set");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flat_voltage_balanced_flow_satisfies_5c_for_lossless_line() {
+        // On a zero-impedance branch, (5c) reduces to w_i = w_j; check the
+        // equation residual at a flat 1.0-p.u. profile with zero flows.
+        let net = feeders::ieee13_detailed();
+        let vs = VarSpace::build(&net);
+        let mut x = vec![0.0; vs.n()];
+        for (idx, k) in vs.kinds.iter().enumerate() {
+            if matches!(k, crate::vars::VarKind::BusW(..)) {
+                x[idx] = 1.0;
+            }
+        }
+        let sw = BranchId(
+            net.branches.iter().position(|b| b.name == "sw671-692").unwrap() as u32,
+        );
+        for eq in branch_equations(&net, &vs, sw) {
+            // Switch has tiny impedance; residual at flat profile ≈ 0.
+            assert!(eq.residual(&x).abs() < 1e-3);
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! Linearized multi-phase OPF model with delta connections \[16\].
+//!
+//! Builds the centralized LP (7) and its component-wise decomposition
+//! (model (9)) from an [`opf_net::Network`]:
+//!
+//! * [`vars::VarSpace`] — the global variable vector `x` with bounds (2)
+//!   and the cost `c` of objective (6a);
+//! * [`equations`] — balance (3), ZIP + wye/delta load model (4),
+//!   linearized flow (5) with the `Mᵖ/Mᵠ` matrices;
+//! * [`assemble`] — the stacked `A x = b`, `x̲ ≤ x ≤ x̄`;
+//! * [`decompose`] — per-component `(A_s, b_s, B_s)` after row-reduction
+//!   preprocessing (§IV-B);
+//! * [`stats`] — the Tables II–IV statistics.
+
+pub mod assemble;
+pub mod decompose;
+pub mod equations;
+pub mod report;
+pub mod stats;
+pub mod vars;
+
+pub use assemble::{assemble, CentralizedLp};
+pub use decompose::{decompose, ComponentProblem, DecomposeError, DecomposedProblem};
+pub use equations::Equation;
+pub use report::{report, BranchSolution, BusSolution, GenSolution, SolutionReport};
+pub use stats::{table2, table3, table4, SizeSummary, Table2Row, Table3Row, Table4Rows};
+pub use vars::{VarKind, VarSpace};

@@ -1,0 +1,157 @@
+//! Statistics reported in the paper's Tables II–IV.
+
+use crate::assemble::CentralizedLp;
+use crate::decompose::DecomposedProblem;
+use opf_net::ComponentGraph;
+
+/// Five-number summary (plus sum) over a collection of sizes — the rows of
+/// Table IV.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SizeSummary {
+    /// Minimum.
+    pub min: usize,
+    /// Maximum.
+    pub max: usize,
+    /// Mean.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub stdev: f64,
+    /// Sum.
+    pub sum: usize,
+}
+
+impl SizeSummary {
+    /// Summarize a non-empty slice.
+    ///
+    /// # Panics
+    /// Panics on empty input.
+    pub fn of(values: &[usize]) -> Self {
+        assert!(!values.is_empty(), "summary of empty slice");
+        let n = values.len() as f64;
+        let sum: usize = values.iter().sum();
+        let mean = sum as f64 / n;
+        let var = values
+            .iter()
+            .map(|&v| (v as f64 - mean).powi(2))
+            .sum::<f64>()
+            / (n - 1.0).max(1.0);
+        SizeSummary {
+            min: *values.iter().min().expect("non-empty"),
+            max: *values.iter().max().expect("non-empty"),
+            mean,
+            stdev: var.sqrt(),
+            sum,
+        }
+    }
+}
+
+/// Table II row: size of the centralized `A`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table2Row {
+    /// Instance name.
+    pub instance: String,
+    /// Rows of `A`.
+    pub rows: usize,
+    /// Columns of `A` (= number of global variables).
+    pub cols: usize,
+}
+
+/// Compute the Table II row of an assembled LP.
+pub fn table2(instance: &str, lp: &CentralizedLp) -> Table2Row {
+    Table2Row {
+        instance: instance.to_string(),
+        rows: lp.rows(),
+        cols: lp.cols(),
+    }
+}
+
+/// Table III row: component-graph statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table3Row {
+    /// Instance name.
+    pub instance: String,
+    /// Graph nodes.
+    pub n_nodes: usize,
+    /// Graph lines.
+    pub n_lines: usize,
+    /// Leaf nodes (merged).
+    pub n_leaves: usize,
+    /// Subsystem count `S`.
+    pub s: usize,
+}
+
+/// Compute the Table III row of a component graph.
+pub fn table3(instance: &str, g: &ComponentGraph) -> Table3Row {
+    Table3Row {
+        instance: instance.to_string(),
+        n_nodes: g.n_nodes,
+        n_lines: g.n_lines,
+        n_leaves: g.n_leaves,
+        s: g.s(),
+    }
+}
+
+/// Table IV rows: subproblem size summaries for one instance.
+#[derive(Debug, Clone)]
+pub struct Table4Rows {
+    /// Instance name.
+    pub instance: String,
+    /// Summary of `m_s` (reduced equality rows).
+    pub m: SizeSummary,
+    /// Summary of `n_s` (local variables).
+    pub n: SizeSummary,
+}
+
+/// Compute Table IV for a decomposed problem.
+pub fn table4(instance: &str, dec: &DecomposedProblem) -> Table4Rows {
+    let ms: Vec<usize> = dec.components.iter().map(|c| c.m()).collect();
+    let ns: Vec<usize> = dec.components.iter().map(|c| c.n()).collect();
+    Table4Rows {
+        instance: instance.to_string(),
+        m: SizeSummary::of(&ms),
+        n: SizeSummary::of(&ns),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basics() {
+        let s = SizeSummary::of(&[2, 4, 6]);
+        assert_eq!(s.min, 2);
+        assert_eq!(s.max, 6);
+        assert_eq!(s.sum, 12);
+        assert!((s.mean - 4.0).abs() < 1e-12);
+        assert!((s.stdev - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_single_element() {
+        let s = SizeSummary::of(&[5]);
+        assert_eq!(s.min, 5);
+        assert_eq!(s.stdev, 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn summary_empty_panics() {
+        SizeSummary::of(&[]);
+    }
+
+    #[test]
+    fn tables_from_instance() {
+        let net = opf_net::feeders::ieee13();
+        let lp = crate::assemble::assemble(&net);
+        let g = ComponentGraph::build(&net);
+        let dec = crate::decompose::decompose(&net, &g).unwrap();
+        let t2 = table2("ieee13", &lp);
+        assert_eq!(t2.cols, dec.n);
+        let t3 = table3("ieee13", &g);
+        assert_eq!(t3.s, 50);
+        let t4 = table4("ieee13", &dec);
+        assert!(t4.m.sum <= t2.rows); // row reduction can only shrink
+        assert_eq!(t4.n.sum, dec.total_local_dim());
+    }
+}

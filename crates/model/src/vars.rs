@@ -1,0 +1,317 @@
+//! The global OPF variable space — the vector `x` of eq. (7).
+//!
+//! Layout follows the paper's ordering: generator injections, bus squared
+//! voltages, load withdrawals/consumptions, then line flows. Each element's
+//! per-phase variables are laid out densely in phase-iteration order, so
+//! index arithmetic is O(1) once the per-element base offsets are built.
+
+use opf_net::{BranchId, BusId, GenId, LoadId, Network, Phase};
+
+/// What a global variable represents (for diagnostics and tests).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum VarKind {
+    /// `p^g_kφ` — real generation.
+    GenP(GenId, Phase),
+    /// `q^g_kφ` — reactive generation.
+    GenQ(GenId, Phase),
+    /// `w_iφ` — squared voltage magnitude.
+    BusW(BusId, Phase),
+    /// `p^b_lφ` — real power withdrawn from the bus by load `l`.
+    LoadPb(LoadId, Phase),
+    /// `q^b_lφ` — reactive power withdrawn from the bus.
+    LoadQb(LoadId, Phase),
+    /// `p^d_lφ` — real power consumed by the load.
+    LoadPd(LoadId, Phase),
+    /// `q^d_lφ` — reactive power consumed by the load.
+    LoadQd(LoadId, Phase),
+    /// `p_eijφ` (`from_side = true`) or `p_ejiφ` — real line flow.
+    FlowP(BranchId, bool, Phase),
+    /// `q_eijφ` or `q_ejiφ` — reactive line flow.
+    FlowQ(BranchId, bool, Phase),
+}
+
+/// The indexed variable space with bounds and cost.
+#[derive(Debug, Clone)]
+pub struct VarSpace {
+    /// Kind of each variable (parallel to the index range `0..n`).
+    pub kinds: Vec<VarKind>,
+    /// Lower bounds `x̲` (−∞ for free variables).
+    pub lower: Vec<f64>,
+    /// Upper bounds `x̄`.
+    pub upper: Vec<f64>,
+    /// Cost vector `c` (1 on `p^g` entries per objective (6a)).
+    pub cost: Vec<f64>,
+    gen_base: Vec<usize>,
+    bus_base: Vec<usize>,
+    load_base: Vec<usize>,
+    branch_base: Vec<usize>,
+}
+
+impl VarSpace {
+    /// Enumerate the variables of a network.
+    pub fn build(net: &Network) -> Self {
+        let mut kinds = Vec::new();
+        let mut lower = Vec::new();
+        let mut upper = Vec::new();
+        let mut cost = Vec::new();
+        let push = |k: VarKind, lo: f64, hi: f64, c: f64,
+                        kinds: &mut Vec<VarKind>,
+                        lower: &mut Vec<f64>,
+                        upper: &mut Vec<f64>,
+                        cost: &mut Vec<f64>| {
+            kinds.push(k);
+            lower.push(lo);
+            upper.push(hi);
+            cost.push(c);
+        };
+
+        let mut gen_base = Vec::with_capacity(net.generators.len());
+        for (k, g) in net.generators.iter().enumerate() {
+            gen_base.push(kinds.len());
+            for p in g.phases.iter() {
+                let i = p.index();
+                push(VarKind::GenP(GenId(k as u32), p), g.p_min[i], g.p_max[i], 1.0,
+                    &mut kinds, &mut lower, &mut upper, &mut cost);
+                push(VarKind::GenQ(GenId(k as u32), p), g.q_min[i], g.q_max[i], 0.0,
+                    &mut kinds, &mut lower, &mut upper, &mut cost);
+            }
+        }
+        let mut bus_base = Vec::with_capacity(net.buses.len());
+        for (i, b) in net.buses.iter().enumerate() {
+            bus_base.push(kinds.len());
+            for p in b.phases.iter() {
+                let k = p.index();
+                push(VarKind::BusW(BusId(i as u32), p), b.w_min[k], b.w_max[k], 0.0,
+                    &mut kinds, &mut lower, &mut upper, &mut cost);
+            }
+        }
+        let mut load_base = Vec::with_capacity(net.loads.len());
+        for (l, ld) in net.loads.iter().enumerate() {
+            load_base.push(kinds.len());
+            let inf = f64::INFINITY;
+            for p in ld.phases.iter() {
+                push(VarKind::LoadPb(LoadId(l as u32), p), -inf, inf, 0.0,
+                    &mut kinds, &mut lower, &mut upper, &mut cost);
+                push(VarKind::LoadQb(LoadId(l as u32), p), -inf, inf, 0.0,
+                    &mut kinds, &mut lower, &mut upper, &mut cost);
+                push(VarKind::LoadPd(LoadId(l as u32), p), -inf, inf, 0.0,
+                    &mut kinds, &mut lower, &mut upper, &mut cost);
+                push(VarKind::LoadQd(LoadId(l as u32), p), -inf, inf, 0.0,
+                    &mut kinds, &mut lower, &mut upper, &mut cost);
+            }
+        }
+        let mut branch_base = Vec::with_capacity(net.branches.len());
+        for (e, br) in net.branches.iter().enumerate() {
+            branch_base.push(kinds.len());
+            let s = br.s_max;
+            for p in br.phases.iter() {
+                push(VarKind::FlowP(BranchId(e as u32), true, p), -s, s, 0.0,
+                    &mut kinds, &mut lower, &mut upper, &mut cost);
+                push(VarKind::FlowQ(BranchId(e as u32), true, p), -s, s, 0.0,
+                    &mut kinds, &mut lower, &mut upper, &mut cost);
+                push(VarKind::FlowP(BranchId(e as u32), false, p), -s, s, 0.0,
+                    &mut kinds, &mut lower, &mut upper, &mut cost);
+                push(VarKind::FlowQ(BranchId(e as u32), false, p), -s, s, 0.0,
+                    &mut kinds, &mut lower, &mut upper, &mut cost);
+            }
+        }
+
+        VarSpace {
+            kinds,
+            lower,
+            upper,
+            cost,
+            gen_base,
+            bus_base,
+            load_base,
+            branch_base,
+        }
+    }
+
+    /// Total number of global variables `n`.
+    pub fn n(&self) -> usize {
+        self.kinds.len()
+    }
+
+    fn phase_pos(net_phases: opf_net::PhaseSet, p: Phase) -> usize {
+        net_phases
+            .pos(p)
+            .unwrap_or_else(|| panic!("phase {p} not present on element"))
+    }
+
+    /// Index of `p^g_kφ`.
+    pub fn gen_p(&self, net: &Network, k: GenId, p: Phase) -> usize {
+        let pos = Self::phase_pos(net.generators[k.0 as usize].phases, p);
+        self.gen_base[k.0 as usize] + 2 * pos
+    }
+
+    /// Index of `q^g_kφ`.
+    pub fn gen_q(&self, net: &Network, k: GenId, p: Phase) -> usize {
+        self.gen_p(net, k, p) + 1
+    }
+
+    /// Index of `w_iφ`.
+    pub fn bus_w(&self, net: &Network, i: BusId, p: Phase) -> usize {
+        let pos = Self::phase_pos(net.bus(i).phases, p);
+        self.bus_base[i.0 as usize] + pos
+    }
+
+    /// Index of `p^b_lφ`.
+    pub fn load_pb(&self, net: &Network, l: LoadId, p: Phase) -> usize {
+        let pos = Self::phase_pos(net.loads[l.0 as usize].phases, p);
+        self.load_base[l.0 as usize] + 4 * pos
+    }
+
+    /// Index of `q^b_lφ`.
+    pub fn load_qb(&self, net: &Network, l: LoadId, p: Phase) -> usize {
+        self.load_pb(net, l, p) + 1
+    }
+
+    /// Index of `p^d_lφ`.
+    pub fn load_pd(&self, net: &Network, l: LoadId, p: Phase) -> usize {
+        self.load_pb(net, l, p) + 2
+    }
+
+    /// Index of `q^d_lφ`.
+    pub fn load_qd(&self, net: &Network, l: LoadId, p: Phase) -> usize {
+        self.load_pb(net, l, p) + 3
+    }
+
+    /// Index of the real flow on branch `e`, from-side if `from_side`.
+    pub fn flow_p(&self, net: &Network, e: BranchId, from_side: bool, p: Phase) -> usize {
+        let pos = Self::phase_pos(net.branch(e).phases, p);
+        self.branch_base[e.0 as usize] + 4 * pos + if from_side { 0 } else { 2 }
+    }
+
+    /// Index of the reactive flow on branch `e`.
+    pub fn flow_q(&self, net: &Network, e: BranchId, from_side: bool, p: Phase) -> usize {
+        self.flow_p(net, e, from_side, p) + 1
+    }
+
+    /// The paper's initial point (§V-A): 0 for free variables, the bound
+    /// midpoint for bounded ones, and 1 for voltage-related variables.
+    pub fn initial_point(&self) -> Vec<f64> {
+        self.kinds
+            .iter()
+            .enumerate()
+            .map(|(i, k)| match k {
+                VarKind::BusW(..) => 1.0,
+                _ => {
+                    let (lo, hi) = (self.lower[i], self.upper[i]);
+                    if lo.is_finite() && hi.is_finite() {
+                        0.5 * (lo + hi)
+                    } else {
+                        0.0
+                    }
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opf_net::feeders;
+
+    #[test]
+    fn indices_are_consistent_and_unique() {
+        let net = feeders::ieee13_detailed();
+        let vs = VarSpace::build(&net);
+        let mut seen = vec![false; vs.n()];
+        for (k, g) in net.generators.iter().enumerate() {
+            for p in g.phases.iter() {
+                for idx in [
+                    vs.gen_p(&net, GenId(k as u32), p),
+                    vs.gen_q(&net, GenId(k as u32), p),
+                ] {
+                    assert!(!seen[idx], "index {idx} reused");
+                    seen[idx] = true;
+                }
+            }
+        }
+        for (i, b) in net.buses.iter().enumerate() {
+            for p in b.phases.iter() {
+                let idx = vs.bus_w(&net, BusId(i as u32), p);
+                assert!(!seen[idx]);
+                seen[idx] = true;
+            }
+        }
+        for (l, ld) in net.loads.iter().enumerate() {
+            for p in ld.phases.iter() {
+                for idx in [
+                    vs.load_pb(&net, LoadId(l as u32), p),
+                    vs.load_qb(&net, LoadId(l as u32), p),
+                    vs.load_pd(&net, LoadId(l as u32), p),
+                    vs.load_qd(&net, LoadId(l as u32), p),
+                ] {
+                    assert!(!seen[idx]);
+                    seen[idx] = true;
+                }
+            }
+        }
+        for (e, br) in net.branches.iter().enumerate() {
+            for p in br.phases.iter() {
+                for side in [true, false] {
+                    for idx in [
+                        vs.flow_p(&net, BranchId(e as u32), side, p),
+                        vs.flow_q(&net, BranchId(e as u32), side, p),
+                    ] {
+                        assert!(!seen[idx]);
+                        seen[idx] = true;
+                    }
+                }
+            }
+        }
+        assert!(seen.iter().all(|s| *s), "every variable accounted for");
+    }
+
+    #[test]
+    fn kinds_match_index_accessors() {
+        let net = feeders::ieee13_detailed();
+        let vs = VarSpace::build(&net);
+        let idx = vs.bus_w(&net, BusId(2), Phase::B);
+        assert_eq!(vs.kinds[idx], VarKind::BusW(BusId(2), Phase::B));
+    }
+
+    #[test]
+    fn cost_is_one_exactly_on_gen_p() {
+        let net = feeders::ieee13();
+        let vs = VarSpace::build(&net);
+        for (i, k) in vs.kinds.iter().enumerate() {
+            match k {
+                VarKind::GenP(..) => assert_eq!(vs.cost[i], 1.0),
+                _ => assert_eq!(vs.cost[i], 0.0),
+            }
+        }
+    }
+
+    #[test]
+    fn initial_point_follows_paper_rules() {
+        let net = feeders::ieee13_detailed();
+        let vs = VarSpace::build(&net);
+        let x0 = vs.initial_point();
+        for (i, k) in vs.kinds.iter().enumerate() {
+            match k {
+                VarKind::BusW(..) => assert_eq!(x0[i], 1.0),
+                VarKind::LoadPb(..) | VarKind::LoadQb(..) | VarKind::LoadPd(..)
+                | VarKind::LoadQd(..) => assert_eq!(x0[i], 0.0),
+                _ => {
+                    assert!((x0[i] - 0.5 * (vs.lower[i] + vs.upper[i])).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bounds_copied_from_elements() {
+        let net = feeders::ieee13_detailed();
+        let vs = VarSpace::build(&net);
+        let idx = vs.gen_p(&net, GenId(0), Phase::A);
+        assert_eq!(vs.lower[idx], 0.0);
+        assert_eq!(vs.upper[idx], 10.0);
+        let w = vs.bus_w(&net, BusId(0), Phase::C);
+        assert_eq!(vs.lower[w], 0.81);
+        assert_eq!(vs.upper[w], 1.21);
+    }
+}

@@ -1,0 +1,168 @@
+//! Golden-value tests: a hand-solvable single-phase network where every
+//! equation of the model can be checked against pencil-and-paper values.
+
+use opf_model::{assemble, decompose, VarSpace};
+use opf_net::{
+    feeders, Branch, BranchKind, Bus, BusId, ComponentGraph, Connection, Generator, Load,
+    Network, Phase, PhaseSet, ZipClass,
+};
+
+const R: f64 = 0.01;
+const X: f64 = 0.02;
+const PD: f64 = 0.1;
+const QD: f64 = 0.05;
+
+/// Source bus (gen) — line (r + jx) — load bus (constant-power wye load).
+fn two_bus() -> Network {
+    let mut net = Network::new("golden-2bus");
+    let mut src = Bus::new("src", PhaseSet::A);
+    src.is_source = true;
+    let b0 = net.add_bus(src);
+    let b1 = net.add_bus(Bus::new("load", PhaseSet::A));
+    let mut r = [[0.0; 3]; 3];
+    let mut x = [[0.0; 3]; 3];
+    r[0][0] = R;
+    x[0][0] = X;
+    net.add_branch(Branch {
+        name: "line".into(),
+        from: b0,
+        to: b1,
+        phases: PhaseSet::A,
+        kind: BranchKind::Line,
+        r,
+        x,
+        g_sh_from: [0.0; 3],
+        g_sh_to: [0.0; 3],
+        b_sh_from: [0.0; 3],
+        b_sh_to: [0.0; 3],
+        s_max: 5.0,
+    });
+    net.add_generator(Generator {
+        name: "g".into(),
+        bus: b0,
+        phases: PhaseSet::A,
+        p_min: [0.0; 3],
+        p_max: [5.0; 3],
+        q_min: [-5.0; 3],
+        q_max: [5.0; 3],
+    });
+    net.add_load(Load {
+        name: "l".into(),
+        bus: b1,
+        phases: PhaseSet::A,
+        conn: Connection::Wye,
+        zip: ZipClass::ConstantPower,
+        p_ref: [PD, 0.0, 0.0],
+        q_ref: [QD, 0.0, 0.0],
+    });
+    net
+}
+
+/// The unique flow/generation solution (w is determined only up to a
+/// level; its *difference* is fixed by (5c)).
+fn expected_flows() -> (f64, f64, f64, f64) {
+    // Lossless linearization (5a): p_ij = −p_ji = PD.
+    (PD, -PD, QD, -QD)
+}
+
+#[test]
+fn admm_reproduces_hand_solution() {
+    let net = two_bus();
+    net.validate().unwrap();
+    let g = ComponentGraph::build(&net);
+    let dec = decompose(&net, &g).unwrap();
+    let solver = opf_admm::SolverFreeAdmm::new(&dec).unwrap();
+    let r = solver.solve(&opf_admm::AdmmOptions {
+        eps_rel: 1e-6,
+        max_iters: 500_000,
+        ..opf_admm::AdmmOptions::default()
+    });
+    assert!(r.converged);
+    let vs = VarSpace::build(&net);
+    let (p_ij, p_ji, q_ij, q_ji) = expected_flows();
+    let e = opf_net::BranchId(0);
+    let tol = 1e-4;
+    assert!((r.x[vs.flow_p(&net, e, true, Phase::A)] - p_ij).abs() < tol);
+    assert!((r.x[vs.flow_p(&net, e, false, Phase::A)] - p_ji).abs() < tol);
+    assert!((r.x[vs.flow_q(&net, e, true, Phase::A)] - q_ij).abs() < tol);
+    assert!((r.x[vs.flow_q(&net, e, false, Phase::A)] - q_ji).abs() < tol);
+    // Generation covers the constant-power load exactly (lossless model).
+    assert!((r.x[vs.gen_p(&net, opf_net::GenId(0), Phase::A)] - PD).abs() < tol);
+    assert!((r.x[vs.gen_q(&net, opf_net::GenId(0), Phase::A)] - QD).abs() < tol);
+    // (5c) single phase: w_i − w_j = 2(R·p_ij + X·q_ij).
+    let wi = r.x[vs.bus_w(&net, BusId(0), Phase::A)];
+    let wj = r.x[vs.bus_w(&net, BusId(1), Phase::A)];
+    let drop = 2.0 * (R * PD + X * QD);
+    assert!(
+        (wi - wj - drop).abs() < 10.0 * tol,
+        "voltage drop {} vs expected {drop}",
+        wi - wj
+    );
+    // Load model: p^d equals the reference for a constant-power load.
+    assert!((r.x[vs.load_pd(&net, opf_net::LoadId(0), Phase::A)] - PD).abs() < tol);
+}
+
+#[test]
+fn centralized_matrix_matches_hand_count() {
+    // Equations: src balance (2) + load-bus balance (2) + load model
+    // (4a),(4b) (2) + wye link (2) + flow (5a),(5b),(5c) (3) = 11 rows.
+    // Variables: p^g,q^g (2) + w×2 (2) + p^b,q^b,p^d,q^d (4) + flows (4)
+    // = 12 columns.
+    let lp = assemble(&two_bus());
+    assert_eq!(lp.rows(), 11);
+    assert_eq!(lp.cols(), 12);
+}
+
+#[test]
+fn constant_impedance_load_scales_with_voltage() {
+    // Switch the load to constant impedance (α = 2): (4a) becomes
+    // p^d = a·w, so at the solved voltage the consumption differs from
+    // the reference unless w = 1 exactly.
+    let mut net = two_bus();
+    net.loads[0].zip = ZipClass::ConstantImpedance;
+    let g = ComponentGraph::build(&net);
+    let dec = decompose(&net, &g).unwrap();
+    let solver = opf_admm::SolverFreeAdmm::new(&dec).unwrap();
+    let r = solver.solve(&opf_admm::AdmmOptions {
+        eps_rel: 1e-5,
+        max_iters: 500_000,
+        ..opf_admm::AdmmOptions::default()
+    });
+    assert!(r.converged);
+    let vs = VarSpace::build(&net);
+    let w_load = r.x[vs.bus_w(&net, BusId(1), Phase::A)];
+    let pd = r.x[vs.load_pd(&net, opf_net::LoadId(0), Phase::A)];
+    // (4a) with α = 2, κ = 1: p^d = a·w.
+    assert!((pd - PD * w_load).abs() < 1e-3, "pd {pd} vs a·w {}", PD * w_load);
+}
+
+#[test]
+fn delta_load_voltage_coupling_uses_kappa_three() {
+    // Same check through the delta path (κ = 3, eq. (4d)) on the detailed
+    // feeder's 646 delta constant-impedance load.
+    let net = feeders::ieee13_detailed();
+    let g = ComponentGraph::build(&net);
+    let dec = decompose(&net, &g).unwrap();
+    let solver = opf_admm::SolverFreeAdmm::new(&dec).unwrap();
+    let r = solver.solve(&opf_admm::AdmmOptions {
+        eps_rel: 1e-4,
+        max_iters: 400_000,
+        ..opf_admm::AdmmOptions::default()
+    });
+    assert!(r.converged);
+    let vs = VarSpace::build(&net);
+    let l646 = opf_net::LoadId(
+        net.loads.iter().position(|l| l.name == "646").unwrap() as u32,
+    );
+    let bus646 = net.loads[l646.0 as usize].bus;
+    let a = net.loads[l646.0 as usize].p_ref[Phase::B.index()];
+    let w = r.x[vs.bus_w(&net, bus646, Phase::B)];
+    let pd = r.x[vs.load_pd(&net, l646, Phase::B)];
+    // (4a) with α = 2, κ = 3 (eq. (4d)): p^d = (aα/2)(ŵ − 1) + a
+    //   = a(3w − 1) + a = 3aw.
+    let expected = 3.0 * a * w;
+    assert!(
+        (pd - expected).abs() < 5e-3 * a.abs().max(1.0),
+        "pd {pd} vs {expected}"
+    );
+}

@@ -1,0 +1,229 @@
+//! The component graph behind the component-wise decomposition (§V-A).
+//!
+//! Following the paper, the network is viewed as a graph whose nodes are
+//! buses (or transformer connection nodes — those are ordinary buses in our
+//! data model) and whose edges are branches/transformer lines. One
+//! subproblem is created per node and per edge, except that a **leaf**
+//! node and its single incident edge are merged into one subsystem, because
+//! those two subproblems are much smaller than the rest. Hence
+//! `S = #nodes + #lines − #leaves` (Table III).
+//!
+//! Open switches are excluded, which is what makes the decomposition
+//! adapt to dynamically changing topologies.
+
+use crate::data::{BranchId, BusId};
+use crate::network::Network;
+
+/// One subsystem `s ∈ [S]` of the decomposition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Component {
+    /// A bus subproblem: balance (3) + load model (4) at the bus.
+    Bus(BusId),
+    /// A branch subproblem: linearized flow (5) on the branch.
+    Branch(BranchId),
+    /// A merged leaf subproblem: the leaf bus plus its incident branch.
+    LeafMerged {
+        /// The leaf bus.
+        bus: BusId,
+        /// Its single in-service incident branch.
+        branch: BranchId,
+    },
+}
+
+/// The full decomposition plus the Table III statistics.
+#[derive(Debug, Clone)]
+pub struct ComponentGraph {
+    /// The subsystems, in deterministic order (merged leaves first is NOT
+    /// guaranteed; order follows bus then branch indices).
+    pub components: Vec<Component>,
+    /// Number of graph nodes (in-service-connected buses).
+    pub n_nodes: usize,
+    /// Number of graph lines (in-service branches).
+    pub n_lines: usize,
+    /// Number of leaf nodes merged into their incident line.
+    pub n_leaves: usize,
+}
+
+impl ComponentGraph {
+    /// Build the decomposition from a network. Only in-service branches
+    /// participate; buses isolated by open switches still get a (trivial)
+    /// bus component so every variable keeps an owner.
+    pub fn build(net: &Network) -> Self {
+        Self::build_with(net, true)
+    }
+
+    /// Build with explicit control over leaf merging (the paper's
+    /// granularity choice; `merge_leaves = false` is the ablation where
+    /// every node and line is its own subsystem).
+    #[allow(clippy::needless_range_loop)] // index loop reads clearest here
+    pub fn build_with(net: &Network, merge_leaves: bool) -> Self {
+        let n_buses = net.buses.len();
+        let in_service: Vec<(usize, &crate::data::Branch)> = net
+            .branches
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.in_service())
+            .collect();
+        let mut degree = vec![0usize; n_buses];
+        for (_, b) in &in_service {
+            degree[b.from.0 as usize] += 1;
+            degree[b.to.0 as usize] += 1;
+        }
+        let source = net.source();
+
+        // A leaf: degree-1 bus that is not the source. It merges with its
+        // single incident branch, provided no other leaf claimed it first
+        // (two-bus edge case).
+        let mut branch_claimed = vec![false; net.branches.len()];
+        let mut merged_with: Vec<Option<BranchId>> = vec![None; n_buses];
+        for bus in 0..n_buses {
+            if !merge_leaves || degree[bus] != 1 || source == Some(BusId(bus as u32)) {
+                continue;
+            }
+            let (bid, _) = in_service
+                .iter()
+                .find(|(_, b)| b.from.0 as usize == bus || b.to.0 as usize == bus)
+                .expect("degree-1 bus must have an incident branch");
+            if !branch_claimed[*bid] {
+                branch_claimed[*bid] = true;
+                merged_with[bus] = Some(BranchId(*bid as u32));
+            }
+        }
+
+        let mut components = Vec::new();
+        let mut n_leaves = 0;
+        for bus in 0..n_buses {
+            match merged_with[bus] {
+                Some(branch) => {
+                    n_leaves += 1;
+                    components.push(Component::LeafMerged {
+                        bus: BusId(bus as u32),
+                        branch,
+                    });
+                }
+                None => components.push(Component::Bus(BusId(bus as u32))),
+            }
+        }
+        for (bid, _) in &in_service {
+            if !branch_claimed[*bid] {
+                components.push(Component::Branch(BranchId(*bid as u32)));
+            }
+        }
+        // Out-of-service branches (open switches) still get a component so
+        // their flow variables keep an owner that pins them to zero; they
+        // do not count as graph lines and never merge with leaves.
+        for (bid, b) in net.branches.iter().enumerate() {
+            if !b.in_service() {
+                components.push(Component::Branch(BranchId(bid as u32)));
+            }
+        }
+
+        ComponentGraph {
+            components,
+            n_nodes: n_buses,
+            n_lines: in_service.len(),
+            n_leaves,
+        }
+    }
+
+    /// Number of subsystems `S`.
+    pub fn s(&self) -> usize {
+        self.components.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::*;
+    use crate::phase::PhaseSet;
+
+    /// Path network: src - m - leaf, plus an open-switch stub.
+    fn path3() -> Network {
+        let mut n = Network::new("path3");
+        let mut b0 = Bus::new("src", PhaseSet::ABC);
+        b0.is_source = true;
+        let src = n.add_bus(b0);
+        let mid = n.add_bus(Bus::new("mid", PhaseSet::ABC));
+        let leaf = n.add_bus(Bus::new("leaf", PhaseSet::ABC));
+        let mk = |name: &str, f, t, kind| Branch {
+            name: name.into(),
+            from: f,
+            to: t,
+            phases: PhaseSet::ABC,
+            kind,
+            r: [[0.0; 3]; 3],
+            x: [[0.0; 3]; 3],
+            g_sh_from: [0.0; 3],
+            g_sh_to: [0.0; 3],
+            b_sh_from: [0.0; 3],
+            b_sh_to: [0.0; 3],
+            s_max: 1.0,
+        };
+        n.add_branch(mk("l1", src, mid, BranchKind::Line));
+        n.add_branch(mk("l2", mid, leaf, BranchKind::Line));
+        n.add_branch(mk("sw", mid, leaf, BranchKind::Switch { closed: false }));
+        n
+    }
+
+    #[test]
+    fn counts_match_formula() {
+        let g = ComponentGraph::build(&path3());
+        // 3 nodes, 2 in-service lines, 1 leaf → S = 3 + 2 - 1 = 4 graph
+        // components, plus one holder for the open switch.
+        assert_eq!(g.n_nodes, 3);
+        assert_eq!(g.n_lines, 2);
+        assert_eq!(g.n_leaves, 1);
+        assert_eq!(g.s(), g.n_nodes + g.n_lines - g.n_leaves + 1);
+        assert!(g.components.contains(&Component::Branch(BranchId(2))));
+    }
+
+    #[test]
+    fn leaf_merges_with_its_branch() {
+        let g = ComponentGraph::build(&path3());
+        assert!(g.components.contains(&Component::LeafMerged {
+            bus: BusId(2),
+            branch: BranchId(1),
+        }));
+        // Source is degree 1 but never merged.
+        assert!(g.components.contains(&Component::Bus(BusId(0))));
+    }
+
+    #[test]
+    fn closing_switch_changes_decomposition() {
+        let mut net = path3();
+        net.set_switch("sw", true);
+        let g = ComponentGraph::build(&net);
+        // leaf bus now has degree 2 → no leaves, 3 lines.
+        assert_eq!(g.n_lines, 3);
+        assert_eq!(g.n_leaves, 0);
+        assert_eq!(g.s(), 6);
+    }
+
+    #[test]
+    fn two_bus_edge_case_single_claim() {
+        let mut n = Network::new("pair");
+        let mut b0 = Bus::new("src", PhaseSet::A);
+        b0.is_source = true;
+        let a = n.add_bus(b0);
+        let b = n.add_bus(Bus::new("b", PhaseSet::A));
+        n.add_branch(Branch {
+            name: "l".into(),
+            from: a,
+            to: b,
+            phases: PhaseSet::A,
+            kind: BranchKind::Line,
+            r: [[0.0; 3]; 3],
+            x: [[0.0; 3]; 3],
+            g_sh_from: [0.0; 3],
+            g_sh_to: [0.0; 3],
+            b_sh_from: [0.0; 3],
+            b_sh_to: [0.0; 3],
+            s_max: 1.0,
+        });
+        let g = ComponentGraph::build(&n);
+        // b merges with the line; src stays a bus component.
+        assert_eq!(g.s(), 2);
+        assert_eq!(g.n_leaves, 1);
+    }
+}

@@ -1,0 +1,227 @@
+//! Line impedance configurations.
+//!
+//! The IEEE test feeders define per-mile 3×3 phase impedance matrices for a
+//! small set of overhead/underground conductor geometries (configs 601–607
+//! for the 13-bus feeder). We encode those matrices (Ω/mile) and convert to
+//! per-unit for a given section length and voltage/power base. The same
+//! library seeds the synthetic feeders with realistic self/mutual coupling.
+
+use crate::phase::{Phase, PhaseSet};
+
+/// A per-mile 3×3 impedance configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct LineConfig {
+    /// Config label (e.g. 601).
+    pub id: u16,
+    /// Phases the configuration carries.
+    pub phases: PhaseSet,
+    /// Resistance matrix (Ω/mile).
+    pub r_per_mile: [[f64; 3]; 3],
+    /// Reactance matrix (Ω/mile).
+    pub x_per_mile: [[f64; 3]; 3],
+}
+
+impl LineConfig {
+    /// Per-unit `(r, x)` matrices for `length_ft` feet of this
+    /// configuration at impedance base `z_base` (Ω).
+    pub fn to_per_unit(&self, length_ft: f64, z_base: f64) -> ([[f64; 3]; 3], [[f64; 3]; 3]) {
+        let scale = length_ft / 5280.0 / z_base;
+        let mut r = [[0.0; 3]; 3];
+        let mut x = [[0.0; 3]; 3];
+        for i in 0..3 {
+            for j in 0..3 {
+                r[i][j] = self.r_per_mile[i][j] * scale;
+                x[i][j] = self.x_per_mile[i][j] * scale;
+            }
+        }
+        (r, x)
+    }
+}
+
+/// IEEE 13-bus overhead config 601 (phases abc).
+pub const CFG_601: LineConfig = LineConfig {
+    id: 601,
+    phases: PhaseSet::ABC,
+    r_per_mile: [
+        [0.3465, 0.1560, 0.1580],
+        [0.1560, 0.3375, 0.1535],
+        [0.1580, 0.1535, 0.3414],
+    ],
+    x_per_mile: [
+        [1.0179, 0.5017, 0.4236],
+        [0.5017, 1.0478, 0.3849],
+        [0.4236, 0.3849, 1.0348],
+    ],
+};
+
+/// IEEE 13-bus overhead config 602 (phases abc).
+pub const CFG_602: LineConfig = LineConfig {
+    id: 602,
+    phases: PhaseSet::ABC,
+    r_per_mile: [
+        [0.7526, 0.1580, 0.1560],
+        [0.1580, 0.7475, 0.1535],
+        [0.1560, 0.1535, 0.7436],
+    ],
+    x_per_mile: [
+        [1.1814, 0.4236, 0.5017],
+        [0.4236, 1.1983, 0.3849],
+        [0.5017, 0.3849, 1.2112],
+    ],
+};
+
+/// IEEE 13-bus overhead config 603 (phases bc).
+pub const CFG_603: LineConfig = LineConfig {
+    id: 603,
+    phases: PhaseSet::BC,
+    r_per_mile: [
+        [0.0, 0.0, 0.0],
+        [0.0, 1.3294, 0.2066],
+        [0.0, 0.2066, 1.3238],
+    ],
+    x_per_mile: [
+        [0.0, 0.0, 0.0],
+        [0.0, 1.3471, 0.4591],
+        [0.0, 0.4591, 1.3569],
+    ],
+};
+
+/// IEEE 13-bus overhead config 604 (phases ac).
+pub const CFG_604: LineConfig = LineConfig {
+    id: 604,
+    phases: PhaseSet::AC,
+    r_per_mile: [
+        [1.3238, 0.0, 0.2066],
+        [0.0, 0.0, 0.0],
+        [0.2066, 0.0, 1.3294],
+    ],
+    x_per_mile: [
+        [1.3569, 0.0, 0.4591],
+        [0.0, 0.0, 0.0],
+        [0.4591, 0.0, 1.3471],
+    ],
+};
+
+/// IEEE 13-bus overhead config 605 (phase c).
+pub const CFG_605: LineConfig = LineConfig {
+    id: 605,
+    phases: PhaseSet::C,
+    r_per_mile: [
+        [0.0, 0.0, 0.0],
+        [0.0, 0.0, 0.0],
+        [0.0, 0.0, 1.3292],
+    ],
+    x_per_mile: [
+        [0.0, 0.0, 0.0],
+        [0.0, 0.0, 0.0],
+        [0.0, 0.0, 1.3475],
+    ],
+};
+
+/// IEEE 13-bus underground config 606 (phases abc).
+pub const CFG_606: LineConfig = LineConfig {
+    id: 606,
+    phases: PhaseSet::ABC,
+    r_per_mile: [
+        [0.7982, 0.3192, 0.2849],
+        [0.3192, 0.7891, 0.3192],
+        [0.2849, 0.3192, 0.7982],
+    ],
+    x_per_mile: [
+        [0.4463, 0.0328, -0.0143],
+        [0.0328, 0.4041, 0.0328],
+        [-0.0143, 0.0328, 0.4463],
+    ],
+};
+
+/// IEEE 13-bus underground config 607 (phase a).
+pub const CFG_607: LineConfig = LineConfig {
+    id: 607,
+    phases: PhaseSet::A,
+    r_per_mile: [
+        [1.3425, 0.0, 0.0],
+        [0.0, 0.0, 0.0],
+        [0.0, 0.0, 0.0],
+    ],
+    x_per_mile: [
+        [0.5124, 0.0, 0.0],
+        [0.0, 0.0, 0.0],
+        [0.0, 0.0, 0.0],
+    ],
+};
+
+/// All IEEE-13 configs.
+pub const ALL_CONFIGS: [LineConfig; 7] = [
+    CFG_601, CFG_602, CFG_603, CFG_604, CFG_605, CFG_606, CFG_607,
+];
+
+/// Restrict a 3-phase config to a phase subset by zeroing absent
+/// rows/columns (used when a synthetic lateral carries fewer phases than
+/// its template config).
+pub fn restrict_to_phases(
+    r: [[f64; 3]; 3],
+    x: [[f64; 3]; 3],
+    phases: PhaseSet,
+) -> ([[f64; 3]; 3], [[f64; 3]; 3]) {
+    let mut ro = [[0.0; 3]; 3];
+    let mut xo = [[0.0; 3]; 3];
+    for i in 0..3 {
+        for j in 0..3 {
+            let keep = phases.contains(Phase::from_index(i)) && phases.contains(Phase::from_index(j));
+            if keep {
+                ro[i][j] = r[i][j];
+                xo[i][j] = x[i][j];
+            }
+        }
+    }
+    (ro, xo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_unit_scaling() {
+        let z_base = 4.16_f64.powi(2) / 1.0; // 4.16 kV, 1 MVA
+        let (r, _x) = CFG_601.to_per_unit(5280.0, z_base);
+        assert!((r[0][0] - 0.3465 / z_base).abs() < 1e-12);
+    }
+
+    #[test]
+    fn configs_match_declared_phases() {
+        for cfg in ALL_CONFIGS {
+            for i in 0..3 {
+                for j in 0..3 {
+                    let present = cfg.phases.contains(Phase::from_index(i))
+                        && cfg.phases.contains(Phase::from_index(j));
+                    if !present {
+                        assert_eq!(cfg.r_per_mile[i][j], 0.0, "cfg {} r[{i}][{j}]", cfg.id);
+                        assert_eq!(cfg.x_per_mile[i][j], 0.0, "cfg {} x[{i}][{j}]", cfg.id);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn configs_are_symmetric() {
+        for cfg in ALL_CONFIGS {
+            for i in 0..3 {
+                for j in 0..3 {
+                    assert_eq!(cfg.r_per_mile[i][j], cfg.r_per_mile[j][i]);
+                    assert_eq!(cfg.x_per_mile[i][j], cfg.x_per_mile[j][i]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn restriction_zeroes_absent_phases() {
+        let (r, x) = restrict_to_phases(CFG_601.r_per_mile, CFG_601.x_per_mile, PhaseSet::A);
+        assert!(r[0][0] > 0.0);
+        assert_eq!(r[0][1], 0.0);
+        assert_eq!(r[1][1], 0.0);
+        assert_eq!(x[2][2], 0.0);
+    }
+}

@@ -1,0 +1,254 @@
+//! Network element records.
+//!
+//! These are the raw data the OPF model (crate `opf-model`) consumes:
+//! buses with voltage bounds and shunts (Table I of the paper), generators
+//! with box bounds (2a), ZIP loads with wye/delta connection (4), and
+//! branches (lines / transformers / switches) with 3×3 phase impedance
+//! matrices feeding the `Mᵖ/Mᵠ` matrices of (5c).
+
+use crate::phase::PhaseSet;
+use serde::{Deserialize, Serialize};
+
+/// Index of a bus within its [`crate::Network`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct BusId(pub u32);
+
+/// Index of a branch within its [`crate::Network`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct BranchId(pub u32);
+
+/// Index of a generator within its [`crate::Network`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct GenId(pub u32);
+
+/// Index of a load within its [`crate::Network`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct LoadId(pub u32);
+
+/// Per-phase scalar triple; entries for absent phases are ignored.
+pub type PerPhase = [f64; 3];
+
+/// A bus (node) of the feeder.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Bus {
+    /// Human-readable name (feeder bus number or generated).
+    pub name: String,
+    /// Phases present at the bus.
+    pub phases: PhaseSet,
+    /// Lower bound on squared voltage magnitude `w̲_iφ` (p.u.²).
+    pub w_min: PerPhase,
+    /// Upper bound on squared voltage magnitude `w̄_iφ` (p.u.²).
+    pub w_max: PerPhase,
+    /// Shunt conductance `g^sh_iφ` (p.u.).
+    pub g_sh: PerPhase,
+    /// Shunt susceptance `b^sh_iφ` (p.u.) — capacitor banks land here.
+    pub b_sh: PerPhase,
+    /// Whether this is the substation/source bus (root of the feeder).
+    pub is_source: bool,
+}
+
+impl Bus {
+    /// A plain 1.0 p.u. bus with ±10% voltage band on the given phases.
+    pub fn new(name: impl Into<String>, phases: PhaseSet) -> Self {
+        Bus {
+            name: name.into(),
+            phases,
+            w_min: [0.81; 3],
+            w_max: [1.21; 3],
+            g_sh: [0.0; 3],
+            b_sh: [0.0; 3],
+            is_source: false,
+        }
+    }
+}
+
+/// A generator (substation head or distributed energy resource).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Generator {
+    /// Name.
+    pub name: String,
+    /// Bus the generator is attached to.
+    pub bus: BusId,
+    /// Phases it injects on.
+    pub phases: PhaseSet,
+    /// Real power lower bound `p̲^g_kφ` (p.u.).
+    pub p_min: PerPhase,
+    /// Real power upper bound `p̄^g_kφ` (p.u.).
+    pub p_max: PerPhase,
+    /// Reactive power lower bound `q̲^g_kφ` (p.u.).
+    pub q_min: PerPhase,
+    /// Reactive power upper bound `q̄^g_kφ` (p.u.).
+    pub q_max: PerPhase,
+}
+
+/// How a load is connected to its bus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Connection {
+    /// Line-to-neutral (wye / star) connection — eqs. (4c), (4e).
+    Wye,
+    /// Line-to-line (delta) connection — eqs. (4d), (4f)–(4j).
+    Delta,
+}
+
+/// ZIP load class; determines the voltage-dependence exponents
+/// `α_lφ`/`β_lφ` of the linearized load model (4a)/(4b).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ZipClass {
+    /// Constant power: `α = β = 0`.
+    ConstantPower,
+    /// Constant current: `α = β = 1`.
+    ConstantCurrent,
+    /// Constant impedance: `α = β = 2`.
+    ConstantImpedance,
+}
+
+impl ZipClass {
+    /// The exponent `α` (= `β`) used in the linearization.
+    pub fn alpha(self) -> f64 {
+        match self {
+            ZipClass::ConstantPower => 0.0,
+            ZipClass::ConstantCurrent => 1.0,
+            ZipClass::ConstantImpedance => 2.0,
+        }
+    }
+}
+
+/// A load.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Load {
+    /// Name.
+    pub name: String,
+    /// Bus the load is attached to.
+    pub bus: BusId,
+    /// Phases the load draws on.
+    pub phases: PhaseSet,
+    /// Connection type.
+    pub conn: Connection,
+    /// ZIP class.
+    pub zip: ZipClass,
+    /// Reference real power `a_lφ` (p.u.).
+    pub p_ref: PerPhase,
+    /// Reference reactive power `b_lφ` (p.u.).
+    pub q_ref: PerPhase,
+}
+
+/// Kind of a branch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum BranchKind {
+    /// An overhead/underground line section (tap ratio 1).
+    Line,
+    /// A transformer or voltage regulator with per-phase tap ratio
+    /// `τ_eφ` (enters (5c)).
+    Transformer {
+        /// Per-phase tap ratio.
+        tap: PerPhase,
+    },
+    /// A sectionalizing/tie switch; open switches are excluded from the
+    /// component graph (dynamic topology, §I).
+    Switch {
+        /// Current switch state.
+        closed: bool,
+    },
+}
+
+/// A branch (edge) of the feeder: line, transformer, or switch.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Branch {
+    /// Name.
+    pub name: String,
+    /// From-bus `i` of `(e, i, j)`.
+    pub from: BusId,
+    /// To-bus `j` of `(e, i, j)`.
+    pub to: BusId,
+    /// Phases carried.
+    pub phases: PhaseSet,
+    /// Kind (line / transformer / switch).
+    pub kind: BranchKind,
+    /// 3×3 phase resistance matrix `r_eφφ'` (p.u.); rows/cols for absent
+    /// phases must be zero.
+    pub r: [[f64; 3]; 3],
+    /// 3×3 phase reactance matrix `x_eφφ'` (p.u.).
+    pub x: [[f64; 3]; 3],
+    /// Shunt conductance at the from side `g^s_eijφ` (p.u.).
+    pub g_sh_from: PerPhase,
+    /// Shunt conductance at the to side `g^s_ejiφ` (p.u.).
+    pub g_sh_to: PerPhase,
+    /// Shunt susceptance at the from side `b^s_eijφ` (p.u.).
+    pub b_sh_from: PerPhase,
+    /// Shunt susceptance at the to side `b^s_ejiφ` (p.u.).
+    pub b_sh_to: PerPhase,
+    /// Real power flow bound: `p ∈ [−s_max, s_max]` per phase (p.u.).
+    pub s_max: f64,
+}
+
+impl Branch {
+    /// Tap ratio of the branch on a phase (1.0 for lines/switches).
+    pub fn tap(&self, phase_idx: usize) -> f64 {
+        match &self.kind {
+            BranchKind::Transformer { tap } => tap[phase_idx],
+            _ => 1.0,
+        }
+    }
+
+    /// Is the branch currently in service (lines/transformers always;
+    /// switches only when closed)?
+    pub fn in_service(&self) -> bool {
+        match &self.kind {
+            BranchKind::Switch { closed } => *closed,
+            _ => true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zip_exponents() {
+        assert_eq!(ZipClass::ConstantPower.alpha(), 0.0);
+        assert_eq!(ZipClass::ConstantCurrent.alpha(), 1.0);
+        assert_eq!(ZipClass::ConstantImpedance.alpha(), 2.0);
+    }
+
+    #[test]
+    fn tap_defaults_to_one() {
+        let b = Branch {
+            name: "l".into(),
+            from: BusId(0),
+            to: BusId(1),
+            phases: PhaseSet::ABC,
+            kind: BranchKind::Line,
+            r: [[0.0; 3]; 3],
+            x: [[0.0; 3]; 3],
+            g_sh_from: [0.0; 3],
+            g_sh_to: [0.0; 3],
+            b_sh_from: [0.0; 3],
+            b_sh_to: [0.0; 3],
+            s_max: 1.0,
+        };
+        assert_eq!(b.tap(0), 1.0);
+        assert!(b.in_service());
+    }
+
+    #[test]
+    fn switch_service_state() {
+        let mut b = Branch {
+            name: "sw".into(),
+            from: BusId(0),
+            to: BusId(1),
+            phases: PhaseSet::ABC,
+            kind: BranchKind::Switch { closed: false },
+            r: [[0.0; 3]; 3],
+            x: [[0.0; 3]; 3],
+            g_sh_from: [0.0; 3],
+            g_sh_to: [0.0; 3],
+            b_sh_from: [0.0; 3],
+            b_sh_to: [0.0; 3],
+            s_max: 1.0,
+        };
+        assert!(!b.in_service());
+        b.kind = BranchKind::Switch { closed: true };
+        assert!(b.in_service());
+    }
+}

@@ -1,0 +1,248 @@
+//! The IEEE 13-bus test feeder, hand-encoded from the published data \[34\].
+//!
+//! This is the *physically faithful* model used for validation and
+//! examples: real line configurations (601–607), the 633–634 in-line
+//! transformer, the 671–692 switch, spot and distributed loads with their
+//! published wye/delta and ZIP classes, and the two capacitor banks.
+//! Per-unit base: 4.16 kV (L-L), 1 MVA.
+
+use crate::configs::*;
+use crate::data::*;
+use crate::network::Network;
+use crate::phase::PhaseSet;
+
+const S_BASE_KVA: f64 = 1000.0;
+const Z_BASE: f64 = 4.16 * 4.16; // kV²/MVA
+
+fn pu(kw: f64) -> f64 {
+    kw / S_BASE_KVA
+}
+
+/// Build the detailed IEEE 13-bus feeder.
+pub fn ieee13_detailed() -> Network {
+    let mut net = Network::new("ieee13-detailed");
+
+    // --- Buses. ---
+    let mut b650 = Bus::new("650", PhaseSet::ABC);
+    b650.is_source = true;
+    let n650 = net.add_bus(b650);
+    let rg60 = net.add_bus(Bus::new("RG60", PhaseSet::ABC));
+    let n632 = net.add_bus(Bus::new("632", PhaseSet::ABC));
+    let n633 = net.add_bus(Bus::new("633", PhaseSet::ABC));
+    let n634 = net.add_bus(Bus::new("634", PhaseSet::ABC));
+    let n645 = net.add_bus(Bus::new("645", PhaseSet::BC));
+    let n646 = net.add_bus(Bus::new("646", PhaseSet::BC));
+    let n670 = net.add_bus(Bus::new("670", PhaseSet::ABC));
+    let n671 = net.add_bus(Bus::new("671", PhaseSet::ABC));
+    let n680 = net.add_bus(Bus::new("680", PhaseSet::ABC));
+    let n684 = net.add_bus(Bus::new("684", PhaseSet::AC));
+    let n611 = net.add_bus(Bus::new("611", PhaseSet::C));
+    let n652 = net.add_bus(Bus::new("652", PhaseSet::A));
+    let n692 = net.add_bus(Bus::new("692", PhaseSet::ABC));
+    let n675 = net.add_bus(Bus::new("675", PhaseSet::ABC));
+
+    // Capacitor banks: 675 (200 kvar/phase), 611 (100 kvar phase c).
+    // Modeled as bus shunt susceptance: Q = b_sh · w at w ≈ 1.
+    net.buses[n675.0 as usize].b_sh = [pu(200.0), pu(200.0), pu(200.0)];
+    net.buses[n611.0 as usize].b_sh[2] = pu(100.0);
+
+    // --- Branch helper. ---
+    let line = |name: &str, from, to, cfg: &LineConfig, len_ft: f64, net: &mut Network| {
+        let (r, x) = cfg.to_per_unit(len_ft, Z_BASE);
+        net.add_branch(Branch {
+            name: name.into(),
+            from,
+            to,
+            phases: cfg.phases,
+            kind: BranchKind::Line,
+            r,
+            x,
+            g_sh_from: [0.0; 3],
+            g_sh_to: [0.0; 3],
+            b_sh_from: [0.0; 3],
+            b_sh_to: [0.0; 3],
+            s_max: 10.0,
+        });
+    };
+
+    // --- Lines (published lengths in feet). ---
+    // Substation regulator 650 → RG60 (three single-phase regulators,
+    // modeled as one 3-phase transformer branch with unit taps and a
+    // small series impedance).
+    net.add_branch(Branch {
+        name: "reg650".into(),
+        from: n650,
+        to: rg60,
+        phases: PhaseSet::ABC,
+        kind: BranchKind::Transformer { tap: [1.0; 3] },
+        r: [[0.001, 0.0, 0.0], [0.0, 0.001, 0.0], [0.0, 0.0, 0.001]],
+        x: [[0.008, 0.0, 0.0], [0.0, 0.008, 0.0], [0.0, 0.0, 0.008]],
+        g_sh_from: [0.0; 3],
+        g_sh_to: [0.0; 3],
+        b_sh_from: [0.0; 3],
+        b_sh_to: [0.0; 3],
+        s_max: 10.0,
+    });
+    line("632-645", n632, n645, &CFG_603, 500.0, &mut net);
+    line("632-633", n632, n633, &CFG_602, 500.0, &mut net);
+    line("645-646", n645, n646, &CFG_603, 300.0, &mut net);
+    line("rg60-632", rg60, n632, &CFG_601, 2000.0, &mut net);
+    line("632-670", n632, n670, &CFG_601, 667.0, &mut net);
+    line("670-671", n670, n671, &CFG_601, 1333.0, &mut net);
+    line("671-680", n671, n680, &CFG_601, 1000.0, &mut net);
+    line("671-684", n671, n684, &CFG_604, 300.0, &mut net);
+    line("684-611", n684, n611, &CFG_605, 300.0, &mut net);
+    line("684-652", n684, n652, &CFG_607, 800.0, &mut net);
+    line("692-675", n692, n675, &CFG_606, 500.0, &mut net);
+    // XFM-1: 633 → 634 (500 kVA, Z = 1.1 + j2 % on its own base).
+    let zb_mult = S_BASE_KVA / 500.0;
+    let (rx, xx) = (0.011 * zb_mult, 0.02 * zb_mult);
+    net.add_branch(Branch {
+        name: "xfm1".into(),
+        from: n633,
+        to: n634,
+        phases: PhaseSet::ABC,
+        kind: BranchKind::Transformer { tap: [1.0; 3] },
+        r: [[rx, 0.0, 0.0], [0.0, rx, 0.0], [0.0, 0.0, rx]],
+        x: [[xx, 0.0, 0.0], [0.0, xx, 0.0], [0.0, 0.0, xx]],
+        g_sh_from: [0.0; 3],
+        g_sh_to: [0.0; 3],
+        b_sh_from: [0.0; 3],
+        b_sh_to: [0.0; 3],
+        s_max: 10.0,
+    });
+    // Switch 671 → 692 (normally closed).
+    net.add_branch(Branch {
+        name: "sw671-692".into(),
+        from: n671,
+        to: n692,
+        phases: PhaseSet::ABC,
+        kind: BranchKind::Switch { closed: true },
+        r: [[1e-4, 0.0, 0.0], [0.0, 1e-4, 0.0], [0.0, 0.0, 1e-4]],
+        x: [[1e-4, 0.0, 0.0], [0.0, 1e-4, 0.0], [0.0, 0.0, 1e-4]],
+        g_sh_from: [0.0; 3],
+        g_sh_to: [0.0; 3],
+        b_sh_from: [0.0; 3],
+        b_sh_to: [0.0; 3],
+        s_max: 10.0,
+    });
+
+    // --- Substation generator. ---
+    net.add_generator(Generator {
+        name: "source".into(),
+        bus: n650,
+        phases: PhaseSet::ABC,
+        p_min: [0.0; 3],
+        p_max: [10.0; 3],
+        q_min: [-10.0; 3],
+        q_max: [10.0; 3],
+    });
+
+    // --- Loads (kW, kvar per published spec). ---
+    let load = |name: &str,
+                    bus,
+                    phases: PhaseSet,
+                    conn,
+                    zip,
+                    p: [f64; 3],
+                    q: [f64; 3],
+                    net: &mut Network| {
+        net.add_load(Load {
+            name: name.into(),
+            bus,
+            phases,
+            conn,
+            zip,
+            p_ref: [pu(p[0]), pu(p[1]), pu(p[2])],
+            q_ref: [pu(q[0]), pu(q[1]), pu(q[2])],
+        });
+    };
+    use Connection::*;
+    use ZipClass::*;
+    load("634", n634, PhaseSet::ABC, Wye, ConstantPower,
+        [160.0, 120.0, 120.0], [110.0, 90.0, 90.0], &mut net);
+    load("645", n645, PhaseSet::B, Wye, ConstantPower,
+        [0.0, 170.0, 0.0], [0.0, 125.0, 0.0], &mut net);
+    load("646", n646, PhaseSet::BC, Delta, ConstantImpedance,
+        [0.0, 230.0, 0.0], [0.0, 132.0, 0.0], &mut net);
+    load("652", n652, PhaseSet::A, Wye, ConstantImpedance,
+        [128.0, 0.0, 0.0], [86.0, 0.0, 0.0], &mut net);
+    load("671", n671, PhaseSet::ABC, Delta, ConstantPower,
+        [385.0, 385.0, 385.0], [220.0, 220.0, 220.0], &mut net);
+    load("675", n675, PhaseSet::ABC, Wye, ConstantPower,
+        [485.0, 68.0, 290.0], [190.0, 60.0, 212.0], &mut net);
+    load("692", n692, PhaseSet::C, Delta, ConstantCurrent,
+        [0.0, 0.0, 170.0], [0.0, 0.0, 151.0], &mut net);
+    load("611", n611, PhaseSet::C, Wye, ConstantCurrent,
+        [0.0, 0.0, 170.0], [0.0, 0.0, 80.0], &mut net);
+    // Distributed load 632–671, lumped at the published midpoint bus 670.
+    load("670", n670, PhaseSet::ABC, Wye, ConstantPower,
+        [17.0, 66.0, 117.0], [10.0, 38.0, 68.0], &mut net);
+
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::ComponentGraph;
+
+    #[test]
+    fn feeder_is_valid() {
+        ieee13_detailed().validate().unwrap();
+    }
+
+    #[test]
+    fn element_counts() {
+        let net = ieee13_detailed();
+        assert_eq!(net.buses.len(), 15);
+        assert_eq!(net.branches.len(), 14);
+        assert_eq!(net.loads.len(), 9);
+        assert_eq!(net.generators.len(), 1);
+    }
+
+    #[test]
+    fn total_load_matches_published_sum() {
+        // Published spot + distributed real load totals 3466 kW.
+        let net = ieee13_detailed();
+        let total_kw = net.total_p_ref() * S_BASE_KVA;
+        assert!((total_kw - 3466.0).abs() < 1.0, "{total_kw}");
+    }
+
+    #[test]
+    fn switch_opens_675_island() {
+        let mut net = ieee13_detailed();
+        assert!(net.set_switch("sw671-692", false));
+        // 692 and 675 become unreachable.
+        let reach = net.reachable_from_source();
+        let unreachable = reach.iter().filter(|r| !**r).count();
+        assert_eq!(unreachable, 2);
+    }
+
+    #[test]
+    fn component_graph_shape() {
+        let net = ieee13_detailed();
+        let g = ComponentGraph::build(&net);
+        assert_eq!(g.n_nodes, 15);
+        assert_eq!(g.n_lines, 14);
+        // Leaves: 634, 646, 680, 611, 652, 675 → 6 (all others internal).
+        assert_eq!(g.n_leaves, 6);
+        assert_eq!(g.s(), 15 + 14 - 6);
+    }
+
+    #[test]
+    fn phases_follow_published_feeder() {
+        let net = ieee13_detailed();
+        let by_name = |n: &str| {
+            net.buses
+                .iter()
+                .find(|b| b.name == n)
+                .unwrap_or_else(|| panic!("bus {n}"))
+                .phases
+        };
+        assert_eq!(by_name("645"), PhaseSet::BC);
+        assert_eq!(by_name("684"), PhaseSet::AC);
+        assert_eq!(by_name("611"), PhaseSet::C);
+        assert_eq!(by_name("652"), PhaseSet::A);
+    }
+}

@@ -1,0 +1,127 @@
+//! Test feeders: the detailed IEEE 13-bus model plus the synthetic
+//! IEEE-13/123/8500-scale instances whose component graphs match the
+//! paper's Table III exactly.
+
+pub mod ieee13;
+pub mod synthetic;
+
+pub use ieee13::ieee13_detailed;
+pub use synthetic::{generate, SyntheticSpec};
+
+use crate::network::Network;
+
+/// IEEE 13-scale instance (Table III: 29 nodes, 28 lines, 7 leaves,
+/// S = 50). Phase mix favours the 3-phase trunk sections of the real
+/// feeder; roughly half the nodes carry loads.
+pub fn ieee13() -> Network {
+    generate(&SyntheticSpec {
+        name: "ieee13".into(),
+        n_nodes: 29,
+        n_lines: 28,
+        n_leaves: 7,
+        phase_weights: [0.25, 0.25, 0.50],
+        load_node_fraction: 0.5,
+        delta_fraction: 0.3,
+        zip_weights: [0.5, 0.25, 0.25],
+        der_count: 2,
+        transformer_fraction: 0.15,
+        avg_load_p: 0.08,
+        seed: 0x13,
+    })
+}
+
+/// IEEE 123-scale instance (Table III: 147 nodes, 146 lines, 43 leaves,
+/// S = 250). The 123-bus feeder is dominated by 1- and 2-phase laterals.
+pub fn ieee123() -> Network {
+    generate(&SyntheticSpec {
+        name: "ieee123".into(),
+        n_nodes: 147,
+        n_lines: 146,
+        n_leaves: 43,
+        phase_weights: [0.45, 0.25, 0.30],
+        load_node_fraction: 0.55,
+        delta_fraction: 0.2,
+        zip_weights: [0.6, 0.2, 0.2],
+        der_count: 4,
+        transformer_fraction: 0.1,
+        avg_load_p: 0.03,
+        seed: 0x123,
+    })
+}
+
+/// IEEE 8500-scale instance (Table III: 11932 nodes, 14291 lines, 1222
+/// leaves, S = 25001). Mostly single-phase triplex territory — the paper's
+/// Table IV shows the smallest mean subproblem sizes here — with the
+/// 2360 extra lines realized as parallel service legs.
+pub fn ieee8500() -> Network {
+    generate(&SyntheticSpec {
+        name: "ieee8500".into(),
+        n_nodes: 11_932,
+        n_lines: 14_291,
+        n_leaves: 1_222,
+        phase_weights: [0.82, 0.08, 0.10],
+        load_node_fraction: 0.11,
+        delta_fraction: 0.05,
+        zip_weights: [0.7, 0.15, 0.15],
+        der_count: 12,
+        transformer_fraction: 0.08,
+        avg_load_p: 0.004,
+        seed: 0x8500,
+    })
+}
+
+/// The three paper instances by name (used by the bench binaries).
+pub fn by_name(name: &str) -> Option<Network> {
+    match name {
+        "ieee13" => Some(ieee13()),
+        "ieee123" => Some(ieee123()),
+        "ieee8500" => Some(ieee8500()),
+        "ieee13-detailed" => Some(ieee13_detailed()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::ComponentGraph;
+
+    #[test]
+    fn ieee13_matches_table3() {
+        let g = ComponentGraph::build(&ieee13());
+        assert_eq!((g.n_nodes, g.n_lines, g.n_leaves, g.s()), (29, 28, 7, 50));
+    }
+
+    #[test]
+    fn ieee123_matches_table3() {
+        let g = ComponentGraph::build(&ieee123());
+        assert_eq!(
+            (g.n_nodes, g.n_lines, g.n_leaves, g.s()),
+            (147, 146, 43, 250)
+        );
+    }
+
+    #[test]
+    #[ignore = "builds the 25001-component instance (~seconds); run with --ignored"]
+    fn ieee8500_matches_table3() {
+        let g = ComponentGraph::build(&ieee8500());
+        assert_eq!(
+            (g.n_nodes, g.n_lines, g.n_leaves, g.s()),
+            (11_932, 14_291, 1_222, 25_001)
+        );
+    }
+
+    #[test]
+    fn instances_validate() {
+        ieee13().validate().unwrap();
+        ieee123().validate().unwrap();
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(by_name("ieee13").is_some());
+        assert!(by_name("ieee123").is_some());
+        assert!(by_name("ieee13-detailed").is_some());
+        assert!(by_name("nope").is_none());
+    }
+}

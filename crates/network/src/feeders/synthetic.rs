@@ -1,0 +1,503 @@
+//! Synthetic radial feeder generator.
+//!
+//! The IEEE 123- and 8500-bus feeder data files are not distributed with
+//! this repository, so — per the substitution policy in `DESIGN.md` — we
+//! generate radial feeders whose **component graph matches the paper's
+//! published statistics exactly** (Table III: node / line / leaf counts,
+//! hence `S`), with phase mixes chosen so the per-component subproblem
+//! sizes track Table IV.
+//!
+//! Construction: a root (substation) plus `n_leaves` chains. Each chain
+//! attaches to a previously built non-tail node, so chain tails are exactly
+//! the leaves. Extra (parallel) lines — the 8500-node system's split-phase
+//! service legs — duplicate internal tree edges so that leaf counts are
+//! preserved. Impedances come from the IEEE-13 configuration library and
+//! are rescaled so the estimated linearized voltage drop respects the
+//! ±10 % band (conductor sizing), keeping the OPF feasible.
+
+use crate::configs::{self, LineConfig};
+use crate::data::*;
+use crate::network::Network;
+use crate::phase::{Phase, PhaseSet};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of a synthetic feeder.
+#[derive(Debug, Clone)]
+pub struct SyntheticSpec {
+    /// Case name.
+    pub name: String,
+    /// Component-graph node count (buses).
+    pub n_nodes: usize,
+    /// Component-graph line count (`≥ n_nodes − 1`; the excess becomes
+    /// parallel service legs on internal edges).
+    pub n_lines: usize,
+    /// Exact number of leaf nodes.
+    pub n_leaves: usize,
+    /// Sampling weights for 1-, 2-, 3-phase laterals.
+    pub phase_weights: [f64; 3],
+    /// Probability that a non-tail node carries a load (tails always do).
+    pub load_node_fraction: f64,
+    /// Probability that a multi-phase load is delta-connected.
+    pub delta_fraction: f64,
+    /// Sampling weights for constant-power / current / impedance loads.
+    pub zip_weights: [f64; 3],
+    /// Number of distributed generators placed on internal nodes.
+    pub der_count: usize,
+    /// Probability that a lateral's first edge is a transformer.
+    pub transformer_fraction: f64,
+    /// Mean per-phase reference load (p.u.).
+    pub avg_load_p: f64,
+    /// RNG seed (generation is fully deterministic given the spec).
+    pub seed: u64,
+}
+
+impl SyntheticSpec {
+    /// Sanity-check the spec.
+    fn validate(&self) {
+        assert!(self.n_nodes >= 3, "need at least root + one chain of 2");
+        assert!(self.n_leaves >= 1 && self.n_leaves < self.n_nodes);
+        assert!(
+            self.n_lines >= self.n_nodes - 1,
+            "line count below spanning tree size"
+        );
+    }
+}
+
+/// Deterministically generate the feeder for a spec.
+pub fn generate(spec: &SyntheticSpec) -> Network {
+    spec.validate();
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut net = Network::new(spec.name.clone());
+
+    // --- Root (substation). ---
+    let mut root_bus = Bus::new("sub", PhaseSet::ABC);
+    root_bus.is_source = true;
+    let root = net.add_bus(root_bus);
+
+    // --- Chain length partition: n_leaves chains over n_nodes−1 nodes. ---
+    let l = spec.n_leaves;
+    let spare = spec.n_nodes - 1 - l;
+    let mut lengths = vec![1usize; l];
+    // The trunk (chain 0) gets a 5× weight so the feeder has a long
+    // 3-phase backbone like real systems.
+    for _ in 0..spare {
+        let pick = if rng.gen_bool((5.0 / (l as f64 + 4.0)).min(1.0)) {
+            0
+        } else {
+            rng.gen_range(0..l)
+        };
+        lengths[pick] += 1;
+    }
+
+    // Eligible attachment points: every built node that is not a chain
+    // tail. Tails are excluded so the leaf count stays exact.
+    let mut eligible: Vec<BusId> = vec![root];
+    // Remember each tree edge and each node's phase set as we build.
+    struct TreeEdge {
+        branch: BranchId,
+        internal: bool,
+    }
+    let mut tree_edges: Vec<TreeEdge> = Vec::with_capacity(spec.n_nodes - 1);
+
+    let phase_count_dist = |rng: &mut StdRng, w: &[f64; 3]| -> usize {
+        let total: f64 = w.iter().sum();
+        let mut t = rng.gen_range(0.0..total);
+        for (k, &wk) in w.iter().enumerate() {
+            if t < wk {
+                return k + 1;
+            }
+            t -= wk;
+        }
+        3
+    };
+
+    let pick_phases = |rng: &mut StdRng, avail: PhaseSet, want: usize| -> PhaseSet {
+        let avail_vec: Vec<Phase> = avail.iter().collect();
+        let k = want.min(avail_vec.len());
+        let chosen = avail_vec
+            .choose_multiple(rng, k)
+            .copied()
+            .collect::<Vec<_>>();
+        PhaseSet::from_phases(chosen)
+    };
+
+    let config_for = |rng: &mut StdRng, phases: PhaseSet| -> LineConfig {
+        let pool: Vec<LineConfig> = match phases.len() {
+            3 => vec![configs::CFG_601, configs::CFG_602, configs::CFG_606],
+            2 => vec![configs::CFG_603, configs::CFG_604],
+            _ => vec![configs::CFG_605, configs::CFG_607],
+        };
+        *pool.choose(rng).expect("non-empty pool")
+    };
+
+    for (c, &len) in lengths.iter().enumerate() {
+        // Attachment point and lateral phases.
+        let attach = if c == 0 {
+            root
+        } else {
+            *eligible.choose(&mut rng).expect("eligible never empty")
+        };
+        let avail = net.bus(attach).phases;
+        let phases = if c == 0 {
+            PhaseSet::ABC
+        } else {
+            let want = phase_count_dist(&mut rng, &spec.phase_weights);
+            pick_phases(&mut rng, avail, want)
+        };
+        let cfg = config_for(&mut rng, phases);
+        // Per-unit base: 4.16 kV, 1 MVA.
+        let z_base = 4.16_f64 * 4.16;
+
+        let mut prev = attach;
+        for k in 0..len {
+            let bus = net.add_bus(Bus::new(format!("n{}_{}", c, k), phases));
+            let length_ft = rng.gen_range(200.0..1500.0);
+            let (r_raw, x_raw) = cfg.to_per_unit(length_ft, z_base);
+            let (r, x) = configs::restrict_to_phases(r_raw, x_raw, phases);
+            let is_xfmr = k == 0 && (c == 0 || rng.gen_bool(spec.transformer_fraction));
+            let kind = if is_xfmr {
+                BranchKind::Transformer { tap: [1.0; 3] }
+            } else {
+                BranchKind::Line
+            };
+            let branch = net.add_branch(Branch {
+                name: format!("e{}_{}", c, k),
+                from: prev,
+                to: bus,
+                phases,
+                kind,
+                r,
+                x,
+                g_sh_from: [0.0; 3],
+                g_sh_to: [0.0; 3],
+                b_sh_from: [0.0; 3],
+                b_sh_to: [0.0; 3],
+                s_max: 20.0,
+            });
+            let is_tail_edge = k + 1 == len;
+            tree_edges.push(TreeEdge {
+                branch,
+                internal: !is_tail_edge,
+            });
+            if !is_tail_edge {
+                eligible.push(bus);
+            }
+            prev = bus;
+        }
+    }
+    debug_assert_eq!(net.buses.len(), spec.n_nodes);
+    debug_assert_eq!(net.branches.len(), spec.n_nodes - 1);
+
+    // --- Parallel service legs on internal edges (8500-style). ---
+    let extra = spec.n_lines - (spec.n_nodes - 1);
+    let internal: Vec<usize> = tree_edges
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| e.internal)
+        .map(|(i, _)| i)
+        .collect();
+    assert!(
+        extra == 0 || !internal.is_empty(),
+        "cannot add parallel lines without internal edges"
+    );
+    for p in 0..extra {
+        let &ei = internal.choose(&mut rng).expect("internal edges exist");
+        let template = net.branch(tree_edges[ei].branch).clone();
+        let mut r = template.r;
+        let mut x = template.x;
+        for row in r.iter_mut().chain(x.iter_mut()) {
+            for v in row.iter_mut() {
+                *v *= 1.1; // slightly longer parallel run
+            }
+        }
+        net.add_branch(Branch {
+            name: format!("par{p}"),
+            from: template.from,
+            to: template.to,
+            phases: template.phases,
+            kind: BranchKind::Line,
+            r,
+            x,
+            g_sh_from: [0.0; 3],
+            g_sh_to: [0.0; 3],
+            b_sh_from: [0.0; 3],
+            b_sh_to: [0.0; 3],
+            s_max: template.s_max,
+        });
+    }
+
+    // --- Loads: every tail, plus a fraction of internal nodes. ---
+    let degrees = net.degrees();
+    #[allow(clippy::needless_range_loop)] // indexing two parallel arrays
+    for bus_idx in 1..net.buses.len() {
+        let is_tail = degrees[bus_idx] == 1;
+        if !is_tail && !rng.gen_bool(spec.load_node_fraction) {
+            continue;
+        }
+        let bus = BusId(bus_idx as u32);
+        let phases = net.bus(bus).phases;
+        let conn = if phases.len() >= 2 && rng.gen_bool(spec.delta_fraction) {
+            Connection::Delta
+        } else {
+            Connection::Wye
+        };
+        let zw: f64 = spec.zip_weights.iter().sum();
+        let mut t = rng.gen_range(0.0..zw);
+        let zip = if t < spec.zip_weights[0] {
+            ZipClass::ConstantPower
+        } else {
+            t -= spec.zip_weights[0];
+            if t < spec.zip_weights[1] {
+                ZipClass::ConstantCurrent
+            } else {
+                ZipClass::ConstantImpedance
+            }
+        };
+        let mut p_ref = [0.0; 3];
+        let mut q_ref = [0.0; 3];
+        for ph in phases.iter() {
+            let p = spec.avg_load_p * rng.gen_range(0.5..1.5);
+            p_ref[ph.index()] = p;
+            q_ref[ph.index()] = 0.4 * p;
+        }
+        net.add_load(Load {
+            name: format!("ld{}", bus_idx),
+            bus,
+            phases,
+            conn,
+            zip,
+            p_ref,
+            q_ref,
+        });
+    }
+
+    // --- Conductor sizing: rescale impedances so the estimated
+    //     linearized voltage drop stays within the ±10 % band. ---
+    rescale_for_voltage_band(&mut net, 0.06);
+
+    // --- Generators: substation + DERs. ---
+    let total_p = net.total_p_ref();
+    let cap = (4.0 * total_p).max(10.0);
+    net.add_generator(Generator {
+        name: "substation".into(),
+        bus: root,
+        phases: PhaseSet::ABC,
+        p_min: [0.0; 3],
+        p_max: [cap; 3],
+        q_min: [-cap; 3],
+        q_max: [cap; 3],
+    });
+    let three_phase_nodes: Vec<BusId> = (1..net.buses.len())
+        .filter(|&i| net.buses[i].phases == PhaseSet::ABC)
+        .map(|i| BusId(i as u32))
+        .collect();
+    for d in 0..spec.der_count.min(three_phase_nodes.len()) {
+        let bus = three_phase_nodes[rng.gen_range(0..three_phase_nodes.len())];
+        let size = 2.0 * spec.avg_load_p;
+        net.add_generator(Generator {
+            name: format!("der{d}"),
+            bus,
+            phases: PhaseSet::ABC,
+            p_min: [0.0; 3],
+            p_max: [size; 3],
+            q_min: [-size; 3],
+            q_max: [size; 3],
+        });
+    }
+
+    net
+}
+
+/// Estimate the worst cumulative linearized voltage drop down the tree and
+/// scale all series impedances so it stays below `target` (p.u.², on the
+/// squared-magnitude variable `w`). Delta constant-impedance loads see
+/// `ŵ = 3w` (eq. (4d)), so their effective draw is inflated ×3 in the
+/// estimate.
+fn rescale_for_voltage_band(net: &mut Network, target: f64) {
+    let n = net.buses.len();
+    let Some(src) = net.source() else { return };
+    // Children adjacency over the first spanning structure (ignore
+    // parallel duplicates: only the first branch between a pair counts).
+    let mut adj: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n]; // (nbr, branch)
+    let mut seen_pairs = std::collections::HashSet::new();
+    for (bi, b) in net.branches.iter().enumerate() {
+        if !b.in_service() {
+            continue;
+        }
+        let key = (b.from.0.min(b.to.0), b.from.0.max(b.to.0));
+        if !seen_pairs.insert(key) {
+            continue;
+        }
+        adj[b.from.0 as usize].push((b.to.0 as usize, bi));
+        adj[b.to.0 as usize].push((b.from.0 as usize, bi));
+    }
+    // Post-order accumulate downstream load, pre-order accumulate drop.
+    let mut parent = vec![usize::MAX; n];
+    let mut order = Vec::with_capacity(n);
+    let mut stack = vec![src.0 as usize];
+    let mut visited = vec![false; n];
+    visited[src.0 as usize] = true;
+    while let Some(u) = stack.pop() {
+        order.push(u);
+        for &(v, _) in &adj[u] {
+            if !visited[v] {
+                visited[v] = true;
+                parent[v] = u;
+                stack.push(v);
+            }
+        }
+    }
+    // Per-bus local load (sum over phases, with delta-Z ×3 inflation).
+    let mut local = vec![(0.0f64, 0.0f64); n];
+    for l in &net.loads {
+        let mult = if l.conn == Connection::Delta && l.zip == ZipClass::ConstantImpedance {
+            3.0
+        } else {
+            1.0
+        };
+        for p in l.phases.iter() {
+            local[l.bus.0 as usize].0 += mult * l.p_ref[p.index()];
+            local[l.bus.0 as usize].1 += mult * l.q_ref[p.index()];
+        }
+    }
+    let mut down = local.clone();
+    for &u in order.iter().rev() {
+        if parent[u] != usize::MAX {
+            let (p, q) = down[u];
+            down[parent[u]].0 += p;
+            down[parent[u]].1 += q;
+        }
+    }
+    // Cumulative drop: drop(child) = drop(parent) + 2(r̄·P + x̄·Q)/|phases|,
+    // with r̄ the mean diagonal resistance of the connecting branch.
+    let mut drop = vec![0.0f64; n];
+    let mut max_drop = 0.0f64;
+    for &u in &order {
+        let pu = parent[u];
+        if pu == usize::MAX {
+            continue;
+        }
+        let bi = adj[pu]
+            .iter()
+            .find(|&&(v, _)| v == u)
+            .map(|&(_, b)| b)
+            .expect("tree edge");
+        let b = &net.branches[bi];
+        let np = b.phases.len().max(1) as f64;
+        let (mut rd, mut xd) = (0.0, 0.0);
+        for ph in b.phases.iter() {
+            rd += b.r[ph.index()][ph.index()];
+            xd += b.x[ph.index()][ph.index()];
+        }
+        rd /= np;
+        xd /= np;
+        let (p, q) = down[u];
+        drop[u] = drop[pu] + 2.0 * (rd * p / np + xd * q / np);
+        max_drop = max_drop.max(drop[u]);
+    }
+    if max_drop > target && max_drop > 0.0 {
+        let scale = target / max_drop;
+        for b in &mut net.branches {
+            for row in b.r.iter_mut().chain(b.x.iter_mut()) {
+                for v in row.iter_mut() {
+                    *v *= scale;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::ComponentGraph;
+
+    fn small_spec() -> SyntheticSpec {
+        SyntheticSpec {
+            name: "synth-small".into(),
+            n_nodes: 29,
+            n_lines: 28,
+            n_leaves: 7,
+            phase_weights: [0.25, 0.25, 0.5],
+            load_node_fraction: 0.5,
+            delta_fraction: 0.3,
+            zip_weights: [0.5, 0.25, 0.25],
+            der_count: 2,
+            transformer_fraction: 0.2,
+            avg_load_p: 0.05,
+            seed: 13,
+        }
+    }
+
+    #[test]
+    fn counts_match_spec_exactly() {
+        let net = generate(&small_spec());
+        let g = ComponentGraph::build(&net);
+        assert_eq!(g.n_nodes, 29);
+        assert_eq!(g.n_lines, 28);
+        assert_eq!(g.n_leaves, 7);
+        assert_eq!(g.s(), 29 + 28 - 7);
+    }
+
+    #[test]
+    fn generated_network_is_valid() {
+        let net = generate(&small_spec());
+        net.validate().unwrap();
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(&small_spec());
+        let b = generate(&small_spec());
+        assert_eq!(a.buses.len(), b.buses.len());
+        assert_eq!(a.loads.len(), b.loads.len());
+        for (x, y) in a.branches.iter().zip(&b.branches) {
+            assert_eq!(x.r, y.r);
+            assert_eq!(x.from, y.from);
+        }
+    }
+
+    #[test]
+    fn parallel_edges_preserve_leaf_count() {
+        let mut spec = small_spec();
+        spec.n_nodes = 50;
+        spec.n_lines = 60; // 11 parallel legs
+        spec.n_leaves = 10;
+        let net = generate(&spec);
+        let g = ComponentGraph::build(&net);
+        assert_eq!(g.n_nodes, 50);
+        assert_eq!(g.n_lines, 60);
+        assert_eq!(g.n_leaves, 10);
+        net.validate().unwrap();
+    }
+
+    #[test]
+    fn every_tail_has_a_load() {
+        let net = generate(&small_spec());
+        let deg = net.degrees();
+        for (i, _) in net.buses.iter().enumerate().skip(1) {
+            if deg[i] == 1 {
+                assert!(
+                    net.loads_at(BusId(i as u32)).count() > 0,
+                    "leaf {i} has no load"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&small_spec());
+        let mut spec = small_spec();
+        spec.seed = 14;
+        let b = generate(&spec);
+        let same = a
+            .branches
+            .iter()
+            .zip(&b.branches)
+            .all(|(x, y)| x.from == y.from && x.to == y.to);
+        assert!(!same || a.loads.len() != b.loads.len());
+    }
+}

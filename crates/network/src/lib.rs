@@ -1,0 +1,32 @@
+//! Multi-phase distribution network model for `gridflow`.
+//!
+//! This crate is the data substrate of the reproduction: buses, branches
+//! (lines / transformers / switches), generators and ZIP wye/delta loads
+//! (Table I of the paper), the IEEE test feeders used in the evaluation
+//! (§V-A), and the **component graph** that defines the paper's
+//! component-wise decomposition (one subsystem per node and line, leaf
+//! nodes merged with their incident line — Table III).
+//!
+//! ```
+//! use opf_net::{feeders, ComponentGraph};
+//!
+//! let net = feeders::ieee13();
+//! net.validate().unwrap();
+//! let graph = ComponentGraph::build(&net);
+//! assert_eq!(graph.s(), 50); // Table III
+//! ```
+
+pub mod components;
+pub mod configs;
+pub mod data;
+pub mod feeders;
+pub mod network;
+pub mod phase;
+
+pub use components::{Component, ComponentGraph};
+pub use data::{
+    Branch, BranchId, BranchKind, Bus, BusId, Connection, GenId, Generator, Load, LoadId,
+    PerPhase, ZipClass,
+};
+pub use network::{Network, NetworkError};
+pub use phase::{Phase, PhaseSet};

@@ -1,0 +1,408 @@
+//! The feeder container and its validation rules.
+
+use crate::data::*;
+use crate::phase::PhaseSet;
+use serde::{Deserialize, Serialize};
+
+/// A multi-phase distribution network.
+///
+/// Element order is stable: ids are indices into the corresponding
+/// vectors, and the OPF variable layout in `opf-model` follows it.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Network {
+    /// Case name (e.g. "ieee13").
+    pub name: String,
+    /// Buses.
+    pub buses: Vec<Bus>,
+    /// Branches.
+    pub branches: Vec<Branch>,
+    /// Generators.
+    pub generators: Vec<Generator>,
+    /// Loads.
+    pub loads: Vec<Load>,
+}
+
+/// A structural validation failure (see [`Network::validate`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetworkError {
+    /// An element references a bus id outside `0..buses.len()`.
+    DanglingBusRef { element: String, bus: u32 },
+    /// An element's phases are not a subset of its bus's phases.
+    PhaseMismatch { element: String },
+    /// A branch's impedance matrix has nonzeros on absent phases.
+    ImpedanceOnAbsentPhase { branch: String },
+    /// The in-service network is not connected from the source bus.
+    Disconnected { unreachable: usize },
+    /// No source bus marked.
+    NoSource,
+    /// A bound pair has `min > max`.
+    InvertedBounds { element: String },
+}
+
+impl std::fmt::Display for NetworkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetworkError::DanglingBusRef { element, bus } => {
+                write!(f, "{element} references unknown bus {bus}")
+            }
+            NetworkError::PhaseMismatch { element } => {
+                write!(f, "{element}: phases not present at its bus")
+            }
+            NetworkError::ImpedanceOnAbsentPhase { branch } => {
+                write!(f, "branch {branch}: impedance on absent phase")
+            }
+            NetworkError::Disconnected { unreachable } => {
+                write!(f, "{unreachable} buses unreachable from the source")
+            }
+            NetworkError::NoSource => write!(f, "no source bus marked"),
+            NetworkError::InvertedBounds { element } => {
+                write!(f, "{element}: lower bound exceeds upper bound")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetworkError {}
+
+impl Network {
+    /// Empty network with a name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Network {
+            name: name.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Add a bus, returning its id.
+    pub fn add_bus(&mut self, bus: Bus) -> BusId {
+        self.buses.push(bus);
+        BusId(self.buses.len() as u32 - 1)
+    }
+
+    /// Add a branch, returning its id.
+    pub fn add_branch(&mut self, branch: Branch) -> BranchId {
+        self.branches.push(branch);
+        BranchId(self.branches.len() as u32 - 1)
+    }
+
+    /// Add a generator, returning its id.
+    pub fn add_generator(&mut self, g: Generator) -> GenId {
+        self.generators.push(g);
+        GenId(self.generators.len() as u32 - 1)
+    }
+
+    /// Add a load, returning its id.
+    pub fn add_load(&mut self, l: Load) -> LoadId {
+        self.loads.push(l);
+        LoadId(self.loads.len() as u32 - 1)
+    }
+
+    /// Bus lookup.
+    pub fn bus(&self, id: BusId) -> &Bus {
+        &self.buses[id.0 as usize]
+    }
+
+    /// Branch lookup.
+    pub fn branch(&self, id: BranchId) -> &Branch {
+        &self.branches[id.0 as usize]
+    }
+
+    /// Generators at a bus.
+    pub fn generators_at(&self, bus: BusId) -> impl Iterator<Item = (GenId, &Generator)> {
+        self.generators
+            .iter()
+            .enumerate()
+            .filter(move |(_, g)| g.bus == bus)
+            .map(|(i, g)| (GenId(i as u32), g))
+    }
+
+    /// Loads at a bus.
+    pub fn loads_at(&self, bus: BusId) -> impl Iterator<Item = (LoadId, &Load)> {
+        self.loads
+            .iter()
+            .enumerate()
+            .filter(move |(_, l)| l.bus == bus)
+            .map(|(i, l)| (LoadId(i as u32), l))
+    }
+
+    /// In-service branches incident to a bus, with orientation
+    /// (`true` = bus is the from-side).
+    pub fn branches_at(&self, bus: BusId) -> impl Iterator<Item = (BranchId, &Branch, bool)> {
+        self.branches
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.in_service())
+            .filter_map(move |(i, b)| {
+                if b.from == bus {
+                    Some((BranchId(i as u32), b, true))
+                } else if b.to == bus {
+                    Some((BranchId(i as u32), b, false))
+                } else {
+                    None
+                }
+            })
+    }
+
+    /// The source (substation) bus, if marked.
+    pub fn source(&self) -> Option<BusId> {
+        self.buses
+            .iter()
+            .position(|b| b.is_source)
+            .map(|i| BusId(i as u32))
+    }
+
+    /// Total reference real load on the feeder (sum of `a_lφ`).
+    pub fn total_p_ref(&self) -> f64 {
+        self.loads
+            .iter()
+            .flat_map(|l| l.phases.iter().map(move |p| l.p_ref[p.index()]))
+            .sum()
+    }
+
+    /// Degrees (number of in-service incident branches) per bus.
+    pub fn degrees(&self) -> Vec<usize> {
+        let mut deg = vec![0usize; self.buses.len()];
+        for b in self.branches.iter().filter(|b| b.in_service()) {
+            deg[b.from.0 as usize] += 1;
+            deg[b.to.0 as usize] += 1;
+        }
+        deg
+    }
+
+    /// Buses reachable from the source over in-service branches.
+    pub fn reachable_from_source(&self) -> Vec<bool> {
+        let n = self.buses.len();
+        let mut seen = vec![false; n];
+        let Some(src) = self.source() else {
+            return seen;
+        };
+        // Adjacency over in-service branches.
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for b in self.branches.iter().filter(|b| b.in_service()) {
+            adj[b.from.0 as usize].push(b.to.0 as usize);
+            adj[b.to.0 as usize].push(b.from.0 as usize);
+        }
+        let mut stack = vec![src.0 as usize];
+        seen[src.0 as usize] = true;
+        while let Some(u) = stack.pop() {
+            for &v in &adj[u] {
+                if !seen[v] {
+                    seen[v] = true;
+                    stack.push(v);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Structural validation: reference integrity, phase consistency,
+    /// bound sanity, source connectivity.
+    pub fn validate(&self) -> Result<(), NetworkError> {
+        let nb = self.buses.len() as u32;
+        if self.source().is_none() {
+            return Err(NetworkError::NoSource);
+        }
+        for (i, g) in self.generators.iter().enumerate() {
+            if g.bus.0 >= nb {
+                return Err(NetworkError::DanglingBusRef {
+                    element: format!("generator {i}"),
+                    bus: g.bus.0,
+                });
+            }
+            if !g.phases.is_subset_of(self.bus(g.bus).phases) {
+                return Err(NetworkError::PhaseMismatch {
+                    element: format!("generator {} ({})", i, g.name),
+                });
+            }
+            for p in g.phases.iter() {
+                let k = p.index();
+                if g.p_min[k] > g.p_max[k] || g.q_min[k] > g.q_max[k] {
+                    return Err(NetworkError::InvertedBounds {
+                        element: format!("generator {} ({})", i, g.name),
+                    });
+                }
+            }
+        }
+        for (i, l) in self.loads.iter().enumerate() {
+            if l.bus.0 >= nb {
+                return Err(NetworkError::DanglingBusRef {
+                    element: format!("load {i}"),
+                    bus: l.bus.0,
+                });
+            }
+            if !l.phases.is_subset_of(self.bus(l.bus).phases) {
+                return Err(NetworkError::PhaseMismatch {
+                    element: format!("load {} ({})", i, l.name),
+                });
+            }
+        }
+        for (i, b) in self.branches.iter().enumerate() {
+            if b.from.0 >= nb || b.to.0 >= nb {
+                return Err(NetworkError::DanglingBusRef {
+                    element: format!("branch {i}"),
+                    bus: b.from.0.max(b.to.0),
+                });
+            }
+            let from_ph = self.bus(b.from).phases;
+            let to_ph = self.bus(b.to).phases;
+            if !b.phases.is_subset_of(from_ph) || !b.phases.is_subset_of(to_ph) {
+                return Err(NetworkError::PhaseMismatch {
+                    element: format!("branch {} ({})", i, b.name),
+                });
+            }
+            for r in 0..3 {
+                for c in 0..3 {
+                    let present = b.phases.contains(crate::phase::Phase::from_index(r))
+                        && b.phases.contains(crate::phase::Phase::from_index(c));
+                    if !present && (b.r[r][c] != 0.0 || b.x[r][c] != 0.0) {
+                        return Err(NetworkError::ImpedanceOnAbsentPhase {
+                            branch: b.name.clone(),
+                        });
+                    }
+                }
+            }
+        }
+        for (i, bus) in self.buses.iter().enumerate() {
+            for p in bus.phases.iter() {
+                let k = p.index();
+                if bus.w_min[k] > bus.w_max[k] {
+                    return Err(NetworkError::InvertedBounds {
+                        element: format!("bus {} ({})", i, bus.name),
+                    });
+                }
+            }
+        }
+        let reach = self.reachable_from_source();
+        let unreachable = reach.iter().filter(|r| !**r).count();
+        if unreachable > 0 {
+            return Err(NetworkError::Disconnected { unreachable });
+        }
+        Ok(())
+    }
+
+    /// Set the state of the switch named `name`. Returns `false` if no such
+    /// switch exists. Used by the dynamic-reconfiguration workflow.
+    pub fn set_switch(&mut self, name: &str, closed: bool) -> bool {
+        for b in &mut self.branches {
+            if b.name == name {
+                if let BranchKind::Switch { closed: c } = &mut b.kind {
+                    *c = closed;
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Phases at a bus as a `PhaseSet` (convenience for model assembly).
+    pub fn bus_phases(&self, id: BusId) -> PhaseSet {
+        self.bus(id).phases
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phase::{Phase, PhaseSet};
+
+    fn two_bus() -> Network {
+        let mut n = Network::new("two-bus");
+        let mut b0 = Bus::new("src", PhaseSet::ABC);
+        b0.is_source = true;
+        let src = n.add_bus(b0);
+        let b1 = n.add_bus(Bus::new("load", PhaseSet::ABC));
+        n.add_branch(Branch {
+            name: "line".into(),
+            from: src,
+            to: b1,
+            phases: PhaseSet::ABC,
+            kind: BranchKind::Line,
+            r: [[0.01, 0.0, 0.0], [0.0, 0.01, 0.0], [0.0, 0.0, 0.01]],
+            x: [[0.02, 0.0, 0.0], [0.0, 0.02, 0.0], [0.0, 0.0, 0.02]],
+            g_sh_from: [0.0; 3],
+            g_sh_to: [0.0; 3],
+            b_sh_from: [0.0; 3],
+            b_sh_to: [0.0; 3],
+            s_max: 5.0,
+        });
+        n.add_generator(Generator {
+            name: "sub".into(),
+            bus: src,
+            phases: PhaseSet::ABC,
+            p_min: [0.0; 3],
+            p_max: [10.0; 3],
+            q_min: [-10.0; 3],
+            q_max: [10.0; 3],
+        });
+        n.add_load(Load {
+            name: "l1".into(),
+            bus: b1,
+            phases: PhaseSet::ABC,
+            conn: Connection::Wye,
+            zip: ZipClass::ConstantPower,
+            p_ref: [0.1; 3],
+            q_ref: [0.03; 3],
+        });
+        n
+    }
+
+    #[test]
+    fn valid_network_passes() {
+        two_bus().validate().unwrap();
+    }
+
+    #[test]
+    fn no_source_rejected() {
+        let mut n = two_bus();
+        n.buses[0].is_source = false;
+        assert_eq!(n.validate(), Err(NetworkError::NoSource));
+    }
+
+    #[test]
+    fn phase_mismatch_rejected() {
+        let mut n = two_bus();
+        n.buses[1].phases = PhaseSet::single(Phase::A);
+        assert!(matches!(
+            n.validate(),
+            Err(NetworkError::PhaseMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn open_switch_disconnects() {
+        let mut n = two_bus();
+        n.branches[0].kind = BranchKind::Switch { closed: true };
+        n.branches[0].name = "sw1".into();
+        n.branches[0].r = [[0.0; 3]; 3];
+        n.branches[0].x = [[0.0; 3]; 3];
+        n.validate().unwrap();
+        assert!(n.set_switch("sw1", false));
+        assert_eq!(n.validate(), Err(NetworkError::Disconnected { unreachable: 1 }));
+        assert!(!n.set_switch("missing", true));
+    }
+
+    #[test]
+    fn accessors() {
+        let n = two_bus();
+        assert_eq!(n.generators_at(BusId(0)).count(), 1);
+        assert_eq!(n.generators_at(BusId(1)).count(), 0);
+        assert_eq!(n.loads_at(BusId(1)).count(), 1);
+        assert_eq!(n.branches_at(BusId(0)).count(), 1);
+        let (_, _, from_side) = n.branches_at(BusId(0)).next().unwrap();
+        assert!(from_side);
+        let (_, _, from_side) = n.branches_at(BusId(1)).next().unwrap();
+        assert!(!from_side);
+        assert!((n.total_p_ref() - 0.3).abs() < 1e-12);
+        assert_eq!(n.degrees(), vec![1, 1]);
+    }
+
+    #[test]
+    fn inverted_bounds_rejected() {
+        let mut n = two_bus();
+        n.buses[1].w_min = [1.3; 3];
+        assert!(matches!(
+            n.validate(),
+            Err(NetworkError::InvertedBounds { .. })
+        ));
+    }
+}

@@ -1,0 +1,198 @@
+//! Phases and phase sets.
+//!
+//! Every component `c` in the paper carries a phase set
+//! `P_c ⊆ {1, 2, 3}`; variables and constraints are indexed by
+//! (component, phase). A compact bitmask keeps phase sets `Copy` and cheap
+//! to intersect.
+
+use serde::{Deserialize, Serialize};
+
+/// One of the three phases of a distribution feeder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Phase {
+    /// Phase a (1).
+    A = 0,
+    /// Phase b (2).
+    B = 1,
+    /// Phase c (3).
+    C = 2,
+}
+
+impl Phase {
+    /// All three phases in order.
+    pub const ALL: [Phase; 3] = [Phase::A, Phase::B, Phase::C];
+
+    /// Phase index in `0..3`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Phase from an index in `0..3`.
+    ///
+    /// # Panics
+    /// Panics if `i >= 3`.
+    pub fn from_index(i: usize) -> Phase {
+        Phase::ALL[i]
+    }
+}
+
+impl std::fmt::Display for Phase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Phase::A => write!(f, "a"),
+            Phase::B => write!(f, "b"),
+            Phase::C => write!(f, "c"),
+        }
+    }
+}
+
+/// A subset of `{a, b, c}` stored as a 3-bit mask.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PhaseSet(u8);
+
+impl PhaseSet {
+    /// The empty phase set.
+    pub const EMPTY: PhaseSet = PhaseSet(0);
+    /// All three phases.
+    pub const ABC: PhaseSet = PhaseSet(0b111);
+    /// Phase a only.
+    pub const A: PhaseSet = PhaseSet(0b001);
+    /// Phase b only.
+    pub const B: PhaseSet = PhaseSet(0b010);
+    /// Phase c only.
+    pub const C: PhaseSet = PhaseSet(0b100);
+    /// Phases a and b.
+    pub const AB: PhaseSet = PhaseSet(0b011);
+    /// Phases a and c.
+    pub const AC: PhaseSet = PhaseSet(0b101);
+    /// Phases b and c.
+    pub const BC: PhaseSet = PhaseSet(0b110);
+
+    /// Build from an iterator of phases.
+    pub fn from_phases<I: IntoIterator<Item = Phase>>(phases: I) -> Self {
+        let mut m = 0u8;
+        for p in phases {
+            m |= 1 << p.index();
+        }
+        PhaseSet(m)
+    }
+
+    /// Single-phase set.
+    pub fn single(p: Phase) -> Self {
+        PhaseSet(1 << p.index())
+    }
+
+    /// Does the set contain `p`?
+    #[inline]
+    pub fn contains(self, p: Phase) -> bool {
+        self.0 & (1 << p.index()) != 0
+    }
+
+    /// Number of phases in the set.
+    #[inline]
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Is the set empty?
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Set intersection.
+    #[inline]
+    pub fn intersect(self, other: PhaseSet) -> PhaseSet {
+        PhaseSet(self.0 & other.0)
+    }
+
+    /// Set union.
+    #[inline]
+    pub fn union(self, other: PhaseSet) -> PhaseSet {
+        PhaseSet(self.0 | other.0)
+    }
+
+    /// Is `self ⊆ other`?
+    #[inline]
+    pub fn is_subset_of(self, other: PhaseSet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// Iterate the phases in the set in `a, b, c` order.
+    pub fn iter(self) -> impl Iterator<Item = Phase> {
+        Phase::ALL.into_iter().filter(move |p| self.contains(*p))
+    }
+
+    /// Rank of `p` within the set (iteration order), or `None` if absent.
+    /// Used to lay out per-phase variables densely.
+    pub fn pos(self, p: Phase) -> Option<usize> {
+        if !self.contains(p) {
+            return None;
+        }
+        Some((self.0 & ((1 << p.index()) - 1)).count_ones() as usize)
+    }
+}
+
+impl std::fmt::Display for PhaseSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for p in self.iter() {
+            write!(f, "{p}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_roundtrip() {
+        for p in Phase::ALL {
+            assert_eq!(Phase::from_index(p.index()), p);
+        }
+    }
+
+    #[test]
+    fn set_membership() {
+        let s = PhaseSet::from_phases([Phase::A, Phase::C]);
+        assert!(s.contains(Phase::A));
+        assert!(!s.contains(Phase::B));
+        assert!(s.contains(Phase::C));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let ac = PhaseSet::from_phases([Phase::A, Phase::C]);
+        let ab = PhaseSet::from_phases([Phase::A, Phase::B]);
+        assert_eq!(ac.intersect(ab), PhaseSet::A);
+        assert_eq!(ac.union(ab), PhaseSet::ABC);
+        assert!(PhaseSet::A.is_subset_of(ac));
+        assert!(!ab.is_subset_of(ac));
+        assert!(PhaseSet::EMPTY.is_subset_of(PhaseSet::EMPTY));
+    }
+
+    #[test]
+    fn iter_is_ordered() {
+        let v: Vec<Phase> = PhaseSet::ABC.iter().collect();
+        assert_eq!(v, vec![Phase::A, Phase::B, Phase::C]);
+        assert_eq!(PhaseSet::EMPTY.iter().count(), 0);
+    }
+
+    #[test]
+    fn pos_is_rank_in_iteration_order() {
+        let s = PhaseSet::AC;
+        assert_eq!(s.pos(Phase::A), Some(0));
+        assert_eq!(s.pos(Phase::B), None);
+        assert_eq!(s.pos(Phase::C), Some(1));
+        assert_eq!(PhaseSet::ABC.pos(Phase::C), Some(2));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(PhaseSet::ABC.to_string(), "abc");
+        assert_eq!(PhaseSet::B.to_string(), "b");
+    }
+}

@@ -1,0 +1,96 @@
+//! Property tests for the synthetic feeder generator: arbitrary specs must
+//! hit their component-graph targets exactly and produce valid networks.
+
+use opf_net::feeders::{generate, SyntheticSpec};
+use opf_net::ComponentGraph;
+use proptest::prelude::*;
+
+fn spec_strategy() -> impl Strategy<Value = SyntheticSpec> {
+    (
+        8usize..80,          // nodes
+        2usize..8,           // leaves
+        0usize..12,          // extra parallel lines
+        0u64..1000,          // seed
+        0.0f64..0.6,         // delta fraction
+        0.1f64..0.9,         // load fraction
+    )
+        .prop_filter_map("consistent", |(nodes, leaves, extra, seed, delta, loadf)| {
+            if leaves >= nodes - 1 {
+                return None;
+            }
+            // Parallel legs need internal edges; keep extra modest.
+            let internal = (nodes - 1).saturating_sub(leaves);
+            if internal == 0 && extra > 0 {
+                return None;
+            }
+            Some(SyntheticSpec {
+                name: format!("prop-{nodes}-{leaves}-{extra}-{seed}"),
+                n_nodes: nodes,
+                n_lines: nodes - 1 + extra,
+                n_leaves: leaves,
+                phase_weights: [0.4, 0.3, 0.3],
+                load_node_fraction: loadf,
+                delta_fraction: delta,
+                zip_weights: [0.4, 0.3, 0.3],
+                der_count: 1,
+                transformer_fraction: 0.2,
+                avg_load_p: 0.03,
+                seed,
+            })
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn component_graph_counts_match_spec(spec in spec_strategy()) {
+        let net = generate(&spec);
+        let g = ComponentGraph::build(&net);
+        prop_assert_eq!(g.n_nodes, spec.n_nodes);
+        prop_assert_eq!(g.n_lines, spec.n_lines);
+        prop_assert_eq!(g.n_leaves, spec.n_leaves);
+        prop_assert_eq!(g.s(), spec.n_nodes + spec.n_lines - spec.n_leaves);
+    }
+
+    #[test]
+    fn generated_networks_validate(spec in spec_strategy()) {
+        let net = generate(&spec);
+        prop_assert!(net.validate().is_ok(), "{:?}", net.validate());
+        // Exactly one source, at index 0.
+        prop_assert!(net.buses[0].is_source);
+        prop_assert_eq!(net.buses.iter().filter(|b| b.is_source).count(), 1);
+        // At least the substation generator exists and covers the load.
+        let cap: f64 = net.generators.iter()
+            .flat_map(|g| g.phases.iter().map(move |p| g.p_max[p.index()]))
+            .sum();
+        prop_assert!(cap >= net.total_p_ref());
+    }
+
+    #[test]
+    fn generation_is_pure(spec in spec_strategy()) {
+        let a = generate(&spec);
+        let b = generate(&spec);
+        prop_assert_eq!(a.buses.len(), b.buses.len());
+        prop_assert_eq!(a.loads.len(), b.loads.len());
+        for (x, y) in a.branches.iter().zip(&b.branches) {
+            prop_assert_eq!(x.from, y.from);
+            prop_assert_eq!(x.to, y.to);
+            prop_assert_eq!(x.r, y.r);
+        }
+        for (x, y) in a.loads.iter().zip(&b.loads) {
+            prop_assert_eq!(x.p_ref, y.p_ref);
+            prop_assert_eq!(x.conn, y.conn);
+        }
+    }
+
+    #[test]
+    fn branch_phases_subset_of_endpoints(spec in spec_strategy()) {
+        let net = generate(&spec);
+        for br in &net.branches {
+            prop_assert!(br.phases.is_subset_of(net.bus(br.from).phases));
+            prop_assert!(br.phases.is_subset_of(net.bus(br.to).phases));
+            prop_assert!(!br.phases.is_empty());
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Property tests for the projection solvers.
+
+use opf_linalg::Mat;
+use opf_qp::{project_affine, BoxQp, QpOptions};
+use proptest::prelude::*;
+
+/// A random full-row-rank-ish 2×4 matrix with a guaranteed-feasible rhs
+/// and a box that contains the feasible point used to build the rhs.
+fn feasible_case() -> impl Strategy<Value = (Mat, Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>)> {
+    (
+        prop::collection::vec(-2.0f64..2.0, 8),
+        prop::collection::vec(-0.5f64..0.5, 4),
+        prop::collection::vec(-3.0f64..3.0, 4),
+    )
+        .prop_filter_map("rank", |(data, x_feas, t)| {
+            let a = Mat::from_vec(2, 4, data);
+            // Reject nearly rank-deficient A (Gram not SPD).
+            opf_linalg::CholFactor::new(&a.gram_aat()).ok()?;
+            let b = a.matvec(&x_feas);
+            let lower = vec![-1.0; 4];
+            let upper = vec![1.0; 4];
+            Some((a, b, lower, upper, t))
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn projection_is_feasible((a, b, lower, upper, t) in feasible_case()) {
+        let p = BoxQp::new(a.clone(), b.clone(), lower.clone(), upper.clone());
+        let r = p.project(&t, None, QpOptions::default()).unwrap();
+        let ax = a.matvec(&r.x);
+        for (v, bi) in ax.iter().zip(&b) {
+            prop_assert!((v - bi).abs() < 1e-6, "{v} vs {bi}");
+        }
+        for ((&x, &lo), &hi) in r.x.iter().zip(&lower).zip(&upper) {
+            prop_assert!(x >= lo - 1e-9 && x <= hi + 1e-9);
+        }
+    }
+
+    #[test]
+    fn projection_is_nonexpansive((a, b, lower, upper, t) in feasible_case(), dt in prop::collection::vec(-0.5f64..0.5, 4)) {
+        // ‖P(t1) − P(t2)‖ ≤ ‖t1 − t2‖ for projections onto convex sets.
+        let p = BoxQp::new(a, b, lower, upper);
+        let t2: Vec<f64> = t.iter().zip(&dt).map(|(a, b)| a + b).collect();
+        let r1 = p.project(&t, None, QpOptions::default()).unwrap();
+        let r2 = p.project(&t2, None, QpOptions::default()).unwrap();
+        let dproj: f64 = r1.x.iter().zip(&r2.x).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
+        let dt_norm: f64 = dt.iter().map(|v| v * v).sum::<f64>().sqrt();
+        prop_assert!(dproj <= dt_norm + 1e-6, "{dproj} > {dt_norm}");
+    }
+
+    #[test]
+    fn kkt_stationarity_holds((a, b, lower, upper, t) in feasible_case()) {
+        let p = BoxQp::new(a.clone(), b, lower.clone(), upper.clone());
+        let r = p.project(&t, None, QpOptions::default()).unwrap();
+        let atmu = a.matvec_t(&r.mu);
+        for i in 0..4 {
+            let xi = (t[i] - atmu[i]).clamp(lower[i], upper[i]);
+            prop_assert!((xi - r.x[i]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn affine_projection_orthogonality((a, b, _lo, _hi, t) in feasible_case()) {
+        // t − P(t) ⟂ null(A): A(t − x) spans the correction, i.e. the
+        // correction is in range(Aᵀ). Verify x feasible and (t−x) = Aᵀy.
+        let x = project_affine(&a, &b, &t).unwrap();
+        let ax = a.matvec(&x);
+        for (v, bi) in ax.iter().zip(&b) {
+            prop_assert!((v - bi).abs() < 1e-8);
+        }
+        // For any z in null(A): ⟨t−x, z⟩ = 0. Construct null vectors from
+        // projecting coordinate directions.
+        for k in 0..4 {
+            let mut e = vec![0.0; 4];
+            e[k] = 1.0;
+            let z = project_affine(&a, &[0.0; 2], &e).unwrap(); // onto null(A)
+            let ip: f64 = t.iter().zip(&x).zip(&z).map(|((ti, xi), zi)| (ti - xi) * zi).sum();
+            prop_assert!(ip.abs() < 1e-6, "{ip}");
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! GPU acceleration at a glance: per-iteration update times on multi-CPU
+//! backends versus the simulated A100, sweeping the threads-per-block
+//! parameter the paper studies (§IV-D, Fig. 3 bottom row).
+//!
+//! ```text
+//! cargo run -p opf-examples --release --bin gpu_scaling [instance]
+//! ```
+//! `instance` defaults to `ieee123`; `ieee8500` shows the largest gap.
+
+use gpu_sim::DeviceProps;
+use opf_admm::{AdmmOptions, Backend, SolverFreeAdmm};
+use opf_examples::{decompose_network, fmt_secs};
+use opf_net::feeders;
+
+fn main() {
+    let instance = std::env::args().nth(1).unwrap_or_else(|| "ieee123".into());
+    let net = feeders::by_name(&instance)
+        .unwrap_or_else(|| panic!("unknown instance {instance}; try ieee13/ieee123/ieee8500"));
+    let dec = decompose_network(&net);
+    let solver = SolverFreeAdmm::new(&dec).expect("precompute");
+    println!(
+        "{instance}: S = {} components, n = {} variables",
+        dec.s(),
+        dec.n
+    );
+    let iters = 200;
+    let base = AdmmOptions {
+        max_iters: iters,
+        check_every: iters,
+        ..AdmmOptions::default()
+    };
+
+    println!("\nCPU backends (measured wall-clock):");
+    for threads in [1usize, 2, 4, 8] {
+        let backend = if threads == 1 {
+            Backend::Serial
+        } else {
+            Backend::Rayon { threads }
+        };
+        let r = solver.solve(&AdmmOptions {
+            backend,
+            ..base.clone()
+        });
+        let (g, l, d) = r.timings.per_iteration();
+        println!(
+            "  {threads:2} CPU threads : global {:>10} | local {:>10} | dual {:>10} | total {:>10}",
+            fmt_secs(g),
+            fmt_secs(l),
+            fmt_secs(d),
+            fmt_secs(g + l + d)
+        );
+    }
+
+    println!("\nSimulated A100, threads-per-block sweep (modeled device time):");
+    for tpb in [1usize, 4, 16, 64] {
+        let r = solver.solve(&AdmmOptions {
+            backend: Backend::Gpu {
+                props: DeviceProps::a100(),
+                threads_per_block: tpb,
+            },
+            ..base.clone()
+        });
+        let (g, l, d) = r.timings.per_iteration();
+        println!(
+            "  T = {tpb:2} threads : global {:>10} | local {:>10} | dual {:>10} | total {:>10}",
+            fmt_secs(g),
+            fmt_secs(l),
+            fmt_secs(d),
+            fmt_secs(g + l + d)
+        );
+    }
+    println!("\n(GPU numbers come from the calibrated analytic device model — see DESIGN.md.)");
+}

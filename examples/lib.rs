@@ -1,0 +1,31 @@
+//! Shared helpers for the gridflow examples.
+
+use opf_model::{decompose, DecomposedProblem};
+use opf_net::{ComponentGraph, Network};
+
+/// Build the decomposed OPF problem for a network (validate → component
+/// graph → decomposition), panicking with a readable message on failure.
+pub fn decompose_network(net: &Network) -> DecomposedProblem {
+    match net.validate() {
+        Ok(()) => {}
+        // Open switches legitimately island de-energized buses; their
+        // flow variables are pinned to zero by the open-switch component.
+        Err(opf_net::NetworkError::Disconnected { unreachable }) => {
+            eprintln!("note: {unreachable} buses de-energized by open switches");
+        }
+        Err(e) => panic!("invalid network: {e}"),
+    }
+    let graph = ComponentGraph::build(net);
+    decompose(net, &graph).unwrap_or_else(|e| panic!("decomposition failed: {e}"))
+}
+
+/// Pretty seconds.
+pub fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.2} s")
+    } else if s >= 1e-3 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{:.2} µs", s * 1e6)
+    }
+}

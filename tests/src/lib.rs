@@ -1,0 +1,28 @@
+//! Helpers shared by the cross-crate integration tests.
+
+use opf_model::{decompose, DecomposedProblem};
+use opf_net::{ComponentGraph, Network};
+
+/// Decompose a network, panicking with context on failure.
+pub fn decompose_net(net: &Network) -> DecomposedProblem {
+    let graph = ComponentGraph::build(net);
+    decompose(net, &graph).unwrap_or_else(|e| panic!("{}: {e}", net.name))
+}
+
+/// A small random-ish synthetic feeder spec for property tests.
+pub fn small_spec(nodes: usize, leaves: usize, seed: u64) -> opf_net::feeders::SyntheticSpec {
+    opf_net::feeders::SyntheticSpec {
+        name: format!("prop-{nodes}-{leaves}-{seed}"),
+        n_nodes: nodes,
+        n_lines: nodes - 1,
+        n_leaves: leaves,
+        phase_weights: [0.3, 0.3, 0.4],
+        load_node_fraction: 0.5,
+        delta_fraction: 0.3,
+        zip_weights: [0.4, 0.3, 0.3],
+        der_count: 1,
+        transformer_fraction: 0.2,
+        avg_load_p: 0.05,
+        seed,
+    }
+}

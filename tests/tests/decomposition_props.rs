@@ -1,0 +1,73 @@
+//! Property-based tests over random synthetic feeders: the decomposition
+//! and the ADMM iteration invariants must hold for *any* generated
+//! network, not just the three paper instances.
+
+use opf_admm::{updates, AdmmOptions, SolverFreeAdmm};
+use opf_integration::{decompose_net, small_spec};
+use opf_net::feeders::generate;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn decomposition_invariants(nodes in 6usize..24, leaves in 2usize..5, seed in 0u64..500) {
+        prop_assume!(leaves < nodes - 1);
+        let net = generate(&small_spec(nodes, leaves, seed));
+        net.validate().expect("generated network valid");
+        let dec = decompose_net(&net);
+        // Every global variable owned at least once.
+        prop_assert!(dec.copy_counts.iter().all(|&c| c >= 1.0));
+        // Every reduced block full row rank (Gram SPD) and m ≤ n.
+        for (s, c) in dec.components.iter().enumerate() {
+            prop_assert!(c.m() <= c.n(), "component {s}");
+            if c.m() > 0 {
+                prop_assert!(
+                    opf_linalg::CholFactor::new(&c.a.gram_aat()).is_ok(),
+                    "component {s} rank-deficient after RREF"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn admm_iteration_invariants(nodes in 6usize..20, seed in 0u64..300) {
+        let net = generate(&small_spec(nodes, 2, seed));
+        let dec = decompose_net(&net);
+        let solver = SolverFreeAdmm::new(&dec).expect("precompute");
+        let r = solver.solve(&AdmmOptions {
+            max_iters: 150,
+            check_every: 150,
+            ..AdmmOptions::default()
+        });
+        // Invariant 1: x within bounds after every (clipped) update.
+        for i in 0..dec.n {
+            prop_assert!(r.x[i] >= dec.lower[i] - 1e-12 && r.x[i] <= dec.upper[i] + 1e-12);
+        }
+        // Invariant 2: z on every component's affine set.
+        let mut off = 0;
+        for c in &dec.components {
+            let zs = &r.z[off..off + c.n()];
+            prop_assert!(c.infeasibility(zs) < 1e-6);
+            off += c.n();
+        }
+        // Invariant 3: residual definitions are consistent — recompute
+        // from the returned iterates (z_prev unknown ⇒ check pres only).
+        let pre = solver.precomputed();
+        let res = updates::Residuals::compute(pre, 1e-3, 100.0, &r.x, &r.z, &r.z, &r.lambda);
+        prop_assert!((res.pres - r.residuals.pres).abs() < 1e-9);
+    }
+
+    #[test]
+    fn convergence_on_tiny_feeders(seed in 0u64..40) {
+        let net = generate(&small_spec(8, 2, seed));
+        let dec = decompose_net(&net);
+        let solver = SolverFreeAdmm::new(&dec).expect("precompute");
+        let r = solver.solve(&AdmmOptions {
+            max_iters: 150_000,
+            ..AdmmOptions::default()
+        });
+        prop_assert!(r.converged, "seed {seed}: no convergence in 150k iters");
+        prop_assert!(r.objective >= -1e-6, "negative generation");
+    }
+}

@@ -1,0 +1,89 @@
+//! Dynamic topology: the component-wise decomposition must adapt to
+//! switch operations (the paper's §I motivation) and keep the OPF
+//! solvable across reconfigurations.
+
+use opf_admm::{AdmmOptions, SolverFreeAdmm};
+use opf_integration::decompose_net;
+use opf_net::{feeders, ComponentGraph};
+
+#[test]
+fn switching_changes_component_set_locally() {
+    let mut net = feeders::ieee13_detailed();
+    let g_closed = ComponentGraph::build(&net);
+    assert!(net.set_switch("sw671-692", false));
+    let g_open = ComponentGraph::build(&net);
+    // Same total S (the open switch keeps a pin component), fewer lines.
+    assert_eq!(g_open.n_lines + 1, g_closed.n_lines);
+    assert_eq!(g_open.s(), g_closed.s());
+}
+
+#[test]
+fn reconfigured_network_still_solves() {
+    let mut net = feeders::ieee13_detailed();
+    net.set_switch("sw671-692", false);
+    // De-energize the island (shed loads, open capacitor banks).
+    let reach = net.reachable_from_source();
+    net.loads.retain(|l| reach[l.bus.0 as usize]);
+    for (i, bus) in net.buses.iter_mut().enumerate() {
+        if !reach[i] {
+            bus.b_sh = [0.0; 3];
+            bus.g_sh = [0.0; 3];
+        }
+    }
+    let dec = decompose_net(&net);
+    let solver = SolverFreeAdmm::new(&dec).expect("precompute");
+    let r = solver.solve(&AdmmOptions::default());
+    assert!(r.converged, "reconfigured case must still solve");
+
+    // Open-switch flows are pinned to zero.
+    let sw = net
+        .branches
+        .iter()
+        .position(|b| b.name == "sw671-692")
+        .unwrap();
+    for (i, k) in dec.vars.kinds.iter().enumerate() {
+        match k {
+            opf_model::VarKind::FlowP(e, _, _) | opf_model::VarKind::FlowQ(e, _, _)
+                if e.0 as usize == sw =>
+            {
+                assert!(r.x[i].abs() < 1e-4, "switch flow {} not pinned", r.x[i]);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[test]
+fn islanded_capacitor_makes_lp_infeasible_and_admm_reports_it() {
+    // Without de-energizing the island, the shunt equation forces w = 0
+    // outside the voltage band: the LP is infeasible and ADMM must not
+    // claim convergence.
+    let mut net = feeders::ieee13_detailed();
+    net.set_switch("sw671-692", false);
+    let reach = net.reachable_from_source();
+    net.loads.retain(|l| reach[l.bus.0 as usize]);
+    // Keep the capacitor at 675 energized — the inconsistent case.
+    let dec = decompose_net(&net);
+    let solver = SolverFreeAdmm::new(&dec).expect("precompute");
+    let r = solver.solve(&AdmmOptions {
+        max_iters: 3_000,
+        ..AdmmOptions::default()
+    });
+    assert!(!r.converged, "must not converge on an infeasible LP");
+    assert!(r.residuals.pres > r.residuals.eps_prim);
+}
+
+#[test]
+fn synthetic_instances_shrink_when_lateral_removed() {
+    // Removing a lateral from the synthetic 123 instance (simulating a
+    // permanently opened section) reduces S and the solution adapts.
+    let net = feeders::ieee123();
+    let g_full = ComponentGraph::build(&net);
+    let mut reduced = net.clone();
+    // Drop the last lateral's tail branch by converting it to an open
+    // switch; its flows get pinned.
+    let last = reduced.branches.len() - 1;
+    reduced.branches[last].kind = opf_net::BranchKind::Switch { closed: false };
+    let g_red = ComponentGraph::build(&reduced);
+    assert_eq!(g_red.n_lines + 1, g_full.n_lines);
+}

@@ -1,0 +1,66 @@
+//! Integration: the solution report and convergence diagnostics must be
+//! mutually consistent with the solver's own outputs.
+
+use opf_admm::{AdmmOptions, SolverFreeAdmm};
+use opf_integration::decompose_net;
+use opf_model::{report, VarSpace};
+use opf_net::{feeders, ComponentGraph};
+
+#[test]
+fn report_totals_match_solver_objective() {
+    let net = feeders::ieee13_detailed();
+    let dec = decompose_net(&net);
+    let solver = SolverFreeAdmm::new(&dec).unwrap();
+    let r = solver.solve(&AdmmOptions::default());
+    assert!(r.converged);
+    let vs = VarSpace::build(&net);
+    let rep = report(&net, &vs, &r.x);
+    // Σ p^g in the report is exactly the objective (cost = 1 on p^g).
+    assert!((rep.total_gen_p - r.objective).abs() < 1e-12);
+    // Voltages inside the operating band the bounds encode.
+    assert!(rep.v_min >= 0.9 - 1e-9);
+    assert!(rep.v_max <= 1.1 + 1e-9);
+    // Linearized lines are lossless: per-branch p_ij + p_ji ≈ 0 (no line
+    // shunts in this feeder).
+    for b in &rep.branches {
+        assert!(b.p_loss.abs() < 1e-2, "{}: loss {}", b.name, b.p_loss);
+    }
+    // Generation ≈ total consumption.
+    assert!((rep.total_gen_p - rep.total_load_p).abs() < 0.05 * rep.total_load_p);
+}
+
+#[test]
+fn diagnostics_are_quiet_on_healthy_cases_and_loud_on_sick_ones() {
+    // Healthy: converged case has max gap ≈ tolerance scale.
+    let net = feeders::ieee123();
+    let graph = ComponentGraph::build(&net);
+    let dec = decompose_net(&net);
+    let solver = SolverFreeAdmm::new(&dec).unwrap();
+    let good = solver.solve(&AdmmOptions::default());
+    assert!(good.converged);
+    let gaps = opf_admm::worst_components(&net, &graph, &dec, solver.precomputed(), &good, 3);
+    let healthy_worst = gaps[0].gap;
+
+    // Sick: cut the substation capacity below the load — infeasible.
+    let mut sick = net.clone();
+    for g in &mut sick.generators {
+        g.p_max = [0.001; 3];
+    }
+    let graph2 = ComponentGraph::build(&sick);
+    let dec2 = decompose_net(&sick);
+    let solver2 = SolverFreeAdmm::new(&dec2).unwrap();
+    let bad = solver2.solve(&AdmmOptions {
+        max_iters: 3_000,
+        ..AdmmOptions::default()
+    });
+    assert!(!bad.converged, "capacity-starved case cannot converge");
+    let bad_gaps =
+        opf_admm::worst_components(&sick, &graph2, &dec2, solver2.precomputed(), &bad, 3);
+    assert!(
+        bad_gaps[0].gap > 10.0 * healthy_worst,
+        "sick gap {} not ≫ healthy {healthy_worst}",
+        bad_gaps[0].gap
+    );
+    let text = opf_admm::gap_report(&bad_gaps);
+    assert!(text.contains("largest consensus gaps"));
+}
