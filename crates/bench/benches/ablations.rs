@@ -41,10 +41,7 @@ fn bench_residual_balancing(c: &mut Criterion) {
     let graph = ComponentGraph::build(&net);
     let dec = decompose(&net, &graph).expect("decompose");
     let solver = SolverFreeAdmm::new(&dec).expect("precompute");
-    for (label, adapt) in [
-        ("off", None),
-        ("on", Some(ResidualBalancing::default())),
-    ] {
+    for (label, adapt) in [("off", None), ("on", Some(ResidualBalancing::default()))] {
         group.bench_with_input(
             BenchmarkId::new("to_convergence", label),
             &adapt,
@@ -87,7 +84,7 @@ fn bench_gpu_thread_sweep(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default()
         .warm_up_time(std::time::Duration::from_millis(500))

@@ -28,24 +28,20 @@ fn bench_local_update_styles(c: &mut Criterion) {
             })
             .collect();
 
-        group.bench_with_input(
-            BenchmarkId::new("closed_form", name),
-            &inst,
-            |b, inst| {
-                let mut zbuf = z.clone();
-                let mut k = 0usize;
-                b.iter(|| {
-                    let lam = &variants[k % variants.len()];
-                    k += 1;
-                    for s in 0..inst.dec.s() {
-                        let r = pre.range(s);
-                        let (_, tail) = zbuf.split_at_mut(r.start);
-                        let zs = &mut tail[..r.len()];
-                        updates::local_update_component(s, pre, rho, &x, &lam[r], zs);
-                    }
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("closed_form", name), &inst, |b, inst| {
+            let mut zbuf = z.clone();
+            let mut k = 0usize;
+            b.iter(|| {
+                let lam = &variants[k % variants.len()];
+                k += 1;
+                for s in 0..inst.dec.s() {
+                    let r = pre.range(s);
+                    let (_, tail) = zbuf.split_at_mut(r.start);
+                    let zs = &mut tail[..r.len()];
+                    updates::local_update_component(s, pre, rho, &x, &lam[r], zs);
+                }
+            });
+        });
 
         // Benchmark-style: iterative QP with bounds, warm-started.
         let projectors: Vec<BoxQp> = inst
@@ -91,7 +87,7 @@ fn bench_local_update_styles(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default()
         .warm_up_time(std::time::Duration::from_millis(500))

@@ -1,4 +1,7 @@
 //! Regenerates Fig. 1 (local-update time vs #CPUs). `--full` adds IEEE 8500.
 fn main() {
-    print!("{}", opf_bench::figures::fig1(opf_bench::harness::full_mode()));
+    print!(
+        "{}",
+        opf_bench::figures::fig1(opf_bench::harness::full_mode())
+    );
 }

@@ -1,5 +1,8 @@
 //! Regenerates Fig. 3 (per-update times: CPUs / GPUs / GPU threads).
 //! `--full` adds IEEE 8500.
 fn main() {
-    print!("{}", opf_bench::figures::fig3(opf_bench::harness::full_mode()));
+    print!(
+        "{}",
+        opf_bench::figures::fig3(opf_bench::harness::full_mode())
+    );
 }

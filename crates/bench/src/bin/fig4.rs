@@ -1,4 +1,7 @@
 //! Regenerates Fig. 4 (total time, 1 GPU vs 16 CPUs). `--full` adds IEEE 8500.
 fn main() {
-    print!("{}", opf_bench::figures::fig4(opf_bench::harness::full_mode()));
+    print!(
+        "{}",
+        opf_bench::figures::fig4(opf_bench::harness::full_mode())
+    );
 }

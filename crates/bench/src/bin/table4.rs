@@ -1,4 +1,7 @@
 //! Regenerates Table IV. Pass `--full` to include IEEE 8500.
 fn main() {
-    print!("{}", opf_bench::tables::table4(opf_bench::harness::full_mode()));
+    print!(
+        "{}",
+        opf_bench::tables::table4(opf_bench::harness::full_mode())
+    );
 }

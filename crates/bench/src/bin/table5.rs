@@ -1,5 +1,8 @@
 //! Regenerates Table V (total time & iterations to convergence).
 //! Pass `--full` to include IEEE 8500 (minutes).
 fn main() {
-    print!("{}", opf_bench::tables::table5(opf_bench::harness::full_mode()));
+    print!(
+        "{}",
+        opf_bench::tables::table5(opf_bench::harness::full_mode())
+    );
 }

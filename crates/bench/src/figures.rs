@@ -3,9 +3,7 @@
 use crate::harness::{fmt_secs, load_instance, standard_instances};
 use comm_sim::CommModel;
 use gpu_sim::DeviceProps;
-use opf_admm::{
-    AdmmOptions, Backend, BenchmarkAdmm, ClusterSpec, RankKind, SolverFreeAdmm,
-};
+use opf_admm::{AdmmOptions, Backend, BenchmarkAdmm, ClusterSpec, RankKind, SolverFreeAdmm};
 
 fn probe_iters(s: usize) -> usize {
     if s > 10_000 {
@@ -20,9 +18,8 @@ fn probe_iters(s: usize) -> usize {
 /// (c) communication — versus CPU count, ours vs benchmark.
 pub fn fig1(full: bool) -> String {
     let ranks = [1usize, 2, 4, 8, 16, 32, 64];
-    let mut out = String::from(
-        "Fig. 1 — avg local-update time per iteration vs #CPUs (ours | benchmark)\n",
-    );
+    let mut out =
+        String::from("Fig. 1 — avg local-update time per iteration vs #CPUs (ours | benchmark)\n");
     for name in standard_instances(full) {
         let inst = load_instance(name);
         let ours = SolverFreeAdmm::new(&inst.dec).expect("precompute");
@@ -218,7 +215,10 @@ mod tests {
         let out = fig2();
         let tail = out.lines().last().unwrap();
         // max |Δresidual| must be exactly 0 (identical arithmetic).
-        assert!(tail.contains("0.00e0") || tail.contains("max |Δresidual| = 0"), "{tail}");
+        assert!(
+            tail.contains("0.00e0") || tail.contains("max |Δresidual| = 0"),
+            "{tail}"
+        );
     }
 
     #[test]

@@ -2,9 +2,7 @@
 
 use crate::harness::{fmt_secs, load_instance, standard_instances};
 use comm_sim::CommModel;
-use opf_admm::{
-    AdmmOptions, Backend, BenchmarkAdmm, ClusterSpec, RankKind, SolverFreeAdmm,
-};
+use opf_admm::{AdmmOptions, Backend, BenchmarkAdmm, ClusterSpec, RankKind, SolverFreeAdmm};
 use opf_model::{assemble, stats};
 
 /// Paper's published values for side-by-side printing.
@@ -98,10 +96,7 @@ struct Table5Row {
 
 /// Estimate iterations-to-convergence from a truncated residual trace by
 /// log-linear extrapolation of the worst residual ratio.
-fn extrapolate_iterations(
-    trace: &[opf_admm::TraceEntry],
-    cap: usize,
-) -> (usize, bool) {
+fn extrapolate_iterations(trace: &[opf_admm::TraceEntry], cap: usize) -> (usize, bool) {
     // ratio(t) = max(pres/eps_prim, dres/eps_dual); fit log(ratio) ~ a+bt
     // over the TAIL of the trace (the early fast transient would
     // otherwise wildly underestimate the iteration count).
@@ -216,7 +211,11 @@ pub fn table5(full: bool) -> String {
         let bench_time = if r.bench_iters == 0 {
             "   (skipped)".to_string()
         } else {
-            format!("{:>10}{}", fmt_secs(r.bench_time), if r.bench_extrapolated { "*" } else { " " })
+            format!(
+                "{:>10}{}",
+                fmt_secs(r.bench_time),
+                if r.bench_extrapolated { "*" } else { " " }
+            )
         };
         let p = paper::TABLE5.iter().find(|x| x.0 == name).expect("known");
         out += &format!(

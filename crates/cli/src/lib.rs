@@ -3,9 +3,9 @@
 //! Kept as a library so the parsing and command logic are unit-testable;
 //! `main.rs` is a thin shim.
 
-use comm_sim::Compression;
+use comm_sim::{Compression, FaultPlan};
 use gpu_sim::DeviceProps;
-use opf_admm::{AdmmOptions, Backend, SolverFreeAdmm};
+use opf_admm::{AdmmOptions, Backend, CheckpointSpec, DistributedOptions, SolverFreeAdmm};
 use opf_model::{decompose, report, VarSpace};
 use opf_net::{feeders, ComponentGraph};
 
@@ -26,6 +26,10 @@ pub enum Command {
         show_report: bool,
         save_state: Option<String>,
         resume: Option<String>,
+        faults: Box<FaultPlan>,
+        quorum: f64,
+        rank_timeout_ms: u64,
+        checkpoint_every: usize,
     },
     /// `gridflow export <instance> <path.json>`
     Export { instance: String, path: String },
@@ -71,6 +75,20 @@ USAGE:
                  [--eps E] [--max-iters N] [--distributed N]
                  [--compress fp32|topk:F] [--report]
                  [--save-state path.json] [--resume path.json]
+                 [--checkpoint-every N]
+                 [--fault-seed S] [--fault-drop P] [--fault-dup P]
+                 [--fault-delay P:D] [--fault-crash R@T]...
+                 [--fault-straggler R:P]... [--quorum F]
+                 [--rank-timeout-ms N]
+
+Fault injection (with --distributed N): links drop/duplicate/delay
+messages with the given seeded probabilities, rank R crashes at
+iteration T (--fault-crash), rank R computes only every P-th round
+(--fault-straggler). The operator proceeds once a fraction F of ranks
+has contributed (--quorum, default 1.0) and declares a rank dead after
+repeated silence, adopting its partition. --save-state with
+--distributed checkpoints the operator state (periodically with
+--checkpoint-every, and always at the end) in the --resume format.
   gridflow export <instance> <path.json>
   gridflow tables  [--full]
   gridflow figures [--full]
@@ -133,10 +151,21 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             let mut show_report = false;
             let mut save_state = None;
             let mut resume = None;
+            let mut fault_seed = 0u64;
+            let mut fault_drop = 0.0;
+            let mut fault_dup = 0.0;
+            let mut fault_delay: Option<(f64, usize)> = None;
+            let mut crashes: Vec<(usize, usize)> = Vec::new();
+            let mut stragglers: Vec<(usize, usize)> = Vec::new();
+            let mut quorum = 1.0;
+            let mut rank_timeout_ms = 250u64;
+            let mut checkpoint_every = 0usize;
             while let Some(a) = it.next() {
                 match a.as_str() {
                     "--backend" => {
-                        let v = it.next().ok_or(CliError("--backend needs a value".into()))?;
+                        let v = it
+                            .next()
+                            .ok_or(CliError("--backend needs a value".into()))?;
                         backend = parse_backend(v)?;
                     }
                     "--rho" => rho = parse_num(it.next(), "--rho")?,
@@ -146,7 +175,9 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                         distributed = Some(parse_num(it.next(), "--distributed")? as usize)
                     }
                     "--compress" => {
-                        let v = it.next().ok_or(CliError("--compress needs a value".into()))?;
+                        let v = it
+                            .next()
+                            .ok_or(CliError("--compress needs a value".into()))?;
                         compress = parse_compress(v)?;
                     }
                     "--report" => show_report = true,
@@ -164,8 +195,55 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                                 .clone(),
                         )
                     }
+                    "--fault-seed" => fault_seed = parse_num(it.next(), "--fault-seed")? as u64,
+                    "--fault-drop" => fault_drop = parse_num(it.next(), "--fault-drop")?,
+                    "--fault-dup" => fault_dup = parse_num(it.next(), "--fault-dup")?,
+                    "--fault-delay" => {
+                        let v = it
+                            .next()
+                            .ok_or(CliError("--fault-delay needs P:D".into()))?;
+                        fault_delay = Some(parse_pair_f64(v, ':', "--fault-delay P:D")?);
+                    }
+                    "--fault-crash" => {
+                        let v = it
+                            .next()
+                            .ok_or(CliError("--fault-crash needs R@T".into()))?;
+                        crashes.push(parse_pair_usize(v, '@', "--fault-crash R@T")?);
+                    }
+                    "--fault-straggler" => {
+                        let v = it
+                            .next()
+                            .ok_or(CliError("--fault-straggler needs R:P".into()))?;
+                        stragglers.push(parse_pair_usize(v, ':', "--fault-straggler R:P")?);
+                    }
+                    "--quorum" => quorum = parse_num(it.next(), "--quorum")?,
+                    "--rank-timeout-ms" => {
+                        rank_timeout_ms = parse_num(it.next(), "--rank-timeout-ms")? as u64
+                    }
+                    "--checkpoint-every" => {
+                        checkpoint_every = parse_num(it.next(), "--checkpoint-every")? as usize
+                    }
                     other => return Err(CliError(format!("unknown flag {other}"))),
                 }
+            }
+            let mut faults = FaultPlan::seeded(fault_seed);
+            if fault_drop > 0.0 {
+                faults = faults.with_drop(fault_drop);
+            }
+            if fault_dup > 0.0 {
+                faults = faults.with_dup(fault_dup);
+            }
+            if let Some((p, d)) = fault_delay {
+                faults = faults.with_delay(p, d);
+            }
+            for (r, t) in crashes {
+                faults = faults.with_crash(r, t);
+            }
+            for (r, p) in stragglers {
+                faults = faults.with_straggler(r, p);
+            }
+            if !(0.0..=1.0).contains(&quorum) {
+                return Err(CliError("--quorum must be in [0, 1]".into()));
             }
             Ok(Command::Solve {
                 instance,
@@ -178,6 +256,10 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 show_report,
                 save_state,
                 resume,
+                faults: Box::new(faults),
+                quorum,
+                rank_timeout_ms,
+                checkpoint_every,
             })
         }
         other => Err(CliError(format!("unknown command {other}"))),
@@ -188,6 +270,26 @@ fn parse_num(v: Option<&String>, flag: &str) -> Result<f64, CliError> {
     v.ok_or(CliError(format!("{flag} needs a value")))?
         .parse()
         .map_err(|_| CliError(format!("{flag}: not a number")))
+}
+
+fn parse_pair_usize(v: &str, sep: char, what: &str) -> Result<(usize, usize), CliError> {
+    let (a, b) = v
+        .split_once(sep)
+        .ok_or(CliError(format!("{what}: expected two values")))?;
+    match (a.parse(), b.parse()) {
+        (Ok(a), Ok(b)) => Ok((a, b)),
+        _ => Err(CliError(format!("{what}: not integers"))),
+    }
+}
+
+fn parse_pair_f64(v: &str, sep: char, what: &str) -> Result<(f64, usize), CliError> {
+    let (a, b) = v
+        .split_once(sep)
+        .ok_or(CliError(format!("{what}: expected two values")))?;
+    match (a.parse(), b.parse()) {
+        (Ok(a), Ok(b)) => Ok((a, b)),
+        _ => Err(CliError(format!("{what}: bad values"))),
+    }
 }
 
 fn parse_backend(v: &str) -> Result<BackendArg, CliError> {
@@ -283,6 +385,10 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             show_report,
             save_state,
             resume,
+            faults,
+            quorum,
+            rank_timeout_ms,
+            checkpoint_every,
         } => {
             let net = load(&instance)?;
             let graph = ComponentGraph::build(&net);
@@ -301,8 +407,43 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             };
             let mut out = String::new();
             let mut final_state = None;
+            let mut state_saved = false;
             let (x, iterations, converged, objective) = if let Some(ranks) = distributed {
-                let r = solver.solve_distributed_compressed(&opts, ranks, compress);
+                let dopts = DistributedOptions {
+                    n_ranks: ranks,
+                    compression: compress,
+                    faults: *faults,
+                    quorum_frac: quorum,
+                    rank_timeout: std::time::Duration::from_millis(rank_timeout_ms),
+                    checkpoint: save_state.as_ref().map(|path| CheckpointSpec {
+                        path: path.into(),
+                        instance: instance.clone(),
+                        every: checkpoint_every,
+                    }),
+                    ..DistributedOptions::default()
+                };
+                let r = match resume_state {
+                    Some(state) => solver.solve_distributed_from(&opts, &dopts, state),
+                    None => solver.solve_distributed_opts(&opts, &dopts),
+                };
+                let deg = &r.degradation;
+                if deg.is_degraded() {
+                    out += &format!(
+                        "degraded: {} stale round(s), {} gather timeout(s), \
+                         dead ranks {:?} ({} component(s) adopted), \
+                         {} retransmit(s), {} message(s) dropped\n",
+                        deg.quorum_rounds,
+                        deg.gather_timeouts.iter().sum::<u64>(),
+                        deg.dead_ranks,
+                        deg.adopted_components,
+                        deg.comm.retransmits,
+                        deg.comm.dropped,
+                    );
+                }
+                if let Some(f) = &deg.fatal {
+                    out += &format!("stopped early: {f}\n");
+                }
+                state_saved = deg.checkpoints_written > 0;
                 (r.x, r.iterations, r.converged, r.objective)
             } else {
                 let r = match resume_state {
@@ -333,16 +474,14 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                 out += &format!("{}\n", rep.summary());
             }
             if let Some(path) = save_state {
-                match final_state {
-                    Some(state) => {
-                        save_checkpoint(&path, &instance, &state)?;
-                        out += &format!("state saved to {path}\n");
-                    }
-                    None => {
-                        return Err(CliError(
-                            "--save-state is not supported with --distributed".into(),
-                        ))
-                    }
+                if let Some(state) = final_state {
+                    save_checkpoint(&path, &instance, &state)?;
+                    state_saved = true;
+                }
+                if state_saved {
+                    out += &format!("state saved to {path}\n");
+                } else {
+                    return Err(CliError(format!("could not write state to {path}")));
                 }
             }
             Ok(out)
@@ -354,11 +493,7 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
 type WarmState = (Vec<f64>, Vec<f64>, Vec<f64>);
 
 /// Serialized warm-start state: `{instance, x, z, lambda}`.
-fn save_checkpoint(
-    path: &str,
-    instance: &str,
-    state: &WarmState,
-) -> Result<(), CliError> {
+fn save_checkpoint(path: &str, instance: &str, state: &WarmState) -> Result<(), CliError> {
     let value = serde_json::json!({
         "instance": instance,
         "x": state.0,
@@ -369,13 +504,8 @@ fn save_checkpoint(
         .map_err(|e| CliError(format!("write {path}: {e}")))
 }
 
-fn load_checkpoint(
-    path: &str,
-    instance: &str,
-    n: usize,
-) -> Result<WarmState, CliError> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| CliError(format!("read {path}: {e}")))?;
+fn load_checkpoint(path: &str, instance: &str, n: usize) -> Result<WarmState, CliError> {
+    let text = std::fs::read_to_string(path).map_err(|e| CliError(format!("read {path}: {e}")))?;
     let v: serde_json::Value =
         serde_json::from_str(&text).map_err(|e| CliError(format!("parse {path}: {e}")))?;
     let saved_instance = v["instance"].as_str().unwrap_or_default();
@@ -428,8 +558,17 @@ mod tests {
     #[test]
     fn parses_solve_flags() {
         let c = parse(&sv(&[
-            "solve", "ieee13", "--backend", "rayon:4", "--rho", "50", "--eps", "1e-4",
-            "--max-iters", "1000", "--report",
+            "solve",
+            "ieee13",
+            "--backend",
+            "rayon:4",
+            "--rho",
+            "50",
+            "--eps",
+            "1e-4",
+            "--max-iters",
+            "1000",
+            "--report",
         ]))
         .unwrap();
         match c {
@@ -451,6 +590,94 @@ mod tests {
             }
             _ => panic!("wrong command"),
         }
+    }
+
+    #[test]
+    fn parses_fault_flags() {
+        let c = parse(&sv(&[
+            "solve",
+            "ieee13",
+            "--distributed",
+            "4",
+            "--fault-seed",
+            "7",
+            "--fault-drop",
+            "0.05",
+            "--fault-dup",
+            "0.1",
+            "--fault-delay",
+            "0.2:3",
+            "--fault-crash",
+            "2@100",
+            "--fault-straggler",
+            "3:4",
+            "--quorum",
+            "0.75",
+            "--rank-timeout-ms",
+            "100",
+            "--checkpoint-every",
+            "50",
+        ]))
+        .unwrap();
+        match c {
+            Command::Solve {
+                distributed,
+                faults,
+                quorum,
+                rank_timeout_ms,
+                checkpoint_every,
+                ..
+            } => {
+                assert_eq!(distributed, Some(4));
+                assert!(faults.is_active());
+                assert_eq!(faults.seed, 7);
+                assert_eq!(faults.default_link.drop_prob, 0.05);
+                assert_eq!(faults.default_link.dup_prob, 0.1);
+                assert_eq!(faults.default_link.delay_prob, 0.2);
+                assert_eq!(faults.default_link.max_delay, 3);
+                assert_eq!(faults.crash_iter(2), Some(100));
+                assert!(faults.sits_out(3, 1));
+                assert_eq!(quorum, 0.75);
+                assert_eq!(rank_timeout_ms, 100);
+                assert_eq!(checkpoint_every, 50);
+            }
+            _ => panic!("wrong command"),
+        }
+        assert!(parse(&sv(&["solve", "ieee13", "--quorum", "1.5"])).is_err());
+        assert!(parse(&sv(&["solve", "ieee13", "--fault-crash", "2"])).is_err());
+        assert!(parse(&sv(&["solve", "ieee13", "--fault-delay", "x:y"])).is_err());
+    }
+
+    #[test]
+    fn distributed_solve_saves_resumable_state() {
+        let dir = std::env::temp_dir().join("gridflow-cli-dist-ckpt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("dist-state.json").to_string_lossy().into_owned();
+        let out = run(parse(&sv(&[
+            "solve",
+            "ieee13",
+            "--max-iters",
+            "60",
+            "--distributed",
+            "2",
+            "--save-state",
+            &path,
+        ]))
+        .unwrap())
+        .unwrap();
+        assert!(out.contains("state saved"), "{out}");
+        // The file is valid --resume input for the same instance.
+        let resumed = run(parse(&sv(&[
+            "solve",
+            "ieee13",
+            "--max-iters",
+            "30",
+            "--resume",
+            &path,
+        ]))
+        .unwrap())
+        .unwrap();
+        assert!(resumed.contains("iterations"), "{resumed}");
     }
 
     #[test]
@@ -490,6 +717,10 @@ mod tests {
             show_report: true,
             save_state: None,
             resume: None,
+            faults: Box::default(),
+            quorum: 1.0,
+            rank_timeout_ms: 250,
+            checkpoint_every: 0,
         })
         .unwrap();
         assert!(out.contains("converged = false"), "{out}");
@@ -529,6 +760,10 @@ mod tests {
             show_report: false,
             save_state: Some(path.clone()),
             resume: None,
+            faults: Box::default(),
+            quorum: 1.0,
+            rank_timeout_ms: 250,
+            checkpoint_every: 0,
         };
         let out = run(base).unwrap();
         assert!(out.contains("state saved"));
@@ -544,6 +779,10 @@ mod tests {
             show_report: false,
             save_state: None,
             resume: Some(path.clone()),
+            faults: Box::default(),
+            quorum: 1.0,
+            rank_timeout_ms: 250,
+            checkpoint_every: 0,
         })
         .unwrap();
         assert!(resumed.contains("converged = true"), "{resumed}");
@@ -559,6 +798,10 @@ mod tests {
             show_report: false,
             save_state: None,
             resume: Some(path),
+            faults: Box::default(),
+            quorum: 1.0,
+            rank_timeout_ms: 250,
+            checkpoint_every: 0,
         })
         .unwrap_err();
         assert!(e.0.contains("checkpoint is for"), "{e}");

@@ -55,15 +55,24 @@ impl Compression {
                 if k == n {
                     return;
                 }
-                // Threshold = k-th largest magnitude.
+                // Threshold = k-th largest magnitude. Everything
+                // strictly above it is kept unconditionally; entries
+                // *equal* to it fill the remaining slots in index order.
+                // (Counting `>= thresh` entries against the budget in
+                // index order would let tied small values — typically
+                // exact zeros near convergence — displace strictly
+                // larger magnitudes at the tail and starve them forever.)
                 let mut mags: Vec<f64> = data.iter().map(|v| v.abs()).collect();
                 mags.sort_by(|a, b| b.partial_cmp(a).expect("no NaN payloads"));
                 let thresh = mags[k - 1];
-                let mut kept = 0;
+                let above = data.iter().filter(|v| v.abs() > thresh).count();
+                let mut tie_slots = k - above;
                 for v in data.iter_mut() {
-                    if v.abs() >= thresh && kept < k {
-                        kept += 1;
+                    if v.abs() > thresh {
                         *v = *v as f32 as f64; // kept values ride as f32
+                    } else if v.abs() == thresh && tie_slots > 0 {
+                        tie_slots -= 1;
+                        *v = *v as f32 as f64;
                     } else {
                         *v = 0.0;
                     }

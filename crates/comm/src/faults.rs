@@ -1,0 +1,321 @@
+//! Deterministic, seeded fault injection for the rank runtime.
+//!
+//! A [`FaultPlan`] describes how the (simulated) fabric misbehaves:
+//! per-link message drop / duplicate / delay probabilities, permanently
+//! black-holed messages, scheduled rank crashes, and slow-rank
+//! (straggler) activation profiles. Every stochastic decision is a pure
+//! function of `(seed, link, sequence number, attempt, salt)`, so a plan
+//! with the same seed injects byte-identical faults on every run — the
+//! *set* of messages that get through never depends on wall-clock timing,
+//! only their latency does. That is what makes fault-injection runs
+//! reproducible end to end.
+//!
+//! The plan applies to **data frames only**. Acknowledgements and
+//! abandon notices (the control plane) are delivered reliably: they are
+//! tiny, and modelling their loss would only multiply retransmissions
+//! without changing which logical messages arrive.
+
+use std::time::Duration;
+
+/// Per-link fault probabilities (direction-sensitive: `a→b` and `b→a`
+/// can differ).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkFaults {
+    /// Per-attempt transient loss probability. A dropped attempt is
+    /// recovered by retransmission, so (with enough retries) the message
+    /// still arrives — late.
+    pub drop_prob: f64,
+    /// Per-message permanent loss probability: every attempt of the
+    /// message vanishes, the sender exhausts its retries and abandons
+    /// the message (the receiver is notified via the control plane).
+    pub blackhole_prob: f64,
+    /// Per-delivery duplication probability (the duplicate is discarded
+    /// by receiver-side sequence deduplication).
+    pub dup_prob: f64,
+    /// Per-delivery delay probability. A delayed frame is held back
+    /// until `1..=max_delay` further frames from the same peer have been
+    /// drained, which also reorders it past them.
+    pub delay_prob: f64,
+    /// Maximum hold-back, in subsequently drained frames.
+    pub max_delay: usize,
+}
+
+impl LinkFaults {
+    /// A perfect link.
+    pub fn none() -> Self {
+        LinkFaults {
+            drop_prob: 0.0,
+            blackhole_prob: 0.0,
+            dup_prob: 0.0,
+            delay_prob: 0.0,
+            max_delay: 1,
+        }
+    }
+
+    /// Whether any defect has a nonzero probability.
+    pub fn is_active(&self) -> bool {
+        self.drop_prob > 0.0
+            || self.blackhole_prob > 0.0
+            || self.dup_prob > 0.0
+            || self.delay_prob > 0.0
+    }
+}
+
+impl Default for LinkFaults {
+    fn default() -> Self {
+        LinkFaults::none()
+    }
+}
+
+/// Retransmission parameters of the reliable transport.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Initial acknowledgement timeout before the first retransmit.
+    pub ack_timeout: Duration,
+    /// Retransmissions after the initial attempt before the sender
+    /// abandons the message (`u32::MAX` = never abandon).
+    pub max_retries: u32,
+    /// Ceiling of the exponential backoff.
+    pub backoff_cap: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            ack_timeout: Duration::from_micros(500),
+            max_retries: 5,
+            backoff_cap: Duration::from_millis(50),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Retry forever — turns every non-black-holed link loss into mere
+    /// latency (useful when a protocol cannot tolerate abandons).
+    pub fn unbounded() -> Self {
+        RetryPolicy {
+            max_retries: u32::MAX,
+            ..RetryPolicy::default()
+        }
+    }
+}
+
+/// A scheduled rank crash: the rank dies silently at the start of the
+/// given protocol iteration (after receiving that iteration's broadcast,
+/// before uploading — the worst spot for the operator).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashAt {
+    /// Rank that dies.
+    pub rank: usize,
+    /// 1-based iteration at which it dies.
+    pub iter: usize,
+}
+
+/// A slow-rank profile: the rank only participates every `period`-th
+/// iteration (the intermittent-activation form of asynchrony, which is
+/// the convergent one — see `opf_admm::nonideal`). On sit-out rounds it
+/// notifies the operator instead of uploading.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Straggler {
+    /// Affected rank.
+    pub rank: usize,
+    /// Participation period (`1` = every iteration; `3` = one in three).
+    pub period: usize,
+}
+
+/// A complete, seeded description of how the fabric misbehaves.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    /// RNG seed; identical seeds inject identical faults.
+    pub seed: u64,
+    /// Faults applied to every link without an explicit override.
+    pub default_link: LinkFaults,
+    /// Per-link `((from, to), faults)` overrides.
+    pub links: Vec<((usize, usize), LinkFaults)>,
+    /// Scheduled rank crashes.
+    pub crashes: Vec<CrashAt>,
+    /// Slow-rank activation profiles.
+    pub stragglers: Vec<Straggler>,
+    /// Retransmission parameters (used whenever the plan is active).
+    pub retry: RetryPolicy,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (the runtime then skips the reliable
+    /// transport entirely and behaves like the original perfect mesh).
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// An empty plan with a seed, ready for builder-style configuration.
+    pub fn seeded(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Set the default per-attempt drop probability.
+    pub fn with_drop(mut self, p: f64) -> Self {
+        self.default_link.drop_prob = p;
+        self
+    }
+
+    /// Set the default per-message black-hole probability.
+    pub fn with_blackhole(mut self, p: f64) -> Self {
+        self.default_link.blackhole_prob = p;
+        self
+    }
+
+    /// Set the default duplication probability.
+    pub fn with_dup(mut self, p: f64) -> Self {
+        self.default_link.dup_prob = p;
+        self
+    }
+
+    /// Set the default delay probability and maximum hold-back.
+    pub fn with_delay(mut self, p: f64, max_delay: usize) -> Self {
+        self.default_link.delay_prob = p;
+        self.default_link.max_delay = max_delay.max(1);
+        self
+    }
+
+    /// Schedule a crash.
+    pub fn with_crash(mut self, rank: usize, iter: usize) -> Self {
+        self.crashes.push(CrashAt { rank, iter });
+        self
+    }
+
+    /// Add a straggler profile.
+    pub fn with_straggler(mut self, rank: usize, period: usize) -> Self {
+        self.stragglers.push(Straggler {
+            rank,
+            period: period.max(1),
+        });
+        self
+    }
+
+    /// Override one directed link.
+    pub fn with_link(mut self, from: usize, to: usize, faults: LinkFaults) -> Self {
+        self.links.push(((from, to), faults));
+        self
+    }
+
+    /// Set the retransmission policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// The faults on the directed link `from → to`.
+    pub fn link(&self, from: usize, to: usize) -> LinkFaults {
+        self.links
+            .iter()
+            .find(|((f, t), _)| *f == from && *t == to)
+            .map(|(_, l)| *l)
+            .unwrap_or(self.default_link)
+    }
+
+    /// Whether the plan injects anything at all (drives the runtime's
+    /// choice between the raw and the reliable transport).
+    pub fn is_active(&self) -> bool {
+        self.default_link.is_active()
+            || self.links.iter().any(|(_, l)| l.is_active())
+            || !self.crashes.is_empty()
+            || !self.stragglers.is_empty()
+    }
+
+    /// The iteration at which `rank` is scheduled to die, if any.
+    pub fn crash_iter(&self, rank: usize) -> Option<usize> {
+        self.crashes
+            .iter()
+            .filter(|c| c.rank == rank)
+            .map(|c| c.iter)
+            .min()
+    }
+
+    /// Whether `rank` sits out protocol iteration `iter` (1-based) under
+    /// its straggler profile.
+    pub fn sits_out(&self, rank: usize, iter: usize) -> bool {
+        self.stragglers
+            .iter()
+            .any(|s| s.rank == rank && s.period > 1 && !iter.is_multiple_of(s.period))
+    }
+}
+
+/// Salts separating the independent fault decisions for one frame.
+pub(crate) const SALT_BLACKHOLE: u64 = 1;
+pub(crate) const SALT_DROP: u64 = 2;
+pub(crate) const SALT_DUP: u64 = 3;
+pub(crate) const SALT_DELAY: u64 = 4;
+pub(crate) const SALT_DELAY_LEN: u64 = 5;
+
+/// SplitMix64 finalizer — a strong 64-bit mix.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// A uniform draw in `[0, 1)` that is a pure function of its inputs.
+pub(crate) fn roll(seed: u64, from: usize, to: usize, seq: u64, attempt: u32, salt: u64) -> f64 {
+    let h = mix(seed)
+        ^ mix((from as u64) << 32 | to as u64)
+        ^ mix(seq.wrapping_mul(0x9E3779B97F4A7C15))
+        ^ mix((attempt as u64) << 8 | salt);
+    (mix(h) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rolls_are_deterministic_and_uniformish() {
+        let a = roll(7, 0, 1, 42, 1, SALT_DROP);
+        let b = roll(7, 0, 1, 42, 1, SALT_DROP);
+        assert_eq!(a, b);
+        // Different salts / attempts / seqs decorrelate.
+        assert_ne!(a, roll(7, 0, 1, 42, 1, SALT_DUP));
+        assert_ne!(a, roll(7, 0, 1, 42, 2, SALT_DROP));
+        assert_ne!(a, roll(7, 0, 1, 43, 1, SALT_DROP));
+        // Rough uniformity: mean of many draws near 0.5.
+        let n = 10_000;
+        let mean: f64 = (0..n)
+            .map(|i| roll(1, 2, 3, i as u64, 1, SALT_DELAY))
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn plan_builders_and_lookup() {
+        let plan = FaultPlan::seeded(9)
+            .with_drop(0.1)
+            .with_link(
+                1,
+                0,
+                LinkFaults {
+                    drop_prob: 0.5,
+                    ..LinkFaults::none()
+                },
+            )
+            .with_crash(2, 100)
+            .with_straggler(3, 3);
+        assert!(plan.is_active());
+        assert_eq!(plan.link(0, 1).drop_prob, 0.1);
+        assert_eq!(plan.link(1, 0).drop_prob, 0.5);
+        assert_eq!(plan.crash_iter(2), Some(100));
+        assert_eq!(plan.crash_iter(1), None);
+        assert!(plan.sits_out(3, 1));
+        assert!(!plan.sits_out(3, 3));
+        assert!(!plan.sits_out(0, 1));
+        assert!(!FaultPlan::none().is_active());
+    }
+
+    #[test]
+    fn inactive_plan_with_seed_only_is_inactive() {
+        assert!(!FaultPlan::seeded(123).is_active());
+    }
+}

@@ -3,14 +3,21 @@
 //! 1c and Fig. 3 middle row).
 //!
 //! * [`runtime`] — MPI.jl stand-in: ranks as threads, full-mesh channels,
-//!   gather / broadcast / barrier collectives;
+//!   gather / broadcast / barrier collectives, with typed errors instead
+//!   of panics on link failure;
+//! * [`faults`] — deterministic, seeded fault injection (drop / duplicate
+//!   / delay-reorder / black-hole links, scheduled crashes, stragglers);
 //! * [`model`] — analytic communication times: CPU-MPI, GPU-over-MPI with
 //!   PCIe staging, and GPU-RPC (the tRPC remark) endpoints.
 
 pub mod compress;
+pub mod faults;
 pub mod model;
 pub mod runtime;
 
 pub use compress::Compression;
+pub use faults::{CrashAt, FaultPlan, LinkFaults, RetryPolicy, Straggler};
 pub use model::{CommModel, Endpoint};
-pub use runtime::{run_ranks, Message, RankCtx};
+pub use runtime::{
+    run_ranks, run_ranks_faulted, CommError, CommStats, QuorumGather, RankCtx, DEFAULT_PENDING_CAP,
+};

@@ -98,9 +98,7 @@ impl CommModel {
 
     /// One point-to-point message of `bytes`.
     pub fn message_time(&self, bytes: usize) -> f64 {
-        self.latency
-            + bytes as f64 / self.bandwidth
-            + 2.0 * self.endpoint.staging_time(bytes)
+        self.latency + bytes as f64 / self.bandwidth + 2.0 * self.endpoint.staging_time(bytes)
     }
 
     /// Gather onto the aggregator: the root receives one message per

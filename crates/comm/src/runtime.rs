@@ -1,21 +1,221 @@
-//! A message-passing rank runtime (the MPI.jl stand-in).
+//! A message-passing rank runtime (the MPI.jl stand-in), fault-tolerant.
 //!
-//! Ranks are OS threads connected by a full mesh of crossbeam channels.
-//! The collectives mirror the subset of MPI the algorithm needs —
-//! point-to-point send/recv, gather-to-root, broadcast, barrier — so the
+//! Ranks are OS threads connected by a full mesh of `std::sync::mpsc`
+//! channels. The collectives mirror the subset of MPI the algorithm needs
+//! — point-to-point send/recv, gather-to-root, broadcast, barrier — so the
 //! distributed execution path of Algorithm 1 actually runs as separate
 //! communicating workers in integration tests and examples, rather than
 //! being faked with shared memory.
+//!
+//! Two transports share one API:
+//!
+//! * **raw** (no [`FaultPlan`], the default): frames are delivered
+//!   unconditionally and nothing is acknowledged — the original perfect
+//!   mesh, with identical message contents and ordering;
+//! * **reliable** (an active plan): data frames carry per-link sequence
+//!   numbers, receivers acknowledge and deduplicate, senders retransmit
+//!   with exponential backoff and, on exhausting their retries, abandon
+//!   the message and notify the receiver via the control plane. Faults
+//!   (drop / black-hole / duplicate / delay-reorder) are injected at the
+//!   receiving end as pure functions of the plan seed, so runs are
+//!   reproducible.
+//!
+//! No code path panics on link failure: every operation returns a typed
+//! [`CommError`] instead.
 
-use crossbeam_channel::{unbounded, Receiver, Sender};
+use crate::faults::{
+    self, FaultPlan, SALT_BLACKHOLE, SALT_DELAY, SALT_DELAY_LEN, SALT_DROP, SALT_DUP,
+};
+use std::collections::HashSet;
+use std::collections::VecDeque;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::time::{Duration, Instant};
 
-/// A message: payload of `f64`s with a user tag.
+/// Default patience of a blocking [`RankCtx::recv`] before it reports a
+/// dead peer instead of hanging forever.
+const LIVENESS_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Poll granularity of the receive loops (also bounds how quickly the
+/// retransmission pump runs while blocked).
+const DRAIN_TICK: Duration = Duration::from_micros(200);
+
+/// Default cap on the out-of-order receive buffer (messages addressed to
+/// this rank that no `recv` has matched yet). The cap converts unbounded
+/// growth — e.g. a peer streaming tags nobody asks for — into a typed
+/// error instead of a silent leak.
+pub const DEFAULT_PENDING_CAP: usize = 8_192;
+
+/// Errors of the communication layer. Replaces the panics of the
+/// original runtime ("peer hung up") with typed, recoverable failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommError {
+    /// A send failed because the peer's endpoint is gone (its thread
+    /// returned or crashed).
+    PeerClosed {
+        /// The dead peer.
+        peer: usize,
+    },
+    /// A receive deadline expired with no matching message.
+    Timeout {
+        /// Peer the message was expected from.
+        from: usize,
+        /// Expected tag.
+        tag: u64,
+    },
+    /// The peer abandoned the message after exhausting its retries (its
+    /// notice arrived over the control plane).
+    Abandoned {
+        /// Peer that gave up.
+        from: usize,
+        /// Tag of the abandoned message.
+        tag: u64,
+    },
+    /// The out-of-order receive buffer hit its cap; accepting more
+    /// unmatched messages would leak without bound.
+    PendingOverflow {
+        /// The configured cap.
+        capacity: usize,
+    },
+    /// A quorum gather timed out below its required fraction.
+    QuorumLost {
+        /// Fresh contributions present (root included).
+        have: usize,
+        /// Contributions the quorum required.
+        need: usize,
+        /// Tag of the gather.
+        tag: u64,
+    },
+}
+
+impl std::fmt::Display for CommError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommError::PeerClosed { peer } => write!(f, "peer {peer} hung up"),
+            CommError::Timeout { from, tag } => {
+                write!(f, "timed out waiting for tag {tag} from rank {from}")
+            }
+            CommError::Abandoned { from, tag } => {
+                write!(f, "rank {from} abandoned message tag {tag}")
+            }
+            CommError::PendingOverflow { capacity } => {
+                write!(f, "pending receive buffer exceeded its cap of {capacity}")
+            }
+            CommError::QuorumLost { have, need, tag } => {
+                write!(
+                    f,
+                    "quorum lost at tag {tag}: {have} of {need} required ranks"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+/// Per-rank transport counters, merged into the solver's degradation
+/// report after a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CommStats {
+    /// Logical data messages sent.
+    pub sent: u64,
+    /// Logical messages delivered into the receive buffer.
+    pub delivered: u64,
+    /// Retransmitted frames.
+    pub retransmits: u64,
+    /// Messages abandoned after exhausting retries.
+    pub gave_up: u64,
+    /// Frames lost to per-attempt transient drops.
+    pub dropped: u64,
+    /// Frames lost to per-message black holes.
+    pub blackholed: u64,
+    /// Frames duplicated by the fault plane.
+    pub duplicated: u64,
+    /// Duplicate frames discarded by sequence deduplication.
+    pub dup_discarded: u64,
+    /// Frames held back (and reordered) by the fault plane.
+    pub delayed: u64,
+    /// Abandon notices sent.
+    pub nacks_sent: u64,
+    /// Abandon notices received.
+    pub nacks_received: u64,
+    /// Receive deadlines that expired.
+    pub timeouts: u64,
+    /// Stale buffered messages discarded by [`RankCtx::purge_below`].
+    pub purged: u64,
+    /// Sends swallowed because the peer was already gone.
+    pub dead_sends: u64,
+}
+
+impl CommStats {
+    /// Accumulate another rank's counters.
+    pub fn merge(&mut self, other: &CommStats) {
+        self.sent += other.sent;
+        self.delivered += other.delivered;
+        self.retransmits += other.retransmits;
+        self.gave_up += other.gave_up;
+        self.dropped += other.dropped;
+        self.blackholed += other.blackholed;
+        self.duplicated += other.duplicated;
+        self.dup_discarded += other.dup_discarded;
+        self.delayed += other.delayed;
+        self.nacks_sent += other.nacks_sent;
+        self.nacks_received += other.nacks_received;
+        self.timeouts += other.timeouts;
+        self.purged += other.purged;
+        self.dead_sends += other.dead_sends;
+    }
+}
+
+/// Result of a quorum gather at the root.
 #[derive(Debug, Clone)]
-pub struct Message {
-    /// User-chosen tag (e.g. iteration number).
-    pub tag: u64,
-    /// Payload.
-    pub data: Vec<f64>,
+pub struct QuorumGather {
+    /// Per-rank payloads; `None` where nothing fresh arrived.
+    pub slices: Vec<Option<Vec<f64>>>,
+    /// Ranks that explicitly declined (straggler sit-out or abandoned
+    /// upload).
+    pub nacked: Vec<usize>,
+    /// Ranks that stayed silent until the deadline (crash suspects).
+    pub timed_out: Vec<usize>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WireKind {
+    /// Unreliable transport (no fault plan): no ack, no dedup.
+    Raw,
+    /// Reliable data frame: acknowledged, deduplicated, fault-filtered.
+    Data,
+    /// Acknowledgement of `seq` (control plane).
+    Ack,
+    /// "I gave up on `tag`" notice (control plane).
+    Nack,
+}
+
+/// A physical frame.
+#[derive(Debug, Clone)]
+struct Wire {
+    from: usize,
+    kind: WireKind,
+    tag: u64,
+    seq: u64,
+    attempt: u32,
+    data: Vec<f64>,
+}
+
+/// An unacknowledged reliable send awaiting its ack.
+struct Unacked {
+    to: usize,
+    tag: u64,
+    seq: u64,
+    attempt: u32,
+    data: Vec<f64>,
+    next_resend: Instant,
+    backoff: Duration,
+}
+
+/// A frame held back by the delay fault.
+struct Delayed {
+    release_at: u64,
+    wire: Wire,
 }
 
 /// Per-rank communication context handed to the rank body.
@@ -25,99 +225,558 @@ pub struct RankCtx {
     /// Total rank count.
     pub n: usize,
     /// `senders[j]` sends to rank `j`.
-    senders: Vec<Sender<(usize, Message)>>,
-    /// Receives `(from, message)` pairs addressed to this rank.
-    receiver: Receiver<(usize, Message)>,
-    /// Out-of-order receive buffer.
-    pending: Vec<(usize, Message)>,
+    senders: Vec<Sender<Wire>>,
+    /// Receives frames addressed to this rank.
+    receiver: Receiver<Wire>,
+    /// Out-of-order receive buffer of `(from, tag, data)`.
+    pending: VecDeque<(usize, u64, Vec<f64>)>,
+    /// Cap on `pending` (see [`DEFAULT_PENDING_CAP`]).
+    pending_cap: usize,
+    /// The fault plan (shared by all ranks).
+    faults: FaultPlan,
+    /// Whether the reliable transport is engaged.
+    reliable: bool,
+    /// Next outbound sequence number per destination.
+    next_seq: Vec<u64>,
+    /// Reliable sends awaiting acknowledgement.
+    unacked: Vec<Unacked>,
+    /// Sequence numbers already delivered, per source (dedup).
+    seen: Vec<HashSet<u64>>,
+    /// Held-back frames per source.
+    delay_q: Vec<Vec<Delayed>>,
+    /// Frames drained per source (release clock of `delay_q`).
+    link_drained: Vec<u64>,
+    /// Abandon notices received: `(from, tag)`.
+    nacks: HashSet<(usize, u64)>,
+    /// Transport counters.
+    stats: CommStats,
 }
 
 impl RankCtx {
+    /// Transport counters so far.
+    pub fn stats(&self) -> &CommStats {
+        &self.stats
+    }
+
+    /// Take the transport counters (typically at the end of a rank body).
+    pub fn take_stats(&mut self) -> CommStats {
+        std::mem::take(&mut self.stats)
+    }
+
+    /// The fault plan this mesh runs under.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    /// Override the pending-buffer cap (mostly for tests).
+    pub fn set_pending_cap(&mut self, cap: usize) {
+        self.pending_cap = cap.max(1);
+    }
+
+    // ----- physical layer -------------------------------------------------
+
+    /// Enqueue a frame to `to`. Returns `Ok(false)` when the peer's
+    /// endpoint is gone — an expected fault under the reliable transport
+    /// (the protocol layer notices via timeouts), a [`CommError`] on the
+    /// raw one.
+    fn transmit(&mut self, to: usize, wire: Wire) -> Result<bool, CommError> {
+        if self.senders[to].send(wire).is_err() {
+            if self.reliable {
+                self.stats.dead_sends += 1;
+                return Ok(false);
+            }
+            return Err(CommError::PeerClosed { peer: to });
+        }
+        Ok(true)
+    }
+
+    fn push_pending(&mut self, from: usize, tag: u64, data: Vec<f64>) -> Result<(), CommError> {
+        if self.pending.len() >= self.pending_cap {
+            return Err(CommError::PendingOverflow {
+                capacity: self.pending_cap,
+            });
+        }
+        self.stats.delivered += 1;
+        self.pending.push_back((from, tag, data));
+        Ok(())
+    }
+
+    /// Deliver a (fault-filtered) data frame: acknowledge, deduplicate,
+    /// buffer.
+    fn deliver_data(&mut self, wire: Wire) -> Result<(), CommError> {
+        let ack = Wire {
+            from: self.rank,
+            kind: WireKind::Ack,
+            tag: wire.tag,
+            seq: wire.seq,
+            attempt: 0,
+            data: Vec::new(),
+        };
+        self.transmit(wire.from, ack)?;
+        if !self.seen[wire.from].insert(wire.seq) {
+            self.stats.dup_discarded += 1;
+            return Ok(());
+        }
+        self.push_pending(wire.from, wire.tag, wire.data)
+    }
+
+    /// Release every held-back frame from `from` whose clock has come.
+    fn release_delayed(&mut self, from: usize) -> Result<(), CommError> {
+        loop {
+            let now = self.link_drained[from];
+            let Some(i) = self.delay_q[from].iter().position(|d| d.release_at <= now) else {
+                return Ok(());
+            };
+            let d = self.delay_q[from].swap_remove(i);
+            self.deliver_data(d.wire)?;
+        }
+    }
+
+    /// Process one arrived frame (fault filter + protocol bookkeeping).
+    fn process(&mut self, wire: Wire) -> Result<(), CommError> {
+        let from = wire.from;
+        self.link_drained[from] += 1;
+        match wire.kind {
+            WireKind::Raw => {
+                self.push_pending(from, wire.tag, wire.data)?;
+            }
+            WireKind::Ack => {
+                self.unacked
+                    .retain(|u| !(u.to == from && u.seq == wire.seq));
+            }
+            WireKind::Nack => {
+                self.stats.nacks_received += 1;
+                self.nacks.insert((from, wire.tag));
+            }
+            WireKind::Data => {
+                let lf = self.faults.link(from, self.rank);
+                let seed = self.faults.seed;
+                let to = self.rank;
+                if lf.blackhole_prob > 0.0
+                    && faults::roll(seed, from, to, wire.seq, 0, SALT_BLACKHOLE) < lf.blackhole_prob
+                {
+                    self.stats.blackholed += 1;
+                } else if lf.drop_prob > 0.0
+                    && faults::roll(seed, from, to, wire.seq, wire.attempt, SALT_DROP)
+                        < lf.drop_prob
+                {
+                    self.stats.dropped += 1;
+                } else {
+                    let dup = lf.dup_prob > 0.0
+                        && faults::roll(seed, from, to, wire.seq, wire.attempt, SALT_DUP)
+                            < lf.dup_prob;
+                    let delayed = lf.delay_prob > 0.0
+                        && faults::roll(seed, from, to, wire.seq, wire.attempt, SALT_DELAY)
+                            < lf.delay_prob;
+                    if dup {
+                        self.stats.duplicated += 1;
+                    }
+                    if delayed {
+                        let span = lf.max_delay.max(1) as f64;
+                        let k = 1
+                            + (faults::roll(seed, from, to, wire.seq, wire.attempt, SALT_DELAY_LEN)
+                                * span) as u64;
+                        self.stats.delayed += 1;
+                        let copy = if dup { Some(wire.clone()) } else { None };
+                        let release_at = self.link_drained[from] + k;
+                        self.delay_q[from].push(Delayed { release_at, wire });
+                        if let Some(c) = copy {
+                            self.deliver_data(c)?;
+                        }
+                    } else {
+                        let copy = if dup { Some(wire.clone()) } else { None };
+                        self.deliver_data(wire)?;
+                        if let Some(c) = copy {
+                            self.deliver_data(c)?;
+                        }
+                    }
+                }
+            }
+        }
+        self.release_delayed(from)
+    }
+
+    /// Retransmit overdue unacknowledged frames; abandon those out of
+    /// retries (notifying the receiver over the control plane).
+    fn pump(&mut self) -> Result<(), CommError> {
+        if !self.reliable || self.unacked.is_empty() {
+            return Ok(());
+        }
+        let now = Instant::now();
+        let retry = self.faults.retry;
+        let rank = self.rank;
+        let mut gave_up: Vec<(usize, u64)> = Vec::new();
+        let mut resend: Vec<(usize, Wire)> = Vec::new();
+        self.unacked.retain_mut(|u| {
+            if u.next_resend > now {
+                return true;
+            }
+            if u.attempt > retry.max_retries {
+                gave_up.push((u.to, u.tag));
+                return false;
+            }
+            u.attempt += 1;
+            u.backoff = (u.backoff * 2).min(retry.backoff_cap);
+            u.next_resend = now + u.backoff;
+            resend.push((
+                u.to,
+                Wire {
+                    from: rank,
+                    kind: WireKind::Data,
+                    tag: u.tag,
+                    seq: u.seq,
+                    attempt: u.attempt,
+                    data: u.data.clone(),
+                },
+            ));
+            true
+        });
+        let mut dead: Vec<usize> = Vec::new();
+        for (to, wire) in resend {
+            self.stats.retransmits += 1;
+            if !self.transmit(to, wire)? {
+                dead.push(to);
+            }
+        }
+        // Stop retrying messages to peers whose endpoint is gone.
+        if !dead.is_empty() {
+            self.unacked.retain(|u| !dead.contains(&u.to));
+        }
+        for (to, tag) in gave_up {
+            self.stats.gave_up += 1;
+            self.send_nack(to, tag)?;
+        }
+        Ok(())
+    }
+
+    /// Flush before exit: keep retransmitting unacknowledged frames and
+    /// acknowledging inbound traffic until everything is acknowledged
+    /// and the link has been quiet for a moment, so that a finished rank
+    /// does not strand its final messages (or its peers' retransmits).
+    fn shutdown(&mut self) {
+        if !self.reliable {
+            return;
+        }
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let quiet = Duration::from_millis(25);
+        let mut last_activity = Instant::now();
+        loop {
+            let now = Instant::now();
+            if now >= deadline
+                || (self.unacked.is_empty() && now.duration_since(last_activity) >= quiet)
+            {
+                return;
+            }
+            if self.pump().is_err() {
+                return;
+            }
+            match self.drain_once(DRAIN_TICK) {
+                Ok(true) => last_activity = Instant::now(),
+                Ok(false) => {}
+                Err(_) => return,
+            }
+            // The body is done; late arrivals only needed their acks.
+            self.pending.clear();
+        }
+    }
+
+    /// Drain at most one frame, waiting up to `wait`.
+    fn drain_once(&mut self, wait: Duration) -> Result<bool, CommError> {
+        match self.receiver.recv_timeout(wait) {
+            Ok(wire) => {
+                self.process(wire)?;
+                Ok(true)
+            }
+            // Disconnected cannot happen: we hold our own sender clone.
+            Err(_) => Ok(false),
+        }
+    }
+
+    // ----- public point-to-point API --------------------------------------
+
     /// Send a message to `to`.
     ///
-    /// # Panics
-    /// Panics if `to` is out of range or the cluster has shut down.
-    pub fn send(&self, to: usize, tag: u64, data: Vec<f64>) {
-        self.senders[to]
-            .send((self.rank, Message { tag, data }))
-            .expect("peer hung up");
+    /// Under an active fault plan the message is sequence-numbered,
+    /// retransmitted until acknowledged, and abandoned (with a notice to
+    /// the receiver) after the plan's retry budget.
+    pub fn send(&mut self, to: usize, tag: u64, data: Vec<f64>) -> Result<(), CommError> {
+        self.stats.sent += 1;
+        if !self.reliable {
+            let wire = Wire {
+                from: self.rank,
+                kind: WireKind::Raw,
+                tag,
+                seq: 0,
+                attempt: 0,
+                data,
+            };
+            self.transmit(to, wire)?;
+            return Ok(());
+        }
+        let seq = self.next_seq[to];
+        self.next_seq[to] += 1;
+        let retry = self.faults.retry;
+        self.unacked.push(Unacked {
+            to,
+            tag,
+            seq,
+            attempt: 1,
+            data: data.clone(),
+            next_resend: Instant::now() + retry.ack_timeout,
+            backoff: retry.ack_timeout,
+        });
+        let wire = Wire {
+            from: self.rank,
+            kind: WireKind::Data,
+            tag,
+            seq,
+            attempt: 1,
+            data,
+        };
+        if !self.transmit(to, wire)? {
+            // The peer is gone; retrying cannot deliver it.
+            self.unacked.retain(|u| !(u.to == to && u.seq == seq));
+        }
+        self.pump()
     }
 
-    /// Blocking receive of the next message from `from` with tag `tag`
-    /// (messages from other peers are buffered, not dropped).
-    pub fn recv(&mut self, from: usize, tag: u64) -> Vec<f64> {
-        if let Some(i) = self
+    /// Tell `to` that the logical message `tag` will not arrive (used by
+    /// stragglers sitting out a round; also sent automatically when a
+    /// reliable send exhausts its retries).
+    pub fn send_nack(&mut self, to: usize, tag: u64) -> Result<(), CommError> {
+        self.stats.nacks_sent += 1;
+        let wire = Wire {
+            from: self.rank,
+            kind: WireKind::Nack,
+            tag,
+            seq: 0,
+            attempt: 0,
+            data: Vec::new(),
+        };
+        self.transmit(to, wire)?;
+        Ok(())
+    }
+
+    /// Take a buffered message matching `(from, tag)`, if any.
+    fn take_pending(&mut self, from: usize, tag: u64) -> Option<Vec<f64>> {
+        let i = self
             .pending
             .iter()
-            .position(|(f, m)| *f == from && m.tag == tag)
-        {
-            return self.pending.swap_remove(i).1.data;
-        }
+            .position(|(f, t, _)| *f == from && *t == tag)?;
+        self.pending.remove(i).map(|(_, _, d)| d)
+    }
+
+    /// Receive the next message from `from` with tag `tag`, waiting at
+    /// most `timeout` (messages from other peers are buffered, not
+    /// dropped). Returns [`CommError::Abandoned`] if the peer gave the
+    /// message up, [`CommError::Timeout`] on deadline expiry.
+    pub fn recv_timeout(
+        &mut self,
+        from: usize,
+        tag: u64,
+        timeout: Duration,
+    ) -> Result<Vec<f64>, CommError> {
+        let deadline = Instant::now() + timeout;
         loop {
-            let (f, m) = self.receiver.recv().expect("peer hung up");
-            if f == from && m.tag == tag {
-                return m.data;
+            if let Some(data) = self.take_pending(from, tag) {
+                return Ok(data);
             }
-            self.pending.push((f, m));
+            if self.nacks.remove(&(from, tag)) {
+                return Err(CommError::Abandoned { from, tag });
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                self.stats.timeouts += 1;
+                return Err(CommError::Timeout { from, tag });
+            }
+            self.pump()?;
+            self.drain_once(DRAIN_TICK.min(deadline - now))?;
         }
     }
 
+    /// Blocking receive with the default liveness patience (reports the
+    /// peer as hung rather than blocking forever).
+    pub fn recv(&mut self, from: usize, tag: u64) -> Result<Vec<f64>, CommError> {
+        self.recv_timeout(from, tag, LIVENESS_TIMEOUT)
+    }
+
+    /// Discard buffered messages and abandon notices with tags below
+    /// `tag` — stale traffic from epochs the protocol has moved past.
+    pub fn purge_below(&mut self, tag: u64) {
+        let before = self.pending.len();
+        self.pending.retain(|(_, t, _)| *t >= tag);
+        self.stats.purged += (before - self.pending.len()) as u64;
+        self.nacks.retain(|(_, t)| *t >= tag);
+    }
+
+    // ----- collectives ----------------------------------------------------
+
     /// Gather everyone's `data` at `root`. Returns `Some(slices)` ordered
-    /// by rank at the root, `None` elsewhere.
-    #[allow(clippy::needless_range_loop)] // index loop reads clearest here
-    pub fn gather(&mut self, root: usize, tag: u64, data: Vec<f64>) -> Option<Vec<Vec<f64>>> {
-        if self.rank == root {
-            let mut out: Vec<Vec<f64>> = vec![Vec::new(); self.n];
-            for r in 0..self.n {
-                if r == root {
+    /// by rank at the root, `None` elsewhere. Fails if any contribution
+    /// is abandoned or the liveness patience expires.
+    pub fn gather(
+        &mut self,
+        root: usize,
+        tag: u64,
+        data: Vec<f64>,
+    ) -> Result<Option<Vec<Vec<f64>>>, CommError> {
+        let live = vec![true; self.n];
+        match self.gather_quorum(root, tag, data, &live, 1.0, LIVENESS_TIMEOUT)? {
+            None => Ok(None),
+            Some(q) => {
+                let mut out = Vec::with_capacity(self.n);
+                for (r, slot) in q.slices.into_iter().enumerate() {
+                    match slot {
+                        Some(d) => out.push(d),
+                        None => {
+                            return Err(if q.nacked.contains(&r) {
+                                CommError::Abandoned { from: r, tag }
+                            } else {
+                                CommError::Timeout { from: r, tag }
+                            })
+                        }
+                    }
+                }
+                Ok(Some(out))
+            }
+        }
+    }
+
+    /// Quorum gather: the root collects contributions from every rank
+    /// marked live, returning once all of them are accounted for (data
+    /// or abandon notice) or once `timeout` expires with at least
+    /// `⌈quorum_frac · n⌉` fresh contributions (the root's own included).
+    /// Below quorum at the deadline is [`CommError::QuorumLost`].
+    ///
+    /// Non-root ranks send `data` to the root and return `Ok(None)`.
+    pub fn gather_quorum(
+        &mut self,
+        root: usize,
+        tag: u64,
+        data: Vec<f64>,
+        live: &[bool],
+        quorum_frac: f64,
+        timeout: Duration,
+    ) -> Result<Option<QuorumGather>, CommError> {
+        if self.rank != root {
+            self.send(root, tag, data)?;
+            return Ok(None);
+        }
+        let mut q = QuorumGather {
+            slices: vec![None; self.n],
+            nacked: Vec::new(),
+            timed_out: Vec::new(),
+        };
+        q.slices[root] = Some(data);
+        let deadline = Instant::now() + timeout;
+        let need = (quorum_frac * self.n as f64).ceil().max(1.0) as usize;
+        loop {
+            let mut outstanding = 0usize;
+            for (r, &alive) in live.iter().enumerate() {
+                if r == root || !alive || q.slices[r].is_some() || q.nacked.contains(&r) {
                     continue;
                 }
-                out[r] = self.recv(r, tag);
+                if let Some(d) = self.take_pending(r, tag) {
+                    q.slices[r] = Some(d);
+                } else if self.nacks.remove(&(r, tag)) {
+                    q.nacked.push(r);
+                } else {
+                    outstanding += 1;
+                }
             }
-            out[root] = data;
-            Some(out)
-        } else {
-            self.send(root, tag, data);
-            None
+            if outstanding == 0 {
+                return Ok(Some(q));
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                let have = q.slices.iter().filter(|s| s.is_some()).count();
+                if have < need {
+                    return Err(CommError::QuorumLost { have, need, tag });
+                }
+                for (r, &alive) in live.iter().enumerate() {
+                    if alive && r != root && q.slices[r].is_none() && !q.nacked.contains(&r) {
+                        self.stats.timeouts += 1;
+                        q.timed_out.push(r);
+                    }
+                }
+                return Ok(Some(q));
+            }
+            self.pump()?;
+            self.drain_once(DRAIN_TICK.min(deadline - now))?;
         }
     }
 
     /// Broadcast `data` from `root`; every rank returns the payload.
-    pub fn broadcast(&mut self, root: usize, tag: u64, data: Vec<f64>) -> Vec<f64> {
+    pub fn broadcast(
+        &mut self,
+        root: usize,
+        tag: u64,
+        data: Vec<f64>,
+    ) -> Result<Vec<f64>, CommError> {
+        let live = vec![true; self.n];
+        self.broadcast_live(root, tag, data, &live, LIVENESS_TIMEOUT)
+    }
+
+    /// Broadcast from `root` to the ranks marked live; receivers wait at
+    /// most `timeout` (a receiver that has been declared dead by the
+    /// root will time out here and can shut itself down).
+    pub fn broadcast_live(
+        &mut self,
+        root: usize,
+        tag: u64,
+        data: Vec<f64>,
+        live: &[bool],
+        timeout: Duration,
+    ) -> Result<Vec<f64>, CommError> {
         if self.rank == root {
-            for r in 0..self.n {
-                if r != root {
-                    self.send(r, tag, data.clone());
+            for (r, &alive) in live.iter().enumerate() {
+                if r != root && alive {
+                    self.send(r, tag, data.clone())?;
                 }
             }
-            data
+            Ok(data)
         } else {
-            self.recv(root, tag)
+            self.recv_timeout(root, tag, timeout)
         }
     }
 
     /// Barrier: gather-then-broadcast of empty payloads.
-    pub fn barrier(&mut self, tag: u64) {
-        let _ = self.gather(0, tag, Vec::new());
-        let _ = self.broadcast(0, tag, Vec::new());
+    pub fn barrier(&mut self, tag: u64) -> Result<(), CommError> {
+        let _ = self.gather(0, tag, Vec::new())?;
+        let _ = self.broadcast(0, tag, Vec::new())?;
+        Ok(())
     }
 }
 
 /// Run `n` ranks, each executing `body(ctx)`, and collect their results
-/// in rank order. Panics in any rank propagate.
+/// in rank order, over a perfect mesh. Panics in any rank propagate.
 pub fn run_ranks<R, F>(n: usize, body: F) -> Vec<R>
 where
     R: Send,
-    F: Fn(RankCtx) -> R + Sync,
+    F: Fn(&mut RankCtx) -> R + Sync,
+{
+    run_ranks_faulted(n, &FaultPlan::none(), body)
+}
+
+/// Run `n` ranks over a mesh that injects the given fault plan.
+///
+/// # Panics
+/// Panics if `n == 0` or any rank body panics (rank bodies are expected
+/// to surface communication failures as values, not panics).
+pub fn run_ranks_faulted<R, F>(n: usize, plan: &FaultPlan, body: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&mut RankCtx) -> R + Sync,
 {
     assert!(n > 0, "need at least one rank");
-    let mut senders: Vec<Sender<(usize, Message)>> = Vec::with_capacity(n);
-    let mut receivers: Vec<Receiver<(usize, Message)>> = Vec::with_capacity(n);
+    let mut senders: Vec<Sender<Wire>> = Vec::with_capacity(n);
+    let mut receivers: Vec<Receiver<Wire>> = Vec::with_capacity(n);
     for _ in 0..n {
-        let (tx, rx) = unbounded();
+        let (tx, rx) = channel();
         senders.push(tx);
         receivers.push(rx);
     }
+    let reliable = plan.is_active();
     let mut ctxs: Vec<RankCtx> = receivers
         .into_iter()
         .enumerate()
@@ -126,16 +785,32 @@ where
             n,
             senders: senders.clone(),
             receiver,
-            pending: Vec::new(),
+            pending: VecDeque::new(),
+            pending_cap: DEFAULT_PENDING_CAP,
+            faults: plan.clone(),
+            reliable,
+            next_seq: vec![0; n],
+            unacked: Vec::new(),
+            seen: (0..n).map(|_| HashSet::new()).collect(),
+            delay_q: (0..n).map(|_| Vec::new()).collect(),
+            link_drained: vec![0; n],
+            nacks: HashSet::new(),
+            stats: CommStats::default(),
         })
         .collect();
     drop(senders);
 
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(n);
-        for ctx in ctxs.drain(..) {
+        for mut ctx in ctxs.drain(..) {
             let body = &body;
-            handles.push(scope.spawn(move || body(ctx)));
+            handles.push(scope.spawn(move || {
+                let out = body(&mut ctx);
+                // Flush unacknowledged frames (and keep acking peers'
+                // retransmits) so a finished rank strands nothing.
+                ctx.shutdown();
+                out
+            }));
         }
         handles
             .into_iter()
@@ -147,16 +822,18 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::{LinkFaults, RetryPolicy};
 
     #[test]
     fn point_to_point_roundtrip() {
-        let results = run_ranks(2, |mut ctx| {
+        let results = run_ranks(2, |ctx| {
             if ctx.rank == 0 {
-                ctx.send(1, 7, vec![1.0, 2.0]);
-                ctx.recv(1, 8)
+                ctx.send(1, 7, vec![1.0, 2.0]).unwrap();
+                ctx.recv(1, 8).unwrap()
             } else {
-                let got = ctx.recv(0, 7);
-                ctx.send(0, 8, got.iter().map(|v| v * 10.0).collect());
+                let got = ctx.recv(0, 7).unwrap();
+                ctx.send(0, 8, got.iter().map(|v| v * 10.0).collect())
+                    .unwrap();
                 vec![]
             }
         });
@@ -165,9 +842,9 @@ mod tests {
 
     #[test]
     fn gather_collects_in_rank_order() {
-        let results = run_ranks(4, |mut ctx| {
+        let results = run_ranks(4, |ctx| {
             let mine = vec![ctx.rank as f64];
-            ctx.gather(0, 1, mine)
+            ctx.gather(0, 1, mine).unwrap()
         });
         let at_root = results[0].as_ref().unwrap();
         for (r, slice) in at_root.iter().enumerate() {
@@ -178,9 +855,9 @@ mod tests {
 
     #[test]
     fn broadcast_reaches_everyone() {
-        let results = run_ranks(3, |mut ctx| {
+        let results = run_ranks(3, |ctx| {
             let data = if ctx.rank == 1 { vec![42.0] } else { vec![] };
-            ctx.broadcast(1, 2, data)
+            ctx.broadcast(1, 2, data).unwrap()
         });
         for r in results {
             assert_eq!(r, vec![42.0]);
@@ -189,15 +866,15 @@ mod tests {
 
     #[test]
     fn tags_demultiplex_out_of_order() {
-        let results = run_ranks(2, |mut ctx| {
+        let results = run_ranks(2, |ctx| {
             if ctx.rank == 0 {
-                ctx.send(1, 2, vec![2.0]);
-                ctx.send(1, 1, vec![1.0]);
+                ctx.send(1, 2, vec![2.0]).unwrap();
+                ctx.send(1, 1, vec![1.0]).unwrap();
                 vec![]
             } else {
                 // Receive tag 1 first even though tag 2 arrived first.
-                let a = ctx.recv(0, 1);
-                let b = ctx.recv(0, 2);
+                let a = ctx.recv(0, 1).unwrap();
+                let b = ctx.recv(0, 2).unwrap();
                 vec![a[0], b[0]]
             }
         });
@@ -208,9 +885,9 @@ mod tests {
     fn barrier_synchronizes() {
         use std::sync::atomic::{AtomicUsize, Ordering};
         let counter = AtomicUsize::new(0);
-        run_ranks(4, |mut ctx| {
+        run_ranks(4, |ctx| {
             counter.fetch_add(1, Ordering::SeqCst);
-            ctx.barrier(9);
+            ctx.barrier(9).unwrap();
             // After the barrier, every rank must have incremented.
             assert_eq!(counter.load(Ordering::SeqCst), 4);
         });
@@ -218,12 +895,278 @@ mod tests {
 
     #[test]
     fn single_rank_collectives_are_local() {
-        let results = run_ranks(1, |mut ctx| {
-            let g = ctx.gather(0, 1, vec![5.0]).unwrap();
-            let b = ctx.broadcast(0, 2, vec![6.0]);
+        let results = run_ranks(1, |ctx| {
+            let g = ctx.gather(0, 1, vec![5.0]).unwrap().unwrap();
+            let b = ctx.broadcast(0, 2, vec![6.0]).unwrap();
             (g, b)
         });
         assert_eq!(results[0].0, vec![vec![5.0]]);
         assert_eq!(results[0].1, vec![6.0]);
+    }
+
+    #[test]
+    fn recv_timeout_expires_with_typed_error() {
+        let results = run_ranks(2, |ctx| {
+            if ctx.rank == 0 {
+                // Nothing is ever sent with tag 5.
+                ctx.recv_timeout(1, 5, Duration::from_millis(10))
+            } else {
+                Ok(vec![])
+            }
+        });
+        assert_eq!(results[0], Err(CommError::Timeout { from: 1, tag: 5 }));
+    }
+
+    #[test]
+    fn pending_buffer_cap_is_enforced() {
+        let results = run_ranks(2, |ctx| {
+            if ctx.rank == 1 {
+                for i in 0..8 {
+                    ctx.send(0, 100 + i, vec![i as f64]).unwrap();
+                }
+                // Let rank 0 know everything is underway.
+                ctx.send(0, 99, vec![]).unwrap();
+                Ok(vec![])
+            } else {
+                ctx.set_pending_cap(4);
+                // Waiting for a tag that never comes forces rank 0 to
+                // buffer the unmatched messages until the cap trips.
+                ctx.recv_timeout(1, 999, Duration::from_secs(5))
+            }
+        });
+        assert_eq!(results[0], Err(CommError::PendingOverflow { capacity: 4 }));
+    }
+
+    #[test]
+    fn purge_below_discards_stale_epochs() {
+        let results = run_ranks(2, |ctx| {
+            if ctx.rank == 1 {
+                ctx.send(0, 10, vec![1.0]).unwrap();
+                ctx.send(0, 20, vec![2.0]).unwrap();
+                0
+            } else {
+                // Buffer both, purge the old epoch, then only tag 20
+                // remains.
+                let got = ctx.recv(1, 20).unwrap();
+                assert_eq!(got, vec![2.0]);
+                ctx.purge_below(15);
+                assert!(ctx.recv_timeout(1, 10, Duration::from_millis(5)).is_err());
+                ctx.stats().purged as i32
+            }
+        });
+        assert_eq!(results[0], 1);
+    }
+
+    #[test]
+    fn transient_drops_are_recovered_by_retransmission() {
+        let plan = FaultPlan::seeded(11)
+            .with_drop(0.5)
+            .with_retry(RetryPolicy::unbounded());
+        let results = run_ranks_faulted(2, &plan, |ctx| {
+            if ctx.rank == 0 {
+                for i in 0..20 {
+                    ctx.send(1, i, vec![i as f64]).unwrap();
+                }
+                ctx.recv(1, 1000).unwrap();
+                ctx.take_stats()
+            } else {
+                let mut sum = 0.0;
+                for i in 0..20 {
+                    sum += ctx.recv(0, i).unwrap()[0];
+                }
+                assert_eq!(sum, 190.0);
+                ctx.send(0, 1000, vec![]).unwrap();
+                ctx.take_stats()
+            }
+        });
+        // With 50% per-attempt loss, some retransmissions must have
+        // happened and every logical message was still delivered once.
+        assert!(results[0].retransmits > 0, "{:?}", results[0]);
+        assert_eq!(results[1].delivered, 20);
+        assert!(results[1].dropped > 0);
+    }
+
+    #[test]
+    fn blackholed_message_is_abandoned_with_notice() {
+        let plan = FaultPlan::seeded(3)
+            .with_link(
+                0,
+                1,
+                LinkFaults {
+                    blackhole_prob: 1.0,
+                    ..LinkFaults::none()
+                },
+            )
+            .with_retry(RetryPolicy {
+                ack_timeout: Duration::from_micros(200),
+                max_retries: 2,
+                backoff_cap: Duration::from_millis(1),
+            });
+        let results = run_ranks_faulted(2, &plan, |ctx| {
+            if ctx.rank == 0 {
+                ctx.send(1, 7, vec![1.0]).unwrap();
+                // Keep pumping until the abandon fires.
+                let r = ctx.recv_timeout(1, 8, Duration::from_secs(5));
+                assert!(r.is_ok(), "{r:?}");
+                ctx.stats().gave_up
+            } else {
+                let r = ctx.recv_timeout(0, 7, Duration::from_secs(5));
+                assert_eq!(r, Err(CommError::Abandoned { from: 0, tag: 7 }));
+                ctx.send(0, 8, vec![]).unwrap();
+                0
+            }
+        });
+        assert_eq!(results[0], 1);
+    }
+
+    #[test]
+    fn duplicates_are_discarded_exactly_once_delivery() {
+        let plan = FaultPlan::seeded(5)
+            .with_dup(1.0)
+            .with_retry(RetryPolicy::unbounded());
+        let results = run_ranks_faulted(2, &plan, |ctx| {
+            if ctx.rank == 0 {
+                for i in 0..10 {
+                    ctx.send(1, i, vec![i as f64]).unwrap();
+                }
+                ctx.recv(1, 99).unwrap();
+                0
+            } else {
+                for i in 0..10 {
+                    let d = ctx.recv(0, i).unwrap();
+                    assert_eq!(d, vec![i as f64]);
+                }
+                // Nothing extra buffered: every duplicate was discarded.
+                assert!(ctx.recv_timeout(0, 0, Duration::from_millis(5)).is_err());
+                let dups = ctx.stats().dup_discarded;
+                ctx.send(0, 99, vec![]).unwrap();
+                dups as i32
+            }
+        });
+        assert!(results[1] > 0, "dup filter never engaged: {}", results[1]);
+    }
+
+    #[test]
+    fn delayed_frames_arrive_reordered_but_complete() {
+        let plan = FaultPlan::seeded(17)
+            .with_delay(0.5, 3)
+            .with_retry(RetryPolicy::unbounded());
+        let results = run_ranks_faulted(2, &plan, |ctx| {
+            if ctx.rank == 0 {
+                for i in 0..30 {
+                    ctx.send(1, i, vec![i as f64]).unwrap();
+                }
+                ctx.recv(1, 999).unwrap();
+                0
+            } else {
+                // Receive in tag order regardless of arrival order.
+                for i in 0..30 {
+                    assert_eq!(ctx.recv(0, i).unwrap(), vec![i as f64]);
+                }
+                let delayed = ctx.stats().delayed;
+                ctx.send(0, 999, vec![]).unwrap();
+                delayed as i32
+            }
+        });
+        assert!(results[1] > 0, "delay filter never engaged");
+    }
+
+    #[test]
+    fn quorum_gather_proceeds_without_silent_rank() {
+        // Rank 2 never contributes; the root should time out on it and
+        // proceed at quorum 2/3.
+        let results = run_ranks(3, |ctx| {
+            if ctx.rank == 2 {
+                // Silent: contributes nothing to tag 1.
+                return None;
+            }
+            let live = vec![true; 3];
+            let out = ctx
+                .gather_quorum(
+                    0,
+                    1,
+                    vec![ctx.rank as f64],
+                    &live,
+                    0.6,
+                    Duration::from_millis(50),
+                )
+                .unwrap();
+            out.map(|q| (q.slices, q.timed_out))
+        });
+        let (slices, timed_out) = results[0].clone().unwrap();
+        assert_eq!(slices[0], Some(vec![0.0]));
+        assert_eq!(slices[1], Some(vec![1.0]));
+        assert_eq!(slices[2], None);
+        assert_eq!(timed_out, vec![2]);
+    }
+
+    #[test]
+    fn quorum_gather_fails_below_threshold() {
+        let results = run_ranks(3, |ctx| {
+            if ctx.rank != 0 {
+                return None;
+            }
+            let live = vec![true; 3];
+            Some(ctx.gather_quorum(0, 1, vec![0.0], &live, 1.0, Duration::from_millis(30)))
+        });
+        match results[0].as_ref().unwrap() {
+            Err(CommError::QuorumLost { have, need, tag }) => {
+                assert_eq!((*have, *need, *tag), (1, 3, 1));
+            }
+            other => panic!("expected QuorumLost, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nack_marks_contribution_as_declined() {
+        let results = run_ranks(3, |ctx| {
+            let live = vec![true; 3];
+            if ctx.rank == 2 {
+                ctx.send_nack(0, 1).unwrap();
+                return None;
+            }
+            ctx.gather_quorum(
+                0,
+                1,
+                vec![ctx.rank as f64],
+                &live,
+                0.5,
+                Duration::from_secs(5),
+            )
+            .unwrap()
+        });
+        let q = results[0].as_ref().unwrap();
+        assert_eq!(q.nacked, vec![2]);
+        assert!(q.timed_out.is_empty());
+        assert_eq!(q.slices[1], Some(vec![1.0]));
+    }
+
+    #[test]
+    fn seeded_plan_delivers_identical_message_sets() {
+        let run = || {
+            let plan = FaultPlan::seeded(77)
+                .with_drop(0.3)
+                .with_dup(0.3)
+                .with_delay(0.3, 2)
+                .with_retry(RetryPolicy::unbounded());
+            run_ranks_faulted(3, &plan, |ctx| {
+                if ctx.rank == 0 {
+                    let mut out = Vec::new();
+                    for t in 0..15 {
+                        let g = ctx.gather(0, t, vec![0.0]).unwrap().unwrap();
+                        out.extend(g.into_iter().flatten());
+                    }
+                    out
+                } else {
+                    for t in 0..15 {
+                        ctx.gather(0, t, vec![ctx.rank as f64 + t as f64]).unwrap();
+                    }
+                    vec![]
+                }
+            })
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a[0], b[0], "same seed must gather identical data");
     }
 }

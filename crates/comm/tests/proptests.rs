@@ -1,10 +1,33 @@
 //! Property tests for the communication cost model, the compression
-//! schemes, and the rank runtime.
+//! schemes, and the rank runtime — including exactly-once delivery of
+//! the collectives under arbitrary seeded fault plans.
 
-use comm_sim::{run_ranks, CommModel, Compression};
+use comm_sim::{run_ranks, run_ranks_faulted, CommModel, Compression, FaultPlan, RetryPolicy};
 use proptest::prelude::*;
 
+/// An arbitrary crash-free fault plan: every link suffers seeded drops,
+/// duplicates, and bounded delays, with unbounded retransmission so no
+/// message is ever abandoned.
+fn lossy_plan() -> impl Strategy<Value = FaultPlan> {
+    (
+        0u64..1_000_000,
+        0.0f64..0.4,
+        0.0f64..0.5,
+        0.0f64..0.5,
+        1usize..4,
+    )
+        .prop_map(|(seed, drop, dup, delay, max_delay)| {
+            FaultPlan::seeded(seed)
+                .with_drop(drop)
+                .with_dup(dup)
+                .with_delay(delay, max_delay)
+                .with_retry(RetryPolicy::unbounded())
+        })
+}
+
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
     #[test]
     fn message_time_monotone_in_bytes(a in 0usize..10_000_000, b in 0usize..10_000_000) {
         let m = CommModel::cpu_cluster();
@@ -66,19 +89,113 @@ proptest! {
     fn ring_pass_accumulates(n in 2usize..6, seed in 0f64..100.0) {
         // Each rank adds its id and forwards; the value returning to rank
         // 0 equals seed + Σ ids — exercises the runtime under proptest.
-        let results = run_ranks(n, |mut ctx| {
+        let results = run_ranks(n, |ctx| {
             if ctx.rank == 0 {
-                ctx.send(1 % n, 1, vec![seed]);
-                let v = ctx.recv(n - 1, 1);
+                ctx.send(1 % n, 1, vec![seed]).unwrap();
+                let v = ctx.recv(n - 1, 1).unwrap();
                 v[0]
             } else {
-                let v = ctx.recv(ctx.rank - 1, 1);
+                let v = ctx.recv(ctx.rank - 1, 1).unwrap();
                 let next = (ctx.rank + 1) % n;
-                ctx.send(next, 1, vec![v[0] + ctx.rank as f64]);
+                ctx.send(next, 1, vec![v[0] + ctx.rank as f64]).unwrap();
                 0.0
             }
         });
         let expect = seed + (1..n).map(|r| r as f64).sum::<f64>();
         prop_assert!((results[0] - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn faulted_stream_is_exactly_once_in_tag_order(
+        plan in lossy_plan(),
+        k in 1usize..12,
+    ) {
+        // Rank 0 streams k tagged messages to rank 1 through a lossy,
+        // duplicating, reordering link; rank 1 must see each payload
+        // exactly once, in tag order.
+        let results = run_ranks_faulted(2, &plan, |ctx| {
+            if ctx.rank == 0 {
+                for t in 0..k as u64 {
+                    ctx.send(1, t, vec![t as f64]).unwrap();
+                }
+                Vec::new()
+            } else {
+                (0..k as u64)
+                    .map(|t| ctx.recv(0, t).unwrap()[0])
+                    .collect::<Vec<f64>>()
+            }
+        });
+        let expect: Vec<f64> = (0..k).map(|t| t as f64).collect();
+        prop_assert_eq!(&results[1], &expect);
+    }
+
+    #[test]
+    fn faulted_collectives_deliver_exactly_once(
+        plan in lossy_plan(),
+        n in 2usize..5,
+        rounds in 1usize..4,
+    ) {
+        // gather → broadcast → barrier repeated over increasing tag
+        // epochs: every logical message must arrive exactly once with
+        // the contents of its own round, despite drops/dups/delays.
+        let ok = run_ranks_faulted(n, &plan, |ctx| {
+            for r in 0..rounds as u64 {
+                let mine = vec![ctx.rank as f64 * 1000.0 + r as f64];
+                let got = ctx.gather(0, r * 3, mine).unwrap();
+                if ctx.rank == 0 {
+                    let slices = got.expect("root sees all slices");
+                    for (s, slice) in slices.iter().enumerate() {
+                        assert_eq!(slice, &[s as f64 * 1000.0 + r as f64]);
+                    }
+                }
+                let x = ctx.broadcast(0, r * 3 + 1, vec![r as f64 + 0.5]).unwrap();
+                assert_eq!(x, vec![r as f64 + 0.5]);
+                ctx.barrier(r * 3 + 2).unwrap();
+            }
+            true
+        });
+        prop_assert!(ok.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn same_plan_same_delivery_outcome(
+        seed in 0u64..1_000_000,
+        drop in 0.0f64..0.7,
+        blackhole in 0.0f64..0.4,
+        retries in 0u32..3,
+        k in 1usize..8,
+    ) {
+        // Which messages get through is a pure function of the plan
+        // seed: under *bounded* retries a message is delivered iff one
+        // of its `1 + max_retries` attempts rolls clean, every roll is
+        // keyed on `(seed, link, seq, attempt)`, and the ack/nack
+        // control plane is never fault-filtered. Two runs must
+        // therefore agree on the delivered-vs-abandoned outcome of
+        // every tag. (Attempt-level counters such as `dropped` are
+        // deliberately NOT compared: how many retransmissions fire
+        // before an acknowledgement lands depends on scheduling, not
+        // on the seed.)
+        let plan = FaultPlan::seeded(seed)
+            .with_drop(drop)
+            .with_blackhole(blackhole)
+            .with_retry(RetryPolicy {
+                max_retries: retries,
+                ..RetryPolicy::default()
+            });
+        let run = || {
+            run_ranks_faulted(2, &plan, |ctx| {
+                if ctx.rank == 0 {
+                    for t in 0..k as u64 {
+                        ctx.send(1, t, vec![t as f64]).unwrap();
+                    }
+                    Vec::new()
+                } else {
+                    (0..k as u64)
+                        .map(|t| ctx.recv(0, t).is_ok())
+                        .collect::<Vec<bool>>()
+                }
+            })
+        };
+        prop_assert_eq!(run(), run());
     }
 }

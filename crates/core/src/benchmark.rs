@@ -190,9 +190,7 @@ impl<'a> BenchmarkAdmm<'a> {
                     );
                 };
                 match &pool {
-                    Some(p) => p.install(|| {
-                        slices.par_iter_mut().enumerate().for_each(dual_body)
-                    }),
+                    Some(p) => p.install(|| slices.par_iter_mut().enumerate().for_each(dual_body)),
                     None => slices.iter_mut().enumerate().for_each(dual_body),
                 }
             }

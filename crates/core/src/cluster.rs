@@ -158,8 +158,17 @@ impl SolverFreeAdmm<'_> {
                 RankKind::Cpu => {
                     let t0 = Instant::now();
                     updates::global_update_range(
-                        0..dec.n, rho, true, &dec.c, &dec.lower, &dec.upper,
-                        &pre.copies_ptr, &pre.copies_idx, &z, &lambda, &mut x,
+                        0..dec.n,
+                        rho,
+                        true,
+                        &dec.c,
+                        &dec.lower,
+                        &dec.upper,
+                        &pre.copies_ptr,
+                        &pre.copies_idx,
+                        &z,
+                        &lambda,
+                        &mut x,
                     );
                     if it >= warmup {
                         global_ts.push(t0.elapsed().as_secs_f64());
@@ -170,8 +179,14 @@ impl SolverFreeAdmm<'_> {
                     threads_per_block,
                 } => {
                     let k = GlobalKernel {
-                        pre, c: &dec.c, lower: &dec.lower, upper: &dec.upper,
-                        z: &z, lambda: &lambda, rho, clip: true,
+                        pre,
+                        c: &dec.c,
+                        lower: &dec.lower,
+                        upper: &dec.upper,
+                        z: &z,
+                        lambda: &lambda,
+                        rho,
+                        clip: true,
                     };
                     let mut dev = gpu_sim::Device::with_props(props);
                     let t = dev.launch(&k, threads_per_block, &mut x).secs();
@@ -205,7 +220,11 @@ impl SolverFreeAdmm<'_> {
                             let (_, b) = lambda.split_at_mut(r.start);
                             let ls = &mut b[..r.len()];
                             updates::dual_update_component(
-                                &pre.stacked_to_global[r.clone()], rho, &x, &z[r], ls,
+                                &pre.stacked_to_global[r.clone()],
+                                rho,
+                                &x,
+                                &z[r],
+                                ls,
                             );
                         }
                         max_dual = max_dual.max(t0.elapsed().as_secs_f64());
@@ -217,7 +236,12 @@ impl SolverFreeAdmm<'_> {
                 } => {
                     // Each rank launches its slice of blocks on its GPU;
                     // time is the slowest device.
-                    let lk = LocalKernel { pre, x: &x, lambda: &lambda, rho };
+                    let lk = LocalKernel {
+                        pre,
+                        x: &x,
+                        lambda: &lambda,
+                        rho,
+                    };
                     let mut rank_times = Vec::with_capacity(parts.len());
                     {
                         // Execute slices sequentially but cost per rank.
@@ -235,7 +259,12 @@ impl SolverFreeAdmm<'_> {
                         }
                     }
                     max_local = rank_times.iter().cloned().fold(0.0, f64::max);
-                    let dk = DualKernel { pre, x: &x, z: &z, rho };
+                    let dk = DualKernel {
+                        pre,
+                        x: &x,
+                        z: &z,
+                        rho,
+                    };
                     let mut dual_times = Vec::with_capacity(parts.len());
                     for part in &parts {
                         let slice = KernelSlice {
@@ -311,8 +340,17 @@ impl BenchmarkAdmm<'_> {
         for it in 0..iters + warmup {
             let t0 = Instant::now();
             updates::global_update_range(
-                0..dec.n, rho, false, &dec.c, &dec.lower, &dec.upper,
-                &pre.copies_ptr, &pre.copies_idx, &z, &lambda, &mut x,
+                0..dec.n,
+                rho,
+                false,
+                &dec.c,
+                &dec.lower,
+                &dec.upper,
+                &pre.copies_ptr,
+                &pre.copies_idx,
+                &z,
+                &lambda,
+                &mut x,
             );
             if it >= warmup {
                 global_ts.push(t0.elapsed().as_secs_f64());
@@ -330,7 +368,8 @@ impl BenchmarkAdmm<'_> {
                         .zip(&lambda[r.clone()])
                         .map(|(&g, &l)| x[g] + l / rho)
                         .collect();
-                    let proj = self.projector(s)
+                    let proj = self
+                        .projector(s)
                         .project(&target, Some(&warm[s]), qp_opts)
                         .unwrap_or_else(|e| panic!("component {s} QP failed: {e}"));
                     z[r].copy_from_slice(&proj.x);
@@ -350,7 +389,11 @@ impl BenchmarkAdmm<'_> {
                     let (_, b) = lambda.split_at_mut(r.start);
                     let ls = &mut b[..r.len()];
                     updates::dual_update_component(
-                        &pre.stacked_to_global[r.clone()], rho, &x, &z[r], ls,
+                        &pre.stacked_to_global[r.clone()],
+                        rho,
+                        &x,
+                        &z[r],
+                        ls,
                     );
                 }
                 max_dual = max_dual.max(t0.elapsed().as_secs_f64());

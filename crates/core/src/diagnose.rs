@@ -101,7 +101,8 @@ pub fn worst_components(
 
 /// Render a short human report of the worst offenders.
 pub fn gap_report(gaps: &[ComponentGap]) -> String {
-    let mut out = String::from("largest consensus gaps (component: ‖B_s x − x_s‖, worst variable):\n");
+    let mut out =
+        String::from("largest consensus gaps (component: ‖B_s x − x_s‖, worst variable):\n");
     for g in gaps {
         out += &format!(
             "  {:<28} gap {:.3e}   worst: {} ({:.3e})\n",

@@ -1,20 +1,163 @@
 //! Genuinely distributed execution of Algorithm 1 over the message-passing
-//! runtime — the operator/agents protocol of §III-A.
+//! runtime — the operator/agents protocol of §III-A, fault-tolerant.
 //!
 //! Rank 0 plays the system operator (global update + termination test);
 //! every rank owns a contiguous partition of components and performs their
 //! local and dual updates. Per iteration the operator broadcasts
 //! `x^{(t+1)}` and gathers each rank's `x_s^{(t+1)}, λ_s^{(t+1)}` — the
-//! exact message pattern of §IV-E. The math is identical to the
-//! single-process solver, which the tests assert.
+//! exact message pattern of §IV-E. Over perfect links the math is
+//! identical to the single-process solver, which the tests assert.
+//!
+//! With a [`FaultPlan`], the protocol degrades instead of failing:
+//!
+//! * the operator's gather is a **quorum-based partial barrier** — it
+//!   proceeds once every live rank is accounted for (fresh slice or an
+//!   explicit decline) or, past `rank_timeout`, once at least
+//!   `⌈quorum_frac · n⌉` fresh contributions are in, reusing the stale
+//!   `x_s, λ_s` of missing ranks (the convergent intermittent-activation
+//!   form validated in [`crate::nonideal`]);
+//! * a rank silent for `suspect_rounds` consecutive gathers is declared
+//!   **dead**; the operator adopts its component partition and computes it
+//!   from the last gathered state — the in-memory checkpoint — from then
+//!   on (optionally also persisting CLI-compatible checkpoint files);
+//! * termination adds the λ-drift guard of [`crate::nonideal`], so stale
+//!   duals cannot fake convergence;
+//! * everything observed (stale rounds, timeouts, deaths, adoption,
+//!   transport counters) lands in a [`DegradationReport`] on the result,
+//!   and no code path panics on link failure.
 
 use crate::cluster::partition_components;
 use crate::precompute::Precomputed;
 use crate::solver::SolverFreeAdmm;
 use crate::types::AdmmOptions;
 use crate::updates::{self, Residuals};
-use comm_sim::{run_ranks, Compression};
+use comm_sim::{run_ranks_faulted, CommStats, Compression, FaultPlan};
 use opf_linalg::vec_ops;
+use std::ops::Range;
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Patience of blocking collectives when no faults are injected (a
+/// liveness backstop, not a protocol timeout).
+const IDEAL_PATIENCE: Duration = Duration::from_secs(30);
+
+/// Distribution-specific knobs (the ADMM math itself is configured by
+/// [`AdmmOptions`]).
+#[derive(Debug, Clone)]
+pub struct DistributedOptions {
+    /// Worker count (threads + channels).
+    pub n_ranks: usize,
+    /// Lossy compression applied to every exchanged payload.
+    pub compression: Compression,
+    /// Fault-injection plan (inactive by default).
+    pub faults: FaultPlan,
+    /// Fraction of ranks whose fresh contribution the partial barrier
+    /// requires before proceeding past `rank_timeout` (1.0 = full
+    /// barrier).
+    pub quorum_frac: f64,
+    /// How long the operator waits on a gather before proceeding with
+    /// whatever quorum it has (only under an active fault plan).
+    pub rank_timeout: Duration,
+    /// Consecutive silent gathers before a rank is declared dead and its
+    /// partition adopted by the operator.
+    pub suspect_rounds: usize,
+    /// Optional periodic checkpointing of the operator state.
+    pub checkpoint: Option<CheckpointSpec>,
+}
+
+impl Default for DistributedOptions {
+    fn default() -> Self {
+        DistributedOptions {
+            n_ranks: 1,
+            compression: Compression::None,
+            faults: FaultPlan::none(),
+            quorum_frac: 1.0,
+            rank_timeout: Duration::from_millis(250),
+            suspect_rounds: 3,
+            checkpoint: None,
+        }
+    }
+}
+
+impl DistributedOptions {
+    /// Options for `n_ranks` perfect-link workers.
+    pub fn ranks(n_ranks: usize) -> Self {
+        DistributedOptions {
+            n_ranks,
+            ..DistributedOptions::default()
+        }
+    }
+}
+
+/// Periodic operator-state checkpointing, in the CLI's warm-start JSON
+/// format (`{"instance", "x", "z", "lambda"}`), so an interrupted
+/// distributed run can be resumed with `--resume`.
+#[derive(Debug, Clone)]
+pub struct CheckpointSpec {
+    /// Destination file (overwritten in place).
+    pub path: PathBuf,
+    /// Instance name recorded in the file (checked on resume).
+    pub instance: String,
+    /// Write every `every` iterations; a final checkpoint is always
+    /// written when the run ends (0 = final state only).
+    pub every: usize,
+}
+
+/// How a rank left the protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RankExit {
+    /// Ran the protocol to its end.
+    Completed,
+    /// Died at the scheduled iteration of the fault plan.
+    Crashed {
+        /// Iteration of death (1-based).
+        iter: usize,
+    },
+    /// Lost contact with the operator (timed-out or abandoned broadcast)
+    /// and shut itself down.
+    Detached {
+        /// Iteration at which contact was lost.
+        iter: usize,
+    },
+}
+
+/// Everything the run observed about its own degradation.
+#[derive(Debug, Clone, Default)]
+pub struct DegradationReport {
+    /// Per-rank iterations the operator reused stale `x_s, λ_s` instead
+    /// of a fresh contribution.
+    pub stale_iterations: Vec<u64>,
+    /// Per-rank gathers that ran into the partial-barrier deadline.
+    pub gather_timeouts: Vec<u64>,
+    /// Ranks declared dead (in order of declaration).
+    pub dead_ranks: Vec<usize>,
+    /// Components adopted by the operator from dead ranks.
+    pub adopted_components: usize,
+    /// Iterations that proceeded with at least one missing contribution.
+    pub quorum_rounds: u64,
+    /// Checkpoint files written.
+    pub checkpoints_written: u64,
+    /// Per-rank exit modes.
+    pub rank_exits: Vec<RankExit>,
+    /// Transport counters summed over all ranks.
+    pub comm: CommStats,
+    /// Set when the operator had to stop early (e.g. quorum lost); the
+    /// result then carries the best iterate reached.
+    pub fatal: Option<String>,
+}
+
+impl DegradationReport {
+    /// Whether the run degraded at all (any stale round, timeout, death,
+    /// retransmission, or early stop).
+    pub fn is_degraded(&self) -> bool {
+        self.quorum_rounds > 0
+            || !self.dead_ranks.is_empty()
+            || self.fatal.is_some()
+            || self.stale_iterations.iter().any(|&s| s > 0)
+            || self.comm.retransmits > 0
+            || self.comm.gave_up > 0
+    }
+}
 
 /// Outcome of a distributed solve (reported by the operator rank).
 #[derive(Debug, Clone)]
@@ -29,125 +172,573 @@ pub struct DistributedResult {
     pub converged: bool,
     /// Final residuals.
     pub residuals: Residuals,
+    /// What the run observed about faults and recovery.
+    pub degradation: DegradationReport,
+}
+
+/// Local + dual updates for one contiguous component partition (the
+/// per-agent work of Algorithm 1).
+fn update_part(
+    part: &Range<usize>,
+    pre: &Precomputed,
+    rho: f64,
+    x: &[f64],
+    z: &mut [f64],
+    lambda: &mut [f64],
+) {
+    for s in part.clone() {
+        let r = pre.range(s);
+        let (_, tail) = z.split_at_mut(r.start);
+        let zs = &mut tail[..r.len()];
+        updates::local_update_component(s, pre, rho, x, &lambda[r.clone()], zs);
+        let (_, ltail) = lambda.split_at_mut(r.start);
+        let ls = &mut ltail[..r.len()];
+        updates::dual_update_component(&pre.stacked_to_global[r.clone()], rho, x, &z[r], ls);
+    }
+}
+
+/// The z-update alone. Difference mode interleaves quantization between
+/// the local and dual steps, so the two halves of [`update_part`] are
+/// also needed separately.
+fn local_part(
+    part: &Range<usize>,
+    pre: &Precomputed,
+    rho: f64,
+    x: &[f64],
+    z: &mut [f64],
+    lambda: &[f64],
+) {
+    for s in part.clone() {
+        let r = pre.range(s);
+        let (_, tail) = z.split_at_mut(r.start);
+        let zs = &mut tail[..r.len()];
+        updates::local_update_component(s, pre, rho, x, &lambda[r.clone()], zs);
+    }
+}
+
+/// The dual update alone (see [`local_part`]).
+fn dual_part(
+    part: &Range<usize>,
+    pre: &Precomputed,
+    rho: f64,
+    x: &[f64],
+    z: &[f64],
+    lambda: &mut [f64],
+) {
+    for s in part.clone() {
+        let r = pre.range(s);
+        let (_, ltail) = lambda.split_at_mut(r.start);
+        let ls = &mut ltail[..r.len()];
+        updates::dual_update_component(&pre.stacked_to_global[r.clone()], rho, x, &z[r], ls);
+    }
+}
+
+/// Error-feedback compression: what goes on the wire is
+/// `C(v + carry)`, and the quantization error `v + carry − C(v + carry)`
+/// is remembered in `carry` for the next message. Keeps lossy schemes
+/// (notably top-k sparsification, which would otherwise zero the same
+/// small coordinates forever and stall) convergent; exact no-op for
+/// [`Compression::None`].
+fn compress_ef(compression: Compression, v: &mut [f64], carry: &mut [f64]) {
+    if matches!(compression, Compression::None) {
+        return;
+    }
+    for (vi, ci) in v.iter_mut().zip(carry.iter()) {
+        *vi += ci;
+    }
+    let intended: Vec<f64> = v.to_vec();
+    compression.apply(v);
+    for ((ci, vi), want) in carry.iter_mut().zip(v.iter()).zip(&intended) {
+        *ci = want - vi;
+    }
+}
+
+/// The gather payload of one partition: `z` slice then `λ` slice.
+fn pack_part(lo: usize, hi: usize, z: &[f64], lambda: &[f64]) -> Vec<f64> {
+    z[lo..hi].iter().chain(&lambda[lo..hi]).copied().collect()
+}
+
+/// Write a payload back into the stacked vectors.
+fn unpack_part(lo: usize, hi: usize, data: &[f64], z: &mut [f64], lambda: &mut [f64]) {
+    let d = hi - lo;
+    z[lo..hi].copy_from_slice(&data[..d]);
+    lambda[lo..hi].copy_from_slice(&data[d..]);
+}
+
+/// Accumulate a difference-compression z payload into the stacked vector.
+fn apply_delta(lo: usize, hi: usize, data: &[f64], z: &mut [f64]) {
+    for (zi, di) in z[lo..hi].iter_mut().zip(data) {
+        *zi += di;
+    }
+}
+
+/// Serialize the operator state in the CLI's warm-start JSON format.
+fn checkpoint_json(instance: &str, x: &[f64], z: &[f64], lambda: &[f64]) -> String {
+    fn arr(v: &[f64]) -> String {
+        let mut s = String::with_capacity(v.len() * 20 + 2);
+        s.push('[');
+        for (i, val) in v.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            // `{:?}` prints the shortest round-trip decimal, which is
+            // valid JSON for finite values.
+            s.push_str(&format!("{val:?}"));
+        }
+        s.push(']');
+        s
+    }
+    format!(
+        "{{\"instance\":\"{}\",\"x\":{},\"z\":{},\"lambda\":{}}}\n",
+        instance,
+        arr(x),
+        arr(z),
+        arr(lambda)
+    )
+}
+
+/// What each rank body hands back to the driver.
+struct RankReturn {
+    op: Option<OperatorCore>,
+    stats: CommStats,
+    exit: RankExit,
+}
+
+/// The operator's share of the final result (merged with per-rank data
+/// after the join).
+struct OperatorCore {
+    x: Vec<f64>,
+    iterations: usize,
+    converged: bool,
+    residuals: Residuals,
+    report: DegradationReport,
 }
 
 impl SolverFreeAdmm<'_> {
-    /// Solve with `n_ranks` communicating workers (threads + channels).
+    /// Solve with `n_ranks` communicating workers (threads + channels)
+    /// over perfect links.
     ///
     /// # Panics
-    /// Panics if `n_ranks == 0` or any rank panics.
+    /// Panics if `n_ranks == 0`.
     pub fn solve_distributed(&self, opts: &AdmmOptions, n_ranks: usize) -> DistributedResult {
-        self.solve_distributed_compressed(opts, n_ranks, Compression::None)
+        self.solve_distributed_opts(opts, &DistributedOptions::ranks(n_ranks))
     }
 
-    /// Distributed solve with lossy message compression \[37\] applied to
-    /// every exchanged payload (the broadcast `x` and the gathered
-    /// `x_s`/`λ_s` slices) — the communication-burden mitigation the
-    /// paper's conclusion points to.
+    /// Distributed solve with lossy message compression \[37\] — the
+    /// communication-burden mitigation the paper's conclusion points to.
+    ///
+    /// On fault-free links this uses *difference* compression: each wire
+    /// carries `C(state − mirror)` against a mirror both ends advance
+    /// identically, so the quantization error contracts with the iterate
+    /// deltas instead of the iterates themselves (the EF21 idea). Only
+    /// the broadcast `x` and the gathered `z` slices cross the wire; the
+    /// duals `λ` are *shared state* — both ends integrate them from the
+    /// same quantized iterates, which keeps the operator and agents on a
+    /// single bitwise-identical dual sequence. Under an active fault
+    /// plan (where quorum-skipped deltas would desynchronize mirrors)
+    /// it falls back to compressing absolute values.
     ///
     /// # Panics
-    /// Panics if `n_ranks == 0` or any rank panics.
+    /// Panics if `n_ranks == 0`.
     pub fn solve_distributed_compressed(
         &self,
         opts: &AdmmOptions,
         n_ranks: usize,
         compression: Compression,
     ) -> DistributedResult {
+        self.solve_distributed_opts(
+            opts,
+            &DistributedOptions {
+                n_ranks,
+                compression,
+                ..DistributedOptions::default()
+            },
+        )
+    }
+
+    /// Fully configurable distributed solve: compression, fault plan,
+    /// quorum barrier, crash recovery, checkpointing.
+    ///
+    /// # Panics
+    /// Panics if `dopts.n_ranks == 0`.
+    pub fn solve_distributed_opts(
+        &self,
+        opts: &AdmmOptions,
+        dopts: &DistributedOptions,
+    ) -> DistributedResult {
+        let state = self.initial_state();
+        self.solve_distributed_from(opts, dopts, state)
+    }
+
+    /// Distributed solve warm-started from `(x, z, λ)` — e.g. a
+    /// checkpoint written by a previous (possibly interrupted) run.
+    ///
+    /// # Panics
+    /// Panics if `dopts.n_ranks == 0`.
+    pub fn solve_distributed_from(
+        &self,
+        opts: &AdmmOptions,
+        dopts: &DistributedOptions,
+        state: (Vec<f64>, Vec<f64>, Vec<f64>),
+    ) -> DistributedResult {
         let dec = self.problem();
         let pre: &Precomputed = self.precomputed();
+        let n_ranks = dopts.n_ranks;
         let parts = partition_components(dec.s(), n_ranks);
         let rho = opts.rho;
+        let plan = &dopts.faults;
+        let active = plan.is_active();
+        let compression = dopts.compression;
+        // Agents must outwait the operator's worst-case stall (a full
+        // suspicion window) before concluding the operator is gone.
+        let patience = if active {
+            dopts.rank_timeout * (dopts.suspect_rounds as u32 + 2) + Duration::from_secs(2)
+        } else {
+            IDEAL_PATIENCE
+        };
+        let gather_timeout = if active {
+            dopts.rank_timeout
+        } else {
+            IDEAL_PATIENCE
+        };
 
-        let mut results = run_ranks(n_ranks, |mut ctx| {
+        let mut returns = run_ranks_faulted(n_ranks, plan, |ctx| {
             let me = ctx.rank;
             let part = parts[me].clone();
             let lo = pre.offsets[part.start];
             let hi = pre.offsets[part.end];
 
             // Operator state (rank 0): full x and stacked z, λ; workers
-            // keep only their slices.
-            let (mut x, mut z, mut lambda) = self.initial_state();
+            // keep only their slices up to date.
+            let (mut x, mut z, mut lambda) = state.clone();
             let mut z_prev = z.clone();
+            let mut lambda_prev = lambda.clone();
             let mut final_res = Residuals::default();
             let mut converged = false;
             let mut iterations = 0;
+            let mut exit = RankExit::Completed;
 
-            for t in 1..=opts.max_iters {
+            let mut report = DegradationReport {
+                stale_iterations: vec![0; ctx.n],
+                gather_timeouts: vec![0; ctx.n],
+                ..DegradationReport::default()
+            };
+            let mut live = vec![true; ctx.n];
+            let mut suspect = vec![0usize; ctx.n];
+            let mut adopted: Vec<Range<usize>> = Vec::new();
+
+            // Lossy compression runs in one of two modes:
+            //
+            // * **difference mode** (perfect links): each message carries
+            //   `C(state − mirror)` and both ends accumulate it into the
+            //   mirror (EF21-style), so the compression error scales with
+            //   the *step* and vanishes as the iterates settle. Only `x`
+            //   and `z` ever cross a wire: both ends self-apply the
+            //   quantization and then integrate λ from the *shared*
+            //   quantized iterates, keeping a single bitwise-identical
+            //   dual sequence. (Compressing λ itself lets the operator's
+            //   and the agents' duals drift apart, and the dual update
+            //   integrates that gap without bound.)
+            // * **absolute mode with error feedback** (active fault
+            //   plan): deltas are not safe to skip — a quorum round that
+            //   proceeds without a slice would desynchronize the mirrors
+            //   — so each message carries the full compressed state plus
+            //   the carried quantization error of previous rounds.
+            let delta_mode = !matches!(compression, Compression::None) && !active;
+            let mut x_sync = x.clone();
+            let mut up_sync = z[lo..hi].to_vec();
+            let mut x_carry = vec![0.0; x.len()];
+            let mut up_carry = vec![0.0; 2 * (hi - lo)];
+            let mut adopted_carry: Vec<Vec<f64>> = Vec::new();
+
+            'iters: for t in 1..=opts.max_iters {
                 iterations = t;
-                // --- Operator: global update + broadcast. ---
-                if me == 0 {
+                let tag = t as u64 * 4;
+
+                // --- Operator: global update + broadcast x. ---
+                let outgoing = if me == 0 {
                     updates::global_update_range(
-                        0..dec.n, rho, true, &dec.c, &dec.lower, &dec.upper,
-                        &pre.copies_ptr, &pre.copies_idx, &z, &lambda, &mut x,
+                        0..dec.n,
+                        rho,
+                        true,
+                        &dec.c,
+                        &dec.lower,
+                        &dec.upper,
+                        &pre.copies_ptr,
+                        &pre.copies_idx,
+                        &z,
+                        &lambda,
+                        &mut x,
                     );
+                    if delta_mode {
+                        let mut c: Vec<f64> = x.iter().zip(&x_sync).map(|(a, b)| a - b).collect();
+                        compression.apply(&mut c);
+                        c
+                    } else {
+                        compress_ef(compression, &mut x, &mut x_carry);
+                        std::mem::take(&mut x)
+                    }
+                } else {
+                    Vec::new()
+                };
+                match ctx.broadcast_live(0, tag, outgoing, &live, patience) {
+                    Ok(v) => {
+                        if delta_mode {
+                            for (s, ci) in x_sync.iter_mut().zip(&v) {
+                                *s += ci;
+                            }
+                            x.copy_from_slice(&x_sync);
+                        } else {
+                            x = v;
+                        }
+                    }
+                    Err(e) => {
+                        if me == 0 {
+                            report.fatal = Some(e.to_string());
+                        } else {
+                            exit = RankExit::Detached { iter: t };
+                        }
+                        break 'iters;
+                    }
                 }
-                if me == 0 {
-                    compression.apply(&mut x);
+
+                // A scheduled crash hits after the download, before the
+                // upload — the worst spot for the operator.
+                if me != 0 && plan.crash_iter(me) == Some(t) {
+                    exit = RankExit::Crashed { iter: t };
+                    break 'iters;
                 }
-                x = ctx.broadcast(0, t as u64 * 4, std::mem::take(&mut x));
 
                 // --- Agents: local + dual updates on their slice. ---
                 if me == 0 {
                     z_prev.copy_from_slice(&z);
                 }
-                for s in part.clone() {
-                    let r = pre.range(s);
-                    let (_, tail) = z.split_at_mut(r.start);
-                    let zs = &mut tail[..r.len()];
-                    updates::local_update_component(s, pre, rho, &x, &lambda[r.clone()], zs);
-                    let (_, ltail) = lambda.split_at_mut(r.start);
-                    let ls = &mut ltail[..r.len()];
-                    updates::dual_update_component(
-                        &pre.stacked_to_global[r.clone()], rho, &x, &z[r], ls,
-                    );
+                let sitting_out = me != 0 && plan.sits_out(me, t);
+                if sitting_out {
+                    // Intermittent activation: skip the round, tell the
+                    // operator to reuse the stale slice.
+                    let _ = ctx.send_nack(0, tag + 1);
+                } else if delta_mode {
+                    // z-update only; the dual update runs after both ends
+                    // have agreed on the quantized z.
+                    local_part(&part, pre, rho, &x, &mut z, &lambda);
+                } else {
+                    update_part(&part, pre, rho, &x, &mut z, &mut lambda);
                 }
 
-                // --- Gather slices at the operator. ---
-                let mut payload: Vec<f64> = z[lo..hi]
-                    .iter()
-                    .chain(&lambda[lo..hi])
-                    .copied()
-                    .collect();
-                compression.apply(&mut payload);
-                let gathered = ctx.gather(0, t as u64 * 4 + 1, payload);
-                let mut stop = 0.0;
+                // --- Gather slices at the operator (partial barrier). ---
                 if me == 0 {
-                    let gathered = gathered.expect("operator receives the gather");
-                    for (r, data) in gathered.iter().enumerate() {
-                        let rlo = pre.offsets[parts[r].start];
-                        let rhi = pre.offsets[parts[r].end];
-                        let d = rhi - rlo;
-                        z[rlo..rhi].copy_from_slice(&data[..d]);
-                        lambda[rlo..rhi].copy_from_slice(&data[d..]);
+                    // Dead ranks' partitions run on the operator, from
+                    // the last gathered state (the in-memory checkpoint).
+                    for (dead_part, carry) in adopted.iter().zip(&mut adopted_carry) {
+                        update_part(dead_part, pre, rho, &x, &mut z, &mut lambda);
+                        let (dlo, dhi) = (pre.offsets[dead_part.start], pre.offsets[dead_part.end]);
+                        let mut p = pack_part(dlo, dhi, &z, &lambda);
+                        compress_ef(compression, &mut p, carry);
+                        unpack_part(dlo, dhi, &p, &mut z, &mut lambda);
                     }
+                    // The root's own slice never crosses a wire; in delta
+                    // mode its gather contribution is empty and skipped
+                    // on unpack (its z stays exact locally).
+                    let payload = if delta_mode {
+                        Vec::new()
+                    } else {
+                        let mut p = pack_part(lo, hi, &z, &lambda);
+                        compress_ef(compression, &mut p, &mut up_carry);
+                        p
+                    };
+                    let q = match ctx.gather_quorum(
+                        0,
+                        tag + 1,
+                        payload,
+                        &live,
+                        dopts.quorum_frac,
+                        gather_timeout,
+                    ) {
+                        Ok(Some(q)) => q,
+                        Ok(None) => unreachable!("root receives the gather"),
+                        Err(e) => {
+                            report.fatal = Some(e.to_string());
+                            break 'iters;
+                        }
+                    };
+                    let mut missing_any = false;
+                    for r in 0..ctx.n {
+                        if r != 0 && !live[r] {
+                            continue;
+                        }
+                        let (rlo, rhi) = (pre.offsets[parts[r].start], pre.offsets[parts[r].end]);
+                        match &q.slices[r] {
+                            Some(d) => {
+                                if delta_mode {
+                                    if r != 0 {
+                                        apply_delta(rlo, rhi, d, &mut z);
+                                    }
+                                } else {
+                                    unpack_part(rlo, rhi, d, &mut z, &mut lambda);
+                                }
+                                suspect[r] = 0;
+                            }
+                            None => {
+                                missing_any = true;
+                                report.stale_iterations[r] += 1;
+                                if q.timed_out.contains(&r) {
+                                    report.gather_timeouts[r] += 1;
+                                    suspect[r] += 1;
+                                    if suspect[r] >= dopts.suspect_rounds {
+                                        live[r] = false;
+                                        report.dead_ranks.push(r);
+                                        report.adopted_components += parts[r].len();
+                                        let (dlo, dhi) = (
+                                            pre.offsets[parts[r].start],
+                                            pre.offsets[parts[r].end],
+                                        );
+                                        adopted_carry.push(vec![0.0; 2 * (dhi - dlo)]);
+                                        adopted.push(parts[r].clone());
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    if missing_any {
+                        report.quorum_rounds += 1;
+                    }
+                    if delta_mode {
+                        // Dual updates for every slice, from the shared
+                        // quantized iterates — bitwise what each agent
+                        // computes for its own slice.
+                        for p in parts.iter() {
+                            dual_part(p, pre, rho, &x, &z, &mut lambda);
+                        }
+                    }
+
                     final_res =
                         Residuals::compute(pre, opts.eps_rel, rho, &x, &z, &z_prev, &lambda);
-                    if final_res.converged() {
-                        stop = 1.0;
+                    let mut stop = final_res.converged();
+                    if active && stop {
+                        // λ-drift guard (see `nonideal`): stale duals
+                        // must have actually settled, not merely stopped
+                        // being refreshed.
+                        let lam_drift: f64 = lambda
+                            .iter()
+                            .zip(&lambda_prev)
+                            .map(|(a, b)| (a - b) * (a - b))
+                            .sum::<f64>()
+                            .sqrt();
+                        stop = lam_drift / rho <= final_res.eps_prim;
                     }
-                }
-                let flag = ctx.broadcast(0, t as u64 * 4 + 2, vec![stop]);
-                if flag[0] > 0.5 {
-                    converged = true;
-                    break;
+                    if active {
+                        lambda_prev.copy_from_slice(&lambda);
+                    }
+
+                    if let Some(ck) = &dopts.checkpoint {
+                        if ck.every > 0 && t % ck.every == 0 {
+                            let body = checkpoint_json(&ck.instance, &x, &z, &lambda);
+                            if std::fs::write(&ck.path, body).is_ok() {
+                                report.checkpoints_written += 1;
+                            }
+                        }
+                    }
+
+                    let flag = vec![if stop { 1.0 } else { 0.0 }];
+                    if let Err(e) = ctx.broadcast_live(0, tag + 2, flag, &live, patience) {
+                        report.fatal = Some(e.to_string());
+                        break 'iters;
+                    }
+                    if active {
+                        ctx.purge_below(tag + 3);
+                    }
+                    if stop {
+                        converged = true;
+                        break 'iters;
+                    }
+                } else {
+                    if !sitting_out {
+                        let payload = if delta_mode {
+                            // Ship C(z − mirror), adopt the quantized z
+                            // locally, then run the dual update from it —
+                            // the same values the operator integrates.
+                            let mut p: Vec<f64> =
+                                z[lo..hi].iter().zip(&up_sync).map(|(a, b)| a - b).collect();
+                            compression.apply(&mut p);
+                            for (s, pi) in up_sync.iter_mut().zip(&p) {
+                                *s += pi;
+                            }
+                            z[lo..hi].copy_from_slice(&up_sync);
+                            dual_part(&part, pre, rho, &x, &z, &mut lambda);
+                            p
+                        } else {
+                            let mut p = pack_part(lo, hi, &z, &lambda);
+                            compress_ef(compression, &mut p, &mut up_carry);
+                            p
+                        };
+                        if ctx.send(0, tag + 1, payload).is_err() {
+                            exit = RankExit::Detached { iter: t };
+                            break 'iters;
+                        }
+                    }
+                    match ctx.recv_timeout(0, tag + 2, patience) {
+                        Ok(flag) => {
+                            if active {
+                                ctx.purge_below(tag + 3);
+                            }
+                            if flag.first().copied().unwrap_or(1.0) > 0.5 {
+                                break 'iters;
+                            }
+                        }
+                        Err(_) => {
+                            exit = RankExit::Detached { iter: t };
+                            break 'iters;
+                        }
+                    }
                 }
             }
 
+            // The checkpoint file always ends up holding the state the
+            // run finished with, whatever the periodic cadence.
             if me == 0 {
-                Some(DistributedResult {
-                    objective: vec_ops::dot(&dec.c, &x),
-                    x,
-                    iterations,
-                    converged,
-                    residuals: final_res,
-                })
-            } else {
-                None
+                if let Some(ck) = &dopts.checkpoint {
+                    let body = checkpoint_json(&ck.instance, &x, &z, &lambda);
+                    if std::fs::write(&ck.path, body).is_ok() {
+                        report.checkpoints_written += 1;
+                    }
+                }
+            }
+
+            let op = (me == 0).then_some(OperatorCore {
+                x,
+                iterations,
+                converged,
+                residuals: final_res,
+                report,
+            });
+            RankReturn {
+                op,
+                stats: ctx.take_stats(),
+                exit,
             }
         });
-        results
+
+        let mut comm = CommStats::default();
+        for r in &returns {
+            comm.merge(&r.stats);
+        }
+        let rank_exits: Vec<RankExit> = returns.iter().map(|r| r.exit).collect();
+        let core = returns
             .swap_remove(0)
-            .expect("rank 0 reports the result")
+            .op
+            .expect("rank 0 reports the result");
+        let mut report = core.report;
+        report.comm = comm;
+        report.rank_exits = rank_exits;
+        DistributedResult {
+            objective: vec_ops::dot(&dec.c, &core.x),
+            x: core.x,
+            iterations: core.iterations,
+            converged: core.converged,
+            residuals: core.residuals,
+            degradation: report,
+        }
     }
 }
 
@@ -158,11 +749,15 @@ mod tests {
     use opf_model::decompose;
     use opf_net::{feeders, ComponentGraph};
 
+    fn solver_for(net: &opf_net::Network) -> opf_model::DecomposedProblem {
+        let g = ComponentGraph::build(net);
+        decompose(net, &g).unwrap()
+    }
+
     #[test]
     fn distributed_matches_serial_exactly() {
         let net = feeders::ieee13();
-        let g = ComponentGraph::build(&net);
-        let dec = decompose(&net, &g).unwrap();
+        let dec = solver_for(&net);
         let solver = SolverFreeAdmm::new(&dec).unwrap();
         let opts = AdmmOptions {
             max_iters: 40_000,
@@ -178,13 +773,15 @@ mod tests {
         for (a, b) in serial.x.iter().zip(&dist.x) {
             assert!((a - b).abs() < 1e-12, "{a} vs {b}");
         }
+        // Perfect links leave no degradation trace.
+        assert!(!dist.degradation.is_degraded());
+        assert_eq!(dist.degradation.rank_exits, vec![RankExit::Completed; 4]);
     }
 
     #[test]
     fn works_with_more_ranks_than_components_groups() {
         let net = feeders::ieee13();
-        let g = ComponentGraph::build(&net);
-        let dec = decompose(&net, &g).unwrap();
+        let dec = solver_for(&net);
         let solver = SolverFreeAdmm::new(&dec).unwrap();
         let opts = AdmmOptions {
             max_iters: 100,
@@ -197,8 +794,7 @@ mod tests {
     #[test]
     fn single_rank_degenerates_to_serial() {
         let net = feeders::ieee13();
-        let g = ComponentGraph::build(&net);
-        let dec = decompose(&net, &g).unwrap();
+        let dec = solver_for(&net);
         let solver = SolverFreeAdmm::new(&dec).unwrap();
         let opts = AdmmOptions {
             max_iters: 500,
@@ -208,5 +804,128 @@ mod tests {
         let dist = solver.solve_distributed(&opts, 1);
         assert_eq!(serial.iterations, dist.iterations);
         assert!((serial.objective - dist.objective).abs() < 1e-12);
+    }
+
+    #[test]
+    fn converges_under_message_drop_with_stale_reuse() {
+        let net = feeders::ieee13();
+        let dec = solver_for(&net);
+        let solver = SolverFreeAdmm::new(&dec).unwrap();
+        let opts = AdmmOptions::default();
+        let clean = solver.solve_distributed(&opts, 4);
+        let dopts = DistributedOptions {
+            n_ranks: 4,
+            faults: comm_sim::FaultPlan::seeded(42).with_drop(0.05),
+            quorum_frac: 0.75,
+            ..DistributedOptions::default()
+        };
+        let faulted = solver.solve_distributed_opts(&opts, &dopts);
+        assert!(
+            faulted.converged,
+            "fault run failed: {:?}",
+            faulted.degradation.fatal
+        );
+        let rel = (faulted.objective - clean.objective).abs() / clean.objective.abs().max(1.0);
+        assert!(rel <= opts.eps_rel, "objectives diverged: rel {rel}");
+        assert!(faulted.degradation.comm.dropped > 0);
+        assert!(faulted.degradation.comm.retransmits > 0);
+    }
+
+    #[test]
+    fn straggler_rounds_reuse_stale_slices() {
+        let net = feeders::ieee13();
+        let dec = solver_for(&net);
+        let solver = SolverFreeAdmm::new(&dec).unwrap();
+        let opts = AdmmOptions::default();
+        let dopts = DistributedOptions {
+            n_ranks: 4,
+            faults: comm_sim::FaultPlan::seeded(1).with_straggler(2, 3),
+            quorum_frac: 0.5,
+            ..DistributedOptions::default()
+        };
+        let r = solver.solve_distributed_opts(&opts, &dopts);
+        assert!(
+            r.converged,
+            "straggler run failed: {:?}",
+            r.degradation.fatal
+        );
+        // Rank 2 sat out two of every three rounds.
+        assert!(r.degradation.stale_iterations[2] > (r.iterations as u64) / 2);
+        assert_eq!(r.degradation.stale_iterations[1], 0);
+        assert!(r.degradation.dead_ranks.is_empty());
+    }
+
+    #[test]
+    fn rank_crash_is_detected_and_partition_adopted() {
+        let net = feeders::ieee13();
+        let dec = solver_for(&net);
+        let solver = SolverFreeAdmm::new(&dec).unwrap();
+        let opts = AdmmOptions::default();
+        let clean = solver.solve_distributed(&opts, 4);
+        let dopts = DistributedOptions {
+            n_ranks: 4,
+            faults: comm_sim::FaultPlan::seeded(7).with_crash(3, 25),
+            quorum_frac: 0.5,
+            rank_timeout: Duration::from_millis(50),
+            ..DistributedOptions::default()
+        };
+        let r = solver.solve_distributed_opts(&opts, &dopts);
+        assert!(r.converged, "crash run failed: {:?}", r.degradation.fatal);
+        assert_eq!(r.degradation.dead_ranks, vec![3]);
+        assert!(r.degradation.adopted_components > 0);
+        assert_eq!(r.degradation.rank_exits[3], RankExit::Crashed { iter: 25 });
+        let rel = (r.objective - clean.objective).abs() / clean.objective.abs().max(1.0);
+        assert!(rel <= opts.eps_rel, "objectives diverged: rel {rel}");
+    }
+
+    #[test]
+    fn same_seed_reproduces_bit_for_bit() {
+        let net = feeders::ieee13();
+        let dec = solver_for(&net);
+        let solver = SolverFreeAdmm::new(&dec).unwrap();
+        let opts = AdmmOptions::default();
+        let dopts = DistributedOptions {
+            n_ranks: 4,
+            faults: comm_sim::FaultPlan::seeded(99)
+                .with_drop(0.05)
+                .with_straggler(1, 2),
+            quorum_frac: 0.75,
+            ..DistributedOptions::default()
+        };
+        let a = solver.solve_distributed_opts(&opts, &dopts);
+        let b = solver.solve_distributed_opts(&opts, &dopts);
+        assert_eq!(a.iterations, b.iterations);
+        assert_eq!(a.x, b.x, "same fault seed must reproduce bit-for-bit");
+    }
+
+    #[test]
+    fn checkpoint_is_written_in_cli_warm_start_format() {
+        let net = feeders::ieee13();
+        let dec = solver_for(&net);
+        let solver = SolverFreeAdmm::new(&dec).unwrap();
+        let opts = AdmmOptions {
+            max_iters: 120,
+            ..AdmmOptions::default()
+        };
+        let path = std::env::temp_dir().join("gridflow_dist_ckpt_test.json");
+        let dopts = DistributedOptions {
+            n_ranks: 2,
+            faults: comm_sim::FaultPlan::seeded(5).with_drop(0.01),
+            checkpoint: Some(CheckpointSpec {
+                path: path.clone(),
+                instance: "ieee13".into(),
+                every: 50,
+            }),
+            ..DistributedOptions::default()
+        };
+        let r = solver.solve_distributed_opts(&opts, &dopts);
+        // t = 50, t = 100, and the final write at the iteration cap.
+        assert_eq!(r.degradation.checkpoints_written, 3);
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.starts_with("{\"instance\":\"ieee13\""));
+        assert!(
+            body.contains("\"x\":[") && body.contains("\"z\":[") && body.contains("\"lambda\":[")
+        );
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -229,7 +229,13 @@ impl BlockKernel for ResidualKernel<'_> {
 
     fn run_block(&self, s: usize, _threads: usize, out: &mut [f64]) {
         updates::Residuals::component_partials(
-            self.pre, s, self.x, self.z, self.z_prev, self.lambda, out,
+            self.pre,
+            s,
+            self.x,
+            self.z,
+            self.z_prev,
+            self.lambda,
+            out,
         );
     }
 

@@ -24,7 +24,9 @@ pub mod updates;
 pub use benchmark::{BenchmarkAdmm, QpStats};
 pub use cluster::{partition_components, ClusterBreakdown, ClusterSpec, RankKind};
 pub use diagnose::{gap_report, worst_components, ComponentGap};
-pub use distributed::DistributedResult;
+pub use distributed::{
+    CheckpointSpec, DegradationReport, DistributedOptions, DistributedResult, RankExit,
+};
 pub use nonideal::NonIdealComm;
 pub use precompute::Precomputed;
 pub use solver::SolverFreeAdmm;

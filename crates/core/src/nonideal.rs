@@ -13,7 +13,12 @@
 //!   *uniformly stale broadcasts* with a fixed ρ oscillate at delay 1 and
 //!   diverge beyond, so that defect is reported, not hidden);
 //! * **drops** — with probability `drop_prob`, an agent's upload is lost
-//!   for one iteration and the operator reuses its previous `x_s`, `λ_s`.
+//!   for one iteration and the operator reuses its previous `x_s`, `λ_s`;
+//! * **uniformly stale broadcasts** — every agent works from the
+//!   broadcast of `broadcast_staleness` iterations ago. This is the
+//!   *divergent* form of asynchrony (oscillates at staleness 1, worse
+//!   beyond); it is modelled so the non-convergence is reported, and a
+//!   regression test pins that it stays reported.
 
 use crate::precompute::Precomputed;
 use crate::solver::SolverFreeAdmm;
@@ -32,6 +37,12 @@ pub struct NonIdealComm {
     pub drop_prob: f64,
     /// RNG seed (drops are deterministic given the seed).
     pub seed: u64,
+    /// Uniform broadcast staleness: every agent uses the operator's `x`
+    /// from this many iterations ago (0 = fresh). Unlike intermittent
+    /// activation this form does **not** converge with a fixed ρ — it
+    /// oscillates at staleness 1 and diverges beyond — and the solver
+    /// faithfully reports that.
+    pub broadcast_staleness: usize,
 }
 
 impl Default for NonIdealComm {
@@ -40,6 +51,7 @@ impl Default for NonIdealComm {
             max_delay: 0,
             drop_prob: 0.0,
             seed: 1,
+            broadcast_staleness: 0,
         }
     }
 }
@@ -83,6 +95,11 @@ impl SolverFreeAdmm<'_> {
         // x used by pres). Require λ to have settled as well.
         let mut lambda_prev = lambda.clone();
 
+        // Ring of past broadcasts for the uniform-staleness defect
+        // (front = the broadcast the agents see this iteration).
+        let staleness = comm.broadcast_staleness;
+        let mut x_hist: std::collections::VecDeque<Vec<f64>> = std::collections::VecDeque::new();
+
         for t in 1..=opts.max_iters {
             iterations = t;
             // Operator: global update from what it *received* (shadow).
@@ -99,6 +116,17 @@ impl SolverFreeAdmm<'_> {
                 &lambda_shadow,
                 &mut x,
             );
+            if staleness > 0 {
+                x_hist.push_back(x.clone());
+                if x_hist.len() > staleness + 1 {
+                    x_hist.pop_front();
+                }
+            }
+            let x_agent: &[f64] = if staleness == 0 {
+                &x
+            } else {
+                x_hist.front().expect("pushed above")
+            };
             z_prev.copy_from_slice(&z);
             for s in 0..dec.s() {
                 // Slow agents sit out most iterations; when they act they
@@ -111,7 +139,7 @@ impl SolverFreeAdmm<'_> {
                 {
                     let (_, tail) = z.split_at_mut(r.start);
                     let zs = &mut tail[..r.len()];
-                    updates::local_update_component(s, pre, rho, &x, &lambda[r.clone()], zs);
+                    updates::local_update_component(s, pre, rho, x_agent, &lambda[r.clone()], zs);
                 }
                 {
                     let (_, ltail) = lambda.split_at_mut(r.start);
@@ -119,7 +147,7 @@ impl SolverFreeAdmm<'_> {
                     updates::dual_update_component(
                         &pre.stacked_to_global[r.clone()],
                         rho,
-                        &x,
+                        x_agent,
                         &z[r.clone()],
                         ls,
                     );
@@ -237,6 +265,36 @@ mod tests {
         );
         let rel = (lossy.objective - ideal.objective).abs() / ideal.objective;
         assert!(rel < 0.02);
+    }
+
+    #[test]
+    fn uniform_staleness_is_reported_not_hidden() {
+        // Regression pin for the documented asymmetry: intermittent
+        // activation converges (covered above), but *uniformly stale
+        // broadcasts* oscillate at staleness 1 — the solver must keep
+        // reporting that as non-convergence rather than masking it.
+        let (dec, _) = solver_for_ieee13();
+        let solver = SolverFreeAdmm::new(&dec).unwrap();
+        let opts = AdmmOptions {
+            max_iters: 25_000, // ~5x the ideal-link iteration count
+            ..AdmmOptions::default()
+        };
+        let ideal = solver.solve_nonideal(&opts, &NonIdealComm::default());
+        assert!(ideal.converged, "baseline must converge within the budget");
+        let stale = solver.solve_nonideal(
+            &opts,
+            &NonIdealComm {
+                broadcast_staleness: 1,
+                ..NonIdealComm::default()
+            },
+        );
+        assert!(
+            !stale.converged,
+            "staleness-1 run claimed convergence in {} iterations — the \
+             oscillation documented in this module has been silently masked",
+            stale.iterations
+        );
+        assert_eq!(stale.iterations, opts.max_iters);
     }
 
     #[test]

@@ -115,7 +115,11 @@ impl<'a> SolverFreeAdmm<'a> {
         let (mut x, mut z, mut lambda) = state;
         assert_eq!(x.len(), self.dec.n, "warm start: x dimension");
         assert_eq!(z.len(), self.pre.total_dim(), "warm start: z dimension");
-        assert_eq!(lambda.len(), self.pre.total_dim(), "warm start: λ dimension");
+        assert_eq!(
+            lambda.len(),
+            self.pre.total_dim(),
+            "warm start: λ dimension"
+        );
         let mut z_prev = z.clone();
         let mut rho = opts.rho;
         let mut timings = Timings {
@@ -174,7 +178,13 @@ impl<'a> SolverFreeAdmm<'a> {
                     _ => {
                         let t0 = Instant::now();
                         let r = Residuals::compute(
-                            &self.pre, opts.eps_rel, rho, &x, &z, &z_prev, &lambda,
+                            &self.pre,
+                            opts.eps_rel,
+                            rho,
+                            &x,
+                            &z,
+                            &z_prev,
+                            &lambda,
                         );
                         timings.residual_s += t0.elapsed().as_secs_f64();
                         r
@@ -407,7 +417,11 @@ mod tests {
     #[test]
     fn converges_on_ieee13_detailed() {
         let (dec, r) = solve_instance("ieee13-detailed", Backend::Serial);
-        assert!(r.converged, "pres {} dres {}", r.residuals.pres, r.residuals.dres);
+        assert!(
+            r.converged,
+            "pres {} dres {}",
+            r.residuals.pres, r.residuals.dres
+        );
         // x respects bounds exactly (clipped update).
         for i in 0..dec.n {
             assert!(r.x[i] >= dec.lower[i] - 1e-12 && r.x[i] <= dec.upper[i] + 1e-12);
@@ -494,7 +508,10 @@ mod tests {
             ..AdmmOptions::default()
         });
         let rho_final = r.trace.last().unwrap().rho;
-        assert!(rho_final > 1e-3, "ρ should have been increased: {rho_final}");
+        assert!(
+            rho_final > 1e-3,
+            "ρ should have been increased: {rho_final}"
+        );
     }
 
     #[test]

@@ -227,8 +227,17 @@ mod tests {
         expect = expect.max(dec.lower[i]).min(dec.upper[i]);
         let mut out = vec![0.0; 1];
         global_update_range(
-            i..i + 1, 100.0, true, &dec.c, &dec.lower, &dec.upper,
-            &pre.copies_ptr, &pre.copies_idx, &z, &lambda, &mut out,
+            i..i + 1,
+            100.0,
+            true,
+            &dec.c,
+            &dec.lower,
+            &dec.upper,
+            &pre.copies_ptr,
+            &pre.copies_idx,
+            &z,
+            &lambda,
+            &mut out,
         );
         assert!((out[0] - expect).abs() < 1e-12, "{} vs {expect}", out[0]);
     }
@@ -247,10 +256,32 @@ mod tests {
         z[j] = dec.upper[i] + 100.0;
         let mut clipped = vec![0.0; 1];
         let mut raw = vec![0.0; 1];
-        global_update_range(i..i + 1, 100.0, true, &dec.c, &dec.lower, &dec.upper,
-            &pre.copies_ptr, &pre.copies_idx, &z, &lambda, &mut clipped);
-        global_update_range(i..i + 1, 100.0, false, &dec.c, &dec.lower, &dec.upper,
-            &pre.copies_ptr, &pre.copies_idx, &z, &lambda, &mut raw);
+        global_update_range(
+            i..i + 1,
+            100.0,
+            true,
+            &dec.c,
+            &dec.lower,
+            &dec.upper,
+            &pre.copies_ptr,
+            &pre.copies_idx,
+            &z,
+            &lambda,
+            &mut clipped,
+        );
+        global_update_range(
+            i..i + 1,
+            100.0,
+            false,
+            &dec.c,
+            &dec.lower,
+            &dec.upper,
+            &pre.copies_ptr,
+            &pre.copies_idx,
+            &z,
+            &lambda,
+            &mut raw,
+        );
         assert_eq!(clipped[0], dec.upper[i]);
         assert!((raw[0] - (dec.upper[i] + 100.0)).abs() < 1e-9);
     }

@@ -23,8 +23,12 @@ fn rebuilding_the_solver_changes_nothing() {
     let net = feeders::ieee13();
     let g = ComponentGraph::build(&net);
     let dec = decompose(&net, &g).unwrap();
-    let a = SolverFreeAdmm::new(&dec).unwrap().solve(&AdmmOptions::default());
-    let b = SolverFreeAdmm::new(&dec).unwrap().solve(&AdmmOptions::default());
+    let a = SolverFreeAdmm::new(&dec)
+        .unwrap()
+        .solve(&AdmmOptions::default());
+    let b = SolverFreeAdmm::new(&dec)
+        .unwrap()
+        .solve(&AdmmOptions::default());
     assert_eq!(a.x, b.x);
 }
 

@@ -108,7 +108,12 @@ impl Device {
     ///
     /// # Panics
     /// Panics if `out.len()` differs from the sum of block output lengths.
-    pub fn launch<K: BlockKernel>(&mut self, kernel: &K, threads: usize, out: &mut [f64]) -> SimTime {
+    pub fn launch<K: BlockKernel>(
+        &mut self,
+        kernel: &K,
+        threads: usize,
+        out: &mut [f64],
+    ) -> SimTime {
         let nblocks = kernel.blocks();
         // Split `out` into per-block slices.
         let mut slices: Vec<&mut [f64]> = Vec::with_capacity(nblocks);
@@ -245,8 +250,22 @@ mod tests {
         let mut dev = Device::a100();
         let mut out1 = vec![0.0; 50];
         let mut out64 = vec![0.0; 50];
-        dev.launch(&DoubleKernel { input: &input, chunk: 3 }, 1, &mut out1);
-        dev.launch(&DoubleKernel { input: &input, chunk: 3 }, 64, &mut out64);
+        dev.launch(
+            &DoubleKernel {
+                input: &input,
+                chunk: 3,
+            },
+            1,
+            &mut out1,
+        );
+        dev.launch(
+            &DoubleKernel {
+                input: &input,
+                chunk: 3,
+            },
+            64,
+            &mut out64,
+        );
         assert_eq!(out1, out64);
     }
 
@@ -333,11 +352,26 @@ mod tests {
         let mut a = vec![0.0; 64];
         let mut b = vec![0.0; 64];
         let fused = dev
-            .launch_pair(&PairDouble { input: &input, chunk: 8 }, 8, &mut a, &mut b)
+            .launch_pair(
+                &PairDouble {
+                    input: &input,
+                    chunk: 8,
+                },
+                8,
+                &mut a,
+                &mut b,
+            )
             .secs();
         let two = 2.0
             * dev
-                .launch(&DoubleKernel { input: &input, chunk: 8 }, 8, &mut a)
+                .launch(
+                    &DoubleKernel {
+                        input: &input,
+                        chunk: 8,
+                    },
+                    8,
+                    &mut a,
+                )
                 .secs();
         assert!(fused < two, "fused {fused} vs two launches {two}");
     }

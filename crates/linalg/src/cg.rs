@@ -165,7 +165,11 @@ mod tests {
         let b: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
         let (x, _) = cg_solve(&DenseOp(&a), &b, None, CgOptions::default()).unwrap();
         let r = a.matvec(&x);
-        let err: f64 = r.iter().zip(&b).map(|(ri, bi)| (ri - bi).abs()).fold(0.0, f64::max);
+        let err: f64 = r
+            .iter()
+            .zip(&b)
+            .map(|(ri, bi)| (ri - bi).abs())
+            .fold(0.0, f64::max);
         assert!(err < 1e-7, "err = {err}");
     }
 }

@@ -139,7 +139,10 @@ mod tests {
     #[test]
     fn indefinite_matrix_rejected() {
         let a = Mat::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, -1
-        assert!(matches!(CholFactor::new(&a), Err(LinalgError::Singular { .. })));
+        assert!(matches!(
+            CholFactor::new(&a),
+            Err(LinalgError::Singular { .. })
+        ));
     }
 
     #[test]

@@ -217,7 +217,13 @@ mod tests {
         Csr::from_triplets(
             3,
             3,
-            &[(0, 0, 1.0), (0, 2, 2.0), (1, 2, 3.0), (2, 0, 4.0), (2, 1, 5.0)],
+            &[
+                (0, 0, 1.0),
+                (0, 2, 2.0),
+                (1, 2, 3.0),
+                (2, 0, 4.0),
+                (2, 1, 5.0),
+            ],
         )
     }
 

@@ -56,7 +56,11 @@ impl Mat {
             assert_eq!(row.len(), c, "from_rows: ragged rows");
             data.extend_from_slice(row);
         }
-        Mat { rows: r, cols: c, data }
+        Mat {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Number of rows.
@@ -199,7 +203,11 @@ impl Mat {
     /// # Panics
     /// Panics on shape mismatch.
     pub fn add(&self, rhs: &Mat) -> Mat {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "add: shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "add: shape mismatch"
+        );
         let data = self
             .data
             .iter()
@@ -214,7 +222,11 @@ impl Mat {
     /// # Panics
     /// Panics on shape mismatch.
     pub fn sub(&self, rhs: &Mat) -> Mat {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "sub: shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "sub: shape mismatch"
+        );
         let data = self
             .data
             .iter()
@@ -226,7 +238,11 @@ impl Mat {
 
     /// Scaled copy `c · A`.
     pub fn scaled(&self, c: f64) -> Mat {
-        Mat::from_vec(self.rows, self.cols, self.data.iter().map(|a| c * a).collect())
+        Mat::from_vec(
+            self.rows,
+            self.cols,
+            self.data.iter().map(|a| c * a).collect(),
+        )
     }
 
     /// Frobenius norm.

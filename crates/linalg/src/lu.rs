@@ -173,7 +173,10 @@ mod tests {
     #[test]
     fn singular_matrix_rejected() {
         let a = Mat::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
-        assert!(matches!(LuFactor::new(&a), Err(LinalgError::Singular { .. })));
+        assert!(matches!(
+            LuFactor::new(&a),
+            Err(LinalgError::Singular { .. })
+        ));
     }
 
     #[test]

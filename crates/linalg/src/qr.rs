@@ -94,7 +94,12 @@ impl QrFactor {
             }
             rank += 1;
         }
-        QrFactor { qr, tau, perm, rank }
+        QrFactor {
+            qr,
+            tau,
+            perm,
+            rank,
+        }
     }
 
     /// Numerical rank detected during factorization.

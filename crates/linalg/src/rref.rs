@@ -40,7 +40,10 @@ pub fn rref_augmented(a: &Mat, b: &[f64], tol: f64) -> Result<RrefResult> {
         w.row_mut(i)[..n].copy_from_slice(a.row(i));
         w[(i, n)] = b[i];
     }
-    let scale = a.norm_max().max(b.iter().fold(0.0f64, |s, v| s.max(v.abs()))).max(1.0);
+    let scale = a
+        .norm_max()
+        .max(b.iter().fold(0.0f64, |s, v| s.max(v.abs())))
+        .max(1.0);
     let eps = tol * scale;
 
     let mut pivot_cols = Vec::new();
@@ -147,11 +150,7 @@ mod tests {
     #[test]
     fn solution_set_preserved() {
         // x + y + z = 6; y - z = 0; and their sum (redundant).
-        let a = Mat::from_rows(&[
-            &[1.0, 1.0, 1.0],
-            &[0.0, 1.0, -1.0],
-            &[1.0, 2.0, 0.0],
-        ]);
+        let a = Mat::from_rows(&[&[1.0, 1.0, 1.0], &[0.0, 1.0, -1.0], &[1.0, 2.0, 0.0]]);
         let b = [6.0, 0.0, 6.0];
         let r = rref_augmented(&a, &b, TOL).unwrap();
         assert_eq!(r.rank, 2);

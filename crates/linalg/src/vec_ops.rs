@@ -136,7 +136,11 @@ mod tests {
     #[test]
     fn clip_with_infinite_bounds() {
         let mut x = [-5.0, 5.0];
-        clip(&mut x, &[f64::NEG_INFINITY, 0.0], &[f64::INFINITY, f64::INFINITY]);
+        clip(
+            &mut x,
+            &[f64::NEG_INFINITY, 0.0],
+            &[f64::INFINITY, f64::INFINITY],
+        );
         assert_eq!(x, [-5.0, 5.0]);
     }
 

@@ -11,7 +11,7 @@
 //!   stay in the global update. The *benchmark* ADMM (model (8)) instead
 //!   reads the same bounds through [`ComponentProblem::local_bounds`].
 
-use crate::equations::{branch_equations, bus_equations, bus_var_set, branch_var_set, Equation};
+use crate::equations::{branch_equations, branch_var_set, bus_equations, bus_var_set, Equation};
 use crate::vars::VarSpace;
 use opf_linalg::{rref_augmented, Mat};
 use opf_net::{Component, ComponentGraph, Network};
@@ -144,7 +144,10 @@ fn localize(
 ///
 /// Runs the per-component localization + row reduction in parallel
 /// (Algorithm 1 notes the preprocessing is embarrassingly parallel).
-pub fn decompose(net: &Network, graph: &ComponentGraph) -> Result<DecomposedProblem, DecomposeError> {
+pub fn decompose(
+    net: &Network,
+    graph: &ComponentGraph,
+) -> Result<DecomposedProblem, DecomposeError> {
     let vs = VarSpace::build(net);
     let rref_tol = 1e-9;
 
@@ -178,8 +181,7 @@ pub fn decompose(net: &Network, graph: &ComponentGraph) -> Result<DecomposedProb
             })
         })
         .collect();
-    let components: Vec<ComponentProblem> =
-        components.into_iter().collect::<Result<_, _>>()?;
+    let components: Vec<ComponentProblem> = components.into_iter().collect::<Result<_, _>>()?;
 
     let mut copy_counts = vec![0.0f64; vs.n()];
     for c in &components {
@@ -222,7 +224,6 @@ impl DecomposedProblem {
 #[cfg(test)]
 mod tests {
     use super::*;
-    
 
     fn setup(name: &str) -> (Network, DecomposedProblem) {
         let net = opf_net::feeders::by_name(name).unwrap();
@@ -285,8 +286,7 @@ mod tests {
     }
 
     #[test]
-    fn consensus_feasible_point_satisfies_centralized(
-    ) {
+    fn consensus_feasible_point_satisfies_centralized() {
         // Any x satisfying all local blocks through the consensus maps
         // satisfies the centralized equalities: localized blocks after
         // RREF span the same row space.

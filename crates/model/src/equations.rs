@@ -94,8 +94,14 @@ pub fn bus_equations(net: &Network, vs: &VarSpace, i: BusId) -> Vec<Equation> {
                 qa.push((vs.gen_q(net, g, p), -1.0));
             }
         }
-        eqs.push(Equation { terms: pa, rhs: 0.0 });
-        eqs.push(Equation { terms: qa, rhs: 0.0 });
+        eqs.push(Equation {
+            terms: pa,
+            rhs: 0.0,
+        });
+        eqs.push(Equation {
+            terms: qa,
+            rhs: 0.0,
+        });
     }
 
     // --- (4): load model per load at the bus. ---
@@ -131,17 +137,11 @@ pub fn bus_equations(net: &Network, vs: &VarSpace, i: BusId) -> Vec<Equation> {
                 // (4e): p^b = p^d, q^b = q^d per phase.
                 for p in ld.phases.iter() {
                     eqs.push(Equation {
-                        terms: vec![
-                            (vs.load_pb(net, l, p), 1.0),
-                            (vs.load_pd(net, l, p), -1.0),
-                        ],
+                        terms: vec![(vs.load_pb(net, l, p), 1.0), (vs.load_pd(net, l, p), -1.0)],
                         rhs: 0.0,
                     });
                     eqs.push(Equation {
-                        terms: vec![
-                            (vs.load_qb(net, l, p), 1.0),
-                            (vs.load_qd(net, l, p), -1.0),
-                        ],
+                        terms: vec![(vs.load_qb(net, l, p), 1.0), (vs.load_qd(net, l, p), -1.0)],
                         rhs: 0.0,
                     });
                 }
@@ -156,8 +156,14 @@ pub fn bus_equations(net: &Network, vs: &VarSpace, i: BusId) -> Vec<Equation> {
                     fq.push((vs.load_qb(net, l, p), 1.0));
                     fq.push((vs.load_qd(net, l, p), -1.0));
                 }
-                eqs.push(Equation { terms: fp, rhs: 0.0 });
-                eqs.push(Equation { terms: fq, rhs: 0.0 });
+                eqs.push(Equation {
+                    terms: fp,
+                    rhs: 0.0,
+                });
+                eqs.push(Equation {
+                    terms: fq,
+                    rhs: 0.0,
+                });
                 // (4g)–(4j): the phase-rotation coupling, written for the
                 // 3-phase delta case; 2-phase delta loads keep (4f) only.
                 if ld.phases.len() == 3 {
@@ -396,9 +402,8 @@ mod tests {
         let vs = VarSpace::build(&net);
         // Bus 611 (phase c only, one load): 2 balance + 2 load-model +
         // 2 wye-link equations.
-        let bus_611 = opf_net::BusId(
-            net.buses.iter().position(|b| b.name == "611").unwrap() as u32,
-        );
+        let bus_611 =
+            opf_net::BusId(net.buses.iter().position(|b| b.name == "611").unwrap() as u32);
         let eqs = bus_equations(&net, &vs, bus_611);
         assert_eq!(eqs.len(), 6);
     }
@@ -409,9 +414,8 @@ mod tests {
         let vs = VarSpace::build(&net);
         // Bus 671: 3-phase delta constant-power load → 6 balance
         // + 6 load-model + 2·(4f) + 4 rotation equations.
-        let bus_671 = opf_net::BusId(
-            net.buses.iter().position(|b| b.name == "671").unwrap() as u32,
-        );
+        let bus_671 =
+            opf_net::BusId(net.buses.iter().position(|b| b.name == "671").unwrap() as u32);
         let eqs = bus_equations(&net, &vs, bus_671);
         assert_eq!(eqs.len(), 6 + 6 + 6);
     }
@@ -434,7 +438,10 @@ mod tests {
         net.set_switch("sw671-692", false);
         let vs = VarSpace::build(&net);
         let e = BranchId(
-            net.branches.iter().position(|b| b.name == "sw671-692").unwrap() as u32,
+            net.branches
+                .iter()
+                .position(|b| b.name == "sw671-692")
+                .unwrap() as u32,
         );
         let eqs = branch_equations(&net, &vs, e);
         // 4 pins per phase, 3 phases.
@@ -484,7 +491,10 @@ mod tests {
             }
         }
         let sw = BranchId(
-            net.branches.iter().position(|b| b.name == "sw671-692").unwrap() as u32,
+            net.branches
+                .iter()
+                .position(|b| b.name == "sw671-692")
+                .unwrap() as u32,
         );
         for eq in branch_equations(&net, &vs, sw) {
             // Switch has tiny impedance; residual at flat profile ≈ 0.

@@ -54,11 +54,14 @@ impl VarSpace {
         let mut lower = Vec::new();
         let mut upper = Vec::new();
         let mut cost = Vec::new();
-        let push = |k: VarKind, lo: f64, hi: f64, c: f64,
-                        kinds: &mut Vec<VarKind>,
-                        lower: &mut Vec<f64>,
-                        upper: &mut Vec<f64>,
-                        cost: &mut Vec<f64>| {
+        let push = |k: VarKind,
+                    lo: f64,
+                    hi: f64,
+                    c: f64,
+                    kinds: &mut Vec<VarKind>,
+                    lower: &mut Vec<f64>,
+                    upper: &mut Vec<f64>,
+                    cost: &mut Vec<f64>| {
             kinds.push(k);
             lower.push(lo);
             upper.push(hi);
@@ -70,10 +73,26 @@ impl VarSpace {
             gen_base.push(kinds.len());
             for p in g.phases.iter() {
                 let i = p.index();
-                push(VarKind::GenP(GenId(k as u32), p), g.p_min[i], g.p_max[i], 1.0,
-                    &mut kinds, &mut lower, &mut upper, &mut cost);
-                push(VarKind::GenQ(GenId(k as u32), p), g.q_min[i], g.q_max[i], 0.0,
-                    &mut kinds, &mut lower, &mut upper, &mut cost);
+                push(
+                    VarKind::GenP(GenId(k as u32), p),
+                    g.p_min[i],
+                    g.p_max[i],
+                    1.0,
+                    &mut kinds,
+                    &mut lower,
+                    &mut upper,
+                    &mut cost,
+                );
+                push(
+                    VarKind::GenQ(GenId(k as u32), p),
+                    g.q_min[i],
+                    g.q_max[i],
+                    0.0,
+                    &mut kinds,
+                    &mut lower,
+                    &mut upper,
+                    &mut cost,
+                );
             }
         }
         let mut bus_base = Vec::with_capacity(net.buses.len());
@@ -81,8 +100,16 @@ impl VarSpace {
             bus_base.push(kinds.len());
             for p in b.phases.iter() {
                 let k = p.index();
-                push(VarKind::BusW(BusId(i as u32), p), b.w_min[k], b.w_max[k], 0.0,
-                    &mut kinds, &mut lower, &mut upper, &mut cost);
+                push(
+                    VarKind::BusW(BusId(i as u32), p),
+                    b.w_min[k],
+                    b.w_max[k],
+                    0.0,
+                    &mut kinds,
+                    &mut lower,
+                    &mut upper,
+                    &mut cost,
+                );
             }
         }
         let mut load_base = Vec::with_capacity(net.loads.len());
@@ -90,14 +117,46 @@ impl VarSpace {
             load_base.push(kinds.len());
             let inf = f64::INFINITY;
             for p in ld.phases.iter() {
-                push(VarKind::LoadPb(LoadId(l as u32), p), -inf, inf, 0.0,
-                    &mut kinds, &mut lower, &mut upper, &mut cost);
-                push(VarKind::LoadQb(LoadId(l as u32), p), -inf, inf, 0.0,
-                    &mut kinds, &mut lower, &mut upper, &mut cost);
-                push(VarKind::LoadPd(LoadId(l as u32), p), -inf, inf, 0.0,
-                    &mut kinds, &mut lower, &mut upper, &mut cost);
-                push(VarKind::LoadQd(LoadId(l as u32), p), -inf, inf, 0.0,
-                    &mut kinds, &mut lower, &mut upper, &mut cost);
+                push(
+                    VarKind::LoadPb(LoadId(l as u32), p),
+                    -inf,
+                    inf,
+                    0.0,
+                    &mut kinds,
+                    &mut lower,
+                    &mut upper,
+                    &mut cost,
+                );
+                push(
+                    VarKind::LoadQb(LoadId(l as u32), p),
+                    -inf,
+                    inf,
+                    0.0,
+                    &mut kinds,
+                    &mut lower,
+                    &mut upper,
+                    &mut cost,
+                );
+                push(
+                    VarKind::LoadPd(LoadId(l as u32), p),
+                    -inf,
+                    inf,
+                    0.0,
+                    &mut kinds,
+                    &mut lower,
+                    &mut upper,
+                    &mut cost,
+                );
+                push(
+                    VarKind::LoadQd(LoadId(l as u32), p),
+                    -inf,
+                    inf,
+                    0.0,
+                    &mut kinds,
+                    &mut lower,
+                    &mut upper,
+                    &mut cost,
+                );
             }
         }
         let mut branch_base = Vec::with_capacity(net.branches.len());
@@ -105,14 +164,46 @@ impl VarSpace {
             branch_base.push(kinds.len());
             let s = br.s_max;
             for p in br.phases.iter() {
-                push(VarKind::FlowP(BranchId(e as u32), true, p), -s, s, 0.0,
-                    &mut kinds, &mut lower, &mut upper, &mut cost);
-                push(VarKind::FlowQ(BranchId(e as u32), true, p), -s, s, 0.0,
-                    &mut kinds, &mut lower, &mut upper, &mut cost);
-                push(VarKind::FlowP(BranchId(e as u32), false, p), -s, s, 0.0,
-                    &mut kinds, &mut lower, &mut upper, &mut cost);
-                push(VarKind::FlowQ(BranchId(e as u32), false, p), -s, s, 0.0,
-                    &mut kinds, &mut lower, &mut upper, &mut cost);
+                push(
+                    VarKind::FlowP(BranchId(e as u32), true, p),
+                    -s,
+                    s,
+                    0.0,
+                    &mut kinds,
+                    &mut lower,
+                    &mut upper,
+                    &mut cost,
+                );
+                push(
+                    VarKind::FlowQ(BranchId(e as u32), true, p),
+                    -s,
+                    s,
+                    0.0,
+                    &mut kinds,
+                    &mut lower,
+                    &mut upper,
+                    &mut cost,
+                );
+                push(
+                    VarKind::FlowP(BranchId(e as u32), false, p),
+                    -s,
+                    s,
+                    0.0,
+                    &mut kinds,
+                    &mut lower,
+                    &mut upper,
+                    &mut cost,
+                );
+                push(
+                    VarKind::FlowQ(BranchId(e as u32), false, p),
+                    -s,
+                    s,
+                    0.0,
+                    &mut kinds,
+                    &mut lower,
+                    &mut upper,
+                    &mut cost,
+                );
             }
         }
 
@@ -294,7 +385,9 @@ mod tests {
         for (i, k) in vs.kinds.iter().enumerate() {
             match k {
                 VarKind::BusW(..) => assert_eq!(x0[i], 1.0),
-                VarKind::LoadPb(..) | VarKind::LoadQb(..) | VarKind::LoadPd(..)
+                VarKind::LoadPb(..)
+                | VarKind::LoadQb(..)
+                | VarKind::LoadPd(..)
                 | VarKind::LoadQd(..) => assert_eq!(x0[i], 0.0),
                 _ => {
                     assert!((x0[i] - 0.5 * (vs.lower[i] + vs.upper[i])).abs() < 1e-12);

@@ -3,8 +3,8 @@
 
 use opf_model::{assemble, decompose, VarSpace};
 use opf_net::{
-    feeders, Branch, BranchKind, Bus, BusId, ComponentGraph, Connection, Generator, Load,
-    Network, Phase, PhaseSet, ZipClass,
+    feeders, Branch, BranchKind, Bus, BusId, ComponentGraph, Connection, Generator, Load, Network,
+    Phase, PhaseSet, ZipClass,
 };
 
 const R: f64 = 0.01;
@@ -133,7 +133,11 @@ fn constant_impedance_load_scales_with_voltage() {
     let w_load = r.x[vs.bus_w(&net, BusId(1), Phase::A)];
     let pd = r.x[vs.load_pd(&net, opf_net::LoadId(0), Phase::A)];
     // (4a) with α = 2, κ = 1: p^d = a·w.
-    assert!((pd - PD * w_load).abs() < 1e-3, "pd {pd} vs a·w {}", PD * w_load);
+    assert!(
+        (pd - PD * w_load).abs() < 1e-3,
+        "pd {pd} vs a·w {}",
+        PD * w_load
+    );
 }
 
 #[test]
@@ -151,9 +155,7 @@ fn delta_load_voltage_coupling_uses_kappa_three() {
     });
     assert!(r.converged);
     let vs = VarSpace::build(&net);
-    let l646 = opf_net::LoadId(
-        net.loads.iter().position(|l| l.name == "646").unwrap() as u32,
-    );
+    let l646 = opf_net::LoadId(net.loads.iter().position(|l| l.name == "646").unwrap() as u32);
     let bus646 = net.loads[l646.0 as usize].bus;
     let a = net.loads[l646.0 as usize].p_ref[Phase::B.index()];
     let w = r.x[vs.bus_w(&net, bus646, Phase::B)];

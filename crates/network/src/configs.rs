@@ -106,16 +106,8 @@ pub const CFG_604: LineConfig = LineConfig {
 pub const CFG_605: LineConfig = LineConfig {
     id: 605,
     phases: PhaseSet::C,
-    r_per_mile: [
-        [0.0, 0.0, 0.0],
-        [0.0, 0.0, 0.0],
-        [0.0, 0.0, 1.3292],
-    ],
-    x_per_mile: [
-        [0.0, 0.0, 0.0],
-        [0.0, 0.0, 0.0],
-        [0.0, 0.0, 1.3475],
-    ],
+    r_per_mile: [[0.0, 0.0, 0.0], [0.0, 0.0, 0.0], [0.0, 0.0, 1.3292]],
+    x_per_mile: [[0.0, 0.0, 0.0], [0.0, 0.0, 0.0], [0.0, 0.0, 1.3475]],
 };
 
 /// IEEE 13-bus underground config 606 (phases abc).
@@ -138,16 +130,8 @@ pub const CFG_606: LineConfig = LineConfig {
 pub const CFG_607: LineConfig = LineConfig {
     id: 607,
     phases: PhaseSet::A,
-    r_per_mile: [
-        [1.3425, 0.0, 0.0],
-        [0.0, 0.0, 0.0],
-        [0.0, 0.0, 0.0],
-    ],
-    x_per_mile: [
-        [0.5124, 0.0, 0.0],
-        [0.0, 0.0, 0.0],
-        [0.0, 0.0, 0.0],
-    ],
+    r_per_mile: [[1.3425, 0.0, 0.0], [0.0, 0.0, 0.0], [0.0, 0.0, 0.0]],
+    x_per_mile: [[0.5124, 0.0, 0.0], [0.0, 0.0, 0.0], [0.0, 0.0, 0.0]],
 };
 
 /// All IEEE-13 configs.
@@ -167,7 +151,8 @@ pub fn restrict_to_phases(
     let mut xo = [[0.0; 3]; 3];
     for i in 0..3 {
         for j in 0..3 {
-            let keep = phases.contains(Phase::from_index(i)) && phases.contains(Phase::from_index(j));
+            let keep =
+                phases.contains(Phase::from_index(i)) && phases.contains(Phase::from_index(j));
             if keep {
                 ro[i][j] = r[i][j];
                 xo[i][j] = x[i][j];

@@ -140,13 +140,13 @@ pub fn ieee13_detailed() -> Network {
 
     // --- Loads (kW, kvar per published spec). ---
     let load = |name: &str,
-                    bus,
-                    phases: PhaseSet,
-                    conn,
-                    zip,
-                    p: [f64; 3],
-                    q: [f64; 3],
-                    net: &mut Network| {
+                bus,
+                phases: PhaseSet,
+                conn,
+                zip,
+                p: [f64; 3],
+                q: [f64; 3],
+                net: &mut Network| {
         net.add_load(Load {
             name: name.into(),
             bus,
@@ -159,25 +159,97 @@ pub fn ieee13_detailed() -> Network {
     };
     use Connection::*;
     use ZipClass::*;
-    load("634", n634, PhaseSet::ABC, Wye, ConstantPower,
-        [160.0, 120.0, 120.0], [110.0, 90.0, 90.0], &mut net);
-    load("645", n645, PhaseSet::B, Wye, ConstantPower,
-        [0.0, 170.0, 0.0], [0.0, 125.0, 0.0], &mut net);
-    load("646", n646, PhaseSet::BC, Delta, ConstantImpedance,
-        [0.0, 230.0, 0.0], [0.0, 132.0, 0.0], &mut net);
-    load("652", n652, PhaseSet::A, Wye, ConstantImpedance,
-        [128.0, 0.0, 0.0], [86.0, 0.0, 0.0], &mut net);
-    load("671", n671, PhaseSet::ABC, Delta, ConstantPower,
-        [385.0, 385.0, 385.0], [220.0, 220.0, 220.0], &mut net);
-    load("675", n675, PhaseSet::ABC, Wye, ConstantPower,
-        [485.0, 68.0, 290.0], [190.0, 60.0, 212.0], &mut net);
-    load("692", n692, PhaseSet::C, Delta, ConstantCurrent,
-        [0.0, 0.0, 170.0], [0.0, 0.0, 151.0], &mut net);
-    load("611", n611, PhaseSet::C, Wye, ConstantCurrent,
-        [0.0, 0.0, 170.0], [0.0, 0.0, 80.0], &mut net);
+    load(
+        "634",
+        n634,
+        PhaseSet::ABC,
+        Wye,
+        ConstantPower,
+        [160.0, 120.0, 120.0],
+        [110.0, 90.0, 90.0],
+        &mut net,
+    );
+    load(
+        "645",
+        n645,
+        PhaseSet::B,
+        Wye,
+        ConstantPower,
+        [0.0, 170.0, 0.0],
+        [0.0, 125.0, 0.0],
+        &mut net,
+    );
+    load(
+        "646",
+        n646,
+        PhaseSet::BC,
+        Delta,
+        ConstantImpedance,
+        [0.0, 230.0, 0.0],
+        [0.0, 132.0, 0.0],
+        &mut net,
+    );
+    load(
+        "652",
+        n652,
+        PhaseSet::A,
+        Wye,
+        ConstantImpedance,
+        [128.0, 0.0, 0.0],
+        [86.0, 0.0, 0.0],
+        &mut net,
+    );
+    load(
+        "671",
+        n671,
+        PhaseSet::ABC,
+        Delta,
+        ConstantPower,
+        [385.0, 385.0, 385.0],
+        [220.0, 220.0, 220.0],
+        &mut net,
+    );
+    load(
+        "675",
+        n675,
+        PhaseSet::ABC,
+        Wye,
+        ConstantPower,
+        [485.0, 68.0, 290.0],
+        [190.0, 60.0, 212.0],
+        &mut net,
+    );
+    load(
+        "692",
+        n692,
+        PhaseSet::C,
+        Delta,
+        ConstantCurrent,
+        [0.0, 0.0, 170.0],
+        [0.0, 0.0, 151.0],
+        &mut net,
+    );
+    load(
+        "611",
+        n611,
+        PhaseSet::C,
+        Wye,
+        ConstantCurrent,
+        [0.0, 0.0, 170.0],
+        [0.0, 0.0, 80.0],
+        &mut net,
+    );
     // Distributed load 632–671, lumped at the published midpoint bus 670.
-    load("670", n670, PhaseSet::ABC, Wye, ConstantPower,
-        [17.0, 66.0, 117.0], [10.0, 38.0, 68.0], &mut net);
+    load(
+        "670",
+        n670,
+        PhaseSet::ABC,
+        Wye,
+        ConstantPower,
+        [17.0, 66.0, 117.0],
+        [10.0, 38.0, 68.0],
+        &mut net,
+    );
 
     net
 }

@@ -25,8 +25,8 @@ pub mod phase;
 
 pub use components::{Component, ComponentGraph};
 pub use data::{
-    Branch, BranchId, BranchKind, Bus, BusId, Connection, GenId, Generator, Load, LoadId,
-    PerPhase, ZipClass,
+    Branch, BranchId, BranchKind, Bus, BusId, Connection, GenId, Generator, Load, LoadId, PerPhase,
+    ZipClass,
 };
 pub use network::{Network, NetworkError};
 pub use phase::{Phase, PhaseSet};

@@ -377,7 +377,10 @@ mod tests {
         n.branches[0].x = [[0.0; 3]; 3];
         n.validate().unwrap();
         assert!(n.set_switch("sw1", false));
-        assert_eq!(n.validate(), Err(NetworkError::Disconnected { unreachable: 1 }));
+        assert_eq!(
+            n.validate(),
+            Err(NetworkError::Disconnected { unreachable: 1 })
+        );
         assert!(!n.set_switch("missing", true));
     }
 

@@ -7,37 +7,40 @@ use proptest::prelude::*;
 
 fn spec_strategy() -> impl Strategy<Value = SyntheticSpec> {
     (
-        8usize..80,          // nodes
-        2usize..8,           // leaves
-        0usize..12,          // extra parallel lines
-        0u64..1000,          // seed
-        0.0f64..0.6,         // delta fraction
-        0.1f64..0.9,         // load fraction
+        8usize..80,  // nodes
+        2usize..8,   // leaves
+        0usize..12,  // extra parallel lines
+        0u64..1000,  // seed
+        0.0f64..0.6, // delta fraction
+        0.1f64..0.9, // load fraction
     )
-        .prop_filter_map("consistent", |(nodes, leaves, extra, seed, delta, loadf)| {
-            if leaves >= nodes - 1 {
-                return None;
-            }
-            // Parallel legs need internal edges; keep extra modest.
-            let internal = (nodes - 1).saturating_sub(leaves);
-            if internal == 0 && extra > 0 {
-                return None;
-            }
-            Some(SyntheticSpec {
-                name: format!("prop-{nodes}-{leaves}-{extra}-{seed}"),
-                n_nodes: nodes,
-                n_lines: nodes - 1 + extra,
-                n_leaves: leaves,
-                phase_weights: [0.4, 0.3, 0.3],
-                load_node_fraction: loadf,
-                delta_fraction: delta,
-                zip_weights: [0.4, 0.3, 0.3],
-                der_count: 1,
-                transformer_fraction: 0.2,
-                avg_load_p: 0.03,
-                seed,
-            })
-        })
+        .prop_filter_map(
+            "consistent",
+            |(nodes, leaves, extra, seed, delta, loadf)| {
+                if leaves >= nodes - 1 {
+                    return None;
+                }
+                // Parallel legs need internal edges; keep extra modest.
+                let internal = (nodes - 1).saturating_sub(leaves);
+                if internal == 0 && extra > 0 {
+                    return None;
+                }
+                Some(SyntheticSpec {
+                    name: format!("prop-{nodes}-{leaves}-{extra}-{seed}"),
+                    n_nodes: nodes,
+                    n_lines: nodes - 1 + extra,
+                    n_leaves: leaves,
+                    phase_weights: [0.4, 0.3, 0.3],
+                    load_node_fraction: loadf,
+                    delta_fraction: delta,
+                    zip_weights: [0.4, 0.3, 0.3],
+                    der_count: 1,
+                    transformer_fraction: 0.2,
+                    avg_load_p: 0.03,
+                    seed,
+                })
+            },
+        )
 }
 
 proptest! {

@@ -304,7 +304,9 @@ mod tests {
     #[test]
     fn projects_onto_simplex() {
         let p = simplex_projector();
-        let r = p.project(&[0.5, 0.5, 0.5], None, QpOptions::default()).unwrap();
+        let r = p
+            .project(&[0.5, 0.5, 0.5], None, QpOptions::default())
+            .unwrap();
         for v in &r.x {
             assert!((v - 1.0 / 3.0).abs() < 1e-8, "{v}");
         }
@@ -313,7 +315,9 @@ mod tests {
     #[test]
     fn respects_active_bounds() {
         let p = simplex_projector();
-        let r = p.project(&[2.0, 0.0, -1.0], None, QpOptions::default()).unwrap();
+        let r = p
+            .project(&[2.0, 0.0, -1.0], None, QpOptions::default())
+            .unwrap();
         // Projection of (2, 0, -1): x = (1, 0, 0).
         assert!((r.x[0] - 1.0).abs() < 1e-7);
         assert!(r.x[1].abs() < 1e-7);
@@ -403,7 +407,9 @@ mod tests {
     #[test]
     fn projection_is_idempotent() {
         let p = simplex_projector();
-        let r1 = p.project(&[3.0, -1.0, 0.2], None, QpOptions::default()).unwrap();
+        let r1 = p
+            .project(&[3.0, -1.0, 0.2], None, QpOptions::default())
+            .unwrap();
         let r2 = p.project(&r1.x, None, QpOptions::default()).unwrap();
         for (a, b) in r1.x.iter().zip(&r2.x) {
             assert!((a - b).abs() < 1e-7);

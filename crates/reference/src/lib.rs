@@ -84,10 +84,7 @@ impl SpdOperator for NormalOp<'_> {
 ///
 /// Returns an error only on CG breakdown; hitting the iteration cap
 /// returns the best iterate with `converged = false`.
-pub fn solve_centralized(
-    lp: &CentralizedLp,
-    opts: RefOptions,
-) -> Result<RefSolution, LinalgError> {
+pub fn solve_centralized(lp: &CentralizedLp, opts: RefOptions) -> Result<RefSolution, LinalgError> {
     let n = lp.cols();
     let m = lp.rows();
     let op = NormalOp {
@@ -186,7 +183,11 @@ mod tests {
             ..RefOptions::default()
         };
         let sol = solve_centralized(&lp, opts).unwrap();
-        assert!(sol.converged, "residuals {} / eq {}", sol.consensus_res, sol.eq_res);
+        assert!(
+            sol.converged,
+            "residuals {} / eq {}",
+            sol.consensus_res, sol.eq_res
+        );
         assert!(sol.eq_res < 1e-4, "eq res {}", sol.eq_res);
         assert_eq!(lp.bound_violation(&sol.x), 0.0);
         // Generation must at least cover the constant-power load.

@@ -13,13 +13,16 @@ use opf_net::feeders;
 
 /// A stylized 24-hour residential load shape (fraction of peak).
 const PROFILE: [f64; 24] = [
-    0.55, 0.50, 0.47, 0.45, 0.46, 0.52, 0.65, 0.78, 0.82, 0.80, 0.78, 0.77,
-    0.78, 0.76, 0.75, 0.78, 0.85, 0.95, 1.00, 0.98, 0.92, 0.82, 0.70, 0.60,
+    0.55, 0.50, 0.47, 0.45, 0.46, 0.52, 0.65, 0.78, 0.82, 0.80, 0.78, 0.77, 0.78, 0.76, 0.75, 0.78,
+    0.85, 0.95, 1.00, 0.98, 0.92, 0.82, 0.70, 0.60,
 ];
 
 fn main() {
     let base = feeders::ieee13_detailed();
-    println!("24-step rolling horizon on {}, warm vs cold starts\n", base.name);
+    println!(
+        "24-step rolling horizon on {}, warm vs cold starts\n",
+        base.name
+    );
     println!("hour  scale   cold iters   warm iters   Σp^g [p.u.]");
 
     let mut warm_state: Option<(Vec<f64>, Vec<f64>, Vec<f64>)> = None;

@@ -3,9 +3,7 @@
 //! the paper's §V-B comparison at test scale.
 
 use comm_sim::CommModel;
-use opf_admm::{
-    AdmmOptions, BenchmarkAdmm, ClusterSpec, RankKind, SolverFreeAdmm,
-};
+use opf_admm::{AdmmOptions, BenchmarkAdmm, ClusterSpec, RankKind, SolverFreeAdmm};
 use opf_integration::decompose_net;
 use opf_net::feeders;
 
