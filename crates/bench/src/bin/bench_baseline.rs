@@ -1,0 +1,277 @@
+//! `bench_baseline` — the repo's performance trajectory snapshot.
+//!
+//! Solves the paper's instances (IEEE 13 / 123 / 8500) on each backend and
+//! writes `BENCH_admm.json` with per-phase per-iteration times, iteration
+//! counts, and objectives, plus two targeted comparisons:
+//!
+//! * arena vs. reference precompute — build time, dedup factor, and an
+//!   isolated local+dual sweep microbenchmark (the §IV inner loop);
+//! * `check_every = 1` vs. `check_every = 10` — end-to-end wall clock of
+//!   the strided termination test.
+//!
+//! Usage: `bench_baseline [OUT.json]` (default `BENCH_admm.json`).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use gpu_sim::DeviceProps;
+use opf_admm::{updates, AdmmOptions, Backend, Precomputed, ReferencePrecomputed, SolverFreeAdmm};
+use opf_bench::harness::{fmt_secs, load_instance, Instance};
+
+/// Iteration budgets keeping the larger feeders CI-friendly; ieee13 runs to
+/// convergence so the snapshot records a real iteration count.
+fn budget(name: &str) -> Option<usize> {
+    match name {
+        "ieee13" => None,
+        "ieee123" => Some(2000),
+        _ => Some(300),
+    }
+}
+
+fn opts_for(name: &str, backend: Backend) -> AdmmOptions {
+    let mut o = AdmmOptions {
+        backend,
+        ..AdmmOptions::default()
+    };
+    if let Some(b) = budget(name) {
+        // Fixed budget: disable the tolerance so every backend runs the
+        // same iterations and the per-phase averages are comparable.
+        o.eps_rel = 0.0;
+        o.max_iters = b;
+    }
+    o
+}
+
+struct SweepResult {
+    reps: usize,
+    arena_s: f64,
+    reference_s: f64,
+}
+
+/// Isolated local+dual sweep: one ADMM iteration's worth of (15)+(12) over
+/// every component, arena layout vs. the retained seed layout, identical
+/// inputs. This is the traffic the ≥25 % acceptance criterion targets.
+fn local_dual_sweep(inst: &Instance, reps: usize) -> SweepResult {
+    let solver = SolverFreeAdmm::new(&inst.dec).expect("precompute");
+    let pre = solver.precomputed();
+    let refpre = ReferencePrecomputed::build(&inst.dec).expect("reference precompute");
+    let rho = 100.0;
+    let (x, z0, l0) = solver.initial_state();
+
+    let run = |arena: bool| {
+        let mut z = z0.clone();
+        let mut lambda = l0.clone();
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            for s in 0..pre.s() {
+                let r = pre.range(s);
+                let (lo, hi) = (r.start, r.end);
+                if arena {
+                    updates::local_update_component(
+                        s,
+                        pre,
+                        rho,
+                        &x,
+                        &lambda[lo..hi],
+                        &mut z[lo..hi],
+                    );
+                } else {
+                    refpre.local_update_component(s, rho, &x, &lambda[lo..hi], &mut z[lo..hi]);
+                }
+                updates::dual_update_component(
+                    &pre.stacked_to_global[lo..hi],
+                    rho,
+                    &x,
+                    &z[lo..hi],
+                    &mut lambda[lo..hi],
+                );
+            }
+        }
+        (t0.elapsed().as_secs_f64(), z, lambda)
+    };
+
+    // Warm both paths once, then measure; check the layouts still agree.
+    let _ = run(true);
+    let _ = run(false);
+    let (arena_s, za, la) = run(true);
+    let (reference_s, zr, lr) = run(false);
+    assert_eq!(za, zr, "{}: arena/reference z diverged", inst.name);
+    assert_eq!(la, lr, "{}: arena/reference λ diverged", inst.name);
+
+    SweepResult {
+        reps,
+        arena_s,
+        reference_s,
+    }
+}
+
+fn json_f(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .filter(|a| !a.starts_with("--"))
+        .unwrap_or_else(|| "BENCH_admm.json".to_string());
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let mut instances_json = Vec::new();
+
+    for name in ["ieee13", "ieee123", "ieee8500"] {
+        eprintln!("== {name} ==");
+        let inst = load_instance(name);
+
+        // Precompute builds: arena (with interning) vs. retained reference.
+        let t0 = Instant::now();
+        let pre = Precomputed::build(&inst.dec).expect("arena precompute");
+        let arena_build_s = t0.elapsed().as_secs_f64();
+        let t0 = Instant::now();
+        let _refpre = ReferencePrecomputed::build(&inst.dec).expect("reference precompute");
+        let reference_build_s = t0.elapsed().as_secs_f64();
+        eprintln!(
+            "   precompute: arena {} vs reference {} | S={} unique={} dedup={:.2}x",
+            fmt_secs(arena_build_s),
+            fmt_secs(reference_build_s),
+            pre.s(),
+            pre.unique_slabs(),
+            pre.dedup_factor()
+        );
+
+        // Isolated local+dual sweep microbenchmark.
+        let reps = if name == "ieee8500" { 50 } else { 200 };
+        let sweep = local_dual_sweep(&inst, reps);
+        let sweep_gain = 100.0 * (1.0 - sweep.arena_s / sweep.reference_s.max(f64::MIN_POSITIVE));
+        eprintln!(
+            "   local+dual sweep ({} reps): arena {} vs reference {} ({:+.1} %)",
+            sweep.reps,
+            fmt_secs(sweep.arena_s / sweep.reps as f64),
+            fmt_secs(sweep.reference_s / sweep.reps as f64),
+            -sweep_gain
+        );
+
+        // Per-backend per-phase profile (check_every = 1 so the residual
+        // column is per-iteration).
+        let solver = SolverFreeAdmm::new(&inst.dec).expect("solver");
+        let backends: Vec<(&str, Backend)> = vec![
+            ("serial", Backend::Serial),
+            ("rayon", Backend::Rayon { threads }),
+            (
+                "gpu-sim",
+                Backend::Gpu {
+                    props: DeviceProps::a100(),
+                    threads_per_block: 32,
+                },
+            ),
+        ];
+        let mut backend_json = Vec::new();
+        for (bname, backend) in backends {
+            let mut opts = opts_for(name, backend);
+            if bname == "gpu-sim" {
+                opts.fuse_local_dual = true;
+            }
+            let res = solver.solve(&opts);
+            let it = res.timings.iterations.max(1) as f64;
+            eprintln!(
+                "   {bname:8} {} iters  obj {:.6}  per-iter global {} local {} dual {} residual {}",
+                res.iterations,
+                res.objective,
+                fmt_secs(res.timings.global_s / it),
+                fmt_secs(res.timings.local_s / it),
+                fmt_secs(res.timings.dual_s / it),
+                fmt_secs(res.timings.residual_s / it),
+            );
+            backend_json.push(format!(
+                concat!(
+                    "{{\"backend\":\"{}\",\"iters\":{},\"converged\":{},",
+                    "\"objective\":{},\"simulated\":{},\"per_iter_us\":{{",
+                    "\"precompute\":{},\"global\":{},\"local\":{},\"dual\":{},",
+                    "\"local_dual\":{},\"residual\":{}}}}}"
+                ),
+                bname,
+                res.iterations,
+                res.converged,
+                json_f(res.objective),
+                res.timings.simulated,
+                json_f(1e6 * arena_build_s / it),
+                json_f(1e6 * res.timings.global_s / it),
+                json_f(1e6 * res.timings.local_s / it),
+                json_f(1e6 * res.timings.dual_s / it),
+                json_f(1e6 * (res.timings.local_s + res.timings.dual_s) / it),
+                json_f(1e6 * res.timings.residual_s / it),
+            ));
+        }
+
+        // Strided termination test: end-to-end wall clock, check_every 1 vs 10.
+        let run_wall = |check_every: usize| {
+            let mut opts = opts_for(name, Backend::Serial);
+            opts.check_every = check_every;
+            let t0 = Instant::now();
+            let res = solver.solve(&opts);
+            (t0.elapsed().as_secs_f64(), res)
+        };
+        let _ = run_wall(1); // warm
+        let (wall_1, res_1) = run_wall(1);
+        let (wall_10, res_10) = run_wall(10);
+        let stride_gain = 100.0 * (1.0 - wall_10 / wall_1.max(f64::MIN_POSITIVE));
+        eprintln!(
+            "   check_every 1→10: {} → {} ({:.1} % faster), iters {} → {}",
+            fmt_secs(wall_1),
+            fmt_secs(wall_10),
+            stride_gain,
+            res_1.iterations,
+            res_10.iterations,
+        );
+        assert!(
+            res_10.iterations >= res_1.iterations && res_10.iterations - res_1.iterations < 10,
+            "{name}: strided detection must lag by < check_every iterations"
+        );
+
+        let mut j = String::new();
+        let _ = write!(
+            j,
+            concat!(
+                "{{\"name\":\"{}\",\"components\":{},\"unique_slabs\":{},",
+                "\"dedup_factor\":{},\"budget_iters\":{},",
+                "\"precompute_us\":{{\"arena\":{},\"reference\":{}}},",
+                "\"local_dual_sweep\":{{\"reps\":{},\"arena_us\":{},",
+                "\"reference_us\":{},\"improvement_pct\":{}}},",
+                "\"check_every\":{{\"wall_us_1\":{},\"wall_us_10\":{},",
+                "\"improvement_pct\":{},\"iters_1\":{},\"iters_10\":{}}},",
+                "\"backends\":[{}]}}"
+            ),
+            name,
+            pre.s(),
+            pre.unique_slabs(),
+            json_f(pre.dedup_factor()),
+            budget(name).map_or("null".to_string(), |b| b.to_string()),
+            json_f(1e6 * arena_build_s),
+            json_f(1e6 * reference_build_s),
+            sweep.reps,
+            json_f(1e6 * sweep.arena_s / sweep.reps as f64),
+            json_f(1e6 * sweep.reference_s / sweep.reps as f64),
+            json_f(sweep_gain),
+            json_f(1e6 * wall_1),
+            json_f(1e6 * wall_10),
+            json_f(stride_gain),
+            res_1.iterations,
+            res_10.iterations,
+            backend_json.join(","),
+        );
+        instances_json.push(j);
+    }
+
+    let doc = format!(
+        "{{\"schema\":\"bench_admm/v1\",\"threads\":{},\"instances\":[{}]}}\n",
+        threads,
+        instances_json.join(",")
+    );
+    std::fs::write(&out_path, &doc).expect("write snapshot");
+    eprintln!("wrote {out_path}");
+}

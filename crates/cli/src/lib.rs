@@ -21,6 +21,7 @@ pub enum Command {
         rho: f64,
         eps: f64,
         max_iters: usize,
+        check_every: usize,
         distributed: Option<usize>,
         compress: Compression,
         show_report: bool,
@@ -72,7 +73,8 @@ gridflow — GPU-accelerated distributed OPF (paper reproduction)
 USAGE:
   gridflow info <instance>
   gridflow solve <instance> [--backend serial|rayon:N|gpu[:T]] [--rho R]
-                 [--eps E] [--max-iters N] [--distributed N]
+                 [--eps E] [--max-iters N] [--check-every N]
+                 [--distributed N]
                  [--compress fp32|topk:F] [--report]
                  [--save-state path.json] [--resume path.json]
                  [--checkpoint-every N]
@@ -89,6 +91,12 @@ has contributed (--quorum, default 1.0) and declares a rank dead after
 repeated silence, adopting its partition. --save-state with
 --distributed checkpoints the operator state (periodically with
 --checkpoint-every, and always at the end) in the --resume format.
+--check-every N evaluates the termination test every N-th iteration
+(default 1): iterates are unchanged and the run stops at the first
+*checked* iteration satisfying the test — never earlier than per-
+iteration checking, typically ≤ N−1 iterations later (more if the
+residuals dip below tolerance only transiently between checks). With
+--distributed a skipped check also skips the stop-flag collective.
   gridflow export <instance> <path.json>
   gridflow tables  [--full]
   gridflow figures [--full]
@@ -146,6 +154,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             let mut rho = 100.0;
             let mut eps = 1e-3;
             let mut max_iters = 200_000;
+            let mut check_every = 1usize;
             let mut distributed = None;
             let mut compress = Compression::None;
             let mut show_report = false;
@@ -171,6 +180,12 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     "--rho" => rho = parse_num(it.next(), "--rho")?,
                     "--eps" => eps = parse_num(it.next(), "--eps")?,
                     "--max-iters" => max_iters = parse_num(it.next(), "--max-iters")? as usize,
+                    "--check-every" => {
+                        check_every = parse_num(it.next(), "--check-every")? as usize;
+                        if check_every == 0 {
+                            return Err(CliError("--check-every must be ≥ 1".into()));
+                        }
+                    }
                     "--distributed" => {
                         distributed = Some(parse_num(it.next(), "--distributed")? as usize)
                     }
@@ -251,6 +266,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 rho,
                 eps,
                 max_iters,
+                check_every,
                 distributed,
                 compress,
                 show_report,
@@ -380,6 +396,7 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             rho,
             eps,
             max_iters,
+            check_every,
             distributed,
             compress,
             show_report,
@@ -402,6 +419,7 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                 rho,
                 eps_rel: eps,
                 max_iters,
+                check_every,
                 backend: backend.to_backend(),
                 ..AdmmOptions::default()
             };
@@ -568,6 +586,8 @@ mod tests {
             "1e-4",
             "--max-iters",
             "1000",
+            "--check-every",
+            "25",
             "--report",
         ]))
         .unwrap();
@@ -578,6 +598,7 @@ mod tests {
                 rho,
                 eps,
                 max_iters,
+                check_every,
                 show_report,
                 ..
             } => {
@@ -586,10 +607,13 @@ mod tests {
                 assert_eq!(rho, 50.0);
                 assert_eq!(eps, 1e-4);
                 assert_eq!(max_iters, 1000);
+                assert_eq!(check_every, 25);
                 assert!(show_report);
             }
             _ => panic!("wrong command"),
         }
+        // A stride of 0 would never test (16); reject it.
+        assert!(parse(&sv(&["solve", "ieee13", "--check-every", "0"])).is_err());
     }
 
     #[test]
@@ -712,6 +736,7 @@ mod tests {
             rho: 100.0,
             eps: 1e-3,
             max_iters: 50,
+            check_every: 1,
             distributed: None,
             compress: Compression::None,
             show_report: true,
@@ -755,6 +780,7 @@ mod tests {
             rho: 100.0,
             eps: 1e-3,
             max_iters: 200,
+            check_every: 1,
             distributed: None,
             compress: Compression::None,
             show_report: false,
@@ -774,6 +800,7 @@ mod tests {
             rho: 100.0,
             eps: 1e-3,
             max_iters: 200_000,
+            check_every: 1,
             distributed: None,
             compress: Compression::None,
             show_report: false,
@@ -793,6 +820,7 @@ mod tests {
             rho: 100.0,
             eps: 1e-3,
             max_iters: 10,
+            check_every: 1,
             distributed: None,
             compress: Compression::None,
             show_report: false,

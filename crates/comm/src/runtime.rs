@@ -144,6 +144,12 @@ pub struct CommStats {
     pub purged: u64,
     /// Sends swallowed because the peer was already gone.
     pub dead_sends: u64,
+    /// Collective rounds the protocol elided entirely (e.g. the stop-flag
+    /// broadcast on iterations where the strided termination test is
+    /// skipped). Counted per rank per skipped round; deterministic — a
+    /// pure function of the iteration schedule, unlike the attempt-level
+    /// counters above.
+    pub skipped_collectives: u64,
 }
 
 impl CommStats {
@@ -163,6 +169,7 @@ impl CommStats {
         self.timeouts += other.timeouts;
         self.purged += other.purged;
         self.dead_sends += other.dead_sends;
+        self.skipped_collectives += other.skipped_collectives;
     }
 }
 
@@ -266,6 +273,12 @@ impl RankCtx {
     /// The fault plan this mesh runs under.
     pub fn fault_plan(&self) -> &FaultPlan {
         &self.faults
+    }
+
+    /// Record a collective round this rank elided (no wire traffic at
+    /// all) — see [`CommStats::skipped_collectives`].
+    pub fn note_skipped_collective(&mut self) {
+        self.stats.skipped_collectives += 1;
     }
 
     /// Override the pending-buffer cap (mostly for tests).

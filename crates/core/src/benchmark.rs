@@ -95,6 +95,9 @@ impl<'a> BenchmarkAdmm<'a> {
         };
         let (mut x, mut z, mut lambda) = self.initial_state();
         let mut z_prev = z.clone();
+        // Stacked QP-target scratch, reused every iteration (replaces a
+        // per-component `collect()` allocation in the hot loop).
+        let mut target = vec![0.0; self.pre.total_dim()];
         let rho = opts.rho;
         let mut warm_mu: Vec<Vec<f64>> = self
             .dec
@@ -132,23 +135,25 @@ impl<'a> BenchmarkAdmm<'a> {
             timings.global_s += t0.elapsed().as_secs_f64();
 
             // --- Local update: QP (14) with bounds, per component. ---
-            z_prev.copy_from_slice(&z);
+            // Ping-pong swap (the QP writes every entry of z below).
+            std::mem::swap(&mut z, &mut z_prev);
             let t0 = Instant::now();
+            // Target t = B_s x + λ_s/ρ (the QP (14) is this projection,
+            // since Q = ρI), gathered once into the stacked scratch.
+            for ((tg, &g), &l) in target
+                .iter_mut()
+                .zip(&self.pre.stacked_to_global)
+                .zip(&lambda)
+            {
+                *tg = x[g] + l / rho;
+            }
             let inner: usize = {
                 let mut slices = split_by_offsets(&mut z, &self.pre.offsets);
+                let target = &target;
                 let body = |(s, zs): (usize, &mut &mut [f64]), mu: &mut Vec<f64>| -> usize {
                     let r = self.pre.range(s);
-                    let globals = &self.pre.stacked_to_global[r.clone()];
-                    let lam = &lambda[r];
-                    // Target t = B_s x + λ_s/ρ (the QP (14) is this
-                    // projection, since Q = ρI).
-                    let target: Vec<f64> = globals
-                        .iter()
-                        .zip(lam)
-                        .map(|(&g, &l)| x[g] + l / rho)
-                        .collect();
                     let proj = self.projectors[s]
-                        .project(&target, Some(mu), self.qp_opts)
+                        .project(&target[r], Some(mu), self.qp_opts)
                         .unwrap_or_else(|e| panic!("component {s} QP failed: {e}"));
                     zs.copy_from_slice(&proj.x);
                     *mu = proj.mu;
@@ -239,8 +244,8 @@ impl<'a> BenchmarkAdmm<'a> {
     pub fn initial_state(&self) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
         let mut x = self.dec.vars.initial_point();
         vec_ops::clip(&mut x, &self.dec.lower, &self.dec.upper);
-        let mut z = vec![0.0; self.pre.total_dim()];
-        updates::gather_bx(&self.pre, &x, &mut z);
+        // z = Bx, gathered directly (no zero-filled intermediate).
+        let z: Vec<f64> = self.pre.stacked_to_global.iter().map(|&g| x[g]).collect();
         let lambda = vec![0.0; self.pre.total_dim()];
         (x, z, lambda)
     }

@@ -197,7 +197,8 @@ impl SolverFreeAdmm<'_> {
             }
 
             // --- Local update, per rank; slowest rank gates the step. ---
-            z_prev.copy_from_slice(&z);
+            // Ping-pong swap (every z entry is rewritten below).
+            std::mem::swap(&mut z, &mut z_prev);
             let mut max_local = 0.0f64;
             let mut max_dual = 0.0f64;
             match spec.kind {
@@ -326,6 +327,9 @@ impl BenchmarkAdmm<'_> {
 
         let (mut x, mut z, mut lambda) = self.initial_state();
         let mut z_prev = z.clone();
+        // Stacked QP-target scratch (no per-component `collect()` in the
+        // timed loop).
+        let mut target = vec![0.0; pre.total_dim()];
         let mut warm: Vec<Vec<f64>> = dec.components.iter().map(|c| vec![0.0; c.m()]).collect();
         let mut bd = ClusterBreakdown {
             comm_s: comm_per_iter,
@@ -356,21 +360,24 @@ impl BenchmarkAdmm<'_> {
                 global_ts.push(t0.elapsed().as_secs_f64());
             }
 
-            z_prev.copy_from_slice(&z);
+            // Ping-pong swap (every z entry is rewritten below).
+            std::mem::swap(&mut z, &mut z_prev);
             let mut max_local = 0.0f64;
             for part in &parts {
                 let t0 = Instant::now();
                 for s in part.clone() {
                     let r = pre.range(s);
                     let globals = &pre.stacked_to_global[r.clone()];
-                    let target: Vec<f64> = globals
-                        .iter()
+                    for ((tg, &g), &l) in target[r.clone()]
+                        .iter_mut()
+                        .zip(globals)
                         .zip(&lambda[r.clone()])
-                        .map(|(&g, &l)| x[g] + l / rho)
-                        .collect();
+                    {
+                        *tg = x[g] + l / rho;
+                    }
                     let proj = self
                         .projector(s)
-                        .project(&target, Some(&warm[s]), qp_opts)
+                        .project(&target[r.clone()], Some(&warm[s]), qp_opts)
                         .unwrap_or_else(|e| panic!("component {s} QP failed: {e}"));
                     z[r].copy_from_slice(&proj.x);
                     warm[s] = proj.mu;

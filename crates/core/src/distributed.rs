@@ -509,8 +509,20 @@ impl SolverFreeAdmm<'_> {
                     break 'iters;
                 }
 
+                // Strided termination test: residuals and the stop-flag
+                // collective run only on check iterations (the final
+                // iteration always checks). Every rank derives `check`
+                // from the shared options, so the schedule needs no
+                // coordination traffic.
+                let check = t % opts.check_every == 0 || t == opts.max_iters;
+
                 // --- Agents: local + dual updates on their slice. ---
-                if me == 0 {
+                if me == 0 && check {
+                    // z still holds z^(t−1) here, so dres at this check
+                    // compares consecutive iterates exactly as the
+                    // per-iteration snapshot did. (A buffer swap is not
+                    // safe on the operator: stale quorum slices keep old
+                    // z entries, so z is not fully overwritten.)
                     z_prev.copy_from_slice(&z);
                 }
                 let sitting_out = me != 0 && plan.sits_out(me, t);
@@ -612,25 +624,6 @@ impl SolverFreeAdmm<'_> {
                         }
                     }
 
-                    final_res =
-                        Residuals::compute(pre, opts.eps_rel, rho, &x, &z, &z_prev, &lambda);
-                    let mut stop = final_res.converged();
-                    if active && stop {
-                        // λ-drift guard (see `nonideal`): stale duals
-                        // must have actually settled, not merely stopped
-                        // being refreshed.
-                        let lam_drift: f64 = lambda
-                            .iter()
-                            .zip(&lambda_prev)
-                            .map(|(a, b)| (a - b) * (a - b))
-                            .sum::<f64>()
-                            .sqrt();
-                        stop = lam_drift / rho <= final_res.eps_prim;
-                    }
-                    if active {
-                        lambda_prev.copy_from_slice(&lambda);
-                    }
-
                     if let Some(ck) = &dopts.checkpoint {
                         if ck.every > 0 && t % ck.every == 0 {
                             let body = checkpoint_json(&ck.instance, &x, &z, &lambda);
@@ -640,17 +633,44 @@ impl SolverFreeAdmm<'_> {
                         }
                     }
 
-                    let flag = vec![if stop { 1.0 } else { 0.0 }];
-                    if let Err(e) = ctx.broadcast_live(0, tag + 2, flag, &live, patience) {
-                        report.fatal = Some(e.to_string());
-                        break 'iters;
-                    }
-                    if active {
-                        ctx.purge_below(tag + 3);
-                    }
-                    if stop {
-                        converged = true;
-                        break 'iters;
+                    if check {
+                        final_res =
+                            Residuals::compute(pre, opts.eps_rel, rho, &x, &z, &z_prev, &lambda);
+                        let mut stop = final_res.converged();
+                        if active && stop {
+                            // λ-drift guard (see `nonideal`): stale duals
+                            // must have actually settled, not merely
+                            // stopped being refreshed. With a stride the
+                            // drift spans the whole check window — a
+                            // strictly stronger guard.
+                            let lam_drift: f64 = lambda
+                                .iter()
+                                .zip(&lambda_prev)
+                                .map(|(a, b)| (a - b) * (a - b))
+                                .sum::<f64>()
+                                .sqrt();
+                            stop = lam_drift / rho <= final_res.eps_prim;
+                        }
+                        if active {
+                            lambda_prev.copy_from_slice(&lambda);
+                        }
+
+                        let flag = vec![if stop { 1.0 } else { 0.0 }];
+                        if let Err(e) = ctx.broadcast_live(0, tag + 2, flag, &live, patience) {
+                            report.fatal = Some(e.to_string());
+                            break 'iters;
+                        }
+                        if active {
+                            ctx.purge_below(tag + 3);
+                        }
+                        if stop {
+                            converged = true;
+                            break 'iters;
+                        }
+                    } else {
+                        // Skipped check ⇒ the whole stop-flag collective
+                        // is elided for this round.
+                        ctx.note_skipped_collective();
                     }
                 } else {
                     if !sitting_out {
@@ -677,19 +697,25 @@ impl SolverFreeAdmm<'_> {
                             break 'iters;
                         }
                     }
-                    match ctx.recv_timeout(0, tag + 2, patience) {
-                        Ok(flag) => {
-                            if active {
-                                ctx.purge_below(tag + 3);
+                    if check {
+                        match ctx.recv_timeout(0, tag + 2, patience) {
+                            Ok(flag) => {
+                                if active {
+                                    ctx.purge_below(tag + 3);
+                                }
+                                if flag.first().copied().unwrap_or(1.0) > 0.5 {
+                                    break 'iters;
+                                }
                             }
-                            if flag.first().copied().unwrap_or(1.0) > 0.5 {
+                            Err(_) => {
+                                exit = RankExit::Detached { iter: t };
                                 break 'iters;
                             }
                         }
-                        Err(_) => {
-                            exit = RankExit::Detached { iter: t };
-                            break 'iters;
-                        }
+                    } else {
+                        // Same schedule as the operator: no stop flag is
+                        // coming this round.
+                        ctx.note_skipped_collective();
                     }
                 }
             }
@@ -804,6 +830,45 @@ mod tests {
         let dist = solver.solve_distributed(&opts, 1);
         assert_eq!(serial.iterations, dist.iterations);
         assert!((serial.objective - dist.objective).abs() < 1e-12);
+    }
+
+    #[test]
+    fn strided_checks_skip_stop_collectives_deterministically() {
+        let net = feeders::ieee13();
+        let dec = solver_for(&net);
+        let solver = SolverFreeAdmm::new(&dec).unwrap();
+        let dense = solver.solve_distributed(&AdmmOptions::default(), 3);
+        let strided = solver.solve_distributed(
+            &AdmmOptions {
+                check_every: 7,
+                ..AdmmOptions::default()
+            },
+            3,
+        );
+        assert!(dense.converged && strided.converged);
+
+        // Detection lags by less than the stride and lands on a check.
+        assert!(strided.iterations >= dense.iterations);
+        assert!(strided.iterations - dense.iterations < 7);
+        assert_eq!(strided.iterations % 7, 0);
+
+        // The strided distributed run matches the strided serial run.
+        let serial = solver.solve(&AdmmOptions {
+            check_every: 7,
+            ..AdmmOptions::default()
+        });
+        assert_eq!(serial.iterations, strided.iterations);
+        for (a, b) in serial.x.iter().zip(&strided.x) {
+            assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+        }
+
+        // Every skipped check elides the stop-flag collective on all three
+        // ranks. This count is a pure function of the iteration schedule
+        // (unlike attempt-level counters), so exact equality is safe.
+        let t = strided.iterations as u64;
+        let expected = (t - t / 7) * 3;
+        assert_eq!(strided.degradation.comm.skipped_collectives, expected);
+        assert_eq!(dense.degradation.comm.skipped_collectives, 0);
     }
 
     #[test]

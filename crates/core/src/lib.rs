@@ -28,7 +28,7 @@ pub use distributed::{
     CheckpointSpec, DegradationReport, DistributedOptions, DistributedResult, RankExit,
 };
 pub use nonideal::NonIdealComm;
-pub use precompute::Precomputed;
+pub use precompute::{Precomputed, ReferencePrecomputed};
 pub use solver::SolverFreeAdmm;
 pub use types::{AdmmOptions, Backend, ResidualBalancing, SolveResult, Timings, TraceEntry};
 pub use updates::Residuals;

@@ -11,18 +11,52 @@
 //! small matvec per iteration. Also builds the stacked-vector layout
 //! (`z = [x_1; …; x_S]`, eq. (17)) and the transpose scatter structure
 //! used by the global update's copy sums (§IV-C: `BᵀB` is diagonal).
+//!
+//! # Arena layout and structural deduplication
+//!
+//! The per-component data lives in two contiguous buffers instead of
+//! `Vec<Mat>` / `Vec<Vec<f64>>`:
+//!
+//! * [`Precomputed::abar_data`] — one row-major `f64` arena holding each
+//!   *unique* `Ā` slab exactly once. Components whose row-reduced
+//!   `(A_s, b_s)` are bit-identical (ieee8500's repeated no-load buses and
+//!   service-leg line configs) produce bit-identical `Ā_s`/`b̄_s` — the
+//!   Cholesky pipeline is deterministic — so an interning pass keyed on
+//!   the IEEE-754 bits of `(rows, n, A, b)` maps every component to a
+//!   shared slab id. Duplicates cost zero extra factorizations and zero
+//!   extra arena bytes.
+//! * [`Precomputed::bbar`] — `b̄` flattened into the stacked layout, so
+//!   component `s` reads `bbar[offsets[s]..offsets[s+1]]` in lock-step
+//!   with its `z` slice (copied per component: it is iterated linearly
+//!   with `z`, and duplicating the vector part keeps the hot loop free of
+//!   an extra indirection).
+//!
+//! The hot loop ([`crate::updates::local_update_component`]) therefore
+//! walks one cache-linear buffer with zero pointer chasing. The seed
+//! `Vec<Mat>` builder is retained as [`ReferencePrecomputed`] for
+//! differential tests and benchmark baselines.
 
 use opf_linalg::{CholFactor, LinalgError, Mat};
 use opf_model::DecomposedProblem;
 use rayon::prelude::*;
+use std::collections::HashMap;
 
 /// Precomputed per-component data plus the stacked layout.
 #[derive(Debug, Clone)]
 pub struct Precomputed {
-    /// `Ā_s` per component.
-    pub abar: Vec<Mat>,
-    /// `b̄_s` per component.
-    pub bbar: Vec<Vec<f64>>,
+    /// Row-major `f64` arena of unique `Ā` slabs (see module docs).
+    pub abar_data: Vec<f64>,
+    /// Unique slab `k` occupies `abar_data[slab_off[k]..slab_off[k+1]]`
+    /// (`n_k²` entries, row-major).
+    pub slab_off: Vec<usize>,
+    /// `slab_id[s]`: the unique slab component `s` reads.
+    pub slab_id: Vec<usize>,
+    /// `slab_owner[k]`: the lowest-index component using slab `k` (the
+    /// one the GPU cost model charges for bringing it into cache).
+    pub slab_owner: Vec<usize>,
+    /// `b̄` flattened into the stacked layout: component `s` owns
+    /// `bbar[offsets[s]..offsets[s+1]]`.
+    pub bbar: Vec<f64>,
     /// Stacked offsets: component `s` owns `offsets[s]..offsets[s+1]` of
     /// `z` and `λ`.
     pub offsets: Vec<usize>,
@@ -35,55 +69,104 @@ pub struct Precomputed {
     pub copies_idx: Vec<usize>,
 }
 
+/// Compute one component's `(Ā, b̄)` pair (15b)/(15c).
+fn compute_slab(a: &Mat, b: &[f64], n: usize, m: usize) -> Result<(Mat, Vec<f64>), LinalgError> {
+    if m == 0 {
+        // No equalities: projection onto the (empty) row space is 0;
+        // Ā = −I, b̄ = 0, giving x_s = −d/ρ = B_s x + λ/ρ as expected.
+        let mut abar = Mat::zeros(n, n);
+        for i in 0..n {
+            abar[(i, i)] = -1.0;
+        }
+        return Ok((abar, vec![0.0; n]));
+    }
+    let gram = a.gram_aat();
+    let chol = CholFactor::new(&gram)?;
+    let inv = chol.inverse();
+    // Ā = Aᵀ (AAᵀ)⁻¹ A − I.
+    let at = a.transpose();
+    let mut abar = at.matmul(&inv).matmul(a);
+    for i in 0..n {
+        abar[(i, i)] -= 1.0;
+    }
+    // b̄ = Aᵀ (AAᵀ)⁻¹ b.
+    let bbar = at.matvec(&chol.solve(b));
+    Ok((abar, bbar))
+}
+
+/// Content-hash key for the interning pass: the exact bits of the
+/// row-reduced `(A_s, b_s)` plus its dimensions. Bit-equality is the
+/// only safe notion here — the shared slab must be *exactly* what each
+/// member would have computed on its own.
+fn structural_key(a: &Mat, b: &[f64]) -> (usize, usize, Vec<u64>) {
+    let mut bits = Vec::with_capacity(a.data().len() + b.len());
+    bits.extend(a.data().iter().map(|v| v.to_bits()));
+    bits.extend(b.iter().map(|v| v.to_bits()));
+    (a.rows(), a.cols(), bits)
+}
+
 impl Precomputed {
     /// Run the precomputation (component-parallel, as Algorithm 1 notes).
+    ///
+    /// An interning pass first groups structurally identical components;
+    /// the factorization pipeline then runs once per *unique* class and
+    /// the results are packed into the pre-sized arena.
     ///
     /// Fails with [`LinalgError::Singular`] only if some `A_s A_sᵀ` is not
     /// SPD — i.e. the decomposition skipped row reduction.
     pub fn build(dec: &DecomposedProblem) -> Result<Self, LinalgError> {
-        let per_comp: Vec<Result<(Mat, Vec<f64>), LinalgError>> = dec
-            .components
+        let s_total = dec.s();
+
+        // Interning pass: map each component to a slab class (classes
+        // numbered in first-encounter order, so the arena layout is
+        // deterministic).
+        let mut classes: HashMap<(usize, usize, Vec<u64>), usize> = HashMap::new();
+        let mut slab_id = Vec::with_capacity(s_total);
+        let mut slab_owner: Vec<usize> = Vec::new();
+        for (s, c) in dec.components.iter().enumerate() {
+            let next = slab_owner.len();
+            let k = *classes.entry(structural_key(&c.a, &c.b)).or_insert(next);
+            if k == next {
+                slab_owner.push(s);
+            }
+            slab_id.push(k);
+        }
+
+        // Pre-size the arena: slab k holds n_k² entries.
+        let mut slab_off = Vec::with_capacity(slab_owner.len() + 1);
+        slab_off.push(0usize);
+        for &rep in &slab_owner {
+            let n = dec.components[rep].n();
+            slab_off.push(slab_off.last().unwrap() + n * n);
+        }
+
+        // Factorize once per unique class (component-parallel).
+        let per_class: Vec<Result<(Mat, Vec<f64>), LinalgError>> = slab_owner
             .par_iter()
-            .map(|c| {
-                let n = c.n();
-                if c.m() == 0 {
-                    // No equalities: projection is the identity, Ā = P − I = 0...
-                    // with P = 0 projection onto row space; Ā = −I, b̄ = 0,
-                    // giving x_s = −d/ρ = B_s x + λ/ρ as expected.
-                    let mut abar = Mat::zeros(n, n);
-                    for i in 0..n {
-                        abar[(i, i)] = -1.0;
-                    }
-                    return Ok((abar, vec![0.0; n]));
-                }
-                let gram = c.a.gram_aat();
-                let chol = CholFactor::new(&gram)?;
-                let inv = chol.inverse();
-                // Ā = Aᵀ (AAᵀ)⁻¹ A − I.
-                let at = c.a.transpose();
-                let mut abar = at.matmul(&inv).matmul(&c.a);
-                for i in 0..n {
-                    abar[(i, i)] -= 1.0;
-                }
-                // b̄ = Aᵀ (AAᵀ)⁻¹ b.
-                let bbar = at.matvec(&chol.solve(&c.b));
-                Ok((abar, bbar))
+            .map(|&rep| {
+                let c = &dec.components[rep];
+                compute_slab(&c.a, &c.b, c.n(), c.m())
             })
             .collect();
 
-        let mut abar = Vec::with_capacity(dec.s());
-        let mut bbar = Vec::with_capacity(dec.s());
-        for r in per_comp {
+        // Pack the slabs into the arena and keep the class b̄ vectors for
+        // the stacked scatter below.
+        let mut abar_data = vec![0.0f64; *slab_off.last().unwrap()];
+        let mut class_bbar: Vec<Vec<f64>> = Vec::with_capacity(slab_owner.len());
+        for (k, r) in per_class.into_iter().enumerate() {
             let (a, b) = r?;
-            abar.push(a);
-            bbar.push(b);
+            abar_data[slab_off[k]..slab_off[k + 1]].copy_from_slice(a.data());
+            class_bbar.push(b);
         }
 
-        let mut offsets = Vec::with_capacity(dec.s() + 1);
+        // Stacked layout + flattened b̄.
+        let mut offsets = Vec::with_capacity(s_total + 1);
         offsets.push(0);
         let mut stacked_to_global = Vec::with_capacity(dec.total_local_dim());
-        for c in &dec.components {
+        let mut bbar = Vec::with_capacity(dec.total_local_dim());
+        for (s, c) in dec.components.iter().enumerate() {
             stacked_to_global.extend_from_slice(&c.global_idx);
+            bbar.extend_from_slice(&class_bbar[slab_id[s]]);
             offsets.push(stacked_to_global.len());
         }
 
@@ -105,7 +188,10 @@ impl Precomputed {
         }
 
         Ok(Precomputed {
-            abar,
+            abar_data,
+            slab_off,
+            slab_id,
+            slab_owner,
             bbar,
             offsets,
             stacked_to_global,
@@ -121,12 +207,142 @@ impl Precomputed {
 
     /// Component count `S`.
     pub fn s(&self) -> usize {
-        self.abar.len()
+        self.offsets.len() - 1
     }
 
     /// The stacked slice range of component `s`.
     pub fn range(&self, s: usize) -> std::ops::Range<usize> {
         self.offsets[s]..self.offsets[s + 1]
+    }
+
+    /// Component `s`'s `Ā` slab: `n_s²` row-major entries (shared with
+    /// every structurally identical component).
+    pub fn abar_slice(&self, s: usize) -> &[f64] {
+        let k = self.slab_id[s];
+        &self.abar_data[self.slab_off[k]..self.slab_off[k + 1]]
+    }
+
+    /// Component `s`'s `b̄` slice in the stacked layout.
+    pub fn bbar_slice(&self, s: usize) -> &[f64] {
+        &self.bbar[self.range(s)]
+    }
+
+    /// Number of unique `Ā` slabs after interning.
+    pub fn unique_slabs(&self) -> usize {
+        self.slab_owner.len()
+    }
+
+    /// Structural deduplication factor `S / unique_slabs` (≥ 1).
+    pub fn dedup_factor(&self) -> f64 {
+        self.s() as f64 / self.unique_slabs() as f64
+    }
+
+    /// Whether component `s` is its slab's owner — the first component
+    /// (in launch order) to touch the slab, the one a cache-aware cost
+    /// model charges for streaming the matrix from device memory.
+    pub fn is_slab_owner(&self, s: usize) -> bool {
+        self.slab_owner[self.slab_id[s]] == s
+    }
+
+    /// Component `s`'s `Ā` as a dense [`Mat`] (diagnostic/test helper —
+    /// the hot path uses [`Precomputed::abar_slice`]).
+    pub fn abar_mat(&self, s: usize) -> Mat {
+        let n = self.range(s).len();
+        Mat::from_vec(n, n, self.abar_slice(s).to_vec())
+    }
+
+    /// Arena footprint in `f64` entries (unique slabs only).
+    pub fn arena_len(&self) -> usize {
+        self.abar_data.len()
+    }
+}
+
+/// The seed-shape precompute builder: one boxed [`Mat`] and one `Vec`
+/// per component, no interning. Retained verbatim so differential tests
+/// and benchmarks can pin the arena-packed path bit-for-bit against the
+/// original layout.
+#[derive(Debug, Clone)]
+pub struct ReferencePrecomputed {
+    /// `Ā_s` per component.
+    pub abar: Vec<Mat>,
+    /// `b̄_s` per component.
+    pub bbar: Vec<Vec<f64>>,
+    /// Stacked offsets (same meaning as [`Precomputed::offsets`]).
+    pub offsets: Vec<usize>,
+    /// Global index of each stacked position.
+    pub stacked_to_global: Vec<usize>,
+}
+
+impl ReferencePrecomputed {
+    /// The seed per-component build: every component factorized
+    /// independently, results boxed per component.
+    pub fn build(dec: &DecomposedProblem) -> Result<Self, LinalgError> {
+        let per_comp: Vec<Result<(Mat, Vec<f64>), LinalgError>> = dec
+            .components
+            .par_iter()
+            .map(|c| compute_slab(&c.a, &c.b, c.n(), c.m()))
+            .collect();
+
+        let mut abar = Vec::with_capacity(dec.s());
+        let mut bbar = Vec::with_capacity(dec.s());
+        for r in per_comp {
+            let (a, b) = r?;
+            abar.push(a);
+            bbar.push(b);
+        }
+
+        let mut offsets = Vec::with_capacity(dec.s() + 1);
+        offsets.push(0);
+        let mut stacked_to_global = Vec::with_capacity(dec.total_local_dim());
+        for c in &dec.components {
+            stacked_to_global.extend_from_slice(&c.global_idx);
+            offsets.push(stacked_to_global.len());
+        }
+
+        Ok(ReferencePrecomputed {
+            abar,
+            bbar,
+            offsets,
+            stacked_to_global,
+        })
+    }
+
+    /// The stacked slice range of component `s`.
+    pub fn range(&self, s: usize) -> std::ops::Range<usize> {
+        self.offsets[s]..self.offsets[s + 1]
+    }
+
+    /// Component count `S`.
+    pub fn s(&self) -> usize {
+        self.abar.len()
+    }
+
+    /// The seed-layout local update (15a), walking the boxed `Mat` —
+    /// the benchmark baseline the arena path is measured against.
+    pub fn local_update_component(
+        &self,
+        s: usize,
+        rho: f64,
+        x: &[f64],
+        lambda_s: &[f64],
+        z_out: &mut [f64],
+    ) {
+        let abar = &self.abar[s];
+        let bbar = &self.bbar[s];
+        let base = self.offsets[s];
+        let n = z_out.len();
+        debug_assert_eq!(abar.rows(), n);
+        let inv_rho = 1.0 / rho;
+        let globals = &self.stacked_to_global[base..base + n];
+        for i in 0..n {
+            let row = abar.row(i);
+            let mut acc = bbar[i];
+            for j in 0..n {
+                let t = x[globals[j]] + lambda_s[j] * inv_rho;
+                acc -= row[j] * t;
+            }
+            z_out[i] = acc;
+        }
     }
 }
 
@@ -153,8 +369,8 @@ mod tests {
         for (s, c) in dec.components.iter().enumerate() {
             let n = c.n();
             let d: Vec<f64> = (0..n).map(|i| ((i * 7 + s) % 5) as f64 - 2.0).collect();
-            let mut x = pre.abar[s].matvec(&d);
-            for (xi, &bb) in x.iter_mut().zip(&pre.bbar[s]) {
+            let mut x = pre.abar_mat(s).matvec(&d);
+            for (xi, &bb) in x.iter_mut().zip(pre.bbar_slice(s)) {
                 *xi = *xi / rho + bb;
             }
             assert!(
@@ -173,6 +389,8 @@ mod tests {
             let r = pre.range(s);
             assert_eq!(r.len(), c.n());
             assert_eq!(&pre.stacked_to_global[r], c.global_idx.as_slice());
+            assert_eq!(pre.abar_slice(s).len(), c.n() * c.n());
+            assert_eq!(pre.bbar_slice(s).len(), c.n());
         }
     }
 
@@ -193,9 +411,78 @@ mod tests {
         // Ā = P − I with P an orthogonal projection ⇒ Ā² = −Ā.
         let (dec, pre) = pre_for("ieee13");
         for (s, _) in dec.components.iter().enumerate().take(10) {
-            let a2 = pre.abar[s].matmul(&pre.abar[s]);
-            let diff = a2.add(&pre.abar[s]);
+            let a = pre.abar_mat(s);
+            let a2 = a.matmul(&a);
+            let diff = a2.add(&a);
             assert!(diff.norm_max() < 1e-8, "component {s}: Ā² ≠ −Ā");
         }
+    }
+
+    #[test]
+    fn arena_matches_reference_builder_bit_for_bit() {
+        for name in ["ieee13", "ieee123"] {
+            let (_, pre) = pre_for(name);
+            let net = feeders::by_name(name).unwrap();
+            let g = ComponentGraph::build(&net);
+            let dec = decompose(&net, &g).unwrap();
+            let refp = ReferencePrecomputed::build(&dec).unwrap();
+            assert_eq!(pre.offsets, refp.offsets);
+            assert_eq!(pre.stacked_to_global, refp.stacked_to_global);
+            for s in 0..pre.s() {
+                assert_eq!(
+                    pre.abar_slice(s),
+                    refp.abar[s].data(),
+                    "{name} component {s}: arena Ā differs from reference"
+                );
+                assert_eq!(
+                    pre.bbar_slice(s),
+                    refp.bbar[s].as_slice(),
+                    "{name} component {s}: arena b̄ differs from reference"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn interning_shares_slabs_and_owners_are_first() {
+        let (_, pre) = pre_for("ieee123");
+        assert!(
+            pre.unique_slabs() < pre.s(),
+            "ieee123 has duplicate components"
+        );
+        assert!(pre.dedup_factor() > 1.0);
+        // Owner of slab k is the first component with slab_id == k.
+        for (k, &owner) in pre.slab_owner.iter().enumerate() {
+            assert_eq!(pre.slab_id[owner], k);
+            assert!(pre.is_slab_owner(owner));
+            for s in 0..owner {
+                assert_ne!(
+                    pre.slab_id[s], k,
+                    "component {s} uses slab {k} before its owner"
+                );
+            }
+        }
+        // Arena stores exactly one copy per class.
+        let expected: usize = pre
+            .slab_owner
+            .iter()
+            .map(|&rep| {
+                let n = pre.range(rep).len();
+                n * n
+            })
+            .sum();
+        assert_eq!(pre.arena_len(), expected);
+    }
+
+    #[test]
+    fn ieee8500_dedup_factor_exceeds_two() {
+        // ieee8500's thousands of no-load single-phase buses and repeated
+        // service-leg line configs intern to a small class set.
+        let (_, pre) = pre_for("ieee8500");
+        assert!(
+            pre.dedup_factor() > 2.0,
+            "ieee8500 dedup factor {:.2} ≤ 2",
+            pre.dedup_factor()
+        );
     }
 }

@@ -86,8 +86,8 @@ impl<'a> SolverFreeAdmm<'a> {
     pub fn initial_state(&self) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
         let mut x = self.dec.vars.initial_point();
         vec_ops::clip(&mut x, &self.dec.lower, &self.dec.upper);
-        let mut z = vec![0.0; self.pre.total_dim()];
-        updates::gather_bx(&self.pre, &x, &mut z);
+        // z = Bx, gathered directly (no zero-filled intermediate).
+        let z: Vec<f64> = self.pre.stacked_to_global.iter().map(|&g| x[g]).collect();
         let lambda = vec![0.0; self.pre.total_dim()];
         (x, z, lambda)
     }
@@ -137,7 +137,11 @@ impl<'a> SolverFreeAdmm<'a> {
             timings.global_s += self.run_global(&mut exec, rho, true, &z, &lambda, &mut x);
             // --- Local (15) + dual (12) updates, optionally fused into
             //     one GPU launch. ---
-            z_prev.copy_from_slice(&z);
+            // Ping-pong buffer swap instead of a full-vector copy: the
+            // local update overwrites every entry of z (the components
+            // tile the stacked vector), so after the swap z_prev holds
+            // z^(t−1) exactly as the copy did.
+            std::mem::swap(&mut z, &mut z_prev);
             let mut fused = false;
             if opts.fuse_local_dual {
                 if let Exec::Gpu(dev, tpb) = &mut exec {
@@ -470,6 +474,39 @@ mod tests {
         }
         // Consensus gap is within the (scaled) tolerance.
         assert!(r.residuals.pres <= r.residuals.eps_prim);
+    }
+
+    #[test]
+    fn strided_checks_leave_iterates_bit_identical() {
+        let net = feeders::ieee13();
+        let g = ComponentGraph::build(&net);
+        let dec = decompose(&net, &g).unwrap();
+        let solver = SolverFreeAdmm::new(&dec).unwrap();
+
+        let dense = solver.solve(&AdmmOptions::default());
+        let strided = solver.solve(&AdmmOptions {
+            check_every: 7,
+            ..AdmmOptions::default()
+        });
+        assert!(dense.converged && strided.converged);
+
+        // Detection can only be late, and by less than the stride.
+        assert!(strided.iterations >= dense.iterations);
+        assert!(strided.iterations - dense.iterations < 7);
+        assert_eq!(strided.iterations % 7, 0);
+
+        // The iterates themselves are untouched by the stride: replaying
+        // the same number of iterations with per-iteration checks (and a
+        // tolerance that never fires) lands on bit-identical state.
+        let replay = solver.solve(&AdmmOptions {
+            eps_rel: 0.0,
+            max_iters: strided.iterations,
+            ..AdmmOptions::default()
+        });
+        assert_eq!(replay.iterations, strided.iterations);
+        assert_eq!(replay.x, strided.x);
+        assert_eq!(replay.z, strided.z);
+        assert_eq!(replay.lambda, strided.lambda);
     }
 
     #[test]

@@ -54,19 +54,35 @@ pub fn local_update_component(
     lambda_s: &[f64],
     z_out: &mut [f64],
 ) {
-    let abar = &pre.abar[s];
-    let bbar = &pre.bbar[s];
+    let abar = pre.abar_slice(s);
     let base = pre.offsets[s];
     let n = z_out.len();
-    debug_assert_eq!(abar.rows(), n);
+    debug_assert_eq!(abar.len(), n * n);
+    let bbar = &pre.bbar[base..base + n];
     let inv_rho = 1.0 / rho;
     let globals = &pre.stacked_to_global[base..base + n];
-    for i in 0..n {
-        let row = abar.row(i);
+
+    // Gather the target `t_j = x_{g(j)} + λ_j/ρ` once per component rather
+    // than once per row; `t_j` is row-invariant, so reusing it keeps the
+    // accumulation bit-identical while cutting the gather traffic from n²
+    // to n. Components are small (n ≤ 39 on the paper's feeders), so a
+    // fixed stack buffer avoids a per-call allocation.
+    const STACK_DIM: usize = 64;
+    let mut stack = [0.0f64; STACK_DIM];
+    let mut heap: Vec<f64>;
+    let t: &mut [f64] = if n <= STACK_DIM {
+        &mut stack[..n]
+    } else {
+        heap = vec![0.0; n];
+        &mut heap
+    };
+    for (tj, (&g, &l)) in t.iter_mut().zip(globals.iter().zip(lambda_s)) {
+        *tj = x[g] + l * inv_rho;
+    }
+    for (i, row) in abar.chunks_exact(n).enumerate() {
         let mut acc = bbar[i];
-        for j in 0..n {
-            let t = x[globals[j]] + lambda_s[j] * inv_rho;
-            acc -= row[j] * t;
+        for (&a, &tj) in row.iter().zip(t.iter()) {
+            acc -= a * tj;
         }
         z_out[i] = acc;
     }
@@ -320,8 +336,8 @@ mod tests {
             let d: Vec<f64> = (0..n)
                 .map(|j| -rho * x[globals[j]] - lambda[r.start + j])
                 .collect();
-            let mut direct = pre.abar[s].matvec(&d);
-            for (v, &bb) in direct.iter_mut().zip(&pre.bbar[s]) {
+            let mut direct = pre.abar_mat(s).matvec(&d);
+            for (v, &bb) in direct.iter_mut().zip(pre.bbar_slice(s)) {
                 *v = *v / rho + bb;
             }
             let mut z_s = vec![0.0; n];

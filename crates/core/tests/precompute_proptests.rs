@@ -1,0 +1,100 @@
+//! Property tests for the arena precompute: on random radial feeders the
+//! interned, arena-packed `(Ā_s, b̄_s)` must be bit-identical to the
+//! retained reference builder, and the solver iterates built on top of it
+//! must not move.
+
+use opf_admm::{updates, AdmmOptions, Precomputed, ReferencePrecomputed, SolverFreeAdmm};
+use opf_model::decompose;
+use opf_net::{
+    feeders::{generate, SyntheticSpec},
+    ComponentGraph,
+};
+use proptest::prelude::*;
+
+/// A small random radial feeder. All sizing is derived from independent
+/// draws so the stub-friendly strategy needs no `prop_flat_map`.
+fn arb_spec() -> impl Strategy<Value = SyntheticSpec> {
+    (
+        4usize..24,         // n_nodes
+        0usize..4,          // extra parallel service legs
+        0u64..u64::MAX / 2, // leaf draw
+        0u64..u64::MAX,     // generation seed
+        0.0f64..1.0,        // load fraction
+    )
+        .prop_map(|(n_nodes, extra, leaf_draw, seed, load_frac)| {
+            let n_leaves = 1 + (leaf_draw as usize) % (n_nodes - 2).max(1);
+            SyntheticSpec {
+                name: format!("prop-{seed:x}"),
+                n_nodes,
+                n_lines: n_nodes - 1 + extra,
+                n_leaves,
+                phase_weights: [0.4, 0.3, 0.3],
+                load_node_fraction: 0.3 + 0.6 * load_frac,
+                delta_fraction: 0.25,
+                zip_weights: [0.5, 0.25, 0.25],
+                der_count: n_nodes / 8,
+                transformer_fraction: 0.2,
+                avg_load_p: 0.05,
+                seed,
+            }
+        })
+}
+
+proptest! {
+    #[test]
+    fn arena_is_bit_identical_to_reference_on_random_feeders(spec in arb_spec()) {
+        let net = generate(&spec);
+        let g = ComponentGraph::build(&net);
+        let dec = decompose(&net, &g).unwrap();
+        let pre = Precomputed::build(&dec).unwrap();
+        let refpre = ReferencePrecomputed::build(&dec).unwrap();
+
+        prop_assert_eq!(pre.s(), refpre.s());
+        for s in 0..pre.s() {
+            prop_assert_eq!(pre.range(s), refpre.range(s));
+            let mat = pre.abar_mat(s);
+            let rmat = &refpre.abar[s];
+            prop_assert_eq!(mat.rows(), rmat.rows());
+            for i in 0..mat.rows() {
+                prop_assert_eq!(mat.row(i), rmat.row(i), "Ā_{} row {}", s, i);
+            }
+            prop_assert_eq!(pre.bbar_slice(s), refpre.bbar[s].as_slice(), "b̄_{}", s);
+        }
+        prop_assert_eq!(&pre.stacked_to_global, &refpre.stacked_to_global);
+
+        // Interning never loses components and never exceeds them.
+        prop_assert!(pre.unique_slabs() >= 1);
+        prop_assert!(pre.unique_slabs() <= pre.s());
+    }
+
+    #[test]
+    fn local_update_agrees_between_layouts(spec in arb_spec()) {
+        let net = generate(&spec);
+        let g = ComponentGraph::build(&net);
+        let dec = decompose(&net, &g).unwrap();
+        let solver = SolverFreeAdmm::new(&dec).unwrap();
+        let pre = solver.precomputed();
+        let refpre = ReferencePrecomputed::build(&dec).unwrap();
+
+        // A short solve makes the probe state non-trivial (λ ≠ 0).
+        let warm = solver.solve(&AdmmOptions {
+            eps_rel: 0.0,
+            max_iters: 25,
+            ..AdmmOptions::default()
+        });
+
+        let rho = 100.0;
+        let mut z_arena = warm.z.clone();
+        let mut z_ref = warm.z.clone();
+        for s in 0..pre.s() {
+            let r = pre.range(s);
+            updates::local_update_component(
+                s, pre, rho, &warm.x, &warm.lambda[r.clone()], &mut z_arena[r.clone()],
+            );
+            refpre.local_update_component(
+                s, rho, &warm.x, &warm.lambda[r.clone()], &mut z_ref[r],
+            );
+        }
+        prop_assert_eq!(z_arena, z_ref);
+    }
+}

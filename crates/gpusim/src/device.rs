@@ -23,6 +23,10 @@ pub struct DeviceProps {
     pub max_threads_per_sm: usize,
     /// Device memory bandwidth (bytes/s).
     pub mem_bandwidth: f64,
+    /// L2-cache bandwidth (bytes/s) — the service rate for traffic that
+    /// hits in L2 instead of streaming from HBM (shared matrices that
+    /// several blocks of one launch re-read, e.g. interned `Ā` slabs).
+    pub l2_bandwidth: f64,
     /// Fixed kernel-launch overhead (s).
     pub launch_overhead: f64,
     /// Host↔device (PCIe) bandwidth (bytes/s).
@@ -41,6 +45,7 @@ impl DeviceProps {
             max_blocks_per_sm: 32,
             max_threads_per_sm: 2048,
             mem_bandwidth: 1.555e12,
+            l2_bandwidth: 4.7e12,
             launch_overhead: 4.0e-6,
             pcie_bandwidth: 25.0e9,
             pcie_latency: 10.0e-6,
@@ -57,6 +62,7 @@ impl DeviceProps {
             max_blocks_per_sm: 32,
             max_threads_per_sm: 2048,
             mem_bandwidth: 0.9e12,
+            l2_bandwidth: 2.2e12,
             launch_overhead: 5.0e-6,
             pcie_bandwidth: 12.0e9,
             pcie_latency: 10.0e-6,
@@ -72,6 +78,7 @@ impl DeviceProps {
             max_blocks_per_sm: 32,
             max_threads_per_sm: 2048,
             mem_bandwidth: 3.35e12,
+            l2_bandwidth: 8.0e12,
             launch_overhead: 3.0e-6,
             pcie_bandwidth: 55.0e9,
             pcie_latency: 8.0e-6,
@@ -88,6 +95,7 @@ impl DeviceProps {
             max_blocks_per_sm: 2,
             max_threads_per_sm: 64,
             mem_bandwidth: 1.0e9,
+            l2_bandwidth: 4.0e9,
             launch_overhead: 1.0e-6,
             pcie_bandwidth: 1.0e9,
             pcie_latency: 1.0e-6,
@@ -122,6 +130,11 @@ pub struct BlockCost {
     pub flops_per_item: f64,
     /// Device-memory bytes touched per item.
     pub bytes_per_item: f64,
+    /// Bytes per item expected to be served from L2 instead of HBM —
+    /// re-reads of data another block of the *same launch* already
+    /// streamed in (e.g. a deduplicated `Ā` slab shared by many
+    /// components). Charged at [`DeviceProps::l2_bandwidth`].
+    pub cached_bytes_per_item: f64,
 }
 
 impl DeviceProps {
@@ -130,7 +143,10 @@ impl DeviceProps {
     ///
     /// Per-block cycles: `ceil(items/threads) · flops_per_item / rate`;
     /// blocks run in waves of `concurrent_blocks`; the launch is also
-    /// lower-bounded by aggregate memory traffic over HBM bandwidth.
+    /// lower-bounded by aggregate memory traffic — HBM bytes over
+    /// [`DeviceProps::mem_bandwidth`] and L2-resident bytes over
+    /// [`DeviceProps::l2_bandwidth`], taken as a max (the two paths are
+    /// pipelined, so the slower one bounds the launch).
     pub fn kernel_time(&self, costs: &[BlockCost], threads: usize) -> f64 {
         if costs.is_empty() {
             return self.launch_overhead;
@@ -141,11 +157,13 @@ impl DeviceProps {
         let mut wave_max = 0.0f64;
         let mut in_wave = 0usize;
         let mut total_bytes = 0.0f64;
+        let mut cached_bytes = 0.0f64;
         for c in costs {
             let rounds = c.items.div_ceil(t) as f64;
             let cycles = rounds * c.flops_per_item / self.flops_per_cycle_per_thread;
             wave_max = wave_max.max(cycles);
             total_bytes += c.items as f64 * c.bytes_per_item;
+            cached_bytes += c.items as f64 * c.cached_bytes_per_item;
             in_wave += 1;
             if in_wave == conc {
                 compute_cycles += wave_max;
@@ -155,7 +173,7 @@ impl DeviceProps {
         }
         compute_cycles += wave_max;
         let compute_time = compute_cycles / self.clock_hz;
-        let memory_time = total_bytes / self.mem_bandwidth;
+        let memory_time = (total_bytes / self.mem_bandwidth).max(cached_bytes / self.l2_bandwidth);
         self.launch_overhead + compute_time.max(memory_time)
     }
 }
@@ -170,9 +188,41 @@ mod tests {
                 items,
                 flops_per_item: 10.0,
                 bytes_per_item: 8.0,
+                ..BlockCost::default()
             };
             blocks
         ]
+    }
+
+    #[test]
+    fn cached_traffic_is_cheaper_than_hbm_traffic() {
+        // Same byte volume, but L2-resident: a memory-bound launch whose
+        // re-reads hit in cache must finish faster than one streaming
+        // everything from HBM.
+        let mut d = DeviceProps::tiny();
+        d.mem_bandwidth = 1.0e3;
+        d.l2_bandwidth = 4.0e3;
+        let hbm = vec![
+            BlockCost {
+                items: 64,
+                flops_per_item: 1.0,
+                bytes_per_item: 80.0,
+                cached_bytes_per_item: 0.0,
+            };
+            8
+        ];
+        let mut cached = hbm.clone();
+        for c in cached.iter_mut().skip(1) {
+            // Blocks 1.. re-read the bytes block 0 streamed in.
+            c.cached_bytes_per_item = c.bytes_per_item;
+            c.bytes_per_item = 0.0;
+        }
+        let t_hbm = d.kernel_time(&hbm, 32);
+        let t_cached = d.kernel_time(&cached, 32);
+        assert!(t_cached < t_hbm, "cached {t_cached} ≥ hbm {t_hbm}");
+        // And the cached launch is still bounded by the L2 rate, not free.
+        let l2_bytes: f64 = 7.0 * 64.0 * 80.0;
+        assert!(t_cached >= d.launch_overhead + l2_bytes / d.l2_bandwidth - 1e-12);
     }
 
     #[test]

@@ -222,6 +222,7 @@ mod tests {
                 items: self.out_len(b),
                 flops_per_item: 1.0,
                 bytes_per_item: 16.0,
+                ..BlockCost::default()
             }
         }
     }
@@ -323,6 +324,7 @@ mod tests {
                 items: self.out_len(b),
                 flops_per_item: 2.0,
                 bytes_per_item: 24.0,
+                ..BlockCost::default()
             }
         }
     }

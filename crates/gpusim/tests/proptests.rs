@@ -9,6 +9,7 @@ fn arb_costs() -> impl Strategy<Value = Vec<BlockCost>> {
             items,
             flops_per_item: flops,
             bytes_per_item: bytes,
+            ..BlockCost::default()
         }),
         1..200,
     )
