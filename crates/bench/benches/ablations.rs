@@ -22,13 +22,7 @@ fn bench_leaf_merge(c: &mut Criterion) {
         let solver = SolverFreeAdmm::new(&dec).expect("precompute");
         // 50 fixed iterations: granularity affects per-iteration cost.
         group.bench_with_input(BenchmarkId::new("iterations50", label), &(), |b, _| {
-            b.iter(|| {
-                solver.solve(&AdmmOptions {
-                    max_iters: 50,
-                    check_every: 50,
-                    ..AdmmOptions::default()
-                })
-            });
+            b.iter(|| solver.solve(&AdmmOptions::builder().max_iters(50).check_every(50).build()));
         });
     }
     group.finish();
@@ -47,11 +41,12 @@ fn bench_residual_balancing(c: &mut Criterion) {
             &adapt,
             |b, adapt| {
                 b.iter(|| {
-                    solver.solve(&AdmmOptions {
-                        rho_adapt: *adapt,
-                        max_iters: 50_000,
-                        ..AdmmOptions::default()
-                    })
+                    solver.solve(
+                        &AdmmOptions::builder()
+                            .rho_adapt(*adapt)
+                            .max_iters(50_000)
+                            .build(),
+                    )
                 });
             },
         );
@@ -69,15 +64,16 @@ fn bench_gpu_thread_sweep(c: &mut Criterion) {
     for t in [1usize, 16, 64] {
         group.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, &t| {
             b.iter(|| {
-                solver.solve(&AdmmOptions {
-                    backend: Backend::Gpu {
-                        props: DeviceProps::a100(),
-                        threads_per_block: t,
-                    },
-                    max_iters: 25,
-                    check_every: 25,
-                    ..AdmmOptions::default()
-                })
+                solver.solve(
+                    &AdmmOptions::builder()
+                        .backend(Backend::Gpu {
+                            props: DeviceProps::a100(),
+                            threads_per_block: t,
+                        })
+                        .max_iters(25)
+                        .check_every(25)
+                        .build(),
+                )
             });
         });
     }

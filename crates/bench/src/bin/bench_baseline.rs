@@ -15,6 +15,7 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use gpu_sim::DeviceProps;
+use opf_admm::prelude::{Engine, Phase, SolveRequest};
 use opf_admm::{updates, AdmmOptions, Backend, Precomputed, ReferencePrecomputed, SolverFreeAdmm};
 use opf_bench::harness::{fmt_secs, load_instance, Instance};
 
@@ -29,17 +30,13 @@ fn budget(name: &str) -> Option<usize> {
 }
 
 fn opts_for(name: &str, backend: Backend) -> AdmmOptions {
-    let mut o = AdmmOptions {
-        backend,
-        ..AdmmOptions::default()
-    };
-    if let Some(b) = budget(name) {
+    let b = AdmmOptions::builder().backend(backend);
+    match budget(name) {
         // Fixed budget: disable the tolerance so every backend runs the
         // same iterations and the per-phase averages are comparable.
-        o.eps_rel = 0.0;
-        o.max_iters = b;
+        Some(iters) => b.eps_rel(0.0).max_iters(iters).build(),
+        None => b.build(),
     }
-    o
 }
 
 struct SweepResult {
@@ -157,8 +154,10 @@ fn main() {
         );
 
         // Per-backend per-phase profile (check_every = 1 so the residual
-        // column is per-iteration).
-        let solver = SolverFreeAdmm::new(&inst.dec).expect("solver");
+        // column is per-iteration). The phase numbers are ingested from
+        // the telemetry spans, so this snapshot and `--telemetry-json`
+        // report the same quantities by construction.
+        let engine = Engine::new(&inst.dec).expect("engine");
         let backends: Vec<(&str, Backend)> = vec![
             ("serial", Backend::Serial),
             ("rayon", Backend::Rayon { threads }),
@@ -176,16 +175,35 @@ fn main() {
             if bname == "gpu-sim" {
                 opts.fuse_local_dual = true;
             }
-            let res = solver.solve(&opts);
+            let (res, report) = engine.solve_with_telemetry(&SolveRequest::new(opts), Some(name));
             let it = res.timings.iterations.max(1) as f64;
+            let (global_s, local_s, dual_s, residual_s) = (
+                report.phase_total(Phase::Global),
+                report.phase_total(Phase::Local),
+                report.phase_total(Phase::Dual),
+                report.phase_total(Phase::Residual),
+            );
+            // The spans accumulate the same increments as the solver's own
+            // Timings; any drift means an instrumentation bug.
+            for (span_s, timing_s) in [
+                (global_s, res.timings.global_s),
+                (local_s, res.timings.local_s),
+                (dual_s, res.timings.dual_s),
+                (residual_s, res.timings.residual_s),
+            ] {
+                assert!(
+                    (span_s - timing_s).abs() <= 1e-9 * timing_s.abs().max(1.0),
+                    "{name}/{bname}: telemetry span {span_s} drifted from timing {timing_s}"
+                );
+            }
             eprintln!(
                 "   {bname:8} {} iters  obj {:.6}  per-iter global {} local {} dual {} residual {}",
                 res.iterations,
                 res.objective,
-                fmt_secs(res.timings.global_s / it),
-                fmt_secs(res.timings.local_s / it),
-                fmt_secs(res.timings.dual_s / it),
-                fmt_secs(res.timings.residual_s / it),
+                fmt_secs(global_s / it),
+                fmt_secs(local_s / it),
+                fmt_secs(dual_s / it),
+                fmt_secs(residual_s / it),
             );
             backend_json.push(format!(
                 concat!(
@@ -200,20 +218,22 @@ fn main() {
                 json_f(res.objective),
                 res.timings.simulated,
                 json_f(1e6 * arena_build_s / it),
-                json_f(1e6 * res.timings.global_s / it),
-                json_f(1e6 * res.timings.local_s / it),
-                json_f(1e6 * res.timings.dual_s / it),
-                json_f(1e6 * (res.timings.local_s + res.timings.dual_s) / it),
-                json_f(1e6 * res.timings.residual_s / it),
+                json_f(1e6 * global_s / it),
+                json_f(1e6 * local_s / it),
+                json_f(1e6 * dual_s / it),
+                json_f(1e6 * (local_s + dual_s) / it),
+                json_f(1e6 * residual_s / it),
             ));
         }
 
         // Strided termination test: end-to-end wall clock, check_every 1 vs 10.
         let run_wall = |check_every: usize| {
-            let mut opts = opts_for(name, Backend::Serial);
-            opts.check_every = check_every;
+            let opts = opts_for(name, Backend::Serial)
+                .to_builder()
+                .check_every(check_every)
+                .build();
             let t0 = Instant::now();
-            let res = solver.solve(&opts);
+            let res = engine.solve(&SolveRequest::new(opts));
             (t0.elapsed().as_secs_f64(), res)
         };
         let _ = run_wall(1); // warm

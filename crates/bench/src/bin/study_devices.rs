@@ -23,13 +23,14 @@ fn main() {
         let solver = SolverFreeAdmm::new(&inst.dec).expect("precompute");
         println!("{name}: modeled device time to convergence (T = 64)");
         for (dname, props) in devices {
-            let r = solver.solve(&AdmmOptions {
-                backend: Backend::Gpu {
-                    props,
-                    threads_per_block: 64,
-                },
-                ..AdmmOptions::default()
-            });
+            let r = solver.solve(
+                &AdmmOptions::builder()
+                    .backend(Backend::Gpu {
+                        props,
+                        threads_per_block: 64,
+                    })
+                    .build(),
+            );
             let (g, l, d) = r.timings.per_iteration();
             println!(
                 "  {dname}: total {:>9}  ({} iters; per-iter g {} l {} d {})",

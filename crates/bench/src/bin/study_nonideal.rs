@@ -83,10 +83,7 @@ impl Record {
 fn main() {
     let inst = load_instance("ieee13");
     let solver = SolverFreeAdmm::new(&inst.dec).expect("precompute");
-    let opts = AdmmOptions {
-        max_iters: 150_000,
-        ..AdmmOptions::default()
-    };
+    let opts = AdmmOptions::builder().max_iters(150_000).build();
     let mut records: Vec<Record> = Vec::new();
 
     println!("ieee13, ρ=100, ε=1e-3 — intermittent participation:");
@@ -140,29 +137,26 @@ fn main() {
         ("perfect links".into(), DistributedOptions::ranks(4)),
         (
             "drop 0.05".into(),
-            DistributedOptions {
-                n_ranks: 4,
-                faults: FaultPlan::seeded(42).with_drop(0.05),
-                ..DistributedOptions::default()
-            },
+            DistributedOptions::builder()
+                .n_ranks(4)
+                .faults(FaultPlan::seeded(42).with_drop(0.05))
+                .build(),
         ),
         (
             "drop 0.05 + straggler".into(),
-            DistributedOptions {
-                n_ranks: 4,
-                faults: FaultPlan::seeded(42).with_drop(0.05).with_straggler(2, 3),
-                quorum_frac: 0.75,
-                ..DistributedOptions::default()
-            },
+            DistributedOptions::builder()
+                .n_ranks(4)
+                .faults(FaultPlan::seeded(42).with_drop(0.05).with_straggler(2, 3))
+                .quorum_frac(0.75)
+                .build(),
         ),
         (
             "drop 0.05 + crash @500".into(),
-            DistributedOptions {
-                n_ranks: 4,
-                faults: FaultPlan::seeded(42).with_drop(0.05).with_crash(3, 500),
-                quorum_frac: 0.75,
-                ..DistributedOptions::default()
-            },
+            DistributedOptions::builder()
+                .n_ranks(4)
+                .faults(FaultPlan::seeded(42).with_drop(0.05).with_crash(3, 500))
+                .quorum_frac(0.75)
+                .build(),
         ),
     ];
     for (name, dopts) in cases {

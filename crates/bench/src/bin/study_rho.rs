@@ -17,15 +17,13 @@ fn main() {
         println!("{name}: iterations to ε_rel = 1e-3 (cap 200k)");
         println!("  ρ        fixed       residual-balanced");
         for &rho in &rhos {
-            let fixed = solver.solve(&AdmmOptions {
-                rho,
-                ..AdmmOptions::default()
-            });
-            let balanced = solver.solve(&AdmmOptions {
-                rho,
-                rho_adapt: Some(ResidualBalancing::default()),
-                ..AdmmOptions::default()
-            });
+            let fixed = solver.solve(&AdmmOptions::builder().rho(rho).build());
+            let balanced = solver.solve(
+                &AdmmOptions::builder()
+                    .rho(rho)
+                    .rho_adapt(ResidualBalancing::default())
+                    .build(),
+            );
             let show = |r: &opf_admm::SolveResult| {
                 if r.converged {
                     format!("{:>7}", r.iterations)

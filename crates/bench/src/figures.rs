@@ -58,10 +58,11 @@ pub fn fig1(full: bool) -> String {
 pub fn fig2() -> String {
     let inst = load_instance("ieee13");
     let solver = SolverFreeAdmm::new(&inst.dec).expect("precompute");
-    let mk = |backend| AdmmOptions {
-        backend,
-        trace_every: 50,
-        ..AdmmOptions::default()
+    let mk = |backend| {
+        AdmmOptions::builder()
+            .backend(backend)
+            .trace_every(50)
+            .build()
     };
     let cpu = solver.solve(&mk(Backend::Serial));
     let gpu = solver.solve(&mk(Backend::Gpu {
@@ -142,15 +143,16 @@ pub fn fig3(full: bool) -> String {
 
         out += "  threads within one GPU (no inter-rank comm):\n";
         for t in [1usize, 2, 4, 8, 16, 32, 64] {
-            let r = solver.solve(&AdmmOptions {
-                backend: Backend::Gpu {
-                    props: DeviceProps::a100(),
-                    threads_per_block: t,
-                },
-                max_iters: iters,
-                check_every: iters,
-                ..AdmmOptions::default()
-            });
+            let r = solver.solve(
+                &AdmmOptions::builder()
+                    .backend(Backend::Gpu {
+                        props: DeviceProps::a100(),
+                        threads_per_block: t,
+                    })
+                    .max_iters(iters)
+                    .check_every(iters)
+                    .build(),
+            );
             let (g, l, d) = r.timings.per_iteration();
             out += &format!(
                 "    T = {t:>2}  : global {:>9}  local {:>9}  dual {:>9}  total {:>9}\n",
@@ -177,13 +179,16 @@ pub fn fig4(full: bool) -> String {
         let opts = AdmmOptions::default();
 
         // Converge once (serial arithmetic, identical on all backends).
-        let run = solver.solve(&AdmmOptions {
-            backend: Backend::Gpu {
-                props: DeviceProps::a100(),
-                threads_per_block: 64,
-            },
-            ..opts.clone()
-        });
+        let run = solver.solve(
+            &opts
+                .clone()
+                .to_builder()
+                .backend(Backend::Gpu {
+                    props: DeviceProps::a100(),
+                    threads_per_block: 64,
+                })
+                .build(),
+        );
         let gpu_total = run.timings.total_s();
 
         let spec = ClusterSpec {

@@ -135,10 +135,7 @@ fn table5_row(name: &str, full: bool) -> Table5Row {
 
     // --- Ours: converge (serial arithmetic), attribute 16-CPU time. ---
     let solver = SolverFreeAdmm::new(&inst.dec).expect("precompute");
-    let ours = solver.solve(&AdmmOptions {
-        backend: Backend::Serial,
-        ..opts.clone()
-    });
+    let ours = solver.solve(&opts.clone().to_builder().backend(Backend::Serial).build());
     let spec = ClusterSpec {
         n_ranks: ours_cpus,
         comm: CommModel::cpu_cluster(),
@@ -155,11 +152,14 @@ fn table5_row(name: &str, full: bool) -> Table5Row {
         // Run to convergence when the budget allows; the cap bounds the
         // harness at roughly ten minutes on one core.
         let cap = 25_000;
-        let (r, _) = bench.solve(&AdmmOptions {
-            max_iters: cap,
-            trace_every: 100,
-            ..opts.clone()
-        });
+        let (r, _) = bench.solve(
+            &opts
+                .clone()
+                .to_builder()
+                .max_iters(cap)
+                .trace_every(100)
+                .build(),
+        );
         if r.converged {
             (r.iterations, false)
         } else {
@@ -169,10 +169,7 @@ fn table5_row(name: &str, full: bool) -> Table5Row {
         // Quick mode: skip the expensive truncated run entirely.
         (0, true)
     } else {
-        let (r, _) = bench.solve(&AdmmOptions {
-            max_iters: 100_000,
-            ..opts.clone()
-        });
+        let (r, _) = bench.solve(&opts.clone().to_builder().max_iters(100_000).build());
         (r.iterations, !r.converged)
     };
     let bench_time = if bench_iters == 0 {

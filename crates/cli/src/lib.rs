@@ -5,7 +5,9 @@
 
 use comm_sim::{Compression, FaultPlan};
 use gpu_sim::DeviceProps;
-use opf_admm::{AdmmOptions, Backend, CheckpointSpec, DistributedOptions, SolverFreeAdmm};
+use opf_admm::{
+    AdmmOptions, Backend, CheckpointSpec, DistributedOptions, Engine, ExecutionMode, SolveRequest,
+};
 use opf_model::{decompose, report, VarSpace};
 use opf_net::{feeders, ComponentGraph};
 
@@ -31,6 +33,7 @@ pub enum Command {
         quorum: f64,
         rank_timeout_ms: u64,
         checkpoint_every: usize,
+        telemetry_json: Option<String>,
     },
     /// `gridflow export <instance> <path.json>`
     Export { instance: String, path: String },
@@ -77,7 +80,7 @@ USAGE:
                  [--distributed N]
                  [--compress fp32|topk:F] [--report]
                  [--save-state path.json] [--resume path.json]
-                 [--checkpoint-every N]
+                 [--checkpoint-every N] [--telemetry-json path.json]
                  [--fault-seed S] [--fault-drop P] [--fault-dup P]
                  [--fault-delay P:D] [--fault-crash R@T]...
                  [--fault-straggler R:P]... [--quorum F]
@@ -97,6 +100,9 @@ repeated silence, adopting its partition. --save-state with
 iteration checking, typically ≤ N−1 iterations later (more if the
 residuals dip below tolerance only transiently between checks). With
 --distributed a skipped check also skips the stop-flag collective.
+--telemetry-json writes the run's `opf-telemetry/v1` report (per-phase
+spans, counters, iteration samples, GPU kernel profile) to the given
+file.
   gridflow export <instance> <path.json>
   gridflow tables  [--full]
   gridflow figures [--full]
@@ -169,6 +175,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             let mut quorum = 1.0;
             let mut rank_timeout_ms = 250u64;
             let mut checkpoint_every = 0usize;
+            let mut telemetry_json = None;
             while let Some(a) = it.next() {
                 match a.as_str() {
                     "--backend" => {
@@ -238,6 +245,13 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     "--checkpoint-every" => {
                         checkpoint_every = parse_num(it.next(), "--checkpoint-every")? as usize
                     }
+                    "--telemetry-json" => {
+                        telemetry_json = Some(
+                            it.next()
+                                .ok_or(CliError("--telemetry-json needs a path".into()))?
+                                .clone(),
+                        )
+                    }
                     other => return Err(CliError(format!("unknown flag {other}"))),
                 }
             }
@@ -276,6 +290,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 quorum,
                 rank_timeout_ms,
                 checkpoint_every,
+                telemetry_json,
             })
         }
         other => Err(CliError(format!("unknown command {other}"))),
@@ -406,45 +421,58 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             quorum,
             rank_timeout_ms,
             checkpoint_every,
+            telemetry_json,
         } => {
             let net = load(&instance)?;
             let graph = ComponentGraph::build(&net);
             let dec = decompose(&net, &graph).map_err(|e| CliError(e.to_string()))?;
-            let solver = SolverFreeAdmm::new(&dec).map_err(|e| CliError(e.to_string()))?;
+            let engine = Engine::new(&dec).map_err(|e| CliError(e.to_string()))?;
             let resume_state = match &resume {
                 Some(path) => Some(load_checkpoint(path, &instance, dec.n)?),
                 None => None,
             };
-            let opts = AdmmOptions {
-                rho,
-                eps_rel: eps,
-                max_iters,
-                check_every,
-                backend: backend.to_backend(),
-                ..AdmmOptions::default()
+            let opts = AdmmOptions::builder()
+                .rho(rho)
+                .eps_rel(eps)
+                .max_iters(max_iters)
+                .check_every(check_every)
+                .backend(backend.to_backend())
+                .build();
+            let mode = match distributed {
+                Some(ranks) => ExecutionMode::Distributed {
+                    options: DistributedOptions::builder()
+                        .n_ranks(ranks)
+                        .compression(compress)
+                        .faults(*faults)
+                        .quorum_frac(quorum)
+                        .rank_timeout(std::time::Duration::from_millis(rank_timeout_ms))
+                        .checkpoint(save_state.as_ref().map(|path| CheckpointSpec {
+                            path: path.into(),
+                            instance: instance.clone(),
+                            every: checkpoint_every,
+                        }))
+                        .build(),
+                },
+                None => ExecutionMode::SingleProcess,
             };
+            let mut req = SolveRequest::new(opts).with_mode(mode);
+            if let Some(state) = resume_state {
+                req = req.with_warm_start(state);
+            }
             let mut out = String::new();
+            let r = match &telemetry_json {
+                Some(path) => {
+                    let (r, report) = engine.solve_with_telemetry(&req, Some(&instance));
+                    std::fs::write(path, report.to_json_string())
+                        .map_err(|e| CliError(format!("write {path}: {e}")))?;
+                    out += &format!("telemetry written to {path}\n");
+                    r
+                }
+                None => engine.solve(&req),
+            };
             let mut final_state = None;
             let mut state_saved = false;
-            let (x, iterations, converged, objective) = if let Some(ranks) = distributed {
-                let dopts = DistributedOptions {
-                    n_ranks: ranks,
-                    compression: compress,
-                    faults: *faults,
-                    quorum_frac: quorum,
-                    rank_timeout: std::time::Duration::from_millis(rank_timeout_ms),
-                    checkpoint: save_state.as_ref().map(|path| CheckpointSpec {
-                        path: path.into(),
-                        instance: instance.clone(),
-                        every: checkpoint_every,
-                    }),
-                    ..DistributedOptions::default()
-                };
-                let r = match resume_state {
-                    Some(state) => solver.solve_distributed_from(&opts, &dopts, state),
-                    None => solver.solve_distributed_opts(&opts, &dopts),
-                };
-                let deg = &r.degradation;
+            if let Some(deg) = &r.degradation {
                 if deg.is_degraded() {
                     out += &format!(
                         "degraded: {} stale round(s), {} gather timeout(s), \
@@ -462,12 +490,7 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                     out += &format!("stopped early: {f}\n");
                 }
                 state_saved = deg.checkpoints_written > 0;
-                (r.x, r.iterations, r.converged, r.objective)
             } else {
-                let r = match resume_state {
-                    Some(state) => solver.solve_from(&opts, state),
-                    None => solver.solve(&opts),
-                };
                 final_state = Some((r.x.clone(), r.z.clone(), r.lambda.clone()));
                 let (g, l, d) = r.timings.per_iteration();
                 out += &format!(
@@ -481,8 +504,9 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                         ""
                     }
                 );
-                (r.x, r.iterations, r.converged, r.objective)
-            };
+            }
+            let (x, iterations, converged, objective) =
+                (r.x, r.iterations, r.converged, r.objective);
             out += &format!(
                 "{instance}: converged = {converged} in {iterations} iterations, Σp^g = {objective:.4} p.u.\n"
             );
@@ -729,6 +753,52 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_flag_parses_and_writes_schema_report() {
+        // Parse: the flag lands in the command.
+        let c = parse(&sv(&[
+            "solve",
+            "ieee13",
+            "--max-iters",
+            "40",
+            "--telemetry-json",
+            "out.json",
+        ]))
+        .unwrap();
+        let Command::Solve {
+            ref telemetry_json, ..
+        } = c
+        else {
+            panic!("wrong command");
+        };
+        assert_eq!(telemetry_json.as_deref(), Some("out.json"));
+        assert!(parse(&sv(&["solve", "ieee13", "--telemetry-json"])).is_err());
+
+        // Run: the report file exists, parses, and carries all four
+        // phase spans under the versioned schema.
+        let dir = std::env::temp_dir().join("gridflow-cli-telemetry");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("telemetry.json").to_string_lossy().into_owned();
+        let out = run(parse(&sv(&[
+            "solve",
+            "ieee13",
+            "--max-iters",
+            "40",
+            "--telemetry-json",
+            &path,
+        ]))
+        .unwrap())
+        .unwrap();
+        assert!(out.contains("telemetry written"), "{out}");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let report = opf_admm::prelude::TelemetryReport::from_json_str(&text).expect("parse");
+        assert_eq!(report.instance.as_deref(), Some("ieee13"));
+        assert_eq!(report.backend.as_deref(), Some("serial"));
+        for phase in opf_admm::prelude::Phase::ALL {
+            assert!(report.phase_total(phase) > 0.0, "{} empty", phase.name());
+        }
+    }
+
+    #[test]
     fn solve_runs_quickly_with_iteration_cap() {
         let out = run(Command::Solve {
             instance: "ieee13".into(),
@@ -746,6 +816,7 @@ mod tests {
             quorum: 1.0,
             rank_timeout_ms: 250,
             checkpoint_every: 0,
+            telemetry_json: None,
         })
         .unwrap();
         assert!(out.contains("converged = false"), "{out}");
@@ -790,6 +861,7 @@ mod tests {
             quorum: 1.0,
             rank_timeout_ms: 250,
             checkpoint_every: 0,
+            telemetry_json: None,
         };
         let out = run(base).unwrap();
         assert!(out.contains("state saved"));
@@ -810,6 +882,7 @@ mod tests {
             quorum: 1.0,
             rank_timeout_ms: 250,
             checkpoint_every: 0,
+            telemetry_json: None,
         })
         .unwrap();
         assert!(resumed.contains("converged = true"), "{resumed}");
@@ -830,6 +903,7 @@ mod tests {
             quorum: 1.0,
             rank_timeout_ms: 250,
             checkpoint_every: 0,
+            telemetry_json: None,
         })
         .unwrap_err();
         assert!(e.0.contains("checkpoint is for"), "{e}");

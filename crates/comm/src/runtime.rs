@@ -118,8 +118,14 @@ impl std::error::Error for CommError {}
 pub struct CommStats {
     /// Logical data messages sent.
     pub sent: u64,
+    /// Payload bytes offered to the wire by [`RankCtx::send`]
+    /// (8 bytes per `f64`, counted once per logical message regardless of
+    /// retransmits).
+    pub bytes_sent: u64,
     /// Logical messages delivered into the receive buffer.
     pub delivered: u64,
+    /// Payload bytes delivered into the receive buffer.
+    pub bytes_delivered: u64,
     /// Retransmitted frames.
     pub retransmits: u64,
     /// Messages abandoned after exhausting retries.
@@ -156,7 +162,9 @@ impl CommStats {
     /// Accumulate another rank's counters.
     pub fn merge(&mut self, other: &CommStats) {
         self.sent += other.sent;
+        self.bytes_sent += other.bytes_sent;
         self.delivered += other.delivered;
+        self.bytes_delivered += other.bytes_delivered;
         self.retransmits += other.retransmits;
         self.gave_up += other.gave_up;
         self.dropped += other.dropped;
@@ -310,6 +318,7 @@ impl RankCtx {
             });
         }
         self.stats.delivered += 1;
+        self.stats.bytes_delivered += 8 * data.len() as u64;
         self.pending.push_back((from, tag, data));
         Ok(())
     }
@@ -514,6 +523,7 @@ impl RankCtx {
     /// the receiver) after the plan's retry budget.
     pub fn send(&mut self, to: usize, tag: u64, data: Vec<f64>) -> Result<(), CommError> {
         self.stats.sent += 1;
+        self.stats.bytes_sent += 8 * data.len() as u64;
         if !self.reliable {
             let wire = Wire {
                 from: self.rank,

@@ -14,6 +14,7 @@ use crate::updates::{self, Residuals};
 use opf_linalg::{vec_ops, LinalgError};
 use opf_model::DecomposedProblem;
 use opf_qp::{BoxQp, QpOptions};
+use opf_telemetry::{IterationObserver, IterationSample, NoopObserver, Phase};
 use rayon::prelude::*;
 use std::time::Instant;
 
@@ -79,6 +80,16 @@ impl<'a> BenchmarkAdmm<'a> {
     /// as cheap as an iterative solver can be — the comparison is still
     /// lopsided, which is the paper's thesis.
     pub fn solve(&self, opts: &AdmmOptions) -> (SolveResult, QpStats) {
+        self.solve_observed(opts, &mut NoopObserver)
+    }
+
+    /// [`BenchmarkAdmm::solve`] with an [`IterationObserver`] attached
+    /// (same contract as [`crate::solver::SolverFreeAdmm::solve_observed`]).
+    pub fn solve_observed<O: IterationObserver>(
+        &self,
+        opts: &AdmmOptions,
+        obs: &mut O,
+    ) -> (SolveResult, QpStats) {
         let pool = match &opts.backend {
             Backend::Rayon { threads } => Some(
                 rayon::ThreadPoolBuilder::new()
@@ -132,7 +143,9 @@ impl<'a> BenchmarkAdmm<'a> {
                 );
             };
             run_global(&mut x);
-            timings.global_s += t0.elapsed().as_secs_f64();
+            let dt = t0.elapsed().as_secs_f64();
+            timings.global_s += dt;
+            obs.on_phase(Phase::Global, dt);
 
             // --- Local update: QP (14) with bounds, per component. ---
             // Ping-pong swap (the QP writes every entry of z below).
@@ -176,9 +189,13 @@ impl<'a> BenchmarkAdmm<'a> {
                         .sum(),
                 }
             };
-            timings.local_s += t0.elapsed().as_secs_f64();
+            let dt = t0.elapsed().as_secs_f64();
+            timings.local_s += dt;
+            obs.on_phase(Phase::Local, dt);
             stats.total_inner_iterations += inner;
             stats.solves += self.dec.s();
+            obs.on_counter("qp.inner_iterations", inner as u64);
+            obs.on_counter("qp.solves", self.dec.s() as u64);
 
             // --- Dual update (12). ---
             let t0 = Instant::now();
@@ -199,10 +216,26 @@ impl<'a> BenchmarkAdmm<'a> {
                     None => slices.iter_mut().enumerate().for_each(dual_body),
                 }
             }
-            timings.dual_s += t0.elapsed().as_secs_f64();
+            let dt = t0.elapsed().as_secs_f64();
+            timings.dual_s += dt;
+            obs.on_phase(Phase::Dual, dt);
 
             if t % opts.check_every == 0 || t == opts.max_iters {
+                let t0 = Instant::now();
                 res = Residuals::compute(&self.pre, opts.eps_rel, rho, &x, &z, &z_prev, &lambda);
+                let dt = t0.elapsed().as_secs_f64();
+                timings.residual_s += dt;
+                obs.on_phase(Phase::Residual, dt);
+                if obs.enabled() {
+                    obs.on_iteration(&IterationSample {
+                        iter: t as u64,
+                        pres: res.pres,
+                        dres: res.dres,
+                        eps_prim: res.eps_prim,
+                        eps_dual: res.eps_dual,
+                        rho,
+                    });
+                }
                 if opts.trace_every > 0 && (t % opts.trace_every == 0 || t == 1) {
                     trace.push(TraceEntry {
                         iter: t,
@@ -238,16 +271,10 @@ impl<'a> BenchmarkAdmm<'a> {
         )
     }
 
-    /// Initial iterates (same rule as the solver-free method, but local
-    /// copies are additionally clipped to their own bounds, which model
-    /// (8) requires).
+    /// Initial iterates — the same shared rule as the solver-free method
+    /// (see [`Precomputed::initial_state`]).
     pub fn initial_state(&self) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
-        let mut x = self.dec.vars.initial_point();
-        vec_ops::clip(&mut x, &self.dec.lower, &self.dec.upper);
-        // z = Bx, gathered directly (no zero-filled intermediate).
-        let z: Vec<f64> = self.pre.stacked_to_global.iter().map(|&g| x[g]).collect();
-        let lambda = vec![0.0; self.pre.total_dim()];
-        (x, z, lambda)
+        self.pre.initial_state(self.dec)
     }
 }
 

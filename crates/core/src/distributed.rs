@@ -35,7 +35,7 @@ use comm_sim::{run_ranks_faulted, CommStats, Compression, FaultPlan};
 use opf_linalg::vec_ops;
 use std::ops::Range;
 use std::path::PathBuf;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Patience of blocking collectives when no faults are injected (a
 /// liveness backstop, not a protocol timeout).
@@ -43,7 +43,11 @@ const IDEAL_PATIENCE: Duration = Duration::from_secs(30);
 
 /// Distribution-specific knobs (the ADMM math itself is configured by
 /// [`AdmmOptions`]).
+///
+/// `#[non_exhaustive]`: construct via [`DistributedOptions::default`],
+/// [`DistributedOptions::ranks`], or [`DistributedOptions::builder`].
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct DistributedOptions {
     /// Worker count (threads + channels).
     pub n_ranks: usize,
@@ -86,6 +90,74 @@ impl DistributedOptions {
             n_ranks,
             ..DistributedOptions::default()
         }
+    }
+
+    /// Fluent builder starting from the defaults.
+    pub fn builder() -> DistributedOptionsBuilder {
+        DistributedOptionsBuilder {
+            opts: DistributedOptions::default(),
+        }
+    }
+
+    /// Re-open these options as a builder (the `..base.clone()` idiom,
+    /// which `#[non_exhaustive]` forbids outside this crate).
+    pub fn to_builder(self) -> DistributedOptionsBuilder {
+        DistributedOptionsBuilder { opts: self }
+    }
+}
+
+/// Builder for [`DistributedOptions`].
+#[derive(Debug, Clone, Default)]
+pub struct DistributedOptionsBuilder {
+    opts: DistributedOptions,
+}
+
+impl DistributedOptionsBuilder {
+    /// Worker count.
+    pub fn n_ranks(mut self, n_ranks: usize) -> Self {
+        self.opts.n_ranks = n_ranks;
+        self
+    }
+
+    /// Lossy wire compression.
+    pub fn compression(mut self, compression: Compression) -> Self {
+        self.opts.compression = compression;
+        self
+    }
+
+    /// Fault-injection plan.
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.opts.faults = faults;
+        self
+    }
+
+    /// Partial-barrier quorum fraction.
+    pub fn quorum_frac(mut self, quorum_frac: f64) -> Self {
+        self.opts.quorum_frac = quorum_frac;
+        self
+    }
+
+    /// Gather deadline under an active fault plan.
+    pub fn rank_timeout(mut self, rank_timeout: Duration) -> Self {
+        self.opts.rank_timeout = rank_timeout;
+        self
+    }
+
+    /// Silent gathers before a rank is declared dead.
+    pub fn suspect_rounds(mut self, suspect_rounds: usize) -> Self {
+        self.opts.suspect_rounds = suspect_rounds;
+        self
+    }
+
+    /// Periodic operator-state checkpointing (`None` switches it off).
+    pub fn checkpoint(mut self, checkpoint: impl Into<Option<CheckpointSpec>>) -> Self {
+        self.opts.checkpoint = checkpoint.into();
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> DistributedOptions {
+        self.opts
     }
 }
 
@@ -172,34 +244,20 @@ pub struct DistributedResult {
     pub converged: bool,
     /// Final residuals.
     pub residuals: Residuals,
+    /// The operator rank's per-phase compute times (its global updates,
+    /// its own/adopted local and dual partitions, and the termination
+    /// tests). Communication waits are deliberately excluded.
+    pub timings: crate::types::Timings,
     /// What the run observed about faults and recovery.
     pub degradation: DegradationReport,
 }
 
-/// Local + dual updates for one contiguous component partition (the
-/// per-agent work of Algorithm 1).
-fn update_part(
-    part: &Range<usize>,
-    pre: &Precomputed,
-    rho: f64,
-    x: &[f64],
-    z: &mut [f64],
-    lambda: &mut [f64],
-) {
-    for s in part.clone() {
-        let r = pre.range(s);
-        let (_, tail) = z.split_at_mut(r.start);
-        let zs = &mut tail[..r.len()];
-        updates::local_update_component(s, pre, rho, x, &lambda[r.clone()], zs);
-        let (_, ltail) = lambda.split_at_mut(r.start);
-        let ls = &mut ltail[..r.len()];
-        updates::dual_update_component(&pre.stacked_to_global[r.clone()], rho, x, &z[r], ls);
-    }
-}
-
-/// The z-update alone. Difference mode interleaves quantization between
-/// the local and dual steps, so the two halves of [`update_part`] are
-/// also needed separately.
+/// The z-update (15) for one contiguous component partition — half of
+/// the per-agent work of Algorithm 1. Kept separate from [`dual_part`]
+/// so difference-mode compression can interleave quantization between
+/// the two steps and so each gets its own telemetry span; components
+/// are independent, so local-then-dual over a partition is bit-identical
+/// to interleaving them per component.
 fn local_part(
     part: &Range<usize>,
     pre: &Precomputed,
@@ -311,6 +369,7 @@ struct OperatorCore {
     iterations: usize,
     converged: bool,
     residuals: Residuals,
+    timings: crate::types::Timings,
     report: DegradationReport,
 }
 
@@ -417,6 +476,9 @@ impl SolverFreeAdmm<'_> {
             let mut converged = false;
             let mut iterations = 0;
             let mut exit = RankExit::Completed;
+            // Per-phase compute spans; only the operator's copy survives
+            // into the result (workers' accumulators are discarded).
+            let mut timings = crate::types::Timings::default();
 
             let mut report = DegradationReport {
                 stale_iterations: vec![0; ctx.n],
@@ -457,6 +519,7 @@ impl SolverFreeAdmm<'_> {
 
                 // --- Operator: global update + broadcast x. ---
                 let outgoing = if me == 0 {
+                    let t0 = Instant::now();
                     updates::global_update_range(
                         0..dec.n,
                         rho,
@@ -470,6 +533,7 @@ impl SolverFreeAdmm<'_> {
                         &lambda,
                         &mut x,
                     );
+                    timings.global_s += t0.elapsed().as_secs_f64();
                     if delta_mode {
                         let mut c: Vec<f64> = x.iter().zip(&x_sync).map(|(a, b)| a - b).collect();
                         compression.apply(&mut c);
@@ -533,9 +597,20 @@ impl SolverFreeAdmm<'_> {
                 } else if delta_mode {
                     // z-update only; the dual update runs after both ends
                     // have agreed on the quantized z.
+                    let t0 = Instant::now();
                     local_part(&part, pre, rho, &x, &mut z, &lambda);
+                    timings.local_s += t0.elapsed().as_secs_f64();
                 } else {
-                    update_part(&part, pre, rho, &x, &mut z, &mut lambda);
+                    // Run the two halves of `update_part` separately so
+                    // each gets its own span. Components are independent,
+                    // so the reordering (all locals, then all duals) is
+                    // bit-identical to the interleaved form.
+                    let t0 = Instant::now();
+                    local_part(&part, pre, rho, &x, &mut z, &lambda);
+                    timings.local_s += t0.elapsed().as_secs_f64();
+                    let t0 = Instant::now();
+                    dual_part(&part, pre, rho, &x, &z, &mut lambda);
+                    timings.dual_s += t0.elapsed().as_secs_f64();
                 }
 
                 // --- Gather slices at the operator (partial barrier). ---
@@ -543,7 +618,12 @@ impl SolverFreeAdmm<'_> {
                     // Dead ranks' partitions run on the operator, from
                     // the last gathered state (the in-memory checkpoint).
                     for (dead_part, carry) in adopted.iter().zip(&mut adopted_carry) {
-                        update_part(dead_part, pre, rho, &x, &mut z, &mut lambda);
+                        let t0 = Instant::now();
+                        local_part(dead_part, pre, rho, &x, &mut z, &lambda);
+                        timings.local_s += t0.elapsed().as_secs_f64();
+                        let t0 = Instant::now();
+                        dual_part(dead_part, pre, rho, &x, &z, &mut lambda);
+                        timings.dual_s += t0.elapsed().as_secs_f64();
                         let (dlo, dhi) = (pre.offsets[dead_part.start], pre.offsets[dead_part.end]);
                         let mut p = pack_part(dlo, dhi, &z, &lambda);
                         compress_ef(compression, &mut p, carry);
@@ -619,9 +699,11 @@ impl SolverFreeAdmm<'_> {
                         // Dual updates for every slice, from the shared
                         // quantized iterates — bitwise what each agent
                         // computes for its own slice.
+                        let t0 = Instant::now();
                         for p in parts.iter() {
                             dual_part(p, pre, rho, &x, &z, &mut lambda);
                         }
+                        timings.dual_s += t0.elapsed().as_secs_f64();
                     }
 
                     if let Some(ck) = &dopts.checkpoint {
@@ -634,6 +716,7 @@ impl SolverFreeAdmm<'_> {
                     }
 
                     if check {
+                        let t0 = Instant::now();
                         final_res =
                             Residuals::compute(pre, opts.eps_rel, rho, &x, &z, &z_prev, &lambda);
                         let mut stop = final_res.converged();
@@ -654,6 +737,7 @@ impl SolverFreeAdmm<'_> {
                         if active {
                             lambda_prev.copy_from_slice(&lambda);
                         }
+                        timings.residual_s += t0.elapsed().as_secs_f64();
 
                         let flag = vec![if stop { 1.0 } else { 0.0 }];
                         if let Err(e) = ctx.broadcast_live(0, tag + 2, flag, &live, patience) {
@@ -731,11 +815,13 @@ impl SolverFreeAdmm<'_> {
                 }
             }
 
+            timings.iterations = iterations;
             let op = (me == 0).then_some(OperatorCore {
                 x,
                 iterations,
                 converged,
                 residuals: final_res,
+                timings,
                 report,
             });
             RankReturn {
@@ -763,6 +849,7 @@ impl SolverFreeAdmm<'_> {
             iterations: core.iterations,
             converged: core.converged,
             residuals: core.residuals,
+            timings: core.timings,
             degradation: report,
         }
     }

@@ -1,0 +1,558 @@
+//! One entry point for every solve path.
+//!
+//! [`Engine::solve`] takes a [`SolveRequest`] — ADMM options, an
+//! [`ExecutionMode`], and an optional warm start — and dispatches to the
+//! matching [`AdmmBackend`]: the single-process solver-free loop
+//! (serial / rayon / gpu-sim), the benchmark box-QP method, the cluster
+//! timing simulator, or the genuinely distributed runtime. Every backend
+//! reports through the same [`SolveOutcome`] shape and accepts the same
+//! [`IterationObserver`], so telemetry attaches uniformly instead of
+//! forking five solve loops.
+
+use crate::benchmark::{BenchmarkAdmm, QpStats};
+use crate::cluster::{ClusterBreakdown, ClusterSpec};
+use crate::distributed::{DegradationReport, DistributedOptions};
+use crate::solver::SolverFreeAdmm;
+use crate::types::{AdmmOptions, Backend, SolveResult, Timings, TraceEntry};
+use crate::updates::Residuals;
+use opf_linalg::LinalgError;
+use opf_model::DecomposedProblem;
+use opf_telemetry::{IterationObserver, NoopObserver, Phase, TelemetryRecorder, TelemetryReport};
+
+/// Which solve path a request runs on.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub enum ExecutionMode {
+    /// The solver-free loop in one process; serial, rayon, or gpu-sim is
+    /// picked by [`AdmmOptions::backend`].
+    SingleProcess,
+    /// The benchmark ADMM (§II-B): box-QP local solves, unclipped global
+    /// average. CPU only; GPU backend requests run serial.
+    BenchmarkQp,
+    /// The multi-rank cluster *timing* simulator: runs `measure_iters`
+    /// measured iterations and reports per-iteration medians. The
+    /// outcome carries timing and residuals but no iterates.
+    Cluster {
+        /// Cluster shape and fabric model.
+        spec: ClusterSpec,
+        /// Measured iterations (2 warmup iterations are added on top).
+        measure_iters: usize,
+    },
+    /// The genuinely distributed runtime (threads + channels, operator
+    /// on rank 0), with optional compression, faults, and recovery.
+    Distributed {
+        /// Distribution-specific knobs.
+        options: DistributedOptions,
+    },
+}
+
+/// A complete description of one solve.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct SolveRequest {
+    /// ADMM parameters (ρ, tolerance, backend, stride, …).
+    pub options: AdmmOptions,
+    /// Which solve path to run.
+    pub mode: ExecutionMode,
+    /// Optional warm start `(x, z, λ)`. Supported by the single-process
+    /// and distributed modes; the benchmark and cluster modes panic if
+    /// one is supplied (they always start from the paper's initial
+    /// point).
+    pub warm_start: Option<(Vec<f64>, Vec<f64>, Vec<f64>)>,
+}
+
+impl SolveRequest {
+    /// A single-process request with the given options.
+    pub fn new(options: AdmmOptions) -> Self {
+        SolveRequest {
+            options,
+            mode: ExecutionMode::SingleProcess,
+            warm_start: None,
+        }
+    }
+
+    /// Select the execution mode.
+    pub fn with_mode(mut self, mode: ExecutionMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Warm-start from explicit iterates.
+    pub fn with_warm_start(mut self, state: (Vec<f64>, Vec<f64>, Vec<f64>)) -> Self {
+        self.warm_start = Some(state);
+        self
+    }
+}
+
+impl Default for SolveRequest {
+    fn default() -> Self {
+        SolveRequest::new(AdmmOptions::default())
+    }
+}
+
+/// The uniform result of [`Engine::solve`], whichever backend ran.
+///
+/// Numeric fields mirror [`SolveResult`]; backends that do not produce a
+/// given artifact leave it empty (`z`/`λ` for distributed runs, all
+/// iterates for cluster timing runs) and the mode-specific extras ride
+/// in the `Option` fields.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct SolveOutcome {
+    /// Which backend produced this outcome: `"serial"`, `"rayon"`,
+    /// `"gpu-sim"`, `"benchmark-qp"`, `"cluster"`, or `"distributed"`.
+    pub backend: &'static str,
+    /// Final global iterate (empty for cluster timing runs).
+    pub x: Vec<f64>,
+    /// Final stacked local iterate (empty for distributed/cluster runs).
+    pub z: Vec<f64>,
+    /// Final stacked duals (empty for distributed/cluster runs).
+    pub lambda: Vec<f64>,
+    /// Objective `cᵀx` (0 for cluster timing runs).
+    pub objective: f64,
+    /// Iterations performed (measured iterations for cluster runs).
+    pub iterations: usize,
+    /// Whether the termination test was met.
+    pub converged: bool,
+    /// Final residuals.
+    pub residuals: Residuals,
+    /// Per-phase times: wall-clock, analytic device time, or operator
+    /// compute time depending on the backend (see `timings.simulated`).
+    pub timings: Timings,
+    /// Residual trace (single-process and benchmark modes only).
+    pub trace: Vec<TraceEntry>,
+    /// QP diagnostics (benchmark mode only).
+    pub qp: Option<QpStats>,
+    /// Per-iteration cluster breakdown (cluster mode only).
+    pub cluster: Option<ClusterBreakdown>,
+    /// Fault/recovery report (distributed mode only).
+    pub degradation: Option<DegradationReport>,
+}
+
+impl SolveOutcome {
+    fn from_result(backend: &'static str, r: SolveResult) -> Self {
+        SolveOutcome {
+            backend,
+            x: r.x,
+            z: r.z,
+            lambda: r.lambda,
+            objective: r.objective,
+            iterations: r.iterations,
+            converged: r.converged,
+            residuals: r.residuals,
+            timings: r.timings,
+            trace: r.trace,
+            qp: None,
+            cluster: None,
+            degradation: None,
+        }
+    }
+}
+
+fn backend_label(b: &Backend) -> &'static str {
+    match b {
+        Backend::Serial => "serial",
+        Backend::Rayon { .. } => "rayon",
+        Backend::Gpu { .. } => "gpu-sim",
+    }
+}
+
+/// One solve path behind the [`Engine`] facade.
+///
+/// The observer is generic (not `dyn`) so the no-op path monomorphizes
+/// away, exactly as in the underlying solvers.
+pub trait AdmmBackend {
+    /// Stable backend family name.
+    fn name(&self) -> &'static str;
+
+    /// Run the request to completion, reporting into `obs`.
+    fn run<O: IterationObserver>(
+        &self,
+        engine: &Engine<'_>,
+        req: &SolveRequest,
+        obs: &mut O,
+    ) -> SolveOutcome;
+}
+
+/// The solver-free single-process path (serial / rayon / gpu-sim).
+pub struct SingleProcessBackend;
+
+impl AdmmBackend for SingleProcessBackend {
+    fn name(&self) -> &'static str {
+        "single-process"
+    }
+
+    fn run<O: IterationObserver>(
+        &self,
+        engine: &Engine<'_>,
+        req: &SolveRequest,
+        obs: &mut O,
+    ) -> SolveOutcome {
+        let label = backend_label(&req.options.backend);
+        let result = match &req.warm_start {
+            Some(state) => engine
+                .solver
+                .solve_from_observed(&req.options, state.clone(), obs),
+            None => engine.solver.solve_observed(&req.options, obs),
+        };
+        SolveOutcome::from_result(label, result)
+    }
+}
+
+/// The benchmark ADMM path (box-QP local solves).
+pub struct BenchmarkQpBackend;
+
+impl AdmmBackend for BenchmarkQpBackend {
+    fn name(&self) -> &'static str {
+        "benchmark-qp"
+    }
+
+    fn run<O: IterationObserver>(
+        &self,
+        engine: &Engine<'_>,
+        req: &SolveRequest,
+        obs: &mut O,
+    ) -> SolveOutcome {
+        assert!(
+            req.warm_start.is_none(),
+            "the benchmark backend always starts from the paper's initial point"
+        );
+        // Precomputation already succeeded for this problem when the
+        // engine was built, so rebuilding it for the benchmark front end
+        // cannot fail.
+        let bench = BenchmarkAdmm::new(engine.problem())
+            .expect("benchmark precompute on an already-validated problem");
+        let (result, stats) = bench.solve_observed(&req.options, obs);
+        let mut out = SolveOutcome::from_result("benchmark-qp", result);
+        out.qp = Some(stats);
+        out
+    }
+}
+
+/// The cluster timing-simulation path.
+pub struct ClusterBackend;
+
+impl AdmmBackend for ClusterBackend {
+    fn name(&self) -> &'static str {
+        "cluster"
+    }
+
+    fn run<O: IterationObserver>(
+        &self,
+        engine: &Engine<'_>,
+        req: &SolveRequest,
+        obs: &mut O,
+    ) -> SolveOutcome {
+        let ExecutionMode::Cluster {
+            spec,
+            measure_iters,
+        } = &req.mode
+        else {
+            panic!("ClusterBackend requires ExecutionMode::Cluster");
+        };
+        assert!(
+            req.warm_start.is_none(),
+            "the cluster simulator always starts from the paper's initial point"
+        );
+        let (bd, res) = engine
+            .solver
+            .measure_cluster(&req.options, spec, *measure_iters);
+        let n = bd.iterations as f64;
+        // Replay the per-iteration medians as phase totals so a cluster
+        // measurement lands in the same telemetry schema as a real solve.
+        obs.on_phase(Phase::Global, bd.global_s * n);
+        obs.on_phase(Phase::Local, bd.local_compute_s * n);
+        obs.on_phase(Phase::Dual, bd.dual_s * n);
+        obs.on_counter("cluster.comm_ns", (bd.comm_s * n * 1e9) as u64);
+        obs.on_counter("cluster.ranks", spec.n_ranks as u64);
+        SolveOutcome {
+            backend: "cluster",
+            x: Vec::new(),
+            z: Vec::new(),
+            lambda: Vec::new(),
+            objective: 0.0,
+            iterations: bd.iterations,
+            converged: res.converged(),
+            residuals: res,
+            timings: Timings {
+                global_s: bd.global_s * n,
+                local_s: bd.local_compute_s * n,
+                dual_s: bd.dual_s * n,
+                residual_s: 0.0,
+                iterations: bd.iterations,
+                simulated: true,
+            },
+            trace: Vec::new(),
+            qp: None,
+            cluster: Some(bd),
+            degradation: None,
+        }
+    }
+}
+
+/// The genuinely distributed path (threads + channels).
+pub struct DistributedBackend;
+
+impl AdmmBackend for DistributedBackend {
+    fn name(&self) -> &'static str {
+        "distributed"
+    }
+
+    fn run<O: IterationObserver>(
+        &self,
+        engine: &Engine<'_>,
+        req: &SolveRequest,
+        obs: &mut O,
+    ) -> SolveOutcome {
+        let ExecutionMode::Distributed { options } = &req.mode else {
+            panic!("DistributedBackend requires ExecutionMode::Distributed");
+        };
+        let result = match &req.warm_start {
+            Some(state) => {
+                engine
+                    .solver
+                    .solve_distributed_from(&req.options, options, state.clone())
+            }
+            None => engine.solver.solve_distributed_opts(&req.options, options),
+        };
+        if obs.enabled() {
+            // The observer cannot ride inside the rank closures (they run
+            // on worker threads); replay the operator's spans and the
+            // merged transport counters after the join instead.
+            obs.on_phase(Phase::Global, result.timings.global_s);
+            obs.on_phase(Phase::Local, result.timings.local_s);
+            obs.on_phase(Phase::Dual, result.timings.dual_s);
+            obs.on_phase(Phase::Residual, result.timings.residual_s);
+            let c = &result.degradation.comm;
+            obs.on_counter("comm.sent", c.sent);
+            obs.on_counter("comm.bytes_sent", c.bytes_sent);
+            obs.on_counter("comm.delivered", c.delivered);
+            obs.on_counter("comm.bytes_delivered", c.bytes_delivered);
+            obs.on_counter("comm.retransmits", c.retransmits);
+            obs.on_counter("comm.gave_up", c.gave_up);
+            obs.on_counter("comm.timeouts", c.timeouts);
+            obs.on_counter("comm.skipped_collectives", c.skipped_collectives);
+            obs.on_counter(
+                "faults.dead_ranks",
+                result.degradation.dead_ranks.len() as u64,
+            );
+            obs.on_counter("faults.quorum_rounds", result.degradation.quorum_rounds);
+            obs.on_counter(
+                "faults.checkpoints_written",
+                result.degradation.checkpoints_written,
+            );
+        }
+        SolveOutcome {
+            backend: "distributed",
+            x: result.x,
+            z: Vec::new(),
+            lambda: Vec::new(),
+            objective: result.objective,
+            iterations: result.iterations,
+            converged: result.converged,
+            residuals: result.residuals,
+            timings: result.timings,
+            trace: Vec::new(),
+            qp: None,
+            cluster: None,
+            degradation: Some(result.degradation),
+        }
+    }
+}
+
+/// The facade: owns a built solver (precompute done once) and dispatches
+/// [`SolveRequest`]s to backends.
+pub struct Engine<'a> {
+    solver: SolverFreeAdmm<'a>,
+}
+
+impl<'a> Engine<'a> {
+    /// Build the engine (runs Algorithm 1's precomputation once).
+    pub fn new(dec: &'a DecomposedProblem) -> Result<Self, LinalgError> {
+        Ok(Engine {
+            solver: SolverFreeAdmm::new(dec)?,
+        })
+    }
+
+    /// Wrap an already-built solver.
+    pub fn from_solver(solver: SolverFreeAdmm<'a>) -> Self {
+        Engine { solver }
+    }
+
+    /// The underlying solver (for paths the facade does not cover, e.g.
+    /// `diagnose`).
+    pub fn solver(&self) -> &SolverFreeAdmm<'a> {
+        &self.solver
+    }
+
+    /// The decomposed problem.
+    pub fn problem(&self) -> &DecomposedProblem {
+        self.solver.problem()
+    }
+
+    /// Run a request with no observer attached.
+    pub fn solve(&self, req: &SolveRequest) -> SolveOutcome {
+        self.solve_observed(req, &mut NoopObserver)
+    }
+
+    /// Run a request with an [`IterationObserver`] attached.
+    pub fn solve_observed<O: IterationObserver>(
+        &self,
+        req: &SolveRequest,
+        obs: &mut O,
+    ) -> SolveOutcome {
+        match &req.mode {
+            ExecutionMode::SingleProcess => SingleProcessBackend.run(self, req, obs),
+            ExecutionMode::BenchmarkQp => BenchmarkQpBackend.run(self, req, obs),
+            ExecutionMode::Cluster { .. } => ClusterBackend.run(self, req, obs),
+            ExecutionMode::Distributed { .. } => DistributedBackend.run(self, req, obs),
+        }
+    }
+
+    /// Run a request with a fresh [`TelemetryRecorder`] attached and
+    /// return the rendered report alongside the outcome. The report's
+    /// `backend` label is filled from the outcome; pass `instance` to
+    /// label the problem being solved.
+    pub fn solve_with_telemetry(
+        &self,
+        req: &SolveRequest,
+        instance: Option<&str>,
+    ) -> (SolveOutcome, TelemetryReport) {
+        let mut rec = TelemetryRecorder::new();
+        if let Some(name) = instance {
+            rec.set_instance(name);
+        }
+        let outcome = self.solve_observed(req, &mut rec);
+        rec.set_backend(outcome.backend);
+        (outcome, rec.report())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::RankKind;
+    use comm_sim::CommModel;
+    use opf_model::decompose;
+    use opf_net::{feeders, ComponentGraph};
+    use opf_telemetry::TelemetryRecorder;
+
+    fn dec_for(name: &str) -> DecomposedProblem {
+        let net = feeders::by_name(name).unwrap();
+        let g = ComponentGraph::build(&net);
+        decompose(&net, &g).unwrap()
+    }
+
+    #[test]
+    fn engine_single_process_matches_direct_solver() {
+        let dec = dec_for("ieee13");
+        let engine = Engine::new(&dec).unwrap();
+        let opts = AdmmOptions::default();
+        let direct = engine.solver().solve(&opts);
+        let out = engine.solve(&SolveRequest::new(opts));
+        assert_eq!(out.backend, "serial");
+        assert_eq!(out.iterations, direct.iterations);
+        assert_eq!(out.x, direct.x);
+        assert_eq!(out.z, direct.z);
+        assert_eq!(out.lambda, direct.lambda);
+        assert!(out.qp.is_none() && out.cluster.is_none() && out.degradation.is_none());
+    }
+
+    #[test]
+    fn engine_backend_labels_follow_options() {
+        let dec = dec_for("ieee13");
+        let engine = Engine::new(&dec).unwrap();
+        let rayon = engine.solve(&SolveRequest::new(
+            AdmmOptions::builder()
+                .backend(Backend::Rayon { threads: 2 })
+                .max_iters(50)
+                .eps_rel(0.0)
+                .build(),
+        ));
+        assert_eq!(rayon.backend, "rayon");
+        let gpu = engine.solve(&SolveRequest::new(
+            AdmmOptions::builder()
+                .backend(Backend::Gpu {
+                    props: gpu_sim::DeviceProps::a100(),
+                    threads_per_block: 32,
+                })
+                .max_iters(50)
+                .eps_rel(0.0)
+                .build(),
+        ));
+        assert_eq!(gpu.backend, "gpu-sim");
+        assert!(gpu.timings.simulated);
+    }
+
+    #[test]
+    fn engine_benchmark_mode_reports_qp_stats() {
+        let dec = dec_for("ieee13");
+        let engine = Engine::new(&dec).unwrap();
+        let req = SolveRequest::new(AdmmOptions::builder().max_iters(20).eps_rel(0.0).build())
+            .with_mode(ExecutionMode::BenchmarkQp);
+        let out = engine.solve(&req);
+        assert_eq!(out.backend, "benchmark-qp");
+        let qp = out.qp.expect("benchmark mode carries QP stats");
+        assert!(qp.solves > 0);
+    }
+
+    #[test]
+    fn engine_cluster_mode_reports_breakdown() {
+        let dec = dec_for("ieee13");
+        let engine = Engine::new(&dec).unwrap();
+        let req = SolveRequest::new(AdmmOptions::default()).with_mode(ExecutionMode::Cluster {
+            spec: ClusterSpec {
+                n_ranks: 2,
+                comm: CommModel::cpu_cluster(),
+                kind: RankKind::Cpu,
+            },
+            measure_iters: 5,
+        });
+        let mut rec = TelemetryRecorder::new();
+        let out = engine.solve_observed(&req, &mut rec);
+        assert_eq!(out.backend, "cluster");
+        let bd = out.cluster.expect("cluster mode carries the breakdown");
+        assert_eq!(bd.iterations, 5);
+        assert!(out.x.is_empty());
+        assert!(out.timings.simulated);
+        assert!(rec.counter("cluster.ranks") == 2);
+        assert!(rec.phase_total(Phase::Local) > 0.0);
+    }
+
+    #[test]
+    fn engine_distributed_mode_matches_serial() {
+        let dec = dec_for("ieee13");
+        let engine = Engine::new(&dec).unwrap();
+        let opts = AdmmOptions::builder().max_iters(40_000).build();
+        let serial = engine.solve(&SolveRequest::new(opts.clone()));
+        let req = SolveRequest::new(opts).with_mode(ExecutionMode::Distributed {
+            options: DistributedOptions::ranks(2),
+        });
+        let mut rec = TelemetryRecorder::new();
+        let out = engine.solve_observed(&req, &mut rec);
+        assert_eq!(out.backend, "distributed");
+        assert_eq!(out.iterations, serial.iterations);
+        assert_eq!(out.x, serial.x);
+        assert!(out.degradation.is_some());
+        // Transport counters replayed into the observer.
+        assert!(rec.counter("comm.sent") > 0);
+        assert!(rec.counter("comm.bytes_sent") >= rec.counter("comm.sent"));
+    }
+
+    #[test]
+    fn engine_warm_start_round_trip() {
+        let dec = dec_for("ieee13");
+        let engine = Engine::new(&dec).unwrap();
+        let coarse = engine.solve(&SolveRequest::new(
+            AdmmOptions::builder().eps_rel(1e-2).build(),
+        ));
+        let warm = engine.solve(&SolveRequest::new(AdmmOptions::default()).with_warm_start((
+            coarse.x.clone(),
+            coarse.z.clone(),
+            coarse.lambda.clone(),
+        )));
+        let cold = engine.solve(&SolveRequest::new(AdmmOptions::default()));
+        assert!(warm.converged && cold.converged);
+        assert!(warm.iterations < cold.iterations);
+    }
+}

@@ -39,6 +39,9 @@ impl GlobalKernel<'_> {
 }
 
 impl BlockKernel for GlobalKernel<'_> {
+    fn name(&self) -> &'static str {
+        "global"
+    }
     fn blocks(&self) -> usize {
         self.n().div_ceil(GLOBAL_CHUNK)
     }
@@ -90,6 +93,9 @@ pub struct LocalKernel<'a> {
 }
 
 impl BlockKernel for LocalKernel<'_> {
+    fn name(&self) -> &'static str {
+        "local"
+    }
     fn blocks(&self) -> usize {
         self.pre.s()
     }
@@ -143,6 +149,9 @@ pub struct DualKernel<'a> {
 }
 
 impl BlockKernel for DualKernel<'_> {
+    fn name(&self) -> &'static str {
+        "dual"
+    }
     fn blocks(&self) -> usize {
         self.pre.s()
     }
@@ -186,6 +195,9 @@ pub struct FusedLocalDualKernel<'a> {
 }
 
 impl PairBlockKernel for FusedLocalDualKernel<'_> {
+    fn name(&self) -> &'static str {
+        "fused_local_dual"
+    }
     fn blocks(&self) -> usize {
         self.pre.s()
     }
@@ -250,6 +262,9 @@ pub struct ResidualKernel<'a> {
 }
 
 impl BlockKernel for ResidualKernel<'_> {
+    fn name(&self) -> &'static str {
+        "residual"
+    }
     fn blocks(&self) -> usize {
         self.pre.s()
     }

@@ -8,12 +8,16 @@
 //!   (rayon) / simulated-GPU backends;
 //! * [`benchmark`] — [`BenchmarkAdmm`]: the solver-based ADMM for model
 //!   (8) the paper compares against;
-//! * [`gpu`] — the CUDA-style kernels (§IV) against the GPU simulator.
+//! * [`gpu`] — the CUDA-style kernels (§IV) against the GPU simulator;
+//! * [`engine`] — [`Engine`]: one facade dispatching every solve path
+//!   (single-process, benchmark-QP, cluster, distributed) with uniform
+//!   [`opf_telemetry`] observer attachment.
 
 pub mod benchmark;
 pub mod cluster;
 pub mod diagnose;
 pub mod distributed;
+pub mod engine;
 pub mod gpu;
 pub mod nonideal;
 pub mod precompute;
@@ -25,10 +29,38 @@ pub use benchmark::{BenchmarkAdmm, QpStats};
 pub use cluster::{partition_components, ClusterBreakdown, ClusterSpec, RankKind};
 pub use diagnose::{gap_report, worst_components, ComponentGap};
 pub use distributed::{
-    CheckpointSpec, DegradationReport, DistributedOptions, DistributedResult, RankExit,
+    CheckpointSpec, DegradationReport, DistributedOptions, DistributedOptionsBuilder,
+    DistributedResult, RankExit,
 };
+pub use engine::{AdmmBackend, Engine, ExecutionMode, SolveOutcome, SolveRequest};
 pub use nonideal::NonIdealComm;
 pub use precompute::{Precomputed, ReferencePrecomputed};
 pub use solver::SolverFreeAdmm;
-pub use types::{AdmmOptions, Backend, ResidualBalancing, SolveResult, Timings, TraceEntry};
+pub use types::{
+    AdmmOptions, AdmmOptionsBuilder, Backend, ResidualBalancing, SolveResult, Timings, TraceEntry,
+};
 pub use updates::Residuals;
+
+/// Everything a typical caller needs: the facade, options builders, and
+/// the telemetry types, in one import.
+///
+/// ```
+/// use opf_admm::prelude::*;
+/// ```
+pub mod prelude {
+    pub use crate::benchmark::{BenchmarkAdmm, QpStats};
+    pub use crate::cluster::{ClusterBreakdown, ClusterSpec, RankKind};
+    pub use crate::distributed::{
+        CheckpointSpec, DegradationReport, DistributedOptions, DistributedOptionsBuilder,
+        DistributedResult,
+    };
+    pub use crate::engine::{AdmmBackend, Engine, ExecutionMode, SolveOutcome, SolveRequest};
+    pub use crate::solver::SolverFreeAdmm;
+    pub use crate::types::{
+        AdmmOptions, AdmmOptionsBuilder, Backend, ResidualBalancing, SolveResult, Timings,
+    };
+    pub use opf_telemetry::{
+        IterationObserver, IterationSample, KernelSample, NoopObserver, Phase, TelemetryRecorder,
+        TelemetryReport,
+    };
+}

@@ -205,6 +205,20 @@ impl Precomputed {
         self.stacked_to_global.len()
     }
 
+    /// The paper's initial iterates (§V-A): `λ = 0`; `x` from the
+    /// zero / bound-midpoint / unit-voltage rule clipped to the global
+    /// bounds; `z = Bx` gathered directly (no zero-filled intermediate).
+    ///
+    /// Shared by the solver-free and benchmark-QP front ends — the one
+    /// definition of the starting point for every backend.
+    pub fn initial_state(&self, dec: &DecomposedProblem) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+        let mut x = dec.vars.initial_point();
+        opf_linalg::vec_ops::clip(&mut x, &dec.lower, &dec.upper);
+        let z: Vec<f64> = self.stacked_to_global.iter().map(|&g| x[g]).collect();
+        let lambda = vec![0.0; self.total_dim()];
+        (x, z, lambda)
+    }
+
     /// Component count `S`.
     pub fn s(&self) -> usize {
         self.offsets.len() - 1

@@ -7,6 +7,7 @@ use crate::updates::{self, Residuals};
 use gpu_sim::Device;
 use opf_linalg::{vec_ops, LinalgError};
 use opf_model::DecomposedProblem;
+use opf_telemetry::{IterationObserver, IterationSample, KernelSample, NoopObserver, Phase};
 use rayon::prelude::*;
 use std::time::Instant;
 
@@ -52,6 +53,32 @@ impl Exec {
     fn simulated(&self) -> bool {
         matches!(self, Exec::Gpu(..))
     }
+
+    /// Turn on per-kernel profiling when the backend has a device.
+    fn enable_profiling(&mut self) {
+        if let Exec::Gpu(dev, _) = self {
+            dev.enable_profiling();
+        }
+    }
+
+    /// Forward any collected kernel profiles to the observer.
+    fn report_kernels<O: IterationObserver>(&self, obs: &mut O) {
+        if let Exec::Gpu(dev, _) = self {
+            if let Some(rows) = dev.profile() {
+                for (name, p) in rows {
+                    obs.on_kernel(&KernelSample {
+                        name,
+                        launches: p.launches,
+                        sim_s: p.sim_s,
+                        wall_s: p.wall_s,
+                        hbm_bytes: p.hbm_bytes,
+                        l2_bytes: p.l2_bytes,
+                        flops: p.flops,
+                    });
+                }
+            }
+        }
+    }
 }
 
 /// The solver-free ADMM of the paper: precomputed projections, clipped
@@ -84,17 +111,26 @@ impl<'a> SolverFreeAdmm<'a> {
     /// The paper's initial iterates (§V-A): `λ = 0`; `x` and `x_s` from
     /// the zero / bound-midpoint / unit-voltage rule.
     pub fn initial_state(&self) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
-        let mut x = self.dec.vars.initial_point();
-        vec_ops::clip(&mut x, &self.dec.lower, &self.dec.upper);
-        // z = Bx, gathered directly (no zero-filled intermediate).
-        let z: Vec<f64> = self.pre.stacked_to_global.iter().map(|&g| x[g]).collect();
-        let lambda = vec![0.0; self.pre.total_dim()];
-        (x, z, lambda)
+        self.pre.initial_state(self.dec)
     }
 
     /// Run Algorithm 1 from the paper's initial point.
     pub fn solve(&self, opts: &AdmmOptions) -> SolveResult {
         self.solve_from(opts, self.initial_state())
+    }
+
+    /// [`SolverFreeAdmm::solve`] with an [`IterationObserver`] attached.
+    ///
+    /// The observer receives per-phase span times, a sample at every
+    /// termination check, and (on the GPU backend) per-kernel profiles
+    /// after the loop. Attaching an observer never changes the iterates:
+    /// observation happens strictly between numeric steps.
+    pub fn solve_observed<O: IterationObserver>(
+        &self,
+        opts: &AdmmOptions,
+        obs: &mut O,
+    ) -> SolveResult {
+        self.solve_from_observed(opts, self.initial_state(), obs)
     }
 
     /// Run Algorithm 1 from explicit iterates `(x, z, λ)` — warm starting.
@@ -111,7 +147,22 @@ impl<'a> SolverFreeAdmm<'a> {
         opts: &AdmmOptions,
         state: (Vec<f64>, Vec<f64>, Vec<f64>),
     ) -> SolveResult {
+        self.solve_from_observed(opts, state, &mut NoopObserver)
+    }
+
+    /// [`SolverFreeAdmm::solve_from`] with an [`IterationObserver`]
+    /// attached. The generic observer monomorphizes: with
+    /// [`NoopObserver`] this is the exact unobserved loop.
+    pub fn solve_from_observed<O: IterationObserver>(
+        &self,
+        opts: &AdmmOptions,
+        state: (Vec<f64>, Vec<f64>, Vec<f64>),
+        obs: &mut O,
+    ) -> SolveResult {
         let mut exec = Exec::from_backend(&opts.backend);
+        if obs.enabled() {
+            exec.enable_profiling();
+        }
         let (mut x, mut z, mut lambda) = state;
         assert_eq!(x.len(), self.dec.n, "warm start: x dimension");
         assert_eq!(z.len(), self.pre.total_dim(), "warm start: z dimension");
@@ -134,7 +185,9 @@ impl<'a> SolverFreeAdmm<'a> {
         for t in 1..=opts.max_iters {
             iterations = t;
             // --- Global update (13). ---
-            timings.global_s += self.run_global(&mut exec, rho, true, &z, &lambda, &mut x);
+            let dt = self.run_global(&mut exec, rho, true, &z, &lambda, &mut x);
+            timings.global_s += dt;
+            obs.on_phase(Phase::Global, dt);
             // --- Local (15) + dual (12) updates, optionally fused into
             //     one GPU launch. ---
             // Ping-pong buffer swap instead of a full-vector copy: the
@@ -150,13 +203,19 @@ impl<'a> SolverFreeAdmm<'a> {
                         x: &x,
                         rho,
                     };
-                    timings.local_s += dev.launch_pair(&k, *tpb, &mut z, &mut lambda).secs();
+                    let dt = dev.launch_pair(&k, *tpb, &mut z, &mut lambda).secs();
+                    timings.local_s += dt;
+                    obs.on_phase(Phase::Local, dt);
                     fused = true;
                 }
             }
             if !fused {
-                timings.local_s += self.run_local(&mut exec, rho, &x, &lambda, &mut z);
-                timings.dual_s += self.run_dual(&mut exec, rho, &x, &z, &mut lambda);
+                let dt = self.run_local(&mut exec, rho, &x, &lambda, &mut z);
+                timings.local_s += dt;
+                obs.on_phase(Phase::Local, dt);
+                let dt = self.run_dual(&mut exec, rho, &x, &z, &mut lambda);
+                timings.dual_s += dt;
+                obs.on_phase(Phase::Dual, dt);
             }
 
             if t % opts.check_every == 0 || t == opts.max_iters {
@@ -170,7 +229,9 @@ impl<'a> SolverFreeAdmm<'a> {
                             lambda: &lambda,
                         };
                         let mut partials = vec![0.0; 5 * self.pre.s()];
-                        timings.residual_s += dev.launch(&k, *tpb, &mut partials).secs();
+                        let dt = dev.launch(&k, *tpb, &mut partials).secs();
+                        timings.residual_s += dt;
+                        obs.on_phase(Phase::Residual, dt);
                         let mut sums = [0.0f64; 5];
                         for chunk in partials.chunks_exact(5) {
                             for (a, b) in sums.iter_mut().zip(chunk) {
@@ -190,10 +251,22 @@ impl<'a> SolverFreeAdmm<'a> {
                             &z_prev,
                             &lambda,
                         );
-                        timings.residual_s += t0.elapsed().as_secs_f64();
+                        let dt = t0.elapsed().as_secs_f64();
+                        timings.residual_s += dt;
+                        obs.on_phase(Phase::Residual, dt);
                         r
                     }
                 };
+                if obs.enabled() {
+                    obs.on_iteration(&IterationSample {
+                        iter: t as u64,
+                        pres: res.pres,
+                        dres: res.dres,
+                        eps_prim: res.eps_prim,
+                        eps_dual: res.eps_dual,
+                        rho,
+                    });
+                }
                 if opts.trace_every > 0 && (t % opts.trace_every == 0 || t == 1) {
                     trace.push(TraceEntry {
                         iter: t,
@@ -220,6 +293,9 @@ impl<'a> SolverFreeAdmm<'a> {
             }
         }
         timings.iterations = iterations;
+        if obs.enabled() {
+            exec.report_kernels(obs);
+        }
 
         let objective = vec_ops::dot(&self.dec.c, &x);
         SolveResult {

@@ -48,7 +48,13 @@ impl Default for ResidualBalancing {
 }
 
 /// Solver options. Defaults follow §V-A: `ρ = 100`, `ε_rel = 10⁻³`.
+///
+/// The struct is `#[non_exhaustive]`: construct it with
+/// [`AdmmOptions::default`] and mutate fields, or use the fluent
+/// [`AdmmOptions::builder`] — new options no longer break downstream
+/// struct literals.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct AdmmOptions {
     /// Penalty parameter ρ.
     pub rho: f64,
@@ -82,6 +88,82 @@ impl Default for AdmmOptions {
             trace_every: 0,
             fuse_local_dual: false,
         }
+    }
+}
+
+impl AdmmOptions {
+    /// Fluent builder starting from the paper defaults.
+    pub fn builder() -> AdmmOptionsBuilder {
+        AdmmOptionsBuilder {
+            opts: AdmmOptions::default(),
+        }
+    }
+
+    /// Re-open these options as a builder (the `..base.clone()` idiom,
+    /// which `#[non_exhaustive]` forbids outside this crate).
+    pub fn to_builder(self) -> AdmmOptionsBuilder {
+        AdmmOptionsBuilder { opts: self }
+    }
+}
+
+/// Builder for [`AdmmOptions`]; every setter defaults to the §V-A value.
+#[derive(Debug, Clone, Default)]
+pub struct AdmmOptionsBuilder {
+    opts: AdmmOptions,
+}
+
+impl AdmmOptionsBuilder {
+    /// Penalty parameter ρ.
+    pub fn rho(mut self, rho: f64) -> Self {
+        self.opts.rho = rho;
+        self
+    }
+
+    /// Relative tolerance ε_rel of the termination test (16).
+    pub fn eps_rel(mut self, eps_rel: f64) -> Self {
+        self.opts.eps_rel = eps_rel;
+        self
+    }
+
+    /// Iteration cap.
+    pub fn max_iters(mut self, max_iters: usize) -> Self {
+        self.opts.max_iters = max_iters;
+        self
+    }
+
+    /// Termination-test stride.
+    pub fn check_every(mut self, check_every: usize) -> Self {
+        self.opts.check_every = check_every;
+        self
+    }
+
+    /// Execution backend.
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.opts.backend = backend;
+        self
+    }
+
+    /// Enable residual-balancing ρ adaptation (`None` switches it off).
+    pub fn rho_adapt(mut self, adapt: impl Into<Option<ResidualBalancing>>) -> Self {
+        self.opts.rho_adapt = adapt.into();
+        self
+    }
+
+    /// Trace cadence (0 = off).
+    pub fn trace_every(mut self, trace_every: usize) -> Self {
+        self.opts.trace_every = trace_every;
+        self
+    }
+
+    /// Fuse the local and dual GPU kernels into one launch.
+    pub fn fuse_local_dual(mut self, fuse: bool) -> Self {
+        self.opts.fuse_local_dual = fuse;
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> AdmmOptions {
+        self.opts
     }
 }
 
@@ -167,6 +249,31 @@ mod tests {
         assert_eq!(o.rho, 100.0);
         assert_eq!(o.eps_rel, 1e-3);
         assert!(o.rho_adapt.is_none());
+    }
+
+    #[test]
+    fn builder_sets_fields_and_defaults_rest() {
+        let o = AdmmOptions::builder()
+            .rho(50.0)
+            .eps_rel(1e-4)
+            .max_iters(1000)
+            .check_every(10)
+            .backend(Backend::Rayon { threads: 2 })
+            .trace_every(5)
+            .fuse_local_dual(true)
+            .build();
+        assert_eq!(o.rho, 50.0);
+        assert_eq!(o.eps_rel, 1e-4);
+        assert_eq!(o.max_iters, 1000);
+        assert_eq!(o.check_every, 10);
+        assert!(matches!(o.backend, Backend::Rayon { threads: 2 }));
+        assert_eq!(o.trace_every, 5);
+        assert!(o.fuse_local_dual);
+        assert!(o.rho_adapt.is_none());
+        let adapted = AdmmOptions::builder()
+            .rho_adapt(ResidualBalancing::default())
+            .build();
+        assert!(adapted.rho_adapt.is_some());
     }
 
     #[test]

@@ -41,10 +41,7 @@ fn check_cadence_does_not_change_the_answer() {
     let dec = decompose(&net, &g).unwrap();
     let solver = SolverFreeAdmm::new(&dec).unwrap();
     let every1 = solver.solve(&AdmmOptions::default());
-    let every10 = solver.solve(&AdmmOptions {
-        check_every: 10,
-        ..AdmmOptions::default()
-    });
+    let every10 = solver.solve(&AdmmOptions::builder().check_every(10).build());
     assert!(every1.converged && every10.converged);
     assert!(every10.iterations >= every1.iterations);
     assert!(every10.iterations <= every1.iterations + 10);
@@ -58,15 +55,13 @@ fn tighter_tolerance_costs_more_iterations_and_agrees() {
     let g = ComponentGraph::build(&net);
     let dec = decompose(&net, &g).unwrap();
     let solver = SolverFreeAdmm::new(&dec).unwrap();
-    let loose = solver.solve(&AdmmOptions {
-        eps_rel: 1e-2,
-        ..AdmmOptions::default()
-    });
-    let tight = solver.solve(&AdmmOptions {
-        eps_rel: 1e-4,
-        max_iters: 400_000,
-        ..AdmmOptions::default()
-    });
+    let loose = solver.solve(&AdmmOptions::builder().eps_rel(1e-2).build());
+    let tight = solver.solve(
+        &AdmmOptions::builder()
+            .eps_rel(1e-4)
+            .max_iters(400_000)
+            .build(),
+    );
     assert!(loose.converged && tight.converged);
     assert!(tight.iterations > loose.iterations);
     let rel = (loose.objective - tight.objective).abs() / tight.objective.abs();

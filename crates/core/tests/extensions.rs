@@ -83,15 +83,13 @@ fn fused_kernel_matches_unfused_and_saves_launch_overhead() {
         props: DeviceProps::a100(),
         threads_per_block: 32,
     };
-    let unfused = solver.solve(&AdmmOptions {
-        backend: gpu.clone(),
-        ..AdmmOptions::default()
-    });
-    let fused = solver.solve(&AdmmOptions {
-        backend: gpu,
-        fuse_local_dual: true,
-        ..AdmmOptions::default()
-    });
+    let unfused = solver.solve(&AdmmOptions::builder().backend(gpu.clone()).build());
+    let fused = solver.solve(
+        &AdmmOptions::builder()
+            .backend(gpu)
+            .fuse_local_dual(true)
+            .build(),
+    );
     // Same math, same iterates.
     assert_eq!(unfused.iterations, fused.iterations);
     assert_eq!(unfused.objective, fused.objective);
@@ -112,17 +110,19 @@ fn fusion_is_ignored_on_cpu_backends() {
     let net = feeders::ieee13();
     let (dec, _) = solve_setup(&net);
     let solver = SolverFreeAdmm::new(&dec).unwrap();
-    let plain = solver.solve(&AdmmOptions {
-        max_iters: 200,
-        check_every: 200,
-        ..AdmmOptions::default()
-    });
-    let fused_flag = solver.solve(&AdmmOptions {
-        max_iters: 200,
-        check_every: 200,
-        fuse_local_dual: true,
-        ..AdmmOptions::default()
-    });
+    let plain = solver.solve(
+        &AdmmOptions::builder()
+            .max_iters(200)
+            .check_every(200)
+            .build(),
+    );
+    let fused_flag = solver.solve(
+        &AdmmOptions::builder()
+            .max_iters(200)
+            .check_every(200)
+            .fuse_local_dual(true)
+            .build(),
+    );
     for (a, b) in plain.x.iter().zip(&fused_flag.x) {
         assert_eq!(a, b);
     }
@@ -136,10 +136,7 @@ fn distributed_solve_survives_fp32_compression() {
     let net = feeders::ieee13();
     let (dec, _) = solve_setup(&net);
     let solver = SolverFreeAdmm::new(&dec).unwrap();
-    let opts = AdmmOptions {
-        max_iters: 60_000,
-        ..AdmmOptions::default()
-    };
+    let opts = AdmmOptions::builder().max_iters(60_000).build();
     let exact = solver.solve_distributed(&opts, 3);
     let fp32 = solver.solve_distributed_compressed(&opts, 3, comm_sim::Compression::Fp32);
     assert!(exact.converged && fp32.converged);
@@ -156,10 +153,7 @@ fn mild_topk_compression_still_converges() {
     let net = feeders::ieee13();
     let (dec, _) = solve_setup(&net);
     let solver = SolverFreeAdmm::new(&dec).unwrap();
-    let opts = AdmmOptions {
-        max_iters: 80_000,
-        ..AdmmOptions::default()
-    };
+    let opts = AdmmOptions::builder().max_iters(80_000).build();
     let r = solver.solve_distributed_compressed(
         &opts,
         2,

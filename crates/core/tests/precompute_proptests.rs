@@ -77,11 +77,10 @@ proptest! {
         let refpre = ReferencePrecomputed::build(&dec).unwrap();
 
         // A short solve makes the probe state non-trivial (λ ≠ 0).
-        let warm = solver.solve(&AdmmOptions {
-            eps_rel: 0.0,
-            max_iters: 25,
-            ..AdmmOptions::default()
-        });
+        let warm = solver.solve(&AdmmOptions::builder()
+                                     .eps_rel(0.0)
+                                     .max_iters(25)
+                                     .build());
 
         let rho = 100.0;
         let mut z_arena = warm.z.clone();

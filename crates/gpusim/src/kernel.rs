@@ -9,6 +9,8 @@
 
 use crate::device::{BlockCost, DeviceProps};
 use rayon::prelude::*;
+use std::collections::BTreeMap;
+use std::time::Instant;
 
 /// Simulated elapsed device time (seconds).
 #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
@@ -45,6 +47,13 @@ impl std::iter::Sum for SimTime {
 
 /// A grid of blocks writing disjoint contiguous output slices.
 pub trait BlockKernel: Sync {
+    /// Stable name used as the profiling key when the device has
+    /// profiling enabled. Defaults to `"kernel"`; override to get a
+    /// per-kernel row in [`Device::profile`].
+    fn name(&self) -> &'static str {
+        "kernel"
+    }
+
     /// Number of blocks in the grid.
     fn blocks(&self) -> usize;
 
@@ -66,6 +75,11 @@ pub trait BlockKernel: Sync {
 /// block (used for fused kernels such as a combined local+dual update:
 /// one launch, two output vectors sharing the same block layout).
 pub trait PairBlockKernel: Sync {
+    /// Stable profiling name (see [`BlockKernel::name`]).
+    fn name(&self) -> &'static str {
+        "kernel"
+    }
+
     /// Number of blocks in the grid.
     fn blocks(&self) -> usize;
     /// Length of block `b`'s slice in **both** outputs.
@@ -74,6 +88,39 @@ pub trait PairBlockKernel: Sync {
     fn run_block(&self, b: usize, threads: usize, out_a: &mut [f64], out_b: &mut [f64]);
     /// Declared work of block `b` (the whole fused body).
     fn block_cost(&self, b: usize) -> BlockCost;
+}
+
+/// Per-kernel aggregate collected when [`Device::enable_profiling`] is
+/// on: launch counts, simulated and host wall time, and the modeled
+/// memory/compute traffic derived from each launch's [`BlockCost`]s.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct KernelProfile {
+    /// Number of launches of this kernel.
+    pub launches: u64,
+    /// Total simulated device seconds (analytic cost model).
+    pub sim_s: f64,
+    /// Total host wall-clock seconds spent executing blocks.
+    pub wall_s: f64,
+    /// Modeled HBM traffic: Σ items · bytes_per_item.
+    pub hbm_bytes: f64,
+    /// Modeled L2-resident traffic: Σ items · cached_bytes_per_item.
+    pub l2_bytes: f64,
+    /// Modeled flops: Σ items · flops_per_item.
+    pub flops: f64,
+}
+
+impl KernelProfile {
+    fn absorb(&mut self, sim: SimTime, wall_s: f64, costs: &[BlockCost]) {
+        self.launches += 1;
+        self.sim_s += sim.secs();
+        self.wall_s += wall_s;
+        for c in costs {
+            let items = c.items as f64;
+            self.hbm_bytes += items * c.bytes_per_item;
+            self.l2_bytes += items * c.cached_bytes_per_item;
+            self.flops += items * c.flops_per_item;
+        }
+    }
 }
 
 /// A simulated GPU: properties plus launch bookkeeping.
@@ -85,6 +132,10 @@ pub struct Device {
     pub elapsed: SimTime,
     /// Number of kernel launches performed.
     pub launches: usize,
+    /// Per-kernel profiles, keyed by kernel name; `None` until
+    /// profiling is enabled so the default launch path pays nothing
+    /// beyond one branch.
+    profile: Option<BTreeMap<&'static str, KernelProfile>>,
 }
 
 impl Device {
@@ -99,7 +150,22 @@ impl Device {
             props,
             elapsed: SimTime::ZERO,
             launches: 0,
+            profile: None,
         }
+    }
+
+    /// Turn on per-kernel profiling. Subsequent launches aggregate into
+    /// rows keyed by [`BlockKernel::name`]/[`PairBlockKernel::name`].
+    pub fn enable_profiling(&mut self) {
+        if self.profile.is_none() {
+            self.profile = Some(BTreeMap::new());
+        }
+    }
+
+    /// Profiling rows collected so far (`None` if profiling was never
+    /// enabled). Sorted by kernel name.
+    pub fn profile(&self) -> Option<&BTreeMap<&'static str, KernelProfile>> {
+        self.profile.as_ref()
     }
 
     /// Launch a kernel: executes all blocks (host-parallel), writes the
@@ -128,15 +194,23 @@ impl Device {
             rest.is_empty(),
             "output buffer longer than total block output"
         );
+        let wall = self.profile.is_some().then(Instant::now);
         slices
             .par_iter_mut()
             .enumerate()
             .for_each(|(b, s)| kernel.run_block(b, threads, s));
+        let wall_s = wall.map_or(0.0, |t0| t0.elapsed().as_secs_f64());
 
         let costs: Vec<BlockCost> = (0..nblocks).map(|b| kernel.block_cost(b)).collect();
         let t = SimTime(self.props.kernel_time(&costs, threads));
         self.elapsed += t;
         self.launches += 1;
+        if let Some(profile) = self.profile.as_mut() {
+            profile
+                .entry(kernel.name())
+                .or_default()
+                .absorb(t, wall_s, &costs);
+        }
         t
     }
 
@@ -167,15 +241,23 @@ impl Device {
             rest_a.is_empty() && rest_b.is_empty(),
             "output buffers longer than total block output"
         );
+        let wall = self.profile.is_some().then(Instant::now);
         slices
             .par_iter_mut()
             .enumerate()
             .for_each(|(b, (sa, sb))| kernel.run_block(b, threads, sa, sb));
+        let wall_s = wall.map_or(0.0, |t0| t0.elapsed().as_secs_f64());
 
         let costs: Vec<BlockCost> = (0..nblocks).map(|b| kernel.block_cost(b)).collect();
         let t = SimTime(self.props.kernel_time(&costs, threads));
         self.elapsed += t;
         self.launches += 1;
+        if let Some(profile) = self.profile.as_mut() {
+            profile
+                .entry(kernel.name())
+                .or_default()
+                .absorb(t, wall_s, &costs);
+        }
         t
     }
 
@@ -186,10 +268,13 @@ impl Device {
         t
     }
 
-    /// Reset the device clock.
+    /// Reset the device clock (and profiling rows, if enabled).
     pub fn reset_clock(&mut self) {
         self.elapsed = SimTime::ZERO;
         self.launches = 0;
+        if let Some(profile) = self.profile.as_mut() {
+            profile.clear();
+        }
     }
 }
 
@@ -376,6 +461,69 @@ mod tests {
                 )
                 .secs();
         assert!(fused < two, "fused {fused} vs two launches {two}");
+    }
+
+    #[test]
+    fn profiling_is_opt_in_and_aggregates_by_name() {
+        let input: Vec<f64> = (0..30).map(|i| i as f64).collect();
+        let k = DoubleKernel {
+            input: &input,
+            chunk: 10,
+        };
+        let mut dev = Device::a100();
+        let mut out = vec![0.0; 30];
+        dev.launch(&k, 8, &mut out);
+        assert!(dev.profile().is_none(), "profiling must be opt-in");
+
+        dev.enable_profiling();
+        let t1 = dev.launch(&k, 8, &mut out);
+        let t2 = dev.launch(&k, 8, &mut out);
+        let rows = dev.profile().unwrap();
+        assert_eq!(rows.len(), 1);
+        let p = rows.get("kernel").unwrap();
+        assert_eq!(p.launches, 2);
+        assert!((p.sim_s - (t1 + t2).secs()).abs() < 1e-18);
+        // 30 items × 16 bytes × 2 launches.
+        assert_eq!(p.hbm_bytes, 30.0 * 16.0 * 2.0);
+        assert_eq!(p.flops, 30.0 * 1.0 * 2.0);
+        assert!(p.wall_s >= 0.0);
+    }
+
+    #[test]
+    fn profiling_respects_kernel_name_override() {
+        struct Named<'a>(DoubleKernel<'a>);
+        impl BlockKernel for Named<'_> {
+            fn name(&self) -> &'static str {
+                "double"
+            }
+            fn blocks(&self) -> usize {
+                self.0.blocks()
+            }
+            fn out_len(&self, b: usize) -> usize {
+                self.0.out_len(b)
+            }
+            fn run_block(&self, b: usize, t: usize, out: &mut [f64]) {
+                self.0.run_block(b, t, out);
+            }
+            fn block_cost(&self, b: usize) -> BlockCost {
+                self.0.block_cost(b)
+            }
+        }
+        let input = vec![1.0; 12];
+        let mut dev = Device::a100();
+        dev.enable_profiling();
+        let mut out = vec![0.0; 12];
+        dev.launch(
+            &Named(DoubleKernel {
+                input: &input,
+                chunk: 4,
+            }),
+            8,
+            &mut out,
+        );
+        assert!(dev.profile().unwrap().contains_key("double"));
+        dev.reset_clock();
+        assert!(dev.profile().unwrap().is_empty());
     }
 
     #[test]

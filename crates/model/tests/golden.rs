@@ -72,11 +72,12 @@ fn admm_reproduces_hand_solution() {
     let g = ComponentGraph::build(&net);
     let dec = decompose(&net, &g).unwrap();
     let solver = opf_admm::SolverFreeAdmm::new(&dec).unwrap();
-    let r = solver.solve(&opf_admm::AdmmOptions {
-        eps_rel: 1e-6,
-        max_iters: 500_000,
-        ..opf_admm::AdmmOptions::default()
-    });
+    let r = solver.solve(
+        &opf_admm::AdmmOptions::builder()
+            .eps_rel(1e-6)
+            .max_iters(500_000)
+            .build(),
+    );
     assert!(r.converged);
     let vs = VarSpace::build(&net);
     let (p_ij, p_ji, q_ij, q_ji) = expected_flows();
@@ -123,11 +124,12 @@ fn constant_impedance_load_scales_with_voltage() {
     let g = ComponentGraph::build(&net);
     let dec = decompose(&net, &g).unwrap();
     let solver = opf_admm::SolverFreeAdmm::new(&dec).unwrap();
-    let r = solver.solve(&opf_admm::AdmmOptions {
-        eps_rel: 1e-5,
-        max_iters: 500_000,
-        ..opf_admm::AdmmOptions::default()
-    });
+    let r = solver.solve(
+        &opf_admm::AdmmOptions::builder()
+            .eps_rel(1e-5)
+            .max_iters(500_000)
+            .build(),
+    );
     assert!(r.converged);
     let vs = VarSpace::build(&net);
     let w_load = r.x[vs.bus_w(&net, BusId(1), Phase::A)];
@@ -148,11 +150,12 @@ fn delta_load_voltage_coupling_uses_kappa_three() {
     let g = ComponentGraph::build(&net);
     let dec = decompose(&net, &g).unwrap();
     let solver = opf_admm::SolverFreeAdmm::new(&dec).unwrap();
-    let r = solver.solve(&opf_admm::AdmmOptions {
-        eps_rel: 1e-4,
-        max_iters: 400_000,
-        ..opf_admm::AdmmOptions::default()
-    });
+    let r = solver.solve(
+        &opf_admm::AdmmOptions::builder()
+            .eps_rel(1e-4)
+            .max_iters(400_000)
+            .build(),
+    );
     assert!(r.converged);
     let vs = VarSpace::build(&net);
     let l646 = opf_net::LoadId(net.loads.iter().position(|l| l.name == "646").unwrap() as u32);

@@ -1,0 +1,866 @@
+//! Dependency-light instrumentation for the gridflow ADMM solvers.
+//!
+//! Every solve path (serial, rayon, gpu-sim, benchmark-QP, cluster,
+//! distributed) accepts an [`IterationObserver`]. The trait's methods all
+//! default to inlined no-ops and [`NoopObserver`] reports
+//! `enabled() == false`, so an uninstrumented solve monomorphizes to the
+//! exact code it ran before this crate existed — no branches, no dyn
+//! dispatch, no allocation.
+//!
+//! [`TelemetryRecorder`] is the batteries-included observer: it
+//! accumulates per-phase span totals, named counters, per-kernel
+//! profiles, and a bounded ring of per-iteration samples, and renders a
+//! [`TelemetryReport`] with a stable versioned JSON schema
+//! ([`SCHEMA_VERSION`]).
+
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Version tag stamped into every emitted report (`schema` field).
+///
+/// Bump the `/vN` suffix on any breaking change to the JSON layout;
+/// consumers should reject reports whose prefix `opf-telemetry/` matches
+/// but whose version they do not understand.
+pub const SCHEMA_VERSION: &str = "opf-telemetry/v1";
+
+/// Default capacity of the per-iteration sample ring buffer.
+pub const DEFAULT_SAMPLE_CAPACITY: usize = 256;
+
+/// The four timed phases of one ADMM iteration (paper Alg. 1 / Table IV).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Phase {
+    /// Global update (13)/(18): averaging + operational clipping.
+    Global,
+    /// Local update (15): the solver-free matvec (or box-QP in the
+    /// benchmark backend). Fused local+dual launches report here.
+    Local,
+    /// Dual ascent (12).
+    Dual,
+    /// Termination test (16): residual norms + tolerance comparison.
+    Residual,
+}
+
+impl Phase {
+    /// All phases in schema order.
+    pub const ALL: [Phase; 4] = [Phase::Global, Phase::Local, Phase::Dual, Phase::Residual];
+
+    /// Stable schema name for this phase.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Global => "global",
+            Phase::Local => "local",
+            Phase::Dual => "dual",
+            Phase::Residual => "residual",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Phase::Global => 0,
+            Phase::Local => 1,
+            Phase::Dual => 2,
+            Phase::Residual => 3,
+        }
+    }
+
+    /// Inverse of [`Phase::name`].
+    pub fn from_name(name: &str) -> Option<Phase> {
+        Phase::ALL.into_iter().find(|p| p.name() == name)
+    }
+}
+
+/// One row of the per-iteration sample ring.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IterationSample {
+    /// Iteration count (1-based, matching `SolveResult::iterations`).
+    pub iter: u64,
+    /// Primal residual ‖r‖₂ at this iteration's termination check.
+    pub pres: f64,
+    /// Dual residual ‖s‖₂.
+    pub dres: f64,
+    /// Primal tolerance the residual was compared against.
+    pub eps_prim: f64,
+    /// Dual tolerance.
+    pub eps_dual: f64,
+    /// Penalty parameter in effect for this iteration.
+    pub rho: f64,
+}
+
+/// Aggregated profile of one simulated kernel (keyed by kernel name).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct KernelSample {
+    /// Stable kernel name (e.g. `"local"`, `"fused_local_dual"`).
+    pub name: &'static str,
+    /// Number of launches aggregated into this sample.
+    pub launches: u64,
+    /// Simulated device-clock seconds (analytic cost model).
+    pub sim_s: f64,
+    /// Host wall-clock seconds spent executing the launches.
+    pub wall_s: f64,
+    /// Modeled HBM traffic in bytes.
+    pub hbm_bytes: f64,
+    /// Modeled L2-resident traffic in bytes.
+    pub l2_bytes: f64,
+    /// Modeled floating-point operations.
+    pub flops: f64,
+}
+
+/// Observer attached to a solve loop.
+///
+/// All methods are no-ops by default; implementors override only what
+/// they need. `enabled()` lets hot loops skip sample construction
+/// entirely when the observer is a no-op — with [`NoopObserver`] the
+/// whole instrumentation path constant-folds away.
+pub trait IterationObserver {
+    /// Whether this observer wants per-iteration data. Hot loops may
+    /// guard sample construction behind this.
+    #[inline]
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// `dt` seconds were just spent in `phase` (called once per phase per
+    /// iteration, or with batch totals for replayed backends).
+    #[inline]
+    fn on_phase(&mut self, phase: Phase, dt: f64) {
+        let _ = (phase, dt);
+    }
+
+    /// A termination check just ran.
+    #[inline]
+    fn on_iteration(&mut self, sample: &IterationSample) {
+        let _ = sample;
+    }
+
+    /// Add `delta` to the named counter.
+    #[inline]
+    fn on_counter(&mut self, name: &'static str, delta: u64) {
+        let _ = (name, delta);
+    }
+
+    /// Merge a kernel profile (gpu-sim backends, after the solve loop).
+    #[inline]
+    fn on_kernel(&mut self, sample: &KernelSample) {
+        let _ = sample;
+    }
+}
+
+/// The observer that observes nothing; `enabled()` is `false` so
+/// instrumented loops skip sample construction and the monomorphized
+/// solve is bit- and speed-identical to an unobserved one.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopObserver;
+
+impl IterationObserver for NoopObserver {
+    #[inline]
+    fn enabled(&self) -> bool {
+        false
+    }
+}
+
+/// Forwarding impl so call sites can pass `&mut recorder` without giving
+/// up ownership.
+impl<O: IterationObserver + ?Sized> IterationObserver for &mut O {
+    #[inline]
+    fn enabled(&self) -> bool {
+        (**self).enabled()
+    }
+    #[inline]
+    fn on_phase(&mut self, phase: Phase, dt: f64) {
+        (**self).on_phase(phase, dt);
+    }
+    #[inline]
+    fn on_iteration(&mut self, sample: &IterationSample) {
+        (**self).on_iteration(sample);
+    }
+    #[inline]
+    fn on_counter(&mut self, name: &'static str, delta: u64) {
+        (**self).on_counter(name, delta);
+    }
+    #[inline]
+    fn on_kernel(&mut self, sample: &KernelSample) {
+        (**self).on_kernel(sample);
+    }
+}
+
+/// A monotonic stopwatch for one phase measurement.
+///
+/// ```
+/// use opf_telemetry::Span;
+/// let span = Span::start();
+/// // ... work ...
+/// let dt: f64 = span.elapsed_s();
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Span {
+    t0: Instant,
+}
+
+impl Span {
+    /// Start timing now.
+    pub fn start() -> Self {
+        Span { t0: Instant::now() }
+    }
+
+    /// Seconds elapsed since [`Span::start`].
+    pub fn elapsed_s(&self) -> f64 {
+        self.t0.elapsed().as_secs_f64()
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct PhaseTotal {
+    seconds: f64,
+    calls: u64,
+}
+
+/// Accumulating observer: phase span totals, counters, kernel profiles,
+/// and a bounded per-iteration sample ring.
+#[derive(Debug, Clone, Default)]
+pub struct TelemetryRecorder {
+    backend: Option<String>,
+    instance: Option<String>,
+    phases: [PhaseTotal; 4],
+    counters: BTreeMap<&'static str, u64>,
+    kernels: BTreeMap<&'static str, KernelSample>,
+    samples: VecDeque<IterationSample>,
+    sample_capacity: usize,
+    samples_seen: u64,
+}
+
+impl TelemetryRecorder {
+    /// A recorder with the default sample-ring capacity
+    /// ([`DEFAULT_SAMPLE_CAPACITY`]).
+    pub fn new() -> Self {
+        TelemetryRecorder {
+            sample_capacity: DEFAULT_SAMPLE_CAPACITY,
+            ..TelemetryRecorder::default()
+        }
+    }
+
+    /// A recorder keeping at most `capacity` iteration samples (oldest
+    /// evicted first). `capacity == 0` disables sampling but keeps spans
+    /// and counters.
+    pub fn with_sample_capacity(capacity: usize) -> Self {
+        TelemetryRecorder {
+            sample_capacity: capacity,
+            ..TelemetryRecorder::default()
+        }
+    }
+
+    /// Label the report with the backend that produced it.
+    pub fn set_backend(&mut self, backend: &str) {
+        self.backend = Some(backend.to_string());
+    }
+
+    /// Label the report with the problem instance solved.
+    pub fn set_instance(&mut self, instance: &str) {
+        self.instance = Some(instance.to_string());
+    }
+
+    /// Total seconds recorded for `phase` so far.
+    pub fn phase_total(&self, phase: Phase) -> f64 {
+        self.phases[phase.index()].seconds
+    }
+
+    /// Current value of a named counter (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Iteration samples currently retained (oldest → newest).
+    pub fn samples(&self) -> impl Iterator<Item = &IterationSample> {
+        self.samples.iter()
+    }
+
+    /// Snapshot everything recorded so far into an immutable report.
+    pub fn report(&self) -> TelemetryReport {
+        TelemetryReport {
+            schema: SCHEMA_VERSION.to_string(),
+            backend: self.backend.clone(),
+            instance: self.instance.clone(),
+            phases: Phase::ALL
+                .into_iter()
+                .map(|p| PhaseSpan {
+                    name: p.name().to_string(),
+                    seconds: self.phases[p.index()].seconds,
+                    calls: self.phases[p.index()].calls,
+                })
+                .collect(),
+            counters: self
+                .counters
+                .iter()
+                .map(|(k, v)| (k.to_string(), *v))
+                .collect(),
+            kernels: self
+                .kernels
+                .values()
+                .map(|k| KernelSpan {
+                    name: k.name.to_string(),
+                    launches: k.launches,
+                    sim_s: k.sim_s,
+                    wall_s: k.wall_s,
+                    hbm_bytes: k.hbm_bytes,
+                    l2_bytes: k.l2_bytes,
+                    flops: k.flops,
+                })
+                .collect(),
+            samples: self.samples.iter().copied().collect(),
+            samples_seen: self.samples_seen,
+        }
+    }
+}
+
+impl IterationObserver for TelemetryRecorder {
+    fn on_phase(&mut self, phase: Phase, dt: f64) {
+        let slot = &mut self.phases[phase.index()];
+        slot.seconds += dt;
+        slot.calls += 1;
+    }
+
+    fn on_iteration(&mut self, sample: &IterationSample) {
+        self.samples_seen += 1;
+        if self.sample_capacity == 0 {
+            return;
+        }
+        if self.samples.len() == self.sample_capacity {
+            self.samples.pop_front();
+        }
+        self.samples.push_back(*sample);
+    }
+
+    fn on_counter(&mut self, name: &'static str, delta: u64) {
+        *self.counters.entry(name).or_insert(0) += delta;
+    }
+
+    fn on_kernel(&mut self, sample: &KernelSample) {
+        let slot = self.kernels.entry(sample.name).or_insert(KernelSample {
+            name: sample.name,
+            ..KernelSample::default()
+        });
+        slot.launches += sample.launches;
+        slot.sim_s += sample.sim_s;
+        slot.wall_s += sample.wall_s;
+        slot.hbm_bytes += sample.hbm_bytes;
+        slot.l2_bytes += sample.l2_bytes;
+        slot.flops += sample.flops;
+    }
+}
+
+/// One phase row of a report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseSpan {
+    /// Phase name (see [`Phase::name`]).
+    pub name: String,
+    /// Total seconds spent in the phase.
+    pub seconds: f64,
+    /// Number of span measurements folded into `seconds`.
+    pub calls: u64,
+}
+
+/// One kernel row of a report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelSpan {
+    /// Kernel name.
+    pub name: String,
+    /// Launch count.
+    pub launches: u64,
+    /// Simulated device seconds.
+    pub sim_s: f64,
+    /// Host wall-clock seconds.
+    pub wall_s: f64,
+    /// Modeled HBM bytes.
+    pub hbm_bytes: f64,
+    /// Modeled L2 bytes.
+    pub l2_bytes: f64,
+    /// Modeled flops.
+    pub flops: f64,
+}
+
+/// Immutable snapshot of a [`TelemetryRecorder`], serializable to the
+/// versioned JSON schema and parseable back.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetryReport {
+    /// Schema tag; [`SCHEMA_VERSION`] when produced by this crate.
+    pub schema: String,
+    /// Backend label, if the producer set one.
+    pub backend: Option<String>,
+    /// Instance label, if the producer set one.
+    pub instance: Option<String>,
+    /// Per-phase totals in schema order (always all four phases).
+    pub phases: Vec<PhaseSpan>,
+    /// Named counters, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Per-kernel aggregates, sorted by name.
+    pub kernels: Vec<KernelSpan>,
+    /// Retained iteration samples (tail of the run if the ring
+    /// overflowed).
+    pub samples: Vec<IterationSample>,
+    /// Total iteration samples observed, including evicted ones.
+    pub samples_seen: u64,
+}
+
+/// Render a float for JSON: finite shortest-roundtrip, `null` otherwise
+/// (JSON has no NaN/Inf).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        let mut s = format!("{v}");
+        if !s.contains(['.', 'e', 'E']) {
+            s.push_str(".0");
+        }
+        s
+    } else {
+        "null".to_string()
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl TelemetryReport {
+    /// Total seconds for `phase` (0 if absent, which only happens for
+    /// reports parsed from foreign producers).
+    pub fn phase_total(&self, phase: Phase) -> f64 {
+        self.phases
+            .iter()
+            .filter(|p| p.name == phase.name())
+            .map(|p| p.seconds)
+            .sum()
+    }
+
+    /// Value of a named counter (0 if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
+
+    /// Serialize to the stable JSON schema (hand-rolled: deterministic
+    /// field order, works with any conforming JSON consumer).
+    pub fn to_json_string(&self) -> String {
+        let mut s = String::with_capacity(1024);
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"schema\": \"{}\",", json_escape(&self.schema));
+        match &self.backend {
+            Some(b) => {
+                let _ = writeln!(s, "  \"backend\": \"{}\",", json_escape(b));
+            }
+            None => s.push_str("  \"backend\": null,\n"),
+        }
+        match &self.instance {
+            Some(i) => {
+                let _ = writeln!(s, "  \"instance\": \"{}\",", json_escape(i));
+            }
+            None => s.push_str("  \"instance\": null,\n"),
+        }
+        s.push_str("  \"phases\": [\n");
+        for (i, p) in self.phases.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "    {{\"name\": \"{}\", \"seconds\": {}, \"calls\": {}}}{}",
+                json_escape(&p.name),
+                json_f64(p.seconds),
+                p.calls,
+                if i + 1 < self.phases.len() { "," } else { "" }
+            );
+        }
+        s.push_str("  ],\n");
+        s.push_str("  \"counters\": {");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            let _ = write!(
+                s,
+                "{}\"{}\": {}",
+                if i == 0 { "" } else { ", " },
+                json_escape(k),
+                v
+            );
+        }
+        s.push_str("},\n");
+        s.push_str("  \"kernels\": [\n");
+        for (i, k) in self.kernels.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "    {{\"name\": \"{}\", \"launches\": {}, \"sim_s\": {}, \"wall_s\": {}, \"hbm_bytes\": {}, \"l2_bytes\": {}, \"flops\": {}}}{}",
+                json_escape(&k.name),
+                k.launches,
+                json_f64(k.sim_s),
+                json_f64(k.wall_s),
+                json_f64(k.hbm_bytes),
+                json_f64(k.l2_bytes),
+                json_f64(k.flops),
+                if i + 1 < self.kernels.len() { "," } else { "" }
+            );
+        }
+        s.push_str("  ],\n");
+        let _ = writeln!(s, "  \"samples_seen\": {},", self.samples_seen);
+        s.push_str("  \"samples\": [\n");
+        for (i, r) in self.samples.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "    {{\"iter\": {}, \"pres\": {}, \"dres\": {}, \"eps_prim\": {}, \"eps_dual\": {}, \"rho\": {}}}{}",
+                r.iter,
+                json_f64(r.pres),
+                json_f64(r.dres),
+                json_f64(r.eps_prim),
+                json_f64(r.eps_dual),
+                json_f64(r.rho),
+                if i + 1 < self.samples.len() { "," } else { "" }
+            );
+        }
+        s.push_str("  ]\n");
+        s.push_str("}\n");
+        s
+    }
+
+    /// Parse a report previously emitted by [`TelemetryReport::to_json_string`].
+    ///
+    /// Rejects unknown schema versions. Non-finite floats serialized as
+    /// `null` parse back as `f64::NAN`.
+    pub fn from_json_str(text: &str) -> Result<TelemetryReport, String> {
+        let v: serde_json::Value =
+            serde_json::from_str(text).map_err(|e| format!("telemetry JSON parse error: {e}"))?;
+        let schema = v
+            .get("schema")
+            .and_then(|s| s.as_str())
+            .ok_or("missing \"schema\" field")?
+            .to_string();
+        if schema != SCHEMA_VERSION {
+            return Err(format!(
+                "unsupported telemetry schema {schema:?} (expected {SCHEMA_VERSION:?})"
+            ));
+        }
+        let opt_str = |key: &str| -> Option<String> {
+            v.get(key).and_then(|s| s.as_str()).map(|s| s.to_string())
+        };
+        let num = |field: &serde_json::Value| -> f64 {
+            if field.is_null() {
+                f64::NAN
+            } else {
+                field.as_f64().unwrap_or(f64::NAN)
+            }
+        };
+        let mut phases = Vec::new();
+        if let Some(arr) = v.get("phases").and_then(|p| p.as_array()) {
+            for p in arr {
+                phases.push(PhaseSpan {
+                    name: p
+                        .get("name")
+                        .and_then(|n| n.as_str())
+                        .ok_or("phase row missing \"name\"")?
+                        .to_string(),
+                    seconds: p.get("seconds").map(num).unwrap_or(0.0),
+                    calls: p.get("calls").and_then(|c| c.as_u64()).unwrap_or(0),
+                });
+            }
+        } else {
+            return Err("missing \"phases\" array".to_string());
+        }
+        let mut counters = Vec::new();
+        if let Some(obj @ serde_json::Value::Object(_)) = v.get("counters") {
+            collect_object_u64(obj, &mut counters);
+        }
+        let mut kernels = Vec::new();
+        if let Some(arr) = v.get("kernels").and_then(|k| k.as_array()) {
+            for k in arr {
+                kernels.push(KernelSpan {
+                    name: k
+                        .get("name")
+                        .and_then(|n| n.as_str())
+                        .ok_or("kernel row missing \"name\"")?
+                        .to_string(),
+                    launches: k.get("launches").and_then(|c| c.as_u64()).unwrap_or(0),
+                    sim_s: k.get("sim_s").map(num).unwrap_or(0.0),
+                    wall_s: k.get("wall_s").map(num).unwrap_or(0.0),
+                    hbm_bytes: k.get("hbm_bytes").map(num).unwrap_or(0.0),
+                    l2_bytes: k.get("l2_bytes").map(num).unwrap_or(0.0),
+                    flops: k.get("flops").map(num).unwrap_or(0.0),
+                });
+            }
+        }
+        let mut samples = Vec::new();
+        if let Some(arr) = v.get("samples").and_then(|p| p.as_array()) {
+            for r in arr {
+                samples.push(IterationSample {
+                    iter: r.get("iter").and_then(|c| c.as_u64()).unwrap_or(0),
+                    pres: r.get("pres").map(num).unwrap_or(f64::NAN),
+                    dres: r.get("dres").map(num).unwrap_or(f64::NAN),
+                    eps_prim: r.get("eps_prim").map(num).unwrap_or(f64::NAN),
+                    eps_dual: r.get("eps_dual").map(num).unwrap_or(f64::NAN),
+                    rho: r.get("rho").map(num).unwrap_or(f64::NAN),
+                });
+            }
+        }
+        Ok(TelemetryReport {
+            schema,
+            backend: opt_str("backend"),
+            instance: opt_str("instance"),
+            phases,
+            counters,
+            kernels,
+            samples,
+            samples_seen: v.get("samples_seen").and_then(|c| c.as_u64()).unwrap_or(0),
+        })
+    }
+}
+
+/// Collect a JSON object's string→integer entries without relying on a
+/// key-iteration API (the `Value` accessor surface only supports lookup
+/// by known key): re-serialize the object and scan `{"k": 1, ...}`
+/// pairs. The counters object only ever holds non-negative integers.
+fn collect_object_u64(obj: &serde_json::Value, out: &mut Vec<(String, u64)>) {
+    let text = serde_json::to_string(obj).unwrap_or_default();
+    let bytes = text.as_bytes();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        if bytes[i] == b'"' {
+            let start = i + 1;
+            let mut j = start;
+            while j < bytes.len() && bytes[j] != b'"' {
+                if bytes[j] == b'\\' {
+                    j += 1;
+                }
+                j += 1;
+            }
+            let key = text[start..j].to_string();
+            i = j + 1;
+            while i < bytes.len() && (bytes[i] == b':' || bytes[i] == b' ') {
+                i += 1;
+            }
+            let vstart = i;
+            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                i += 1;
+            }
+            if i > vstart {
+                if let Ok(v) = text[vstart..i].parse::<u64>() {
+                    out.push((key, v));
+                }
+            }
+        } else {
+            i += 1;
+        }
+    }
+    out.sort();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(iter: u64) -> IterationSample {
+        IterationSample {
+            iter,
+            pres: 1.5e-3,
+            dres: 2.5e-4,
+            eps_prim: 1e-3,
+            eps_dual: 1e-3,
+            rho: 100.0,
+        }
+    }
+
+    #[test]
+    fn noop_observer_is_disabled() {
+        assert!(!NoopObserver.enabled());
+        let mut o = NoopObserver;
+        // All hooks callable and side-effect free.
+        o.on_phase(Phase::Global, 1.0);
+        o.on_iteration(&sample(1));
+        o.on_counter("messages", 3);
+        o.on_kernel(&KernelSample {
+            name: "local",
+            launches: 1,
+            ..KernelSample::default()
+        });
+    }
+
+    #[test]
+    fn recorder_accumulates_phases_and_counters() {
+        let mut r = TelemetryRecorder::new();
+        r.on_phase(Phase::Global, 0.5);
+        r.on_phase(Phase::Global, 0.25);
+        r.on_phase(Phase::Dual, 1.0);
+        r.on_counter("messages", 2);
+        r.on_counter("messages", 3);
+        assert_eq!(r.phase_total(Phase::Global), 0.75);
+        assert_eq!(r.phase_total(Phase::Dual), 1.0);
+        assert_eq!(r.phase_total(Phase::Local), 0.0);
+        assert_eq!(r.counter("messages"), 5);
+        assert_eq!(r.counter("absent"), 0);
+        let report = r.report();
+        assert_eq!(report.phases.len(), 4);
+        assert_eq!(report.phase_total(Phase::Global), 0.75);
+        assert_eq!(report.counter("messages"), 5);
+        assert_eq!(report.phases[0].calls, 2);
+    }
+
+    #[test]
+    fn sample_ring_is_bounded_and_keeps_tail() {
+        let mut r = TelemetryRecorder::with_sample_capacity(4);
+        for t in 1..=10u64 {
+            r.on_iteration(&sample(t));
+        }
+        let kept: Vec<u64> = r.samples().map(|s| s.iter).collect();
+        assert_eq!(kept, vec![7, 8, 9, 10]);
+        assert_eq!(r.report().samples_seen, 10);
+    }
+
+    #[test]
+    fn zero_capacity_ring_drops_samples_but_counts_them() {
+        let mut r = TelemetryRecorder::with_sample_capacity(0);
+        for t in 1..=3u64 {
+            r.on_iteration(&sample(t));
+        }
+        assert_eq!(r.samples().count(), 0);
+        assert_eq!(r.report().samples_seen, 3);
+    }
+
+    #[test]
+    fn kernel_samples_merge_by_name() {
+        let mut r = TelemetryRecorder::new();
+        r.on_kernel(&KernelSample {
+            name: "local",
+            launches: 2,
+            sim_s: 1.0,
+            wall_s: 0.5,
+            hbm_bytes: 100.0,
+            l2_bytes: 10.0,
+            flops: 1000.0,
+        });
+        r.on_kernel(&KernelSample {
+            name: "local",
+            launches: 1,
+            sim_s: 0.5,
+            wall_s: 0.25,
+            hbm_bytes: 50.0,
+            l2_bytes: 5.0,
+            flops: 500.0,
+        });
+        r.on_kernel(&KernelSample {
+            name: "global",
+            launches: 1,
+            ..KernelSample::default()
+        });
+        let report = r.report();
+        assert_eq!(report.kernels.len(), 2);
+        let local = report.kernels.iter().find(|k| k.name == "local").unwrap();
+        assert_eq!(local.launches, 3);
+        assert_eq!(local.sim_s, 1.5);
+        assert_eq!(local.hbm_bytes, 150.0);
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let mut r = TelemetryRecorder::with_sample_capacity(8);
+        r.set_backend("gpu-sim");
+        r.set_instance("ieee13");
+        r.on_phase(Phase::Global, 0.125);
+        r.on_phase(Phase::Local, 0.5);
+        r.on_phase(Phase::Dual, 0.0625);
+        r.on_phase(Phase::Residual, 0.03125);
+        r.on_counter("comm.sent", 42);
+        r.on_counter("comm.bytes_sent", 8192);
+        r.on_kernel(&KernelSample {
+            name: "fused_local_dual",
+            launches: 7,
+            sim_s: 0.25,
+            wall_s: 0.125,
+            hbm_bytes: 4096.0,
+            l2_bytes: 512.0,
+            flops: 1.0e6,
+        });
+        for t in 1..=3u64 {
+            r.on_iteration(&sample(t));
+        }
+        let report = r.report();
+        let text = report.to_json_string();
+        let back = TelemetryReport::from_json_str(&text).expect("parse back");
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn report_schema_contains_expected_fields() {
+        let mut r = TelemetryRecorder::new();
+        r.set_backend("serial");
+        let text = r.report().to_json_string();
+        let v: serde_json::Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(
+            v.get("schema").and_then(|s| s.as_str()),
+            Some(SCHEMA_VERSION)
+        );
+        assert_eq!(v.get("backend").and_then(|s| s.as_str()), Some("serial"));
+        let phases = v.get("phases").and_then(|p| p.as_array()).unwrap();
+        assert_eq!(phases.len(), 4);
+        let names: Vec<&str> = phases
+            .iter()
+            .map(|p| p.get("name").and_then(|n| n.as_str()).unwrap())
+            .collect();
+        assert_eq!(names, vec!["global", "local", "dual", "residual"]);
+    }
+
+    #[test]
+    fn unknown_schema_is_rejected() {
+        let text = "{\"schema\": \"opf-telemetry/v999\", \"phases\": []}";
+        let err = TelemetryReport::from_json_str(text).unwrap_err();
+        assert!(err.contains("unsupported"), "{err}");
+    }
+
+    #[test]
+    fn malformed_json_is_rejected() {
+        assert!(TelemetryReport::from_json_str("{not json").is_err());
+        assert!(TelemetryReport::from_json_str("{}").is_err());
+    }
+
+    #[test]
+    fn non_finite_floats_serialize_as_null() {
+        let mut r = TelemetryRecorder::new();
+        r.on_iteration(&IterationSample {
+            iter: 1,
+            pres: f64::INFINITY,
+            dres: f64::NAN,
+            eps_prim: 1e-3,
+            eps_dual: 1e-3,
+            rho: 100.0,
+        });
+        let text = r.report().to_json_string();
+        let back = TelemetryReport::from_json_str(&text).unwrap();
+        assert!(back.samples[0].pres.is_nan());
+        assert!(back.samples[0].dres.is_nan());
+        assert_eq!(back.samples[0].rho, 100.0);
+    }
+
+    #[test]
+    fn phase_names_round_trip() {
+        for p in Phase::ALL {
+            assert_eq!(Phase::from_name(p.name()), Some(p));
+        }
+        assert_eq!(Phase::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn mut_ref_forwarding_observer_works() {
+        fn drive<O: IterationObserver>(mut o: O) {
+            o.on_phase(Phase::Local, 1.0);
+        }
+        let mut r = TelemetryRecorder::new();
+        drive(&mut r);
+        assert_eq!(r.phase_total(Phase::Local), 1.0);
+    }
+}

@@ -44,10 +44,7 @@ fn main() {
         // Top-k biases the iterates persistently; cap its run (the test
         // below shows the dispatch is still within 0.02 %).
         let run_opts = if matches!(c, Compression::TopK { .. }) {
-            AdmmOptions {
-                max_iters: 30_000,
-                ..opts.clone()
-            }
+            opts.clone().to_builder().max_iters(30_000).build()
         } else {
             opts.clone()
         };

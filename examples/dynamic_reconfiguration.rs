@@ -11,14 +11,14 @@
 //! cargo run -p opf-examples --release --bin dynamic_reconfiguration
 //! ```
 
-use opf_admm::{AdmmOptions, SolverFreeAdmm};
+use opf_admm::prelude::*;
 use opf_examples::decompose_network;
 use opf_net::feeders;
 
 fn solve_and_report(tag: &str, net: &opf_net::Network) -> f64 {
     let dec = decompose_network(net);
-    let solver = SolverFreeAdmm::new(&dec).expect("precompute");
-    let r = solver.solve(&AdmmOptions::default());
+    let engine = Engine::new(&dec).expect("precompute");
+    let r = engine.solve(&SolveRequest::default());
     println!(
         "[{tag}] S = {:3}, n = {:4} | converged = {} in {:5} iters | Σp^g = {:.4} p.u.",
         dec.s(),

@@ -8,7 +8,7 @@
 //! `instance` defaults to `ieee123`; `ieee8500` shows the largest gap.
 
 use gpu_sim::DeviceProps;
-use opf_admm::{AdmmOptions, Backend, SolverFreeAdmm};
+use opf_admm::prelude::*;
 use opf_examples::{decompose_network, fmt_secs};
 use opf_net::feeders;
 
@@ -17,18 +17,17 @@ fn main() {
     let net = feeders::by_name(&instance)
         .unwrap_or_else(|| panic!("unknown instance {instance}; try ieee13/ieee123/ieee8500"));
     let dec = decompose_network(&net);
-    let solver = SolverFreeAdmm::new(&dec).expect("precompute");
+    let engine = Engine::new(&dec).expect("precompute");
     println!(
         "{instance}: S = {} components, n = {} variables",
         dec.s(),
         dec.n
     );
     let iters = 200;
-    let base = AdmmOptions {
-        max_iters: iters,
-        check_every: iters,
-        ..AdmmOptions::default()
-    };
+    let base = AdmmOptions::builder()
+        .max_iters(iters)
+        .check_every(iters)
+        .build();
 
     println!("\nCPU backends (measured wall-clock):");
     for threads in [1usize, 2, 4, 8] {
@@ -37,10 +36,9 @@ fn main() {
         } else {
             Backend::Rayon { threads }
         };
-        let r = solver.solve(&AdmmOptions {
-            backend,
-            ..base.clone()
-        });
+        let r = engine.solve(&SolveRequest::new(
+            base.clone().to_builder().backend(backend).build(),
+        ));
         let (g, l, d) = r.timings.per_iteration();
         println!(
             "  {threads:2} CPU threads : global {:>10} | local {:>10} | dual {:>10} | total {:>10}",
@@ -53,13 +51,15 @@ fn main() {
 
     println!("\nSimulated A100, threads-per-block sweep (modeled device time):");
     for tpb in [1usize, 4, 16, 64] {
-        let r = solver.solve(&AdmmOptions {
-            backend: Backend::Gpu {
-                props: DeviceProps::a100(),
-                threads_per_block: tpb,
-            },
-            ..base.clone()
-        });
+        let r = engine.solve(&SolveRequest::new(
+            base.clone()
+                .to_builder()
+                .backend(Backend::Gpu {
+                    props: DeviceProps::a100(),
+                    threads_per_block: tpb,
+                })
+                .build(),
+        ));
         let (g, l, d) = r.timings.per_iteration();
         println!(
             "  T = {tpb:2} threads : global {:>10} | local {:>10} | dual {:>10} | total {:>10}",

@@ -7,14 +7,14 @@
 //! cargo run -p opf-examples --release --bin multi_area
 //! ```
 
-use opf_admm::{AdmmOptions, SolverFreeAdmm};
+use opf_admm::prelude::*;
 use opf_examples::decompose_network;
 use opf_net::feeders;
 
 fn main() {
     let net = feeders::ieee123();
     let dec = decompose_network(&net);
-    let solver = SolverFreeAdmm::new(&dec).expect("precompute");
+    let engine = Engine::new(&dec).expect("precompute");
     println!(
         "ieee123: S = {} components split across 4 agent areas + 1 operator",
         dec.s()
@@ -23,17 +23,28 @@ fn main() {
     let opts = AdmmOptions::default();
 
     // Distributed run: threads + channels, broadcast/gather per iteration.
+    // Telemetry captures the operator's per-phase compute and the wire
+    // traffic without touching the protocol.
+    let req = SolveRequest::new(opts.clone()).with_mode(ExecutionMode::Distributed {
+        options: DistributedOptions::builder().n_ranks(4).build(),
+    });
     let t0 = std::time::Instant::now();
-    let dist = solver.solve_distributed(&opts, 4);
+    let (dist, telemetry) = engine.solve_with_telemetry(&req, Some("ieee123"));
     let dist_time = t0.elapsed().as_secs_f64();
     println!(
         "distributed (4 ranks): converged = {} in {} iterations, Σp^g = {:.4} p.u. ({:.2}s)",
         dist.converged, dist.iterations, dist.objective, dist_time
     );
+    println!(
+        "wire traffic: {} messages, {} bytes sent ({} delivered)",
+        telemetry.counter("comm.sent"),
+        telemetry.counter("comm.bytes_sent"),
+        telemetry.counter("comm.bytes_delivered"),
+    );
 
     // Cross-check against the single-process solver: same math, same
     // iterates.
-    let serial = solver.solve(&opts);
+    let serial = engine.solve(&SolveRequest::new(opts));
     println!(
         "single process       : converged = {} in {} iterations, Σp^g = {:.4} p.u.",
         serial.converged, serial.iterations, serial.objective

@@ -5,7 +5,7 @@
 //! cargo run -p opf-examples --release --bin quickstart
 //! ```
 
-use opf_admm::{AdmmOptions, Backend, SolverFreeAdmm};
+use opf_admm::prelude::*;
 use opf_examples::{decompose_network, fmt_secs};
 use opf_model::VarKind;
 use opf_net::feeders;
@@ -25,12 +25,14 @@ fn main() {
         dec.n
     );
 
-    // 2. Solve with the paper's defaults (ρ = 100, ε_rel = 1e-3).
-    let solver = SolverFreeAdmm::new(&dec).expect("precompute");
-    let result = solver.solve(&AdmmOptions {
-        backend: Backend::Rayon { threads: 4 },
-        ..AdmmOptions::default()
-    });
+    // 2. Solve with the paper's defaults (ρ = 100, ε_rel = 1e-3) through
+    //    the engine facade, with telemetry attached.
+    let engine = Engine::new(&dec).expect("precompute");
+    let opts = AdmmOptions::builder()
+        .backend(Backend::Rayon { threads: 4 })
+        .build();
+    let (result, telemetry) =
+        engine.solve_with_telemetry(&SolveRequest::new(opts), Some(net.name.as_str()));
     println!(
         "converged = {} in {} iterations (pres {:.2e} ≤ {:.2e}, dres {:.2e} ≤ {:.2e})",
         result.converged,
@@ -40,12 +42,12 @@ fn main() {
         result.residuals.dres,
         result.residuals.eps_dual,
     );
-    let (g, l, d) = result.timings.per_iteration();
+    let it = result.iterations.max(1) as f64;
     println!(
-        "per-iteration: global {} | local {} | dual {}",
-        fmt_secs(g),
-        fmt_secs(l),
-        fmt_secs(d)
+        "per-iteration: global {} | local {} | dual {} (from telemetry spans)",
+        fmt_secs(telemetry.phase_total(Phase::Global) / it),
+        fmt_secs(telemetry.phase_total(Phase::Local) / it),
+        fmt_secs(telemetry.phase_total(Phase::Dual) / it),
     );
 
     // 3. Inspect the dispatch: total generation vs load, and the voltage

@@ -7,7 +7,7 @@
 //! cargo run -p opf-examples --release --bin rolling_horizon
 //! ```
 
-use opf_admm::{AdmmOptions, SolverFreeAdmm};
+use opf_admm::prelude::*;
 use opf_examples::decompose_network;
 use opf_net::feeders;
 
@@ -41,12 +41,14 @@ fn main() {
             }
         }
         let dec = decompose_network(&net);
-        let solver = SolverFreeAdmm::new(&dec).expect("precompute");
+        let engine = Engine::new(&dec).expect("precompute");
 
-        let cold = solver.solve(&opts);
+        let cold = engine.solve(&SolveRequest::new(opts.clone()));
         let warm = match &warm_state {
-            Some(state) => solver.solve_from(&opts, state.clone()),
-            None => solver.solve(&opts),
+            Some(state) => {
+                engine.solve(&SolveRequest::new(opts.clone()).with_warm_start(state.clone()))
+            }
+            None => engine.solve(&SolveRequest::new(opts.clone())),
         };
         assert!(cold.converged && warm.converged, "hour {hour} failed");
         total_cold += cold.iterations;

@@ -8,11 +8,10 @@ use opf_integration::decompose_net;
 use opf_net::feeders;
 
 fn opts(backend: Backend) -> AdmmOptions {
-    AdmmOptions {
-        backend,
-        max_iters: 60_000,
-        ..AdmmOptions::default()
-    }
+    AdmmOptions::builder()
+        .backend(backend)
+        .max_iters(60_000)
+        .build()
 }
 
 #[test]
@@ -70,15 +69,16 @@ fn gpu_device_time_is_decoupled_from_wall_clock() {
     let net = feeders::ieee123();
     let dec = decompose_net(&net);
     let solver = SolverFreeAdmm::new(&dec).expect("precompute");
-    let r = solver.solve(&AdmmOptions {
-        backend: Backend::Gpu {
-            props: DeviceProps::a100(),
-            threads_per_block: 64,
-        },
-        max_iters: 100,
-        check_every: 100,
-        ..AdmmOptions::default()
-    });
+    let r = solver.solve(
+        &AdmmOptions::builder()
+            .backend(Backend::Gpu {
+                props: DeviceProps::a100(),
+                threads_per_block: 64,
+            })
+            .max_iters(100)
+            .check_every(100)
+            .build(),
+    );
     let (g, l, d) = r.timings.per_iteration();
     for t in [g, l, d] {
         assert!(t > 1e-7 && t < 1e-3, "implausible kernel time {t}");

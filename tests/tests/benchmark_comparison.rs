@@ -11,10 +11,7 @@ use opf_net::feeders;
 fn both_methods_agree_on_the_optimum() {
     let net = feeders::ieee13();
     let dec = decompose_net(&net);
-    let opts = AdmmOptions {
-        max_iters: 80_000,
-        ..AdmmOptions::default()
-    };
+    let opts = AdmmOptions::builder().max_iters(80_000).build();
     let ours = SolverFreeAdmm::new(&dec).unwrap().solve(&opts);
     let (bench, stats) = BenchmarkAdmm::new(&dec).unwrap().solve(&opts);
     assert!(ours.converged && bench.converged);
@@ -62,10 +59,7 @@ fn benchmark_iterations_comparable_to_ours_on_small_instances() {
     // IEEE 13/123 (the win is per-iteration time, not iteration count).
     let net = feeders::ieee13();
     let dec = decompose_net(&net);
-    let opts = AdmmOptions {
-        max_iters: 80_000,
-        ..AdmmOptions::default()
-    };
+    let opts = AdmmOptions::builder().max_iters(80_000).build();
     let ours = SolverFreeAdmm::new(&dec).unwrap().solve(&opts);
     let (bench, _) = BenchmarkAdmm::new(&dec).unwrap().solve(&opts);
     let ratio = bench.iterations as f64 / ours.iterations as f64;

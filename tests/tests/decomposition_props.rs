@@ -35,11 +35,10 @@ proptest! {
         let net = generate(&small_spec(nodes, 2, seed));
         let dec = decompose_net(&net);
         let solver = SolverFreeAdmm::new(&dec).expect("precompute");
-        let r = solver.solve(&AdmmOptions {
-            max_iters: 150,
-            check_every: 150,
-            ..AdmmOptions::default()
-        });
+        let r = solver.solve(&AdmmOptions::builder()
+                                  .max_iters(150)
+                                  .check_every(150)
+                                  .build());
         // Invariant 1: x within bounds after every (clipped) update.
         for i in 0..dec.n {
             prop_assert!(r.x[i] >= dec.lower[i] - 1e-12 && r.x[i] <= dec.upper[i] + 1e-12);
@@ -63,10 +62,9 @@ proptest! {
         let net = generate(&small_spec(8, 2, seed));
         let dec = decompose_net(&net);
         let solver = SolverFreeAdmm::new(&dec).expect("precompute");
-        let r = solver.solve(&AdmmOptions {
-            max_iters: 150_000,
-            ..AdmmOptions::default()
-        });
+        let r = solver.solve(&AdmmOptions::builder()
+                                  .max_iters(150_000)
+                                  .build());
         prop_assert!(r.converged, "seed {seed}: no convergence in 150k iters");
         prop_assert!(r.objective >= -1e-6, "negative generation");
     }

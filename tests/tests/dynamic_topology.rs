@@ -65,10 +65,7 @@ fn islanded_capacitor_makes_lp_infeasible_and_admm_reports_it() {
     // Keep the capacitor at 675 energized — the inconsistent case.
     let dec = decompose_net(&net);
     let solver = SolverFreeAdmm::new(&dec).expect("precompute");
-    let r = solver.solve(&AdmmOptions {
-        max_iters: 3_000,
-        ..AdmmOptions::default()
-    });
+    let r = solver.solve(&AdmmOptions::builder().max_iters(3_000).build());
     assert!(!r.converged, "must not converge on an infeasible LP");
     assert!(r.residuals.pres > r.residuals.eps_prim);
 }

@@ -14,11 +14,12 @@ fn detailed_ieee13_full_pipeline() {
     net.validate().expect("valid feeder");
     let dec = decompose_net(&net);
     let solver = SolverFreeAdmm::new(&dec).expect("precompute");
-    let r = solver.solve(&AdmmOptions {
-        eps_rel: 1e-4,
-        max_iters: 300_000,
-        ..AdmmOptions::default()
-    });
+    let r = solver.solve(
+        &AdmmOptions::builder()
+            .eps_rel(1e-4)
+            .max_iters(300_000)
+            .build(),
+    );
     assert!(r.converged, "ADMM did not converge");
 
     // 1. Bounds hold exactly (clipped global update).
@@ -88,11 +89,12 @@ fn voltage_profile_is_monotone_down_the_trunk() {
     let net = feeders::ieee13_detailed();
     let dec = decompose_net(&net);
     let solver = SolverFreeAdmm::new(&dec).expect("precompute");
-    let r = solver.solve(&AdmmOptions {
-        eps_rel: 1e-4,
-        max_iters: 300_000,
-        ..AdmmOptions::default()
-    });
+    let r = solver.solve(
+        &AdmmOptions::builder()
+            .eps_rel(1e-4)
+            .max_iters(300_000)
+            .build(),
+    );
     assert!(r.converged);
     let w_at = |bus_name: &str| -> f64 {
         let bus = net.buses.iter().position(|b| b.name == bus_name).unwrap();

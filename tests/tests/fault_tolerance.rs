@@ -17,13 +17,12 @@ use opf_net::feeders;
 static SERIAL: Mutex<()> = Mutex::new(());
 
 fn faulted_opts() -> DistributedOptions {
-    DistributedOptions {
-        n_ranks: 4,
-        faults: FaultPlan::seeded(2024).with_drop(0.05).with_crash(3, 500),
-        quorum_frac: 0.75,
-        rank_timeout: Duration::from_millis(250),
-        ..DistributedOptions::default()
-    }
+    DistributedOptions::builder()
+        .n_ranks(4)
+        .faults(FaultPlan::seeded(2024).with_drop(0.05).with_crash(3, 500))
+        .quorum_frac(0.75)
+        .rank_timeout(Duration::from_millis(250))
+        .build()
 }
 
 #[test]
@@ -32,10 +31,7 @@ fn ieee123_converges_through_drops_crash_and_quorum() {
     let net = feeders::ieee123();
     let dec = decompose_net(&net);
     let solver = SolverFreeAdmm::new(&dec).expect("precompute");
-    let opts = AdmmOptions {
-        max_iters: 60_000,
-        ..AdmmOptions::default()
-    };
+    let opts = AdmmOptions::builder().max_iters(60_000).build();
 
     let clean = solver.solve_distributed(&opts, 4);
     assert!(clean.converged, "fault-free baseline must converge");
@@ -70,10 +66,7 @@ fn ieee123_fault_seed_reproduces_bit_for_bit() {
     let solver = SolverFreeAdmm::new(&dec).expect("precompute");
     // Reproducibility does not need convergence; cap the run well past
     // the crash + adoption window to keep the test fast.
-    let opts = AdmmOptions {
-        max_iters: 2_000,
-        ..AdmmOptions::default()
-    };
+    let opts = AdmmOptions::builder().max_iters(2_000).build();
     let a = solver.solve_distributed_opts(&opts, &faulted_opts());
     let b = solver.solve_distributed_opts(&opts, &faulted_opts());
     // The *delivered message set* — and with it every iterate — is a

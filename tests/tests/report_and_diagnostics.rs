@@ -49,10 +49,7 @@ fn diagnostics_are_quiet_on_healthy_cases_and_loud_on_sick_ones() {
     let graph2 = ComponentGraph::build(&sick);
     let dec2 = decompose_net(&sick);
     let solver2 = SolverFreeAdmm::new(&dec2).unwrap();
-    let bad = solver2.solve(&AdmmOptions {
-        max_iters: 3_000,
-        ..AdmmOptions::default()
-    });
+    let bad = solver2.solve(&AdmmOptions::builder().max_iters(3_000).build());
     assert!(!bad.converged, "capacity-starved case cannot converge");
     let bad_gaps =
         opf_admm::worst_components(&sick, &graph2, &dec2, solver2.precomputed(), &bad, 3);

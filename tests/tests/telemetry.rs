@@ -1,0 +1,174 @@
+//! Telemetry integration: attaching an observer must not perturb the
+//! math in any backend, reports round-trip through the versioned JSON
+//! schema, and the distributed transport counters are plumbed end to
+//! end through the engine facade.
+//!
+//! Counter assertions on the distributed path check presence and
+//! monotone relations only — attempt-level transport counts depend on
+//! thread scheduling and must never be compared for equality across
+//! runs.
+
+use std::sync::Mutex;
+
+use gpu_sim::DeviceProps;
+use opf_admm::prelude::*;
+use opf_integration::decompose_net;
+use opf_net::feeders;
+
+/// The distributed test spins up rank threads; keep it exclusive so a
+/// loaded (or single-core) machine does not starve a live rank.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn assert_same_solve(plain: &SolveResult, observed: &SolveResult) {
+    assert_eq!(plain.iterations, observed.iterations);
+    assert_eq!(plain.converged, observed.converged);
+    assert_eq!(plain.x, observed.x, "x diverged under observation");
+    assert_eq!(plain.z, observed.z, "z diverged under observation");
+    assert_eq!(
+        plain.lambda, observed.lambda,
+        "λ diverged under observation"
+    );
+}
+
+#[test]
+fn observer_attachment_is_bit_for_bit_on_ieee13() {
+    let net = feeders::ieee13();
+    let dec = decompose_net(&net);
+    let solver = SolverFreeAdmm::new(&dec).expect("precompute");
+    let opts = AdmmOptions::default();
+    let plain = solver.solve(&opts);
+    let mut rec = TelemetryRecorder::new();
+    let observed = solver.solve_observed(&opts, &mut rec);
+    assert_same_solve(&plain, &observed);
+
+    // The recorder saw every checked iteration and all four phases.
+    let report = rec.report();
+    assert_eq!(report.samples_seen, observed.iterations as u64);
+    for phase in Phase::ALL {
+        assert!(
+            report.phase_total(phase) > 0.0,
+            "{} span is empty",
+            phase.name()
+        );
+    }
+    // Samples are a tail of the run in iteration order.
+    let iters: Vec<u64> = report.samples.iter().map(|s| s.iter).collect();
+    assert!(iters.windows(2).all(|w| w[0] < w[1]));
+    assert_eq!(iters.last().copied(), Some(observed.iterations as u64));
+}
+
+#[test]
+fn observer_attachment_is_bit_for_bit_on_ieee123_capped() {
+    let net = feeders::ieee123();
+    let dec = decompose_net(&net);
+    let solver = SolverFreeAdmm::new(&dec).expect("precompute");
+    let opts = AdmmOptions::builder().max_iters(2_000).build();
+    let plain = solver.solve(&opts);
+    let mut rec = TelemetryRecorder::new();
+    let observed = solver.solve_observed(&opts, &mut rec);
+    assert_same_solve(&plain, &observed);
+}
+
+#[test]
+fn observer_attachment_is_bit_for_bit_on_gpu_sim() {
+    let net = feeders::ieee13();
+    let dec = decompose_net(&net);
+    let solver = SolverFreeAdmm::new(&dec).expect("precompute");
+    let opts = AdmmOptions::builder()
+        .backend(Backend::Gpu {
+            props: DeviceProps::a100(),
+            threads_per_block: 32,
+        })
+        .max_iters(1_000)
+        .build();
+    let plain = solver.solve(&opts);
+    let mut rec = TelemetryRecorder::new();
+    let observed = solver.solve_observed(&opts, &mut rec);
+    assert_same_solve(&plain, &observed);
+
+    // Observation switches on the device kernel profile: one row per
+    // distinct kernel, launch counts matching the iteration structure.
+    let report = rec.report();
+    let names: Vec<&str> = report.kernels.iter().map(|k| k.name.as_str()).collect();
+    for expected in ["global", "local", "dual", "residual"] {
+        assert!(names.contains(&expected), "missing kernel row {expected}");
+    }
+    for k in &report.kernels {
+        if k.name == "residual" {
+            continue; // launched only at termination checks
+        }
+        assert_eq!(
+            k.launches, observed.iterations as u64,
+            "kernel {} launch count",
+            k.name
+        );
+        assert!(k.sim_s > 0.0 && k.hbm_bytes > 0.0 && k.flops > 0.0);
+    }
+}
+
+#[test]
+fn telemetry_report_round_trips_through_file() {
+    let net = feeders::ieee13();
+    let dec = decompose_net(&net);
+    let engine = Engine::new(&dec).expect("engine");
+    let req = SolveRequest::new(AdmmOptions::builder().max_iters(500).build());
+    let (outcome, report) = engine.solve_with_telemetry(&req, Some("ieee13"));
+    assert_eq!(report.samples_seen, outcome.iterations as u64);
+
+    let dir = std::env::temp_dir().join("gridflow-telemetry-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("telemetry.json");
+    std::fs::write(&path, report.to_json_string()).unwrap();
+    let text = std::fs::read_to_string(&path).unwrap();
+    let parsed = TelemetryReport::from_json_str(&text).expect("parse");
+
+    // Floats are rendered shortest-roundtrip, so the report survives the
+    // file round-trip exactly.
+    assert_eq!(parsed, report);
+    assert_eq!(parsed.backend.as_deref(), Some("serial"));
+    assert_eq!(parsed.instance.as_deref(), Some("ieee13"));
+
+    // A foreign schema tag is rejected, not misread.
+    let foreign = text.replacen("opf-telemetry/v1", "opf-telemetry/v999", 1);
+    assert!(TelemetryReport::from_json_str(&foreign).is_err());
+}
+
+#[test]
+fn distributed_counters_are_present_and_monotone() {
+    let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let net = feeders::ieee13();
+    let dec = decompose_net(&net);
+    let engine = Engine::new(&dec).expect("engine");
+    let opts = AdmmOptions::builder()
+        .max_iters(400)
+        .check_every(10)
+        .build();
+    let req = SolveRequest::new(opts).with_mode(ExecutionMode::Distributed {
+        options: DistributedOptions::builder().n_ranks(2).build(),
+    });
+    let (outcome, report) = engine.solve_with_telemetry(&req, Some("ieee13"));
+    assert_eq!(outcome.backend, "distributed");
+
+    let sent = report.counter("comm.sent");
+    let bytes_sent = report.counter("comm.bytes_sent");
+    assert!(sent > 0, "no messages recorded");
+    assert!(bytes_sent >= 8 * sent, "every message carries ≥ 1 f64");
+    assert!(bytes_sent % 8 == 0, "byte totals count whole f64 values");
+    assert!(report.counter("comm.delivered") <= sent);
+    assert!(report.counter("comm.bytes_delivered") <= bytes_sent);
+    // check_every = 10 skips the stop-flag collective on unchecked
+    // iterations (this one IS deterministic, unlike the attempt counts).
+    assert!(report.counter("comm.skipped_collectives") > 0);
+    // No faults injected: nothing retransmitted or abandoned.
+    assert_eq!(report.counter("comm.gave_up"), 0);
+    assert_eq!(report.counter("faults.dead_ranks"), 0);
+
+    // The operator's per-phase compute is replayed into the spans.
+    for phase in Phase::ALL {
+        assert!(
+            report.phase_total(phase) > 0.0,
+            "{} span is empty",
+            phase.name()
+        );
+    }
+}
