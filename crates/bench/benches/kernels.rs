@@ -72,7 +72,7 @@ fn bench_residuals(c: &mut Criterion) {
     let pre = solver.precomputed();
     let (x, z, lambda) = solver.initial_state();
     c.bench_function("residuals/ieee123", |b| {
-        b.iter(|| updates::Residuals::compute(pre, 1e-3, 100.0, &x, &z, &z, &lambda));
+        b.iter(|| updates::Residuals::compute(pre, 1e-3, 1e-9, 100.0, &x, &z, &z, &lambda));
     });
 }
 

@@ -16,7 +16,10 @@ use std::time::Instant;
 
 use gpu_sim::DeviceProps;
 use opf_admm::prelude::{Engine, Phase, SolveRequest};
-use opf_admm::{updates, AdmmOptions, Backend, Precomputed, ReferencePrecomputed, SolverFreeAdmm};
+use opf_admm::{
+    updates, AdmmOptions, Backend, BatchRequest, Precomputed, ReferencePrecomputed, ScenarioBatch,
+    SolverFreeAdmm,
+};
 use opf_bench::harness::{fmt_secs, load_instance, Instance};
 
 /// Iteration budgets keeping the larger feeders CI-friendly; ieee13 runs to
@@ -175,7 +178,9 @@ fn main() {
             if bname == "gpu-sim" {
                 opts.fuse_local_dual = true;
             }
-            let (res, report) = engine.solve_with_telemetry(&SolveRequest::new(opts), Some(name));
+            let (res, report) = engine
+                .solve_with_telemetry(&SolveRequest::new(opts), Some(name))
+                .expect("solve");
             let it = res.timings.iterations.max(1) as f64;
             let (global_s, local_s, dual_s, residual_s) = (
                 report.phase_total(Phase::Global),
@@ -233,7 +238,7 @@ fn main() {
                 .check_every(check_every)
                 .build();
             let t0 = Instant::now();
-            let res = engine.solve(&SolveRequest::new(opts));
+            let res = engine.solve(&SolveRequest::new(opts)).expect("solve");
             (t0.elapsed().as_secs_f64(), res)
         };
         let _ = run_wall(1); // warm
@@ -253,6 +258,31 @@ fn main() {
             "{name}: strided detection must lag by < check_every iterations"
         );
 
+        // Batched scenario sweep over the shared arena: throughput plus
+        // the amortization factor — what N independent solves would have
+        // paid in precompute, over what the batch actually paid.
+        let n_scen = if name == "ieee8500" { 4 } else { 8 };
+        let batch = ScenarioBatch::sweep(engine.solver(), n_scen, 1, 0.05).expect("sweep");
+        let breq = BatchRequest::new(batch, opts_for(name, Backend::Rayon { threads }));
+        let outcome = engine.solve_batch(&breq).expect("batch solve");
+        assert_eq!(
+            outcome.precompute_builds, 1,
+            "{name}: the batch must reuse the engine's arena"
+        );
+        let amortization =
+            (n_scen as f64 * arena_build_s + outcome.wall_s) / (arena_build_s + outcome.wall_s);
+        eprintln!(
+            "   batch ({n_scen} scenarios, ±5 %): {:.2} scenarios/s, {} wall, \
+             precompute amortization {:.2}x",
+            outcome.scenarios_per_sec,
+            fmt_secs(outcome.wall_s),
+            amortization,
+        );
+        assert!(
+            amortization > 1.0,
+            "{name}: sharing the arena must beat rebuilding it per scenario"
+        );
+
         let mut j = String::new();
         let _ = write!(
             j,
@@ -264,6 +294,10 @@ fn main() {
                 "\"reference_us\":{},\"improvement_pct\":{}}},",
                 "\"check_every\":{{\"wall_us_1\":{},\"wall_us_10\":{},",
                 "\"improvement_pct\":{},\"iters_1\":{},\"iters_10\":{}}},",
+                "\"batch\":{{\"scenarios\":{},\"spread_pct\":5.0,\"seed\":1,",
+                "\"backend\":\"{}\",\"converged\":{},\"iterations_total\":{},",
+                "\"precompute_builds\":{},\"scenarios_per_sec\":{},",
+                "\"wall_us\":{},\"amortization_factor\":{}}},",
                 "\"backends\":[{}]}}"
             ),
             name,
@@ -282,6 +316,14 @@ fn main() {
             json_f(stride_gain),
             res_1.iterations,
             res_10.iterations,
+            n_scen,
+            outcome.backend,
+            outcome.converged,
+            outcome.iterations_total,
+            outcome.precompute_builds,
+            json_f(outcome.scenarios_per_sec),
+            json_f(1e6 * outcome.wall_s),
+            json_f(amortization),
             backend_json.join(","),
         );
         instances_json.push(j);

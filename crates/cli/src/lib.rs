@@ -6,7 +6,8 @@
 use comm_sim::{Compression, FaultPlan};
 use gpu_sim::DeviceProps;
 use opf_admm::{
-    AdmmOptions, Backend, CheckpointSpec, DistributedOptions, Engine, ExecutionMode, SolveRequest,
+    AdmmOptions, Backend, BatchRequest, CheckpointSpec, DistributedOptions, Engine, ExecutionMode,
+    ScenarioBatch, SolveRequest,
 };
 use opf_model::{decompose, report, VarSpace};
 use opf_net::{feeders, ComponentGraph};
@@ -34,6 +35,10 @@ pub enum Command {
         rank_timeout_ms: u64,
         checkpoint_every: usize,
         telemetry_json: Option<String>,
+        scenarios: usize,
+        scenario_seed: u64,
+        scenario_spread: f64,
+        scenario_chain: bool,
     },
     /// `gridflow export <instance> <path.json>`
     Export { instance: String, path: String },
@@ -81,6 +86,8 @@ USAGE:
                  [--compress fp32|topk:F] [--report]
                  [--save-state path.json] [--resume path.json]
                  [--checkpoint-every N] [--telemetry-json path.json]
+                 [--scenarios N] [--scenario-seed S] [--scenario-spread PCT]
+                 [--scenario-chain]
                  [--fault-seed S] [--fault-drop P] [--fault-dup P]
                  [--fault-delay P:D] [--fault-crash R@T]...
                  [--fault-straggler R:P]... [--quorum F]
@@ -103,6 +110,16 @@ residuals dip below tolerance only transiently between checks). With
 --telemetry-json writes the run's `opf-telemetry/v1` report (per-phase
 spans, counters, iteration samples, GPU kernel profile) to the given
 file.
+--scenarios N solves N perturbed load/bound scenarios as one batch over
+a single shared precompute arena (Ā is built exactly once): seeded by
+--scenario-seed (default 0), each component injection and each bound
+pair scaled by an independent factor within ±PCT% (--scenario-spread,
+default 5). The batch runs on the selected --backend — serial, rayon
+(parallel across scenarios AND components), or gpu (one batched 2-D
+scenario × component grid per kernel) — and is bit-identical to N
+sequential solves. --scenario-chain warm-starts scenario k+1 from
+scenario k (sequential). Incompatible with --distributed, --resume,
+--save-state, and --report.
   gridflow export <instance> <path.json>
   gridflow tables  [--full]
   gridflow figures [--full]
@@ -176,6 +193,10 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             let mut rank_timeout_ms = 250u64;
             let mut checkpoint_every = 0usize;
             let mut telemetry_json = None;
+            let mut scenarios = 0usize;
+            let mut scenario_seed = 0u64;
+            let mut scenario_spread = 5.0f64;
+            let mut scenario_chain = false;
             while let Some(a) = it.next() {
                 match a.as_str() {
                     "--backend" => {
@@ -186,16 +207,17 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     }
                     "--rho" => rho = parse_num(it.next(), "--rho")?,
                     "--eps" => eps = parse_num(it.next(), "--eps")?,
-                    "--max-iters" => max_iters = parse_num(it.next(), "--max-iters")? as usize,
+                    "--max-iters" => max_iters = parse_usize(it.next(), "--max-iters")?,
                     "--check-every" => {
-                        check_every = parse_num(it.next(), "--check-every")? as usize;
+                        // Integer parse: the old `parse_num(..)? as usize`
+                        // silently truncated "2.5" to 2 and "0.9" to the
+                        // forbidden 0.
+                        check_every = parse_usize(it.next(), "--check-every")?;
                         if check_every == 0 {
                             return Err(CliError("--check-every must be ≥ 1".into()));
                         }
                     }
-                    "--distributed" => {
-                        distributed = Some(parse_num(it.next(), "--distributed")? as usize)
-                    }
+                    "--distributed" => distributed = Some(parse_usize(it.next(), "--distributed")?),
                     "--compress" => {
                         let v = it
                             .next()
@@ -217,7 +239,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                                 .clone(),
                         )
                     }
-                    "--fault-seed" => fault_seed = parse_num(it.next(), "--fault-seed")? as u64,
+                    "--fault-seed" => fault_seed = parse_u64(it.next(), "--fault-seed")?,
                     "--fault-drop" => fault_drop = parse_num(it.next(), "--fault-drop")?,
                     "--fault-dup" => fault_dup = parse_num(it.next(), "--fault-dup")?,
                     "--fault-delay" => {
@@ -240,10 +262,10 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     }
                     "--quorum" => quorum = parse_num(it.next(), "--quorum")?,
                     "--rank-timeout-ms" => {
-                        rank_timeout_ms = parse_num(it.next(), "--rank-timeout-ms")? as u64
+                        rank_timeout_ms = parse_u64(it.next(), "--rank-timeout-ms")?
                     }
                     "--checkpoint-every" => {
-                        checkpoint_every = parse_num(it.next(), "--checkpoint-every")? as usize
+                        checkpoint_every = parse_usize(it.next(), "--checkpoint-every")?
                     }
                     "--telemetry-json" => {
                         telemetry_json = Some(
@@ -252,6 +274,22 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                                 .clone(),
                         )
                     }
+                    "--scenarios" => {
+                        scenarios = parse_usize(it.next(), "--scenarios")?;
+                        if scenarios == 0 {
+                            return Err(CliError("--scenarios must be ≥ 1".into()));
+                        }
+                    }
+                    "--scenario-seed" => scenario_seed = parse_u64(it.next(), "--scenario-seed")?,
+                    "--scenario-spread" => {
+                        scenario_spread = parse_num(it.next(), "--scenario-spread")?;
+                        if !(0.0..100.0).contains(&scenario_spread) {
+                            return Err(CliError(
+                                "--scenario-spread is a percentage in [0, 100)".into(),
+                            ));
+                        }
+                    }
+                    "--scenario-chain" => scenario_chain = true,
                     other => return Err(CliError(format!("unknown flag {other}"))),
                 }
             }
@@ -274,6 +312,20 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             if !(0.0..=1.0).contains(&quorum) {
                 return Err(CliError("--quorum must be in [0, 1]".into()));
             }
+            if scenarios > 0 {
+                for (on, flag) in [
+                    (distributed.is_some(), "--distributed"),
+                    (resume.is_some(), "--resume"),
+                    (save_state.is_some(), "--save-state"),
+                    (show_report, "--report"),
+                ] {
+                    if on {
+                        return Err(CliError(format!(
+                            "--scenarios runs a single-process batch; {flag} is not supported"
+                        )));
+                    }
+                }
+            }
             Ok(Command::Solve {
                 instance,
                 backend,
@@ -291,6 +343,10 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 rank_timeout_ms,
                 checkpoint_every,
                 telemetry_json,
+                scenarios,
+                scenario_seed,
+                scenario_spread,
+                scenario_chain,
             })
         }
         other => Err(CliError(format!("unknown command {other}"))),
@@ -301,6 +357,21 @@ fn parse_num(v: Option<&String>, flag: &str) -> Result<f64, CliError> {
     v.ok_or(CliError(format!("{flag} needs a value")))?
         .parse()
         .map_err(|_| CliError(format!("{flag}: not a number")))
+}
+
+/// Strict integer parse — counts must not take the `parse_num` route,
+/// which would accept "2.5" and truncate it.
+fn parse_usize(v: Option<&String>, flag: &str) -> Result<usize, CliError> {
+    v.ok_or(CliError(format!("{flag} needs a value")))?
+        .parse()
+        .map_err(|_| CliError(format!("{flag}: not an integer")))
+}
+
+/// See [`parse_usize`].
+fn parse_u64(v: Option<&String>, flag: &str) -> Result<u64, CliError> {
+    v.ok_or(CliError(format!("{flag} needs a value")))?
+        .parse()
+        .map_err(|_| CliError(format!("{flag}: not an integer")))
 }
 
 fn parse_pair_usize(v: &str, sep: char, what: &str) -> Result<(usize, usize), CliError> {
@@ -422,11 +493,34 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             rank_timeout_ms,
             checkpoint_every,
             telemetry_json,
+            scenarios,
+            scenario_seed,
+            scenario_spread,
+            scenario_chain,
         } => {
             let net = load(&instance)?;
             let graph = ComponentGraph::build(&net);
             let dec = decompose(&net, &graph).map_err(|e| CliError(e.to_string()))?;
             let engine = Engine::new(&dec).map_err(|e| CliError(e.to_string()))?;
+            if scenarios > 0 {
+                let opts = AdmmOptions::builder()
+                    .rho(rho)
+                    .eps_rel(eps)
+                    .max_iters(max_iters)
+                    .check_every(check_every)
+                    .backend(backend.to_backend())
+                    .build();
+                return run_batch(
+                    &engine,
+                    &instance,
+                    opts,
+                    scenarios,
+                    scenario_seed,
+                    scenario_spread / 100.0,
+                    scenario_chain,
+                    telemetry_json.as_deref(),
+                );
+            }
             let resume_state = match &resume {
                 Some(path) => Some(load_checkpoint(path, &instance, dec.n)?),
                 None => None,
@@ -462,13 +556,15 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             let mut out = String::new();
             let r = match &telemetry_json {
                 Some(path) => {
-                    let (r, report) = engine.solve_with_telemetry(&req, Some(&instance));
+                    let (r, report) = engine
+                        .solve_with_telemetry(&req, Some(&instance))
+                        .map_err(|e| CliError(e.to_string()))?;
                     std::fs::write(path, report.to_json_string())
                         .map_err(|e| CliError(format!("write {path}: {e}")))?;
                     out += &format!("telemetry written to {path}\n");
                     r
                 }
-                None => engine.solve(&req),
+                None => engine.solve(&req).map_err(|e| CliError(e.to_string()))?,
             };
             let mut final_state = None;
             let mut state_saved = false;
@@ -529,6 +625,63 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             Ok(out)
         }
     }
+}
+
+/// `gridflow solve <instance> --scenarios N …` — a batched multi-scenario
+/// solve over one shared precompute arena.
+#[allow(clippy::too_many_arguments)]
+fn run_batch(
+    engine: &Engine<'_>,
+    instance: &str,
+    opts: AdmmOptions,
+    scenarios: usize,
+    seed: u64,
+    spread: f64,
+    chain: bool,
+    telemetry_json: Option<&str>,
+) -> Result<String, CliError> {
+    let batch = ScenarioBatch::sweep(engine.solver(), scenarios, seed, spread)
+        .map_err(|e| CliError(e.to_string()))?;
+    let req = BatchRequest::new(batch, opts).with_chaining(chain);
+    let mut out = String::new();
+    let outcome = match telemetry_json {
+        Some(path) => {
+            let (outcome, report) = engine
+                .solve_batch_with_telemetry(&req, Some(instance))
+                .map_err(|e| CliError(e.to_string()))?;
+            std::fs::write(path, report.to_json_string())
+                .map_err(|e| CliError(format!("write {path}: {e}")))?;
+            out += &format!("telemetry written to {path}\n");
+            outcome
+        }
+        None => engine
+            .solve_batch(&req)
+            .map_err(|e| CliError(e.to_string()))?,
+    };
+    let objectives: Vec<f64> = outcome.scenarios.iter().map(|s| s.objective).collect();
+    let (mut lo, mut hi, mut sum) = (f64::INFINITY, f64::NEG_INFINITY, 0.0);
+    for &v in &objectives {
+        lo = lo.min(v);
+        hi = hi.max(v);
+        sum += v;
+    }
+    out += &format!(
+        "{instance}: {} of {} scenario(s) converged on {} in {} total iterations\n\
+         batch: seed {seed}, spread ±{:.1}%{}, precompute builds = {}\n\
+         throughput: {:.2} scenarios/s ({:.3}s wall)\n\
+         Σp^g across scenarios: min {lo:.4}, mean {:.4}, max {hi:.4} p.u.\n",
+        outcome.converged,
+        outcome.scenarios.len(),
+        outcome.backend,
+        outcome.iterations_total,
+        spread * 100.0,
+        if chain { ", warm-start chained" } else { "" },
+        outcome.precompute_builds,
+        outcome.scenarios_per_sec,
+        outcome.wall_s,
+        sum / objectives.len() as f64,
+    );
+    Ok(out)
 }
 
 /// Warm-start iterates `(x, z, λ)` as stored in a checkpoint file.
@@ -638,6 +791,88 @@ mod tests {
         }
         // A stride of 0 would never test (16); reject it.
         assert!(parse(&sv(&["solve", "ieee13", "--check-every", "0"])).is_err());
+        // Regression: "0.9" used to take the f64 route and truncate to the
+        // forbidden 0 (and "2.5" to a silent 2). Counts must parse as
+        // integers or not at all.
+        assert!(parse(&sv(&["solve", "ieee13", "--check-every", "0.9"])).is_err());
+        assert!(parse(&sv(&["solve", "ieee13", "--check-every", "2.5"])).is_err());
+        assert!(parse(&sv(&["solve", "ieee13", "--max-iters", "1e4"])).is_err());
+    }
+
+    #[test]
+    fn parses_scenario_flags() {
+        let c = parse(&sv(&[
+            "solve",
+            "ieee13",
+            "--scenarios",
+            "8",
+            "--scenario-seed",
+            "42",
+            "--scenario-spread",
+            "10",
+            "--scenario-chain",
+        ]))
+        .unwrap();
+        match c {
+            Command::Solve {
+                scenarios,
+                scenario_seed,
+                scenario_spread,
+                scenario_chain,
+                ..
+            } => {
+                assert_eq!(scenarios, 8);
+                assert_eq!(scenario_seed, 42);
+                assert_eq!(scenario_spread, 10.0);
+                assert!(scenario_chain);
+            }
+            _ => panic!("wrong command"),
+        }
+        assert!(parse(&sv(&["solve", "ieee13", "--scenarios", "0"])).is_err());
+        assert!(parse(&sv(&["solve", "ieee13", "--scenario-spread", "150"])).is_err());
+        // The batch path is single-process and stateless.
+        for incompatible in [
+            ["--distributed", "2"].as_slice(),
+            ["--resume", "x.json"].as_slice(),
+            ["--save-state", "x.json"].as_slice(),
+            ["--report"].as_slice(),
+        ] {
+            let mut args = vec!["solve", "ieee13", "--scenarios", "4"];
+            args.extend_from_slice(incompatible);
+            let e = parse(&sv(&args)).unwrap_err();
+            assert!(e.0.contains("not supported"), "{e}");
+        }
+    }
+
+    #[test]
+    fn scenario_batch_solve_reports_throughput_and_single_build() {
+        let dir = std::env::temp_dir().join("gridflow-cli-scenarios");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir
+            .join("batch-telemetry.json")
+            .to_string_lossy()
+            .into_owned();
+        let out = run(parse(&sv(&[
+            "solve",
+            "ieee13",
+            "--scenarios",
+            "3",
+            "--scenario-spread",
+            "2",
+            "--max-iters",
+            "60",
+            "--telemetry-json",
+            &path,
+        ]))
+        .unwrap())
+        .unwrap();
+        assert!(out.contains("3 scenario(s)"), "{out}");
+        assert!(out.contains("precompute builds = 1"), "{out}");
+        assert!(out.contains("scenarios/s"), "{out}");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let report = opf_admm::prelude::TelemetryReport::from_json_str(&text).expect("parse");
+        assert_eq!(report.counter("batch.scenarios"), 3);
+        assert_eq!(report.counter("batch.precompute_builds"), 1);
     }
 
     #[test]
@@ -817,6 +1052,10 @@ mod tests {
             rank_timeout_ms: 250,
             checkpoint_every: 0,
             telemetry_json: None,
+            scenarios: 0,
+            scenario_seed: 0,
+            scenario_spread: 5.0,
+            scenario_chain: false,
         })
         .unwrap();
         assert!(out.contains("converged = false"), "{out}");
@@ -862,6 +1101,10 @@ mod tests {
             rank_timeout_ms: 250,
             checkpoint_every: 0,
             telemetry_json: None,
+            scenarios: 0,
+            scenario_seed: 0,
+            scenario_spread: 5.0,
+            scenario_chain: false,
         };
         let out = run(base).unwrap();
         assert!(out.contains("state saved"));
@@ -883,6 +1126,10 @@ mod tests {
             rank_timeout_ms: 250,
             checkpoint_every: 0,
             telemetry_json: None,
+            scenarios: 0,
+            scenario_seed: 0,
+            scenario_spread: 5.0,
+            scenario_chain: false,
         })
         .unwrap();
         assert!(resumed.contains("converged = true"), "{resumed}");
@@ -904,6 +1151,10 @@ mod tests {
             rank_timeout_ms: 250,
             checkpoint_every: 0,
             telemetry_json: None,
+            scenarios: 0,
+            scenario_seed: 0,
+            scenario_spread: 5.0,
+            scenario_chain: false,
         })
         .unwrap_err();
         assert!(e.0.contains("checkpoint is for"), "{e}");

@@ -1,0 +1,914 @@
+//! Scenario batching over one shared precompute arena.
+//!
+//! The paper's central trick — `Ā_s = A_sᵀ(A_sA_sᵀ)⁻¹A_s − I` depends
+//! only on the *structure* matrix `A_s` — means a fleet of load/bound
+//! scenarios over one feeder shares every factorization: scenarios
+//! perturb only `b̄_s` (linear in `b_s`, so a multiplicative injection
+//! scaling is a multiplicative `b̄_s` scaling, no re-factorization) and
+//! the clip bounds of the global update (13). A [`ScenarioBatch`] holds
+//! those per-scenario vectors; [`Engine::solve_batch`] runs all of them
+//! against the `Ā` arena that was built exactly once.
+//!
+//! Three execution shapes, all bit-identical to N sequential
+//! [`Engine::solve_scenario`] calls:
+//!
+//! * **serial** — scenarios run back to back through the shared loop.
+//! * **rayon** — one outer pool parallelizes *across scenarios*, and each
+//!   inner solve uses [`Exec::Inherit`] so component-level work steals
+//!   across the same threads: parallel across scenarios AND components.
+//! * **gpu-sim** — a lockstep loop launches ONE batched kernel per phase
+//!   over a 2-D (scenario × component) grid (`crate::gpu`'s `Batch*`
+//!   kernels). Because every scenario reads the same interned `Ā` slabs,
+//!   a slab streams from HBM at most once per launch and every other
+//!   (scenario, component) block earns the L2-residency credit —
+//!   precompute *and* memory traffic amortize across the batch.
+//!   Converged scenarios are frozen and dropped from subsequent
+//!   launches, which keeps their final state bit-identical to a
+//!   standalone solve.
+//!
+//! Optional warm-start chaining (`chain_warm_start`) runs scenarios
+//! sequentially, seeding scenario `k+1` from scenario `k`'s final
+//! iterates — the swept-parameter (ramp/Monte-Carlo-path) pattern.
+
+use crate::engine::{backend_label, Engine, ExecutionMode, SolveError, SolveOutcome, SolveRequest};
+use crate::gpu::{
+    BatchDualKernel, BatchFusedLocalDualKernel, BatchGlobalKernel, BatchLocalKernel,
+    BatchResidualKernel, DualKernel, FusedLocalDualKernel, GlobalKernel, LocalKernel,
+    ResidualKernel,
+};
+use crate::precompute;
+use crate::solver::{Exec, ProblemView, SolverFreeAdmm};
+use crate::types::{AdmmOptions, Backend, SolveResult, Timings};
+use crate::updates::Residuals;
+use opf_linalg::vec_ops;
+use opf_telemetry::{IterationObserver, NoopObserver, Phase, TelemetryRecorder, TelemetryReport};
+use rayon::prelude::*;
+use std::time::Instant;
+
+/// splitmix64 — the standard 64-bit mixer; deterministic, seedable, and
+/// dependency-free (the repo's no-new-deps rule), like the XorShift the
+/// non-ideal comm model uses.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform draw in `[0, 1)` with 53 bits of mantissa.
+fn unit(state: &mut u64) -> f64 {
+    (splitmix64(state) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// N perturbed scenarios over one feeder, sharing one [`Precomputed`]
+/// arena: per-scenario stacked `b̄` and per-scenario global clip bounds.
+///
+/// [`Precomputed`]: crate::precompute::Precomputed
+#[derive(Debug, Clone)]
+pub struct ScenarioBatch {
+    count: usize,
+    n: usize,
+    total_dim: usize,
+    /// Scenario-major flattened `b̄`: scenario `k` owns
+    /// `bbar[k*total_dim..(k+1)*total_dim]`.
+    bbar: Vec<f64>,
+    /// Scenario-major flattened lower bounds (`count × n`).
+    lower: Vec<f64>,
+    /// Scenario-major flattened upper bounds (`count × n`).
+    upper: Vec<f64>,
+    /// The seed the sweep was drawn from.
+    pub seed: u64,
+    /// The relative spread of the sweep (0 ⇒ every scenario is the base).
+    pub spread: f64,
+}
+
+impl ScenarioBatch {
+    /// Draw `count` scenarios around the solver's base problem: each
+    /// component's injection vector is scaled by an independent factor
+    /// `1 + spread·u`, `u ~ U[−1, 1)` (which scales `b̄_s` by the same
+    /// factor — `b̄_s` is linear in `b_s`, so no re-factorization), and
+    /// each global variable's bound pair by another such factor (one
+    /// factor for both ends, preserving `lower ≤ upper`).
+    ///
+    /// `spread` is a fraction in `[0, 1)`; `spread = 0` replicates the
+    /// base problem `count` times (the bit-identity fixture).
+    pub fn sweep(
+        solver: &SolverFreeAdmm<'_>,
+        count: usize,
+        seed: u64,
+        spread: f64,
+    ) -> Result<ScenarioBatch, SolveError> {
+        if count == 0 {
+            return Err(SolveError::InvalidBatch(
+                "scenario count must be ≥ 1".into(),
+            ));
+        }
+        if !(0.0..1.0).contains(&spread) {
+            return Err(SolveError::InvalidBatch(format!(
+                "scenario spread must lie in [0, 1), got {spread}"
+            )));
+        }
+        let dec = solver.problem();
+        let pre = solver.precomputed();
+        let (n, total_dim, s) = (dec.n, pre.total_dim(), pre.s());
+        let mut rng = seed ^ 0xA076_1D64_78BD_642F;
+        let mut bbar = Vec::with_capacity(count * total_dim);
+        let mut lower = Vec::with_capacity(count * n);
+        let mut upper = Vec::with_capacity(count * n);
+        for _ in 0..count {
+            for comp in 0..s {
+                let f = 1.0 + spread * (2.0 * unit(&mut rng) - 1.0);
+                bbar.extend(pre.bbar_slice(comp).iter().map(|&v| f * v));
+            }
+            for i in 0..n {
+                // One positive factor for both ends keeps the interval
+                // ordered (and leaves ±∞ and pinned-to-zero bounds
+                // exactly where they were).
+                let g = 1.0 + spread * (2.0 * unit(&mut rng) - 1.0);
+                lower.push(g * dec.lower[i]);
+                upper.push(g * dec.upper[i]);
+            }
+        }
+        Ok(ScenarioBatch {
+            count,
+            n,
+            total_dim,
+            bbar,
+            lower,
+            upper,
+            seed,
+            spread,
+        })
+    }
+
+    /// Number of scenarios.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Scenario `k`'s stacked `b̄`.
+    pub fn bbar(&self, k: usize) -> &[f64] {
+        &self.bbar[k * self.total_dim..(k + 1) * self.total_dim]
+    }
+
+    /// Scenario `k`'s lower bounds.
+    pub fn lower(&self, k: usize) -> &[f64] {
+        &self.lower[k * self.n..(k + 1) * self.n]
+    }
+
+    /// Scenario `k`'s upper bounds.
+    pub fn upper(&self, k: usize) -> &[f64] {
+        &self.upper[k * self.n..(k + 1) * self.n]
+    }
+
+    pub(crate) fn view(&self, k: usize) -> ProblemView<'_> {
+        ProblemView {
+            bbar: self.bbar(k),
+            lower: self.lower(k),
+            upper: self.upper(k),
+        }
+    }
+
+    /// Scenario `k`'s initial iterates: the paper's §V-A starting point
+    /// clipped to the *scenario's* bounds (`z = Bx`, `λ = 0`) — the one
+    /// rule both [`Engine::solve_scenario`] and [`Engine::solve_batch`]
+    /// use, so batched and sequential runs start bit-identically.
+    pub fn initial_state(
+        &self,
+        solver: &SolverFreeAdmm<'_>,
+        k: usize,
+    ) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+        let mut x = solver.problem().vars.initial_point();
+        vec_ops::clip(&mut x, self.lower(k), self.upper(k));
+        let z: Vec<f64> = solver
+            .precomputed()
+            .stacked_to_global
+            .iter()
+            .map(|&g| x[g])
+            .collect();
+        let lambda = vec![0.0; self.total_dim];
+        (x, z, lambda)
+    }
+
+    fn check_matches(&self, engine: &Engine<'_>) -> Result<(), SolveError> {
+        let n = engine.problem().n;
+        let total = engine.solver().precomputed().total_dim();
+        if self.n != n || self.total_dim != total {
+            return Err(SolveError::InvalidBatch(format!(
+                "batch built for (n = {}, total_dim = {}) but the engine's problem has \
+                 (n = {n}, total_dim = {total})",
+                self.n, self.total_dim
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// A complete description of one batched solve.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct BatchRequest {
+    /// The scenarios to run.
+    pub batch: ScenarioBatch,
+    /// ADMM parameters shared by every scenario; `options.backend` picks
+    /// the serial / rayon / gpu-sim execution shape.
+    pub options: AdmmOptions,
+    /// Seed scenario `k+1` from scenario `k`'s final iterates. Chaining
+    /// serializes the batch on every backend (scenario `k+1` cannot
+    /// start before `k` finishes) — meant for swept parameters, where
+    /// adjacent scenarios are close and warm starts beat parallelism.
+    pub chain_warm_start: bool,
+}
+
+impl BatchRequest {
+    /// A batch request with the given scenarios and options, no chaining.
+    pub fn new(batch: ScenarioBatch, options: AdmmOptions) -> Self {
+        BatchRequest {
+            batch,
+            options,
+            chain_warm_start: false,
+        }
+    }
+
+    /// Enable warm-start chaining from scenario `k` to `k+1`.
+    pub fn with_chaining(mut self, chain: bool) -> Self {
+        self.chain_warm_start = chain;
+        self
+    }
+}
+
+/// The result of [`Engine::solve_batch`].
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct BatchOutcome {
+    /// Which backend ran: `"serial"`, `"rayon"`, or `"gpu-sim"`.
+    pub backend: &'static str,
+    /// Per-scenario outcomes, in scenario order. Batch-level launches
+    /// cannot be attributed to one scenario, so on the gpu-sim path the
+    /// per-scenario `timings` carry only the iteration count; the
+    /// batch-level [`BatchOutcome::timings`] hold the phase totals.
+    pub scenarios: Vec<SolveOutcome>,
+    /// How many scenarios met the termination test.
+    pub converged: usize,
+    /// Total iterations across all scenarios.
+    pub iterations_total: usize,
+    /// [`Precomputed::build`] runs attributable to this batch: the
+    /// engine's own build (always 1) plus any during the batch (0 when
+    /// amortization works — the acceptance invariant).
+    ///
+    /// [`Precomputed::build`]: crate::precompute::Precomputed::build
+    pub precompute_builds: u64,
+    /// Aggregate per-phase times across the whole batch (simulated on
+    /// the gpu-sim path).
+    pub timings: Timings,
+    /// Host wall-clock for the whole batch.
+    pub wall_s: f64,
+    /// Scenario throughput `count / wall_s`.
+    pub scenarios_per_sec: f64,
+}
+
+/// One scenario's in-flight state in the gpu-sim lockstep loop.
+struct ScenState {
+    k: usize,
+    x: Vec<f64>,
+    z: Vec<f64>,
+    z_prev: Vec<f64>,
+    lambda: Vec<f64>,
+    rho: f64,
+    iterations: usize,
+    converged: bool,
+    res: Residuals,
+}
+
+impl Engine<'_> {
+    /// Solve one scenario of a batch through the single-process loop —
+    /// the sequential reference [`Engine::solve_batch`] is bit-identical
+    /// to. Honours `req.options.backend` and `req.warm_start`; modes
+    /// other than [`ExecutionMode::SingleProcess`] are rejected.
+    pub fn solve_scenario(
+        &self,
+        batch: &ScenarioBatch,
+        k: usize,
+        req: &SolveRequest,
+    ) -> Result<SolveOutcome, SolveError> {
+        batch.check_matches(self)?;
+        if k >= batch.count() {
+            return Err(SolveError::InvalidBatch(format!(
+                "scenario {k} out of range (batch holds {})",
+                batch.count()
+            )));
+        }
+        if !matches!(req.mode, ExecutionMode::SingleProcess) {
+            return Err(SolveError::InvalidBatch(
+                "scenario solves support only ExecutionMode::SingleProcess".into(),
+            ));
+        }
+        self.validate_request(req)?;
+        let solver = self.solver();
+        let state = match &req.warm_start {
+            Some(s) => s.clone(),
+            None => batch.initial_state(solver, k),
+        };
+        let mut exec = Exec::from_backend(&req.options.backend);
+        let result = solver.solve_view_exec_observed(
+            &req.options,
+            &mut exec,
+            batch.view(k),
+            state,
+            &mut NoopObserver,
+        );
+        Ok(SolveOutcome::from_result(
+            backend_label(&req.options.backend),
+            result,
+        ))
+    }
+
+    /// Run every scenario of the batch; see the module docs for the
+    /// per-backend execution shapes.
+    pub fn solve_batch(&self, req: &BatchRequest) -> Result<BatchOutcome, SolveError> {
+        self.solve_batch_observed(req, &mut NoopObserver)
+    }
+
+    /// [`Engine::solve_batch`] with an [`IterationObserver`] attached.
+    ///
+    /// The whole batch aggregates into ONE observer stream: per-phase
+    /// span totals plus the `batch.*` counters (`scenarios`, `converged`,
+    /// `iterations_total`, `precompute_builds`). Per-iteration samples
+    /// are not emitted — N interleaved scenario streams in one sample
+    /// tail would be unreadable.
+    pub fn solve_batch_observed<O: IterationObserver>(
+        &self,
+        req: &BatchRequest,
+        obs: &mut O,
+    ) -> Result<BatchOutcome, SolveError> {
+        req.options.validate().map_err(SolveError::InvalidOptions)?;
+        let batch = &req.batch;
+        batch.check_matches(self)?;
+        let solver = self.solver();
+        let builds_before = precompute::build_count();
+        let t0 = Instant::now();
+
+        let results: Vec<SolveResult> = if req.chain_warm_start {
+            // Chaining is inherently sequential on every backend.
+            let mut exec = Exec::from_backend(&req.options.backend);
+            if obs.enabled() {
+                exec.enable_profiling();
+            }
+            let mut out = Vec::with_capacity(batch.count());
+            let mut warm: Option<(Vec<f64>, Vec<f64>, Vec<f64>)> = None;
+            for k in 0..batch.count() {
+                let state = warm
+                    .take()
+                    .unwrap_or_else(|| batch.initial_state(solver, k));
+                let r = solver.solve_view_exec_observed(
+                    &req.options,
+                    &mut exec,
+                    batch.view(k),
+                    state,
+                    &mut NoopObserver,
+                );
+                warm = Some((r.x.clone(), r.z.clone(), r.lambda.clone()));
+                out.push(r);
+            }
+            if obs.enabled() {
+                exec.report_kernels(obs);
+            }
+            out
+        } else {
+            match &req.options.backend {
+                Backend::Serial => {
+                    let mut exec = Exec::Serial;
+                    (0..batch.count())
+                        .map(|k| {
+                            solver.solve_view_exec_observed(
+                                &req.options,
+                                &mut exec,
+                                batch.view(k),
+                                batch.initial_state(solver, k),
+                                &mut NoopObserver,
+                            )
+                        })
+                        .collect()
+                }
+                Backend::Rayon { threads } => {
+                    // One outer pool over scenarios; inner solves inherit
+                    // it, so component-level work steals across the same
+                    // threads and the pool is saturated even when one
+                    // straggler scenario outlives the rest.
+                    let pool = rayon::ThreadPoolBuilder::new()
+                        .num_threads((*threads).max(1))
+                        .build()
+                        .expect("rayon pool");
+                    pool.install(|| {
+                        (0..batch.count())
+                            .into_par_iter()
+                            .map(|k| {
+                                solver.solve_view_exec_observed(
+                                    &req.options,
+                                    &mut Exec::Inherit,
+                                    batch.view(k),
+                                    batch.initial_state(solver, k),
+                                    &mut NoopObserver,
+                                )
+                            })
+                            .collect()
+                    })
+                }
+                Backend::Gpu {
+                    props,
+                    threads_per_block,
+                } => self.solve_batch_gpu(
+                    batch,
+                    &req.options,
+                    *props,
+                    (*threads_per_block).max(1),
+                    obs,
+                ),
+            }
+        };
+
+        let wall_s = t0.elapsed().as_secs_f64();
+        let builds = 1 + (precompute::build_count() - builds_before);
+        let is_gpu = matches!(req.options.backend, Backend::Gpu { .. });
+
+        let mut timings = Timings {
+            simulated: is_gpu,
+            ..Timings::default()
+        };
+        let mut converged = 0usize;
+        let mut iterations_total = 0usize;
+        for r in &results {
+            timings.global_s += r.timings.global_s;
+            timings.local_s += r.timings.local_s;
+            timings.dual_s += r.timings.dual_s;
+            timings.residual_s += r.timings.residual_s;
+            timings.iterations += r.timings.iterations;
+            converged += r.converged as usize;
+            iterations_total += r.iterations;
+        }
+        if !is_gpu {
+            // The gpu path reported its launches live; replay the CPU
+            // scenarios' summed phase times so every backend lands in
+            // the same telemetry shape.
+            obs.on_phase(Phase::Global, timings.global_s);
+            obs.on_phase(Phase::Local, timings.local_s);
+            obs.on_phase(Phase::Dual, timings.dual_s);
+            obs.on_phase(Phase::Residual, timings.residual_s);
+        }
+        obs.on_counter("batch.scenarios", batch.count() as u64);
+        obs.on_counter("batch.converged", converged as u64);
+        obs.on_counter("batch.iterations_total", iterations_total as u64);
+        obs.on_counter("batch.precompute_builds", builds);
+
+        let label = backend_label(&req.options.backend);
+        Ok(BatchOutcome {
+            backend: label,
+            scenarios: results
+                .into_iter()
+                .map(|r| SolveOutcome::from_result(label, r))
+                .collect(),
+            converged,
+            iterations_total,
+            precompute_builds: builds,
+            timings,
+            wall_s,
+            scenarios_per_sec: batch.count() as f64 / wall_s.max(1e-12),
+        })
+    }
+
+    /// [`Engine::solve_batch`] with a fresh [`TelemetryRecorder`],
+    /// returning the aggregated `opf-telemetry/v1` report.
+    pub fn solve_batch_with_telemetry(
+        &self,
+        req: &BatchRequest,
+        instance: Option<&str>,
+    ) -> Result<(BatchOutcome, TelemetryReport), SolveError> {
+        let mut rec = TelemetryRecorder::new();
+        if let Some(name) = instance {
+            rec.set_instance(name);
+        }
+        let outcome = self.solve_batch_observed(req, &mut rec)?;
+        rec.set_backend(outcome.backend);
+        Ok((outcome, rec.report()))
+    }
+
+    /// The gpu-sim lockstep loop: one batched launch per phase per
+    /// iteration over all *active* scenarios. Frozen (converged or
+    /// diverged) scenarios leave the grid, so every surviving scenario's
+    /// iterate sequence is bit-identical to its standalone solve.
+    fn solve_batch_gpu<O: IterationObserver>(
+        &self,
+        batch: &ScenarioBatch,
+        opts: &AdmmOptions,
+        props: gpu_sim::DeviceProps,
+        tpb: usize,
+        obs: &mut O,
+    ) -> Vec<SolveResult> {
+        let solver = self.solver();
+        let pre = solver.precomputed();
+        let dec = self.problem();
+        let (n, total, s_comp) = (dec.n, pre.total_dim(), pre.s());
+        let count = batch.count();
+
+        let mut exec = Exec::Gpu(gpu_sim::Device::with_props(props), tpb);
+        if obs.enabled() {
+            exec.enable_profiling();
+        }
+
+        let mut states: Vec<ScenState> = (0..count)
+            .map(|k| {
+                let (x, z, lambda) = batch.initial_state(solver, k);
+                ScenState {
+                    k,
+                    z_prev: z.clone(),
+                    x,
+                    z,
+                    lambda,
+                    rho: opts.rho,
+                    iterations: 0,
+                    converged: false,
+                    res: Residuals::default(),
+                }
+            })
+            .collect();
+        let mut active: Vec<usize> = (0..count).collect();
+
+        // Scenario-major scratch: the device splits a launch's out buffer
+        // back-to-back in block order, which is exactly scenario-major.
+        let mut x_scratch = vec![0.0; count * n];
+        let mut z_scratch = vec![0.0; count * total];
+        let mut l_scratch = vec![0.0; count * total];
+        let mut partials = vec![0.0; count * 5 * s_comp];
+
+        let stride = opts.check_every.max(1);
+        let Exec::Gpu(dev, _) = &mut exec else {
+            unreachable!()
+        };
+
+        for t in 1..=opts.max_iters {
+            if active.is_empty() {
+                break;
+            }
+            let n_act = active.len();
+            for &k in &active {
+                states[k].iterations = t;
+            }
+
+            // --- Global update (13), one batched launch. ---
+            {
+                let kern = BatchGlobalKernel {
+                    per: active
+                        .iter()
+                        .map(|&k| GlobalKernel {
+                            pre,
+                            c: &dec.c,
+                            lower: batch.lower(k),
+                            upper: batch.upper(k),
+                            z: &states[k].z,
+                            lambda: &states[k].lambda,
+                            rho: states[k].rho,
+                            clip: true,
+                        })
+                        .collect(),
+                };
+                let dt = dev.launch(&kern, tpb, &mut x_scratch[..n_act * n]).secs();
+                timing_phase(obs, Phase::Global, dt);
+            }
+            for (a, &k) in active.iter().enumerate() {
+                states[k].x.copy_from_slice(&x_scratch[a * n..(a + 1) * n]);
+            }
+
+            // --- Local (15) + dual (12), fused or separate. ---
+            for &k in &active {
+                let st = &mut states[k];
+                std::mem::swap(&mut st.z, &mut st.z_prev);
+            }
+            if opts.fuse_local_dual {
+                // λ scratch carries λ^{(t)} in and λ^{(t+1)} out; z is
+                // fully overwritten.
+                for (a, &k) in active.iter().enumerate() {
+                    l_scratch[a * total..(a + 1) * total].copy_from_slice(&states[k].lambda);
+                }
+                {
+                    let kern = BatchFusedLocalDualKernel {
+                        per: active
+                            .iter()
+                            .map(|&k| FusedLocalDualKernel {
+                                pre,
+                                bbar: batch.bbar(k),
+                                x: &states[k].x,
+                                rho: states[k].rho,
+                            })
+                            .collect(),
+                    };
+                    let dt = dev
+                        .launch_pair(
+                            &kern,
+                            tpb,
+                            &mut z_scratch[..n_act * total],
+                            &mut l_scratch[..n_act * total],
+                        )
+                        .secs();
+                    timing_phase(obs, Phase::Local, dt);
+                }
+                for (a, &k) in active.iter().enumerate() {
+                    states[k]
+                        .z
+                        .copy_from_slice(&z_scratch[a * total..(a + 1) * total]);
+                    states[k]
+                        .lambda
+                        .copy_from_slice(&l_scratch[a * total..(a + 1) * total]);
+                }
+            } else {
+                {
+                    let kern = BatchLocalKernel {
+                        per: active
+                            .iter()
+                            .map(|&k| LocalKernel {
+                                pre,
+                                bbar: batch.bbar(k),
+                                x: &states[k].x,
+                                lambda: &states[k].lambda,
+                                rho: states[k].rho,
+                            })
+                            .collect(),
+                    };
+                    let dt = dev
+                        .launch(&kern, tpb, &mut z_scratch[..n_act * total])
+                        .secs();
+                    timing_phase(obs, Phase::Local, dt);
+                }
+                for (a, &k) in active.iter().enumerate() {
+                    states[k]
+                        .z
+                        .copy_from_slice(&z_scratch[a * total..(a + 1) * total]);
+                }
+                // Dual ascent updates λ in place: prefill the scratch.
+                for (a, &k) in active.iter().enumerate() {
+                    l_scratch[a * total..(a + 1) * total].copy_from_slice(&states[k].lambda);
+                }
+                {
+                    let kern = BatchDualKernel {
+                        per: active
+                            .iter()
+                            .map(|&k| DualKernel {
+                                pre,
+                                x: &states[k].x,
+                                z: &states[k].z,
+                                rho: states[k].rho,
+                            })
+                            .collect(),
+                    };
+                    let dt = dev
+                        .launch(&kern, tpb, &mut l_scratch[..n_act * total])
+                        .secs();
+                    timing_phase(obs, Phase::Dual, dt);
+                }
+                for (a, &k) in active.iter().enumerate() {
+                    states[k]
+                        .lambda
+                        .copy_from_slice(&l_scratch[a * total..(a + 1) * total]);
+                }
+            }
+
+            // --- Termination test (16), same stride as a single solve. ---
+            if t % stride == 0 || t == opts.max_iters {
+                {
+                    let kern = BatchResidualKernel {
+                        per: active
+                            .iter()
+                            .map(|&k| ResidualKernel {
+                                pre,
+                                x: &states[k].x,
+                                z: &states[k].z,
+                                z_prev: &states[k].z_prev,
+                                lambda: &states[k].lambda,
+                            })
+                            .collect(),
+                    };
+                    let dt = dev
+                        .launch(&kern, tpb, &mut partials[..n_act * 5 * s_comp])
+                        .secs();
+                    timing_phase(obs, Phase::Residual, dt);
+                }
+                let mut still = Vec::with_capacity(n_act);
+                for (a, &k) in active.iter().enumerate() {
+                    // Per-scenario host reduction in the same block order
+                    // as the single-scenario path — bit-identical sums.
+                    let mut sums = [0.0f64; 5];
+                    let mine = &partials[a * 5 * s_comp..(a + 1) * 5 * s_comp];
+                    for chunk in mine.chunks_exact(5) {
+                        for (acc, b) in sums.iter_mut().zip(chunk) {
+                            *acc += b;
+                        }
+                    }
+                    let st = &mut states[k];
+                    st.res = Residuals::from_sums(sums, opts.eps_rel, opts.eps_abs, total, st.rho);
+                    if st.res.converged() {
+                        st.converged = true;
+                        continue; // frozen: leaves the grid
+                    }
+                    if !st.res.pres.is_finite() || !st.res.dres.is_finite() {
+                        continue; // diverged: frozen, reported unconverged
+                    }
+                    if let Some(rb) = opts.rho_adapt {
+                        if t % rb.every == 0 {
+                            if st.res.pres > rb.mu * st.res.dres {
+                                st.rho *= rb.tau;
+                            } else if st.res.dres > rb.mu * st.res.pres {
+                                st.rho /= rb.tau;
+                            }
+                        }
+                    }
+                    still.push(k);
+                }
+                active = still;
+            }
+        }
+
+        if obs.enabled() {
+            exec.report_kernels(obs);
+        }
+        states
+            .into_iter()
+            .enumerate()
+            .map(|(k, st)| {
+                debug_assert_eq!(st.k, k, "scenario results out of order");
+                let objective = vec_ops::dot(&dec.c, &st.x);
+                SolveResult {
+                    objective,
+                    x: st.x,
+                    z: st.z,
+                    lambda: st.lambda,
+                    iterations: st.iterations,
+                    converged: st.converged,
+                    residuals: st.res,
+                    timings: Timings {
+                        iterations: st.iterations,
+                        simulated: true,
+                        ..Timings::default()
+                    },
+                    trace: Vec::new(),
+                }
+            })
+            .collect()
+    }
+}
+
+fn timing_phase<O: IterationObserver>(obs: &mut O, phase: Phase, dt: f64) {
+    obs.on_phase(phase, dt);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opf_model::decompose;
+    use opf_net::{feeders, ComponentGraph};
+
+    fn engine_for(name: &str) -> (opf_model::DecomposedProblem, ()) {
+        let net = feeders::by_name(name).unwrap();
+        let g = ComponentGraph::build(&net);
+        (decompose(&net, &g).unwrap(), ())
+    }
+
+    fn capped(backend: Backend) -> AdmmOptions {
+        AdmmOptions::builder()
+            .backend(backend)
+            .max_iters(300)
+            .build()
+    }
+
+    #[test]
+    fn zero_spread_sweep_replicates_the_base_problem() {
+        let (dec, _) = engine_for("ieee13");
+        let engine = Engine::new(&dec).unwrap();
+        let batch = ScenarioBatch::sweep(engine.solver(), 3, 7, 0.0).unwrap();
+        let pre = engine.solver().precomputed();
+        for k in 0..3 {
+            assert_eq!(batch.bbar(k), pre.bbar.as_slice());
+            assert_eq!(batch.lower(k), dec.lower.as_slice());
+            assert_eq!(batch.upper(k), dec.upper.as_slice());
+        }
+        // And a zero-spread scenario solve is bit-identical to the plain
+        // engine solve.
+        let req = SolveRequest::new(capped(Backend::Serial));
+        let plain = engine.solve(&req).unwrap();
+        let scen = engine.solve_scenario(&batch, 1, &req).unwrap();
+        assert_eq!(plain.x, scen.x);
+        assert_eq!(plain.z, scen.z);
+        assert_eq!(plain.lambda, scen.lambda);
+        assert_eq!(plain.iterations, scen.iterations);
+    }
+
+    #[test]
+    fn sweep_is_seed_deterministic_and_actually_perturbs() {
+        let (dec, _) = engine_for("ieee13");
+        let engine = Engine::new(&dec).unwrap();
+        let a = ScenarioBatch::sweep(engine.solver(), 4, 42, 0.1).unwrap();
+        let b = ScenarioBatch::sweep(engine.solver(), 4, 42, 0.1).unwrap();
+        let c = ScenarioBatch::sweep(engine.solver(), 4, 43, 0.1).unwrap();
+        for k in 0..4 {
+            assert_eq!(a.bbar(k), b.bbar(k));
+            assert_eq!(a.lower(k), b.lower(k));
+        }
+        assert_ne!(a.bbar(0), c.bbar(0), "different seeds must differ");
+        assert_ne!(a.bbar(0), a.bbar(1), "scenarios must differ");
+        // Bounds stay ordered under perturbation.
+        for k in 0..4 {
+            for (lo, hi) in a.lower(k).iter().zip(a.upper(k)) {
+                assert!(lo <= hi);
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_rejects_degenerate_parameters() {
+        let (dec, _) = engine_for("ieee13");
+        let engine = Engine::new(&dec).unwrap();
+        assert!(matches!(
+            ScenarioBatch::sweep(engine.solver(), 0, 1, 0.1),
+            Err(SolveError::InvalidBatch(_))
+        ));
+        assert!(matches!(
+            ScenarioBatch::sweep(engine.solver(), 2, 1, 1.5),
+            Err(SolveError::InvalidBatch(_))
+        ));
+    }
+
+    #[test]
+    fn serial_batch_matches_sequential_scenario_solves() {
+        let (dec, _) = engine_for("ieee13");
+        let engine = Engine::new(&dec).unwrap();
+        let batch = ScenarioBatch::sweep(engine.solver(), 4, 11, 0.05).unwrap();
+        let opts = capped(Backend::Serial);
+        let out = engine
+            .solve_batch(&BatchRequest::new(batch.clone(), opts.clone()))
+            .unwrap();
+        assert_eq!(out.backend, "serial");
+        assert_eq!(out.scenarios.len(), 4);
+        for k in 0..4 {
+            let seq = engine
+                .solve_scenario(&batch, k, &SolveRequest::new(opts.clone()))
+                .unwrap();
+            let b = &out.scenarios[k];
+            assert_eq!(b.x, seq.x, "scenario {k}: x diverged");
+            assert_eq!(b.z, seq.z, "scenario {k}: z diverged");
+            assert_eq!(b.lambda, seq.lambda, "scenario {k}: λ diverged");
+            assert_eq!(b.iterations, seq.iterations);
+            assert_eq!(b.converged, seq.converged);
+            assert_eq!(b.objective, seq.objective);
+        }
+        assert_eq!(out.precompute_builds, 1, "arena must be built exactly once");
+        assert!(out.scenarios_per_sec > 0.0);
+    }
+
+    #[test]
+    fn chained_batch_matches_manual_warm_start_chain() {
+        let (dec, _) = engine_for("ieee13");
+        let engine = Engine::new(&dec).unwrap();
+        let batch = ScenarioBatch::sweep(engine.solver(), 3, 5, 0.02).unwrap();
+        let opts = capped(Backend::Serial);
+        let out = engine
+            .solve_batch(&BatchRequest::new(batch.clone(), opts.clone()).with_chaining(true))
+            .unwrap();
+        let mut warm: Option<(Vec<f64>, Vec<f64>, Vec<f64>)> = None;
+        for k in 0..3 {
+            let mut req = SolveRequest::new(opts.clone());
+            if let Some(state) = warm.take() {
+                req = req.with_warm_start(state);
+            }
+            let seq = engine.solve_scenario(&batch, k, &req).unwrap();
+            let b = &out.scenarios[k];
+            assert_eq!(b.x, seq.x, "scenario {k}: chained x diverged");
+            assert_eq!(b.iterations, seq.iterations);
+            warm = Some((seq.x, seq.z, seq.lambda));
+        }
+    }
+
+    #[test]
+    fn batch_rejects_corrupt_options_and_foreign_batches() {
+        let (dec, _) = engine_for("ieee13");
+        let engine = Engine::new(&dec).unwrap();
+        let batch = ScenarioBatch::sweep(engine.solver(), 2, 1, 0.0).unwrap();
+        let bad = AdmmOptions {
+            check_every: 0,
+            ..AdmmOptions::default()
+        };
+        assert!(matches!(
+            engine.solve_batch(&BatchRequest::new(batch.clone(), bad)),
+            Err(SolveError::InvalidOptions(_))
+        ));
+        // A batch built for a different feeder is rejected, not misread.
+        let (other, _) = engine_for("ieee123");
+        let other_engine = Engine::new(&other).unwrap();
+        assert!(matches!(
+            other_engine.solve_batch(&BatchRequest::new(batch.clone(), AdmmOptions::default())),
+            Err(SolveError::InvalidBatch(_))
+        ));
+        assert!(matches!(
+            engine.solve_scenario(&batch, 9, &SolveRequest::default()),
+            Err(SolveError::InvalidBatch(_))
+        ));
+    }
+}

@@ -220,9 +220,18 @@ impl<'a> BenchmarkAdmm<'a> {
             timings.dual_s += dt;
             obs.on_phase(Phase::Dual, dt);
 
-            if t % opts.check_every == 0 || t == opts.max_iters {
+            if t % opts.check_every.max(1) == 0 || t == opts.max_iters {
                 let t0 = Instant::now();
-                res = Residuals::compute(&self.pre, opts.eps_rel, rho, &x, &z, &z_prev, &lambda);
+                res = Residuals::compute(
+                    &self.pre,
+                    opts.eps_rel,
+                    opts.eps_abs,
+                    rho,
+                    &x,
+                    &z,
+                    &z_prev,
+                    &lambda,
+                );
                 let dt = t0.elapsed().as_secs_f64();
                 timings.residual_s += dt;
                 obs.on_phase(Phase::Residual, dt);

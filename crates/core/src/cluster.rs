@@ -239,6 +239,7 @@ impl SolverFreeAdmm<'_> {
                     // time is the slowest device.
                     let lk = LocalKernel {
                         pre,
+                        bbar: &pre.bbar,
                         x: &x,
                         lambda: &lambda,
                         rho,
@@ -288,7 +289,16 @@ impl SolverFreeAdmm<'_> {
             }
         }
 
-        let res = Residuals::compute(pre, opts.eps_rel, rho, &x, &z, &z_prev, &lambda);
+        let res = Residuals::compute(
+            pre,
+            opts.eps_rel,
+            opts.eps_abs,
+            rho,
+            &x,
+            &z,
+            &z_prev,
+            &lambda,
+        );
         bd.global_s = median(&mut global_ts);
         bd.local_compute_s = median(&mut local_ts);
         bd.dual_s = median(&mut dual_ts);
@@ -410,7 +420,16 @@ impl BenchmarkAdmm<'_> {
             }
         }
 
-        let res = Residuals::compute(pre, opts.eps_rel, rho, &x, &z, &z_prev, &lambda);
+        let res = Residuals::compute(
+            pre,
+            opts.eps_rel,
+            opts.eps_abs,
+            rho,
+            &x,
+            &z,
+            &z_prev,
+            &lambda,
+        );
         bd.global_s = median(&mut global_ts);
         bd.local_compute_s = median(&mut local_ts);
         bd.dual_s = median(&mut dual_ts);

@@ -578,7 +578,7 @@ impl SolverFreeAdmm<'_> {
                 // iteration always checks). Every rank derives `check`
                 // from the shared options, so the schedule needs no
                 // coordination traffic.
-                let check = t % opts.check_every == 0 || t == opts.max_iters;
+                let check = t % opts.check_every.max(1) == 0 || t == opts.max_iters;
 
                 // --- Agents: local + dual updates on their slice. ---
                 if me == 0 && check {
@@ -717,8 +717,16 @@ impl SolverFreeAdmm<'_> {
 
                     if check {
                         let t0 = Instant::now();
-                        final_res =
-                            Residuals::compute(pre, opts.eps_rel, rho, &x, &z, &z_prev, &lambda);
+                        final_res = Residuals::compute(
+                            pre,
+                            opts.eps_rel,
+                            opts.eps_abs,
+                            rho,
+                            &x,
+                            &z,
+                            &z_prev,
+                            &lambda,
+                        );
                         let mut stop = final_res.converged();
                         if active && stop {
                             // λ-drift guard (see `nonideal`): stale duals

@@ -19,6 +19,64 @@ use opf_linalg::LinalgError;
 use opf_model::DecomposedProblem;
 use opf_telemetry::{IterationObserver, NoopObserver, Phase, TelemetryRecorder, TelemetryReport};
 
+/// A structured facade failure: the request was rejected *before* any
+/// iteration ran, so no partial outcome exists.
+///
+/// The raw solver entry points (`SolverFreeAdmm::solve*`) keep their
+/// panicking contracts for programmer errors; the engine is the boundary
+/// where untrusted requests (CLI flags, batch sweeps, service callers)
+/// arrive, so it validates and returns errors instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SolveError {
+    /// The [`AdmmOptions`] fail [`AdmmOptions::validate`] (zero
+    /// `check_every`, non-positive ρ, negative tolerances, …).
+    InvalidOptions(String),
+    /// A warm start was supplied to a mode that cannot honour it; before
+    /// this error existed the benchmark/cluster paths silently (or
+    /// fatally) cold-started instead.
+    WarmStartUnsupported {
+        /// The rejecting backend's name.
+        mode: &'static str,
+    },
+    /// A warm-start vector has the wrong dimension for this problem.
+    WarmStartDimension {
+        /// Which vector (`"x"`, `"z"`, or `"lambda"`).
+        field: &'static str,
+        /// The dimension the problem requires.
+        expected: usize,
+        /// The dimension supplied.
+        got: usize,
+    },
+    /// A scenario-batch request is malformed (empty batch, index out of
+    /// range, unsupported mode).
+    InvalidBatch(String),
+}
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolveError::InvalidOptions(msg) => write!(f, "invalid options: {msg}"),
+            SolveError::WarmStartUnsupported { mode } => write!(
+                f,
+                "the {mode} mode always starts from the paper's initial point \
+                 and cannot honour a warm start"
+            ),
+            SolveError::WarmStartDimension {
+                field,
+                expected,
+                got,
+            } => write!(
+                f,
+                "warm start: {field} has dimension {got}, expected {expected}"
+            ),
+            SolveError::InvalidBatch(msg) => write!(f, "invalid batch request: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
 /// Which solve path a request runs on.
 #[derive(Debug, Clone)]
 #[non_exhaustive]
@@ -55,9 +113,9 @@ pub struct SolveRequest {
     /// Which solve path to run.
     pub mode: ExecutionMode,
     /// Optional warm start `(x, z, λ)`. Supported by the single-process
-    /// and distributed modes; the benchmark and cluster modes panic if
-    /// one is supplied (they always start from the paper's initial
-    /// point).
+    /// and distributed modes; the benchmark and cluster modes reject one
+    /// with [`SolveError::WarmStartUnsupported`] (they always start from
+    /// the paper's initial point).
     pub warm_start: Option<(Vec<f64>, Vec<f64>, Vec<f64>)>,
 }
 
@@ -130,7 +188,7 @@ pub struct SolveOutcome {
 }
 
 impl SolveOutcome {
-    fn from_result(backend: &'static str, r: SolveResult) -> Self {
+    pub(crate) fn from_result(backend: &'static str, r: SolveResult) -> Self {
         SolveOutcome {
             backend,
             x: r.x,
@@ -149,7 +207,7 @@ impl SolveOutcome {
     }
 }
 
-fn backend_label(b: &Backend) -> &'static str {
+pub(crate) fn backend_label(b: &Backend) -> &'static str {
     match b {
         Backend::Serial => "serial",
         Backend::Rayon { .. } => "rayon",
@@ -171,7 +229,7 @@ pub trait AdmmBackend {
         engine: &Engine<'_>,
         req: &SolveRequest,
         obs: &mut O,
-    ) -> SolveOutcome;
+    ) -> Result<SolveOutcome, SolveError>;
 }
 
 /// The solver-free single-process path (serial / rayon / gpu-sim).
@@ -187,7 +245,7 @@ impl AdmmBackend for SingleProcessBackend {
         engine: &Engine<'_>,
         req: &SolveRequest,
         obs: &mut O,
-    ) -> SolveOutcome {
+    ) -> Result<SolveOutcome, SolveError> {
         let label = backend_label(&req.options.backend);
         let result = match &req.warm_start {
             Some(state) => engine
@@ -195,7 +253,7 @@ impl AdmmBackend for SingleProcessBackend {
                 .solve_from_observed(&req.options, state.clone(), obs),
             None => engine.solver.solve_observed(&req.options, obs),
         };
-        SolveOutcome::from_result(label, result)
+        Ok(SolveOutcome::from_result(label, result))
     }
 }
 
@@ -212,11 +270,12 @@ impl AdmmBackend for BenchmarkQpBackend {
         engine: &Engine<'_>,
         req: &SolveRequest,
         obs: &mut O,
-    ) -> SolveOutcome {
-        assert!(
-            req.warm_start.is_none(),
-            "the benchmark backend always starts from the paper's initial point"
-        );
+    ) -> Result<SolveOutcome, SolveError> {
+        if req.warm_start.is_some() {
+            return Err(SolveError::WarmStartUnsupported {
+                mode: "benchmark-qp",
+            });
+        }
         // Precomputation already succeeded for this problem when the
         // engine was built, so rebuilding it for the benchmark front end
         // cannot fail.
@@ -225,7 +284,7 @@ impl AdmmBackend for BenchmarkQpBackend {
         let (result, stats) = bench.solve_observed(&req.options, obs);
         let mut out = SolveOutcome::from_result("benchmark-qp", result);
         out.qp = Some(stats);
-        out
+        Ok(out)
     }
 }
 
@@ -242,7 +301,7 @@ impl AdmmBackend for ClusterBackend {
         engine: &Engine<'_>,
         req: &SolveRequest,
         obs: &mut O,
-    ) -> SolveOutcome {
+    ) -> Result<SolveOutcome, SolveError> {
         let ExecutionMode::Cluster {
             spec,
             measure_iters,
@@ -250,10 +309,9 @@ impl AdmmBackend for ClusterBackend {
         else {
             panic!("ClusterBackend requires ExecutionMode::Cluster");
         };
-        assert!(
-            req.warm_start.is_none(),
-            "the cluster simulator always starts from the paper's initial point"
-        );
+        if req.warm_start.is_some() {
+            return Err(SolveError::WarmStartUnsupported { mode: "cluster" });
+        }
         let (bd, res) = engine
             .solver
             .measure_cluster(&req.options, spec, *measure_iters);
@@ -265,7 +323,7 @@ impl AdmmBackend for ClusterBackend {
         obs.on_phase(Phase::Dual, bd.dual_s * n);
         obs.on_counter("cluster.comm_ns", (bd.comm_s * n * 1e9) as u64);
         obs.on_counter("cluster.ranks", spec.n_ranks as u64);
-        SolveOutcome {
+        Ok(SolveOutcome {
             backend: "cluster",
             x: Vec::new(),
             z: Vec::new(),
@@ -286,7 +344,7 @@ impl AdmmBackend for ClusterBackend {
             qp: None,
             cluster: Some(bd),
             degradation: None,
-        }
+        })
     }
 }
 
@@ -303,7 +361,7 @@ impl AdmmBackend for DistributedBackend {
         engine: &Engine<'_>,
         req: &SolveRequest,
         obs: &mut O,
-    ) -> SolveOutcome {
+    ) -> Result<SolveOutcome, SolveError> {
         let ExecutionMode::Distributed { options } = &req.mode else {
             panic!("DistributedBackend requires ExecutionMode::Distributed");
         };
@@ -342,7 +400,7 @@ impl AdmmBackend for DistributedBackend {
                 result.degradation.checkpoints_written,
             );
         }
-        SolveOutcome {
+        Ok(SolveOutcome {
             backend: "distributed",
             x: result.x,
             z: Vec::new(),
@@ -356,7 +414,7 @@ impl AdmmBackend for DistributedBackend {
             qp: None,
             cluster: None,
             degradation: Some(result.degradation),
-        }
+        })
     }
 }
 
@@ -390,8 +448,32 @@ impl<'a> Engine<'a> {
         self.solver.problem()
     }
 
+    /// Validate the parts of a request every backend shares: options and
+    /// (when present) warm-start dimensions.
+    pub(crate) fn validate_request(&self, req: &SolveRequest) -> Result<(), SolveError> {
+        req.options.validate().map_err(SolveError::InvalidOptions)?;
+        if let Some((x, z, lambda)) = &req.warm_start {
+            let n = self.problem().n;
+            let total = self.solver.precomputed().total_dim();
+            for (field, got, expected) in [
+                ("x", x.len(), n),
+                ("z", z.len(), total),
+                ("lambda", lambda.len(), total),
+            ] {
+                if got != expected {
+                    return Err(SolveError::WarmStartDimension {
+                        field,
+                        expected,
+                        got,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Run a request with no observer attached.
-    pub fn solve(&self, req: &SolveRequest) -> SolveOutcome {
+    pub fn solve(&self, req: &SolveRequest) -> Result<SolveOutcome, SolveError> {
         self.solve_observed(req, &mut NoopObserver)
     }
 
@@ -400,7 +482,8 @@ impl<'a> Engine<'a> {
         &self,
         req: &SolveRequest,
         obs: &mut O,
-    ) -> SolveOutcome {
+    ) -> Result<SolveOutcome, SolveError> {
+        self.validate_request(req)?;
         match &req.mode {
             ExecutionMode::SingleProcess => SingleProcessBackend.run(self, req, obs),
             ExecutionMode::BenchmarkQp => BenchmarkQpBackend.run(self, req, obs),
@@ -417,14 +500,14 @@ impl<'a> Engine<'a> {
         &self,
         req: &SolveRequest,
         instance: Option<&str>,
-    ) -> (SolveOutcome, TelemetryReport) {
+    ) -> Result<(SolveOutcome, TelemetryReport), SolveError> {
         let mut rec = TelemetryRecorder::new();
         if let Some(name) = instance {
             rec.set_instance(name);
         }
-        let outcome = self.solve_observed(req, &mut rec);
+        let outcome = self.solve_observed(req, &mut rec)?;
         rec.set_backend(outcome.backend);
-        (outcome, rec.report())
+        Ok((outcome, rec.report()))
     }
 }
 
@@ -449,7 +532,7 @@ mod tests {
         let engine = Engine::new(&dec).unwrap();
         let opts = AdmmOptions::default();
         let direct = engine.solver().solve(&opts);
-        let out = engine.solve(&SolveRequest::new(opts));
+        let out = engine.solve(&SolveRequest::new(opts)).unwrap();
         assert_eq!(out.backend, "serial");
         assert_eq!(out.iterations, direct.iterations);
         assert_eq!(out.x, direct.x);
@@ -462,24 +545,28 @@ mod tests {
     fn engine_backend_labels_follow_options() {
         let dec = dec_for("ieee13");
         let engine = Engine::new(&dec).unwrap();
-        let rayon = engine.solve(&SolveRequest::new(
-            AdmmOptions::builder()
-                .backend(Backend::Rayon { threads: 2 })
-                .max_iters(50)
-                .eps_rel(0.0)
-                .build(),
-        ));
+        let rayon = engine
+            .solve(&SolveRequest::new(
+                AdmmOptions::builder()
+                    .backend(Backend::Rayon { threads: 2 })
+                    .max_iters(50)
+                    .eps_rel(0.0)
+                    .build(),
+            ))
+            .unwrap();
         assert_eq!(rayon.backend, "rayon");
-        let gpu = engine.solve(&SolveRequest::new(
-            AdmmOptions::builder()
-                .backend(Backend::Gpu {
-                    props: gpu_sim::DeviceProps::a100(),
-                    threads_per_block: 32,
-                })
-                .max_iters(50)
-                .eps_rel(0.0)
-                .build(),
-        ));
+        let gpu = engine
+            .solve(&SolveRequest::new(
+                AdmmOptions::builder()
+                    .backend(Backend::Gpu {
+                        props: gpu_sim::DeviceProps::a100(),
+                        threads_per_block: 32,
+                    })
+                    .max_iters(50)
+                    .eps_rel(0.0)
+                    .build(),
+            ))
+            .unwrap();
         assert_eq!(gpu.backend, "gpu-sim");
         assert!(gpu.timings.simulated);
     }
@@ -490,7 +577,7 @@ mod tests {
         let engine = Engine::new(&dec).unwrap();
         let req = SolveRequest::new(AdmmOptions::builder().max_iters(20).eps_rel(0.0).build())
             .with_mode(ExecutionMode::BenchmarkQp);
-        let out = engine.solve(&req);
+        let out = engine.solve(&req).unwrap();
         assert_eq!(out.backend, "benchmark-qp");
         let qp = out.qp.expect("benchmark mode carries QP stats");
         assert!(qp.solves > 0);
@@ -509,7 +596,7 @@ mod tests {
             measure_iters: 5,
         });
         let mut rec = TelemetryRecorder::new();
-        let out = engine.solve_observed(&req, &mut rec);
+        let out = engine.solve_observed(&req, &mut rec).unwrap();
         assert_eq!(out.backend, "cluster");
         let bd = out.cluster.expect("cluster mode carries the breakdown");
         assert_eq!(bd.iterations, 5);
@@ -524,12 +611,12 @@ mod tests {
         let dec = dec_for("ieee13");
         let engine = Engine::new(&dec).unwrap();
         let opts = AdmmOptions::builder().max_iters(40_000).build();
-        let serial = engine.solve(&SolveRequest::new(opts.clone()));
+        let serial = engine.solve(&SolveRequest::new(opts.clone())).unwrap();
         let req = SolveRequest::new(opts).with_mode(ExecutionMode::Distributed {
             options: DistributedOptions::ranks(2),
         });
         let mut rec = TelemetryRecorder::new();
-        let out = engine.solve_observed(&req, &mut rec);
+        let out = engine.solve_observed(&req, &mut rec).unwrap();
         assert_eq!(out.backend, "distributed");
         assert_eq!(out.iterations, serial.iterations);
         assert_eq!(out.x, serial.x);
@@ -543,16 +630,78 @@ mod tests {
     fn engine_warm_start_round_trip() {
         let dec = dec_for("ieee13");
         let engine = Engine::new(&dec).unwrap();
-        let coarse = engine.solve(&SolveRequest::new(
-            AdmmOptions::builder().eps_rel(1e-2).build(),
-        ));
-        let warm = engine.solve(&SolveRequest::new(AdmmOptions::default()).with_warm_start((
-            coarse.x.clone(),
-            coarse.z.clone(),
-            coarse.lambda.clone(),
-        )));
-        let cold = engine.solve(&SolveRequest::new(AdmmOptions::default()));
+        let coarse = engine
+            .solve(&SolveRequest::new(
+                AdmmOptions::builder().eps_rel(1e-2).build(),
+            ))
+            .unwrap();
+        let warm = engine
+            .solve(&SolveRequest::new(AdmmOptions::default()).with_warm_start((
+                coarse.x.clone(),
+                coarse.z.clone(),
+                coarse.lambda.clone(),
+            )))
+            .unwrap();
+        let cold = engine
+            .solve(&SolveRequest::new(AdmmOptions::default()))
+            .unwrap();
         assert!(warm.converged && cold.converged);
         assert!(warm.iterations < cold.iterations);
+    }
+
+    #[test]
+    fn engine_rejects_warm_start_on_benchmark_and_cluster_modes() {
+        // Regression: these modes used to assert (a panic) or, earlier
+        // still, silently cold-start when handed a warm start.
+        let dec = dec_for("ieee13");
+        let engine = Engine::new(&dec).unwrap();
+        let seed = engine.solve(&SolveRequest::default()).unwrap();
+        let state = (seed.x.clone(), seed.z.clone(), seed.lambda.clone());
+        let bench = SolveRequest::new(AdmmOptions::builder().max_iters(10).build())
+            .with_mode(ExecutionMode::BenchmarkQp)
+            .with_warm_start(state.clone());
+        assert_eq!(
+            engine.solve(&bench).unwrap_err(),
+            SolveError::WarmStartUnsupported {
+                mode: "benchmark-qp"
+            }
+        );
+        let cluster = SolveRequest::new(AdmmOptions::default())
+            .with_mode(ExecutionMode::Cluster {
+                spec: ClusterSpec {
+                    n_ranks: 2,
+                    comm: CommModel::cpu_cluster(),
+                    kind: RankKind::Cpu,
+                },
+                measure_iters: 3,
+            })
+            .with_warm_start(state);
+        assert_eq!(
+            engine.solve(&cluster).unwrap_err(),
+            SolveError::WarmStartUnsupported { mode: "cluster" }
+        );
+    }
+
+    #[test]
+    fn engine_rejects_corrupt_options_and_warm_start_dims() {
+        let dec = dec_for("ieee13");
+        let engine = Engine::new(&dec).unwrap();
+        // Regression: check_every = 0 used to reach `t % 0` and panic.
+        let bad = AdmmOptions {
+            check_every: 0,
+            ..AdmmOptions::default()
+        };
+        assert!(matches!(
+            engine.solve(&SolveRequest::new(bad)).unwrap_err(),
+            SolveError::InvalidOptions(_)
+        ));
+        let short = SolveRequest::default().with_warm_start((vec![0.0; 3], vec![], vec![]));
+        assert!(matches!(
+            engine.solve(&short).unwrap_err(),
+            SolveError::WarmStartDimension { field: "x", .. }
+        ));
+        // The error is printable (used verbatim by the CLI).
+        let msg = engine.solve(&short).unwrap_err().to_string();
+        assert!(msg.contains("warm start"), "{msg}");
     }
 }

@@ -80,10 +80,50 @@ impl BlockKernel for GlobalKernel<'_> {
     }
 }
 
+/// Cost of one local-update block: each entry is a length-n dot product
+/// with a gather and an FMA per term. The Ā row (8n bytes/item) streams
+/// from HBM only when `streams_slab` — structurally deduplicated
+/// components (and, in batched launches, every scenario past the first)
+/// re-read the same interned slab, which stays L2-resident within the
+/// launch.
+fn local_block_cost(n: usize, streams_slab: bool) -> BlockCost {
+    let matrix = 8.0 * n as f64;
+    let vectors = 8.0 * 2.0;
+    BlockCost {
+        items: n,
+        flops_per_item: 4.0 * n as f64,
+        bytes_per_item: if streams_slab {
+            matrix + vectors
+        } else {
+            vectors
+        },
+        cached_bytes_per_item: if streams_slab { 0.0 } else { matrix },
+    }
+}
+
+/// Same owner/sharer split as [`local_block_cost`], plus the fused dual
+/// update's 40 bytes/item of vector traffic.
+fn fused_block_cost(n: usize, streams_slab: bool) -> BlockCost {
+    let matrix = 8.0 * n as f64;
+    let vectors = 8.0 * 2.0 + 40.0;
+    BlockCost {
+        items: n,
+        flops_per_item: 4.0 * n as f64 + 3.0,
+        bytes_per_item: if streams_slab {
+            matrix + vectors
+        } else {
+            vectors
+        },
+        cached_bytes_per_item: if streams_slab { 0.0 } else { matrix },
+    }
+}
+
 /// Solver-free local update (15): one block per component.
 pub struct LocalKernel<'a> {
-    /// Precomputed `Ā_s`, `b̄_s`, layout.
+    /// Precomputed `Ā_s`, layout.
     pub pre: &'a Precomputed,
+    /// Stacked `b̄` (the arena's own, or a scenario's perturbed copy).
+    pub bbar: &'a [f64],
     /// Global iterate.
     pub x: &'a [f64],
     /// Stacked duals.
@@ -106,33 +146,19 @@ impl BlockKernel for LocalKernel<'_> {
 
     fn run_block(&self, s: usize, _threads: usize, out: &mut [f64]) {
         let r = self.pre.range(s);
-        updates::local_update_component(s, self.pre, self.rho, self.x, &self.lambda[r], out);
+        updates::local_update_component_bbar(
+            s,
+            self.pre,
+            &self.bbar[r.clone()],
+            self.rho,
+            self.x,
+            &self.lambda[r],
+            out,
+        );
     }
 
     fn block_cost(&self, s: usize) -> BlockCost {
-        let n = self.out_len(s);
-        // Each entry is a length-n dot product with a gather and an FMA
-        // per term. The Ā row (8n bytes/item) streams from HBM only for
-        // the slab's owner block; structurally deduplicated components
-        // re-read the same interned slab, which stays L2-resident within
-        // the launch.
-        let matrix = 8.0 * n as f64;
-        let vectors = 8.0 * 2.0;
-        if self.pre.is_slab_owner(s) {
-            BlockCost {
-                items: n,
-                flops_per_item: 4.0 * n as f64,
-                bytes_per_item: matrix + vectors,
-                cached_bytes_per_item: 0.0,
-            }
-        } else {
-            BlockCost {
-                items: n,
-                flops_per_item: 4.0 * n as f64,
-                bytes_per_item: vectors,
-                cached_bytes_per_item: matrix,
-            }
-        }
+        local_block_cost(self.out_len(s), self.pre.is_slab_owner(s))
     }
 }
 
@@ -186,8 +212,10 @@ impl BlockKernel for DualKernel<'_> {
 /// kernel-launch overhead per iteration (significant for small grids,
 /// where launch latency dominates — see the `fusion` ablation bench).
 pub struct FusedLocalDualKernel<'a> {
-    /// Precomputed `Ā_s`, `b̄_s`, layout.
+    /// Precomputed `Ā_s`, layout.
     pub pre: &'a Precomputed,
+    /// Stacked `b̄` (the arena's own, or a scenario's perturbed copy).
+    pub bbar: &'a [f64],
     /// Global iterate.
     pub x: &'a [f64],
     /// Penalty ρ.
@@ -209,8 +237,16 @@ impl PairBlockKernel for FusedLocalDualKernel<'_> {
     fn run_block(&self, s: usize, _threads: usize, z_out: &mut [f64], lambda: &mut [f64]) {
         // `lambda` holds λ^{(t)} on entry (read by the local update) and
         // λ^{(t+1)} on exit — exactly the in-place dual ascent.
-        updates::local_update_component(s, self.pre, self.rho, self.x, lambda, z_out);
         let r = self.pre.range(s);
+        updates::local_update_component_bbar(
+            s,
+            self.pre,
+            &self.bbar[r.clone()],
+            self.rho,
+            self.x,
+            lambda,
+            z_out,
+        );
         updates::dual_update_component(
             &self.pre.stacked_to_global[r],
             self.rho,
@@ -221,26 +257,7 @@ impl PairBlockKernel for FusedLocalDualKernel<'_> {
     }
 
     fn block_cost(&self, s: usize) -> BlockCost {
-        let n = self.out_len(s);
-        // Same owner/sharer split as `LocalKernel`, plus the fused dual
-        // update's 40 bytes/item of vector traffic.
-        let matrix = 8.0 * n as f64;
-        let vectors = 8.0 * 2.0 + 40.0;
-        if self.pre.is_slab_owner(s) {
-            BlockCost {
-                items: n,
-                flops_per_item: 4.0 * n as f64 + 3.0,
-                bytes_per_item: matrix + vectors,
-                cached_bytes_per_item: 0.0,
-            }
-        } else {
-            BlockCost {
-                items: n,
-                flops_per_item: 4.0 * n as f64 + 3.0,
-                bytes_per_item: vectors,
-                cached_bytes_per_item: matrix,
-            }
-        }
+        fused_block_cost(self.out_len(s), self.pre.is_slab_owner(s))
     }
 }
 
@@ -292,5 +309,140 @@ impl BlockKernel for ResidualKernel<'_> {
             bytes_per_item: 32.0,
             ..BlockCost::default()
         }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Batched (scenario × component) launch geometry.
+//
+// The scenario-batch path replaces N back-to-back launches with ONE
+// launch over a 2-D grid: block `b` of the batched kernel maps to
+// `(scenario a, inner block s) = (b / blocks_per, b % blocks_per)` —
+// scenario-major, so the device's back-to-back output split lines up
+// with the scenario-major scratch buffers the batch driver concatenates.
+// Each inner block runs the byte-for-byte single-scenario `run_block`,
+// so batched iterates are bit-identical to sequential solves; only the
+// cost model changes: all scenarios share one interned Ā arena, so a
+// slab streams from HBM at most once per *launch* (the first scenario's
+// owner block) instead of once per scenario.
+// ---------------------------------------------------------------------
+
+macro_rules! batched_block_kernel {
+    ($name:ident, $inner:ident, $label:literal, $cost:expr) => {
+        /// One batched launch over the 2-D (scenario × component) grid;
+        /// see the module note on batched launch geometry.
+        pub struct $name<'a> {
+            /// Per-scenario kernels, one per active scenario, all sharing
+            /// one `Precomputed` arena (and hence one block geometry).
+            pub per: Vec<$inner<'a>>,
+        }
+
+        impl $name<'_> {
+            fn blocks_per(&self) -> usize {
+                self.per[0].blocks()
+            }
+
+            /// `(scenario index in the batch, inner block)` for block `b`.
+            pub fn split(&self, b: usize) -> (usize, usize) {
+                (b / self.blocks_per(), b % self.blocks_per())
+            }
+        }
+
+        impl BlockKernel for $name<'_> {
+            fn name(&self) -> &'static str {
+                $label
+            }
+            fn blocks(&self) -> usize {
+                self.per.len() * self.blocks_per()
+            }
+
+            fn out_len(&self, b: usize) -> usize {
+                let (a, s) = self.split(b);
+                self.per[a].out_len(s)
+            }
+
+            fn run_block(&self, b: usize, threads: usize, out: &mut [f64]) {
+                let (a, s) = self.split(b);
+                self.per[a].run_block(s, threads, out);
+            }
+
+            fn block_cost(&self, b: usize) -> BlockCost {
+                let (a, s) = self.split(b);
+                #[allow(clippy::redundant_closure_call)]
+                ($cost)(&self.per[a], a, s)
+            }
+        }
+    };
+}
+
+batched_block_kernel!(
+    BatchGlobalKernel,
+    GlobalKernel,
+    "batch_global",
+    |k: &GlobalKernel<'_>, _a: usize, s: usize| k.block_cost(s)
+);
+batched_block_kernel!(
+    BatchLocalKernel,
+    LocalKernel,
+    "batch_local",
+    |k: &LocalKernel<'_>, a: usize, s: usize| local_block_cost(
+        k.out_len(s),
+        a == 0 && k.pre.is_slab_owner(s)
+    )
+);
+batched_block_kernel!(
+    BatchDualKernel,
+    DualKernel,
+    "batch_dual",
+    |k: &DualKernel<'_>, _a: usize, s: usize| k.block_cost(s)
+);
+batched_block_kernel!(
+    BatchResidualKernel,
+    ResidualKernel,
+    "batch_residual",
+    |k: &ResidualKernel<'_>, _a: usize, s: usize| k.block_cost(s)
+);
+
+/// Batched fused local+dual launch — the [`PairBlockKernel`] analogue of
+/// the batched launch geometry above, with the same one-stream-per-launch
+/// slab credit as [`BatchLocalKernel`].
+pub struct BatchFusedLocalDualKernel<'a> {
+    /// Per-scenario fused kernels, one per active scenario.
+    pub per: Vec<FusedLocalDualKernel<'a>>,
+}
+
+impl BatchFusedLocalDualKernel<'_> {
+    fn blocks_per(&self) -> usize {
+        self.per[0].blocks()
+    }
+
+    /// `(scenario index in the batch, inner block)` for block `b`.
+    pub fn split(&self, b: usize) -> (usize, usize) {
+        (b / self.blocks_per(), b % self.blocks_per())
+    }
+}
+
+impl PairBlockKernel for BatchFusedLocalDualKernel<'_> {
+    fn name(&self) -> &'static str {
+        "batch_fused_local_dual"
+    }
+    fn blocks(&self) -> usize {
+        self.per.len() * self.blocks_per()
+    }
+
+    fn out_len(&self, b: usize) -> usize {
+        let (a, s) = self.split(b);
+        self.per[a].out_len(s)
+    }
+
+    fn run_block(&self, b: usize, threads: usize, z_out: &mut [f64], lambda: &mut [f64]) {
+        let (a, s) = self.split(b);
+        self.per[a].run_block(s, threads, z_out, lambda);
+    }
+
+    fn block_cost(&self, b: usize) -> BlockCost {
+        let (a, s) = self.split(b);
+        let k = &self.per[a];
+        fused_block_cost(k.out_len(s), a == 0 && k.pre.is_slab_owner(s))
     }
 }

@@ -13,6 +13,7 @@
 //!   (single-process, benchmark-QP, cluster, distributed) with uniform
 //!   [`opf_telemetry`] observer attachment.
 
+pub mod batch;
 pub mod benchmark;
 pub mod cluster;
 pub mod diagnose;
@@ -25,6 +26,7 @@ pub mod solver;
 pub mod types;
 pub mod updates;
 
+pub use batch::{BatchOutcome, BatchRequest, ScenarioBatch};
 pub use benchmark::{BenchmarkAdmm, QpStats};
 pub use cluster::{partition_components, ClusterBreakdown, ClusterSpec, RankKind};
 pub use diagnose::{gap_report, worst_components, ComponentGap};
@@ -32,7 +34,7 @@ pub use distributed::{
     CheckpointSpec, DegradationReport, DistributedOptions, DistributedOptionsBuilder,
     DistributedResult, RankExit,
 };
-pub use engine::{AdmmBackend, Engine, ExecutionMode, SolveOutcome, SolveRequest};
+pub use engine::{AdmmBackend, Engine, ExecutionMode, SolveError, SolveOutcome, SolveRequest};
 pub use nonideal::NonIdealComm;
 pub use precompute::{Precomputed, ReferencePrecomputed};
 pub use solver::SolverFreeAdmm;
@@ -48,13 +50,16 @@ pub use updates::Residuals;
 /// use opf_admm::prelude::*;
 /// ```
 pub mod prelude {
+    pub use crate::batch::{BatchOutcome, BatchRequest, ScenarioBatch};
     pub use crate::benchmark::{BenchmarkAdmm, QpStats};
     pub use crate::cluster::{ClusterBreakdown, ClusterSpec, RankKind};
     pub use crate::distributed::{
         CheckpointSpec, DegradationReport, DistributedOptions, DistributedOptionsBuilder,
         DistributedResult,
     };
-    pub use crate::engine::{AdmmBackend, Engine, ExecutionMode, SolveOutcome, SolveRequest};
+    pub use crate::engine::{
+        AdmmBackend, Engine, ExecutionMode, SolveError, SolveOutcome, SolveRequest,
+    };
     pub use crate::solver::SolverFreeAdmm;
     pub use crate::types::{
         AdmmOptions, AdmmOptionsBuilder, Backend, ResidualBalancing, SolveResult, Timings,

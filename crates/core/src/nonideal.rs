@@ -159,8 +159,17 @@ impl SolverFreeAdmm<'_> {
                 }
             }
 
-            if t % opts.check_every == 0 {
-                res = Residuals::compute(pre, opts.eps_rel, rho, &x, &z, &z_prev, &lambda);
+            if t % opts.check_every.max(1) == 0 {
+                res = Residuals::compute(
+                    pre,
+                    opts.eps_rel,
+                    opts.eps_abs,
+                    rho,
+                    &x,
+                    &z,
+                    &z_prev,
+                    &lambda,
+                );
                 let lam_drift: f64 = lambda
                     .iter()
                     .zip(&lambda_prev)

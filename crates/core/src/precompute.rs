@@ -39,7 +39,21 @@
 use opf_linalg::{CholFactor, LinalgError, Mat};
 use opf_model::DecomposedProblem;
 use rayon::prelude::*;
+use std::cell::Cell;
 use std::collections::HashMap;
+
+thread_local! {
+    /// How many times [`Precomputed::build`] ran on this thread — the
+    /// observable the batch tests use to assert that a whole scenario
+    /// sweep amortizes exactly ONE arena build. Thread-local so parallel
+    /// test binaries don't contaminate each other's counts.
+    static BUILD_COUNT: Cell<u64> = const { Cell::new(0) };
+}
+
+/// The number of [`Precomputed::build`] invocations on the current thread.
+pub fn build_count() -> u64 {
+    BUILD_COUNT.with(|c| c.get())
+}
 
 /// Precomputed per-component data plus the stacked layout.
 #[derive(Debug, Clone)]
@@ -115,6 +129,7 @@ impl Precomputed {
     /// Fails with [`LinalgError::Singular`] only if some `A_s A_sᵀ` is not
     /// SPD — i.e. the decomposition skipped row reduction.
     pub fn build(dec: &DecomposedProblem) -> Result<Self, LinalgError> {
+        BUILD_COUNT.with(|c| c.set(c.get() + 1));
         let s_total = dec.s();
 
         // Interning pass: map each component to a slab class (classes

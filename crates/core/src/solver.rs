@@ -30,11 +30,17 @@ pub(crate) fn split_by_offsets<'a>(buf: &'a mut [f64], offsets: &[usize]) -> Vec
 pub(crate) enum Exec {
     Serial,
     Pool(rayon::ThreadPool),
+    /// Run rayon kernels on the *ambient* pool instead of owning one —
+    /// the scenario-batch path parallelizes across scenarios in an outer
+    /// pool and lets each inner solve work-steal across components.
+    /// Chunking never changes per-element results, so iterates stay
+    /// bit-identical to `Serial`/`Pool`.
+    Inherit,
     Gpu(Device, usize),
 }
 
 impl Exec {
-    fn from_backend(b: &Backend) -> Exec {
+    pub(crate) fn from_backend(b: &Backend) -> Exec {
         match b {
             Backend::Serial => Exec::Serial,
             Backend::Rayon { threads } => Exec::Pool(
@@ -55,14 +61,14 @@ impl Exec {
     }
 
     /// Turn on per-kernel profiling when the backend has a device.
-    fn enable_profiling(&mut self) {
+    pub(crate) fn enable_profiling(&mut self) {
         if let Exec::Gpu(dev, _) = self {
             dev.enable_profiling();
         }
     }
 
     /// Forward any collected kernel profiles to the observer.
-    fn report_kernels<O: IterationObserver>(&self, obs: &mut O) {
+    pub(crate) fn report_kernels<O: IterationObserver>(&self, obs: &mut O) {
         if let Exec::Gpu(dev, _) = self {
             if let Some(rows) = dev.profile() {
                 for (name, p) in rows {
@@ -79,6 +85,18 @@ impl Exec {
             }
         }
     }
+}
+
+/// The per-solve problem data that scenarios are allowed to perturb:
+/// the stacked `b̄` (injections enter only through `b_s`, and `b̄_s` is
+/// linear in it) and the global clip bounds of (13). Everything else —
+/// the `Ā` arena, the copy maps, the cost vector — is structural and
+/// shared across a whole scenario batch.
+#[derive(Clone, Copy)]
+pub(crate) struct ProblemView<'v> {
+    pub bbar: &'v [f64],
+    pub lower: &'v [f64],
+    pub upper: &'v [f64],
 }
 
 /// The solver-free ADMM of the paper: precomputed projections, clipped
@@ -163,6 +181,31 @@ impl<'a> SolverFreeAdmm<'a> {
         if obs.enabled() {
             exec.enable_profiling();
         }
+        let view = self.base_view();
+        self.solve_view_exec_observed(opts, &mut exec, view, state, obs)
+    }
+
+    /// The unperturbed problem data as a [`ProblemView`].
+    pub(crate) fn base_view(&self) -> ProblemView<'_> {
+        ProblemView {
+            bbar: &self.pre.bbar,
+            lower: &self.dec.lower,
+            upper: &self.dec.upper,
+        }
+    }
+
+    /// The full iteration loop over an explicit [`ProblemView`] and
+    /// [`Exec`] — the single code path behind both the plain solve and
+    /// the scenario-batch CPU paths, so perturbed scenarios run the
+    /// byte-for-byte identical loop.
+    pub(crate) fn solve_view_exec_observed<O: IterationObserver>(
+        &self,
+        opts: &AdmmOptions,
+        exec: &mut Exec,
+        view: ProblemView<'_>,
+        state: (Vec<f64>, Vec<f64>, Vec<f64>),
+        obs: &mut O,
+    ) -> SolveResult {
         let (mut x, mut z, mut lambda) = state;
         assert_eq!(x.len(), self.dec.n, "warm start: x dimension");
         assert_eq!(z.len(), self.pre.total_dim(), "warm start: z dimension");
@@ -182,10 +225,13 @@ impl<'a> SolverFreeAdmm<'a> {
         let mut converged = false;
         let mut iterations = 0;
 
+        // A stride of 0 is rejected by `AdmmOptions::validate` at the
+        // facade; guard here too so direct solver calls divide safely.
+        let stride = opts.check_every.max(1);
         for t in 1..=opts.max_iters {
             iterations = t;
             // --- Global update (13). ---
-            let dt = self.run_global(&mut exec, rho, true, &z, &lambda, &mut x);
+            let dt = self.run_global(exec, rho, true, view, &z, &lambda, &mut x);
             timings.global_s += dt;
             obs.on_phase(Phase::Global, dt);
             // --- Local (15) + dual (12) updates, optionally fused into
@@ -197,9 +243,10 @@ impl<'a> SolverFreeAdmm<'a> {
             std::mem::swap(&mut z, &mut z_prev);
             let mut fused = false;
             if opts.fuse_local_dual {
-                if let Exec::Gpu(dev, tpb) = &mut exec {
+                if let Exec::Gpu(dev, tpb) = &mut *exec {
                     let k = FusedLocalDualKernel {
                         pre: &self.pre,
+                        bbar: view.bbar,
                         x: &x,
                         rho,
                     };
@@ -210,16 +257,16 @@ impl<'a> SolverFreeAdmm<'a> {
                 }
             }
             if !fused {
-                let dt = self.run_local(&mut exec, rho, &x, &lambda, &mut z);
+                let dt = self.run_local(exec, rho, view.bbar, &x, &lambda, &mut z);
                 timings.local_s += dt;
                 obs.on_phase(Phase::Local, dt);
-                let dt = self.run_dual(&mut exec, rho, &x, &z, &mut lambda);
+                let dt = self.run_dual(exec, rho, &x, &z, &mut lambda);
                 timings.dual_s += dt;
                 obs.on_phase(Phase::Dual, dt);
             }
 
-            if t % opts.check_every == 0 || t == opts.max_iters {
-                res = match &mut exec {
+            if t % stride == 0 || t == opts.max_iters {
+                res = match &mut *exec {
                     Exec::Gpu(dev, tpb) => {
                         let k = ResidualKernel {
                             pre: &self.pre,
@@ -238,13 +285,20 @@ impl<'a> SolverFreeAdmm<'a> {
                                 *a += b;
                             }
                         }
-                        Residuals::from_sums(sums, opts.eps_rel, rho)
+                        Residuals::from_sums(
+                            sums,
+                            opts.eps_rel,
+                            opts.eps_abs,
+                            self.pre.total_dim(),
+                            rho,
+                        )
                     }
                     _ => {
                         let t0 = Instant::now();
                         let r = Residuals::compute(
                             &self.pre,
                             opts.eps_rel,
+                            opts.eps_abs,
                             rho,
                             &x,
                             &z,
@@ -281,6 +335,13 @@ impl<'a> SolverFreeAdmm<'a> {
                     converged = true;
                     break;
                 }
+                // A non-finite residual means the iterate diverged
+                // (NaN/±∞ now propagate through the clipped average
+                // instead of being masked); further iterations cannot
+                // recover, so stop and report the divergence.
+                if !res.pres.is_finite() || !res.dres.is_finite() {
+                    break;
+                }
                 if let Some(rb) = opts.rho_adapt {
                     if t % rb.every == 0 {
                         if res.pres > rb.mu * res.dres {
@@ -311,63 +372,63 @@ impl<'a> SolverFreeAdmm<'a> {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn run_global(
         &self,
         exec: &mut Exec,
         rho: f64,
         clip: bool,
+        view: ProblemView<'_>,
         z: &[f64],
         lambda: &[f64],
         x: &mut [f64],
     ) -> f64 {
         let n = self.dec.n;
+        let range_update = |lo: usize, out: &mut [f64]| {
+            updates::global_update_range(
+                lo..lo + out.len(),
+                rho,
+                clip,
+                &self.dec.c,
+                view.lower,
+                view.upper,
+                &self.pre.copies_ptr,
+                &self.pre.copies_idx,
+                z,
+                lambda,
+                out,
+            );
+        };
         match exec {
             Exec::Serial => {
                 let t0 = Instant::now();
-                updates::global_update_range(
-                    0..n,
-                    rho,
-                    clip,
-                    &self.dec.c,
-                    &self.dec.lower,
-                    &self.dec.upper,
-                    &self.pre.copies_ptr,
-                    &self.pre.copies_idx,
-                    z,
-                    lambda,
-                    x,
-                );
+                range_update(0, x);
                 t0.elapsed().as_secs_f64()
             }
             Exec::Pool(pool) => {
                 let t0 = Instant::now();
                 let chunk = n.div_ceil(4 * pool.current_num_threads()).max(64);
                 pool.install(|| {
-                    x.par_chunks_mut(chunk).enumerate().for_each(|(b, out)| {
-                        let lo = b * chunk;
-                        updates::global_update_range(
-                            lo..lo + out.len(),
-                            rho,
-                            clip,
-                            &self.dec.c,
-                            &self.dec.lower,
-                            &self.dec.upper,
-                            &self.pre.copies_ptr,
-                            &self.pre.copies_idx,
-                            z,
-                            lambda,
-                            out,
-                        );
-                    });
+                    x.par_chunks_mut(chunk)
+                        .enumerate()
+                        .for_each(|(b, out)| range_update(b * chunk, out));
                 });
+                t0.elapsed().as_secs_f64()
+            }
+            Exec::Inherit => {
+                let t0 = Instant::now();
+                let chunk = n.div_ceil(4 * rayon::current_num_threads()).max(64);
+                x.par_chunks_mut(chunk)
+                    .enumerate()
+                    .for_each(|(b, out)| range_update(b * chunk, out));
                 t0.elapsed().as_secs_f64()
             }
             Exec::Gpu(dev, tpb) => {
                 let k = GlobalKernel {
                     pre: &self.pre,
                     c: &self.dec.c,
-                    lower: &self.dec.lower,
-                    upper: &self.dec.upper,
+                    lower: view.lower,
+                    upper: view.upper,
                     z,
                     lambda,
                     rho,
@@ -382,17 +443,29 @@ impl<'a> SolverFreeAdmm<'a> {
         &self,
         exec: &mut Exec,
         rho: f64,
+        bbar: &[f64],
         x: &[f64],
         lambda: &[f64],
         z: &mut [f64],
     ) -> f64 {
+        let one = |s: usize, zs: &mut [f64]| {
+            let r = self.pre.range(s);
+            updates::local_update_component_bbar(
+                s,
+                &self.pre,
+                &bbar[r.clone()],
+                rho,
+                x,
+                &lambda[r],
+                zs,
+            );
+        };
         match exec {
             Exec::Serial => {
                 let t0 = Instant::now();
                 let slices = split_by_offsets(z, &self.pre.offsets);
                 for (s, zs) in slices.into_iter().enumerate() {
-                    let r = self.pre.range(s);
-                    updates::local_update_component(s, &self.pre, rho, x, &lambda[r], zs);
+                    one(s, zs);
                 }
                 t0.elapsed().as_secs_f64()
             }
@@ -400,16 +473,26 @@ impl<'a> SolverFreeAdmm<'a> {
                 let t0 = Instant::now();
                 let mut slices = split_by_offsets(z, &self.pre.offsets);
                 pool.install(|| {
-                    slices.par_iter_mut().enumerate().for_each(|(s, zs)| {
-                        let r = self.pre.range(s);
-                        updates::local_update_component(s, &self.pre, rho, x, &lambda[r], zs);
-                    });
+                    slices
+                        .par_iter_mut()
+                        .enumerate()
+                        .for_each(|(s, zs)| one(s, zs));
                 });
+                t0.elapsed().as_secs_f64()
+            }
+            Exec::Inherit => {
+                let t0 = Instant::now();
+                let mut slices = split_by_offsets(z, &self.pre.offsets);
+                slices
+                    .par_iter_mut()
+                    .enumerate()
+                    .for_each(|(s, zs)| one(s, zs));
                 t0.elapsed().as_secs_f64()
             }
             Exec::Gpu(dev, tpb) => {
                 let k = LocalKernel {
                     pre: &self.pre,
+                    bbar,
                     x,
                     lambda,
                     rho,
@@ -457,6 +540,21 @@ impl<'a> SolverFreeAdmm<'a> {
                             ls,
                         );
                     });
+                });
+                t0.elapsed().as_secs_f64()
+            }
+            Exec::Inherit => {
+                let t0 = Instant::now();
+                let mut slices = split_by_offsets(lambda, &self.pre.offsets);
+                slices.par_iter_mut().enumerate().for_each(|(s, ls)| {
+                    let r = self.pre.range(s);
+                    updates::dual_update_component(
+                        &self.pre.stacked_to_global[r.clone()],
+                        rho,
+                        x,
+                        &z[r],
+                        ls,
+                    );
                 });
                 t0.elapsed().as_secs_f64()
             }

@@ -60,6 +60,12 @@ pub struct AdmmOptions {
     pub rho: f64,
     /// Relative tolerance ε_rel of the termination test (16).
     pub eps_rel: f64,
+    /// Absolute tolerance floor ε_abs (Boyd §3.3.1): the tolerances become
+    /// `ε_abs·√dim + ε_rel·(…)`, so a zero/cold iterate — where `‖Bx‖`,
+    /// `‖z‖`, and `‖λ‖` all vanish and the purely relative test is
+    /// vacuously unpassable — still terminates. Defaults to a value small
+    /// enough not to perturb iteration counts on the paper's feeders.
+    pub eps_abs: f64,
     /// Iteration cap.
     pub max_iters: usize,
     /// Evaluate the termination test every `check_every` iterations.
@@ -81,6 +87,7 @@ impl Default for AdmmOptions {
         AdmmOptions {
             rho: 100.0,
             eps_rel: 1e-3,
+            eps_abs: 1e-9,
             max_iters: 200_000,
             check_every: 1,
             backend: Backend::Serial,
@@ -104,6 +111,36 @@ impl AdmmOptions {
     pub fn to_builder(self) -> AdmmOptionsBuilder {
         AdmmOptionsBuilder { opts: self }
     }
+
+    /// Check the options for values that would corrupt or crash a solve.
+    ///
+    /// The raw solver loops additionally guard themselves (a stride of 0
+    /// is treated as 1 rather than dividing by zero), but facade entry
+    /// points call this and surface a structured error instead.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.check_every == 0 {
+            return Err("check_every must be ≥ 1 (0 would divide by zero)".into());
+        }
+        if !(self.rho.is_finite() && self.rho > 0.0) {
+            return Err(format!("rho must be positive and finite, got {}", self.rho));
+        }
+        if !(self.eps_rel.is_finite() && self.eps_rel >= 0.0) {
+            return Err(format!(
+                "eps_rel must be non-negative and finite, got {}",
+                self.eps_rel
+            ));
+        }
+        if !(self.eps_abs.is_finite() && self.eps_abs >= 0.0) {
+            return Err(format!(
+                "eps_abs must be non-negative and finite, got {}",
+                self.eps_abs
+            ));
+        }
+        if self.eps_rel == 0.0 && self.eps_abs == 0.0 {
+            return Err("eps_rel and eps_abs cannot both be zero".into());
+        }
+        Ok(())
+    }
 }
 
 /// Builder for [`AdmmOptions`]; every setter defaults to the §V-A value.
@@ -125,15 +162,23 @@ impl AdmmOptionsBuilder {
         self
     }
 
+    /// Absolute tolerance floor ε_abs (Boyd §3.3.1).
+    pub fn eps_abs(mut self, eps_abs: f64) -> Self {
+        self.opts.eps_abs = eps_abs;
+        self
+    }
+
     /// Iteration cap.
     pub fn max_iters(mut self, max_iters: usize) -> Self {
         self.opts.max_iters = max_iters;
         self
     }
 
-    /// Termination-test stride.
+    /// Termination-test stride. A stride of 0 would divide by zero in the
+    /// iteration loops, so it is clamped to 1 here; facade entry points
+    /// reject it outright via [`AdmmOptions::validate`].
     pub fn check_every(mut self, check_every: usize) -> Self {
-        self.opts.check_every = check_every;
+        self.opts.check_every = check_every.max(1);
         self
     }
 
@@ -274,6 +319,33 @@ mod tests {
             .rho_adapt(ResidualBalancing::default())
             .build();
         assert!(adapted.rho_adapt.is_some());
+    }
+
+    #[test]
+    fn builder_clamps_zero_check_every() {
+        let o = AdmmOptions::builder().check_every(0).build();
+        assert_eq!(o.check_every, 1);
+    }
+
+    #[test]
+    fn validate_rejects_corrupt_options() {
+        assert!(AdmmOptions::default().validate().is_ok());
+        // Builder clamps; direct field writes cannot.
+        let o = AdmmOptions {
+            check_every: 0,
+            ..AdmmOptions::default()
+        };
+        assert!(o.validate().unwrap_err().contains("check_every"));
+        let bad_rho = AdmmOptions::builder().rho(0.0).build();
+        assert!(bad_rho.validate().unwrap_err().contains("rho"));
+        let nan_rho = AdmmOptions::builder().rho(f64::NAN).build();
+        assert!(nan_rho.validate().is_err());
+        let bad_eps = AdmmOptions::builder().eps_rel(-1.0).build();
+        assert!(bad_eps.validate().unwrap_err().contains("eps_rel"));
+        let bad_abs = AdmmOptions::builder().eps_abs(f64::INFINITY).build();
+        assert!(bad_abs.validate().unwrap_err().contains("eps_abs"));
+        let both_zero = AdmmOptions::builder().eps_rel(0.0).eps_abs(0.0).build();
+        assert!(both_zero.validate().is_err());
     }
 
     #[test]

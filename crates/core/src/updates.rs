@@ -32,7 +32,12 @@ pub fn global_update_range(
             acc += z[j] - lambda[j] * inv_rho;
         }
         let mut v = acc / (hi - lo) as f64;
-        if clip {
+        // Clip only finite values: `f64::max`/`min` ignore NaN, so a
+        // diverged iterate would otherwise be silently clamped to a finite
+        // bound and escape the `Residuals::converged` non-finite guard.
+        // Letting NaN/±∞ through poisons the residuals instead, so the
+        // divergence is detected and reported.
+        if clip && v.is_finite() {
             v = v.max(lower[i]).min(upper[i]);
         }
         x_out[o] = v;
@@ -54,11 +59,29 @@ pub fn local_update_component(
     lambda_s: &[f64],
     z_out: &mut [f64],
 ) {
+    let base = pre.offsets[s];
+    let bbar = &pre.bbar[base..base + z_out.len()];
+    local_update_component_bbar(s, pre, bbar, rho, x, lambda_s, z_out);
+}
+
+/// [`local_update_component`] with the component's `b̄_s` supplied by the
+/// caller instead of read from the arena — the scenario-batch path swaps
+/// in per-scenario `b̄` slices while sharing one `Ā` arena (`Ā_s` depends
+/// only on the structure matrix `A_s`, never on the injections).
+pub fn local_update_component_bbar(
+    s: usize,
+    pre: &Precomputed,
+    bbar: &[f64],
+    rho: f64,
+    x: &[f64],
+    lambda_s: &[f64],
+    z_out: &mut [f64],
+) {
     let abar = pre.abar_slice(s);
     let base = pre.offsets[s];
     let n = z_out.len();
     debug_assert_eq!(abar.len(), n * n);
-    let bbar = &pre.bbar[base..base + n];
+    debug_assert_eq!(bbar.len(), n);
     let inv_rho = 1.0 / rho;
     let globals = &pre.stacked_to_global[base..base + n];
 
@@ -114,8 +137,11 @@ pub fn gather_bx(pre: &Precomputed, x: &[f64], out: &mut [f64]) {
 ///
 /// * `pres = ‖Bx − z‖₂`
 /// * `dres = ρ‖z − z_prev‖₂` (each `B_sᵀ` is injective on its slice)
-/// * `eps_prim = ε_rel · max(‖Bx‖₂, ‖z‖₂)`
-/// * `eps_dual = ε_rel · ‖λ‖₂` (= `ε_rel·√Σ‖B_sᵀλ_s‖²`)
+/// * `eps_prim = ε_abs·√dim + ε_rel · max(‖Bx‖₂, ‖z‖₂)`
+/// * `eps_dual = ε_abs·√dim + ε_rel · ‖λ‖₂` (= `ε_rel·√Σ‖B_sᵀλ_s‖²`)
+///
+/// The `ε_abs·√dim` floor is Boyd §3.3.1: without it the tolerances are
+/// exactly 0 at a zero/cold iterate and trivial feeders can never pass.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Residuals {
     /// Primal residual.
@@ -134,9 +160,11 @@ impl Residuals {
     /// Accumulates per-component partial sums first — the same order the
     /// GPU reduction kernel uses — so CPU and GPU backends produce
     /// bit-identical residuals.
+    #[allow(clippy::too_many_arguments)]
     pub fn compute(
         pre: &Precomputed,
         eps_rel: f64,
+        eps_abs: f64,
         rho: f64,
         x: &[f64],
         z: &[f64],
@@ -151,7 +179,7 @@ impl Residuals {
                 *a += b;
             }
         }
-        Residuals::from_sums(sums, eps_rel, rho)
+        Residuals::from_sums(sums, eps_rel, eps_abs, pre.total_dim(), rho)
     }
 
     /// Component-wise partial sums used by the GPU reduction path:
@@ -185,13 +213,21 @@ impl Residuals {
     }
 
     /// Assemble (16) from summed component partials
-    /// (`[Σpres², Σbx², Σz², Σdz², Σλ²]`).
-    pub fn from_sums(sums: [f64; 5], eps_rel: f64, rho: f64) -> Residuals {
+    /// (`[Σpres², Σbx², Σz², Σdz², Σλ²]`); `dim` is the stacked dimension
+    /// `Σ n_s` entering the `ε_abs·√dim` floor.
+    pub fn from_sums(
+        sums: [f64; 5],
+        eps_rel: f64,
+        eps_abs: f64,
+        dim: usize,
+        rho: f64,
+    ) -> Residuals {
+        let floor = eps_abs * (dim as f64).sqrt();
         Residuals {
             pres: sums[0].sqrt(),
             dres: rho * sums[3].sqrt(),
-            eps_prim: eps_rel * sums[1].sqrt().max(sums[2].sqrt()),
-            eps_dual: eps_rel * sums[4].sqrt(),
+            eps_prim: floor + eps_rel * sums[1].sqrt().max(sums[2].sqrt()),
+            eps_dual: floor + eps_rel * sums[4].sqrt(),
         }
     }
 
@@ -366,7 +402,7 @@ mod tests {
         let mut z = vec![0.0; pre.total_dim()];
         gather_bx(&pre, &x, &mut z);
         let lambda = vec![0.0; pre.total_dim()];
-        let r = Residuals::compute(&pre, 1e-3, 100.0, &x, &z, &z, &lambda);
+        let r = Residuals::compute(&pre, 1e-3, 1e-9, 100.0, &x, &z, &z, &lambda);
         assert_eq!(r.pres, 0.0);
         assert_eq!(r.dres, 0.0);
         assert!(r.converged());
@@ -381,9 +417,58 @@ mod tests {
         let z_prev = z.clone();
         z[0] += 1.0; // break consensus on one entry
         let lambda = vec![0.0; pre.total_dim()];
-        let r = Residuals::compute(&pre, 1e-3, 100.0, &x, &z, &z_prev, &lambda);
+        let r = Residuals::compute(&pre, 1e-3, 1e-9, 100.0, &x, &z, &z_prev, &lambda);
         assert!((r.pres - 1.0).abs() < 1e-12);
         assert!((r.dres - 100.0).abs() < 1e-12);
         assert!(!r.converged());
+    }
+
+    #[test]
+    fn clip_propagates_non_finite_values() {
+        let (dec, pre) = setup();
+        let i = (0..dec.n)
+            .find(|&i| dec.upper[i].is_finite() && dec.lower[i].is_finite())
+            .expect("a boxed variable exists");
+        let total = pre.total_dim();
+        let mut z = vec![0.0; total];
+        let lambda = vec![0.0; total];
+        for &j in &pre.copies_idx[pre.copies_ptr[i]..pre.copies_ptr[i + 1]] {
+            z[j] = f64::NAN; // a diverged local iterate
+        }
+        let mut out = vec![0.0; 1];
+        global_update_range(
+            i..i + 1,
+            100.0,
+            true,
+            &dec.c,
+            &dec.lower,
+            &dec.upper,
+            &pre.copies_ptr,
+            &pre.copies_idx,
+            &z,
+            &lambda,
+            &mut out,
+        );
+        // Before the fix, `v.max(lower).min(upper)` silently replaced the
+        // NaN with a finite bound; the poison must survive the clip.
+        assert!(out[0].is_nan(), "NaN was masked to {}", out[0]);
+    }
+
+    #[test]
+    fn eps_abs_floor_unlocks_zero_iterate_termination() {
+        // At an all-zero iterate every norm in (16) vanishes, so the
+        // purely relative tolerances are 0 and the test is unpassable
+        // even though the iterate is exact. The Boyd §3.3.1 floor fixes
+        // this without perturbing non-degenerate runs.
+        // Near-zero iterates: ‖Bx‖ = ‖z‖ = 0.5e-10, ‖Bx − z‖ = 1e-10.
+        // The relative tolerance ε_rel·max(‖Bx‖,‖z‖) = 0.5e-13 shrinks
+        // with the iterates themselves, so the test can never pass no
+        // matter how many iterations run.
+        let sums = [1e-20, 0.25e-20, 0.25e-20, 0.0, 0.0];
+        let vacuous = Residuals::from_sums(sums, 1e-3, 0.0, 10, 100.0);
+        assert!(!vacuous.converged(), "relative-only test must be stuck");
+        let floored = Residuals::from_sums(sums, 1e-3, 1e-9, 10, 100.0);
+        assert!(floored.converged());
+        assert!(floored.eps_prim > 0.0 && floored.eps_dual > 0.0);
     }
 }

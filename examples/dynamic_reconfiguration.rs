@@ -18,7 +18,7 @@ use opf_net::feeders;
 fn solve_and_report(tag: &str, net: &opf_net::Network) -> f64 {
     let dec = decompose_network(net);
     let engine = Engine::new(&dec).expect("precompute");
-    let r = engine.solve(&SolveRequest::default());
+    let r = engine.solve(&SolveRequest::default()).expect("solve");
     println!(
         "[{tag}] S = {:3}, n = {:4} | converged = {} in {:5} iters | Σp^g = {:.4} p.u.",
         dec.s(),

@@ -36,9 +36,11 @@ fn main() {
         } else {
             Backend::Rayon { threads }
         };
-        let r = engine.solve(&SolveRequest::new(
-            base.clone().to_builder().backend(backend).build(),
-        ));
+        let r = engine
+            .solve(&SolveRequest::new(
+                base.clone().to_builder().backend(backend).build(),
+            ))
+            .expect("solve");
         let (g, l, d) = r.timings.per_iteration();
         println!(
             "  {threads:2} CPU threads : global {:>10} | local {:>10} | dual {:>10} | total {:>10}",
@@ -51,15 +53,17 @@ fn main() {
 
     println!("\nSimulated A100, threads-per-block sweep (modeled device time):");
     for tpb in [1usize, 4, 16, 64] {
-        let r = engine.solve(&SolveRequest::new(
-            base.clone()
-                .to_builder()
-                .backend(Backend::Gpu {
-                    props: DeviceProps::a100(),
-                    threads_per_block: tpb,
-                })
-                .build(),
-        ));
+        let r = engine
+            .solve(&SolveRequest::new(
+                base.clone()
+                    .to_builder()
+                    .backend(Backend::Gpu {
+                        props: DeviceProps::a100(),
+                        threads_per_block: tpb,
+                    })
+                    .build(),
+            ))
+            .expect("solve");
         let (g, l, d) = r.timings.per_iteration();
         println!(
             "  T = {tpb:2} threads : global {:>10} | local {:>10} | dual {:>10} | total {:>10}",

@@ -29,7 +29,9 @@ fn main() {
         options: DistributedOptions::builder().n_ranks(4).build(),
     });
     let t0 = std::time::Instant::now();
-    let (dist, telemetry) = engine.solve_with_telemetry(&req, Some("ieee123"));
+    let (dist, telemetry) = engine
+        .solve_with_telemetry(&req, Some("ieee123"))
+        .expect("solve");
     let dist_time = t0.elapsed().as_secs_f64();
     println!(
         "distributed (4 ranks): converged = {} in {} iterations, Σp^g = {:.4} p.u. ({:.2}s)",
@@ -44,7 +46,7 @@ fn main() {
 
     // Cross-check against the single-process solver: same math, same
     // iterates.
-    let serial = engine.solve(&SolveRequest::new(opts));
+    let serial = engine.solve(&SolveRequest::new(opts)).expect("solve");
     println!(
         "single process       : converged = {} in {} iterations, Σp^g = {:.4} p.u.",
         serial.converged, serial.iterations, serial.objective

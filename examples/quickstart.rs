@@ -31,8 +31,9 @@ fn main() {
     let opts = AdmmOptions::builder()
         .backend(Backend::Rayon { threads: 4 })
         .build();
-    let (result, telemetry) =
-        engine.solve_with_telemetry(&SolveRequest::new(opts), Some(net.name.as_str()));
+    let (result, telemetry) = engine
+        .solve_with_telemetry(&SolveRequest::new(opts), Some(net.name.as_str()))
+        .expect("solve");
     println!(
         "converged = {} in {} iterations (pres {:.2e} ≤ {:.2e}, dres {:.2e} ≤ {:.2e})",
         result.converged,

@@ -43,12 +43,16 @@ fn main() {
         let dec = decompose_network(&net);
         let engine = Engine::new(&dec).expect("precompute");
 
-        let cold = engine.solve(&SolveRequest::new(opts.clone()));
+        let cold = engine
+            .solve(&SolveRequest::new(opts.clone()))
+            .expect("solve");
         let warm = match &warm_state {
-            Some(state) => {
-                engine.solve(&SolveRequest::new(opts.clone()).with_warm_start(state.clone()))
-            }
-            None => engine.solve(&SolveRequest::new(opts.clone())),
+            Some(state) => engine
+                .solve(&SolveRequest::new(opts.clone()).with_warm_start(state.clone()))
+                .expect("solve"),
+            None => engine
+                .solve(&SolveRequest::new(opts.clone()))
+                .expect("solve"),
         };
         assert!(cold.converged && warm.converged, "hour {hour} failed");
         total_cold += cold.iterations;

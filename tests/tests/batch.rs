@@ -1,0 +1,253 @@
+//! Scenario-batch integration: batched multi-scenario solves over the
+//! shared precompute arena must be bit-identical to sequential scenario
+//! solves on every backend, build the arena exactly once per engine,
+//! and surface the solve-facade fixes (eps_abs floor, NaN poisoning)
+//! end to end.
+
+use gpu_sim::DeviceProps;
+use opf_admm::prelude::*;
+use opf_admm::ResidualBalancing;
+use opf_integration::decompose_net;
+use opf_net::feeders;
+
+fn assert_scenario_identical(k: usize, batch_out: &SolveOutcome, seq: &SolveOutcome) {
+    assert_eq!(batch_out.x, seq.x, "scenario {k}: x diverged");
+    assert_eq!(batch_out.z, seq.z, "scenario {k}: z diverged");
+    assert_eq!(batch_out.lambda, seq.lambda, "scenario {k}: λ diverged");
+    assert_eq!(
+        batch_out.iterations, seq.iterations,
+        "scenario {k}: iterations"
+    );
+    assert_eq!(
+        batch_out.converged, seq.converged,
+        "scenario {k}: converged"
+    );
+    assert_eq!(
+        batch_out.objective, seq.objective,
+        "scenario {k}: objective"
+    );
+}
+
+/// The acceptance criterion: a 32-scenario ieee123 batch is bit-identical
+/// to 32 sequential solves and builds `Precomputed` exactly once,
+/// asserted through the telemetry counters.
+#[test]
+fn ieee123_batch_of_32_matches_sequential_and_builds_arena_once() {
+    let net = feeders::ieee123();
+    let dec = decompose_net(&net);
+    let builds_before = opf_admm::precompute::build_count();
+    let engine = Engine::new(&dec).expect("engine");
+    let batch = ScenarioBatch::sweep(engine.solver(), 32, 7, 0.05).expect("sweep");
+    let opts = AdmmOptions::builder().max_iters(60).check_every(20).build();
+    let (out, report) = engine
+        .solve_batch_with_telemetry(
+            &BatchRequest::new(batch.clone(), opts.clone()),
+            Some("ieee123"),
+        )
+        .expect("batch solve");
+    assert_eq!(out.scenarios.len(), 32);
+    for k in 0..32 {
+        let seq = engine
+            .solve_scenario(&batch, k, &SolveRequest::new(opts.clone()))
+            .expect("scenario solve");
+        assert_scenario_identical(k, &out.scenarios[k], &seq);
+    }
+    // Exactly one arena build for the engine + batch + 32 sequential
+    // reference solves, visible both on the outcome and in telemetry.
+    assert_eq!(out.precompute_builds, 1);
+    assert_eq!(report.counter("batch.precompute_builds"), 1);
+    assert_eq!(report.counter("batch.scenarios"), 32);
+    assert_eq!(
+        report.counter("batch.iterations_total"),
+        out.iterations_total as u64
+    );
+    assert_eq!(opf_admm::precompute::build_count() - builds_before, 1);
+}
+
+/// The rayon batch (outer pool over scenarios, inner work-stealing over
+/// components) must be bit-identical to the serial batch.
+#[test]
+fn rayon_batch_is_bit_identical_to_serial_batch() {
+    let net = feeders::ieee13();
+    let dec = decompose_net(&net);
+    let engine = Engine::new(&dec).expect("engine");
+    let batch = ScenarioBatch::sweep(engine.solver(), 6, 3, 0.08).expect("sweep");
+    let base = AdmmOptions::builder().max_iters(150).check_every(10);
+    let serial = engine
+        .solve_batch(&BatchRequest::new(batch.clone(), base.clone().build()))
+        .expect("serial batch");
+    let rayon = engine
+        .solve_batch(&BatchRequest::new(
+            batch,
+            base.backend(Backend::Rayon { threads: 3 }).build(),
+        ))
+        .expect("rayon batch");
+    assert_eq!(rayon.backend, "rayon");
+    for k in 0..6 {
+        assert_scenario_identical(k, &rayon.scenarios[k], &serial.scenarios[k]);
+    }
+}
+
+/// The batched 2-D (scenario × component) gpu-sim launches — fused and
+/// unfused — must reproduce single-scenario gpu solves bit for bit,
+/// including per-scenario ρ adaptation.
+#[test]
+fn gpu_batch_is_bit_identical_to_single_gpu_solves() {
+    let net = feeders::ieee13();
+    let dec = decompose_net(&net);
+    let engine = Engine::new(&dec).expect("engine");
+    let batch = ScenarioBatch::sweep(engine.solver(), 4, 9, 0.1).expect("sweep");
+    for fuse in [false, true] {
+        let mut opts = AdmmOptions::builder()
+            .backend(Backend::Gpu {
+                props: DeviceProps::a100(),
+                threads_per_block: 32,
+            })
+            .max_iters(80)
+            .check_every(20)
+            .rho_adapt(ResidualBalancing {
+                mu: 10.0,
+                tau: 2.0,
+                every: 40,
+            })
+            .build();
+        opts.fuse_local_dual = fuse;
+        let out = engine
+            .solve_batch(&BatchRequest::new(batch.clone(), opts.clone()))
+            .expect("gpu batch");
+        assert_eq!(out.backend, "gpu-sim");
+        assert!(out.timings.simulated);
+        for k in 0..4 {
+            let seq = engine
+                .solve_scenario(&batch, k, &SolveRequest::new(opts.clone()))
+                .expect("gpu scenario");
+            assert_scenario_identical(k, &out.scenarios[k], &seq);
+        }
+    }
+}
+
+/// Scenarios converge at different iterations; frozen scenarios leave
+/// the gpu grid without perturbing the survivors.
+#[test]
+fn gpu_freeze_on_convergence_preserves_bit_identity() {
+    let net = feeders::ieee13();
+    let dec = decompose_net(&net);
+    let engine = Engine::new(&dec).expect("engine");
+    let batch = ScenarioBatch::sweep(engine.solver(), 3, 41, 0.15).expect("sweep");
+    // A loose tolerance so scenarios actually converge, at iteration
+    // counts the ±15 % spread should separate.
+    let opts = AdmmOptions::builder()
+        .backend(Backend::Gpu {
+            props: DeviceProps::a100(),
+            threads_per_block: 32,
+        })
+        .eps_rel(0.05)
+        .max_iters(4000)
+        .check_every(5)
+        .build();
+    let out = engine
+        .solve_batch(&BatchRequest::new(batch.clone(), opts.clone()))
+        .expect("gpu batch");
+    assert!(out.converged >= 1, "loose tolerance should converge");
+    for k in 0..3 {
+        let seq = engine
+            .solve_scenario(&batch, k, &SolveRequest::new(opts.clone()))
+            .expect("gpu scenario");
+        assert_scenario_identical(k, &out.scenarios[k], &seq);
+    }
+}
+
+/// Regression (NaN masking): a poisoned iterate must surface as an
+/// unconverged result carrying the NaN, not be silently clamped into the
+/// bounds by the clipped average and reported as a clean solve.
+#[test]
+fn nan_poison_surfaces_as_unconverged() {
+    let net = feeders::ieee13();
+    let dec = decompose_net(&net);
+    let engine = Engine::new(&dec).expect("engine");
+    let solver = engine.solver();
+    // Poison z: the global update (13) runs first each iteration and
+    // averages z + λ/ρ, so this NaN hits the clipped average directly —
+    // the exact site where the old `.max().min()` clamp masked it.
+    let (x, mut z, lambda) = solver.initial_state();
+    z[0] = f64::NAN;
+    let req = SolveRequest::new(AdmmOptions::builder().max_iters(500).build())
+        .with_warm_start((x, z, lambda));
+    let out = engine.solve(&req).expect("solve runs");
+    assert!(
+        !out.converged,
+        "a poisoned solve must not claim convergence"
+    );
+    assert!(
+        out.x.iter().any(|v| v.is_nan()),
+        "the NaN must stay visible in the iterates"
+    );
+    // And the solver stops early instead of burning the whole budget on
+    // poisoned arithmetic.
+    assert!(
+        out.iterations < 500,
+        "non-finite residuals should break early"
+    );
+}
+
+/// Regression (termination floor): with `eps_rel = 0` the relative test
+/// alone can never fire; the Boyd §3.3.1 absolute floor must still
+/// terminate the solve.
+#[test]
+fn eps_abs_floor_terminates_when_relative_tolerance_is_zero() {
+    let net = feeders::ieee13();
+    let dec = decompose_net(&net);
+    let engine = Engine::new(&dec).expect("engine");
+    let opts = AdmmOptions::builder()
+        .eps_rel(0.0)
+        .eps_abs(1e-3)
+        .max_iters(100_000)
+        .check_every(10)
+        .build();
+    let out = engine.solve(&SolveRequest::new(opts)).expect("solve");
+    assert!(
+        out.converged,
+        "the absolute floor must terminate an eps_rel = 0 solve (got {} iters)",
+        out.iterations
+    );
+    // Disabling both tolerances is rejected up front, not looped forever.
+    let mut both_zero = AdmmOptions::default();
+    both_zero.eps_rel = 0.0;
+    both_zero.eps_abs = 0.0;
+    let err = engine
+        .solve(&SolveRequest::new(both_zero))
+        .expect_err("zero tolerances must be rejected");
+    assert!(matches!(err, SolveError::InvalidOptions(_)));
+}
+
+/// Chaining on the gpu backend: sequential per-scenario solves with warm
+/// starts, still one arena.
+#[test]
+fn chained_gpu_batch_matches_manual_chain() {
+    let net = feeders::ieee13();
+    let dec = decompose_net(&net);
+    let engine = Engine::new(&dec).expect("engine");
+    let batch = ScenarioBatch::sweep(engine.solver(), 3, 13, 0.03).expect("sweep");
+    let opts = AdmmOptions::builder()
+        .backend(Backend::Gpu {
+            props: DeviceProps::a100(),
+            threads_per_block: 32,
+        })
+        .max_iters(100)
+        .check_every(25)
+        .build();
+    let out = engine
+        .solve_batch(&BatchRequest::new(batch.clone(), opts.clone()).with_chaining(true))
+        .expect("chained gpu batch");
+    let mut warm: Option<(Vec<f64>, Vec<f64>, Vec<f64>)> = None;
+    for k in 0..3 {
+        let mut req = SolveRequest::new(opts.clone());
+        if let Some(state) = warm.take() {
+            req = req.with_warm_start(state);
+        }
+        let seq = engine.solve_scenario(&batch, k, &req).expect("scenario");
+        assert_scenario_identical(k, &out.scenarios[k], &seq);
+        warm = Some((seq.x, seq.z, seq.lambda));
+    }
+    assert_eq!(out.precompute_builds, 1);
+}

@@ -53,7 +53,7 @@ proptest! {
         // Invariant 3: residual definitions are consistent — recompute
         // from the returned iterates (z_prev unknown ⇒ check pres only).
         let pre = solver.precomputed();
-        let res = updates::Residuals::compute(pre, 1e-3, 100.0, &r.x, &r.z, &r.z, &r.lambda);
+        let res = updates::Residuals::compute(pre, 1e-3, 1e-9, 100.0, &r.x, &r.z, &r.z, &r.lambda);
         prop_assert!((res.pres - r.residuals.pres).abs() < 1e-9);
     }
 

@@ -112,7 +112,7 @@ fn telemetry_report_round_trips_through_file() {
     let dec = decompose_net(&net);
     let engine = Engine::new(&dec).expect("engine");
     let req = SolveRequest::new(AdmmOptions::builder().max_iters(500).build());
-    let (outcome, report) = engine.solve_with_telemetry(&req, Some("ieee13"));
+    let (outcome, report) = engine.solve_with_telemetry(&req, Some("ieee13")).unwrap();
     assert_eq!(report.samples_seen, outcome.iterations as u64);
 
     let dir = std::env::temp_dir().join("gridflow-telemetry-test");
@@ -146,7 +146,7 @@ fn distributed_counters_are_present_and_monotone() {
     let req = SolveRequest::new(opts).with_mode(ExecutionMode::Distributed {
         options: DistributedOptions::builder().n_ranks(2).build(),
     });
-    let (outcome, report) = engine.solve_with_telemetry(&req, Some("ieee13"));
+    let (outcome, report) = engine.solve_with_telemetry(&req, Some("ieee13")).unwrap();
     assert_eq!(outcome.backend, "distributed");
 
     let sent = report.counter("comm.sent");
