@@ -1,15 +1,26 @@
 //! `bench_baseline` — the repo's performance trajectory snapshot.
 //!
 //! Solves the paper's instances (IEEE 13 / 123 / 8500) on each backend and
-//! writes `BENCH_admm.json` with per-phase per-iteration times, iteration
-//! counts, and objectives, plus two targeted comparisons:
+//! writes `BENCH_admm.json` (schema `bench_admm/v2`) with per-phase
+//! per-iteration times, iteration counts, and objectives, plus three
+//! targeted comparisons:
 //!
 //! * arena vs. reference precompute — build time, dedup factor, and an
 //!   isolated local+dual sweep microbenchmark (the §IV inner loop);
 //! * `check_every = 1` vs. `check_every = 10` — end-to-end wall clock of
-//!   the strided termination test.
+//!   the strided termination test;
+//! * fused vs. unfused iteration pipeline — the single-pass fused sweep
+//!   against the separate local/dual/residual passes, serial,
+//!   `check_every = 1`, with a bit-identity check on the iterates. Two
+//!   improvement figures are recorded: against the in-run unfused
+//!   reference, and against the pre-fusion seed profile
+//!   ([`seed_combined_us`]) — the headline number, asserted ≥ 15 % on
+//!   ieee123.
 //!
-//! Usage: `bench_baseline [OUT.json]` (default `BENCH_admm.json`).
+//! Usage: `bench_baseline [OUT.json] [--smoke]` (default
+//! `BENCH_admm.json`). `--smoke` runs only the ieee13 fused comparison
+//! and validates the schema + bit identity — deterministic properties a
+//! CI box can assert without tripping over timing noise.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -113,11 +124,198 @@ fn json_f(v: f64) -> String {
     }
 }
 
+/// Combined global+local+dual+residual serial per-iteration time (µs) of
+/// the pre-fusion pipeline, from the last `bench_admm/v1` snapshot of
+/// `BENCH_admm.json` (commit 40b0c9d; the profile quoted in ISSUE 5).
+/// This is the "before" for the fused pipeline's headline improvement:
+/// the in-run unfused reference path is NOT the seed — it already carries
+/// this PR's scratch-buffer and allocation fixes (required satellites, in
+/// shared update kernels), so comparing against it understates the PR.
+/// Both comparisons are recorded.
+fn seed_combined_us(name: &str) -> Option<f64> {
+    match name {
+        "ieee13" => Some(3.291783 + 10.48999 + 1.032347 + 1.913804),
+        "ieee123" => Some(10.254361 + 28.480776 + 3.739303 + 9.359848),
+        "ieee8500" => Some(688.552103 + 1277.043303 + 368.30596 + 590.688397),
+        _ => None,
+    }
+}
+
+struct FusedCmp {
+    iters: usize,
+    /// Fused pipeline, per iteration: global feed read + fused sweep.
+    fused_global_s: f64,
+    fused_sweep_s: f64,
+    /// Unfused reference, per iteration: the four separate passes.
+    unfused_global_s: f64,
+    unfused_local_s: f64,
+    unfused_dual_s: f64,
+    unfused_residual_s: f64,
+    /// `1 − fused_combined / unfused_combined`, in percent.
+    improvement_pct: f64,
+    /// Per-iteration seed combined time ([`seed_combined_us`]), µs.
+    seed_combined_us: Option<f64>,
+    /// `1 − fused_combined / seed_combined` vs [`seed_combined_us`], in
+    /// percent; `None` off the known instances.
+    improvement_vs_seed_pct: Option<f64>,
+}
+
+impl FusedCmp {
+    fn fused_combined_s(&self) -> f64 {
+        self.fused_global_s + self.fused_sweep_s
+    }
+    fn unfused_combined_s(&self) -> f64 {
+        self.unfused_global_s + self.unfused_local_s + self.unfused_dual_s + self.unfused_residual_s
+    }
+    fn json(&self) -> String {
+        let it = self.iters.max(1) as f64;
+        format!(
+            concat!(
+                "\"fused\":{{\"backend\":\"serial\",\"check_every\":1,",
+                "\"iters\":{},\"bit_identical\":true,\"per_iter_us\":{{",
+                "\"fused_global\":{},\"fused_sweep\":{},\"fused_combined\":{},",
+                "\"unfused_global\":{},\"unfused_local\":{},\"unfused_dual\":{},",
+                "\"unfused_residual\":{},\"unfused_combined\":{}}},",
+                "\"improvement_pct\":{},",
+                "\"seed_combined_us\":{},\"improvement_vs_seed_pct\":{}}}"
+            ),
+            self.iters,
+            json_f(1e6 * self.fused_global_s / it),
+            json_f(1e6 * self.fused_sweep_s / it),
+            json_f(1e6 * self.fused_combined_s() / it),
+            json_f(1e6 * self.unfused_global_s / it),
+            json_f(1e6 * self.unfused_local_s / it),
+            json_f(1e6 * self.unfused_dual_s / it),
+            json_f(1e6 * self.unfused_residual_s / it),
+            json_f(1e6 * self.unfused_combined_s() / it),
+            json_f(self.improvement_pct),
+            self.seed_combined_us.map_or("null".to_string(), json_f),
+            self.improvement_vs_seed_pct
+                .map_or("null".to_string(), json_f),
+        )
+    }
+}
+
+/// Fused vs. unfused end to end: a fixed-budget serial solve at
+/// `check_every = 1` on each path, asserting bit-identical iterates
+/// (deterministic — always enforced) and comparing combined
+/// global+local+dual+residual per-iteration time (noisy — reported, and
+/// only the full bench asserts on it). The paths are measured
+/// *interleaved* (fused, unfused, fused, …) and each keeps its
+/// best-of-three, so a noise burst on this shared box degrades both
+/// paths' candidate pools instead of silently penalizing whichever path
+/// owned that contiguous window.
+fn fused_comparison(engine: &Engine<'_>, name: &str, iters: usize) -> FusedCmp {
+    let base = AdmmOptions::builder()
+        .eps_rel(0.0)
+        .max_iters(iters)
+        .check_every(1);
+    let measure_once = |fused: bool| {
+        let opts = base.clone().fused(fused).build();
+        let req = SolveRequest::new(opts);
+        let (res, report) = engine
+            .solve_with_telemetry(&req, Some(name))
+            .expect("measured solve");
+        let spans = [
+            report.phase_total(Phase::Global),
+            report.phase_total(Phase::Local),
+            report.phase_total(Phase::Dual),
+            report.phase_total(Phase::Residual),
+            report.phase_total(Phase::Fused),
+        ];
+        (res, spans)
+    };
+    // Warm both paths (first-touch effects), then interleave the reps.
+    // Eight short windows per path: this box's background noise comes in
+    // bursts longer than one window, so the min lands on a quiet window
+    // with high probability where a single long run would average the
+    // bursts in.
+    let _ = measure_once(true);
+    let _ = measure_once(false);
+    let mut best: [Option<(opf_admm::prelude::SolveOutcome, [f64; 5])>; 2] = [None, None];
+    for _ in 0..8 {
+        for (slot, fused) in [(0usize, true), (1usize, false)] {
+            let (res, spans) = measure_once(fused);
+            let keep = match &best[slot] {
+                Some((_, prev)) => spans.iter().sum::<f64>() < prev.iter().sum::<f64>(),
+                None => true,
+            };
+            if keep {
+                best[slot] = Some((res, spans));
+            }
+        }
+    }
+    let [f, u] = best;
+    let (fres, fs) = f.expect("at least one fused run");
+    let (ures, us) = u.expect("at least one unfused run");
+    assert_eq!(fres.iterations, ures.iterations, "{name}: iteration drift");
+    assert_eq!(fres.x, ures.x, "{name}: fused x diverged from unfused");
+    assert_eq!(fres.z, ures.z, "{name}: fused z diverged from unfused");
+    assert_eq!(
+        fres.lambda, ures.lambda,
+        "{name}: fused λ diverged from unfused"
+    );
+    let fused_combined = fs[0] + fs[4];
+    let unfused_combined = us[0] + us[1] + us[2] + us[3];
+    let seed_us = seed_combined_us(name);
+    let fused_per_iter_us = 1e6 * fused_combined / fres.iterations.max(1) as f64;
+    FusedCmp {
+        iters: fres.iterations,
+        fused_global_s: fs[0],
+        fused_sweep_s: fs[4],
+        unfused_global_s: us[0],
+        unfused_local_s: us[1],
+        unfused_dual_s: us[2],
+        unfused_residual_s: us[3],
+        improvement_pct: 100.0 * (1.0 - fused_combined / unfused_combined.max(f64::MIN_POSITIVE)),
+        seed_combined_us: seed_us,
+        improvement_vs_seed_pct: seed_us.map(|s| 100.0 * (1.0 - fused_per_iter_us / s)),
+    }
+}
+
+/// `--smoke`: the CI gate. Runs only the ieee13 fused comparison with a
+/// small budget, writes a v2 snapshot, and re-reads it to verify the
+/// schema tag and the fused section landed. Bit identity is asserted
+/// inside `fused_comparison`; nothing here depends on timing.
+fn smoke(out_path: &str) {
+    let inst = load_instance("ieee13");
+    let engine = Engine::new(&inst.dec).expect("engine");
+    let cmp = fused_comparison(&engine, "ieee13", 400);
+    eprintln!(
+        "smoke ieee13: {} iters, fused {} vs unfused {} per iter ({:+.1} %), bit-identical",
+        cmp.iters,
+        fmt_secs(cmp.fused_combined_s() / cmp.iters as f64),
+        fmt_secs(cmp.unfused_combined_s() / cmp.iters as f64),
+        -cmp.improvement_pct,
+    );
+    let doc = format!(
+        "{{\"schema\":\"bench_admm/v2\",\"smoke\":true,\"instances\":[{{\"name\":\"ieee13\",{}}}]}}\n",
+        cmp.json()
+    );
+    std::fs::write(out_path, &doc).expect("write smoke snapshot");
+    let back = std::fs::read_to_string(out_path).expect("re-read smoke snapshot");
+    assert!(
+        back.starts_with("{\"schema\":\"bench_admm/v2\""),
+        "snapshot lost the v2 schema tag"
+    );
+    assert!(
+        back.contains("\"fused\":{") && back.contains("\"bit_identical\":true"),
+        "snapshot is missing the fused comparison"
+    );
+    eprintln!("smoke ok: wrote {out_path}");
+}
+
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .filter(|a| !a.starts_with("--"))
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out_path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
         .unwrap_or_else(|| "BENCH_admm.json".to_string());
+    if args.iter().any(|a| a == "--smoke") {
+        smoke(&out_path);
+        return;
+    }
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -174,19 +372,20 @@ fn main() {
         ];
         let mut backend_json = Vec::new();
         for (bname, backend) in backends {
-            let mut opts = opts_for(name, backend);
-            if bname == "gpu-sim" {
-                opts.fuse_local_dual = true;
-            }
+            // The profile runs the production path: the fully fused
+            // pipeline, where local/dual/residual all land in the fused
+            // span and the separate columns read zero.
+            let opts = opts_for(name, backend);
             let (res, report) = engine
                 .solve_with_telemetry(&SolveRequest::new(opts), Some(name))
                 .expect("solve");
             let it = res.timings.iterations.max(1) as f64;
-            let (global_s, local_s, dual_s, residual_s) = (
+            let (global_s, local_s, dual_s, residual_s, fused_s) = (
                 report.phase_total(Phase::Global),
                 report.phase_total(Phase::Local),
                 report.phase_total(Phase::Dual),
                 report.phase_total(Phase::Residual),
+                report.phase_total(Phase::Fused),
             );
             // The spans accumulate the same increments as the solver's own
             // Timings; any drift means an instrumentation bug.
@@ -195,6 +394,7 @@ fn main() {
                 (local_s, res.timings.local_s),
                 (dual_s, res.timings.dual_s),
                 (residual_s, res.timings.residual_s),
+                (fused_s, res.timings.fused_s),
             ] {
                 assert!(
                     (span_s - timing_s).abs() <= 1e-9 * timing_s.abs().max(1.0),
@@ -202,20 +402,18 @@ fn main() {
                 );
             }
             eprintln!(
-                "   {bname:8} {} iters  obj {:.6}  per-iter global {} local {} dual {} residual {}",
+                "   {bname:8} {} iters  obj {:.6}  per-iter global {} fused {}",
                 res.iterations,
                 res.objective,
                 fmt_secs(global_s / it),
-                fmt_secs(local_s / it),
-                fmt_secs(dual_s / it),
-                fmt_secs(residual_s / it),
+                fmt_secs(fused_s / it),
             );
             backend_json.push(format!(
                 concat!(
                     "{{\"backend\":\"{}\",\"iters\":{},\"converged\":{},",
                     "\"objective\":{},\"simulated\":{},\"per_iter_us\":{{",
-                    "\"precompute\":{},\"global\":{},\"local\":{},\"dual\":{},",
-                    "\"local_dual\":{},\"residual\":{}}}}}"
+                    "\"precompute\":{},\"global\":{},\"fused\":{},",
+                    "\"combined\":{}}}}}"
                 ),
                 bname,
                 res.iterations,
@@ -224,11 +422,58 @@ fn main() {
                 res.timings.simulated,
                 json_f(1e6 * arena_build_s / it),
                 json_f(1e6 * global_s / it),
-                json_f(1e6 * local_s / it),
-                json_f(1e6 * dual_s / it),
-                json_f(1e6 * (local_s + dual_s) / it),
-                json_f(1e6 * residual_s / it),
+                json_f(1e6 * fused_s / it),
+                json_f(1e6 * (global_s + local_s + dual_s + residual_s + fused_s) / it),
             ));
+        }
+
+        // Fused vs. unfused pipeline, serial, check_every = 1 — the
+        // tentpole comparison. Bit identity is always enforced; the
+        // ≥15 % combined-time acceptance bar is asserted on ieee123
+        // (large enough that per-pass overheads dominate noise).
+        // Short per-rep windows (≈20–30 ms on the CPU feeders) so the
+        // best-of-reps min in `fused_comparison` can dodge noise bursts.
+        let cmp_iters = match name {
+            "ieee123" => 600,
+            "ieee8500" => 100,
+            _ => budget(name).unwrap_or(1200),
+        };
+        let cmp = fused_comparison(&engine, name, cmp_iters);
+        eprintln!(
+            "   fused pipeline: {} (g {} + sweep {}) vs unfused {} (g {} + l {} + d {} + r {}) per iter ({:+.1} %), bit-identical",
+            fmt_secs(cmp.fused_combined_s() / cmp.iters as f64),
+            fmt_secs(cmp.fused_global_s / cmp.iters as f64),
+            fmt_secs(cmp.fused_sweep_s / cmp.iters as f64),
+            fmt_secs(cmp.unfused_combined_s() / cmp.iters as f64),
+            fmt_secs(cmp.unfused_global_s / cmp.iters as f64),
+            fmt_secs(cmp.unfused_local_s / cmp.iters as f64),
+            fmt_secs(cmp.unfused_dual_s / cmp.iters as f64),
+            fmt_secs(cmp.unfused_residual_s / cmp.iters as f64),
+            -cmp.improvement_pct,
+        );
+        if let Some(vs_seed) = cmp.improvement_vs_seed_pct {
+            eprintln!(
+                "   fused vs pre-fusion seed profile ({:.1} µs combined): {:+.1} %",
+                cmp.seed_combined_us.unwrap_or(f64::NAN),
+                -vs_seed,
+            );
+        }
+        if name == "ieee123" {
+            // The acceptance bar: ≥ 15 % lower combined per-iteration time
+            // than the four-pass pipeline this PR replaces (the seed
+            // profile in `seed_combined_us`). The in-run unfused
+            // reference is recorded alongside but not asserted on — it
+            // shares the scratch/allocation fixes, so its gap to the
+            // fused path is small by construction (see `seed_combined_us`
+            // docs).
+            let vs_seed = cmp
+                .improvement_vs_seed_pct
+                .expect("ieee123 has a seed profile");
+            assert!(
+                vs_seed >= 15.0,
+                "ieee123: fused pipeline must cut combined per-iteration time ≥ 15 % \
+                 vs the pre-fusion profile (got {vs_seed:.1} %)"
+            );
         }
 
         // Strided termination test: end-to-end wall clock, check_every 1 vs 10.
@@ -298,6 +543,7 @@ fn main() {
                 "\"backend\":\"{}\",\"converged\":{},\"iterations_total\":{},",
                 "\"precompute_builds\":{},\"scenarios_per_sec\":{},",
                 "\"wall_us\":{},\"amortization_factor\":{}}},",
+                "{},",
                 "\"backends\":[{}]}}"
             ),
             name,
@@ -324,13 +570,14 @@ fn main() {
             json_f(outcome.scenarios_per_sec),
             json_f(1e6 * outcome.wall_s),
             json_f(amortization),
+            cmp.json(),
             backend_json.join(","),
         );
         instances_json.push(j);
     }
 
     let doc = format!(
-        "{{\"schema\":\"bench_admm/v1\",\"threads\":{},\"instances\":[{}]}}\n",
+        "{{\"schema\":\"bench_admm/v2\",\"threads\":{},\"instances\":[{}]}}\n",
         threads,
         instances_json.join(",")
     );

@@ -588,18 +588,24 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                 state_saved = deg.checkpoints_written > 0;
             } else {
                 final_state = Some((r.x.clone(), r.z.clone(), r.lambda.clone()));
-                let (g, l, d) = r.timings.per_iteration();
-                out += &format!(
-                    "per-iteration: global {:.2e}s local {:.2e}s dual {:.2e}s{}\n",
-                    g,
-                    l,
-                    d,
-                    if r.timings.simulated {
-                        " (modeled device time)"
-                    } else {
-                        ""
-                    }
-                );
+                let iters = r.timings.iterations.max(1) as f64;
+                let note = if r.timings.simulated {
+                    " (modeled device time)"
+                } else {
+                    ""
+                };
+                if r.timings.fused_s > 0.0 {
+                    out += &format!(
+                        "per-iteration: global {:.2e}s fused local+dual {:.2e}s{note}\n",
+                        r.timings.global_s / iters,
+                        r.timings.fused_s / iters,
+                    );
+                } else {
+                    let (g, l, d) = r.timings.per_iteration();
+                    out += &format!(
+                        "per-iteration: global {g:.2e}s local {l:.2e}s dual {d:.2e}s{note}\n"
+                    );
+                }
             }
             let (x, iterations, converged, objective) =
                 (r.x, r.iterations, r.converged, r.objective);
@@ -1008,8 +1014,9 @@ mod tests {
         assert_eq!(telemetry_json.as_deref(), Some("out.json"));
         assert!(parse(&sv(&["solve", "ieee13", "--telemetry-json"])).is_err());
 
-        // Run: the report file exists, parses, and carries all four
-        // phase spans under the versioned schema.
+        // Run: the report file exists, parses, and carries the phases a
+        // fused serial solve exercises (global + fused) under the
+        // versioned schema.
         let dir = std::env::temp_dir().join("gridflow-cli-telemetry");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("telemetry.json").to_string_lossy().into_owned();
@@ -1028,8 +1035,14 @@ mod tests {
         let report = opf_admm::prelude::TelemetryReport::from_json_str(&text).expect("parse");
         assert_eq!(report.instance.as_deref(), Some("ieee13"));
         assert_eq!(report.backend.as_deref(), Some("serial"));
-        for phase in opf_admm::prelude::Phase::ALL {
+        use opf_admm::prelude::Phase;
+        for phase in [Phase::Global, Phase::Fused] {
             assert!(report.phase_total(phase) > 0.0, "{} empty", phase.name());
+        }
+        // The fused pipeline replaces the separate local/dual/residual
+        // sweeps entirely.
+        for phase in [Phase::Local, Phase::Dual, Phase::Residual] {
+            assert_eq!(report.phase_total(phase), 0.0, "{} stray", phase.name());
         }
     }
 

@@ -32,9 +32,9 @@
 
 use crate::engine::{backend_label, Engine, ExecutionMode, SolveError, SolveOutcome, SolveRequest};
 use crate::gpu::{
-    BatchDualKernel, BatchFusedLocalDualKernel, BatchGlobalKernel, BatchLocalKernel,
-    BatchResidualKernel, DualKernel, FusedLocalDualKernel, GlobalKernel, LocalKernel,
-    ResidualKernel,
+    BatchDualKernel, BatchFusedIterKernel, BatchFusedLocalDualKernel, BatchGlobalKernel,
+    BatchLocalKernel, BatchResidualKernel, DualKernel, FusedIterKernel, FusedLocalDualKernel,
+    GlobalKernel, LocalKernel, ResidualKernel,
 };
 use crate::precompute;
 use crate::solver::{Exec, ProblemView, SolverFreeAdmm};
@@ -275,6 +275,13 @@ struct ScenState {
     z: Vec<f64>,
     z_prev: Vec<f64>,
     lambda: Vec<f64>,
+    /// Consensus feed `w = z − λ/ρ` for the fused pipeline; empty on the
+    /// unfused reference path.
+    w: Vec<f64>,
+    /// The ρ whose bits formed `w`. After a ρ-adapt step `w_rho ≠ rho`
+    /// and the next global update falls back to the two-array read, just
+    /// like the single-scenario loop.
+    w_rho: f64,
     rho: f64,
     iterations: usize,
     converged: bool,
@@ -443,6 +450,7 @@ impl Engine<'_> {
             timings.local_s += r.timings.local_s;
             timings.dual_s += r.timings.dual_s;
             timings.residual_s += r.timings.residual_s;
+            timings.fused_s += r.timings.fused_s;
             timings.iterations += r.timings.iterations;
             converged += r.converged as usize;
             iterations_total += r.iterations;
@@ -455,6 +463,7 @@ impl Engine<'_> {
             obs.on_phase(Phase::Local, timings.local_s);
             obs.on_phase(Phase::Dual, timings.dual_s);
             obs.on_phase(Phase::Residual, timings.residual_s);
+            obs.on_phase(Phase::Fused, timings.fused_s);
         }
         obs.on_counter("batch.scenarios", batch.count() as u64);
         obs.on_counter("batch.converged", converged as u64);
@@ -519,12 +528,28 @@ impl Engine<'_> {
         let mut states: Vec<ScenState> = (0..count)
             .map(|k| {
                 let (x, z, lambda) = batch.initial_state(solver, k);
+                // Same bits as the single-scenario setup: `w` formed with
+                // the exact 1/ρ the global kernel would otherwise divide
+                // by inline.
+                let (w, w_rho) = if opts.fused {
+                    let inv_rho = 1.0 / opts.rho;
+                    let w: Vec<f64> = z
+                        .iter()
+                        .zip(lambda.iter())
+                        .map(|(&zj, &lj)| zj - lj * inv_rho)
+                        .collect();
+                    (w, opts.rho)
+                } else {
+                    (Vec::new(), f64::NAN)
+                };
                 ScenState {
                     k,
                     z_prev: z.clone(),
                     x,
                     z,
                     lambda,
+                    w,
+                    w_rho,
                     rho: opts.rho,
                     iterations: 0,
                     converged: false,
@@ -539,6 +564,7 @@ impl Engine<'_> {
         let mut x_scratch = vec![0.0; count * n];
         let mut z_scratch = vec![0.0; count * total];
         let mut l_scratch = vec![0.0; count * total];
+        let mut w_scratch = vec![0.0; count * total];
         let mut partials = vec![0.0; count * 5 * s_comp];
 
         let stride = opts.check_every.max(1);
@@ -551,6 +577,7 @@ impl Engine<'_> {
                 break;
             }
             let n_act = active.len();
+            let checking = t % stride == 0 || t == opts.max_iters;
             for &k in &active {
                 states[k].iterations = t;
             }
@@ -567,6 +594,8 @@ impl Engine<'_> {
                             upper: batch.upper(k),
                             z: &states[k].z,
                             lambda: &states[k].lambda,
+                            feed: (opts.fused && states[k].w_rho == states[k].rho)
+                                .then(|| states[k].w.as_slice()),
                             rho: states[k].rho,
                             clip: true,
                         })
@@ -584,7 +613,52 @@ impl Engine<'_> {
                 let st = &mut states[k];
                 std::mem::swap(&mut st.z, &mut st.z_prev);
             }
-            if opts.fuse_local_dual {
+            if opts.fused {
+                // The fully fused pipeline: ONE launch per iteration runs
+                // local + dual + consensus-feed refresh (+ the residual
+                // partials on check iterations). λ scratch carries λ^{(t)}
+                // in and λ^{(t+1)} out; z and w are fully overwritten.
+                for (a, &k) in active.iter().enumerate() {
+                    l_scratch[a * total..(a + 1) * total].copy_from_slice(&states[k].lambda);
+                }
+                {
+                    let kern = BatchFusedIterKernel {
+                        per: active
+                            .iter()
+                            .map(|&k| FusedIterKernel {
+                                pre,
+                                bbar: batch.bbar(k),
+                                x: &states[k].x,
+                                z_prev: &states[k].z_prev,
+                                rho: states[k].rho,
+                                with_partials: checking,
+                            })
+                            .collect(),
+                    };
+                    let zs = &mut z_scratch[..n_act * total];
+                    let ls = &mut l_scratch[..n_act * total];
+                    let ws = &mut w_scratch[..n_act * total];
+                    let dt = if checking {
+                        dev.launch_multi(
+                            &kern,
+                            tpb,
+                            &mut [zs, ls, ws, &mut partials[..n_act * 5 * s_comp]],
+                        )
+                        .secs()
+                    } else {
+                        dev.launch_multi(&kern, tpb, &mut [zs, ls, ws]).secs()
+                    };
+                    timing_phase(obs, Phase::Fused, dt);
+                }
+                for (a, &k) in active.iter().enumerate() {
+                    let st = &mut states[k];
+                    st.z.copy_from_slice(&z_scratch[a * total..(a + 1) * total]);
+                    st.lambda
+                        .copy_from_slice(&l_scratch[a * total..(a + 1) * total]);
+                    st.w.copy_from_slice(&w_scratch[a * total..(a + 1) * total]);
+                    st.w_rho = st.rho;
+                }
+            } else if opts.fuse_local_dual {
                 // λ scratch carries λ^{(t)} in and λ^{(t+1)} out; z is
                 // fully overwritten.
                 for (a, &k) in active.iter().enumerate() {
@@ -672,9 +746,11 @@ impl Engine<'_> {
                 }
             }
 
-            // --- Termination test (16), same stride as a single solve. ---
-            if t % stride == 0 || t == opts.max_iters {
-                {
+            // --- Termination test (16), same stride as a single solve.
+            // The fused launch already emitted the partials; only the
+            // unfused reference path needs the standalone residual pass.
+            if checking {
+                if !opts.fused {
                     let kern = BatchResidualKernel {
                         per: active
                             .iter()

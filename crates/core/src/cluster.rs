@@ -187,6 +187,7 @@ impl SolverFreeAdmm<'_> {
                         lambda: &lambda,
                         rho,
                         clip: true,
+                        feed: None,
                     };
                     let mut dev = gpu_sim::Device::with_props(props);
                     let t = dev.launch(&k, threads_per_block, &mut x).secs();

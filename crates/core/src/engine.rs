@@ -337,6 +337,7 @@ impl AdmmBackend for ClusterBackend {
                 local_s: bd.local_compute_s * n,
                 dual_s: bd.dual_s * n,
                 residual_s: 0.0,
+                fused_s: 0.0,
                 iterations: bd.iterations,
                 simulated: true,
             },
@@ -381,6 +382,7 @@ impl AdmmBackend for DistributedBackend {
             obs.on_phase(Phase::Local, result.timings.local_s);
             obs.on_phase(Phase::Dual, result.timings.dual_s);
             obs.on_phase(Phase::Residual, result.timings.residual_s);
+            obs.on_phase(Phase::Fused, result.timings.fused_s);
             let c = &result.degradation.comm;
             obs.on_counter("comm.sent", c.sent);
             obs.on_counter("comm.bytes_sent", c.bytes_sent);

@@ -7,7 +7,7 @@
 
 use crate::precompute::Precomputed;
 use crate::updates;
-use gpu_sim::{BlockCost, BlockKernel, PairBlockKernel};
+use gpu_sim::{BlockCost, BlockKernel, MultiBlockKernel, PairBlockKernel};
 
 /// Chunk size for element-wise kernels over the global vector.
 pub const GLOBAL_CHUNK: usize = 256;
@@ -30,6 +30,10 @@ pub struct GlobalKernel<'a> {
     pub rho: f64,
     /// Clip to bounds (solver-free) or not (benchmark).
     pub clip: bool,
+    /// Consensus feed `w = z − λ/ρ` maintained by the fused sweep; when
+    /// set, the kernel reads one stacked array per copy instead of two
+    /// (bit-identical — see [`updates::global_update_range_feed`]).
+    pub feed: Option<&'a [f64]>,
 }
 
 impl GlobalKernel<'_> {
@@ -52,29 +56,48 @@ impl BlockKernel for GlobalKernel<'_> {
 
     fn run_block(&self, b: usize, _threads: usize, out: &mut [f64]) {
         let lo = b * GLOBAL_CHUNK;
-        updates::global_update_range(
-            lo..lo + out.len(),
-            self.rho,
-            self.clip,
-            self.c,
-            self.lower,
-            self.upper,
-            &self.pre.copies_ptr,
-            &self.pre.copies_idx,
-            self.z,
-            self.lambda,
-            out,
-        );
+        match self.feed {
+            Some(w) => updates::global_update_range_feed(
+                lo..lo + out.len(),
+                self.rho,
+                self.clip,
+                self.c,
+                self.lower,
+                self.upper,
+                &self.pre.copies_ptr,
+                &self.pre.copies_idx,
+                &self.pre.copy_inv_count,
+                w,
+                out,
+            ),
+            None => updates::global_update_range(
+                lo..lo + out.len(),
+                self.rho,
+                self.clip,
+                self.c,
+                self.lower,
+                self.upper,
+                &self.pre.copies_ptr,
+                &self.pre.copies_idx,
+                self.z,
+                self.lambda,
+                out,
+            ),
+        }
     }
 
     fn block_cost(&self, b: usize) -> BlockCost {
         let lo = b * GLOBAL_CHUNK;
         let len = self.out_len(b);
         let copies = self.pre.copies_ptr[lo + len] - self.pre.copies_ptr[lo];
+        // Per copy the two-array path reads z[j] and λ[j] (16 B, 2 flops);
+        // the consensus feed needs only w[j] (8 B, 1 flop).
+        let per_copy_flops = if self.feed.is_some() { 1.0 } else { 2.0 };
+        let per_copy = per_copy_flops * copies as f64 / len.max(1) as f64;
         BlockCost {
             items: len,
-            flops_per_item: 2.0 * copies as f64 / len.max(1) as f64 + 4.0,
-            bytes_per_item: 8.0 * (2.0 * copies as f64 / len.max(1) as f64 + 4.0),
+            flops_per_item: per_copy + 4.0,
+            bytes_per_item: 8.0 * (per_copy + 4.0),
             ..BlockCost::default()
         }
     }
@@ -109,6 +132,30 @@ fn fused_block_cost(n: usize, streams_slab: bool) -> BlockCost {
     BlockCost {
         items: n,
         flops_per_item: 4.0 * n as f64 + 3.0,
+        bytes_per_item: if streams_slab {
+            matrix + vectors
+        } else {
+            vectors
+        },
+        cached_bytes_per_item: if streams_slab { 0.0 } else { matrix },
+    }
+}
+
+/// [`fused_block_cost`] plus the consensus-feed write (8 B/item, 2 flops)
+/// and, on check iterations, the inline residual partials: `z_prev`
+/// streams in (8 B/item); `x`, the fresh `z`, and the fresh `λ` are
+/// already in registers, so the partials add flops, not traffic.
+fn fused_iter_block_cost(n: usize, streams_slab: bool, with_partials: bool) -> BlockCost {
+    let matrix = 8.0 * n as f64;
+    let mut vectors = 8.0 * 2.0 + 40.0 + 8.0;
+    let mut flops = 4.0 * n as f64 + 3.0 + 2.0;
+    if with_partials {
+        vectors += 8.0;
+        flops += 10.0;
+    }
+    BlockCost {
+        items: n,
+        flops_per_item: flops,
         bytes_per_item: if streams_slab {
             matrix + vectors
         } else {
@@ -261,6 +308,80 @@ impl PairBlockKernel for FusedLocalDualKernel<'_> {
     }
 }
 
+/// The fully fused iteration kernel: one block per component runs the
+/// local projection (15), the in-place dual ascent (12), the consensus
+/// feed refresh `w = z − λ/ρ`, and — when `with_partials` — the five
+/// residual partial sums of (16), all in one launch. Outputs are
+/// `[z, λ, w]` (plus `[…, partials]` on check iterations); `λ` holds
+/// λ⁽ᵗ⁾ on entry and λ⁽ᵗ⁺¹⁾ on exit.
+pub struct FusedIterKernel<'a> {
+    /// Precomputed `Ā_s`, layout.
+    pub pre: &'a Precomputed,
+    /// Stacked `b̄` (the arena's own, or a scenario's perturbed copy).
+    pub bbar: &'a [f64],
+    /// Global iterate.
+    pub x: &'a [f64],
+    /// Previous stacked locals (read only for the partials).
+    pub z_prev: &'a [f64],
+    /// Penalty ρ.
+    pub rho: f64,
+    /// Also emit the 5-per-component residual partials as a fourth
+    /// output (check iterations).
+    pub with_partials: bool,
+}
+
+impl MultiBlockKernel for FusedIterKernel<'_> {
+    fn name(&self) -> &'static str {
+        "fused_iter"
+    }
+    fn outputs(&self) -> usize {
+        if self.with_partials {
+            4
+        } else {
+            3
+        }
+    }
+    fn blocks(&self) -> usize {
+        self.pre.s()
+    }
+
+    fn out_len(&self, o: usize, s: usize) -> usize {
+        if o == 3 {
+            5
+        } else {
+            self.pre.range(s).len()
+        }
+    }
+
+    fn run_block(&self, s: usize, _threads: usize, outs: &mut [&mut [f64]]) {
+        let r = self.pre.range(s);
+        let (z_out, rest) = outs.split_first_mut().expect("z output");
+        let (lambda, rest) = rest.split_first_mut().expect("lambda output");
+        let (w, rest) = rest.split_first_mut().expect("w output");
+        let partials = rest.first_mut().map(|p| &mut **p);
+        updates::fused_iteration_component(
+            s,
+            self.pre,
+            &self.bbar[r.clone()],
+            self.rho,
+            self.x,
+            &self.z_prev[r],
+            z_out,
+            lambda,
+            w,
+            partials,
+        );
+    }
+
+    fn block_cost(&self, s: usize) -> BlockCost {
+        fused_iter_block_cost(
+            self.pre.range(s).len(),
+            self.pre.is_slab_owner(s),
+            self.with_partials,
+        )
+    }
+}
+
 /// Residual reduction (16): one block per component writes its five
 /// partial sums `[Σ(bx−z)², Σbx², Σz², Σ(z−z_prev)², Σλ²]`; the host sums
 /// the `5·S` partials (the tiny final reduction CUDA would do in a second
@@ -303,11 +424,17 @@ impl BlockKernel for ResidualKernel<'_> {
     }
 
     fn block_cost(&self, s: usize) -> BlockCost {
+        // Four reads per item: z, z_prev, λ stream from HBM (24 B), but
+        // the x-gather hits L2 — the global vector is tiny relative to
+        // the stacked dimension and was just written by this iteration's
+        // global kernel. The seed model charged all 32 B to HBM, which
+        // (together with the per-launch overhead on small feeders) made
+        // the modeled residual pass ~2× the measured serial one.
         BlockCost {
             items: self.pre.range(s).len(),
             flops_per_item: 10.0,
-            bytes_per_item: 32.0,
-            ..BlockCost::default()
+            bytes_per_item: 24.0,
+            cached_bytes_per_item: 8.0,
         }
     }
 }
@@ -444,5 +571,60 @@ impl PairBlockKernel for BatchFusedLocalDualKernel<'_> {
         let (a, s) = self.split(b);
         let k = &self.per[a];
         fused_block_cost(k.out_len(s), a == 0 && k.pre.is_slab_owner(s))
+    }
+}
+
+/// Batched fused-iteration launch — the [`MultiBlockKernel`] analogue of
+/// the batched launch geometry, with the same one-stream-per-launch slab
+/// credit as [`BatchLocalKernel`]. Every output buffer is scenario-major
+/// (`[scenario 0 | scenario 1 | …]`), matching the batch driver's
+/// concatenated scratch. All per-scenario kernels in a launch share one
+/// `with_partials` flag (the lockstep loop checks all actives at the
+/// same iteration).
+pub struct BatchFusedIterKernel<'a> {
+    /// Per-scenario fused kernels, one per active scenario.
+    pub per: Vec<FusedIterKernel<'a>>,
+}
+
+impl BatchFusedIterKernel<'_> {
+    fn blocks_per(&self) -> usize {
+        self.per[0].blocks()
+    }
+
+    /// `(scenario index in the batch, inner block)` for block `b`.
+    pub fn split(&self, b: usize) -> (usize, usize) {
+        (b / self.blocks_per(), b % self.blocks_per())
+    }
+}
+
+impl MultiBlockKernel for BatchFusedIterKernel<'_> {
+    fn name(&self) -> &'static str {
+        "batch_fused_iter"
+    }
+    fn outputs(&self) -> usize {
+        self.per[0].outputs()
+    }
+    fn blocks(&self) -> usize {
+        self.per.len() * self.blocks_per()
+    }
+
+    fn out_len(&self, o: usize, b: usize) -> usize {
+        let (a, s) = self.split(b);
+        self.per[a].out_len(o, s)
+    }
+
+    fn run_block(&self, b: usize, threads: usize, outs: &mut [&mut [f64]]) {
+        let (a, s) = self.split(b);
+        self.per[a].run_block(s, threads, outs);
+    }
+
+    fn block_cost(&self, b: usize) -> BlockCost {
+        let (a, s) = self.split(b);
+        let k = &self.per[a];
+        fused_iter_block_cost(
+            k.pre.range(s).len(),
+            a == 0 && k.pre.is_slab_owner(s),
+            k.with_partials,
+        )
     }
 }

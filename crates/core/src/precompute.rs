@@ -81,6 +81,13 @@ pub struct Precomputed {
     pub copies_ptr: Vec<usize>,
     /// Scatter indices (see [`Precomputed::copies_ptr`]).
     pub copies_idx: Vec<usize>,
+    /// `1/|copies(i)|` where the copy count is a power of two (exact
+    /// reciprocal: multiplying by `2^-k` is bit-identical to dividing by
+    /// `2^k` under IEEE 754), `0.0` otherwise. The fused global kernel
+    /// multiplies on the fast path instead of dividing; most consensus
+    /// variables have 1 or 2 copies, so the division survives only at
+    /// junction buses.
+    pub copy_inv_count: Vec<f64>,
 }
 
 /// Compute one component's `(Ā, b̄)` pair (15b)/(15c).
@@ -201,6 +208,16 @@ impl Precomputed {
             copies_idx[next[g]] = j;
             next[g] += 1;
         }
+        let copy_inv_count = (0..n)
+            .map(|i| {
+                let cnt = copies_ptr[i + 1] - copies_ptr[i];
+                if cnt.is_power_of_two() {
+                    1.0 / cnt as f64
+                } else {
+                    0.0
+                }
+            })
+            .collect();
 
         Ok(Precomputed {
             abar_data,
@@ -212,6 +229,7 @@ impl Precomputed {
             stacked_to_global,
             copies_ptr,
             copies_idx,
+            copy_inv_count,
         })
     }
 
@@ -242,6 +260,16 @@ impl Precomputed {
     /// The stacked slice range of component `s`.
     pub fn range(&self, s: usize) -> std::ops::Range<usize> {
         self.offsets[s]..self.offsets[s + 1]
+    }
+
+    /// The largest component dimension `max_s n_s` — the scratch high-water
+    /// mark solvers warm [`crate::updates::warm_scratch`] with so the
+    /// iteration loop proper never allocates.
+    pub fn max_component_dim(&self) -> usize {
+        (0..self.s())
+            .map(|s| self.range(s).len())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Component `s`'s `Ā` slab: `n_s²` row-major entries (shared with

@@ -1,6 +1,8 @@
 //! The solver-free ADMM (Algorithm 1).
 
-use crate::gpu::{DualKernel, FusedLocalDualKernel, GlobalKernel, LocalKernel, ResidualKernel};
+use crate::gpu::{
+    DualKernel, FusedIterKernel, FusedLocalDualKernel, GlobalKernel, LocalKernel, ResidualKernel,
+};
 use crate::precompute::Precomputed;
 use crate::types::*;
 use crate::updates::{self, Residuals};
@@ -11,7 +13,9 @@ use opf_telemetry::{IterationObserver, IterationSample, KernelSample, NoopObserv
 use rayon::prelude::*;
 use std::time::Instant;
 
-/// Split a stacked buffer into per-component mutable slices.
+/// Split a stacked buffer into per-component mutable slices (allocates a
+/// `Vec` of slices — benches and one-shot callers only; the iteration
+/// loops use [`for_components_mut`]/direct indexing instead).
 pub(crate) fn split_by_offsets<'a>(buf: &'a mut [f64], offsets: &[usize]) -> Vec<&'a mut [f64]> {
     let mut out = Vec::with_capacity(offsets.len() - 1);
     let mut rest = buf;
@@ -25,6 +29,117 @@ pub(crate) fn split_by_offsets<'a>(buf: &'a mut [f64], offsets: &[usize]) -> Vec
     }
     debug_assert_eq!(consumed, offsets[offsets.len() - 1] - offsets[0]);
     out
+}
+
+/// Apply `op(s, component_slice)` to components `lo..hi` of a stacked
+/// buffer via recursive `rayon::join` halving — a zero-allocation
+/// replacement for the `split_by_offsets` + `par_iter_mut` rebuild the
+/// hot loops used to pay for every iteration. `buf` covers exactly
+/// `offsets[lo]..offsets[hi]`; splitting only changes scheduling, never
+/// per-element results, so iterates stay bit-identical to serial.
+fn for_components_mut(
+    offsets: &[usize],
+    lo: usize,
+    hi: usize,
+    grain: usize,
+    buf: &mut [f64],
+    op: &(impl Fn(usize, &mut [f64]) + Sync),
+) {
+    if hi - lo <= grain {
+        let base = offsets[lo];
+        for s in lo..hi {
+            op(s, &mut buf[offsets[s] - base..offsets[s + 1] - base]);
+        }
+        return;
+    }
+    let mid = lo + (hi - lo) / 2;
+    let cut = offsets[mid] - offsets[lo];
+    let (head, tail) = buf.split_at_mut(cut);
+    rayon::join(
+        || for_components_mut(offsets, lo, mid, grain, head, op),
+        || for_components_mut(offsets, mid, hi, grain, tail, op),
+    );
+}
+
+/// Recursive `rayon::join` driver for the fused sweep: components
+/// `lo..hi`, with `z`/`lambda`/`w` covering `offsets[lo]..offsets[hi]`
+/// and `partials` (when checking) covering `5·lo..5·hi`. `bbar` and
+/// `z_prev` stay full-stacked (read-only, absolute indexing).
+#[allow(clippy::too_many_arguments)]
+fn fused_components(
+    pre: &Precomputed,
+    lo: usize,
+    hi: usize,
+    grain: usize,
+    rho: f64,
+    bbar: &[f64],
+    x: &[f64],
+    z_prev: &[f64],
+    z: &mut [f64],
+    lambda: &mut [f64],
+    w: &mut [f64],
+    mut partials: Option<&mut [f64]>,
+) {
+    if hi - lo <= grain {
+        let base = pre.offsets[lo];
+        for s in lo..hi {
+            let r = pre.range(s);
+            let rel = r.start - base..r.end - base;
+            let part = partials
+                .as_mut()
+                .map(|p| &mut p[5 * (s - lo)..5 * (s - lo) + 5]);
+            updates::fused_iteration_component(
+                s,
+                pre,
+                &bbar[r.clone()],
+                rho,
+                x,
+                &z_prev[r],
+                &mut z[rel.clone()],
+                &mut lambda[rel.clone()],
+                &mut w[rel],
+                part,
+            );
+        }
+        return;
+    }
+    let mid = lo + (hi - lo) / 2;
+    let cut = pre.offsets[mid] - pre.offsets[lo];
+    let (z_a, z_b) = z.split_at_mut(cut);
+    let (l_a, l_b) = lambda.split_at_mut(cut);
+    let (w_a, w_b) = w.split_at_mut(cut);
+    let (p_a, p_b) = match partials {
+        Some(p) => {
+            let (a, b) = p.split_at_mut(5 * (mid - lo));
+            (Some(a), Some(b))
+        }
+        None => (None, None),
+    };
+    rayon::join(
+        || {
+            fused_components(
+                pre, lo, mid, grain, rho, bbar, x, z_prev, z_a, l_a, w_a, p_a,
+            )
+        },
+        || {
+            fused_components(
+                pre, mid, hi, grain, rho, bbar, x, z_prev, z_b, l_b, w_b, p_b,
+            )
+        },
+    );
+}
+
+/// Sum 5-wide per-component residual partials in component order — the
+/// same accumulation order as [`Residuals::compute`] and the GPU host
+/// reduction, so every path lands on bit-identical sums.
+pub(crate) fn sum_partials(partials: &[f64]) -> [f64; 5] {
+    let mut sums = [0.0f64; 5];
+    for chunk in partials.chunks_exact(5) {
+        for (a, b) in sums.iter_mut().zip(chunk) {
+            *a += b;
+        }
+    }
+    sums
 }
 
 pub(crate) enum Exec {
@@ -220,7 +335,34 @@ impl<'a> SolverFreeAdmm<'a> {
             simulated: exec.simulated(),
             ..Timings::default()
         };
-        let mut trace = Vec::new();
+        // Pre-size everything the loop touches so iterations are
+        // allocation-free: the trace (bounded by the cadence), the
+        // residual-partials buffer, the consensus feed, and this
+        // thread's component scratch.
+        let mut trace = Vec::with_capacity(
+            opts.max_iters
+                .checked_div(opts.trace_every)
+                .map_or(0, |n| n + 2),
+        );
+        // 2n: the fused sweep keeps both the x-gather and the projection
+        // target per component in scratch.
+        updates::warm_scratch(2 * self.pre.max_component_dim());
+        let mut partials_buf = vec![0.0; 5 * self.pre.s()];
+        let mut w: Vec<f64> = Vec::new();
+        let mut w_rho = f64::NAN;
+        if opts.fused {
+            // Seed the consensus feed from the initial iterates with the
+            // same `1/ρ` bits the global update would use inline, so the
+            // very first feed-based global is bit-identical to the
+            // two-array read.
+            let inv_rho = 1.0 / rho;
+            w = z
+                .iter()
+                .zip(lambda.iter())
+                .map(|(&zj, &lj)| zj - lj * inv_rho)
+                .collect();
+            w_rho = rho;
+        }
         let mut res = Residuals::default();
         let mut converged = false;
         let mut iterations = 0;
@@ -230,87 +372,118 @@ impl<'a> SolverFreeAdmm<'a> {
         let stride = opts.check_every.max(1);
         for t in 1..=opts.max_iters {
             iterations = t;
+            let checking = t % stride == 0 || t == opts.max_iters;
             // --- Global update (13). ---
-            let dt = self.run_global(exec, rho, true, view, &z, &lambda, &mut x);
+            // The consensus feed is valid whenever the fused sweep last
+            // wrote it under the current ρ; a ρ-adaptation step leaves
+            // it stale for exactly one global update, which falls back
+            // to the two-array read (bit-identical either way).
+            let feed = (opts.fused && w_rho == rho).then_some(w.as_slice());
+            let dt = self.run_global(exec, rho, true, view, &z, &lambda, feed, &mut x);
             timings.global_s += dt;
             obs.on_phase(Phase::Global, dt);
-            // --- Local (15) + dual (12) updates, optionally fused into
-            //     one GPU launch. ---
             // Ping-pong buffer swap instead of a full-vector copy: the
             // local update overwrites every entry of z (the components
             // tile the stacked vector), so after the swap z_prev holds
             // z^(t−1) exactly as the copy did.
             std::mem::swap(&mut z, &mut z_prev);
-            let mut fused = false;
-            if opts.fuse_local_dual {
-                if let Exec::Gpu(dev, tpb) = &mut *exec {
-                    let k = FusedLocalDualKernel {
-                        pre: &self.pre,
-                        bbar: view.bbar,
-                        x: &x,
+            if opts.fused {
+                // --- Fused sweep: local (15) + dual (12) + feed refresh,
+                //     with the residual partials folded in on check
+                //     iterations. ---
+                let part = checking.then_some(partials_buf.as_mut_slice());
+                let dt = self.run_fused(
+                    exec,
+                    rho,
+                    view.bbar,
+                    &x,
+                    &z_prev,
+                    &mut z,
+                    &mut lambda,
+                    &mut w,
+                    part,
+                );
+                w_rho = rho;
+                timings.fused_s += dt;
+                obs.on_phase(Phase::Fused, dt);
+                if checking {
+                    res = Residuals::from_sums(
+                        sum_partials(&partials_buf),
+                        opts.eps_rel,
+                        opts.eps_abs,
+                        self.pre.total_dim(),
                         rho,
-                    };
-                    let dt = dev.launch_pair(&k, *tpb, &mut z, &mut lambda).secs();
+                    );
+                }
+            } else {
+                // --- Unfused reference path: local (15) + dual (12)
+                //     updates, optionally as one GPU launch. ---
+                let mut pair_fused = false;
+                if opts.fuse_local_dual {
+                    if let Exec::Gpu(dev, tpb) = &mut *exec {
+                        let k = FusedLocalDualKernel {
+                            pre: &self.pre,
+                            bbar: view.bbar,
+                            x: &x,
+                            rho,
+                        };
+                        let dt = dev.launch_pair(&k, *tpb, &mut z, &mut lambda).secs();
+                        timings.local_s += dt;
+                        obs.on_phase(Phase::Local, dt);
+                        pair_fused = true;
+                    }
+                }
+                if !pair_fused {
+                    let dt = self.run_local(exec, rho, view.bbar, &x, &lambda, &mut z);
                     timings.local_s += dt;
                     obs.on_phase(Phase::Local, dt);
-                    fused = true;
+                    let dt = self.run_dual(exec, rho, &x, &z, &mut lambda);
+                    timings.dual_s += dt;
+                    obs.on_phase(Phase::Dual, dt);
+                }
+                if checking {
+                    res = match &mut *exec {
+                        Exec::Gpu(dev, tpb) => {
+                            let k = ResidualKernel {
+                                pre: &self.pre,
+                                x: &x,
+                                z: &z,
+                                z_prev: &z_prev,
+                                lambda: &lambda,
+                            };
+                            let dt = dev.launch(&k, *tpb, &mut partials_buf).secs();
+                            timings.residual_s += dt;
+                            obs.on_phase(Phase::Residual, dt);
+                            Residuals::from_sums(
+                                sum_partials(&partials_buf),
+                                opts.eps_rel,
+                                opts.eps_abs,
+                                self.pre.total_dim(),
+                                rho,
+                            )
+                        }
+                        _ => {
+                            let t0 = Instant::now();
+                            let r = Residuals::compute(
+                                &self.pre,
+                                opts.eps_rel,
+                                opts.eps_abs,
+                                rho,
+                                &x,
+                                &z,
+                                &z_prev,
+                                &lambda,
+                            );
+                            let dt = t0.elapsed().as_secs_f64();
+                            timings.residual_s += dt;
+                            obs.on_phase(Phase::Residual, dt);
+                            r
+                        }
+                    };
                 }
             }
-            if !fused {
-                let dt = self.run_local(exec, rho, view.bbar, &x, &lambda, &mut z);
-                timings.local_s += dt;
-                obs.on_phase(Phase::Local, dt);
-                let dt = self.run_dual(exec, rho, &x, &z, &mut lambda);
-                timings.dual_s += dt;
-                obs.on_phase(Phase::Dual, dt);
-            }
 
-            if t % stride == 0 || t == opts.max_iters {
-                res = match &mut *exec {
-                    Exec::Gpu(dev, tpb) => {
-                        let k = ResidualKernel {
-                            pre: &self.pre,
-                            x: &x,
-                            z: &z,
-                            z_prev: &z_prev,
-                            lambda: &lambda,
-                        };
-                        let mut partials = vec![0.0; 5 * self.pre.s()];
-                        let dt = dev.launch(&k, *tpb, &mut partials).secs();
-                        timings.residual_s += dt;
-                        obs.on_phase(Phase::Residual, dt);
-                        let mut sums = [0.0f64; 5];
-                        for chunk in partials.chunks_exact(5) {
-                            for (a, b) in sums.iter_mut().zip(chunk) {
-                                *a += b;
-                            }
-                        }
-                        Residuals::from_sums(
-                            sums,
-                            opts.eps_rel,
-                            opts.eps_abs,
-                            self.pre.total_dim(),
-                            rho,
-                        )
-                    }
-                    _ => {
-                        let t0 = Instant::now();
-                        let r = Residuals::compute(
-                            &self.pre,
-                            opts.eps_rel,
-                            opts.eps_abs,
-                            rho,
-                            &x,
-                            &z,
-                            &z_prev,
-                            &lambda,
-                        );
-                        let dt = t0.elapsed().as_secs_f64();
-                        timings.residual_s += dt;
-                        obs.on_phase(Phase::Residual, dt);
-                        r
-                    }
-                };
+            if checking {
                 if obs.enabled() {
                     obs.on_iteration(&IterationSample {
                         iter: t as u64,
@@ -381,11 +554,25 @@ impl<'a> SolverFreeAdmm<'a> {
         view: ProblemView<'_>,
         z: &[f64],
         lambda: &[f64],
+        feed: Option<&[f64]>,
         x: &mut [f64],
     ) -> f64 {
         let n = self.dec.n;
-        let range_update = |lo: usize, out: &mut [f64]| {
-            updates::global_update_range(
+        let range_update = |lo: usize, out: &mut [f64]| match feed {
+            Some(w) => updates::global_update_range_feed(
+                lo..lo + out.len(),
+                rho,
+                clip,
+                &self.dec.c,
+                view.lower,
+                view.upper,
+                &self.pre.copies_ptr,
+                &self.pre.copies_idx,
+                &self.pre.copy_inv_count,
+                w,
+                out,
+            ),
+            None => updates::global_update_range(
                 lo..lo + out.len(),
                 rho,
                 clip,
@@ -397,7 +584,7 @@ impl<'a> SolverFreeAdmm<'a> {
                 z,
                 lambda,
                 out,
-            );
+            ),
         };
         match exec {
             Exec::Serial => {
@@ -433,8 +620,84 @@ impl<'a> SolverFreeAdmm<'a> {
                     lambda,
                     rho,
                     clip,
+                    feed,
                 };
                 dev.launch(&k, *tpb, x).secs()
+            }
+        }
+    }
+
+    /// The fused single-pass sweep over all components; see
+    /// [`updates::fused_iteration_component`]. `partials` (5·S) is given
+    /// on check iterations only.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn run_fused(
+        &self,
+        exec: &mut Exec,
+        rho: f64,
+        bbar: &[f64],
+        x: &[f64],
+        z_prev: &[f64],
+        z: &mut [f64],
+        lambda: &mut [f64],
+        w: &mut [f64],
+        partials: Option<&mut [f64]>,
+    ) -> f64 {
+        let s_count = self.pre.s();
+        match exec {
+            Exec::Serial => {
+                let t0 = Instant::now();
+                fused_components(
+                    &self.pre,
+                    0,
+                    s_count,
+                    s_count.max(1),
+                    rho,
+                    bbar,
+                    x,
+                    z_prev,
+                    z,
+                    lambda,
+                    w,
+                    partials,
+                );
+                t0.elapsed().as_secs_f64()
+            }
+            Exec::Pool(pool) => {
+                let t0 = Instant::now();
+                let grain = s_count
+                    .div_ceil(4 * pool.current_num_threads().max(1))
+                    .max(1);
+                pool.install(|| {
+                    fused_components(
+                        &self.pre, 0, s_count, grain, rho, bbar, x, z_prev, z, lambda, w, partials,
+                    )
+                });
+                t0.elapsed().as_secs_f64()
+            }
+            Exec::Inherit => {
+                let t0 = Instant::now();
+                let grain = s_count
+                    .div_ceil(4 * rayon::current_num_threads().max(1))
+                    .max(1);
+                fused_components(
+                    &self.pre, 0, s_count, grain, rho, bbar, x, z_prev, z, lambda, w, partials,
+                );
+                t0.elapsed().as_secs_f64()
+            }
+            Exec::Gpu(dev, tpb) => {
+                let k = FusedIterKernel {
+                    pre: &self.pre,
+                    bbar,
+                    x,
+                    z_prev,
+                    rho,
+                    with_partials: partials.is_some(),
+                };
+                match partials {
+                    Some(p) => dev.launch_multi(&k, *tpb, &mut [z, lambda, w, p]).secs(),
+                    None => dev.launch_multi(&k, *tpb, &mut [z, lambda, w]).secs(),
+                }
             }
         }
     }
@@ -460,33 +723,29 @@ impl<'a> SolverFreeAdmm<'a> {
                 zs,
             );
         };
+        let s_count = self.pre.s();
         match exec {
             Exec::Serial => {
                 let t0 = Instant::now();
-                let slices = split_by_offsets(z, &self.pre.offsets);
-                for (s, zs) in slices.into_iter().enumerate() {
-                    one(s, zs);
+                for s in 0..s_count {
+                    one(s, &mut z[self.pre.range(s)]);
                 }
                 t0.elapsed().as_secs_f64()
             }
             Exec::Pool(pool) => {
                 let t0 = Instant::now();
-                let mut slices = split_by_offsets(z, &self.pre.offsets);
-                pool.install(|| {
-                    slices
-                        .par_iter_mut()
-                        .enumerate()
-                        .for_each(|(s, zs)| one(s, zs));
-                });
+                let grain = s_count
+                    .div_ceil(4 * pool.current_num_threads().max(1))
+                    .max(1);
+                pool.install(|| for_components_mut(&self.pre.offsets, 0, s_count, grain, z, &one));
                 t0.elapsed().as_secs_f64()
             }
             Exec::Inherit => {
                 let t0 = Instant::now();
-                let mut slices = split_by_offsets(z, &self.pre.offsets);
-                slices
-                    .par_iter_mut()
-                    .enumerate()
-                    .for_each(|(s, zs)| one(s, zs));
+                let grain = s_count
+                    .div_ceil(4 * rayon::current_num_threads().max(1))
+                    .max(1);
+                for_components_mut(&self.pre.offsets, 0, s_count, grain, z, &one);
                 t0.elapsed().as_secs_f64()
             }
             Exec::Gpu(dev, tpb) => {
@@ -510,52 +769,41 @@ impl<'a> SolverFreeAdmm<'a> {
         z: &[f64],
         lambda: &mut [f64],
     ) -> f64 {
+        let one = |s: usize, ls: &mut [f64]| {
+            let r = self.pre.range(s);
+            updates::dual_update_component(
+                &self.pre.stacked_to_global[r.clone()],
+                rho,
+                x,
+                &z[r],
+                ls,
+            );
+        };
+        let s_count = self.pre.s();
         match exec {
             Exec::Serial => {
                 let t0 = Instant::now();
-                let slices = split_by_offsets(lambda, &self.pre.offsets);
-                for (s, ls) in slices.into_iter().enumerate() {
-                    let r = self.pre.range(s);
-                    updates::dual_update_component(
-                        &self.pre.stacked_to_global[r.clone()],
-                        rho,
-                        x,
-                        &z[r],
-                        ls,
-                    );
+                for s in 0..s_count {
+                    one(s, &mut lambda[self.pre.range(s)]);
                 }
                 t0.elapsed().as_secs_f64()
             }
             Exec::Pool(pool) => {
                 let t0 = Instant::now();
-                let mut slices = split_by_offsets(lambda, &self.pre.offsets);
+                let grain = s_count
+                    .div_ceil(4 * pool.current_num_threads().max(1))
+                    .max(1);
                 pool.install(|| {
-                    slices.par_iter_mut().enumerate().for_each(|(s, ls)| {
-                        let r = self.pre.range(s);
-                        updates::dual_update_component(
-                            &self.pre.stacked_to_global[r.clone()],
-                            rho,
-                            x,
-                            &z[r],
-                            ls,
-                        );
-                    });
+                    for_components_mut(&self.pre.offsets, 0, s_count, grain, lambda, &one)
                 });
                 t0.elapsed().as_secs_f64()
             }
             Exec::Inherit => {
                 let t0 = Instant::now();
-                let mut slices = split_by_offsets(lambda, &self.pre.offsets);
-                slices.par_iter_mut().enumerate().for_each(|(s, ls)| {
-                    let r = self.pre.range(s);
-                    updates::dual_update_component(
-                        &self.pre.stacked_to_global[r.clone()],
-                        rho,
-                        x,
-                        &z[r],
-                        ls,
-                    );
-                });
+                let grain = s_count
+                    .div_ceil(4 * rayon::current_num_threads().max(1))
+                    .max(1);
+                for_components_mut(&self.pre.offsets, 0, s_count, grain, lambda, &one);
                 t0.elapsed().as_secs_f64()
             }
             Exec::Gpu(dev, tpb) => {

@@ -79,7 +79,17 @@ pub struct AdmmOptions {
     /// Fuse the local and dual updates into one GPU kernel launch,
     /// halving the per-iteration launch overhead (a standard CUDA
     /// optimization; only affects the GPU backend's modeled time).
+    /// Superseded by [`AdmmOptions::fused`]; only relevant on the
+    /// unfused reference path (`fused == false`).
     pub fuse_local_dual: bool,
+    /// Run the fused single-pass iteration pipeline: the global update
+    /// reads a precomputed consensus feed `w = z − λ/ρ`, the local
+    /// projection + dual step + consensus-feed refresh run as one
+    /// per-component sweep, and the residual partial sums fold into that
+    /// sweep on `check_every` iterations (no standalone residual pass).
+    /// Bit-identical to the unfused path on every backend; `false`
+    /// selects the unfused reference path for differential pinning.
+    pub fused: bool,
 }
 
 impl Default for AdmmOptions {
@@ -94,6 +104,7 @@ impl Default for AdmmOptions {
             rho_adapt: None,
             trace_every: 0,
             fuse_local_dual: false,
+            fused: true,
         }
     }
 }
@@ -206,6 +217,13 @@ impl AdmmOptionsBuilder {
         self
     }
 
+    /// Select the fused single-pass pipeline (`true`, the default) or the
+    /// unfused reference path (`false`).
+    pub fn fused(mut self, fused: bool) -> Self {
+        self.opts.fused = fused;
+        self
+    }
+
     /// Finish building.
     pub fn build(self) -> AdmmOptions {
         self.opts
@@ -224,6 +242,10 @@ pub struct Timings {
     /// Total termination-test (residual) time (s) — reported separately;
     /// the paper's per-iteration totals cover only the three updates.
     pub residual_s: f64,
+    /// Total fused-sweep time (s): local + dual + inline residual
+    /// partials in one pass. Zero on the unfused reference path, where
+    /// the same work lands in `local_s`/`dual_s`/`residual_s` instead.
+    pub fused_s: f64,
     /// Iterations the totals cover.
     pub iterations: usize,
     /// `true` when the times come from the GPU's analytic model rather
@@ -232,9 +254,10 @@ pub struct Timings {
 }
 
 impl Timings {
-    /// Sum of the three update totals.
+    /// Sum of the update totals (global + local + dual + fused; exactly
+    /// one of `local_s + dual_s` or `fused_s` is nonzero per solve).
     pub fn total_s(&self) -> f64 {
-        self.global_s + self.local_s + self.dual_s
+        self.global_s + self.local_s + self.dual_s + self.fused_s
     }
 
     /// Per-iteration averages `(global, local, dual)`.
@@ -355,6 +378,7 @@ mod tests {
             local_s: 4.0,
             dual_s: 6.0,
             residual_s: 0.5,
+            fused_s: 0.0,
             iterations: 2,
             simulated: false,
         };

@@ -4,6 +4,42 @@
 
 use crate::precompute::Precomputed;
 
+/// Components at or below this dimension use an on-stack scratch buffer
+/// in [`with_scratch`] (all of the paper's feeders fit: n ≤ 39).
+const STACK_DIM: usize = 64;
+
+/// Run `f` on a scratch slice of length `n` without allocating in steady
+/// state: components up to `STACK_DIM` entries use a stack buffer, larger
+/// ones borrow a grow-only thread-local vector (one allocation per thread
+/// per high-water mark, amortized zero per call). Scratch contents are
+/// unspecified on entry — callers must write before reading. Not
+/// re-entrant for `n > STACK_DIM`.
+pub fn with_scratch<R>(n: usize, f: impl FnOnce(&mut [f64]) -> R) -> R {
+    thread_local! {
+        static SCRATCH: std::cell::RefCell<Vec<f64>> =
+            const { std::cell::RefCell::new(Vec::new()) };
+    }
+    if n <= STACK_DIM {
+        let mut stack = [0.0f64; STACK_DIM];
+        f(&mut stack[..n])
+    } else {
+        SCRATCH.with(|cell| {
+            let mut v = cell.borrow_mut();
+            if v.len() < n {
+                v.resize(n, 0.0);
+            }
+            f(&mut v[..n])
+        })
+    }
+}
+
+/// Pre-grow this thread's [`with_scratch`] buffer to `n` entries so the
+/// solve loop proper never allocates (solvers call this once at setup
+/// with [`Precomputed::max_component_dim`]).
+pub fn warm_scratch(n: usize) {
+    with_scratch(n, |_| {});
+}
+
 /// Global update (13)/(18) for global variables `range`:
 ///
 /// `x̂_i = (−c_i/ρ + Σ_{j ∈ copies(i)} (z_j − λ_j/ρ)) / |copies(i)|`,
@@ -37,6 +73,54 @@ pub fn global_update_range(
         // bound and escape the `Residuals::converged` non-finite guard.
         // Letting NaN/±∞ through poisons the residuals instead, so the
         // divergence is detected and reported.
+        if clip && v.is_finite() {
+            v = v.max(lower[i]).min(upper[i]);
+        }
+        x_out[o] = v;
+    }
+}
+
+/// [`global_update_range`] reading a precomputed consensus feed
+/// `w[j] = z[j] − λ[j]/ρ` instead of the two stacked arrays.
+///
+/// The fused sweep forms `w` with the same `1/ρ` bits this function would
+/// use, so `acc += w[j]` is bit-identical to `acc += z[j] − λ[j]·(1/ρ)`
+/// while halving the stacked-gather traffic of the global update. The
+/// copy-count division takes the reciprocal-multiply fast path wherever
+/// `inv_count` is nonzero ([`crate::Precomputed::copy_inv_count`]:
+/// power-of-two counts only, where the multiply is bit-identical to the
+/// divide), which removes an FP division for the overwhelming share of
+/// consensus variables.
+#[allow(clippy::too_many_arguments)]
+pub fn global_update_range_feed(
+    range: std::ops::Range<usize>,
+    rho: f64,
+    clip: bool,
+    c: &[f64],
+    lower: &[f64],
+    upper: &[f64],
+    copies_ptr: &[usize],
+    copies_idx: &[usize],
+    inv_count: &[f64],
+    w: &[f64],
+    x_out: &mut [f64],
+) {
+    let inv_rho = 1.0 / rho;
+    for (o, i) in range.enumerate() {
+        let lo = copies_ptr[i];
+        let hi = copies_ptr[i + 1];
+        let mut acc = -c[i] * inv_rho;
+        for &j in &copies_idx[lo..hi] {
+            acc += w[j];
+        }
+        let ic = inv_count[i];
+        let mut v = if ic > 0.0 {
+            acc * ic
+        } else {
+            acc / (hi - lo) as f64
+        };
+        // Same finite-only clip as `global_update_range` (see the NaN
+        // rationale there).
         if clip && v.is_finite() {
             v = v.max(lower[i]).min(upper[i]);
         }
@@ -88,27 +172,21 @@ pub fn local_update_component_bbar(
     // Gather the target `t_j = x_{g(j)} + λ_j/ρ` once per component rather
     // than once per row; `t_j` is row-invariant, so reusing it keeps the
     // accumulation bit-identical while cutting the gather traffic from n²
-    // to n. Components are small (n ≤ 39 on the paper's feeders), so a
-    // fixed stack buffer avoids a per-call allocation.
-    const STACK_DIM: usize = 64;
-    let mut stack = [0.0f64; STACK_DIM];
-    let mut heap: Vec<f64>;
-    let t: &mut [f64] = if n <= STACK_DIM {
-        &mut stack[..n]
-    } else {
-        heap = vec![0.0; n];
-        &mut heap
-    };
-    for (tj, (&g, &l)) in t.iter_mut().zip(globals.iter().zip(lambda_s)) {
-        *tj = x[g] + l * inv_rho;
-    }
-    for (i, row) in abar.chunks_exact(n).enumerate() {
-        let mut acc = bbar[i];
-        for (&a, &tj) in row.iter().zip(t.iter()) {
-            acc -= a * tj;
+    // to n. `with_scratch` serves a stack buffer for the paper-sized
+    // components and an amortized thread-local beyond — never a per-call
+    // heap allocation.
+    with_scratch(n, |t| {
+        for (tj, (&g, &l)) in t.iter_mut().zip(globals.iter().zip(lambda_s)) {
+            *tj = x[g] + l * inv_rho;
         }
-        z_out[i] = acc;
-    }
+        for (i, row) in abar.chunks_exact(n).enumerate() {
+            let mut acc = bbar[i];
+            for (&a, &tj) in row.iter().zip(t.iter()) {
+                acc -= a * tj;
+            }
+            z_out[i] = acc;
+        }
+    });
 }
 
 /// Dual update (12) for one component slice:
@@ -123,6 +201,117 @@ pub fn dual_update_component(
     for ((l, &g), &zj) in lambda_s.iter_mut().zip(globals).zip(z_s) {
         *l += rho * (x[g] - zj);
     }
+}
+
+/// Fused single-pass iteration body for component `s`: local projection
+/// (15) into `z_out`, dual ascent (12) on `lambda_s` in place, consensus
+/// feed refresh `w_out[j] = z_out[j] − λ_j/ρ` for the next global update,
+/// and — when `partials` is given — the residual partial sums of (16),
+/// all while `x`/`λ`/`z` stream through once.
+///
+/// The arithmetic is the unfused kernels' element for element, in the
+/// same order, so the fused iterate and residuals are bit-identical to
+/// running [`local_update_component_bbar`] → [`dual_update_component`] →
+/// [`Residuals::component_partials`] separately (pinned by
+/// `tests/tests/fused.rs`). The component's `x` gather lands in scratch
+/// once (`bx_j = x_{g(j)}`), the projection target `t_j = bx_j + λ_j/ρ`
+/// rides the same fill, and dual + feed + partials run as one loop whose
+/// inputs are all in registers — the fused sweep touches each stacked
+/// element exactly once. Scratch is `2n`; solvers warm it at setup so
+/// the hot loop never allocates.
+#[allow(clippy::too_many_arguments)]
+pub fn fused_iteration_component(
+    s: usize,
+    pre: &Precomputed,
+    bbar: &[f64],
+    rho: f64,
+    x: &[f64],
+    z_prev_s: &[f64],
+    z_out: &mut [f64],
+    lambda_s: &mut [f64],
+    w_out: &mut [f64],
+    partials: Option<&mut [f64]>,
+) {
+    let base = pre.offsets[s];
+    let n = z_out.len();
+    let globals = &pre.stacked_to_global[base..base + n];
+    let abar = pre.abar_slice(s);
+    debug_assert_eq!(abar.len(), n * n);
+    debug_assert_eq!(bbar.len(), n);
+    let inv_rho = 1.0 / rho;
+    with_scratch(2 * n, |scratch| {
+        let (bx, t) = scratch.split_at_mut(n);
+        for (((b, tj), &g), &l) in bx.iter_mut().zip(t.iter_mut()).zip(globals).zip(&*lambda_s) {
+            *b = x[g];
+            *tj = *b + l * inv_rho;
+        }
+        for (i, row) in abar.chunks_exact(n).enumerate() {
+            let mut acc = bbar[i];
+            for (&a, &tj) in row.iter().zip(t.iter()) {
+                acc -= a * tj;
+            }
+            z_out[i] = acc;
+        }
+        match partials {
+            Some(out) => {
+                debug_assert_eq!(out.len(), 5);
+                let (mut pres2, mut bx2, mut z2, mut dz2, mut l2) = (0.0, 0.0, 0.0, 0.0, 0.0);
+                for k in 0..n {
+                    let b = bx[k];
+                    let zj = z_out[k];
+                    let l = lambda_s[k] + rho * (b - zj);
+                    lambda_s[k] = l;
+                    w_out[k] = zj - l * inv_rho;
+                    pres2 += (b - zj) * (b - zj);
+                    bx2 += b * b;
+                    z2 += zj * zj;
+                    dz2 += (zj - z_prev_s[k]) * (zj - z_prev_s[k]);
+                    l2 += l * l;
+                }
+                out[0] = pres2;
+                out[1] = bx2;
+                out[2] = z2;
+                out[3] = dz2;
+                out[4] = l2;
+            }
+            None => {
+                for k in 0..n {
+                    let zj = z_out[k];
+                    let l = lambda_s[k] + rho * (bx[k] - zj);
+                    lambda_s[k] = l;
+                    w_out[k] = zj - l * inv_rho;
+                }
+            }
+        }
+    });
+}
+
+/// [`Residuals::component_partials`] over component-local slices — the
+/// form the fused sweep uses, where `z`/`z_prev`/`λ` arrive already
+/// sliced to the component. Same loop body, same accumulation order.
+pub fn component_partials_slices(
+    globals: &[usize],
+    x: &[f64],
+    z_s: &[f64],
+    z_prev_s: &[f64],
+    lambda_s: &[f64],
+    out: &mut [f64],
+) {
+    debug_assert_eq!(out.len(), 5);
+    let (mut pres2, mut bx2, mut z2, mut dz2, mut l2) = (0.0, 0.0, 0.0, 0.0, 0.0);
+    for k in 0..z_s.len() {
+        let bx = x[globals[k]];
+        pres2 += (bx - z_s[k]) * (bx - z_s[k]);
+        bx2 += bx * bx;
+        z2 += z_s[k] * z_s[k];
+        dz2 += (z_s[k] - z_prev_s[k]) * (z_s[k] - z_prev_s[k]);
+        l2 += lambda_s[k] * lambda_s[k];
+    }
+    out[0] = pres2;
+    out[1] = bx2;
+    out[2] = z2;
+    out[3] = dz2;
+    out[4] = l2;
 }
 
 /// Gather `B x` into a stacked buffer (`out[j] = x[global(j)]`).
@@ -193,23 +382,16 @@ impl Residuals {
         lambda: &[f64],
         out: &mut [f64],
     ) {
-        debug_assert_eq!(out.len(), 5);
         let r = pre.range(s);
         let globals = &pre.stacked_to_global[r.clone()];
-        let (mut pres2, mut bx2, mut z2, mut dz2, mut l2) = (0.0, 0.0, 0.0, 0.0, 0.0);
-        for (k, j) in r.clone().enumerate() {
-            let bx = x[globals[k]];
-            pres2 += (bx - z[j]) * (bx - z[j]);
-            bx2 += bx * bx;
-            z2 += z[j] * z[j];
-            dz2 += (z[j] - z_prev[j]) * (z[j] - z_prev[j]);
-            l2 += lambda[j] * lambda[j];
-        }
-        out[0] = pres2;
-        out[1] = bx2;
-        out[2] = z2;
-        out[3] = dz2;
-        out[4] = l2;
+        component_partials_slices(
+            globals,
+            x,
+            &z[r.clone()],
+            &z_prev[r.clone()],
+            &lambda[r],
+            out,
+        );
     }
 
     /// Assemble (16) from summed component partials

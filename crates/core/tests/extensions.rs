@@ -83,10 +83,18 @@ fn fused_kernel_matches_unfused_and_saves_launch_overhead() {
         props: DeviceProps::a100(),
         threads_per_block: 32,
     };
-    let unfused = solver.solve(&AdmmOptions::builder().backend(gpu.clone()).build());
+    // Pin the unfused reference path: `fuse_local_dual` only
+    // distinguishes anything when the fully fused pipeline is off.
+    let unfused = solver.solve(
+        &AdmmOptions::builder()
+            .backend(gpu.clone())
+            .fused(false)
+            .build(),
+    );
     let fused = solver.solve(
         &AdmmOptions::builder()
             .backend(gpu)
+            .fused(false)
             .fuse_local_dual(true)
             .build(),
     );

@@ -90,6 +90,30 @@ pub trait PairBlockKernel: Sync {
     fn block_cost(&self, b: usize) -> BlockCost;
 }
 
+/// A grid of blocks writing `N` parallel disjoint output slices per
+/// block, where each output has its own per-block slice length (used by
+/// fully fused kernels such as local+dual+consensus-feed+residual
+/// partials: one launch, several output vectors sharing one block
+/// layout).
+pub trait MultiBlockKernel: Sync {
+    /// Stable profiling name (see [`BlockKernel::name`]).
+    fn name(&self) -> &'static str {
+        "kernel"
+    }
+
+    /// Number of parallel outputs.
+    fn outputs(&self) -> usize;
+    /// Number of blocks in the grid.
+    fn blocks(&self) -> usize;
+    /// Length of block `b`'s slice in output `o`.
+    fn out_len(&self, o: usize, b: usize) -> usize;
+    /// Execute block `b` against its slices of every output (`outs[o]`
+    /// is the block's slice of output `o`).
+    fn run_block(&self, b: usize, threads: usize, outs: &mut [&mut [f64]]);
+    /// Declared work of block `b` (the whole fused body).
+    fn block_cost(&self, b: usize) -> BlockCost;
+}
+
 /// Per-kernel aggregate collected when [`Device::enable_profiling`] is
 /// on: launch counts, simulated and host wall time, and the modeled
 /// memory/compute traffic derived from each launch's [`BlockCost`]s.
@@ -246,6 +270,57 @@ impl Device {
             .par_iter_mut()
             .enumerate()
             .for_each(|(b, (sa, sb))| kernel.run_block(b, threads, sa, sb));
+        let wall_s = wall.map_or(0.0, |t0| t0.elapsed().as_secs_f64());
+
+        let costs: Vec<BlockCost> = (0..nblocks).map(|b| kernel.block_cost(b)).collect();
+        let t = SimTime(self.props.kernel_time(&costs, threads));
+        self.elapsed += t;
+        self.launches += 1;
+        if let Some(profile) = self.profile.as_mut() {
+            profile
+                .entry(kernel.name())
+                .or_default()
+                .absorb(t, wall_s, &costs);
+        }
+        t
+    }
+
+    /// Launch a fused kernel writing `N` parallel outputs with one
+    /// launch overhead. The slices in `outs` are consumed (left empty)
+    /// by the split; the underlying buffers they borrow are written as
+    /// usual.
+    ///
+    /// # Panics
+    /// Panics if `outs.len()` differs from [`MultiBlockKernel::outputs`]
+    /// or any output's length differs from its block total.
+    pub fn launch_multi<K: MultiBlockKernel>(
+        &mut self,
+        kernel: &K,
+        threads: usize,
+        outs: &mut [&mut [f64]],
+    ) -> SimTime {
+        let nblocks = kernel.blocks();
+        assert_eq!(outs.len(), kernel.outputs(), "output count mismatch");
+        // Split every output into its per-block slices, regrouped so
+        // block `b` sees `[out0_b, out1_b, …]`.
+        let mut groups: Vec<Vec<&mut [f64]>> = (0..nblocks)
+            .map(|_| Vec::with_capacity(outs.len()))
+            .collect();
+        for (o, out) in outs.iter_mut().enumerate() {
+            let mut rest: &mut [f64] = std::mem::take(out);
+            for (b, group) in groups.iter_mut().enumerate() {
+                let len = kernel.out_len(o, b);
+                let (head, tail) = rest.split_at_mut(len);
+                group.push(head);
+                rest = tail;
+            }
+            assert!(rest.is_empty(), "output {o} longer than total block output");
+        }
+        let wall = self.profile.is_some().then(Instant::now);
+        groups
+            .par_iter_mut()
+            .enumerate()
+            .for_each(|(b, g)| kernel.run_block(b, threads, g));
         let wall_s = wall.map_or(0.0, |t0| t0.elapsed().as_secs_f64());
 
         let costs: Vec<BlockCost> = (0..nblocks).map(|b| kernel.block_cost(b)).collect();
@@ -461,6 +536,87 @@ mod tests {
                 )
                 .secs();
         assert!(fused < two, "fused {fused} vs two launches {two}");
+    }
+
+    /// Three outputs with different per-block lengths: doubled input,
+    /// tripled input, and a per-block sum (length 1 per block).
+    struct MultiDouble<'a> {
+        input: &'a [f64],
+        chunk: usize,
+    }
+
+    impl MultiBlockKernel for MultiDouble<'_> {
+        fn outputs(&self) -> usize {
+            3
+        }
+        fn blocks(&self) -> usize {
+            self.input.len().div_ceil(self.chunk)
+        }
+        fn out_len(&self, o: usize, b: usize) -> usize {
+            match o {
+                2 => 1,
+                _ => (self.input.len() - b * self.chunk).min(self.chunk),
+            }
+        }
+        fn run_block(&self, b: usize, _t: usize, outs: &mut [&mut [f64]]) {
+            let lo = b * self.chunk;
+            let n = self.out_len(0, b);
+            let mut sum = 0.0;
+            for (k, &v) in self.input[lo..lo + n].iter().enumerate() {
+                outs[0][k] = 2.0 * v;
+                outs[1][k] = 3.0 * v;
+                sum += v;
+            }
+            outs[2][0] = sum;
+        }
+        fn block_cost(&self, b: usize) -> BlockCost {
+            BlockCost {
+                items: self.out_len(0, b),
+                flops_per_item: 3.0,
+                bytes_per_item: 32.0,
+                ..BlockCost::default()
+            }
+        }
+    }
+
+    #[test]
+    fn launch_multi_writes_all_outputs_with_one_launch() {
+        let input: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let k = MultiDouble {
+            input: &input,
+            chunk: 6,
+        };
+        let nblocks = k.blocks();
+        let mut dev = Device::a100();
+        let mut a = vec![0.0; 20];
+        let mut b = vec![0.0; 20];
+        let mut sums = vec![0.0; nblocks];
+        let t = dev.launch_multi(&k, 8, &mut [&mut a, &mut b, &mut sums]);
+        assert!(t.secs() > 0.0);
+        assert_eq!(dev.launches, 1);
+        for i in 0..20 {
+            assert_eq!(a[i], 2.0 * i as f64);
+            assert_eq!(b[i], 3.0 * i as f64);
+        }
+        for (blk, s) in sums.iter().enumerate() {
+            let lo = blk * 6;
+            let expect: f64 = input[lo..(lo + 6).min(20)].iter().sum();
+            assert_eq!(*s, expect);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn launch_multi_wrong_output_count_panics() {
+        let input = vec![1.0; 12];
+        let k = MultiDouble {
+            input: &input,
+            chunk: 4,
+        };
+        let mut dev = Device::a100();
+        let mut a = vec![0.0; 12];
+        let mut b = vec![0.0; 12];
+        dev.launch_multi(&k, 8, &mut [&mut a, &mut b]);
     }
 
     #[test]

@@ -16,4 +16,4 @@ pub mod device;
 pub mod kernel;
 
 pub use device::{BlockCost, DeviceProps};
-pub use kernel::{BlockKernel, Device, KernelProfile, PairBlockKernel, SimTime};
+pub use kernel::{BlockKernel, Device, KernelProfile, MultiBlockKernel, PairBlockKernel, SimTime};

@@ -28,7 +28,7 @@ pub const SCHEMA_VERSION: &str = "opf-telemetry/v1";
 /// Default capacity of the per-iteration sample ring buffer.
 pub const DEFAULT_SAMPLE_CAPACITY: usize = 256;
 
-/// The four timed phases of one ADMM iteration (paper Alg. 1 / Table IV).
+/// The timed phases of one ADMM iteration (paper Alg. 1 / Table IV).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Phase {
     /// Global update (13)/(18): averaging + operational clipping.
@@ -40,11 +40,21 @@ pub enum Phase {
     Dual,
     /// Termination test (16): residual norms + tolerance comparison.
     Residual,
+    /// Fused local+dual(+residual-partials) sweep: the single-pass
+    /// pipeline reports its combined per-component sweep here instead of
+    /// emitting separate Local/Dual/Residual spans.
+    Fused,
 }
 
 impl Phase {
     /// All phases in schema order.
-    pub const ALL: [Phase; 4] = [Phase::Global, Phase::Local, Phase::Dual, Phase::Residual];
+    pub const ALL: [Phase; 5] = [
+        Phase::Global,
+        Phase::Local,
+        Phase::Dual,
+        Phase::Residual,
+        Phase::Fused,
+    ];
 
     /// Stable schema name for this phase.
     pub fn name(self) -> &'static str {
@@ -53,6 +63,7 @@ impl Phase {
             Phase::Local => "local",
             Phase::Dual => "dual",
             Phase::Residual => "residual",
+            Phase::Fused => "fused",
         }
     }
 
@@ -62,6 +73,7 @@ impl Phase {
             Phase::Local => 1,
             Phase::Dual => 2,
             Phase::Residual => 3,
+            Phase::Fused => 4,
         }
     }
 
@@ -222,7 +234,7 @@ struct PhaseTotal {
 pub struct TelemetryRecorder {
     backend: Option<String>,
     instance: Option<String>,
-    phases: [PhaseTotal; 4],
+    phases: [PhaseTotal; 5],
     counters: BTreeMap<&'static str, u64>,
     kernels: BTreeMap<&'static str, KernelSample>,
     samples: VecDeque<IterationSample>,
@@ -389,7 +401,7 @@ pub struct TelemetryReport {
     pub backend: Option<String>,
     /// Instance label, if the producer set one.
     pub instance: Option<String>,
-    /// Per-phase totals in schema order (always all four phases).
+    /// Per-phase totals in schema order (always all five phases).
     pub phases: Vec<PhaseSpan>,
     /// Named counters, sorted by name.
     pub counters: Vec<(String, u64)>,
@@ -705,7 +717,7 @@ mod tests {
         assert_eq!(r.counter("messages"), 5);
         assert_eq!(r.counter("absent"), 0);
         let report = r.report();
-        assert_eq!(report.phases.len(), 4);
+        assert_eq!(report.phases.len(), 5);
         assert_eq!(report.phase_total(Phase::Global), 0.75);
         assert_eq!(report.counter("messages"), 5);
         assert_eq!(report.phases[0].calls, 2);
@@ -807,12 +819,12 @@ mod tests {
         );
         assert_eq!(v.get("backend").and_then(|s| s.as_str()), Some("serial"));
         let phases = v.get("phases").and_then(|p| p.as_array()).unwrap();
-        assert_eq!(phases.len(), 4);
+        assert_eq!(phases.len(), 5);
         let names: Vec<&str> = phases
             .iter()
             .map(|p| p.get("name").and_then(|n| n.as_str()).unwrap())
             .collect();
-        assert_eq!(names, vec!["global", "local", "dual", "residual"]);
+        assert_eq!(names, vec!["global", "local", "dual", "residual", "fused"]);
     }
 
     #[test]

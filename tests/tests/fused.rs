@@ -1,0 +1,171 @@
+//! Fused-pipeline bit-identity: the single-pass fused iteration (one
+//! sweep running the local projection, the dual ascent, the
+//! consensus-feed refresh, and the inline residual partials) must
+//! reproduce the unfused reference path bit for bit — same iterates,
+//! same residuals, same trace, same iteration count — on every backend,
+//! at every check stride, with and without ρ adaptation, and through
+//! `solve_batch`.
+
+use gpu_sim::DeviceProps;
+use opf_admm::prelude::*;
+use opf_admm::ResidualBalancing;
+use opf_integration::{decompose_net, small_spec};
+use opf_net::feeders::{self, generate};
+use proptest::prelude::*;
+
+fn gpu_backend() -> Backend {
+    Backend::Gpu {
+        props: DeviceProps::a100(),
+        threads_per_block: 32,
+    }
+}
+
+fn assert_bit_identical(tag: &str, fused: &SolveResult, unfused: &SolveResult) {
+    assert_eq!(fused.iterations, unfused.iterations, "{tag}: iterations");
+    assert_eq!(fused.converged, unfused.converged, "{tag}: converged");
+    assert_eq!(fused.x, unfused.x, "{tag}: x diverged");
+    assert_eq!(fused.z, unfused.z, "{tag}: z diverged");
+    assert_eq!(fused.lambda, unfused.lambda, "{tag}: λ diverged");
+    assert_eq!(fused.objective, unfused.objective, "{tag}: objective");
+    // The residual partials are folded into the fused sweep; the sums
+    // must still come out bit-equal to the standalone residual pass.
+    assert_eq!(
+        fused.residuals.pres, unfused.residuals.pres,
+        "{tag}: primal residual"
+    );
+    assert_eq!(
+        fused.residuals.dres, unfused.residuals.dres,
+        "{tag}: dual residual"
+    );
+    assert_eq!(fused.trace.len(), unfused.trace.len(), "{tag}: trace len");
+    for (a, b) in fused.trace.iter().zip(&unfused.trace) {
+        assert_eq!(a.iter, b.iter, "{tag}: trace iter");
+        assert_eq!(a.pres, b.pres, "{tag}: trace pres");
+        assert_eq!(a.dres, b.dres, "{tag}: trace dres");
+        assert_eq!(a.rho, b.rho, "{tag}: trace rho");
+    }
+}
+
+/// Serial, rayon, and gpu-sim, each at `check_every ∈ {1, 7}`: the fused
+/// pipeline and the unfused reference produce identical bits.
+#[test]
+fn fused_is_bit_identical_to_unfused_on_every_backend() {
+    let net = feeders::ieee13();
+    let dec = decompose_net(&net);
+    let solver = SolverFreeAdmm::new(&dec).expect("precompute");
+    for backend in [
+        Backend::Serial,
+        Backend::Rayon { threads: 3 },
+        gpu_backend(),
+    ] {
+        for check_every in [1usize, 7] {
+            let base = AdmmOptions::builder()
+                .backend(backend.clone())
+                .max_iters(300)
+                .check_every(check_every)
+                .trace_every(50);
+            let fused = solver.solve(&base.clone().fused(true).build());
+            let unfused = solver.solve(&base.clone().fused(false).build());
+            assert_bit_identical(
+                &format!("{backend:?} check_every={check_every}"),
+                &fused,
+                &unfused,
+            );
+        }
+    }
+}
+
+/// ρ adaptation leaves the consensus feed stale for exactly one global
+/// update (the fused loop falls back to the two-array read); the result
+/// must still match the unfused path bit for bit.
+#[test]
+fn fused_matches_unfused_under_rho_adaptation() {
+    let net = feeders::ieee13();
+    let dec = decompose_net(&net);
+    let solver = SolverFreeAdmm::new(&dec).expect("precompute");
+    for backend in [Backend::Serial, gpu_backend()] {
+        let base = AdmmOptions::builder()
+            .backend(backend.clone())
+            .max_iters(250)
+            .check_every(10)
+            .rho_adapt(ResidualBalancing {
+                mu: 10.0,
+                tau: 2.0,
+                every: 20,
+            });
+        let fused = solver.solve(&base.clone().fused(true).build());
+        let unfused = solver.solve(&base.clone().fused(false).build());
+        assert_bit_identical(&format!("{backend:?} + rho_adapt"), &fused, &unfused);
+    }
+}
+
+/// `solve_batch` on serial and gpu-sim: fused batches match unfused
+/// batches scenario by scenario (the gpu path swaps the per-phase 2-D
+/// launches for one batched fused launch per iteration).
+#[test]
+fn fused_batch_matches_unfused_batch() {
+    let net = feeders::ieee13();
+    let dec = decompose_net(&net);
+    let engine = Engine::new(&dec).expect("engine");
+    let batch = ScenarioBatch::sweep(engine.solver(), 4, 17, 0.05).expect("sweep");
+    for backend in [Backend::Serial, gpu_backend()] {
+        let base = AdmmOptions::builder()
+            .backend(backend.clone())
+            .max_iters(120)
+            .check_every(20);
+        let fused = engine
+            .solve_batch(&BatchRequest::new(
+                batch.clone(),
+                base.clone().fused(true).build(),
+            ))
+            .expect("fused batch");
+        let unfused = engine
+            .solve_batch(&BatchRequest::new(
+                batch.clone(),
+                base.clone().fused(false).build(),
+            ))
+            .expect("unfused batch");
+        assert_eq!(fused.iterations_total, unfused.iterations_total);
+        assert_eq!(fused.converged, unfused.converged);
+        for k in 0..4 {
+            let (f, u) = (&fused.scenarios[k], &unfused.scenarios[k]);
+            let tag = format!("{backend:?} scenario {k}");
+            assert_eq!(f.x, u.x, "{tag}: x diverged");
+            assert_eq!(f.z, u.z, "{tag}: z diverged");
+            assert_eq!(f.lambda, u.lambda, "{tag}: λ diverged");
+            assert_eq!(f.iterations, u.iterations, "{tag}: iterations");
+            assert_eq!(f.objective, u.objective, "{tag}: objective");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random synthetic radial feeders: the fused serial sweep stays bit
+    /// identical to the reference at both check strides.
+    #[test]
+    fn fused_is_bit_identical_on_random_feeders(
+        nodes in 5usize..20,
+        leaf_draw in 0u64..1000,
+        seed in 0u64..u64::MAX,
+    ) {
+        let leaves = 1 + (leaf_draw as usize) % (nodes - 3);
+        let net = generate(&small_spec(nodes, leaves, seed));
+        let dec = decompose_net(&net);
+        let solver = SolverFreeAdmm::new(&dec).expect("precompute");
+        for check_every in [1usize, 7] {
+            let base = AdmmOptions::builder()
+                .max_iters(120)
+                .check_every(check_every)
+                .trace_every(25);
+            let fused = solver.solve(&base.clone().fused(true).build());
+            let unfused = solver.solve(&base.clone().fused(false).build());
+            assert_bit_identical(
+                &format!("{} check_every={check_every}", net.name),
+                &fused,
+                &unfused,
+            );
+        }
+    }
+}

@@ -41,16 +41,40 @@ fn observer_attachment_is_bit_for_bit_on_ieee13() {
     let observed = solver.solve_observed(&opts, &mut rec);
     assert_same_solve(&plain, &observed);
 
-    // The recorder saw every checked iteration and all four phases.
+    // The recorder saw every checked iteration and the two phases a
+    // fused solve runs: the global update and the fused
+    // local+dual+residual sweep (the standalone local/dual/residual
+    // spans exist only on the unfused reference path).
     let report = rec.report();
     assert_eq!(report.samples_seen, observed.iterations as u64);
-    for phase in Phase::ALL {
+    for phase in [Phase::Global, Phase::Fused] {
         assert!(
             report.phase_total(phase) > 0.0,
             "{} span is empty",
             phase.name()
         );
     }
+    for phase in [Phase::Local, Phase::Dual, Phase::Residual] {
+        assert_eq!(
+            report.phase_total(phase),
+            0.0,
+            "{} span leaked into a fused run",
+            phase.name()
+        );
+    }
+    let mut rec_unfused = TelemetryRecorder::new();
+    let opts_unfused = AdmmOptions::builder().fused(false).build();
+    let unfused = solver.solve_observed(&opts_unfused, &mut rec_unfused);
+    assert_same_solve(&plain, &unfused);
+    let report_unfused = rec_unfused.report();
+    for phase in [Phase::Global, Phase::Local, Phase::Dual, Phase::Residual] {
+        assert!(
+            report_unfused.phase_total(phase) > 0.0,
+            "{} span is empty on the unfused path",
+            phase.name()
+        );
+    }
+    assert_eq!(report_unfused.phase_total(Phase::Fused), 0.0);
     // Samples are a tail of the run in iteration order.
     let iters: Vec<u64> = report.samples.iter().map(|s| s.iter).collect();
     assert!(iters.windows(2).all(|w| w[0] < w[1]));
@@ -86,17 +110,22 @@ fn observer_attachment_is_bit_for_bit_on_gpu_sim() {
     let observed = solver.solve_observed(&opts, &mut rec);
     assert_same_solve(&plain, &observed);
 
-    // Observation switches on the device kernel profile: one row per
-    // distinct kernel, launch counts matching the iteration structure.
+    // Observation switches on the device kernel profile: the fused
+    // pipeline launches exactly two kernels per iteration — the global
+    // update and the fused iteration kernel (the standalone local /
+    // dual / residual kernels exist only on the unfused path).
     let report = rec.report();
     let names: Vec<&str> = report.kernels.iter().map(|k| k.name.as_str()).collect();
-    for expected in ["global", "local", "dual", "residual"] {
+    for expected in ["global", "fused_iter"] {
         assert!(names.contains(&expected), "missing kernel row {expected}");
     }
+    for absent in ["local", "dual", "residual"] {
+        assert!(
+            !names.contains(&absent),
+            "unfused kernel {absent} launched on the fused path"
+        );
+    }
     for k in &report.kernels {
-        if k.name == "residual" {
-            continue; // launched only at termination checks
-        }
         assert_eq!(
             k.launches, observed.iterations as u64,
             "kernel {} launch count",
@@ -163,12 +192,15 @@ fn distributed_counters_are_present_and_monotone() {
     assert_eq!(report.counter("comm.gave_up"), 0);
     assert_eq!(report.counter("faults.dead_ranks"), 0);
 
-    // The operator's per-phase compute is replayed into the spans.
-    for phase in Phase::ALL {
+    // The operator's per-phase compute is replayed into the spans. The
+    // distributed runtime keeps the separate update sweeps (its phases
+    // interleave with communication), so Fused stays empty there.
+    for phase in [Phase::Global, Phase::Local, Phase::Dual, Phase::Residual] {
         assert!(
             report.phase_total(phase) > 0.0,
             "{} span is empty",
             phase.name()
         );
     }
+    assert_eq!(report.phase_total(Phase::Fused), 0.0);
 }
