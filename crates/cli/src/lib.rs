@@ -7,12 +7,16 @@ use comm_sim::{Compression, FaultPlan};
 use gpu_sim::DeviceProps;
 use opf_admm::{
     AdmmOptions, Backend, BatchRequest, CheckpointSpec, DistributedOptions, Engine, ExecutionMode,
-    ScenarioBatch, SolveRequest,
+    ScenarioBatch, SolveRequest, SupervisorOptions,
 };
 use opf_model::{decompose, report, VarSpace};
 use opf_net::{feeders, ComponentGraph};
 
 /// A parsed CLI invocation.
+// One `Command` exists per process; the size skew of the fully-optioned
+// `Solve` variant is irrelevant here, and boxing its fields would only
+// obscure the flag surface.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
     /// `gridflow info <instance>`
@@ -39,6 +43,9 @@ pub enum Command {
         scenario_seed: u64,
         scenario_spread: f64,
         scenario_chain: bool,
+        deadline_ms: Option<u64>,
+        max_retries: usize,
+        allow_partial: bool,
     },
     /// `gridflow export <instance> <path.json>`
     Export { instance: String, path: String },
@@ -88,6 +95,7 @@ USAGE:
                  [--checkpoint-every N] [--telemetry-json path.json]
                  [--scenarios N] [--scenario-seed S] [--scenario-spread PCT]
                  [--scenario-chain]
+                 [--deadline-ms N] [--max-retries N] [--allow-partial]
                  [--fault-seed S] [--fault-drop P] [--fault-dup P]
                  [--fault-delay P:D] [--fault-crash R@T]...
                  [--fault-straggler R:P]... [--quorum F]
@@ -120,6 +128,15 @@ scenario × component grid per kernel) — and is bit-identical to N
 sequential solves. --scenario-chain warm-starts scenario k+1 from
 scenario k (sequential). Incompatible with --distributed, --resume,
 --save-state, and --report.
+--deadline-ms N supervises the solve: it stops at the next
+--check-every boundary once N ms of wall clock have elapsed (with
+--scenarios the deadline spans the whole batch). --max-retries N
+re-runs a diverging solve up to N times with a rescaled rho,
+warm-started from the best iterate seen. A supervised solve that stops
+early (deadline, divergence, non-finite iterates) is an error unless
+--allow-partial, which accepts the best partial iterate and reports
+how far it got. Resumable checkpoints (--resume) are validated: files
+carrying NaN or infinite iterates are rejected.
   gridflow export <instance> <path.json>
   gridflow tables  [--full]
   gridflow figures [--full]
@@ -197,6 +214,9 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             let mut scenario_seed = 0u64;
             let mut scenario_spread = 5.0f64;
             let mut scenario_chain = false;
+            let mut deadline_ms = None;
+            let mut max_retries = 0usize;
+            let mut allow_partial = false;
             while let Some(a) = it.next() {
                 match a.as_str() {
                     "--backend" => {
@@ -290,6 +310,9 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                         }
                     }
                     "--scenario-chain" => scenario_chain = true,
+                    "--deadline-ms" => deadline_ms = Some(parse_u64(it.next(), "--deadline-ms")?),
+                    "--max-retries" => max_retries = parse_usize(it.next(), "--max-retries")?,
+                    "--allow-partial" => allow_partial = true,
                     other => return Err(CliError(format!("unknown flag {other}"))),
                 }
             }
@@ -347,6 +370,9 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 scenario_seed,
                 scenario_spread,
                 scenario_chain,
+                deadline_ms,
+                max_retries,
+                allow_partial,
             })
         }
         other => Err(CliError(format!("unknown command {other}"))),
@@ -497,11 +523,20 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             scenario_seed,
             scenario_spread,
             scenario_chain,
+            deadline_ms,
+            max_retries,
+            allow_partial,
         } => {
             let net = load(&instance)?;
             let graph = ComponentGraph::build(&net);
             let dec = decompose(&net, &graph).map_err(|e| CliError(e.to_string()))?;
             let engine = Engine::new(&dec).map_err(|e| CliError(e.to_string()))?;
+            let mut sup = SupervisorOptions::default();
+            if let Some(ms) = deadline_ms {
+                sup.deadline = Some(std::time::Duration::from_millis(ms));
+            }
+            sup.max_retries = max_retries;
+            let supervised = sup.is_active();
             if scenarios > 0 {
                 let opts = AdmmOptions::builder()
                     .rho(rho)
@@ -519,6 +554,8 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                     scenario_spread / 100.0,
                     scenario_chain,
                     telemetry_json.as_deref(),
+                    sup,
+                    allow_partial,
                 );
             }
             let resume_state = match &resume {
@@ -552,6 +589,9 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             let mut req = SolveRequest::new(opts).with_mode(mode);
             if let Some(state) = resume_state {
                 req = req.with_warm_start(state);
+            }
+            if supervised {
+                req = req.with_supervisor(sup);
             }
             let mut out = String::new();
             let r = match &telemetry_json {
@@ -607,6 +647,37 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                     );
                 }
             }
+            let stop = r.stop;
+            if let Some(s) = &r.supervision {
+                if s.attempts > 1 || s.returned_best {
+                    out += &format!(
+                        "supervisor: {} attempt(s), {} divergence retry(ies); best iterate \
+                         at iteration {} (pres {:.2e}){}\n",
+                        s.attempts,
+                        s.divergence_retries,
+                        s.best_iter,
+                        s.best_pres,
+                        if s.returned_best {
+                            ", returned in place of the final one"
+                        } else {
+                            ""
+                        },
+                    );
+                }
+            }
+            if supervised && stop.is_interrupted() {
+                if allow_partial {
+                    out += &format!(
+                        "stopped early ({stop}); best partial iterate accepted via --allow-partial\n"
+                    );
+                } else {
+                    return Err(CliError(format!(
+                        "solve stopped early ({stop}) after {} iterations; rerun with \
+                         --allow-partial to accept the best partial iterate",
+                        r.iterations
+                    )));
+                }
+            }
             let (x, iterations, converged, objective) =
                 (r.x, r.iterations, r.converged, r.objective);
             out += &format!(
@@ -645,10 +716,15 @@ fn run_batch(
     spread: f64,
     chain: bool,
     telemetry_json: Option<&str>,
+    sup: SupervisorOptions,
+    allow_partial: bool,
 ) -> Result<String, CliError> {
     let batch = ScenarioBatch::sweep(engine.solver(), scenarios, seed, spread)
         .map_err(|e| CliError(e.to_string()))?;
-    let req = BatchRequest::new(batch, opts).with_chaining(chain);
+    let supervised = sup.is_active();
+    let req = BatchRequest::new(batch, opts)
+        .with_chaining(chain)
+        .with_supervisor(sup);
     let mut out = String::new();
     let outcome = match telemetry_json {
         Some(path) => {
@@ -687,6 +763,33 @@ fn run_batch(
         outcome.wall_s,
         sum / objectives.len() as f64,
     );
+    if supervised {
+        let interrupted = outcome
+            .scenarios
+            .iter()
+            .filter(|s| s.stop.is_interrupted())
+            .count();
+        if outcome.panics_contained > 0 {
+            out += &format!(
+                "{} scenario panic(s) contained as partial outcomes\n",
+                outcome.panics_contained
+            );
+        }
+        if interrupted > 0 {
+            if allow_partial {
+                out += &format!(
+                    "{interrupted} scenario(s) stopped early; partial outcomes \
+                     accepted via --allow-partial\n"
+                );
+            } else {
+                return Err(CliError(format!(
+                    "{interrupted} of {} scenario(s) stopped early; rerun with \
+                     --allow-partial to accept partial outcomes",
+                    outcome.scenarios.len()
+                )));
+            }
+        }
+    }
     Ok(out)
 }
 
@@ -716,12 +819,30 @@ fn load_checkpoint(path: &str, instance: &str, n: usize) -> Result<WarmState, Cl
         )));
     }
     let vecf = |key: &str| -> Result<Vec<f64>, CliError> {
-        v[key]
+        let vals: Vec<f64> = v[key]
             .as_array()
             .ok_or(CliError(format!("{path}: missing {key}")))?
             .iter()
-            .map(|x| x.as_f64().ok_or(CliError(format!("{path}: bad {key}"))))
-            .collect()
+            .map(|x| {
+                // serde_json encodes a NaN/±Inf f64 as `null`, so a
+                // null entry means the saved iterate was non-finite.
+                if x.is_null() {
+                    return Err(CliError(format!(
+                        "{path}: {key} contains a non-finite value (serialized as null); \
+                         checkpoint rejected"
+                    )));
+                }
+                x.as_f64().ok_or(CliError(format!("{path}: bad {key}")))
+            })
+            .collect::<Result<_, _>>()?;
+        // A NaN/±Inf warm start would poison every iterate from t = 1;
+        // reject the checkpoint instead of resuming into divergence.
+        if let Some(bad) = vals.iter().find(|w| !w.is_finite()) {
+            return Err(CliError(format!(
+                "{path}: {key} contains a non-finite value ({bad}); checkpoint rejected"
+            )));
+        }
+        Ok(vals)
     };
     let x = vecf("x")?;
     if x.len() != n {
@@ -1069,6 +1190,9 @@ mod tests {
             scenario_seed: 0,
             scenario_spread: 5.0,
             scenario_chain: false,
+            deadline_ms: None,
+            max_retries: 0,
+            allow_partial: false,
         })
         .unwrap();
         assert!(out.contains("converged = false"), "{out}");
@@ -1118,6 +1242,9 @@ mod tests {
             scenario_seed: 0,
             scenario_spread: 5.0,
             scenario_chain: false,
+            deadline_ms: None,
+            max_retries: 0,
+            allow_partial: false,
         };
         let out = run(base).unwrap();
         assert!(out.contains("state saved"));
@@ -1143,6 +1270,9 @@ mod tests {
             scenario_seed: 0,
             scenario_spread: 5.0,
             scenario_chain: false,
+            deadline_ms: None,
+            max_retries: 0,
+            allow_partial: false,
         })
         .unwrap();
         assert!(resumed.contains("converged = true"), "{resumed}");
@@ -1168,9 +1298,79 @@ mod tests {
             scenario_seed: 0,
             scenario_spread: 5.0,
             scenario_chain: false,
+            deadline_ms: None,
+            max_retries: 0,
+            allow_partial: false,
         })
         .unwrap_err();
         assert!(e.0.contains("checkpoint is for"), "{e}");
+    }
+
+    #[test]
+    fn parses_supervision_flags() {
+        let c = parse(&sv(&[
+            "solve",
+            "ieee13",
+            "--deadline-ms",
+            "500",
+            "--max-retries",
+            "2",
+            "--allow-partial",
+        ]))
+        .unwrap();
+        match c {
+            Command::Solve {
+                deadline_ms,
+                max_retries,
+                allow_partial,
+                ..
+            } => {
+                assert_eq!(deadline_ms, Some(500));
+                assert_eq!(max_retries, 2);
+                assert!(allow_partial);
+            }
+            _ => panic!("wrong command"),
+        }
+        assert!(parse(&sv(&["solve", "ieee13", "--deadline-ms", "0.5"])).is_err());
+        assert!(parse(&sv(&["solve", "ieee13", "--max-retries"])).is_err());
+    }
+
+    #[test]
+    fn expired_deadline_errors_unless_partial_accepted() {
+        // An already-expired deadline stops the solve at its first
+        // check; without --allow-partial that is a hard error.
+        let base = [
+            "solve",
+            "ieee13",
+            "--deadline-ms",
+            "0",
+            "--max-iters",
+            "200000",
+        ];
+        let e = run(parse(&sv(&base)).unwrap()).unwrap_err();
+        assert!(e.0.contains("stopped early (deadline)"), "{e}");
+        let mut args = base.to_vec();
+        args.push("--allow-partial");
+        let out = run(parse(&sv(&args)).unwrap()).unwrap();
+        assert!(out.contains("--allow-partial"), "{out}");
+        assert!(out.contains("converged = false"), "{out}");
+    }
+
+    #[test]
+    fn non_finite_checkpoint_is_rejected() {
+        let dir = std::env::temp_dir().join("gridflow-cli-badckpt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.json").to_string_lossy().into_owned();
+        // Serializing a NaN/Inf iterate produces `null` entries (and an
+        // overflowing literal like 1e400 also lands on null when parsed
+        // into a Value); resuming from either would poison every iterate.
+        std::fs::write(
+            &path,
+            r#"{"instance":"ieee13","x":[0.0,null],"z":[],"lambda":[]}"#,
+        )
+        .unwrap();
+        let e = run(parse(&sv(&["solve", "ieee13", "--resume", &path])).unwrap()).unwrap_err();
+        assert!(e.0.contains("non-finite"), "{e}");
     }
 
     #[test]

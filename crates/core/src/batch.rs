@@ -30,7 +30,10 @@
 //! sequentially, seeding scenario `k+1` from scenario `k`'s final
 //! iterates — the swept-parameter (ramp/Monte-Carlo-path) pattern.
 
-use crate::engine::{backend_label, Engine, ExecutionMode, SolveError, SolveOutcome, SolveRequest};
+use crate::engine::{
+    backend_label, emit_supervisor_counters, Engine, ExecutionMode, SolveError, SolveOutcome,
+    SolveRequest,
+};
 use crate::gpu::{
     BatchDualKernel, BatchFusedIterKernel, BatchFusedLocalDualKernel, BatchGlobalKernel,
     BatchLocalKernel, BatchResidualKernel, DualKernel, FusedIterKernel, FusedLocalDualKernel,
@@ -38,11 +41,15 @@ use crate::gpu::{
 };
 use crate::precompute;
 use crate::solver::{Exec, ProblemView, SolverFreeAdmm};
+use crate::supervise::{
+    self, InterruptGuard, StopReason, SupervisionReport, SupervisorCtx, SupervisorOptions,
+};
 use crate::types::{AdmmOptions, Backend, SolveResult, Timings};
 use crate::updates::Residuals;
 use opf_linalg::vec_ops;
 use opf_telemetry::{IterationObserver, NoopObserver, Phase, TelemetryRecorder, TelemetryReport};
 use rayon::prelude::*;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
 /// splitmix64 — the standard 64-bit mixer; deterministic, seedable, and
@@ -219,6 +226,13 @@ pub struct BatchRequest {
     /// start before `k` finishes) — meant for swept parameters, where
     /// adjacent scenarios are close and warm starts beat parallelism.
     pub chain_warm_start: bool,
+    /// Supervision policy shared by every scenario: the deadline and the
+    /// cancellation token span the whole batch, while retries / stall
+    /// detection / fault injection apply per scenario. The gpu-sim
+    /// lockstep path supports only deadline, cancellation, and iteration
+    /// budget; the full policy runs on the serial, rayon, and chained
+    /// shapes.
+    pub supervisor: SupervisorOptions,
 }
 
 impl BatchRequest {
@@ -228,12 +242,19 @@ impl BatchRequest {
             batch,
             options,
             chain_warm_start: false,
+            supervisor: SupervisorOptions::default(),
         }
     }
 
     /// Enable warm-start chaining from scenario `k` to `k+1`.
     pub fn with_chaining(mut self, chain: bool) -> Self {
         self.chain_warm_start = chain;
+        self
+    }
+
+    /// Attach a supervision policy to every scenario of the batch.
+    pub fn with_supervisor(mut self, sup: SupervisorOptions) -> Self {
+        self.supervisor = sup;
         self
     }
 }
@@ -266,6 +287,10 @@ pub struct BatchOutcome {
     pub wall_s: f64,
     /// Scenario throughput `count / wall_s`.
     pub scenarios_per_sec: f64,
+    /// Scenario panics contained by the batch supervisor: each such
+    /// scenario's slot holds a placeholder outcome with
+    /// [`StopReason::Panicked`] instead of poisoning the whole batch.
+    pub panics_contained: usize,
 }
 
 /// One scenario's in-flight state in the gpu-sim lockstep loop.
@@ -285,7 +310,121 @@ struct ScenState {
     rho: f64,
     iterations: usize,
     converged: bool,
+    stop: StopReason,
     res: Residuals,
+}
+
+/// Placeholder result standing in for a scenario whose panic was
+/// contained: empty iterates, NaN objective/residuals,
+/// [`StopReason::Panicked`].
+fn panicked_result() -> SolveResult {
+    SolveResult {
+        objective: f64::NAN,
+        x: Vec::new(),
+        z: Vec::new(),
+        lambda: Vec::new(),
+        iterations: 0,
+        converged: false,
+        stop: StopReason::Panicked,
+        residuals: Residuals {
+            pres: f64::NAN,
+            dres: f64::NAN,
+            ..Residuals::default()
+        },
+        timings: Timings::default(),
+        trace: Vec::new(),
+    }
+}
+
+/// Best-effort text of a contained panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "scenario panicked".to_string()
+    }
+}
+
+/// Solve one scenario with panic containment and (when the policy is
+/// active) full supervision. `inherit` picks [`Exec::Inherit`] so rayon
+/// batch scenarios steal across the outer pool; otherwise each attempt
+/// builds its exec from the backend (`Exec::Serial` and `Exec::Inherit`
+/// are stateless, so per-attempt construction is bit-identical to the
+/// shared-exec loop). `deadline_at` is the batch-wide absolute deadline.
+#[allow(clippy::too_many_arguments)]
+fn solve_scenario_contained(
+    solver: &SolverFreeAdmm<'_>,
+    batch: &ScenarioBatch,
+    k: usize,
+    opts: &AdmmOptions,
+    sup: &SupervisorOptions,
+    deadline_at: Option<Instant>,
+    inherit: bool,
+    warm: Option<(Vec<f64>, Vec<f64>, Vec<f64>)>,
+) -> (SolveResult, Option<SupervisionReport>) {
+    let c = &solver.problem().c;
+    let solved = catch_unwind(AssertUnwindSafe(|| {
+        if sup.faults.is_some_and(|f| f.panics_scenario(k)) {
+            panic!("injected fault: scenario {k} panic");
+        }
+        if sup.is_active() {
+            let mut attempt =
+                |o: &AdmmOptions,
+                 ctx: &mut SupervisorCtx,
+                 state: Option<(Vec<f64>, Vec<f64>, Vec<f64>)>| {
+                    let st = state
+                        .or_else(|| warm.clone())
+                        .unwrap_or_else(|| batch.initial_state(solver, k));
+                    let mut exec = if inherit {
+                        Exec::Inherit
+                    } else {
+                        Exec::from_backend(&o.backend)
+                    };
+                    solver.solve_view_exec_supervised(
+                        o,
+                        &mut exec,
+                        batch.view(k),
+                        st,
+                        &mut NoopObserver,
+                        ctx,
+                    )
+                };
+            let (r, rep) = supervise::run_supervised_at(
+                opts,
+                sup,
+                deadline_at,
+                |x| vec_ops::dot(c, x),
+                &mut attempt,
+            );
+            (r, Some(rep))
+        } else {
+            let st = warm
+                .clone()
+                .unwrap_or_else(|| batch.initial_state(solver, k));
+            let mut exec = if inherit {
+                Exec::Inherit
+            } else {
+                Exec::from_backend(&opts.backend)
+            };
+            let r = solver.solve_view_exec_observed(
+                opts,
+                &mut exec,
+                batch.view(k),
+                st,
+                &mut NoopObserver,
+            );
+            (r, None)
+        }
+    }));
+    match solved {
+        Ok(pair) => pair,
+        Err(payload) => (
+            panicked_result(),
+            Some(SupervisionReport::panicked(panic_message(payload))),
+        ),
+    }
 }
 
 impl Engine<'_> {
@@ -313,6 +452,36 @@ impl Engine<'_> {
         }
         self.validate_request(req)?;
         let solver = self.solver();
+        let label = backend_label(&req.options.backend);
+        if req.supervisor.is_active() {
+            let c = &self.problem().c;
+            let attempt =
+                |o: &AdmmOptions,
+                 ctx: &mut SupervisorCtx,
+                 state: Option<(Vec<f64>, Vec<f64>, Vec<f64>)>| {
+                    let st = state
+                        .or_else(|| req.warm_start.clone())
+                        .unwrap_or_else(|| batch.initial_state(solver, k));
+                    let mut exec = Exec::from_backend(&o.backend);
+                    solver.solve_view_exec_supervised(
+                        o,
+                        &mut exec,
+                        batch.view(k),
+                        st,
+                        &mut NoopObserver,
+                        ctx,
+                    )
+                };
+            let (result, rep) = supervise::run_supervised(
+                &req.options,
+                &req.supervisor,
+                |x| vec_ops::dot(c, x),
+                attempt,
+            );
+            let mut out = SolveOutcome::from_result(label, result);
+            out.supervision = Some(rep);
+            return Ok(out);
+        }
         let state = match &req.warm_start {
             Some(s) => s.clone(),
             None => batch.initial_state(solver, k),
@@ -325,10 +494,7 @@ impl Engine<'_> {
             state,
             &mut NoopObserver,
         );
-        Ok(SolveOutcome::from_result(
-            backend_label(&req.options.backend),
-            result,
-        ))
+        Ok(SolveOutcome::from_result(label, result))
     }
 
     /// Run every scenario of the batch; see the module docs for the
@@ -350,54 +516,113 @@ impl Engine<'_> {
         obs: &mut O,
     ) -> Result<BatchOutcome, SolveError> {
         req.options.validate().map_err(SolveError::InvalidOptions)?;
+        req.supervisor
+            .validate()
+            .map_err(SolveError::InvalidSupervisor)?;
         let batch = &req.batch;
         batch.check_matches(self)?;
+        let sup = &req.supervisor;
+        let is_gpu = matches!(req.options.backend, Backend::Gpu { .. });
+        if is_gpu && !req.chain_warm_start {
+            // The lockstep grid cannot retry or poison one scenario
+            // without desynchronizing the rest.
+            let unsupported = sup.max_retries > 0
+                || sup.stall.is_some()
+                || sup.faults.is_some_and(|f| f.is_active());
+            if unsupported {
+                return Err(SolveError::InvalidBatch(
+                    "gpu-sim lockstep batches support deadline, cancellation, and \
+                     iteration-budget supervision only; retries, stall detection, and \
+                     fault injection need the serial or rayon backend (or chaining)"
+                        .into(),
+                ));
+            }
+        }
         let solver = self.solver();
         let builds_before = precompute::build_count();
         let t0 = Instant::now();
+        // One absolute deadline for the whole batch: scenarios race it
+        // together, they do not each get a fresh allowance.
+        let deadline_at = sup.deadline.map(|d| t0 + d);
 
-        let results: Vec<SolveResult> = if req.chain_warm_start {
-            // Chaining is inherently sequential on every backend.
-            let mut exec = Exec::from_backend(&req.options.backend);
-            if obs.enabled() {
-                exec.enable_profiling();
+        let results: Vec<(SolveResult, Option<SupervisionReport>)> = if req.chain_warm_start {
+            // Chaining is inherently sequential on every backend. A
+            // panicked scenario breaks the chain: its successor restarts
+            // from the scenario's own initial point.
+            if sup.is_active() {
+                let mut out = Vec::with_capacity(batch.count());
+                let mut warm: Option<(Vec<f64>, Vec<f64>, Vec<f64>)> = None;
+                for k in 0..batch.count() {
+                    let pair = solve_scenario_contained(
+                        solver,
+                        batch,
+                        k,
+                        &req.options,
+                        sup,
+                        deadline_at,
+                        false,
+                        warm.take(),
+                    );
+                    if !matches!(pair.0.stop, StopReason::Panicked) {
+                        warm = Some((pair.0.x.clone(), pair.0.z.clone(), pair.0.lambda.clone()));
+                    }
+                    out.push(pair);
+                }
+                out
+            } else {
+                // Inert policy: the exact shared-exec loop (kernel
+                // profiling spans all scenarios), plus panic containment.
+                let mut exec = Exec::from_backend(&req.options.backend);
+                if obs.enabled() {
+                    exec.enable_profiling();
+                }
+                let mut out = Vec::with_capacity(batch.count());
+                let mut warm: Option<(Vec<f64>, Vec<f64>, Vec<f64>)> = None;
+                for k in 0..batch.count() {
+                    let state = warm
+                        .take()
+                        .unwrap_or_else(|| batch.initial_state(solver, k));
+                    let solved = catch_unwind(AssertUnwindSafe(|| {
+                        solver.solve_view_exec_observed(
+                            &req.options,
+                            &mut exec,
+                            batch.view(k),
+                            state,
+                            &mut NoopObserver,
+                        )
+                    }));
+                    match solved {
+                        Ok(r) => {
+                            warm = Some((r.x.clone(), r.z.clone(), r.lambda.clone()));
+                            out.push((r, None));
+                        }
+                        Err(payload) => out.push((
+                            panicked_result(),
+                            Some(SupervisionReport::panicked(panic_message(payload))),
+                        )),
+                    }
+                }
+                if obs.enabled() {
+                    exec.report_kernels(obs);
+                }
+                out
             }
-            let mut out = Vec::with_capacity(batch.count());
-            let mut warm: Option<(Vec<f64>, Vec<f64>, Vec<f64>)> = None;
-            for k in 0..batch.count() {
-                let state = warm
-                    .take()
-                    .unwrap_or_else(|| batch.initial_state(solver, k));
-                let r = solver.solve_view_exec_observed(
-                    &req.options,
-                    &mut exec,
-                    batch.view(k),
-                    state,
-                    &mut NoopObserver,
-                );
-                warm = Some((r.x.clone(), r.z.clone(), r.lambda.clone()));
-                out.push(r);
-            }
-            if obs.enabled() {
-                exec.report_kernels(obs);
-            }
-            out
         } else {
             match &req.options.backend {
-                Backend::Serial => {
-                    let mut exec = Exec::Serial;
-                    (0..batch.count())
-                        .map(|k| {
-                            solver.solve_view_exec_observed(
-                                &req.options,
-                                &mut exec,
-                                batch.view(k),
-                                batch.initial_state(solver, k),
-                                &mut NoopObserver,
-                            )
-                        })
-                        .collect()
-                }
+                Backend::Serial => (0..batch.count())
+                    .map(|k| {
+                        solve_scenario_contained(
+                            solver,
+                            batch,
+                            k,
+                            &req.options,
+                            sup,
+                            deadline_at,
+                            false,
+                            None,
+                        )
+                    })
+                    .collect(),
                 Backend::Rayon { threads } => {
                     // One outer pool over scenarios; inner solves inherit
                     // it, so component-level work steals across the same
@@ -411,12 +636,15 @@ impl Engine<'_> {
                         (0..batch.count())
                             .into_par_iter()
                             .map(|k| {
-                                solver.solve_view_exec_observed(
+                                solve_scenario_contained(
+                                    solver,
+                                    batch,
+                                    k,
                                     &req.options,
-                                    &mut Exec::Inherit,
-                                    batch.view(k),
-                                    batch.initial_state(solver, k),
-                                    &mut NoopObserver,
+                                    sup,
+                                    deadline_at,
+                                    true,
+                                    None,
                                 )
                             })
                             .collect()
@@ -425,19 +653,24 @@ impl Engine<'_> {
                 Backend::Gpu {
                     props,
                     threads_per_block,
-                } => self.solve_batch_gpu(
-                    batch,
-                    &req.options,
-                    *props,
-                    (*threads_per_block).max(1),
-                    obs,
-                ),
+                } => self
+                    .solve_batch_gpu(
+                        batch,
+                        &req.options,
+                        *props,
+                        (*threads_per_block).max(1),
+                        obs,
+                        sup,
+                        sup.guard_at(t0),
+                    )
+                    .into_iter()
+                    .map(|r| (r, None))
+                    .collect(),
             }
         };
 
         let wall_s = t0.elapsed().as_secs_f64();
         let builds = 1 + (precompute::build_count() - builds_before);
-        let is_gpu = matches!(req.options.backend, Backend::Gpu { .. });
 
         let mut timings = Timings {
             simulated: is_gpu,
@@ -445,7 +678,8 @@ impl Engine<'_> {
         };
         let mut converged = 0usize;
         let mut iterations_total = 0usize;
-        for r in &results {
+        let mut panics_contained = 0usize;
+        for (r, rep) in &results {
             timings.global_s += r.timings.global_s;
             timings.local_s += r.timings.local_s;
             timings.dual_s += r.timings.dual_s;
@@ -454,6 +688,8 @@ impl Engine<'_> {
             timings.iterations += r.timings.iterations;
             converged += r.converged as usize;
             iterations_total += r.iterations;
+            panics_contained += matches!(r.stop, StopReason::Panicked) as usize;
+            emit_supervisor_counters(obs, r.stop, rep.as_ref());
         }
         if !is_gpu {
             // The gpu path reported its launches live; replay the CPU
@@ -475,7 +711,11 @@ impl Engine<'_> {
             backend: label,
             scenarios: results
                 .into_iter()
-                .map(|r| SolveOutcome::from_result(label, r))
+                .map(|(r, rep)| {
+                    let mut o = SolveOutcome::from_result(label, r);
+                    o.supervision = rep;
+                    o
+                })
                 .collect(),
             converged,
             iterations_total,
@@ -483,6 +723,7 @@ impl Engine<'_> {
             timings,
             wall_s,
             scenarios_per_sec: batch.count() as f64 / wall_s.max(1e-12),
+            panics_contained,
         })
     }
 
@@ -506,6 +747,13 @@ impl Engine<'_> {
     /// iteration over all *active* scenarios. Frozen (converged or
     /// diverged) scenarios leave the grid, so every surviving scenario's
     /// iterate sequence is bit-identical to its standalone solve.
+    ///
+    /// Supervision on this path is grid-wide: the interrupt guard is
+    /// polled once per check boundary and stops *every* surviving
+    /// scenario, and the iteration budget caps the shared loop. (Retries
+    /// and fault injection are rejected upstream — they would
+    /// desynchronize the lockstep grid.)
+    #[allow(clippy::too_many_arguments)]
     fn solve_batch_gpu<O: IterationObserver>(
         &self,
         batch: &ScenarioBatch,
@@ -513,6 +761,8 @@ impl Engine<'_> {
         props: gpu_sim::DeviceProps,
         tpb: usize,
         obs: &mut O,
+        sup: &SupervisorOptions,
+        guard: InterruptGuard,
     ) -> Vec<SolveResult> {
         let solver = self.solver();
         let pre = solver.precomputed();
@@ -553,6 +803,7 @@ impl Engine<'_> {
                     rho: opts.rho,
                     iterations: 0,
                     converged: false,
+                    stop: StopReason::MaxIters,
                     res: Residuals::default(),
                 }
             })
@@ -568,16 +819,21 @@ impl Engine<'_> {
         let mut partials = vec![0.0; count * 5 * s_comp];
 
         let stride = opts.check_every.max(1);
+        // The supervisor's budget caps the shared loop; unconverged
+        // scenarios then report `MaxIters`, same as a short `max_iters`.
+        let max_iters = sup
+            .iteration_budget
+            .map_or(opts.max_iters, |b| opts.max_iters.min(b.max(1)));
         let Exec::Gpu(dev, _) = &mut exec else {
             unreachable!()
         };
 
-        for t in 1..=opts.max_iters {
+        'iters: for t in 1..=max_iters {
             if active.is_empty() {
                 break;
             }
             let n_act = active.len();
-            let checking = t % stride == 0 || t == opts.max_iters;
+            let checking = t % stride == 0 || t == max_iters;
             for &k in &active {
                 states[k].iterations = t;
             }
@@ -783,9 +1039,11 @@ impl Engine<'_> {
                     st.res = Residuals::from_sums(sums, opts.eps_rel, opts.eps_abs, total, st.rho);
                     if st.res.converged() {
                         st.converged = true;
+                        st.stop = StopReason::Converged;
                         continue; // frozen: leaves the grid
                     }
                     if !st.res.pres.is_finite() || !st.res.dres.is_finite() {
+                        st.stop = StopReason::NonFinite;
                         continue; // diverged: frozen, reported unconverged
                     }
                     if let Some(rb) = opts.rho_adapt {
@@ -798,6 +1056,17 @@ impl Engine<'_> {
                         }
                     }
                     still.push(k);
+                }
+                // Deadline / cancellation stop the whole grid: every
+                // surviving scenario keeps its current (finite) iterate
+                // and reports the interrupt.
+                if guard.is_active() {
+                    if let Some(reason) = guard.poll() {
+                        for &k in &still {
+                            states[k].stop = reason;
+                        }
+                        break 'iters;
+                    }
                 }
                 active = still;
             }
@@ -819,6 +1088,7 @@ impl Engine<'_> {
                     lambda: st.lambda,
                     iterations: st.iterations,
                     converged: st.converged,
+                    stop: st.stop,
                     residuals: st.res,
                     timings: Timings {
                         iterations: st.iterations,

@@ -9,6 +9,7 @@
 
 use crate::precompute::Precomputed;
 use crate::solver::split_by_offsets;
+use crate::supervise::{StopReason, SupervisorCtx};
 use crate::types::*;
 use crate::updates::{self, Residuals};
 use opf_linalg::{vec_ops, LinalgError};
@@ -90,6 +91,18 @@ impl<'a> BenchmarkAdmm<'a> {
         opts: &AdmmOptions,
         obs: &mut O,
     ) -> (SolveResult, QpStats) {
+        self.solve_supervised(opts, self.initial_state(), obs, &mut SupervisorCtx::inert())
+    }
+
+    /// [`BenchmarkAdmm::solve_observed`] from an explicit state with a
+    /// supervisor threaded in (the engine's supervised/retry path).
+    pub(crate) fn solve_supervised<O: IterationObserver>(
+        &self,
+        opts: &AdmmOptions,
+        state: (Vec<f64>, Vec<f64>, Vec<f64>),
+        obs: &mut O,
+        sup: &mut SupervisorCtx,
+    ) -> (SolveResult, QpStats) {
         let pool = match &opts.backend {
             Backend::Rayon { threads } => Some(
                 rayon::ThreadPoolBuilder::new()
@@ -104,7 +117,7 @@ impl<'a> BenchmarkAdmm<'a> {
                 None
             }
         };
-        let (mut x, mut z, mut lambda) = self.initial_state();
+        let (mut x, mut z, mut lambda) = state;
         let mut z_prev = z.clone();
         // Stacked QP-target scratch, reused every iteration (replaces a
         // per-component `collect()` allocation in the hot loop).
@@ -121,6 +134,7 @@ impl<'a> BenchmarkAdmm<'a> {
         let mut trace = Vec::new();
         let mut res = Residuals::default();
         let mut converged = false;
+        let mut stop = StopReason::MaxIters;
         let mut iterations = 0;
 
         for t in 1..=opts.max_iters {
@@ -235,6 +249,12 @@ impl<'a> BenchmarkAdmm<'a> {
                 let dt = t0.elapsed().as_secs_f64();
                 timings.residual_s += dt;
                 obs.on_phase(Phase::Residual, dt);
+                if sup.active {
+                    if let Some(s) = sup.at_check(t, &mut res, &x, &z, &mut lambda) {
+                        stop = s;
+                        break;
+                    }
+                }
                 if obs.enabled() {
                     obs.on_iteration(&IterationSample {
                         iter: t as u64,
@@ -257,6 +277,13 @@ impl<'a> BenchmarkAdmm<'a> {
                 }
                 if res.converged() {
                     converged = true;
+                    stop = StopReason::Converged;
+                    break;
+                }
+                // Same divergence containment as the solver-free loop: a
+                // non-finite residual cannot recover.
+                if !res.pres.is_finite() || !res.dres.is_finite() {
+                    stop = StopReason::NonFinite;
                     break;
                 }
             }
@@ -272,6 +299,7 @@ impl<'a> BenchmarkAdmm<'a> {
                 objective,
                 iterations,
                 converged,
+                stop,
                 residuals: res,
                 timings,
                 trace,

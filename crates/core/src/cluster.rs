@@ -16,6 +16,7 @@ use crate::benchmark::BenchmarkAdmm;
 use crate::gpu::{DualKernel, GlobalKernel, LocalKernel};
 use crate::precompute::Precomputed;
 use crate::solver::SolverFreeAdmm;
+use crate::supervise::{InterruptGuard, StopReason};
 use crate::types::AdmmOptions;
 use crate::updates::{self, Residuals};
 use comm_sim::CommModel;
@@ -133,6 +134,22 @@ impl SolverFreeAdmm<'_> {
         spec: &ClusterSpec,
         iters: usize,
     ) -> (ClusterBreakdown, Residuals) {
+        let (bd, res, _) =
+            self.measure_cluster_supervised(opts, spec, iters, &InterruptGuard::default());
+        (bd, res)
+    }
+
+    /// [`Self::measure_cluster`] under a deadline/cancellation guard,
+    /// polled once per simulated iteration. An interrupt ends the
+    /// measurement early; the breakdown then reports the iterations that
+    /// actually ran and the stop reason says why.
+    pub(crate) fn measure_cluster_supervised(
+        &self,
+        opts: &AdmmOptions,
+        spec: &ClusterSpec,
+        iters: usize,
+        guard: &InterruptGuard,
+    ) -> (ClusterBreakdown, Residuals, StopReason) {
         let dec = self.problem();
         let pre = self.precomputed();
         let parts = partition_components(dec.s(), spec.n_ranks);
@@ -147,12 +164,19 @@ impl SolverFreeAdmm<'_> {
             iterations: iters,
             ..ClusterBreakdown::default()
         };
+        let mut interrupted = None;
         let warmup = 2usize;
         let mut global_ts = Vec::with_capacity(iters);
         let mut local_ts = Vec::with_capacity(iters);
         let mut dual_ts = Vec::with_capacity(iters);
 
         for it in 0..iters + warmup {
+            if guard.is_active() {
+                if let Some(r) = guard.poll() {
+                    interrupted = Some(r);
+                    break;
+                }
+            }
             // --- Global update at the aggregator. ---
             match spec.kind {
                 RankKind::Cpu => {
@@ -303,7 +327,15 @@ impl SolverFreeAdmm<'_> {
         bd.global_s = median(&mut global_ts);
         bd.local_compute_s = median(&mut local_ts);
         bd.dual_s = median(&mut dual_ts);
-        (bd, res)
+        if interrupted.is_some() {
+            bd.iterations = global_ts.len();
+        }
+        let stop = interrupted.unwrap_or(if res.converged() {
+            StopReason::Converged
+        } else {
+            StopReason::MaxIters
+        });
+        (bd, res, stop)
     }
 }
 

@@ -29,6 +29,7 @@
 use crate::cluster::partition_components;
 use crate::precompute::Precomputed;
 use crate::solver::SolverFreeAdmm;
+use crate::supervise::{StopReason, SupervisorOptions};
 use crate::types::AdmmOptions;
 use crate::updates::{self, Residuals};
 use comm_sim::{run_ranks_faulted, CommStats, Compression, FaultPlan};
@@ -242,6 +243,11 @@ pub struct DistributedResult {
     pub iterations: usize,
     /// Whether (16) was met.
     pub converged: bool,
+    /// Why the operator stopped: `Converged`, `MaxIters`, a supervisor
+    /// interrupt (`Deadline`/`Cancelled`), `NonFinite` divergence, or
+    /// `Aborted` when the transport failed fatally (see
+    /// [`DegradationReport::fatal`]).
+    pub stop: StopReason,
     /// Final residuals.
     pub residuals: Residuals,
     /// The operator rank's per-phase compute times (its global updates,
@@ -368,6 +374,7 @@ struct OperatorCore {
     x: Vec<f64>,
     iterations: usize,
     converged: bool,
+    stop: StopReason,
     residuals: Residuals,
     timings: crate::types::Timings,
     report: DegradationReport,
@@ -440,6 +447,27 @@ impl SolverFreeAdmm<'_> {
         dopts: &DistributedOptions,
         state: (Vec<f64>, Vec<f64>, Vec<f64>),
     ) -> DistributedResult {
+        self.solve_distributed_supervised(opts, dopts, state, &SupervisorOptions::default())
+    }
+
+    /// [`Self::solve_distributed_from`] under a supervision policy. The
+    /// operator polls the deadline/cancellation guard at `check_every`
+    /// boundaries only and propagates the interrupt to the workers
+    /// through the stop-flag collective the protocol already runs; it
+    /// also contains non-finite divergence the same way the
+    /// single-process loop does. Divergence retries are a
+    /// single-process/benchmark policy and are not applied here.
+    ///
+    /// # Panics
+    /// Panics if `dopts.n_ranks == 0`.
+    pub fn solve_distributed_supervised(
+        &self,
+        opts: &AdmmOptions,
+        dopts: &DistributedOptions,
+        state: (Vec<f64>, Vec<f64>, Vec<f64>),
+        sup: &SupervisorOptions,
+    ) -> DistributedResult {
+        let guard = sup.guard_at(Instant::now());
         let dec = self.problem();
         let pre: &Precomputed = self.precomputed();
         let n_ranks = dopts.n_ranks;
@@ -474,6 +502,7 @@ impl SolverFreeAdmm<'_> {
             let mut lambda_prev = lambda.clone();
             let mut final_res = Residuals::default();
             let mut converged = false;
+            let mut stop_reason = StopReason::MaxIters;
             let mut iterations = 0;
             let mut exit = RankExit::Completed;
             // Per-phase compute spans; only the operator's copy survives
@@ -747,6 +776,23 @@ impl SolverFreeAdmm<'_> {
                         }
                         timings.residual_s += t0.elapsed().as_secs_f64();
 
+                        // Containment + supervision: a non-finite residual
+                        // cannot recover, and the deadline/cancellation
+                        // guard is polled only here, on the strided check.
+                        // Either turns into the same stop-flag broadcast
+                        // that carries convergence, so workers exit
+                        // through the protocol they already speak.
+                        let mut reason = StopReason::Converged;
+                        if !final_res.pres.is_finite() || !final_res.dres.is_finite() {
+                            stop = true;
+                            reason = StopReason::NonFinite;
+                        } else if !stop {
+                            if let Some(r) = guard.poll() {
+                                stop = true;
+                                reason = r;
+                            }
+                        }
+
                         let flag = vec![if stop { 1.0 } else { 0.0 }];
                         if let Err(e) = ctx.broadcast_live(0, tag + 2, flag, &live, patience) {
                             report.fatal = Some(e.to_string());
@@ -756,7 +802,8 @@ impl SolverFreeAdmm<'_> {
                             ctx.purge_below(tag + 3);
                         }
                         if stop {
-                            converged = true;
+                            converged = reason.is_converged();
+                            stop_reason = reason;
                             break 'iters;
                         }
                     } else {
@@ -824,10 +871,16 @@ impl SolverFreeAdmm<'_> {
             }
 
             timings.iterations = iterations;
+            let stop = if report.fatal.is_some() {
+                StopReason::Aborted
+            } else {
+                stop_reason
+            };
             let op = (me == 0).then_some(OperatorCore {
                 x,
                 iterations,
                 converged,
+                stop,
                 residuals: final_res,
                 timings,
                 report,
@@ -856,6 +909,7 @@ impl SolverFreeAdmm<'_> {
             x: core.x,
             iterations: core.iterations,
             converged: core.converged,
+            stop: core.stop,
             residuals: core.residuals,
             timings: core.timings,
             degradation: report,

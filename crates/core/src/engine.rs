@@ -13,9 +13,10 @@ use crate::benchmark::{BenchmarkAdmm, QpStats};
 use crate::cluster::{ClusterBreakdown, ClusterSpec};
 use crate::distributed::{DegradationReport, DistributedOptions};
 use crate::solver::SolverFreeAdmm;
+use crate::supervise::{self, StopReason, SupervisionReport, SupervisorOptions};
 use crate::types::{AdmmOptions, Backend, SolveResult, Timings, TraceEntry};
 use crate::updates::Residuals;
-use opf_linalg::LinalgError;
+use opf_linalg::{vec_ops, LinalgError};
 use opf_model::DecomposedProblem;
 use opf_telemetry::{IterationObserver, NoopObserver, Phase, TelemetryRecorder, TelemetryReport};
 
@@ -51,6 +52,9 @@ pub enum SolveError {
     /// A scenario-batch request is malformed (empty batch, index out of
     /// range, unsupported mode).
     InvalidBatch(String),
+    /// The [`SupervisorOptions`] are malformed (non-positive ρ retry
+    /// scale, zero iteration budget, degenerate stall policy, …).
+    InvalidSupervisor(String),
 }
 
 impl std::fmt::Display for SolveError {
@@ -71,6 +75,7 @@ impl std::fmt::Display for SolveError {
                 "warm start: {field} has dimension {got}, expected {expected}"
             ),
             SolveError::InvalidBatch(msg) => write!(f, "invalid batch request: {msg}"),
+            SolveError::InvalidSupervisor(msg) => write!(f, "invalid supervisor policy: {msg}"),
         }
     }
 }
@@ -117,6 +122,10 @@ pub struct SolveRequest {
     /// with [`SolveError::WarmStartUnsupported`] (they always start from
     /// the paper's initial point).
     pub warm_start: Option<(Vec<f64>, Vec<f64>, Vec<f64>)>,
+    /// Supervision policy: deadline, iteration budget, cancellation,
+    /// divergence retries, chaos faults. The default is inert and the
+    /// solve then takes the exact unsupervised code path.
+    pub supervisor: SupervisorOptions,
 }
 
 impl SolveRequest {
@@ -126,6 +135,7 @@ impl SolveRequest {
             options,
             mode: ExecutionMode::SingleProcess,
             warm_start: None,
+            supervisor: SupervisorOptions::default(),
         }
     }
 
@@ -138,6 +148,12 @@ impl SolveRequest {
     /// Warm-start from explicit iterates.
     pub fn with_warm_start(mut self, state: (Vec<f64>, Vec<f64>, Vec<f64>)) -> Self {
         self.warm_start = Some(state);
+        self
+    }
+
+    /// Attach a supervision policy.
+    pub fn with_supervisor(mut self, sup: SupervisorOptions) -> Self {
+        self.supervisor = sup;
         self
     }
 }
@@ -172,6 +188,8 @@ pub struct SolveOutcome {
     pub iterations: usize,
     /// Whether the termination test was met.
     pub converged: bool,
+    /// Why the solve stopped (every backend reports one).
+    pub stop: StopReason,
     /// Final residuals.
     pub residuals: Residuals,
     /// Per-phase times: wall-clock, analytic device time, or operator
@@ -185,6 +203,9 @@ pub struct SolveOutcome {
     pub cluster: Option<ClusterBreakdown>,
     /// Fault/recovery report (distributed mode only).
     pub degradation: Option<DegradationReport>,
+    /// What the supervisor did (present whenever supervision was active
+    /// on a path that runs the full supervised loop).
+    pub supervision: Option<SupervisionReport>,
 }
 
 impl SolveOutcome {
@@ -197,12 +218,55 @@ impl SolveOutcome {
             objective: r.objective,
             iterations: r.iterations,
             converged: r.converged,
+            stop: r.stop,
             residuals: r.residuals,
             timings: r.timings,
             trace: r.trace,
             qp: None,
             cluster: None,
             degradation: None,
+            supervision: None,
+        }
+    }
+}
+
+/// Replay what the supervisor observed into the telemetry counters. The
+/// `supervisor.*` namespace is the chaos suite's assertion surface: every
+/// contained fault must increment its matching counter.
+pub(crate) fn emit_supervisor_counters<O: IterationObserver>(
+    obs: &mut O,
+    stop: StopReason,
+    rep: Option<&SupervisionReport>,
+) {
+    if !obs.enabled() {
+        return;
+    }
+    match stop {
+        StopReason::Deadline => obs.on_counter("supervisor.deadline_hits", 1),
+        StopReason::Cancelled => obs.on_counter("supervisor.cancellations", 1),
+        // Paths without a full report (distributed, batch-gpu) still
+        // account a non-finite containment here; supervised retry paths
+        // count per attempt through the report below.
+        StopReason::NonFinite if rep.is_none() => {
+            obs.on_counter("supervisor.nonfinite_iterates", 1)
+        }
+        _ => {}
+    }
+    if let Some(r) = rep {
+        if r.divergence_retries > 0 {
+            obs.on_counter("supervisor.divergence_retries", r.divergence_retries);
+        }
+        if r.nonfinite_stops > 0 {
+            obs.on_counter("supervisor.nonfinite_iterates", r.nonfinite_stops);
+        }
+        if r.stalls > 0 {
+            obs.on_counter("supervisor.stalls", r.stalls);
+        }
+        if r.faults_injected > 0 {
+            obs.on_counter("supervisor.faults_injected", r.faults_injected);
+        }
+        if r.panic.is_some() {
+            obs.on_counter("supervisor.panics_contained", 1);
         }
     }
 }
@@ -247,6 +311,24 @@ impl AdmmBackend for SingleProcessBackend {
         obs: &mut O,
     ) -> Result<SolveOutcome, SolveError> {
         let label = backend_label(&req.options.backend);
+        if req.supervisor.is_active() {
+            let solver = &engine.solver;
+            let (result, report) = supervise::run_supervised(
+                &req.options,
+                &req.supervisor,
+                |x| vec_ops::dot(&engine.problem().c, x),
+                |opts, ctx, state| {
+                    let st = state
+                        .or_else(|| req.warm_start.clone())
+                        .unwrap_or_else(|| solver.initial_state());
+                    solver.solve_from_supervised(opts, st, obs, ctx)
+                },
+            );
+            emit_supervisor_counters(obs, result.stop, Some(&report));
+            let mut out = SolveOutcome::from_result(label, result);
+            out.supervision = Some(report);
+            return Ok(out);
+        }
         let result = match &req.warm_start {
             Some(state) => engine
                 .solver
@@ -281,6 +363,26 @@ impl AdmmBackend for BenchmarkQpBackend {
         // cannot fail.
         let bench = BenchmarkAdmm::new(engine.problem())
             .expect("benchmark precompute on an already-validated problem");
+        if req.supervisor.is_active() {
+            let mut qp_total = QpStats::default();
+            let (result, report) = supervise::run_supervised(
+                &req.options,
+                &req.supervisor,
+                |x| vec_ops::dot(&engine.problem().c, x),
+                |opts, ctx, state| {
+                    let st = state.unwrap_or_else(|| bench.initial_state());
+                    let (r, stats) = bench.solve_supervised(opts, st, obs, ctx);
+                    qp_total.total_inner_iterations += stats.total_inner_iterations;
+                    qp_total.solves += stats.solves;
+                    r
+                },
+            );
+            emit_supervisor_counters(obs, result.stop, Some(&report));
+            let mut out = SolveOutcome::from_result("benchmark-qp", result);
+            out.qp = Some(qp_total);
+            out.supervision = Some(report);
+            return Ok(out);
+        }
         let (result, stats) = bench.solve_observed(&req.options, obs);
         let mut out = SolveOutcome::from_result("benchmark-qp", result);
         out.qp = Some(stats);
@@ -312,9 +414,12 @@ impl AdmmBackend for ClusterBackend {
         if req.warm_start.is_some() {
             return Err(SolveError::WarmStartUnsupported { mode: "cluster" });
         }
-        let (bd, res) = engine
-            .solver
-            .measure_cluster(&req.options, spec, *measure_iters);
+        let guard = req.supervisor.guard_at(std::time::Instant::now());
+        let (bd, res, stop) =
+            engine
+                .solver
+                .measure_cluster_supervised(&req.options, spec, *measure_iters, &guard);
+        emit_supervisor_counters(obs, stop, None);
         let n = bd.iterations as f64;
         // Replay the per-iteration medians as phase totals so a cluster
         // measurement lands in the same telemetry schema as a real solve.
@@ -331,6 +436,7 @@ impl AdmmBackend for ClusterBackend {
             objective: 0.0,
             iterations: bd.iterations,
             converged: res.converged(),
+            stop,
             residuals: res,
             timings: Timings {
                 global_s: bd.global_s * n,
@@ -345,6 +451,7 @@ impl AdmmBackend for ClusterBackend {
             qp: None,
             cluster: Some(bd),
             degradation: None,
+            supervision: None,
         })
     }
 }
@@ -366,14 +473,17 @@ impl AdmmBackend for DistributedBackend {
         let ExecutionMode::Distributed { options } = &req.mode else {
             panic!("DistributedBackend requires ExecutionMode::Distributed");
         };
-        let result = match &req.warm_start {
-            Some(state) => {
-                engine
-                    .solver
-                    .solve_distributed_from(&req.options, options, state.clone())
-            }
-            None => engine.solver.solve_distributed_opts(&req.options, options),
+        let state = match &req.warm_start {
+            Some(state) => state.clone(),
+            None => engine.solver.initial_state(),
         };
+        let result = engine.solver.solve_distributed_supervised(
+            &req.options,
+            options,
+            state,
+            &req.supervisor,
+        );
+        emit_supervisor_counters(obs, result.stop, None);
         if obs.enabled() {
             // The observer cannot ride inside the rank closures (they run
             // on worker threads); replay the operator's spans and the
@@ -401,6 +511,26 @@ impl AdmmBackend for DistributedBackend {
                 "faults.checkpoints_written",
                 result.degradation.checkpoints_written,
             );
+            // The full degradation report, in its own namespace — before
+            // this, stale rounds / gather timeouts / adoption only ever
+            // reached stderr via the CLI's pretty-printer.
+            let d = &result.degradation;
+            obs.on_counter(
+                "degradation.stale_rounds",
+                d.stale_iterations.iter().sum::<u64>(),
+            );
+            obs.on_counter(
+                "degradation.gather_timeouts",
+                d.gather_timeouts.iter().sum::<u64>(),
+            );
+            obs.on_counter("degradation.dead_ranks", d.dead_ranks.len() as u64);
+            obs.on_counter(
+                "degradation.adopted_components",
+                d.adopted_components as u64,
+            );
+            obs.on_counter("degradation.quorum_rounds", d.quorum_rounds);
+            obs.on_counter("degradation.checkpoints_written", d.checkpoints_written);
+            obs.on_counter("degradation.fatal", u64::from(d.fatal.is_some()));
         }
         Ok(SolveOutcome {
             backend: "distributed",
@@ -410,12 +540,14 @@ impl AdmmBackend for DistributedBackend {
             objective: result.objective,
             iterations: result.iterations,
             converged: result.converged,
+            stop: result.stop,
             residuals: result.residuals,
             timings: result.timings,
             trace: Vec::new(),
             qp: None,
             cluster: None,
             degradation: Some(result.degradation),
+            supervision: None,
         })
     }
 }
@@ -454,6 +586,9 @@ impl<'a> Engine<'a> {
     /// (when present) warm-start dimensions.
     pub(crate) fn validate_request(&self, req: &SolveRequest) -> Result<(), SolveError> {
         req.options.validate().map_err(SolveError::InvalidOptions)?;
+        req.supervisor
+            .validate()
+            .map_err(SolveError::InvalidSupervisor)?;
         if let Some((x, z, lambda)) = &req.warm_start {
             let n = self.problem().n;
             let total = self.solver.precomputed().total_dim();

@@ -23,6 +23,7 @@ pub mod gpu;
 pub mod nonideal;
 pub mod precompute;
 pub mod solver;
+pub mod supervise;
 pub mod types;
 pub mod updates;
 
@@ -38,6 +39,7 @@ pub use engine::{AdmmBackend, Engine, ExecutionMode, SolveError, SolveOutcome, S
 pub use nonideal::NonIdealComm;
 pub use precompute::{Precomputed, ReferencePrecomputed};
 pub use solver::SolverFreeAdmm;
+pub use supervise::{CancelToken, StallPolicy, StopReason, SupervisionReport, SupervisorOptions};
 pub use types::{
     AdmmOptions, AdmmOptionsBuilder, Backend, ResidualBalancing, SolveResult, Timings, TraceEntry,
 };
@@ -61,6 +63,9 @@ pub mod prelude {
         AdmmBackend, Engine, ExecutionMode, SolveError, SolveOutcome, SolveRequest,
     };
     pub use crate::solver::SolverFreeAdmm;
+    pub use crate::supervise::{
+        CancelToken, StallPolicy, StopReason, SupervisionReport, SupervisorOptions,
+    };
     pub use crate::types::{
         AdmmOptions, AdmmOptionsBuilder, Backend, ResidualBalancing, SolveResult, Timings,
     };

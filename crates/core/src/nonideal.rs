@@ -22,6 +22,7 @@
 
 use crate::precompute::Precomputed;
 use crate::solver::SolverFreeAdmm;
+use crate::supervise::StopReason;
 use crate::types::{AdmmOptions, SolveResult, Timings};
 use crate::updates::{self, Residuals};
 use opf_linalg::vec_ops;
@@ -194,6 +195,11 @@ impl SolverFreeAdmm<'_> {
             lambda,
             iterations,
             converged,
+            stop: if converged {
+                StopReason::Converged
+            } else {
+                StopReason::MaxIters
+            },
             residuals: res,
             timings: Timings::default(),
             trace: Vec::new(),

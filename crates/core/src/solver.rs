@@ -4,6 +4,7 @@ use crate::gpu::{
     DualKernel, FusedIterKernel, FusedLocalDualKernel, GlobalKernel, LocalKernel, ResidualKernel,
 };
 use crate::precompute::Precomputed;
+use crate::supervise::{StopReason, SupervisorCtx};
 use crate::types::*;
 use crate::updates::{self, Residuals};
 use gpu_sim::Device;
@@ -300,6 +301,23 @@ impl<'a> SolverFreeAdmm<'a> {
         self.solve_view_exec_observed(opts, &mut exec, view, state, obs)
     }
 
+    /// [`SolverFreeAdmm::solve_from_observed`] with a supervisor context
+    /// threaded in (one retry attempt of the engine's supervised path).
+    pub(crate) fn solve_from_supervised<O: IterationObserver>(
+        &self,
+        opts: &AdmmOptions,
+        state: (Vec<f64>, Vec<f64>, Vec<f64>),
+        obs: &mut O,
+        sup: &mut SupervisorCtx,
+    ) -> SolveResult {
+        let mut exec = Exec::from_backend(&opts.backend);
+        if obs.enabled() {
+            exec.enable_profiling();
+        }
+        let view = self.base_view();
+        self.solve_view_exec_supervised(opts, &mut exec, view, state, obs, sup)
+    }
+
     /// The unperturbed problem data as a [`ProblemView`].
     pub(crate) fn base_view(&self) -> ProblemView<'_> {
         ProblemView {
@@ -320,6 +338,22 @@ impl<'a> SolverFreeAdmm<'a> {
         view: ProblemView<'_>,
         state: (Vec<f64>, Vec<f64>, Vec<f64>),
         obs: &mut O,
+    ) -> SolveResult {
+        self.solve_view_exec_supervised(opts, exec, view, state, obs, &mut SupervisorCtx::inert())
+    }
+
+    /// [`Self::solve_view_exec_observed`] with a supervisor threaded in.
+    /// The supervisor runs only at `check_every` boundaries and only when
+    /// armed (`sup.active`); an inert context leaves the loop — and its
+    /// iterates — bit-identical to the unsupervised path.
+    pub(crate) fn solve_view_exec_supervised<O: IterationObserver>(
+        &self,
+        opts: &AdmmOptions,
+        exec: &mut Exec,
+        view: ProblemView<'_>,
+        state: (Vec<f64>, Vec<f64>, Vec<f64>),
+        obs: &mut O,
+        sup: &mut SupervisorCtx,
     ) -> SolveResult {
         let (mut x, mut z, mut lambda) = state;
         assert_eq!(x.len(), self.dec.n, "warm start: x dimension");
@@ -365,6 +399,7 @@ impl<'a> SolverFreeAdmm<'a> {
         }
         let mut res = Residuals::default();
         let mut converged = false;
+        let mut stop = StopReason::MaxIters;
         let mut iterations = 0;
 
         // A stride of 0 is rejected by `AdmmOptions::validate` at the
@@ -484,6 +519,16 @@ impl<'a> SolverFreeAdmm<'a> {
             }
 
             if checking {
+                // Supervisor hook first: it may freeze `res` (stall
+                // fault) before the observer and the convergence test
+                // read it, or end the solve (deadline, cancellation,
+                // divergence) at this boundary.
+                if sup.active {
+                    if let Some(s) = sup.at_check(t, &mut res, &x, &z, &mut lambda) {
+                        stop = s;
+                        break;
+                    }
+                }
                 if obs.enabled() {
                     obs.on_iteration(&IterationSample {
                         iter: t as u64,
@@ -506,6 +551,7 @@ impl<'a> SolverFreeAdmm<'a> {
                 }
                 if res.converged() {
                     converged = true;
+                    stop = StopReason::Converged;
                     break;
                 }
                 // A non-finite residual means the iterate diverged
@@ -513,6 +559,7 @@ impl<'a> SolverFreeAdmm<'a> {
                 // instead of being masked); further iterations cannot
                 // recover, so stop and report the divergence.
                 if !res.pres.is_finite() || !res.dres.is_finite() {
+                    stop = StopReason::NonFinite;
                     break;
                 }
                 if let Some(rb) = opts.rho_adapt {
@@ -539,6 +586,7 @@ impl<'a> SolverFreeAdmm<'a> {
             objective,
             iterations,
             converged,
+            stop,
             residuals: res,
             timings,
             trace,

@@ -1,0 +1,790 @@
+//! Solve supervision: deadlines, cancellation, divergence recovery, and
+//! engine-level chaos injection.
+//!
+//! A [`SupervisorOptions`] policy rides on a `SolveRequest` and is enforced
+//! only at `check_every` boundaries, so the fused hot loop pays nothing for
+//! it. Every solve path reports how it stopped through [`StopReason`]
+//! instead of a lossy `converged: bool`, and interrupted solves return the
+//! best finite iterate seen so far together with a [`SupervisionReport`]
+//! describing what happened.
+//!
+//! The module also hosts the engine-level [`FaultPlan`] — a seeded chaos
+//! plane in the spirit of `comm_sim::FaultPlan`, but aimed at the solver
+//! itself: poison an iterate with NaN at iteration `k`, freeze the measured
+//! residuals so the run stalls, or panic inside one scenario of a batch.
+//! The chaos test suite asserts that the supervisor contains each of these
+//! without a process panic.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::types::{AdmmOptions, SolveResult, Timings};
+use crate::updates::Residuals;
+
+/// Why a solve stopped.
+///
+/// Replaces the lossy `converged: bool`: every backend (serial, rayon,
+/// gpu-sim, benchmark QP, cluster, distributed) reports one of these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub enum StopReason {
+    /// Termination test (16) was met.
+    Converged,
+    /// The iteration budget (`max_iters` or the supervisor's
+    /// `iteration_budget`) ran out first.
+    #[default]
+    MaxIters,
+    /// The supervisor's wall-clock deadline expired.
+    Deadline,
+    /// The shared cancellation token was flipped.
+    Cancelled,
+    /// The supervisor declared divergence (residual explosion or stall)
+    /// and retries were exhausted.
+    Diverged,
+    /// An iterate or residual went NaN/±Inf.
+    NonFinite,
+    /// The scenario panicked; the panic was contained by the batch
+    /// supervisor and this placeholder outcome stands in for it.
+    Panicked,
+    /// The run was aborted by the runtime itself (e.g. the distributed
+    /// transport lost quorum fatally) before any other reason applied.
+    Aborted,
+}
+
+impl StopReason {
+    /// Stable lower-case label for telemetry and the CLI.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            StopReason::Converged => "converged",
+            StopReason::MaxIters => "max-iters",
+            StopReason::Deadline => "deadline",
+            StopReason::Cancelled => "cancelled",
+            StopReason::Diverged => "diverged",
+            StopReason::NonFinite => "non-finite",
+            StopReason::Panicked => "panicked",
+            StopReason::Aborted => "aborted",
+        }
+    }
+
+    /// `true` only for [`StopReason::Converged`].
+    pub fn is_converged(&self) -> bool {
+        matches!(self, StopReason::Converged)
+    }
+
+    /// `true` when the stop was forced by the supervisor or a fault
+    /// rather than the solver's own termination logic
+    /// (`Converged`/`MaxIters` are the two "natural" stops).
+    pub fn is_interrupted(&self) -> bool {
+        !matches!(self, StopReason::Converged | StopReason::MaxIters)
+    }
+}
+
+impl fmt::Display for StopReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Shared cancellation token: clone it, hand one copy to the solve, keep
+/// the other, and flip it from any thread to stop the solve at its next
+/// `check_every` boundary.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request cancellation. Idempotent; visible to all clones.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Has cancellation been requested?
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+/// Stall detection policy: declare divergence when the best primal
+/// residual has not improved by at least `min_rel_drop` (relative) over
+/// `checks` consecutive `check_every` boundaries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StallPolicy {
+    /// Number of consecutive non-improving check boundaries tolerated.
+    pub checks: usize,
+    /// Minimum relative improvement of the best primal residual that
+    /// counts as progress (e.g. `1e-6`).
+    pub min_rel_drop: f64,
+}
+
+impl Default for StallPolicy {
+    fn default() -> Self {
+        Self {
+            checks: 25,
+            min_rel_drop: 1e-9,
+        }
+    }
+}
+
+/// Seeded engine-level fault-injection plan (chaos plane).
+///
+/// Deterministic per seed: the poisoned coordinate of a NaN injection is
+/// drawn from a splitmix64 stream. Faults fire at a `check_every`
+/// boundary at or after the requested iteration. A NaN injection fires
+/// **once per solve**, not once per retry attempt, so a divergence retry
+/// can genuinely recover from it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    seed: u64,
+    nan_at: Option<usize>,
+    stall_at: Option<usize>,
+    panic_scenario: Option<usize>,
+}
+
+impl FaultPlan {
+    /// A plan with the given seed and no faults armed.
+    pub fn seeded(seed: u64) -> Self {
+        Self {
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// Poison one coordinate of `x` with NaN at the first check boundary
+    /// at or after iteration `k`.
+    pub fn with_nan_at(mut self, k: usize) -> Self {
+        self.nan_at = Some(k);
+        self
+    }
+
+    /// Freeze the measured residuals from the first check boundary at or
+    /// after iteration `k`, so the run stops making apparent progress.
+    pub fn with_stall_at(mut self, k: usize) -> Self {
+        self.stall_at = Some(k);
+        self
+    }
+
+    /// Panic inside scenario `k` of a batch solve (contained by the
+    /// batch supervisor via `catch_unwind`).
+    pub fn with_scenario_panic(mut self, k: usize) -> Self {
+        self.panic_scenario = Some(k);
+        self
+    }
+
+    /// Is any fault armed?
+    pub fn is_active(&self) -> bool {
+        self.nan_at.is_some() || self.stall_at.is_some() || self.panic_scenario.is_some()
+    }
+
+    /// Should scenario `k` of a batch panic?
+    pub fn panics_scenario(&self, k: usize) -> bool {
+        self.panic_scenario == Some(k)
+    }
+
+    /// The coordinate a NaN injection poisons, for a vector of length `n`.
+    fn poison_index(&self, n: usize) -> usize {
+        if n == 0 {
+            return 0;
+        }
+        (splitmix64(self.seed.wrapping_add(0x9E37_79B9)) % n as u64) as usize
+    }
+}
+
+fn splitmix64(mut s: u64) -> u64 {
+    s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = s;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Supervision policy for a solve. The default is fully inert: no
+/// deadline, no budget, no token, no retries, no faults — and supervised
+/// paths with an inert policy are bit-identical to unsupervised ones.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct SupervisorOptions {
+    /// Wall-clock deadline, measured from the start of the solve (all
+    /// retry attempts share it; for a batch all scenarios share it).
+    pub deadline: Option<Duration>,
+    /// Cumulative iteration budget across all retry attempts. Caps each
+    /// attempt's `max_iters` at whatever remains.
+    pub iteration_budget: Option<usize>,
+    /// Shared cancellation token, polled at check boundaries.
+    pub cancel: Option<CancelToken>,
+    /// Divergence retries: on `Diverged`/`NonFinite`, re-tune ρ and
+    /// restart from the best finite iterate seen, up to this many times.
+    pub max_retries: usize,
+    /// Multiplier applied to ρ before each retry (default 10).
+    pub retry_rho_scale: f64,
+    /// Optional stall detector (off by default).
+    pub stall: Option<StallPolicy>,
+    /// Optional chaos plan.
+    pub faults: Option<FaultPlan>,
+}
+
+impl Default for SupervisorOptions {
+    /// Inert policy. `retry_rho_scale` still defaults to 10 so enabling
+    /// `max_retries` on a default policy is valid as-is.
+    fn default() -> Self {
+        Self {
+            deadline: None,
+            iteration_budget: None,
+            cancel: None,
+            max_retries: 0,
+            retry_rho_scale: 10.0,
+            stall: None,
+            faults: None,
+        }
+    }
+}
+
+impl SupervisorOptions {
+    /// Inert policy (same as `Default`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the wall-clock deadline.
+    pub fn with_deadline(mut self, d: Duration) -> Self {
+        self.deadline = Some(d);
+        self
+    }
+
+    /// Set the cumulative iteration budget.
+    pub fn with_iteration_budget(mut self, n: usize) -> Self {
+        self.iteration_budget = Some(n);
+        self
+    }
+
+    /// Attach a cancellation token.
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Allow up to `n` divergence retries.
+    pub fn with_max_retries(mut self, n: usize) -> Self {
+        self.max_retries = n;
+        self
+    }
+
+    /// Set the ρ multiplier used before each retry.
+    pub fn with_retry_rho_scale(mut self, s: f64) -> Self {
+        self.retry_rho_scale = s;
+        self
+    }
+
+    /// Enable stall detection.
+    pub fn with_stall(mut self, p: StallPolicy) -> Self {
+        self.stall = Some(p);
+        self
+    }
+
+    /// Arm a chaos plan.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Anything armed? Inactive policies take the exact unsupervised
+    /// code path, guaranteeing bit-identical results.
+    pub fn is_active(&self) -> bool {
+        self.deadline.is_some()
+            || self.iteration_budget.is_some()
+            || self.cancel.is_some()
+            || self.max_retries > 0
+            || self.stall.is_some()
+            || self.faults.map(|f| f.is_active()).unwrap_or(false)
+    }
+
+    /// Validate the policy.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.max_retries > 0 && !(self.retry_rho_scale.is_finite() && self.retry_rho_scale > 0.0)
+        {
+            return Err(format!(
+                "retry_rho_scale must be finite and positive, got {}",
+                self.retry_rho_scale
+            ));
+        }
+        if self.iteration_budget == Some(0) {
+            return Err("iteration_budget must be at least 1".into());
+        }
+        if let Some(st) = &self.stall {
+            if st.checks == 0 {
+                return Err("stall policy needs checks >= 1".into());
+            }
+            if !st.min_rel_drop.is_finite() || st.min_rel_drop < 0.0 {
+                return Err(format!(
+                    "stall min_rel_drop must be finite and non-negative, got {}",
+                    st.min_rel_drop
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// The cheap interrupt guard (deadline + cancel only) used by the
+    /// cluster and distributed paths, pinned to `now` as time zero.
+    pub(crate) fn guard_at(&self, now: Instant) -> InterruptGuard {
+        InterruptGuard {
+            deadline_at: self.deadline.map(|d| now + d),
+            cancel: self.cancel.clone(),
+        }
+    }
+}
+
+/// Deadline + cancellation poller. Cloneable into rank closures; a poll
+/// is one atomic load plus (when a deadline is set) one clock read.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct InterruptGuard {
+    deadline_at: Option<Instant>,
+    cancel: Option<CancelToken>,
+}
+
+impl InterruptGuard {
+    pub(crate) fn is_active(&self) -> bool {
+        self.deadline_at.is_some() || self.cancel.is_some()
+    }
+
+    pub(crate) fn poll(&self) -> Option<StopReason> {
+        if let Some(tok) = &self.cancel {
+            if tok.is_cancelled() {
+                return Some(StopReason::Cancelled);
+            }
+        }
+        if let Some(at) = self.deadline_at {
+            if Instant::now() >= at {
+                return Some(StopReason::Deadline);
+            }
+        }
+        None
+    }
+}
+
+/// Best finite iterate seen at any check boundary.
+#[derive(Debug, Clone)]
+pub(crate) struct BestIterate {
+    pub(crate) x: Vec<f64>,
+    pub(crate) z: Vec<f64>,
+    pub(crate) lambda: Vec<f64>,
+    pub(crate) iter: usize,
+    pub(crate) res: Residuals,
+}
+
+/// Per-attempt supervisor state threaded into the hot loop. Constructed
+/// once per attempt; all work happens in [`SupervisorCtx::at_check`],
+/// which the loop calls only at `check_every` boundaries and only when
+/// `active` — non-checking iterations pay nothing.
+#[derive(Debug, Default)]
+pub(crate) struct SupervisorCtx {
+    pub(crate) active: bool,
+    guard: InterruptGuard,
+    stall: Option<StallPolicy>,
+    // Chaos state.
+    nan_at: Option<usize>,
+    nan_seed_plan: FaultPlan,
+    pub(crate) nan_fired: bool,
+    stall_at: Option<usize>,
+    frozen: Option<Residuals>,
+    pub(crate) faults_injected: u64,
+    // Runtime tracking.
+    best: Option<BestIterate>,
+    checks_since_improve: usize,
+    pub(crate) stalled: bool,
+}
+
+/// Primal-residual explosion factor over the best seen that counts as
+/// divergence. Healthy ADMM runs oscillate well under this.
+const EXPLOSION_FACTOR: f64 = 1e8;
+
+impl SupervisorCtx {
+    /// An inert context: `at_check` is never called.
+    pub(crate) fn inert() -> Self {
+        Self::default()
+    }
+
+    /// Build from a policy. `deadline_at` is the absolute deadline shared
+    /// across attempts (and across scenarios for a batch); `nan_fired`
+    /// carries the once-per-solve NaN state across retry attempts.
+    pub(crate) fn from_options(
+        sup: &SupervisorOptions,
+        deadline_at: Option<Instant>,
+        nan_fired: bool,
+    ) -> Self {
+        let plan = sup.faults.unwrap_or_default();
+        Self {
+            active: sup.is_active(),
+            guard: InterruptGuard {
+                deadline_at,
+                cancel: sup.cancel.clone(),
+            },
+            stall: sup.stall,
+            nan_at: plan.nan_at,
+            nan_seed_plan: plan,
+            nan_fired,
+            stall_at: plan.stall_at,
+            frozen: None,
+            faults_injected: 0,
+            best: None,
+            checks_since_improve: 0,
+            stalled: false,
+        }
+    }
+
+    /// Supervisor work at one check boundary. `res` has just been
+    /// computed for iteration `t`; `x`/`z`/`lambda` are the current
+    /// iterates. May overwrite `res` (stall fault) or poison `λ` (NaN
+    /// fault). Returns a stop reason when the solve must end here.
+    pub(crate) fn at_check(
+        &mut self,
+        t: usize,
+        res: &mut Residuals,
+        x: &[f64],
+        z: &[f64],
+        lambda: &mut [f64],
+    ) -> Option<StopReason> {
+        // Stall fault first: freeze the *measured* residuals so the rest
+        // of the supervisor (and the loop's own convergence test) sees a
+        // run that stopped making progress.
+        if let Some(k) = self.stall_at {
+            if t >= k {
+                if self.frozen.is_none() {
+                    self.frozen = Some(*res);
+                    self.faults_injected += 1;
+                }
+                *res = self.frozen.expect("set above");
+            }
+        }
+
+        // A converged boundary always wins: no point injecting faults or
+        // declaring deadlines on the iterate we are about to accept.
+        if res.converged() {
+            return None;
+        }
+
+        // Best-seen tracking + stall bookkeeping (finite residuals only).
+        // Runs before any NaN injection below so the tracked best is
+        // always a clean, pre-poison iterate.
+        if res.pres.is_finite() && res.dres.is_finite() {
+            let improved = self.best.as_ref().is_none_or(|b| res.pres < b.res.pres);
+            let meaningful = match (&self.best, &self.stall) {
+                (Some(b), Some(p)) => res.pres <= b.res.pres * (1.0 - p.min_rel_drop),
+                _ => improved,
+            };
+            if improved {
+                self.best = Some(BestIterate {
+                    x: x.to_vec(),
+                    z: z.to_vec(),
+                    lambda: lambda.to_vec(),
+                    iter: t,
+                    res: *res,
+                });
+            }
+            if meaningful {
+                self.checks_since_improve = 0;
+            } else {
+                self.checks_since_improve += 1;
+            }
+
+            // Residual explosion: the iterate has blown up far past the
+            // best seen — stop burning the budget and let the retry
+            // policy re-tune ρ.
+            if let Some(b) = &self.best {
+                let floor = b.res.pres.max(f64::MIN_POSITIVE);
+                if res.pres > EXPLOSION_FACTOR * floor {
+                    return Some(StopReason::Diverged);
+                }
+            }
+
+            if let Some(p) = &self.stall {
+                if self.checks_since_improve >= p.checks {
+                    self.stalled = true;
+                    return Some(StopReason::Diverged);
+                }
+            }
+        }
+
+        // NaN fault: poison one coordinate of λ. The dual iterate is
+        // updated incrementally (λ += ρ(x − z)), so unlike x — which the
+        // global update rebuilds from scratch every iteration — the
+        // poison survives, propagates into z and the residuals, and the
+        // loop's non-finite residual guard contains it at the next check.
+        // Fires once per solve, not once per attempt, so a divergence
+        // retry can genuinely recover from it.
+        if let Some(k) = self.nan_at {
+            if t >= k && !self.nan_fired {
+                let idx = self.nan_seed_plan.poison_index(lambda.len());
+                if let Some(slot) = lambda.get_mut(idx) {
+                    *slot = f64::NAN;
+                }
+                self.nan_fired = true;
+                self.faults_injected += 1;
+            }
+        }
+
+        self.guard.poll()
+    }
+
+    /// Take the best iterate tracked this attempt.
+    pub(crate) fn take_best(&mut self) -> Option<BestIterate> {
+        self.best.take()
+    }
+}
+
+/// What the supervisor did during a solve: attempts, retries, faults,
+/// and the quality of the best iterate it tracked. Attached to the
+/// `SolveOutcome` whenever supervision was active.
+#[derive(Debug, Clone, Default)]
+#[non_exhaustive]
+pub struct SupervisionReport {
+    /// Solve attempts, including the first (so `attempts - 1` retries ran).
+    pub attempts: usize,
+    /// Divergence retries consumed.
+    pub divergence_retries: u64,
+    /// Attempts that ended with a non-finite iterate.
+    pub nonfinite_stops: u64,
+    /// Stall detections (injected or genuine).
+    pub stalls: u64,
+    /// Chaos faults that actually fired.
+    pub faults_injected: u64,
+    /// Iteration (within its attempt) of the best iterate seen.
+    pub best_iter: usize,
+    /// Primal residual of the best iterate seen (NaN if none tracked).
+    pub best_pres: f64,
+    /// Dual residual of the best iterate seen (NaN if none tracked).
+    pub best_dres: f64,
+    /// Whether the returned iterates are the tracked best rather than
+    /// the final (interrupted) ones.
+    pub returned_best: bool,
+    /// Panic payload when a contained scenario panic produced this
+    /// outcome.
+    pub panic: Option<String>,
+}
+
+impl SupervisionReport {
+    fn new() -> Self {
+        Self {
+            best_pres: f64::NAN,
+            best_dres: f64::NAN,
+            ..Self::default()
+        }
+    }
+
+    /// A report standing in for a scenario whose panic was contained.
+    pub(crate) fn panicked(msg: String) -> Self {
+        let mut r = Self::new();
+        r.attempts = 1;
+        r.panic = Some(msg);
+        r
+    }
+}
+
+/// Run one supervised solve: retry loop, iteration budget, best-iterate
+/// swap, and report assembly. `attempt` runs one solve attempt with the
+/// given (possibly ρ-re-tuned, budget-capped) options, the per-attempt
+/// supervisor context, and an optional warm state `(x, z, λ)` from the
+/// previous attempt's best iterate. `objective_of` recomputes `cᵀx` when
+/// the best iterate is swapped in.
+pub(crate) fn run_supervised<F, G>(
+    opts: &AdmmOptions,
+    sup: &SupervisorOptions,
+    objective_of: G,
+    mut attempt: F,
+) -> (SolveResult, SupervisionReport)
+where
+    F: FnMut(
+        &AdmmOptions,
+        &mut SupervisorCtx,
+        Option<(Vec<f64>, Vec<f64>, Vec<f64>)>,
+    ) -> SolveResult,
+    G: Fn(&[f64]) -> f64,
+{
+    let deadline_at = sup.deadline.map(|d| Instant::now() + d);
+    run_supervised_at(opts, sup, deadline_at, objective_of, &mut attempt)
+}
+
+/// As [`run_supervised`], but with the absolute deadline pinned by the
+/// caller — the batch path shares one deadline across all scenarios.
+pub(crate) fn run_supervised_at<F, G>(
+    opts: &AdmmOptions,
+    sup: &SupervisorOptions,
+    deadline_at: Option<Instant>,
+    objective_of: G,
+    attempt: &mut F,
+) -> (SolveResult, SupervisionReport)
+where
+    F: FnMut(
+        &AdmmOptions,
+        &mut SupervisorCtx,
+        Option<(Vec<f64>, Vec<f64>, Vec<f64>)>,
+    ) -> SolveResult,
+    G: Fn(&[f64]) -> f64,
+{
+    let mut report = SupervisionReport::new();
+    let mut nan_fired = false;
+    let mut iters_used = 0usize;
+    let mut best: Option<BestIterate> = None;
+    let mut cur_opts = opts.clone();
+    let mut retry_state: Option<(Vec<f64>, Vec<f64>, Vec<f64>)> = None;
+    let mut timings_prev = Timings::default();
+
+    let mut result = loop {
+        report.attempts += 1;
+        if let Some(budget) = sup.iteration_budget {
+            cur_opts.max_iters = opts.max_iters.min(budget.saturating_sub(iters_used)).max(1);
+        }
+
+        let mut ctx = SupervisorCtx::from_options(sup, deadline_at, nan_fired);
+        let mut r = attempt(&cur_opts, &mut ctx, retry_state.take());
+        nan_fired = ctx.nan_fired;
+        report.faults_injected += ctx.faults_injected;
+        if ctx.stalled {
+            report.stalls += 1;
+        }
+        if matches!(r.stop, StopReason::NonFinite) {
+            report.nonfinite_stops += 1;
+        }
+        iters_used += r.iterations;
+        if let Some(b) = ctx.take_best() {
+            if best.as_ref().is_none_or(|g| b.res.pres < g.res.pres) {
+                best = Some(b);
+            }
+        }
+
+        let budget_left = sup
+            .iteration_budget
+            .map_or(usize::MAX, |b| b.saturating_sub(iters_used));
+        let retryable = matches!(r.stop, StopReason::NonFinite | StopReason::Diverged);
+        if retryable && report.divergence_retries < sup.max_retries as u64 && budget_left > 0 {
+            report.divergence_retries += 1;
+            cur_opts.rho *= sup.retry_rho_scale;
+            retry_state = best
+                .as_ref()
+                .map(|b| (b.x.clone(), b.z.clone(), b.lambda.clone()));
+            timings_prev = accumulate_timings(timings_prev, &r.timings);
+            continue;
+        }
+
+        r.timings = accumulate_timings(timings_prev, &r.timings);
+        r.iterations = iters_used;
+        r.timings.iterations = iters_used;
+        break r;
+    };
+
+    if let Some(b) = best {
+        report.best_iter = b.iter;
+        report.best_pres = b.res.pres;
+        report.best_dres = b.res.dres;
+        let final_is_worse =
+            !result.residuals.pres.is_finite() || b.res.pres < result.residuals.pres;
+        if !result.stop.is_converged() && final_is_worse {
+            result.objective = objective_of(&b.x);
+            result.x = b.x;
+            result.z = b.z;
+            result.lambda = b.lambda;
+            result.residuals = b.res;
+            report.returned_best = true;
+        }
+    }
+
+    (result, report)
+}
+
+fn accumulate_timings(prev: Timings, cur: &Timings) -> Timings {
+    Timings {
+        global_s: prev.global_s + cur.global_s,
+        local_s: prev.local_s + cur.local_s,
+        dual_s: prev.dual_s + cur.dual_s,
+        residual_s: prev.residual_s + cur.residual_s,
+        fused_s: prev.fused_s + cur.fused_s,
+        iterations: prev.iterations + cur.iterations,
+        simulated: prev.simulated || cur.simulated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_policy_is_inert() {
+        let sup = SupervisorOptions::default();
+        assert!(!sup.is_active());
+        assert!(sup.validate().is_ok());
+    }
+
+    #[test]
+    fn builders_arm_the_policy() {
+        assert!(SupervisorOptions::new()
+            .with_deadline(Duration::from_millis(5))
+            .is_active());
+        assert!(SupervisorOptions::new().with_max_retries(1).is_active());
+        assert!(SupervisorOptions::new()
+            .with_cancel(CancelToken::new())
+            .is_active());
+        assert!(SupervisorOptions::new()
+            .with_faults(FaultPlan::seeded(7).with_nan_at(3))
+            .is_active());
+        // A plan with nothing armed does not activate supervision.
+        assert!(!SupervisorOptions::new()
+            .with_faults(FaultPlan::seeded(7))
+            .is_active());
+    }
+
+    #[test]
+    fn validation_rejects_bad_policies() {
+        let bad = SupervisorOptions::new()
+            .with_max_retries(1)
+            .with_retry_rho_scale(0.0);
+        assert!(bad.validate().is_err());
+        let bad = SupervisorOptions::new().with_iteration_budget(0);
+        assert!(bad.validate().is_err());
+        let bad = SupervisorOptions::new().with_stall(StallPolicy {
+            checks: 0,
+            min_rel_drop: 1e-6,
+        });
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn cancel_token_is_shared() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!b.is_cancelled());
+        a.cancel();
+        assert!(b.is_cancelled());
+    }
+
+    #[test]
+    fn stop_reason_labels_are_stable() {
+        assert_eq!(StopReason::Converged.as_str(), "converged");
+        assert_eq!(StopReason::Deadline.to_string(), "deadline");
+        assert!(StopReason::Cancelled.is_interrupted());
+        assert!(!StopReason::MaxIters.is_interrupted());
+        assert!(StopReason::Converged.is_converged());
+    }
+
+    #[test]
+    fn nan_poison_index_is_deterministic() {
+        let p = FaultPlan::seeded(42).with_nan_at(10);
+        assert_eq!(p.poison_index(17), p.poison_index(17));
+        assert!(p.poison_index(17) < 17);
+    }
+
+    #[test]
+    fn guard_polls_cancel_before_deadline() {
+        let tok = CancelToken::new();
+        let sup = SupervisorOptions::new()
+            .with_cancel(tok.clone())
+            .with_deadline(Duration::ZERO);
+        let g = sup.guard_at(Instant::now());
+        tok.cancel();
+        assert_eq!(g.poll(), Some(StopReason::Cancelled));
+    }
+}

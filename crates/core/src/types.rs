@@ -1,5 +1,6 @@
 //! Options, timings, traces, and results shared by the solvers.
 
+use crate::supervise::StopReason;
 use crate::updates::Residuals;
 use gpu_sim::DeviceProps;
 
@@ -299,6 +300,9 @@ pub struct SolveResult {
     pub iterations: usize,
     /// Whether (16) was met within the budget.
     pub converged: bool,
+    /// Why the solve stopped (supersedes `converged`, which is kept for
+    /// compatibility and equals `stop.is_converged()`).
+    pub stop: StopReason,
     /// Final residuals.
     pub residuals: Residuals,
     /// Accumulated update times.

@@ -12,6 +12,15 @@
 //! profiles, and a bounded ring of per-iteration samples, and renders a
 //! [`TelemetryReport`] with a stable versioned JSON schema
 //! ([`SCHEMA_VERSION`]).
+//!
+//! Counter names are dot-namespaced by emitter. The engine reserves two
+//! families: `degradation.*` (distributed-runtime degradation events —
+//! stale rounds, quorum timeouts, rank deaths, adoptions,
+//! retransmissions, checkpoints) and `supervisor.*` (solve-supervision
+//! events — `deadline_hits`, `cancellations`, `divergence_retries`,
+//! `nonfinite_iterates`, `stalls`, `faults_injected`,
+//! `panics_contained`). Names are `&'static str` and count as part of
+//! the JSON schema: renaming one is a breaking change.
 
 use std::collections::BTreeMap;
 use std::collections::VecDeque;

@@ -1,0 +1,357 @@
+//! Chaos suite for the solve supervision layer: every injected fault —
+//! expired deadlines, cancellation, NaN iterates, residual stalls,
+//! scenario panics — must be contained as a structured partial outcome
+//! (or a typed error), never escape as a process panic, and leave a
+//! matching `supervisor.*` telemetry counter behind. An inert policy
+//! must change nothing, bit for bit.
+//!
+//! Seeded: set `CHAOS_SEED` to re-run the whole suite under a different
+//! fault stream (CI pins three).
+
+use std::time::Duration;
+
+use gpu_sim::DeviceProps;
+use opf_admm::prelude::*;
+use opf_admm::supervise::FaultPlan;
+use opf_integration::decompose_net;
+use opf_net::feeders;
+
+fn chaos_seed() -> u64 {
+    std::env::var("CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(7)
+}
+
+fn opts(max_iters: usize) -> AdmmOptions {
+    AdmmOptions::builder().max_iters(max_iters).build()
+}
+
+/// The acceptance criterion for the inert policy: `SupervisorOptions::
+/// default()` on the engine is bit-identical to the raw solver on the
+/// paper instances.
+#[test]
+fn default_supervisor_is_bit_identical() {
+    for net in [feeders::ieee13(), feeders::ieee123()] {
+        let dec = decompose_net(&net);
+        let engine = Engine::new(&dec).expect("engine");
+        let solver = SolverFreeAdmm::new(&dec).expect("precompute");
+        let o = opts(400);
+        let direct = solver.solve(&o);
+        let req = SolveRequest::new(o).with_supervisor(SupervisorOptions::default());
+        let out = engine.solve(&req).expect("solve");
+        assert_eq!(out.x, direct.x, "x diverged under inert supervision");
+        assert_eq!(out.z, direct.z, "z diverged under inert supervision");
+        assert_eq!(
+            out.lambda, direct.lambda,
+            "λ diverged under inert supervision"
+        );
+        assert_eq!(out.iterations, direct.iterations);
+        assert_eq!(out.converged, direct.converged);
+        assert_eq!(out.stop, direct.stop);
+        assert!(out.supervision.is_none(), "inert policy must not report");
+    }
+}
+
+#[test]
+fn expired_deadline_returns_partial_iterate_and_counter() {
+    let net = feeders::ieee13();
+    let dec = decompose_net(&net);
+    let engine = Engine::new(&dec).expect("engine");
+    let sup = SupervisorOptions::new().with_deadline(Duration::ZERO);
+    let req = SolveRequest::new(opts(200_000)).with_supervisor(sup);
+    let (out, report) = engine
+        .solve_with_telemetry(&req, Some("ieee13"))
+        .expect("solve");
+    assert_eq!(out.stop, StopReason::Deadline);
+    assert!(!out.converged);
+    assert!(out.iterations < 200_000, "deadline never fired");
+    // The partial outcome is usable: full-dimension, finite iterates.
+    assert_eq!(out.x.len(), dec.n);
+    assert!(out.x.iter().all(|v| v.is_finite()));
+    assert!(out.supervision.is_some());
+    assert_eq!(report.counter("supervisor.deadline_hits"), 1);
+}
+
+#[test]
+fn pre_cancelled_token_stops_at_first_check() {
+    let net = feeders::ieee13();
+    let dec = decompose_net(&net);
+    let engine = Engine::new(&dec).expect("engine");
+    let token = CancelToken::new();
+    token.cancel();
+    // Cancellation outranks a deadline when both are due.
+    let sup = SupervisorOptions::new()
+        .with_cancel(token)
+        .with_deadline(Duration::ZERO);
+    let req = SolveRequest::new(opts(200_000)).with_supervisor(sup);
+    let (out, report) = engine
+        .solve_with_telemetry(&req, Some("ieee13"))
+        .expect("solve");
+    assert_eq!(out.stop, StopReason::Cancelled);
+    assert!(out.iterations <= 1, "cancelled solve kept iterating");
+    assert_eq!(report.counter("supervisor.cancellations"), 1);
+}
+
+#[test]
+fn iteration_budget_caps_the_whole_solve() {
+    let net = feeders::ieee13();
+    let dec = decompose_net(&net);
+    let engine = Engine::new(&dec).expect("engine");
+    let sup = SupervisorOptions::new().with_iteration_budget(10);
+    let req = SolveRequest::new(opts(200_000)).with_supervisor(sup);
+    let out = engine.solve(&req).expect("solve");
+    assert_eq!(out.stop, StopReason::MaxIters);
+    assert_eq!(out.iterations, 10);
+}
+
+#[test]
+fn nan_injection_without_retries_is_contained_with_best_iterate() {
+    let net = feeders::ieee13();
+    let dec = decompose_net(&net);
+    let engine = Engine::new(&dec).expect("engine");
+    let sup = SupervisorOptions::new().with_faults(FaultPlan::seeded(chaos_seed()).with_nan_at(50));
+    let req = SolveRequest::new(opts(5_000)).with_supervisor(sup);
+    let (out, report) = engine
+        .solve_with_telemetry(&req, Some("ieee13"))
+        .expect("solve");
+    assert_eq!(out.stop, StopReason::NonFinite);
+    assert!(!out.converged);
+    let s = out.supervision.as_ref().expect("report");
+    assert_eq!(s.attempts, 1);
+    assert!(s.faults_injected >= 1, "fault never fired");
+    assert!(s.nonfinite_stops >= 1);
+    // The poisoned final iterate was swapped for the tracked best one.
+    assert!(s.returned_best);
+    assert!(out.x.iter().all(|v| v.is_finite()));
+    assert!(out.residuals.pres.is_finite());
+    assert_eq!(report.counter("supervisor.nonfinite_iterates"), 1);
+    assert!(report.counter("supervisor.faults_injected") >= 1);
+}
+
+#[test]
+fn nan_injection_recovers_under_divergence_retries() {
+    let net = feeders::ieee13();
+    let dec = decompose_net(&net);
+    let engine = Engine::new(&dec).expect("engine");
+    let sup = SupervisorOptions::new()
+        .with_faults(FaultPlan::seeded(chaos_seed()).with_nan_at(50))
+        .with_max_retries(2);
+    let req = SolveRequest::new(opts(200_000)).with_supervisor(sup);
+    let (out, report) = engine
+        .solve_with_telemetry(&req, Some("ieee13"))
+        .expect("solve");
+    // The NaN fires once; the retry re-tunes ρ, warm-starts from the
+    // best pre-fault iterate, and runs to convergence.
+    assert_eq!(out.stop, StopReason::Converged);
+    assert!(out.converged);
+    let s = out.supervision.as_ref().expect("report");
+    assert!(s.attempts >= 2);
+    assert!(s.divergence_retries >= 1);
+    assert!(out.x.iter().all(|v| v.is_finite()));
+    assert!(report.counter("supervisor.divergence_retries") >= 1);
+}
+
+#[test]
+fn stall_injection_is_detected_as_divergence() {
+    let net = feeders::ieee13();
+    let dec = decompose_net(&net);
+    let engine = Engine::new(&dec).expect("engine");
+    let sup = SupervisorOptions::new()
+        .with_faults(FaultPlan::seeded(chaos_seed()).with_stall_at(20))
+        .with_stall(StallPolicy {
+            checks: 5,
+            min_rel_drop: 1e-9,
+        });
+    let req = SolveRequest::new(opts(5_000)).with_supervisor(sup);
+    let (out, report) = engine
+        .solve_with_telemetry(&req, Some("ieee13"))
+        .expect("solve");
+    assert_eq!(out.stop, StopReason::Diverged);
+    assert!(out.iterations < 5_000, "stall was never declared");
+    let s = out.supervision.as_ref().expect("report");
+    assert!(s.stalls >= 1);
+    assert!(s.faults_injected >= 1);
+    assert_eq!(report.counter("supervisor.stalls"), s.stalls);
+}
+
+#[test]
+fn batch_scenario_panic_is_contained() {
+    let net = feeders::ieee13();
+    let dec = decompose_net(&net);
+    let engine = Engine::new(&dec).expect("engine");
+    let batch = ScenarioBatch::sweep(engine.solver(), 4, chaos_seed(), 0.02).expect("sweep");
+    let sup = SupervisorOptions::new()
+        .with_faults(FaultPlan::seeded(chaos_seed()).with_scenario_panic(1));
+    let req = BatchRequest::new(batch, opts(2_000)).with_supervisor(sup);
+    let (out, report) = engine
+        .solve_batch_with_telemetry(&req, Some("ieee13"))
+        .expect("batch");
+    assert_eq!(out.panics_contained, 1);
+    assert_eq!(out.scenarios.len(), 4);
+    for (k, s) in out.scenarios.iter().enumerate() {
+        if k == 1 {
+            assert_eq!(s.stop, StopReason::Panicked, "scenario 1 must panic");
+            let rep = s.supervision.as_ref().expect("panic report");
+            assert!(rep
+                .panic
+                .as_deref()
+                .unwrap_or("")
+                .contains("injected fault"));
+        } else {
+            assert_ne!(s.stop, StopReason::Panicked, "panic leaked to scenario {k}");
+            assert!(s.x.iter().all(|v| v.is_finite()));
+        }
+    }
+    assert_eq!(report.counter("supervisor.panics_contained"), 1);
+}
+
+#[test]
+fn rayon_batch_contains_panics_too() {
+    let net = feeders::ieee13();
+    let dec = decompose_net(&net);
+    let engine = Engine::new(&dec).expect("engine");
+    let batch = ScenarioBatch::sweep(engine.solver(), 4, chaos_seed(), 0.02).expect("sweep");
+    let sup = SupervisorOptions::new()
+        .with_faults(FaultPlan::seeded(chaos_seed()).with_scenario_panic(2));
+    let o = AdmmOptions::builder()
+        .max_iters(2_000)
+        .backend(Backend::Rayon { threads: 2 })
+        .build();
+    let req = BatchRequest::new(batch, o).with_supervisor(sup);
+    let out = engine.solve_batch(&req).expect("batch");
+    assert_eq!(out.panics_contained, 1);
+    assert_eq!(out.scenarios[2].stop, StopReason::Panicked);
+}
+
+#[test]
+fn gpu_lockstep_batch_rejects_chaos_but_takes_deadlines() {
+    let net = feeders::ieee13();
+    let dec = decompose_net(&net);
+    let engine = Engine::new(&dec).expect("engine");
+    let gpu = AdmmOptions::builder()
+        .max_iters(500)
+        .backend(Backend::Gpu {
+            props: DeviceProps::a100(),
+            threads_per_block: 64,
+        })
+        .build();
+
+    // Fault injection would desynchronize the lockstep grid: typed error.
+    let batch = ScenarioBatch::sweep(engine.solver(), 3, chaos_seed(), 0.02).expect("sweep");
+    let chaotic =
+        SupervisorOptions::new().with_faults(FaultPlan::seeded(chaos_seed()).with_nan_at(10));
+    let req = BatchRequest::new(batch, gpu.clone()).with_supervisor(chaotic);
+    match engine.solve_batch(&req) {
+        Err(SolveError::InvalidBatch(msg)) => {
+            assert!(msg.contains("lockstep"), "unexpected message: {msg}")
+        }
+        other => panic!("expected InvalidBatch, got {other:?}"),
+    }
+
+    // Deadline/cancel/budget supervision is fine on the grid.
+    let batch = ScenarioBatch::sweep(engine.solver(), 3, chaos_seed(), 0.02).expect("sweep");
+    let timed = SupervisorOptions::new().with_deadline(Duration::ZERO);
+    let req = BatchRequest::new(batch, gpu).with_supervisor(timed);
+    let out = engine.solve_batch(&req).expect("batch");
+    for s in &out.scenarios {
+        assert_eq!(s.stop, StopReason::Deadline);
+    }
+}
+
+#[test]
+fn batch_deadline_spans_all_scenarios() {
+    let net = feeders::ieee13();
+    let dec = decompose_net(&net);
+    let engine = Engine::new(&dec).expect("engine");
+    let batch = ScenarioBatch::sweep(engine.solver(), 3, chaos_seed(), 0.02).expect("sweep");
+    let sup = SupervisorOptions::new().with_deadline(Duration::ZERO);
+    let req = BatchRequest::new(batch, opts(200_000)).with_supervisor(sup);
+    let out = engine.solve_batch(&req).expect("batch");
+    // One absolute deadline: every scenario sees it already expired.
+    assert_eq!(out.converged, 0);
+    for s in &out.scenarios {
+        assert_eq!(s.stop, StopReason::Deadline);
+        assert!(s.iterations <= 1);
+    }
+}
+
+#[test]
+fn benchmark_backend_honours_the_supervisor() {
+    let net = feeders::ieee13();
+    let dec = decompose_net(&net);
+    let engine = Engine::new(&dec).expect("engine");
+    let sup = SupervisorOptions::new().with_iteration_budget(5);
+    let req = SolveRequest::new(opts(10_000))
+        .with_mode(ExecutionMode::BenchmarkQp)
+        .with_supervisor(sup);
+    let out = engine.solve(&req).expect("solve");
+    assert_eq!(out.backend, "benchmark-qp");
+    assert_eq!(out.iterations, 5);
+    assert_eq!(out.stop, StopReason::MaxIters);
+}
+
+#[test]
+fn invalid_supervisor_policy_is_a_typed_error() {
+    let net = feeders::ieee13();
+    let dec = decompose_net(&net);
+    let engine = Engine::new(&dec).expect("engine");
+    let sup = SupervisorOptions::new()
+        .with_max_retries(1)
+        .with_retry_rho_scale(0.0);
+    let req = SolveRequest::new(opts(100)).with_supervisor(sup);
+    match engine.solve(&req) {
+        Err(SolveError::InvalidSupervisor(_)) => {}
+        other => panic!("expected InvalidSupervisor, got {other:?}"),
+    }
+}
+
+/// Soak: 200 supervised ieee13 solves under a rotating fault mix. The
+/// assertion is simply that every one of them returns a structured
+/// outcome — no panic ever escapes, no iterate goes out non-finite
+/// unreported. Run with `--ignored` (CI does).
+#[test]
+#[ignore = "soak smoke; run explicitly (CI chaos job does)"]
+fn soak_two_hundred_supervised_solves_contain_every_fault() {
+    let net = feeders::ieee13();
+    let dec = decompose_net(&net);
+    let engine = Engine::new(&dec).expect("engine");
+    let seed0 = chaos_seed();
+    let mut contained = 0usize;
+    for i in 0..200u64 {
+        let seed = seed0.wrapping_add(i);
+        let sup = match i % 4 {
+            0 => SupervisorOptions::new()
+                .with_faults(FaultPlan::seeded(seed).with_nan_at(10 + (i as usize % 40))),
+            1 => SupervisorOptions::new()
+                .with_faults(FaultPlan::seeded(seed).with_stall_at(10))
+                .with_stall(StallPolicy {
+                    checks: 3,
+                    min_rel_drop: 1e-9,
+                }),
+            2 => {
+                // Batch with a panicking scenario.
+                let batch = ScenarioBatch::sweep(engine.solver(), 3, seed, 0.02).expect("sweep");
+                let bsup = SupervisorOptions::new()
+                    .with_faults(FaultPlan::seeded(seed).with_scenario_panic((i % 3) as usize));
+                let req = BatchRequest::new(batch, opts(600)).with_supervisor(bsup);
+                let out = engine.solve_batch(&req).expect("batch");
+                assert_eq!(out.panics_contained, 1, "solve {i}");
+                contained += 1;
+                continue;
+            }
+            _ => SupervisorOptions::new().with_deadline(Duration::from_micros(200)),
+        };
+        let sup = sup.with_max_retries((i % 3) as usize);
+        let req = SolveRequest::new(opts(2_000)).with_supervisor(sup);
+        let out = engine.solve(&req).expect("structured outcome");
+        // Whatever happened, the outcome is structured and finite.
+        assert!(
+            out.x.iter().all(|v| v.is_finite()),
+            "solve {i}: non-finite iterate escaped ({:?})",
+            out.stop
+        );
+        contained += 1;
+    }
+    assert_eq!(contained, 200);
+}

@@ -1,0 +1,135 @@
+//! The engine's typed error surface and the supervisor's best-iterate
+//! guarantee. Display strings are snapshot-pinned: callers (the CLI, log
+//! scrapers) match on them, so a rewording is a breaking change and must
+//! show up in a test diff.
+
+use opf_admm::prelude::*;
+use opf_admm::supervise::FaultPlan;
+use opf_integration::{decompose_net, small_spec};
+use opf_net::feeders::{self, generate};
+use proptest::prelude::*;
+
+#[test]
+fn solve_error_display_is_stable() {
+    let cases: Vec<(SolveError, &str)> = vec![
+        (
+            SolveError::InvalidOptions("check_every must be >= 1".into()),
+            "invalid options: check_every must be >= 1",
+        ),
+        (
+            SolveError::WarmStartUnsupported {
+                mode: "benchmark-qp",
+            },
+            "the benchmark-qp mode always starts from the paper's initial point \
+             and cannot honour a warm start",
+        ),
+        (
+            SolveError::WarmStartDimension {
+                field: "lambda",
+                expected: 96,
+                got: 4,
+            },
+            "warm start: lambda has dimension 4, expected 96",
+        ),
+        (
+            SolveError::InvalidBatch("empty batch".into()),
+            "invalid batch request: empty batch",
+        ),
+        (
+            SolveError::InvalidSupervisor("iteration_budget must be at least 1".into()),
+            "invalid supervisor policy: iteration_budget must be at least 1",
+        ),
+    ];
+    for (err, want) in cases {
+        assert_eq!(err.to_string(), want);
+    }
+}
+
+#[test]
+fn invalid_supervisor_messages_name_the_offending_field() {
+    let net = feeders::ieee13();
+    let dec = decompose_net(&net);
+    let engine = Engine::new(&dec).expect("engine");
+    let opts = AdmmOptions::builder().max_iters(50).build();
+
+    let bad: Vec<(SupervisorOptions, &str)> = vec![
+        (
+            SupervisorOptions::new()
+                .with_max_retries(1)
+                .with_retry_rho_scale(f64::NAN),
+            "retry_rho_scale",
+        ),
+        (
+            SupervisorOptions::new().with_iteration_budget(0),
+            "iteration_budget",
+        ),
+        (
+            SupervisorOptions::new().with_stall(StallPolicy {
+                checks: 0,
+                min_rel_drop: 1e-9,
+            }),
+            "checks >= 1",
+        ),
+        (
+            SupervisorOptions::new().with_stall(StallPolicy {
+                checks: 3,
+                min_rel_drop: -1.0,
+            }),
+            "min_rel_drop",
+        ),
+    ];
+    for (sup, needle) in bad {
+        let req = SolveRequest::new(opts.clone()).with_supervisor(sup);
+        match engine.solve(&req) {
+            Err(SolveError::InvalidSupervisor(msg)) => {
+                assert!(msg.contains(needle), "message {msg:?} lacks {needle:?}")
+            }
+            other => panic!("expected InvalidSupervisor({needle}), got {other:?}"),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Best-iterate preservation: however a supervised solve on a random
+    /// feeder is interrupted (iteration budget, injected NaN, retries),
+    /// the outcome it returns is never worse than the best iterate its
+    /// own report claims to have tracked — and never silently non-finite.
+    #[test]
+    fn supervised_outcome_never_loses_the_tracked_best(
+        nodes in 6usize..16,
+        seed in 0u64..200,
+        budget in 2usize..40,
+        retries in 0usize..3,
+    ) {
+        let net = generate(&small_spec(nodes, 2, seed));
+        let dec = decompose_net(&net);
+        let engine = Engine::new(&dec).expect("engine");
+        let sup = SupervisorOptions::new()
+            .with_iteration_budget(budget)
+            .with_faults(FaultPlan::seeded(seed).with_nan_at(budget / 2))
+            .with_max_retries(retries);
+        let opts = AdmmOptions::builder().max_iters(500).check_every(2).build();
+        let req = SolveRequest::new(opts).with_supervisor(sup);
+        let out = engine.solve(&req).expect("structured outcome");
+
+        prop_assert!(out.iterations <= budget, "budget overrun: {}", out.iterations);
+        let s = out.supervision.as_ref().expect("active policy reports");
+        if s.best_pres.is_finite() {
+            // A tracked best implies the returned iterate is usable…
+            prop_assert!(out.x.iter().all(|v| v.is_finite()));
+            prop_assert!(out.residuals.pres.is_finite());
+            // …and at least as good as the best the report advertises
+            // (converged finals are accepted as-is).
+            if !out.stop.is_converged() {
+                prop_assert!(
+                    out.residuals.pres <= s.best_pres,
+                    "returned pres {} worse than tracked best {}",
+                    out.residuals.pres,
+                    s.best_pres
+                );
+            }
+        }
+    }
+}
