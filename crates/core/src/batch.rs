@@ -36,11 +36,11 @@ use crate::engine::{
 };
 use crate::gpu::{
     BatchDualKernel, BatchFusedIterKernel, BatchFusedLocalDualKernel, BatchGlobalKernel,
-    BatchLocalKernel, BatchResidualKernel, DualKernel, FusedIterKernel, FusedLocalDualKernel,
-    GlobalKernel, LocalKernel, ResidualKernel,
+    BatchLocalKernel, BatchResidualKernel, BatchSlabBatchIterKernel, DualKernel, FusedIterKernel,
+    FusedLocalDualKernel, GlobalKernel, LocalKernel, ResidualKernel, SlabBatchIterKernel,
 };
 use crate::precompute;
-use crate::solver::{Exec, ProblemView, SolverFreeAdmm};
+use crate::solver::{scatter_panels, Exec, ProblemView, SolverFreeAdmm};
 use crate::supervise::{
     self, InterruptGuard, StopReason, SupervisionReport, SupervisorCtx, SupervisorOptions,
 };
@@ -685,6 +685,7 @@ impl Engine<'_> {
             timings.dual_s += r.timings.dual_s;
             timings.residual_s += r.timings.residual_s;
             timings.fused_s += r.timings.fused_s;
+            timings.slab_batch_s += r.timings.slab_batch_s;
             timings.iterations += r.timings.iterations;
             converged += r.converged as usize;
             iterations_total += r.iterations;
@@ -700,6 +701,18 @@ impl Engine<'_> {
             obs.on_phase(Phase::Dual, timings.dual_s);
             obs.on_phase(Phase::Residual, timings.residual_s);
             obs.on_phase(Phase::Fused, timings.fused_s);
+            obs.on_phase(Phase::SlabBatch, timings.slab_batch_s);
+            if req.options.slab_batched {
+                // Per-scenario solves ran under contained observers;
+                // replay the cumulative sweep counters so the CPU batch
+                // lands in the same counter shape as the lockstep grid.
+                let pre = self.solver().precomputed();
+                obs.on_counter(
+                    "slab_batch.groups",
+                    (pre.unique_slabs() * iterations_total) as u64,
+                );
+                obs.on_counter("slab_batch.panel_cols", (pre.s() * iterations_total) as u64);
+            }
         }
         obs.on_counter("batch.scenarios", batch.count() as u64);
         obs.on_counter("batch.converged", converged as u64);
@@ -817,6 +830,15 @@ impl Engine<'_> {
         let mut l_scratch = vec![0.0; count * total];
         let mut w_scratch = vec![0.0; count * total];
         let mut partials = vec![0.0; count * 5 * s_comp];
+        // The slab-batched launch writes panel-permuted spans plus
+        // member-ordered partials; a host scatter puts them back in the
+        // stacked/component order the rest of the loop (and the
+        // bit-identical host reduction) expects.
+        let mut pp_scratch = if opts.slab_batched {
+            vec![0.0; count * 5 * s_comp]
+        } else {
+            Vec::new()
+        };
 
         let stride = opts.check_every.max(1);
         // The supervisor's budget caps the shared loop; unconverged
@@ -869,7 +891,61 @@ impl Engine<'_> {
                 let st = &mut states[k];
                 std::mem::swap(&mut st.z, &mut st.z_prev);
             }
-            if opts.fused {
+            if opts.fused && opts.slab_batched {
+                // Slab-batched fused pipeline: ONE launch per iteration
+                // over the (scenario × slab group) grid. Outputs are the
+                // panel-permuted z/λ/w spans (λ⁽ᵗ⁾ rides in as a kernel
+                // input, so no scratch prefill) plus member-ordered
+                // partials; the host scatter restores the stacked layout
+                // and component order per active scenario.
+                {
+                    let kern = BatchSlabBatchIterKernel {
+                        per: active
+                            .iter()
+                            .map(|&k| SlabBatchIterKernel {
+                                pre,
+                                bbar: batch.bbar(k),
+                                x: &states[k].x,
+                                z_prev: &states[k].z_prev,
+                                lambda: &states[k].lambda,
+                                rho: states[k].rho,
+                                with_partials: checking,
+                            })
+                            .collect(),
+                    };
+                    let zs = &mut z_scratch[..n_act * total];
+                    let ls = &mut l_scratch[..n_act * total];
+                    let ws = &mut w_scratch[..n_act * total];
+                    let dt = if checking {
+                        dev.launch_multi(
+                            &kern,
+                            tpb,
+                            &mut [zs, ls, ws, &mut pp_scratch[..n_act * 5 * s_comp]],
+                        )
+                        .secs()
+                    } else {
+                        dev.launch_multi(&kern, tpb, &mut [zs, ls, ws]).secs()
+                    };
+                    timing_phase(obs, Phase::SlabBatch, dt);
+                    obs.on_counter("slab_batch.groups", (pre.unique_slabs() * n_act) as u64);
+                    obs.on_counter("slab_batch.panel_cols", (s_comp * n_act) as u64);
+                }
+                for (a, &k) in active.iter().enumerate() {
+                    let st = &mut states[k];
+                    scatter_panels(
+                        pre,
+                        &z_scratch[a * total..(a + 1) * total],
+                        &l_scratch[a * total..(a + 1) * total],
+                        &w_scratch[a * total..(a + 1) * total],
+                        checking.then(|| &pp_scratch[a * 5 * s_comp..(a + 1) * 5 * s_comp]),
+                        &mut st.z,
+                        &mut st.lambda,
+                        &mut st.w,
+                        checking.then(|| &mut partials[a * 5 * s_comp..(a + 1) * 5 * s_comp]),
+                    );
+                    st.w_rho = st.rho;
+                }
+            } else if opts.fused {
                 // The fully fused pipeline: ONE launch per iteration runs
                 // local + dual + consensus-feed refresh (+ the residual
                 // partials on check iterations). λ scratch carries λ^{(t)}

@@ -381,5 +381,18 @@ mod tests {
             bl > 2.0 * ol,
             "benchmark local {bl:.3e} not ≫ solver-free {ol:.3e}"
         );
+        // The slab-batched sweep folds the whole local+dual+feed pass
+        // into one matrix × panel pass per unique slab — the iterative
+        // QP local update must still be far slower per iteration.
+        let sb = SolverFreeAdmm::new(&dec).unwrap().solve(&AdmmOptions {
+            slab_batched: true,
+            ..opts
+        });
+        let it = sb.timings.iterations.max(1) as f64;
+        let sweep = sb.timings.slab_batch_s / it;
+        assert!(
+            bl > 2.0 * sweep,
+            "benchmark local {bl:.3e} not ≫ slab-batched sweep {sweep:.3e}"
+        );
     }
 }

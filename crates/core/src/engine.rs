@@ -444,6 +444,7 @@ impl AdmmBackend for ClusterBackend {
                 dual_s: bd.dual_s * n,
                 residual_s: 0.0,
                 fused_s: 0.0,
+                slab_batch_s: 0.0,
                 iterations: bd.iterations,
                 simulated: true,
             },
@@ -493,6 +494,7 @@ impl AdmmBackend for DistributedBackend {
             obs.on_phase(Phase::Dual, result.timings.dual_s);
             obs.on_phase(Phase::Residual, result.timings.residual_s);
             obs.on_phase(Phase::Fused, result.timings.fused_s);
+            obs.on_phase(Phase::SlabBatch, result.timings.slab_batch_s);
             let c = &result.degradation.comm;
             obs.on_counter("comm.sent", c.sent);
             obs.on_counter("comm.bytes_sent", c.bytes_sent);

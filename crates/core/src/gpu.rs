@@ -382,6 +382,123 @@ impl MultiBlockKernel for FusedIterKernel<'_> {
     }
 }
 
+/// [`fused_iter_block_cost`] with the slab amortized over the panel: one
+/// block per slab *group* processes `width·n` items, and the `8n²`-byte
+/// slab streams once per panel instead of once per member, so per-item
+/// matrix traffic drops from `8n` to `8n/width` bytes while flops/item
+/// are unchanged — the arithmetic-intensity win the GEMM formulation
+/// buys. In batched launches only the first scenario's panel streams
+/// from HBM; later scenarios re-read the slab through L2
+/// (`streams_slab == false` charges the amortized matrix bytes to
+/// `cached_bytes_per_item`).
+fn slab_batch_block_cost(
+    n: usize,
+    width: usize,
+    streams_slab: bool,
+    with_partials: bool,
+) -> BlockCost {
+    let matrix = 8.0 * n as f64 / width.max(1) as f64;
+    let mut vectors = 8.0 * 2.0 + 40.0 + 8.0;
+    let mut flops = 4.0 * n as f64 + 3.0 + 2.0;
+    if with_partials {
+        vectors += 8.0;
+        flops += 10.0;
+    }
+    BlockCost {
+        items: width * n,
+        flops_per_item: flops,
+        bytes_per_item: if streams_slab {
+            matrix + vectors
+        } else {
+            vectors
+        },
+        cached_bytes_per_item: if streams_slab { 0.0 } else { matrix },
+    }
+}
+
+/// Slab-batched fused-iteration launch: one block per *slab group* runs
+/// the matrix × panel sweep of [`updates::slab_batch_group_panel`] —
+/// gather every member's projection target into a contiguous column
+/// panel, stream the shared Ā slab once, then dual ascent, consensus
+/// feed, and residual partials per member. Outputs are the
+/// panel-permuted `[z, λ, w]` spans in group order (plus
+/// `[…, partials]` in member order on check iterations); the host
+/// scatters panels back to the stacked component layout after the
+/// launch. `lambda` is the full stacked λ⁽ᵗ⁾ *input* — the new λ⁽ᵗ⁺¹⁾
+/// comes back in the panel output, so no gather prefill is needed.
+pub struct SlabBatchIterKernel<'a> {
+    /// Precomputed `Ā_s`, layout, and slab grouping.
+    pub pre: &'a Precomputed,
+    /// Stacked `b̄` (the arena's own, or a scenario's perturbed copy).
+    pub bbar: &'a [f64],
+    /// Global iterate.
+    pub x: &'a [f64],
+    /// Previous stacked locals (read only for the partials).
+    pub z_prev: &'a [f64],
+    /// Stacked duals λ⁽ᵗ⁾ (read-only input; λ⁽ᵗ⁺¹⁾ is output 1).
+    pub lambda: &'a [f64],
+    /// Penalty ρ.
+    pub rho: f64,
+    /// Also emit the 5-per-member residual partials as a fourth output
+    /// (check iterations).
+    pub with_partials: bool,
+}
+
+impl MultiBlockKernel for SlabBatchIterKernel<'_> {
+    fn name(&self) -> &'static str {
+        "slab_batch_iter"
+    }
+    fn outputs(&self) -> usize {
+        if self.with_partials {
+            4
+        } else {
+            3
+        }
+    }
+    fn blocks(&self) -> usize {
+        self.pre.unique_slabs()
+    }
+
+    fn out_len(&self, o: usize, k: usize) -> usize {
+        if o == 3 {
+            5 * self.pre.slab_members(k).len()
+        } else {
+            self.pre.panel_range(k).len()
+        }
+    }
+
+    fn run_block(&self, k: usize, _threads: usize, outs: &mut [&mut [f64]]) {
+        let (z_panel, rest) = outs.split_first_mut().expect("z panel");
+        let (lambda_panel, rest) = rest.split_first_mut().expect("lambda panel");
+        let (w_panel, rest) = rest.split_first_mut().expect("w panel");
+        let partials = rest.first_mut().map(|p| &mut **p);
+        updates::slab_batch_group_panel(
+            k,
+            self.pre,
+            self.bbar,
+            self.rho,
+            self.x,
+            self.z_prev,
+            self.lambda,
+            z_panel,
+            lambda_panel,
+            w_panel,
+            partials,
+        );
+    }
+
+    fn block_cost(&self, k: usize) -> BlockCost {
+        // Every group block streams its own unique slab exactly once —
+        // that's the definition of the grouping.
+        slab_batch_block_cost(
+            self.pre.slab_dim(k),
+            self.pre.slab_members(k).len(),
+            true,
+            self.with_partials,
+        )
+    }
+}
+
 /// Residual reduction (16): one block per component writes its five
 /// partial sums `[Σ(bx−z)², Σbx², Σz², Σ(z−z_prev)², Σλ²]`; the host sums
 /// the `5·S` partials (the tiny final reduction CUDA would do in a second
@@ -625,6 +742,63 @@ impl MultiBlockKernel for BatchFusedIterKernel<'_> {
             k.pre.range(s).len(),
             a == 0 && k.pre.is_slab_owner(s),
             k.with_partials,
+        )
+    }
+}
+
+/// Batched slab-batched launch over the 2-D (scenario × slab group)
+/// grid, scenario-major like the other batched kernels: block `b` maps
+/// to `(scenario a, group k) = (b / groups, b % groups)`, so the
+/// device's back-to-back output split lines up with the scenario-major
+/// panel scratch the batch driver concatenates. The L2 slab credit is
+/// applied once per *panel* rather than once per component: scenario 0's
+/// group block streams the slab from HBM, every later scenario's panel
+/// re-reads it through L2.
+pub struct BatchSlabBatchIterKernel<'a> {
+    /// Per-scenario slab-batch kernels, one per active scenario.
+    pub per: Vec<SlabBatchIterKernel<'a>>,
+}
+
+impl BatchSlabBatchIterKernel<'_> {
+    fn blocks_per(&self) -> usize {
+        self.per[0].blocks()
+    }
+
+    /// `(scenario index in the batch, slab group)` for block `b`.
+    pub fn split(&self, b: usize) -> (usize, usize) {
+        (b / self.blocks_per(), b % self.blocks_per())
+    }
+}
+
+impl MultiBlockKernel for BatchSlabBatchIterKernel<'_> {
+    fn name(&self) -> &'static str {
+        "batch_slab_batch_iter"
+    }
+    fn outputs(&self) -> usize {
+        self.per[0].outputs()
+    }
+    fn blocks(&self) -> usize {
+        self.per.len() * self.blocks_per()
+    }
+
+    fn out_len(&self, o: usize, b: usize) -> usize {
+        let (a, k) = self.split(b);
+        self.per[a].out_len(o, k)
+    }
+
+    fn run_block(&self, b: usize, threads: usize, outs: &mut [&mut [f64]]) {
+        let (a, k) = self.split(b);
+        self.per[a].run_block(k, threads, outs);
+    }
+
+    fn block_cost(&self, b: usize) -> BlockCost {
+        let (a, k) = self.split(b);
+        let inner = &self.per[a];
+        slab_batch_block_cost(
+            inner.pre.slab_dim(k),
+            inner.pre.slab_members(k).len(),
+            a == 0,
+            inner.with_partials,
         )
     }
 }

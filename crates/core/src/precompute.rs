@@ -88,6 +88,40 @@ pub struct Precomputed {
     /// variables have 1 or 2 copies, so the division survives only at
     /// junction buses.
     pub copy_inv_count: Vec<f64>,
+    /// CSR over slab groups: the components sharing slab `k` are
+    /// `group_members[group_ptr[k]..group_ptr[k+1]]` — the panel columns
+    /// of the slab-batched sweep. Every component appears in exactly one
+    /// group (the groups partition `0..S`), members are in ascending
+    /// component order (owner first), and all members of a group share
+    /// the slab's dimension `n_k`.
+    pub group_ptr: Vec<usize>,
+    /// Group membership lists (see [`Precomputed::group_ptr`]):
+    /// components ordered by slab id, then component index.
+    pub group_members: Vec<usize>,
+    /// Panel offsets: member position `p` (an index into
+    /// [`Precomputed::group_members`]) owns
+    /// `member_panel_off[p]..member_panel_off[p+1]` of the panel-permuted
+    /// stacked layout the GPU slab-batch kernel writes (group-major,
+    /// member-major inside a group; total length [`Self::total_dim`]).
+    pub member_panel_off: Vec<usize>,
+    /// Inverse of [`Precomputed::group_members`]: `member_pos[s]` is
+    /// component `s`'s position in the group ordering.
+    pub member_pos: Vec<usize>,
+    /// Widest group (components per unique slab) — panel width
+    /// high-water mark.
+    pub max_group_width: usize,
+    /// Largest group panel (`width_k · n_k` entries) — the panel-permuted
+    /// layout's widest contiguous span, i.e. the biggest single block a
+    /// slab-batch launch writes.
+    pub max_group_span: usize,
+    /// Components past the last full [`crate::updates::SLAB_TILE`]-wide
+    /// tile of their group, in ascending component order. The serial
+    /// slab-batched driver sweeps these with the per-component fused
+    /// kernel *after* the tiled groups: they get no matrix-reuse win, so
+    /// visiting them in component order (the fused path's streaming
+    /// traversal) beats paying the group-order scatter for nothing.
+    /// Together with the groups' full tiles this partitions `0..S`.
+    pub tile_tail: Vec<usize>,
 }
 
 /// Compute one component's `(Ā, b̄)` pair (15b)/(15c).
@@ -219,6 +253,48 @@ impl Precomputed {
             })
             .collect();
 
+        // Slab groups (counting sort over slab_id, stable in component
+        // order): the inverse map of `slab_id`, giving the slab-batched
+        // sweep its panel columns. Built here, once per arena, so the
+        // solvers never re-derive the grouping per solve.
+        let k_total = slab_owner.len();
+        let mut group_counts = vec![0usize; k_total + 1];
+        for &k in &slab_id {
+            group_counts[k + 1] += 1;
+        }
+        for k in 0..k_total {
+            group_counts[k + 1] += group_counts[k];
+        }
+        let group_ptr = group_counts.clone();
+        let mut next_member = group_ptr.clone();
+        let mut group_members = vec![0usize; s_total];
+        for (s, &k) in slab_id.iter().enumerate() {
+            group_members[next_member[k]] = s;
+            next_member[k] += 1;
+        }
+        let mut member_panel_off = Vec::with_capacity(s_total + 1);
+        member_panel_off.push(0usize);
+        for &s in &group_members {
+            let n_s = offsets[s + 1] - offsets[s];
+            member_panel_off.push(member_panel_off.last().unwrap() + n_s);
+        }
+        let mut member_pos = vec![0usize; s_total];
+        for (p, &s) in group_members.iter().enumerate() {
+            member_pos[s] = p;
+        }
+        let mut max_group_width = 0usize;
+        let mut max_group_span = 0usize;
+        let mut tile_tail = Vec::new();
+        for k in 0..k_total {
+            let width = group_ptr[k + 1] - group_ptr[k];
+            let span = member_panel_off[group_ptr[k + 1]] - member_panel_off[group_ptr[k]];
+            max_group_width = max_group_width.max(width);
+            max_group_span = max_group_span.max(span);
+            let tiled = width - width % crate::updates::SLAB_TILE;
+            tile_tail.extend_from_slice(&group_members[group_ptr[k] + tiled..group_ptr[k + 1]]);
+        }
+        tile_tail.sort_unstable();
+
         Ok(Precomputed {
             abar_data,
             slab_off,
@@ -230,6 +306,13 @@ impl Precomputed {
             copies_ptr,
             copies_idx,
             copy_inv_count,
+            group_ptr,
+            group_members,
+            member_panel_off,
+            member_pos,
+            max_group_width,
+            max_group_span,
+            tile_tail,
         })
     }
 
@@ -272,11 +355,22 @@ impl Precomputed {
             .unwrap_or(0)
     }
 
-    /// Component `s`'s `Ā` slab: `n_s²` row-major entries (shared with
-    /// every structurally identical component).
-    pub fn abar_slice(&self, s: usize) -> &[f64] {
-        let k = self.slab_id[s];
+    /// Unique slab `k`'s `Ā` data: `n_k²` row-major entries. The one
+    /// slab-indexed arena accessor — every other `Ā` view
+    /// ([`Precomputed::abar_slice`], [`Precomputed::abar_mat`]) routes
+    /// through it, so there is exactly one place the arena offsets are
+    /// interpreted.
+    pub fn abar_slab(&self, k: usize) -> &[f64] {
+        debug_assert!(k < self.unique_slabs(), "slab index {k} out of range");
         &self.abar_data[self.slab_off[k]..self.slab_off[k + 1]]
+    }
+
+    /// Component `s`'s `Ā` slab: `n_s²` row-major entries (shared with
+    /// every structurally identical component). Component-indexed
+    /// counterpart of [`Precomputed::abar_slab`].
+    pub fn abar_slice(&self, s: usize) -> &[f64] {
+        debug_assert!(s < self.s(), "component index {s} out of range");
+        self.abar_slab(self.slab_id[s])
     }
 
     /// Component `s`'s `b̄` slice in the stacked layout.
@@ -311,6 +405,35 @@ impl Precomputed {
     /// Arena footprint in `f64` entries (unique slabs only).
     pub fn arena_len(&self) -> usize {
         self.abar_data.len()
+    }
+
+    /// The components sharing slab `k`, in ascending component order
+    /// (owner first) — the panel columns of the slab-batched sweep.
+    pub fn slab_members(&self, k: usize) -> &[usize] {
+        debug_assert!(k < self.unique_slabs(), "slab index {k} out of range");
+        &self.group_members[self.group_ptr[k]..self.group_ptr[k + 1]]
+    }
+
+    /// Dimension `n_k` of slab `k` (every member shares it by
+    /// construction of the interning key).
+    pub fn slab_dim(&self, k: usize) -> usize {
+        debug_assert!(k < self.unique_slabs(), "slab index {k} out of range");
+        self.range(self.slab_owner[k]).len()
+    }
+
+    /// Components not covered by a full [`crate::updates::SLAB_TILE`]
+    /// tile of their group, ascending — the serial slab-batched driver's
+    /// streaming tail sweep (see [`Precomputed::tile_tail`]).
+    pub fn slab_tile_tail(&self) -> &[usize] {
+        &self.tile_tail
+    }
+
+    /// Group `k`'s slice of the panel-permuted stacked layout
+    /// (group-major, member-major inside a group; see
+    /// [`Precomputed::member_panel_off`]).
+    pub fn panel_range(&self, k: usize) -> std::ops::Range<usize> {
+        debug_assert!(k < self.unique_slabs(), "slab index {k} out of range");
+        self.member_panel_off[self.group_ptr[k]]..self.member_panel_off[self.group_ptr[k + 1]]
     }
 }
 
@@ -529,6 +652,68 @@ mod tests {
             })
             .sum();
         assert_eq!(pre.arena_len(), expected);
+    }
+
+    #[test]
+    fn slab_groups_partition_components() {
+        for name in ["ieee13", "ieee123"] {
+            let (_, pre) = pre_for(name);
+            let k_total = pre.unique_slabs();
+            assert_eq!(pre.group_ptr.len(), k_total + 1);
+            assert_eq!(pre.group_members.len(), pre.s());
+            // Every component appears in exactly one group, group members
+            // share the slab id and its dimension, and are in ascending
+            // component order with the owner first.
+            let mut seen = vec![false; pre.s()];
+            for k in 0..k_total {
+                let members = pre.slab_members(k);
+                assert!(!members.is_empty(), "{name}: slab {k} has no members");
+                assert_eq!(members[0], pre.slab_owner[k]);
+                for w in members.windows(2) {
+                    assert!(w[0] < w[1], "{name}: slab {k} members out of order");
+                }
+                for &s in members {
+                    assert!(!seen[s], "{name}: component {s} in two groups");
+                    seen[s] = true;
+                    assert_eq!(pre.slab_id[s], k);
+                    assert_eq!(pre.range(s).len(), pre.slab_dim(k));
+                }
+            }
+            assert!(seen.iter().all(|&b| b), "{name}: component missing");
+            // The panel permutation covers the stacked layout exactly.
+            assert_eq!(pre.member_panel_off.len(), pre.s() + 1);
+            assert_eq!(*pre.member_panel_off.last().unwrap(), pre.total_dim());
+            for (p, &s) in pre.group_members.iter().enumerate() {
+                assert_eq!(pre.member_pos[s], p);
+                assert_eq!(
+                    pre.member_panel_off[p + 1] - pre.member_panel_off[p],
+                    pre.range(s).len()
+                );
+            }
+            assert_eq!(
+                pre.max_group_width,
+                (0..k_total)
+                    .map(|k| pre.slab_members(k).len())
+                    .max()
+                    .unwrap()
+            );
+            assert_eq!(
+                pre.max_group_span,
+                (0..k_total)
+                    .map(|k| pre.panel_range(k).len())
+                    .max()
+                    .unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn slab_accessors_agree() {
+        let (_, pre) = pre_for("ieee123");
+        for s in 0..pre.s() {
+            assert_eq!(pre.abar_slice(s), pre.abar_slab(pre.slab_id[s]));
+            assert_eq!(pre.abar_mat(s).data(), pre.abar_slice(s));
+        }
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use crate::gpu::{
     DualKernel, FusedIterKernel, FusedLocalDualKernel, GlobalKernel, LocalKernel, ResidualKernel,
+    SlabBatchIterKernel,
 };
 use crate::precompute::Precomputed;
 use crate::supervise::{StopReason, SupervisorCtx};
@@ -128,6 +129,111 @@ fn fused_components(
             )
         },
     );
+}
+
+/// Recursive `rayon::join` driver for the slab-batched sweep: slab
+/// groups `lo..hi`, with the `z`/`lambda`/`w` *panels* covering the
+/// panel-permuted span `member_panel_off[group_ptr[lo]] ..
+/// member_panel_off[group_ptr[hi]]` and `partials` (when checking)
+/// covering members `5·group_ptr[lo]..5·group_ptr[hi]` in member order.
+/// `bbar`, `z_prev`, and `λ⁽ᵗ⁾` stay full-stacked (read-only, absolute
+/// indexing); splitting at group boundaries only changes scheduling,
+/// never per-element results.
+#[allow(clippy::too_many_arguments)]
+fn slab_batch_groups(
+    pre: &Precomputed,
+    lo: usize,
+    hi: usize,
+    grain: usize,
+    rho: f64,
+    bbar: &[f64],
+    x: &[f64],
+    z_prev: &[f64],
+    lambda: &[f64],
+    z_panel: &mut [f64],
+    l_panel: &mut [f64],
+    w_panel: &mut [f64],
+    mut partials: Option<&mut [f64]>,
+) {
+    if hi - lo <= grain {
+        let base = pre.member_panel_off[pre.group_ptr[lo]];
+        let mbase = pre.group_ptr[lo];
+        for k in lo..hi {
+            let r = pre.panel_range(k);
+            let rel = r.start - base..r.end - base;
+            let m0 = pre.group_ptr[k];
+            let width = pre.group_ptr[k + 1] - m0;
+            let part = partials
+                .as_mut()
+                .map(|p| &mut p[5 * (m0 - mbase)..5 * (m0 - mbase + width)]);
+            updates::slab_batch_group_panel(
+                k,
+                pre,
+                bbar,
+                rho,
+                x,
+                z_prev,
+                lambda,
+                &mut z_panel[rel.clone()],
+                &mut l_panel[rel.clone()],
+                &mut w_panel[rel],
+                part,
+            );
+        }
+        return;
+    }
+    let mid = lo + (hi - lo) / 2;
+    let cut = pre.member_panel_off[pre.group_ptr[mid]] - pre.member_panel_off[pre.group_ptr[lo]];
+    let (z_a, z_b) = z_panel.split_at_mut(cut);
+    let (l_a, l_b) = l_panel.split_at_mut(cut);
+    let (w_a, w_b) = w_panel.split_at_mut(cut);
+    let (p_a, p_b) = match partials {
+        Some(p) => {
+            let (a, b) = p.split_at_mut(5 * (pre.group_ptr[mid] - pre.group_ptr[lo]));
+            (Some(a), Some(b))
+        }
+        None => (None, None),
+    };
+    rayon::join(
+        || {
+            slab_batch_groups(
+                pre, lo, mid, grain, rho, bbar, x, z_prev, lambda, z_a, l_a, w_a, p_a,
+            )
+        },
+        || {
+            slab_batch_groups(
+                pre, mid, hi, grain, rho, bbar, x, z_prev, lambda, z_b, l_b, w_b, p_b,
+            )
+        },
+    );
+}
+
+/// Scatter the slab-batched panel outputs back to the stacked component
+/// layout, and the member-ordered partials back to component order so
+/// [`sum_partials`] reduces in the same order as every other path. Pure
+/// disjoint copies — the iteration order is irrelevant to the result.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn scatter_panels(
+    pre: &Precomputed,
+    z_panel: &[f64],
+    l_panel: &[f64],
+    w_panel: &[f64],
+    partials_panel: Option<&[f64]>,
+    z: &mut [f64],
+    lambda: &mut [f64],
+    w: &mut [f64],
+    mut partials: Option<&mut [f64]>,
+) {
+    for (p, &s) in pre.group_members.iter().enumerate() {
+        let src = pre.member_panel_off[p]..pre.member_panel_off[p + 1];
+        let dst = pre.range(s);
+        z[dst.clone()].copy_from_slice(&z_panel[src.clone()]);
+        lambda[dst.clone()].copy_from_slice(&l_panel[src.clone()]);
+        w[dst].copy_from_slice(&w_panel[src]);
+        if let (Some(pp), Some(buf)) = (partials_panel, partials.as_mut()) {
+            buf[5 * s..5 * s + 5].copy_from_slice(&pp[5 * p..5 * p + 5]);
+        }
+    }
 }
 
 /// Sum 5-wide per-component residual partials in component order — the
@@ -379,9 +485,23 @@ impl<'a> SolverFreeAdmm<'a> {
                 .map_or(0, |n| n + 2),
         );
         // 2n: the fused sweep keeps both the x-gather and the projection
-        // target per component in scratch.
-        updates::warm_scratch(2 * self.pre.max_component_dim());
+        // target per component in scratch; the slab-batched sweep keeps
+        // a SLAB_TILE-column tile of each.
+        if opts.slab_batched {
+            updates::warm_scratch(2 * updates::SLAB_TILE * self.pre.max_component_dim());
+        } else {
+            updates::warm_scratch(2 * self.pre.max_component_dim());
+        }
         let mut partials_buf = vec![0.0; 5 * self.pre.s()];
+        // Panel-permuted scratch for the slab-batched sweep's non-serial
+        // drivers (z/λ/w panels plus member-ordered partials); the
+        // serial driver writes the stacked buffers directly and needs
+        // none.
+        let mut panels: Vec<f64> = if opts.slab_batched && !matches!(exec, Exec::Serial) {
+            vec![0.0; 3 * self.pre.total_dim() + 5 * self.pre.s()]
+        } else {
+            Vec::new()
+        };
         let mut w: Vec<f64> = Vec::new();
         let mut w_rho = f64::NAN;
         if opts.fused {
@@ -427,20 +547,40 @@ impl<'a> SolverFreeAdmm<'a> {
                 //     with the residual partials folded in on check
                 //     iterations. ---
                 let part = checking.then_some(partials_buf.as_mut_slice());
-                let dt = self.run_fused(
-                    exec,
-                    rho,
-                    view.bbar,
-                    &x,
-                    &z_prev,
-                    &mut z,
-                    &mut lambda,
-                    &mut w,
-                    part,
-                );
-                w_rho = rho;
-                timings.fused_s += dt;
-                obs.on_phase(Phase::Fused, dt);
+                if opts.slab_batched {
+                    let dt = self.run_slab_batched(
+                        exec,
+                        rho,
+                        view.bbar,
+                        &x,
+                        &z_prev,
+                        &mut z,
+                        &mut lambda,
+                        &mut w,
+                        part,
+                        &mut panels,
+                    );
+                    w_rho = rho;
+                    timings.slab_batch_s += dt;
+                    obs.on_phase(Phase::SlabBatch, dt);
+                    obs.on_counter("slab_batch.groups", self.pre.unique_slabs() as u64);
+                    obs.on_counter("slab_batch.panel_cols", self.pre.s() as u64);
+                } else {
+                    let dt = self.run_fused(
+                        exec,
+                        rho,
+                        view.bbar,
+                        &x,
+                        &z_prev,
+                        &mut z,
+                        &mut lambda,
+                        &mut w,
+                        part,
+                    );
+                    w_rho = rho;
+                    timings.fused_s += dt;
+                    obs.on_phase(Phase::Fused, dt);
+                }
                 if checking {
                     res = Residuals::from_sums(
                         sum_partials(&partials_buf),
@@ -746,6 +886,162 @@ impl<'a> SolverFreeAdmm<'a> {
                     Some(p) => dev.launch_multi(&k, *tpb, &mut [z, lambda, w, p]).secs(),
                     None => dev.launch_multi(&k, *tpb, &mut [z, lambda, w]).secs(),
                 }
+            }
+        }
+    }
+
+    /// The slab-batched fused sweep: one matrix × panel pass per unique
+    /// slab instead of one matvec per component; see
+    /// [`updates::slab_batch_group`]. Serial writes the stacked buffers
+    /// directly; rayon parallelizes over slab groups (work-stealing via
+    /// recursive join) and gpu-sim runs one batched launch with one
+    /// block per group — both over the panel-permuted scratch `panels`
+    /// (sized `3·total_dim + 5·S` by the solve setup), scattered back to
+    /// the stacked layout afterwards. Bit-identical to [`Self::run_fused`]
+    /// on every backend. `partials` (5·S, component-indexed) is given on
+    /// check iterations only.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn run_slab_batched(
+        &self,
+        exec: &mut Exec,
+        rho: f64,
+        bbar: &[f64],
+        x: &[f64],
+        z_prev: &[f64],
+        z: &mut [f64],
+        lambda: &mut [f64],
+        w: &mut [f64],
+        mut partials: Option<&mut [f64]>,
+        panels: &mut [f64],
+    ) -> f64 {
+        let k_total = self.pre.unique_slabs();
+        let total = self.pre.total_dim();
+        match exec {
+            Exec::Serial => {
+                let t0 = Instant::now();
+                for k in 0..k_total {
+                    updates::slab_batch_group(
+                        k,
+                        &self.pre,
+                        bbar,
+                        rho,
+                        x,
+                        z_prev,
+                        z,
+                        lambda,
+                        w,
+                        partials.as_deref_mut(),
+                    );
+                }
+                // Sub-tile members stream in ascending component order —
+                // the fused path's traversal — instead of paying the
+                // group-order scatter for no matrix-reuse win.
+                for &s in self.pre.slab_tile_tail() {
+                    let base = self.pre.offsets[s];
+                    let n = self.pre.offsets[s + 1] - base;
+                    updates::fused_iteration_component(
+                        s,
+                        &self.pre,
+                        &bbar[base..base + n],
+                        rho,
+                        x,
+                        &z_prev[base..base + n],
+                        &mut z[base..base + n],
+                        &mut lambda[base..base + n],
+                        &mut w[base..base + n],
+                        partials
+                            .as_deref_mut()
+                            .map(|buf| &mut buf[5 * s..5 * s + 5]),
+                    );
+                }
+                t0.elapsed().as_secs_f64()
+            }
+            Exec::Pool(pool) => {
+                let t0 = Instant::now();
+                let grain = k_total
+                    .div_ceil(4 * pool.current_num_threads().max(1))
+                    .max(1);
+                let (zp, rest) = panels.split_at_mut(total);
+                let (lp, rest) = rest.split_at_mut(total);
+                let (wp, pp) = rest.split_at_mut(total);
+                let part_panel = partials.is_some().then(|| &mut pp[..]);
+                pool.install(|| {
+                    slab_batch_groups(
+                        &self.pre, 0, k_total, grain, rho, bbar, x, z_prev, lambda, zp, lp, wp,
+                        part_panel,
+                    )
+                });
+                scatter_panels(
+                    &self.pre,
+                    zp,
+                    lp,
+                    wp,
+                    partials.is_some().then_some(&*pp),
+                    z,
+                    lambda,
+                    w,
+                    partials,
+                );
+                t0.elapsed().as_secs_f64()
+            }
+            Exec::Inherit => {
+                let t0 = Instant::now();
+                let grain = k_total
+                    .div_ceil(4 * rayon::current_num_threads().max(1))
+                    .max(1);
+                let (zp, rest) = panels.split_at_mut(total);
+                let (lp, rest) = rest.split_at_mut(total);
+                let (wp, pp) = rest.split_at_mut(total);
+                let part_panel = partials.is_some().then(|| &mut pp[..]);
+                slab_batch_groups(
+                    &self.pre, 0, k_total, grain, rho, bbar, x, z_prev, lambda, zp, lp, wp,
+                    part_panel,
+                );
+                scatter_panels(
+                    &self.pre,
+                    zp,
+                    lp,
+                    wp,
+                    partials.is_some().then_some(&*pp),
+                    z,
+                    lambda,
+                    w,
+                    partials,
+                );
+                t0.elapsed().as_secs_f64()
+            }
+            Exec::Gpu(dev, tpb) => {
+                let k = SlabBatchIterKernel {
+                    pre: &self.pre,
+                    bbar,
+                    x,
+                    z_prev,
+                    lambda: &*lambda,
+                    rho,
+                    with_partials: partials.is_some(),
+                };
+                let (zp, rest) = panels.split_at_mut(total);
+                let (lp, rest) = rest.split_at_mut(total);
+                let (wp, pp) = rest.split_at_mut(total);
+                let secs = if partials.is_some() {
+                    dev.launch_multi(&k, *tpb, &mut [&mut *zp, &mut *lp, &mut *wp, &mut *pp])
+                        .secs()
+                } else {
+                    dev.launch_multi(&k, *tpb, &mut [&mut *zp, &mut *lp, &mut *wp])
+                        .secs()
+                };
+                scatter_panels(
+                    &self.pre,
+                    zp,
+                    lp,
+                    wp,
+                    partials.is_some().then_some(&*pp),
+                    z,
+                    lambda,
+                    w,
+                    partials,
+                );
+                secs
             }
         }
     }

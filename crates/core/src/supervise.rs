@@ -703,6 +703,7 @@ fn accumulate_timings(prev: Timings, cur: &Timings) -> Timings {
         dual_s: prev.dual_s + cur.dual_s,
         residual_s: prev.residual_s + cur.residual_s,
         fused_s: prev.fused_s + cur.fused_s,
+        slab_batch_s: prev.slab_batch_s + cur.slab_batch_s,
         iterations: prev.iterations + cur.iterations,
         simulated: prev.simulated || cur.simulated,
     }

@@ -91,6 +91,16 @@ pub struct AdmmOptions {
     /// Bit-identical to the unfused path on every backend; `false`
     /// selects the unfused reference path for differential pinning.
     pub fused: bool,
+    /// Run the fused sweep slab-batched: components sharing one interned
+    /// `Ā` slab are grouped, their projection targets gathered into a
+    /// contiguous column panel, and one matrix × panel sweep per unique
+    /// slab replaces the per-component matvecs — the shared slab streams
+    /// once per *group* instead of once per component. The per-row
+    /// accumulation order of the fused sweep is preserved, so every
+    /// output element is bit-identical to the per-component path (pinned
+    /// by `tests/tests/fused.rs`). Requires `fused`; only the sweep's
+    /// scheduling changes, never its results.
+    pub slab_batched: bool,
 }
 
 impl Default for AdmmOptions {
@@ -106,6 +116,7 @@ impl Default for AdmmOptions {
             trace_every: 0,
             fuse_local_dual: false,
             fused: true,
+            slab_batched: false,
         }
     }
 }
@@ -150,6 +161,9 @@ impl AdmmOptions {
         }
         if self.eps_rel == 0.0 && self.eps_abs == 0.0 {
             return Err("eps_rel and eps_abs cannot both be zero".into());
+        }
+        if self.slab_batched && !self.fused {
+            return Err("slab_batched requires the fused pipeline (fused == true)".into());
         }
         Ok(())
     }
@@ -225,6 +239,14 @@ impl AdmmOptionsBuilder {
         self
     }
 
+    /// Run the fused sweep slab-batched: one matrix × panel sweep per
+    /// unique `Ā` slab instead of one matvec per component (requires the
+    /// fused pipeline; bit-identical results, fewer slab reads).
+    pub fn slab_batched(mut self, slab_batched: bool) -> Self {
+        self.opts.slab_batched = slab_batched;
+        self
+    }
+
     /// Finish building.
     pub fn build(self) -> AdmmOptions {
         self.opts
@@ -247,6 +269,10 @@ pub struct Timings {
     /// partials in one pass. Zero on the unfused reference path, where
     /// the same work lands in `local_s`/`dual_s`/`residual_s` instead.
     pub fused_s: f64,
+    /// Total slab-batched fused-sweep time (s): the fused sweep executed
+    /// as one matrix × panel pass per unique slab. Nonzero only with
+    /// `AdmmOptions::slab_batched`, where it replaces `fused_s`.
+    pub slab_batch_s: f64,
     /// Iterations the totals cover.
     pub iterations: usize,
     /// `true` when the times come from the GPU's analytic model rather
@@ -255,10 +281,11 @@ pub struct Timings {
 }
 
 impl Timings {
-    /// Sum of the update totals (global + local + dual + fused; exactly
-    /// one of `local_s + dual_s` or `fused_s` is nonzero per solve).
+    /// Sum of the update totals (global + local + dual + fused +
+    /// slab-batched; exactly one of `local_s + dual_s`, `fused_s`, or
+    /// `slab_batch_s` is nonzero per solve).
     pub fn total_s(&self) -> f64 {
-        self.global_s + self.local_s + self.dual_s + self.fused_s
+        self.global_s + self.local_s + self.dual_s + self.fused_s + self.slab_batch_s
     }
 
     /// Per-iteration averages `(global, local, dual)`.
@@ -373,6 +400,19 @@ mod tests {
         assert!(bad_abs.validate().unwrap_err().contains("eps_abs"));
         let both_zero = AdmmOptions::builder().eps_rel(0.0).eps_abs(0.0).build();
         assert!(both_zero.validate().is_err());
+        let slab_unfused = AdmmOptions::builder()
+            .fused(false)
+            .slab_batched(true)
+            .build();
+        assert!(slab_unfused
+            .validate()
+            .unwrap_err()
+            .contains("slab_batched"));
+        assert!(AdmmOptions::builder()
+            .slab_batched(true)
+            .build()
+            .validate()
+            .is_ok());
     }
 
     #[test]
@@ -383,6 +423,7 @@ mod tests {
             dual_s: 6.0,
             residual_s: 0.5,
             fused_s: 0.0,
+            slab_batch_s: 0.0,
             iterations: 2,
             simulated: false,
         };

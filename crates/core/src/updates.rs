@@ -286,6 +286,337 @@ pub fn fused_iteration_component(
     });
 }
 
+/// Column-tile width of the slab-batched matrix × panel sweep: each `Ā`
+/// element is loaded once per tile and multiply-subtracted into this
+/// many independent accumulator chains. The single-column dot product is
+/// a serial FP dependency chain (each `acc -= a·t` waits on the last),
+/// so the per-component matvec is *latency*-bound; eight chains keep the
+/// FP units saturated, and because the tile's `t` columns are stored
+/// *interleaved* (`t[j·TILE + c]`, column = SIMD lane) the chain loop is
+/// a contiguous load + broadcast-multiply the compiler vectorizes. Each
+/// lane's per-element scalar sequence is unchanged — packed IEEE mul/sub
+/// is the scalar op per lane, and Rust never contracts to FMA — so the
+/// tiled sweep stays bit-identical to the per-component path. Solvers
+/// warm scratch with `2·SLAB_TILE·`[`Precomputed::max_component_dim`]
+/// when slab batching.
+pub const SLAB_TILE: usize = 8;
+
+/// Slab-batched fused iteration for one slab group, writing the stacked
+/// buffers directly (the serial driver's form): gather [`SLAB_TILE`]
+/// members' projection targets `t_j = x_{g(j)} + λ_j/ρ` into a column
+/// tile, run the register-tiled matrix × tile sweep over the shared `Ā`
+/// slab — one load of each `Ā_ij` feeds [`SLAB_TILE`] accumulator
+/// chains — then run the dual ascent, consensus-feed refresh, and
+/// residual partials per member. Only *full* tiles run here: members
+/// past the last full tile of every group are the precomputed
+/// [`Precomputed::slab_tile_tail`], which the serial driver sweeps with
+/// [`fused_iteration_component`] in ascending component order — group
+/// order scatters the stacked-buffer accesses of sub-tile groups (p50
+/// group width is 1 on every stock feeder), and the ascending tail pass
+/// restores the fused path's streaming traversal for exactly the members
+/// that get no matrix-reuse win in exchange.
+///
+/// Two formulations lost to this one serially on ieee8500: the full
+/// row-major panel (materialize *all* members' columns, sweep each slab
+/// row across the whole panel) restreams the panel `n` times and makes
+/// `n·width` scattered single-element stores (~30 % slower than the
+/// fused path); plain column streaming (members one at a time) fixes
+/// the stores but keeps the latency-bound single-chain dot product and
+/// pays the group-order traversal penalty (~13 % slower). The register
+/// tile keeps contiguous per-member writes *and* breaks the dependency
+/// chain.
+///
+/// Per output element the accumulation is `acc = b̄_i; acc -= Ā_ij·t_j`
+/// over ascending `j` — exactly [`fused_iteration_component`]'s scalar
+/// sequence, tiling only adds independent chains — and the tail loop is
+/// that function's body verbatim, so every member's `z`/`λ`/`w`/partials
+/// are bit-identical to the per-component path. `partials` is the full
+/// component-indexed `5·S` buffer (member `s` writes
+/// `partials[5s..5s+5]`), keeping the host reduction in component order.
+#[allow(clippy::too_many_arguments)]
+pub fn slab_batch_group(
+    k: usize,
+    pre: &Precomputed,
+    bbar: &[f64],
+    rho: f64,
+    x: &[f64],
+    z_prev: &[f64],
+    z: &mut [f64],
+    lambda: &mut [f64],
+    w: &mut [f64],
+    mut partials: Option<&mut [f64]>,
+) {
+    let members = pre.slab_members(k);
+    let n = pre.slab_dim(k);
+    let abar = pre.abar_slab(k);
+    debug_assert_eq!(abar.len(), n * n);
+    let inv_rho = 1.0 / rho;
+    for tile in members.chunks_exact(SLAB_TILE) {
+        with_scratch(2 * SLAB_TILE * n, |scratch| {
+            let (bx_t, t_t) = scratch.split_at_mut(SLAB_TILE * n);
+            let mut bases = [0usize; SLAB_TILE];
+            for (c, &s) in tile.iter().enumerate() {
+                let base = pre.offsets[s];
+                bases[c] = base;
+                let globals = &pre.stacked_to_global[base..base + n];
+                let lam = &lambda[base..base + n];
+                let bx = &mut bx_t[c * n..(c + 1) * n];
+                // `t` is interleaved — column c is SIMD lane c of row
+                // element j — so the matvec's chain loop is contiguous.
+                for j in 0..n {
+                    let v = x[globals[j]];
+                    bx[j] = v;
+                    t_t[j * SLAB_TILE + c] = v + lam[j] * inv_rho;
+                }
+            }
+            for (i, row) in abar.chunks_exact(n).enumerate() {
+                let mut acc = [0.0f64; SLAB_TILE];
+                for (c, &b) in bases.iter().enumerate() {
+                    acc[c] = bbar[b + i];
+                }
+                for (j, &a) in row.iter().enumerate() {
+                    let lanes = &t_t[j * SLAB_TILE..(j + 1) * SLAB_TILE];
+                    for c in 0..SLAB_TILE {
+                        acc[c] -= a * lanes[c];
+                    }
+                }
+                for (c, &b) in bases.iter().enumerate() {
+                    z[b + i] = acc[c];
+                }
+            }
+            for (c, &s) in tile.iter().enumerate() {
+                let base = bases[c];
+                let bx = &bx_t[c * n..(c + 1) * n];
+                let lambda_s = &mut lambda[base..base + n];
+                let w_out = &mut w[base..base + n];
+                match partials.as_mut() {
+                    Some(buf) => {
+                        let out = &mut buf[5 * s..5 * s + 5];
+                        let (mut pres2, mut bx2, mut z2, mut dz2, mut l2) =
+                            (0.0, 0.0, 0.0, 0.0, 0.0);
+                        for j in 0..n {
+                            let b = bx[j];
+                            let zj = z[base + j];
+                            let l = lambda_s[j] + rho * (b - zj);
+                            lambda_s[j] = l;
+                            w_out[j] = zj - l * inv_rho;
+                            pres2 += (b - zj) * (b - zj);
+                            bx2 += b * b;
+                            z2 += zj * zj;
+                            dz2 += (zj - z_prev[base + j]) * (zj - z_prev[base + j]);
+                            l2 += l * l;
+                        }
+                        out[0] = pres2;
+                        out[1] = bx2;
+                        out[2] = z2;
+                        out[3] = dz2;
+                        out[4] = l2;
+                    }
+                    None => {
+                        for j in 0..n {
+                            let zj = z[base + j];
+                            let l = lambda_s[j] + rho * (bx[j] - zj);
+                            lambda_s[j] = l;
+                            w_out[j] = zj - l * inv_rho;
+                        }
+                    }
+                }
+            }
+        });
+    }
+}
+
+/// [`slab_batch_group`] writing group-local *panels* instead of the
+/// stacked buffers — the form the rayon driver and the gpu-sim kernel
+/// use, where each group owns one contiguous slice of the panel-permuted
+/// layout ([`Precomputed::member_panel_off`]) and a scatter pass copies
+/// the panels back per component afterwards. `lambda` is the full
+/// stacked `λ(t)` (read-only); `z_panel`/`lambda_panel`/`w_panel` are the
+/// group's `width·n` spans and `partials_panel` is `5·width` in member
+/// order. Register-tiled like [`slab_batch_group`] (see its docs for why
+/// the full row-major panel sweep and plain column streaming both lost):
+/// per output element the scalar sequence is
+/// [`fused_iteration_component`]'s element for element, so the scattered
+/// result is bit-identical to the per-component path.
+#[allow(clippy::too_many_arguments)]
+pub fn slab_batch_group_panel(
+    k: usize,
+    pre: &Precomputed,
+    bbar: &[f64],
+    rho: f64,
+    x: &[f64],
+    z_prev: &[f64],
+    lambda: &[f64],
+    z_panel: &mut [f64],
+    lambda_panel: &mut [f64],
+    w_panel: &mut [f64],
+    mut partials_panel: Option<&mut [f64]>,
+) {
+    let members = pre.slab_members(k);
+    let n = pre.slab_dim(k);
+    let width = members.len();
+    let abar = pre.abar_slab(k);
+    debug_assert_eq!(abar.len(), n * n);
+    debug_assert_eq!(z_panel.len(), width * n);
+    debug_assert_eq!(lambda_panel.len(), width * n);
+    debug_assert_eq!(w_panel.len(), width * n);
+    let inv_rho = 1.0 / rho;
+    let tiles = members.chunks_exact(SLAB_TILE);
+    let rest = tiles.remainder();
+    let full = members.len() - rest.len();
+    for (tile_idx, tile) in tiles.enumerate() {
+        let m0 = tile_idx * SLAB_TILE;
+        with_scratch(2 * SLAB_TILE * n, |scratch| {
+            let (bx_t, t_t) = scratch.split_at_mut(SLAB_TILE * n);
+            let mut bases = [0usize; SLAB_TILE];
+            for (c, &s) in tile.iter().enumerate() {
+                let base = pre.offsets[s];
+                bases[c] = base;
+                let globals = &pre.stacked_to_global[base..base + n];
+                let lam = &lambda[base..base + n];
+                let bx = &mut bx_t[c * n..(c + 1) * n];
+                // `t` is interleaved — column c is SIMD lane c of row
+                // element j — so the matvec's chain loop is contiguous.
+                for j in 0..n {
+                    let v = x[globals[j]];
+                    bx[j] = v;
+                    t_t[j * SLAB_TILE + c] = v + lam[j] * inv_rho;
+                }
+            }
+            for (i, row) in abar.chunks_exact(n).enumerate() {
+                let mut acc = [0.0f64; SLAB_TILE];
+                for (c, &b) in bases.iter().enumerate() {
+                    acc[c] = bbar[b + i];
+                }
+                for (j, &a) in row.iter().enumerate() {
+                    let lanes = &t_t[j * SLAB_TILE..(j + 1) * SLAB_TILE];
+                    for c in 0..SLAB_TILE {
+                        acc[c] -= a * lanes[c];
+                    }
+                }
+                for (c, &a) in acc.iter().enumerate() {
+                    z_panel[(m0 + c) * n + i] = a;
+                }
+            }
+            for c in 0..SLAB_TILE {
+                let (m, base) = (m0 + c, bases[c]);
+                let lam = &lambda[base..base + n];
+                let bx = &bx_t[c * n..(c + 1) * n];
+                let z_out = &z_panel[m * n..(m + 1) * n];
+                let l_out = &mut lambda_panel[m * n..(m + 1) * n];
+                let w_out = &mut w_panel[m * n..(m + 1) * n];
+                match partials_panel.as_mut() {
+                    Some(buf) => {
+                        slab_panel_tail_partials(
+                            rho,
+                            inv_rho,
+                            bx,
+                            z_out,
+                            &z_prev[base..base + n],
+                            lam,
+                            l_out,
+                            w_out,
+                            &mut buf[5 * m..5 * m + 5],
+                        );
+                    }
+                    None => {
+                        for j in 0..n {
+                            let zj = z_out[j];
+                            let l = lam[j] + rho * (bx[j] - zj);
+                            l_out[j] = l;
+                            w_out[j] = zj - l * inv_rho;
+                        }
+                    }
+                }
+            }
+        });
+    }
+    for (r, &s) in rest.iter().enumerate() {
+        let m = full + r;
+        let base = pre.offsets[s];
+        let globals = &pre.stacked_to_global[base..base + n];
+        let lam = &lambda[base..base + n];
+        let z_out = &mut z_panel[m * n..(m + 1) * n];
+        let l_out = &mut lambda_panel[m * n..(m + 1) * n];
+        let w_out = &mut w_panel[m * n..(m + 1) * n];
+        with_scratch(2 * n, |scratch| {
+            let (bx, t) = scratch.split_at_mut(n);
+            for (((b, tj), &g), &l) in bx.iter_mut().zip(t.iter_mut()).zip(globals).zip(lam) {
+                *b = x[g];
+                *tj = *b + l * inv_rho;
+            }
+            for (i, row) in abar.chunks_exact(n).enumerate() {
+                let mut acc = bbar[base + i];
+                for (&a, &tj) in row.iter().zip(t.iter()) {
+                    acc -= a * tj;
+                }
+                z_out[i] = acc;
+            }
+            match partials_panel.as_mut() {
+                Some(buf) => {
+                    slab_panel_tail_partials(
+                        rho,
+                        inv_rho,
+                        bx,
+                        z_out,
+                        &z_prev[base..base + n],
+                        lam,
+                        l_out,
+                        w_out,
+                        &mut buf[5 * m..5 * m + 5],
+                    );
+                }
+                None => {
+                    for j in 0..n {
+                        let zj = z_out[j];
+                        let l = lam[j] + rho * (bx[j] - zj);
+                        l_out[j] = l;
+                        w_out[j] = zj - l * inv_rho;
+                    }
+                }
+            }
+        });
+    }
+}
+
+/// The check-iteration tail of one panel column: dual ascent, feed
+/// refresh, and the five residual partial sums, in
+/// [`fused_iteration_component`]'s exact accumulation order. Reads the
+/// incoming `λ(t)` from `lam` and writes `λ(t+1)` to `l_out` (the panel
+/// form keeps them separate; the stacked form updates in place).
+#[allow(clippy::too_many_arguments)]
+fn slab_panel_tail_partials(
+    rho: f64,
+    inv_rho: f64,
+    bx: &[f64],
+    z_out: &[f64],
+    z_prev_s: &[f64],
+    lam: &[f64],
+    l_out: &mut [f64],
+    w_out: &mut [f64],
+    out: &mut [f64],
+) {
+    debug_assert_eq!(out.len(), 5);
+    let (mut pres2, mut bx2, mut z2, mut dz2, mut l2) = (0.0, 0.0, 0.0, 0.0, 0.0);
+    for j in 0..z_out.len() {
+        let b = bx[j];
+        let zj = z_out[j];
+        let l = lam[j] + rho * (b - zj);
+        l_out[j] = l;
+        w_out[j] = zj - l * inv_rho;
+        pres2 += (b - zj) * (b - zj);
+        bx2 += b * b;
+        z2 += zj * zj;
+        dz2 += (zj - z_prev_s[j]) * (zj - z_prev_s[j]);
+        l2 += l * l;
+    }
+    out[0] = pres2;
+    out[1] = bx2;
+    out[2] = z2;
+    out[3] = dz2;
+    out[4] = l2;
+}
+
 /// [`Residuals::component_partials`] over component-local slices — the
 /// form the fused sweep uses, where `z`/`z_prev`/`λ` arrive already
 /// sliced to the component. Same loop body, same accumulation order.

@@ -13,14 +13,18 @@
 //! [`TelemetryReport`] with a stable versioned JSON schema
 //! ([`SCHEMA_VERSION`]).
 //!
-//! Counter names are dot-namespaced by emitter. The engine reserves two
-//! families: `degradation.*` (distributed-runtime degradation events —
-//! stale rounds, quorum timeouts, rank deaths, adoptions,
-//! retransmissions, checkpoints) and `supervisor.*` (solve-supervision
+//! Counter names are dot-namespaced by emitter. The engine reserves
+//! three families: `degradation.*` (distributed-runtime degradation
+//! events — stale rounds, quorum timeouts, rank deaths, adoptions,
+//! retransmissions, checkpoints), `supervisor.*` (solve-supervision
 //! events — `deadline_hits`, `cancellations`, `divergence_retries`,
 //! `nonfinite_iterates`, `stalls`, `faults_injected`,
-//! `panics_contained`). Names are `&'static str` and count as part of
-//! the JSON schema: renaming one is a breaking change.
+//! `panics_contained`), and `slab_batch.*` (slab-batched sweep volume,
+//! emitted by every backend when `AdmmOptions::slab_batched` is on —
+//! `groups`: slab groups swept, cumulative over iterations;
+//! `panel_cols`: panel columns swept, i.e. components × iterations).
+//! Names are `&'static str` and count as part of the JSON schema:
+//! renaming one is a breaking change.
 
 use std::collections::BTreeMap;
 use std::collections::VecDeque;
@@ -53,16 +57,21 @@ pub enum Phase {
     /// pipeline reports its combined per-component sweep here instead of
     /// emitting separate Local/Dual/Residual spans.
     Fused,
+    /// Slab-batched fused sweep: the fused pipeline executed as one
+    /// matrix × panel pass per unique `Ā` slab (components grouped by
+    /// `slab_id`). Replaces the `Fused` span when slab batching is on.
+    SlabBatch,
 }
 
 impl Phase {
     /// All phases in schema order.
-    pub const ALL: [Phase; 5] = [
+    pub const ALL: [Phase; 6] = [
         Phase::Global,
         Phase::Local,
         Phase::Dual,
         Phase::Residual,
         Phase::Fused,
+        Phase::SlabBatch,
     ];
 
     /// Stable schema name for this phase.
@@ -73,6 +82,7 @@ impl Phase {
             Phase::Dual => "dual",
             Phase::Residual => "residual",
             Phase::Fused => "fused",
+            Phase::SlabBatch => "slab_batch",
         }
     }
 
@@ -83,6 +93,7 @@ impl Phase {
             Phase::Dual => 2,
             Phase::Residual => 3,
             Phase::Fused => 4,
+            Phase::SlabBatch => 5,
         }
     }
 
@@ -243,7 +254,7 @@ struct PhaseTotal {
 pub struct TelemetryRecorder {
     backend: Option<String>,
     instance: Option<String>,
-    phases: [PhaseTotal; 5],
+    phases: [PhaseTotal; 6],
     counters: BTreeMap<&'static str, u64>,
     kernels: BTreeMap<&'static str, KernelSample>,
     samples: VecDeque<IterationSample>,
@@ -410,7 +421,7 @@ pub struct TelemetryReport {
     pub backend: Option<String>,
     /// Instance label, if the producer set one.
     pub instance: Option<String>,
-    /// Per-phase totals in schema order (always all five phases).
+    /// Per-phase totals in schema order (always all six phases).
     pub phases: Vec<PhaseSpan>,
     /// Named counters, sorted by name.
     pub counters: Vec<(String, u64)>,
@@ -726,7 +737,7 @@ mod tests {
         assert_eq!(r.counter("messages"), 5);
         assert_eq!(r.counter("absent"), 0);
         let report = r.report();
-        assert_eq!(report.phases.len(), 5);
+        assert_eq!(report.phases.len(), 6);
         assert_eq!(report.phase_total(Phase::Global), 0.75);
         assert_eq!(report.counter("messages"), 5);
         assert_eq!(report.phases[0].calls, 2);
@@ -828,12 +839,15 @@ mod tests {
         );
         assert_eq!(v.get("backend").and_then(|s| s.as_str()), Some("serial"));
         let phases = v.get("phases").and_then(|p| p.as_array()).unwrap();
-        assert_eq!(phases.len(), 5);
+        assert_eq!(phases.len(), 6);
         let names: Vec<&str> = phases
             .iter()
             .map(|p| p.get("name").and_then(|n| n.as_str()).unwrap())
             .collect();
-        assert_eq!(names, vec!["global", "local", "dual", "residual", "fused"]);
+        assert_eq!(
+            names,
+            vec!["global", "local", "dual", "residual", "fused", "slab_batch"]
+        );
     }
 
     #[test]

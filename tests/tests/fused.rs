@@ -139,6 +139,108 @@ fn fused_batch_matches_unfused_batch() {
     }
 }
 
+/// The slab-batched sweep (one matrix × panel pass per unique slab,
+/// gather → GEMM sweep → scatter) against the per-component fused path:
+/// identical bits on serial, rayon, and gpu-sim at both check strides.
+#[test]
+fn slab_batched_is_bit_identical_to_fused_on_every_backend() {
+    let net = feeders::ieee13();
+    let dec = decompose_net(&net);
+    let solver = SolverFreeAdmm::new(&dec).expect("precompute");
+    for backend in [
+        Backend::Serial,
+        Backend::Rayon { threads: 3 },
+        gpu_backend(),
+    ] {
+        for check_every in [1usize, 7] {
+            let base = AdmmOptions::builder()
+                .backend(backend.clone())
+                .max_iters(300)
+                .check_every(check_every)
+                .trace_every(50);
+            let batched = solver.solve(&base.clone().slab_batched(true).build());
+            let fused = solver.solve(&base.clone().build());
+            assert_bit_identical(
+                &format!("slab_batched {backend:?} check_every={check_every}"),
+                &batched,
+                &fused,
+            );
+        }
+    }
+}
+
+/// ρ adaptation must also leave the slab-batched path on the fused
+/// path's exact iterate sequence (same one-global-update feed staleness).
+#[test]
+fn slab_batched_matches_fused_under_rho_adaptation() {
+    let net = feeders::ieee123();
+    let dec = decompose_net(&net);
+    let solver = SolverFreeAdmm::new(&dec).expect("precompute");
+    for backend in [Backend::Serial, gpu_backend()] {
+        let base = AdmmOptions::builder()
+            .backend(backend.clone())
+            .max_iters(250)
+            .check_every(10)
+            .rho_adapt(ResidualBalancing {
+                mu: 10.0,
+                tau: 2.0,
+                every: 20,
+            });
+        let batched = solver.solve(&base.clone().slab_batched(true).build());
+        let fused = solver.solve(&base.clone().build());
+        assert_bit_identical(
+            &format!("slab_batched {backend:?} + rho_adapt"),
+            &batched,
+            &fused,
+        );
+    }
+}
+
+/// `solve_batch` with the slab-batched sweep: serial, rayon, and the
+/// gpu lockstep grid (one scenario × slab-group launch per iteration)
+/// all match the per-component fused batch scenario by scenario, at
+/// `check_every` 1 and strided.
+#[test]
+fn slab_batched_batch_matches_fused_batch() {
+    let net = feeders::ieee13();
+    let dec = decompose_net(&net);
+    let engine = Engine::new(&dec).expect("engine");
+    let batch = ScenarioBatch::sweep(engine.solver(), 4, 17, 0.05).expect("sweep");
+    for backend in [
+        Backend::Serial,
+        Backend::Rayon { threads: 3 },
+        gpu_backend(),
+    ] {
+        for check_every in [1usize, 20] {
+            let base = AdmmOptions::builder()
+                .backend(backend.clone())
+                .max_iters(120)
+                .check_every(check_every);
+            let batched = engine
+                .solve_batch(&BatchRequest::new(
+                    batch.clone(),
+                    base.clone().slab_batched(true).build(),
+                ))
+                .expect("slab-batched batch");
+            let fused = engine
+                .solve_batch(&BatchRequest::new(batch.clone(), base.clone().build()))
+                .expect("fused batch");
+            assert_eq!(batched.iterations_total, fused.iterations_total);
+            assert_eq!(batched.converged, fused.converged);
+            for k in 0..4 {
+                let (b, f) = (&batched.scenarios[k], &fused.scenarios[k]);
+                let tag =
+                    format!("slab_batched {backend:?} check_every={check_every} scenario {k}");
+                assert_eq!(b.x, f.x, "{tag}: x diverged");
+                assert_eq!(b.z, f.z, "{tag}: z diverged");
+                assert_eq!(b.lambda, f.lambda, "{tag}: λ diverged");
+                assert_eq!(b.iterations, f.iterations, "{tag}: iterations");
+                assert_eq!(b.objective, f.objective, "{tag}: objective");
+            }
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
@@ -165,6 +267,71 @@ proptest! {
                 &format!("{} check_every={check_every}", net.name),
                 &fused,
                 &unfused,
+            );
+        }
+    }
+
+    /// Random feeders: slab grouping is an exact partition of the
+    /// components — every component lands in exactly one group, and all
+    /// of a group's members share the group's `slab_id` and dimension —
+    /// and the slab-batched sweep is bit-identical to the fused path.
+    #[test]
+    fn slab_grouping_partitions_components_on_random_feeders(
+        nodes in 5usize..20,
+        leaf_draw in 0u64..1000,
+        seed in 0u64..u64::MAX,
+    ) {
+        let leaves = 1 + (leaf_draw as usize) % (nodes - 3);
+        let net = generate(&small_spec(nodes, leaves, seed));
+        let dec = decompose_net(&net);
+        let solver = SolverFreeAdmm::new(&dec).expect("precompute");
+        let pre = solver.precomputed();
+
+        // Exact partition: each component appears in exactly one group.
+        let mut seen = vec![0usize; pre.s()];
+        for k in 0..pre.unique_slabs() {
+            let n_k = pre.slab_dim(k);
+            for &s in pre.slab_members(k) {
+                seen[s] += 1;
+                prop_assert_eq!(pre.slab_id[s], k, "member of group {} has wrong slab_id", k);
+                prop_assert_eq!(pre.range(s).len(), n_k, "member dimension mismatch");
+            }
+        }
+        prop_assert!(seen.iter().all(|&c| c == 1), "not an exact partition: {:?}", seen);
+
+        // Full tiles + the streaming tail are also an exact partition:
+        // the tail holds exactly each group's width % SLAB_TILE trailing
+        // members, in ascending component order.
+        let mut covered = vec![0usize; pre.s()];
+        for k in 0..pre.unique_slabs() {
+            let members = pre.slab_members(k);
+            let tiled = members.len() - members.len() % opf_admm::updates::SLAB_TILE;
+            for &s in &members[..tiled] {
+                covered[s] += 1;
+            }
+        }
+        let tail = pre.slab_tile_tail();
+        prop_assert!(tail.windows(2).all(|p| p[0] < p[1]), "tail not ascending: {:?}", tail);
+        for &s in tail {
+            covered[s] += 1;
+        }
+        prop_assert!(
+            covered.iter().all(|&c| c == 1),
+            "tiles + tail not an exact partition: {:?}",
+            covered
+        );
+
+        for check_every in [1usize, 7] {
+            let base = AdmmOptions::builder()
+                .max_iters(120)
+                .check_every(check_every)
+                .trace_every(25);
+            let batched = solver.solve(&base.clone().slab_batched(true).build());
+            let fused = solver.solve(&base.clone().build());
+            assert_bit_identical(
+                &format!("slab_batched {} check_every={check_every}", net.name),
+                &batched,
+                &fused,
             );
         }
     }

@@ -50,33 +50,41 @@ fn allocs_during(f: impl FnOnce()) -> u64 {
 
 #[test]
 fn serial_solve_iterations_are_allocation_free() {
+    // One test fn covers both the fused and the slab-batched hot loop:
+    // the counter is process-global, so two #[test]s would race each
+    // other's measurements on the default multithreaded harness.
     let net = feeders::ieee13();
     let dec = decompose_net(&net);
     let solver = SolverFreeAdmm::new(&dec).expect("precompute");
-    let opts_for = |iters: usize| {
-        AdmmOptions::builder()
-            .eps_rel(0.0)
-            .eps_abs(1e-12)
-            .max_iters(iters)
-            .check_every(1)
-            .build()
-    };
-    // Warm-up: first-use lazies (thread-local scratch, feeder statics)
-    // charge this run, not the measured ones.
-    solver.solve(&opts_for(10));
+    for slab_batched in [false, true] {
+        let opts_for = |iters: usize| {
+            AdmmOptions::builder()
+                .eps_rel(0.0)
+                .eps_abs(1e-12)
+                .max_iters(iters)
+                .check_every(1)
+                .slab_batched(slab_batched)
+                .build()
+        };
+        // Warm-up: first-use lazies (thread-local scratch — for the
+        // slab-batched panel loop, the 2·max_group_span warm — and
+        // feeder statics) charge this run, not the measured ones.
+        solver.solve(&opts_for(10));
 
-    let short = allocs_during(|| {
-        std::hint::black_box(solver.solve(&opts_for(50)));
-    });
-    let long = allocs_during(|| {
-        std::hint::black_box(solver.solve(&opts_for(100)));
-    });
-    // Setup allocations (iterate clones, the feed, the partials buffer)
-    // are identical; 50 extra iterations must add nothing.
-    assert_eq!(
-        short, long,
-        "iterations allocate: 50 iters → {short} allocs, 100 iters → {long}"
-    );
-    // Sanity: the counter is actually live.
-    assert!(short > 0, "counting allocator not engaged");
+        let short = allocs_during(|| {
+            std::hint::black_box(solver.solve(&opts_for(50)));
+        });
+        let long = allocs_during(|| {
+            std::hint::black_box(solver.solve(&opts_for(100)));
+        });
+        // Setup allocations (iterate clones, the feed, the partials
+        // buffer) are identical; 50 extra iterations must add nothing.
+        assert_eq!(
+            short, long,
+            "iterations allocate (slab_batched={slab_batched}): \
+             50 iters → {short} allocs, 100 iters → {long}"
+        );
+        // Sanity: the counter is actually live.
+        assert!(short > 0, "counting allocator not engaged");
+    }
 }
