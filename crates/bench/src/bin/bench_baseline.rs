@@ -240,7 +240,7 @@ impl FusedCmp {
 ///
 /// `host_scale` calibrates the fixed seed profile to this host (see
 /// [`seed_ruler_us`]); pass `1.0` to compare against the raw profile.
-fn fused_comparison(engine: &Engine<'_>, name: &str, iters: usize, host_scale: f64) -> FusedCmp {
+fn fused_comparison(engine: &Engine, name: &str, iters: usize, host_scale: f64) -> FusedCmp {
     let base = AdmmOptions::builder()
         .eps_rel(0.0)
         .max_iters(iters)
@@ -355,7 +355,7 @@ impl SlabCmp {
 /// at `check_every = 1`, bit identity asserted (deterministic — always
 /// enforced), combined global+sweep per-iteration time compared.
 /// Interleaved best-of-eight, same noise protocol as [`fused_comparison`].
-fn slab_batch_comparison(engine: &Engine<'_>, name: &str, iters: usize) -> SlabCmp {
+fn slab_batch_comparison(engine: &Engine, name: &str, iters: usize) -> SlabCmp {
     let base = AdmmOptions::builder()
         .eps_rel(0.0)
         .max_iters(iters)
@@ -427,6 +427,195 @@ fn slab_width_histogram(pre: &Precomputed) -> (usize, usize, usize) {
     (min, p50, max)
 }
 
+/// splitmix64 — deterministic request-mix generator for the soak.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn unit(state: &mut u64) -> f64 {
+    (splitmix64(state) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Daemon soak: replay `SOAK_REQUESTS` mixed requests (three feeders,
+/// perturbed load/bound scales, a pool of repeat clients) against one
+/// [`OpfService`], asserting zero redundant arena builds, verifying
+/// cache-hit / coalesced solves bit-identical to cold sequential
+/// equivalents, and returning the `"service":{...}` snapshot section.
+///
+/// [`OpfService`]: opf_service::OpfService
+fn service_soak() -> String {
+    use opf_service::{JobRequest, OpfService, ServiceConfig};
+
+    const SOAK_REQUESTS: usize = 1200;
+    const SOAK_SEED: u64 = 42;
+    const FEEDERS: [&str; 3] = ["ieee13", "ieee13-detailed", "ieee123"];
+    const WORKERS: usize = 3;
+    const CACHE: usize = 4;
+    const BURST: usize = 24;
+    // Fixed iteration budget: the soak measures admission machinery,
+    // not convergence, and a capped solve keeps 1200 ieee123-class
+    // requests inside a CI smoke budget.
+    let options = AdmmOptions::builder().eps_rel(0.0).max_iters(120).build();
+
+    let service = OpfService::start(ServiceConfig {
+        cache_capacity: CACHE,
+        workers: WORKERS,
+        options: options.clone(),
+    });
+    let t0 = Instant::now();
+    let mut rng = SOAK_SEED;
+    // (feeder index, load, bound, reply) for the cold spot-checks.
+    let mut witnesses: Vec<(usize, f64, f64, opf_service::ServiceReply)> = Vec::new();
+    let mut done = 0usize;
+    while done < SOAK_REQUESTS {
+        // Submit a burst before waiting on anything: a full queue is
+        // what gives same-topology requests the chance to coalesce.
+        let burst: Vec<(usize, f64, f64, Option<String>)> = (0..BURST.min(SOAK_REQUESTS - done))
+            .map(|_| {
+                let f = (splitmix64(&mut rng) % FEEDERS.len() as u64) as usize;
+                let load = 0.95 + 0.10 * unit(&mut rng);
+                let bound = 0.98 + 0.04 * unit(&mut rng);
+                // A quarter of the traffic comes from eight repeat
+                // clients, exercising warm-start chaining.
+                let client = if splitmix64(&mut rng).is_multiple_of(4) {
+                    Some(format!("client-{}", splitmix64(&mut rng) % 8))
+                } else {
+                    None
+                };
+                (f, load, bound, client)
+            })
+            .collect();
+        let tickets: Vec<_> = burst
+            .iter()
+            .map(|(f, load, bound, client)| {
+                let mut req = JobRequest::feeder(FEEDERS[*f])
+                    .with_load_scale(*load)
+                    .with_bound_scale(*bound);
+                if let Some(c) = client {
+                    req = req.with_client(c.clone());
+                }
+                service.submit(req).expect("soak submit")
+            })
+            .collect();
+        for ((f, load, bound, client), ticket) in burst.into_iter().zip(tickets) {
+            let reply = ticket.wait();
+            assert!(
+                reply.outcome.is_ok(),
+                "soak request failed: {:?}",
+                reply.outcome.err()
+            );
+            // Anonymous requests are cold by construction — keep a thin
+            // sample of them for the bit-identity check below.
+            if client.is_none() && done.is_multiple_of(97) {
+                witnesses.push((f, load, bound, reply));
+            }
+            done += 1;
+        }
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+    let snap = service.stats();
+    service.shutdown();
+
+    assert_eq!(snap.completed as usize, SOAK_REQUESTS, "soak lost replies");
+    assert_eq!(snap.errors, 0, "soak requests must all succeed");
+    assert_eq!(
+        snap.precompute_builds,
+        FEEDERS.len() as u64,
+        "repeated topologies must never rebuild the arena"
+    );
+    assert!(
+        snap.coalesced_batches > 0,
+        "burst submission must produce coalesced batches"
+    );
+    assert!(snap.cache_hit_rate > 0.9, "soak should be hit-dominated");
+
+    // Bit-identity: each witnessed service solve (cache-hit and/or
+    // coalesced) must equal a cold, sequential solve of the same scaled
+    // problem on a freshly built engine.
+    let mut checked = 0usize;
+    for (f, load, bound, reply) in &witnesses {
+        let inst = load_instance(FEEDERS[*f]);
+        let engine = Engine::new(&inst.dec).expect("cold engine");
+        let batch =
+            ScenarioBatch::from_scales(engine.solver(), &[(*load, *bound)]).expect("cold batch");
+        let cold = engine
+            .solve_scenario(&batch, 0, &SolveRequest::new(options.clone()))
+            .expect("cold solve");
+        let warm = reply.outcome.as_ref().expect("witness ok");
+        assert_eq!(
+            warm.x, cold.x,
+            "service solve diverged from cold equivalent ({}, load {load}, bound {bound})",
+            FEEDERS[*f]
+        );
+        assert_eq!(warm.z, cold.z);
+        assert_eq!(warm.lambda, cold.lambda);
+        assert_eq!(warm.objective.to_bits(), cold.objective.to_bits());
+        checked += 1;
+    }
+    assert!(checked > 0, "soak must witness at least one cold solve");
+
+    eprintln!(
+        "service soak: {} requests in {} ({:.0} req/s) | builds {} | hit rate {:.3} | \
+         coalesced {} (mean {:.1}, max {}) | warm-chained {} | queue max {} | \
+         p50 {} p99 {} | {} bit-identity witnesses",
+        snap.completed,
+        fmt_secs(wall_s),
+        snap.completed as f64 / wall_s.max(f64::MIN_POSITIVE),
+        snap.precompute_builds,
+        snap.cache_hit_rate,
+        snap.coalesced_batches,
+        snap.coalesce_width_mean,
+        snap.coalesce_width_max,
+        snap.warm_chained,
+        snap.queue_depth_max,
+        fmt_secs(snap.latency_p50_s),
+        fmt_secs(snap.latency_p99_s),
+        checked,
+    );
+
+    let mut j = String::new();
+    let _ = write!(
+        j,
+        concat!(
+            "\"service\":{{\"requests\":{},\"seed\":{},\"feeders\":{},",
+            "\"workers\":{},\"cache_capacity\":{},\"max_iters\":120,",
+            "\"wall_us\":{},\"requests_per_sec\":{},",
+            "\"errors\":{},\"cache_hits\":{},\"cache_misses\":{},",
+            "\"cache_hit_rate\":{},\"precompute_builds\":{},\"evictions\":{},",
+            "\"coalesced_batches\":{},\"coalesce_width_mean\":{},",
+            "\"coalesce_width_max\":{},\"warm_chained\":{},",
+            "\"queue_depth_max\":{},\"latency_p50_us\":{},\"latency_p99_us\":{},",
+            "\"bit_identity_witnesses\":{},\"bit_identical\":true}}"
+        ),
+        snap.completed,
+        SOAK_SEED,
+        FEEDERS.len(),
+        WORKERS,
+        CACHE,
+        json_f(1e6 * wall_s),
+        json_f(snap.completed as f64 / wall_s.max(f64::MIN_POSITIVE)),
+        snap.errors,
+        snap.cache_hits,
+        snap.cache_misses,
+        json_f(snap.cache_hit_rate),
+        snap.precompute_builds,
+        snap.evictions,
+        snap.coalesced_batches,
+        json_f(snap.coalesce_width_mean),
+        snap.coalesce_width_max,
+        snap.warm_chained,
+        snap.queue_depth_max,
+        json_f(1e6 * snap.latency_p50_s),
+        json_f(1e6 * snap.latency_p99_s),
+        checked,
+    );
+    j
+}
+
 /// `--smoke`: the CI gate. Runs only the ieee13 fused and slab-batch
 /// comparisons with a small budget, writes a v3 snapshot, and re-reads
 /// it to verify the schema tag and both comparison sections landed. Bit
@@ -450,8 +639,9 @@ fn smoke(out_path: &str) {
         fmt_secs(slab.fused_combined_s() / slab.iters as f64),
         -slab.improvement_pct,
     );
+    let service = service_soak();
     let doc = format!(
-        "{{\"schema\":\"bench_admm/v3\",\"smoke\":true,\"instances\":[{{\"name\":\"ieee13\",{},{}}}]}}\n",
+        "{{\"schema\":\"bench_admm/v3\",\"smoke\":true,{service},\"instances\":[{{\"name\":\"ieee13\",{},{}}}]}}\n",
         cmp.json(),
         slab.json(),
     );
@@ -468,6 +658,10 @@ fn smoke(out_path: &str) {
     assert!(
         back.contains("\"slab_batch\":{"),
         "snapshot is missing the slab-batch comparison"
+    );
+    assert!(
+        back.contains("\"service\":{"),
+        "snapshot is missing the service soak section"
     );
     eprintln!("smoke ok: wrote {out_path}");
 }
@@ -793,8 +987,11 @@ fn main() {
         instances_json.push(j);
     }
 
+    eprintln!("== service soak ==");
+    let service = service_soak();
+
     let doc = format!(
-        "{{\"schema\":\"bench_admm/v3\",\"threads\":{},\"instances\":[{}]}}\n",
+        "{{\"schema\":\"bench_admm/v3\",\"threads\":{},{service},\"instances\":[{}]}}\n",
         threads,
         instances_json.join(",")
     );

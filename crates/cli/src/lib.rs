@@ -48,6 +48,17 @@ pub enum Command {
         max_retries: usize,
         allow_partial: bool,
     },
+    /// `gridflow serve [--listen ADDR] [options]`
+    Serve {
+        /// `None` serves line-delimited JSON over stdin/stdout;
+        /// `Some(addr)` listens on TCP.
+        listen: Option<String>,
+        cache: usize,
+        workers: usize,
+        rho: f64,
+        eps: f64,
+        max_iters: usize,
+    },
     /// `gridflow export <instance> <path.json>`
     Export { instance: String, path: String },
     /// `gridflow tables [--full]` / `gridflow figures [--full]`
@@ -144,9 +155,26 @@ early (deadline, divergence, non-finite iterates) is an error unless
 --allow-partial, which accepts the best partial iterate and reports
 how far it got. Resumable checkpoints (--resume) are validated: files
 carrying NaN or infinite iterates are rejected.
+  gridflow serve [--listen ADDR] [--cache N] [--workers N]
+                 [--rho R] [--eps E] [--max-iters N]
   gridflow export <instance> <path.json>
   gridflow tables  [--full]
   gridflow figures [--full]
+
+serve runs the persistent engine daemon: a line-delimited-JSON request
+protocol over stdin/stdout (default) or TCP (--listen HOST:PORT), with
+an LRU cache of --cache warm precompute arenas keyed by feeder-topology
+content hash (default 4) and --workers solve threads (default 2).
+Queued requests sharing a topology coalesce into one scenario batch
+(one factorization, N scenarios); repeat clients chain warm starts.
+Protocol: {\"cmd\":\"solve\",\"feeder\":\"ieee13\",\"load_scale\":1.02,
+\"bound_scale\":1.0,\"client\":\"id\"}, {\"cmd\":\"solve_many\",
+\"requests\":[...]}, {\"cmd\":\"stats\"} (returns the service counters —
+service.cache_hits, service.cache_misses, service.precompute_builds,
+service.coalesced_batches, service.coalesce_width_max,
+service.queue_depth_max, service.warm_chained, service.latency_p50_us,
+service.latency_p99_us — as an opf-telemetry/v1 report), and
+{\"cmd\":\"shutdown\"}.
 
 Instances: ieee13, ieee123, ieee8500, ieee13-detailed.
 ";
@@ -173,6 +201,50 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 .ok_or(CliError("info: missing <instance>".into()))?;
             Ok(Command::Info {
                 instance: instance.clone(),
+            })
+        }
+        "serve" => {
+            let mut listen = None;
+            let mut cache = 4usize;
+            let mut workers = 2usize;
+            let mut rho = 100.0;
+            let mut eps = 1e-3;
+            let mut max_iters = 200_000;
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--listen" => {
+                        listen = Some(
+                            it.next()
+                                .ok_or(CliError("--listen needs HOST:PORT".into()))?
+                                .clone(),
+                        );
+                    }
+                    "--stdio" => listen = None,
+                    "--cache" => {
+                        cache = parse_usize(it.next(), "--cache")?;
+                        if cache == 0 {
+                            return Err(CliError("--cache must be ≥ 1".into()));
+                        }
+                    }
+                    "--workers" => {
+                        workers = parse_usize(it.next(), "--workers")?;
+                        if workers == 0 {
+                            return Err(CliError("--workers must be ≥ 1".into()));
+                        }
+                    }
+                    "--rho" => rho = parse_num(it.next(), "--rho")?,
+                    "--eps" => eps = parse_num(it.next(), "--eps")?,
+                    "--max-iters" => max_iters = parse_usize(it.next(), "--max-iters")?,
+                    other => return Err(CliError(format!("serve: unknown flag {other}"))),
+                }
+            }
+            Ok(Command::Serve {
+                listen,
+                cache,
+                workers,
+                rho,
+                eps,
+                max_iters,
             })
         }
         "export" => {
@@ -498,6 +570,58 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                 net.total_p_ref(),
             ))
         }
+        Command::Serve {
+            listen,
+            cache,
+            workers,
+            rho,
+            eps,
+            max_iters,
+        } => {
+            let options = AdmmOptions::builder()
+                .rho(rho)
+                .eps_rel(eps)
+                .max_iters(max_iters)
+                .build();
+            let service = opf_service::OpfService::start(opf_service::ServiceConfig {
+                cache_capacity: cache,
+                workers,
+                options,
+            });
+            match listen {
+                Some(addr) => {
+                    let listener = std::net::TcpListener::bind(&addr)
+                        .map_err(|e| CliError(format!("bind {addr}: {e}")))?;
+                    let local = listener.local_addr().map(|a| a.to_string()).unwrap_or(addr);
+                    eprintln!("gridflow serve: listening on {local}");
+                    opf_service::serve_tcp(&service, listener)
+                        .map_err(|e| CliError(format!("serve: {e}")))?;
+                }
+                None => {
+                    opf_service::serve_stdio(&service)
+                        .map_err(|e| CliError(format!("serve: {e}")))?;
+                }
+            }
+            let snap = service.stats();
+            Ok(format!(
+                "served {} requests ({} errors): cache {} hits / {} misses \
+                 ({} arena builds, {} evictions), {} coalesced batches \
+                 (max width {}), {} warm-chained, queue depth max {}, \
+                 latency p50 {:.1} ms / p99 {:.1} ms\n",
+                snap.completed,
+                snap.errors,
+                snap.cache_hits,
+                snap.cache_misses,
+                snap.precompute_builds,
+                snap.evictions,
+                snap.coalesced_batches,
+                snap.coalesce_width_max,
+                snap.warm_chained,
+                snap.queue_depth_max,
+                snap.latency_p50_s * 1e3,
+                snap.latency_p99_s * 1e3,
+            ))
+        }
         Command::Export { instance, path } => {
             let net = load(&instance)?;
             let json = serde_json::to_string_pretty(&net)
@@ -734,7 +858,7 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
 /// solve over one shared precompute arena.
 #[allow(clippy::too_many_arguments)]
 fn run_batch(
-    engine: &Engine<'_>,
+    engine: &Engine,
     instance: &str,
     opts: AdmmOptions,
     scenarios: usize,

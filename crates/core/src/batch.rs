@@ -32,7 +32,7 @@
 
 use crate::engine::{
     backend_label, emit_supervisor_counters, Engine, ExecutionMode, SolveError, SolveOutcome,
-    SolveRequest,
+    SolveRequest, WarmStart,
 };
 use crate::gpu::{
     BatchDualKernel, BatchFusedIterKernel, BatchFusedLocalDualKernel, BatchGlobalKernel,
@@ -101,7 +101,7 @@ impl ScenarioBatch {
     /// `spread` is a fraction in `[0, 1)`; `spread = 0` replicates the
     /// base problem `count` times (the bit-identity fixture).
     pub fn sweep(
-        solver: &SolverFreeAdmm<'_>,
+        solver: &SolverFreeAdmm,
         count: usize,
         seed: u64,
         spread: f64,
@@ -149,6 +149,57 @@ impl ScenarioBatch {
         })
     }
 
+    /// Build a batch from explicit per-scenario `(load_scale, bound_scale)`
+    /// pairs: scenario `k`'s stacked `b̄` is the base `b̄` times
+    /// `load_scale`, and both global bounds are the base bounds times
+    /// `bound_scale` (one positive factor for both ends keeps the interval
+    /// ordered). `(1.0, 1.0)` replicates the base problem exactly —
+    /// the coalescing path in `opf-service` relies on this to fold
+    /// same-topology requests into one arena-sharing batch.
+    pub fn from_scales(
+        solver: &SolverFreeAdmm,
+        scales: &[(f64, f64)],
+    ) -> Result<ScenarioBatch, SolveError> {
+        if scales.is_empty() {
+            return Err(SolveError::InvalidBatch(
+                "scenario count must be ≥ 1".into(),
+            ));
+        }
+        for &(load, bound) in scales {
+            if !(load.is_finite() && bound.is_finite()) || load <= 0.0 || bound <= 0.0 {
+                return Err(SolveError::InvalidBatch(format!(
+                    "scenario scales must be finite and positive, got ({load}, {bound})"
+                )));
+            }
+        }
+        let dec = solver.problem();
+        let pre = solver.precomputed();
+        let (n, total_dim, s) = (dec.n, pre.total_dim(), pre.s());
+        let count = scales.len();
+        let mut bbar = Vec::with_capacity(count * total_dim);
+        let mut lower = Vec::with_capacity(count * n);
+        let mut upper = Vec::with_capacity(count * n);
+        for &(load, bound) in scales {
+            for comp in 0..s {
+                bbar.extend(pre.bbar_slice(comp).iter().map(|&v| load * v));
+            }
+            for i in 0..n {
+                lower.push(bound * dec.lower[i]);
+                upper.push(bound * dec.upper[i]);
+            }
+        }
+        Ok(ScenarioBatch {
+            count,
+            n,
+            total_dim,
+            bbar,
+            lower,
+            upper,
+            seed: 0,
+            spread: 0.0,
+        })
+    }
+
     /// Number of scenarios.
     pub fn count(&self) -> usize {
         self.count
@@ -183,7 +234,7 @@ impl ScenarioBatch {
     /// use, so batched and sequential runs start bit-identically.
     pub fn initial_state(
         &self,
-        solver: &SolverFreeAdmm<'_>,
+        solver: &SolverFreeAdmm,
         k: usize,
     ) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
         let mut x = solver.problem().vars.initial_point();
@@ -198,7 +249,7 @@ impl ScenarioBatch {
         (x, z, lambda)
     }
 
-    fn check_matches(&self, engine: &Engine<'_>) -> Result<(), SolveError> {
+    fn check_matches(&self, engine: &Engine) -> Result<(), SolveError> {
         let n = engine.problem().n;
         let total = engine.solver().precomputed().total_dim();
         if self.n != n || self.total_dim != total {
@@ -320,19 +371,13 @@ struct ScenState {
 fn panicked_result() -> SolveResult {
     SolveResult {
         objective: f64::NAN,
-        x: Vec::new(),
-        z: Vec::new(),
-        lambda: Vec::new(),
-        iterations: 0,
-        converged: false,
         stop: StopReason::Panicked,
         residuals: Residuals {
             pres: f64::NAN,
             dres: f64::NAN,
             ..Residuals::default()
         },
-        timings: Timings::default(),
-        trace: Vec::new(),
+        ..SolveResult::default()
     }
 }
 
@@ -355,7 +400,7 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 /// shared-exec loop). `deadline_at` is the batch-wide absolute deadline.
 #[allow(clippy::too_many_arguments)]
 fn solve_scenario_contained(
-    solver: &SolverFreeAdmm<'_>,
+    solver: &SolverFreeAdmm,
     batch: &ScenarioBatch,
     k: usize,
     opts: &AdmmOptions,
@@ -427,7 +472,7 @@ fn solve_scenario_contained(
     }
 }
 
-impl Engine<'_> {
+impl Engine {
     /// Solve one scenario of a batch through the single-process loop —
     /// the sequential reference [`Engine::solve_batch`] is bit-identical
     /// to. Honours `req.options.backend` and `req.warm_start`; modes
@@ -460,7 +505,7 @@ impl Engine<'_> {
                  ctx: &mut SupervisorCtx,
                  state: Option<(Vec<f64>, Vec<f64>, Vec<f64>)>| {
                     let st = state
-                        .or_else(|| req.warm_start.clone())
+                        .or_else(|| req.warm_start.clone().map(WarmStart::into_tuple))
                         .unwrap_or_else(|| batch.initial_state(solver, k));
                     let mut exec = Exec::from_backend(&o.backend);
                     solver.solve_view_exec_supervised(
@@ -483,7 +528,7 @@ impl Engine<'_> {
             return Ok(out);
         }
         let state = match &req.warm_start {
-            Some(s) => s.clone(),
+            Some(s) => s.clone().into_tuple(),
             None => batch.initial_state(solver, k),
         };
         let mut exec = Exec::from_backend(&req.options.backend);
@@ -1171,7 +1216,7 @@ impl Engine<'_> {
                         simulated: true,
                         ..Timings::default()
                     },
-                    trace: Vec::new(),
+                    ..SolveResult::default()
                 }
             })
             .collect()

@@ -303,6 +303,7 @@ impl<'a> BenchmarkAdmm<'a> {
                 residuals: res,
                 timings,
                 trace,
+                ..SolveResult::default()
             },
             stats,
         )

@@ -123,7 +123,7 @@ impl<K: BlockKernel> BlockKernel for KernelSlice<'_, K> {
     }
 }
 
-impl SolverFreeAdmm<'_> {
+impl SolverFreeAdmm {
     /// Run `iters` timed iterations of Algorithm 1 under a simulated
     /// cluster and return per-iteration **median** times plus the final
     /// residuals. Two untimed warm-up iterations run first (they advance

@@ -380,7 +380,7 @@ struct OperatorCore {
     report: DegradationReport,
 }
 
-impl SolverFreeAdmm<'_> {
+impl SolverFreeAdmm {
     /// Solve with `n_ranks` communicating workers (threads + channels)
     /// over perfect links.
     ///

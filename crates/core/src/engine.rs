@@ -14,11 +14,12 @@ use crate::cluster::{ClusterBreakdown, ClusterSpec};
 use crate::distributed::{DegradationReport, DistributedOptions};
 use crate::solver::SolverFreeAdmm;
 use crate::supervise::{self, StopReason, SupervisionReport, SupervisorOptions};
-use crate::types::{AdmmOptions, Backend, SolveResult, Timings, TraceEntry};
+use crate::types::{AdmmOptions, Backend, Timings, TraceEntry};
 use crate::updates::Residuals;
 use opf_linalg::{vec_ops, LinalgError};
 use opf_model::DecomposedProblem;
 use opf_telemetry::{IterationObserver, NoopObserver, Phase, TelemetryRecorder, TelemetryReport};
+use std::sync::Arc;
 
 /// A structured facade failure: the request was rejected *before* any
 /// iteration ran, so no partial outcome exists.
@@ -82,6 +83,48 @@ impl std::fmt::Display for SolveError {
 
 impl std::error::Error for SolveError {}
 
+/// Named warm-start iterates `(x, z, λ)`.
+///
+/// Replaces the anonymous `(Vec<f64>, Vec<f64>, Vec<f64>)` tuple that
+/// used to ride on [`SolveRequest`]: the three same-typed vectors were
+/// trivially transposable at call sites, and the field names document
+/// which is which. The tuple form still converts via [`From`] (so
+/// existing `with_warm_start((x, z, l))` callers compile), but new code
+/// should construct the struct.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct WarmStart {
+    /// Global iterate `x` (length `n`).
+    pub x: Vec<f64>,
+    /// Stacked local iterate `z = [x_1; …; x_S]` (length `total_dim`).
+    pub z: Vec<f64>,
+    /// Stacked duals `λ` (length `total_dim`).
+    pub lambda: Vec<f64>,
+}
+
+impl WarmStart {
+    /// Bundle explicit iterates.
+    pub fn new(x: Vec<f64>, z: Vec<f64>, lambda: Vec<f64>) -> Self {
+        WarmStart { x, z, lambda }
+    }
+
+    /// The `(x, z, λ)` tuple the raw solver entry points still take.
+    pub fn into_tuple(self) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+        (self.x, self.z, self.lambda)
+    }
+}
+
+impl From<(Vec<f64>, Vec<f64>, Vec<f64>)> for WarmStart {
+    fn from((x, z, lambda): (Vec<f64>, Vec<f64>, Vec<f64>)) -> Self {
+        WarmStart { x, z, lambda }
+    }
+}
+
+impl From<WarmStart> for (Vec<f64>, Vec<f64>, Vec<f64>) {
+    fn from(w: WarmStart) -> Self {
+        w.into_tuple()
+    }
+}
+
 /// Which solve path a request runs on.
 #[derive(Debug, Clone)]
 #[non_exhaustive]
@@ -117,11 +160,11 @@ pub struct SolveRequest {
     pub options: AdmmOptions,
     /// Which solve path to run.
     pub mode: ExecutionMode,
-    /// Optional warm start `(x, z, λ)`. Supported by the single-process
-    /// and distributed modes; the benchmark and cluster modes reject one
+    /// Optional warm start. Supported by the single-process and
+    /// distributed modes; the benchmark and cluster modes reject one
     /// with [`SolveError::WarmStartUnsupported`] (they always start from
     /// the paper's initial point).
-    pub warm_start: Option<(Vec<f64>, Vec<f64>, Vec<f64>)>,
+    pub warm_start: Option<WarmStart>,
     /// Supervision policy: deadline, iteration budget, cancellation,
     /// divergence retries, chaos faults. The default is inert and the
     /// solve then takes the exact unsupervised code path.
@@ -145,9 +188,11 @@ impl SolveRequest {
         self
     }
 
-    /// Warm-start from explicit iterates.
-    pub fn with_warm_start(mut self, state: (Vec<f64>, Vec<f64>, Vec<f64>)) -> Self {
-        self.warm_start = Some(state);
+    /// Warm-start from explicit iterates — a [`WarmStart`] or (for
+    /// compatibility with the deprecated anonymous form) an `(x, z, λ)`
+    /// tuple.
+    pub fn with_warm_start(mut self, state: impl Into<WarmStart>) -> Self {
+        self.warm_start = Some(state.into());
         self
     }
 
@@ -164,12 +209,21 @@ impl Default for SolveRequest {
     }
 }
 
-/// The uniform result of [`Engine::solve`], whichever backend ran.
+/// The one outcome type every solve path produces.
 ///
-/// Numeric fields mirror [`SolveResult`]; backends that do not produce a
-/// given artifact leave it empty (`z`/`λ` for distributed runs, all
-/// iterates for cluster timing runs) and the mode-specific extras ride
-/// in the `Option` fields.
+/// This used to be two near-identical structs: the raw solvers returned
+/// a `SolveResult` (iterates, objective, residuals, timings) and the
+/// facade wrapped it into a `SolveOutcome` that re-listed all ten fields
+/// plus the backend label and mode-specific extras. They are now
+/// collapsed: the solvers construct this type directly (leaving
+/// `backend` empty — the facade stamps it), `crate::types::SolveResult`
+/// survives as a deprecated alias, and every backend — single-process,
+/// benchmark-QP, cluster, distributed, and the batch paths — reports
+/// [`StopReason`], iterates, objective, and the telemetry handle through
+/// the same shape. Backends that do not produce a given artifact leave
+/// it empty (`z`/`λ` for distributed runs, all iterates for cluster
+/// timing runs) and the mode-specific extras ride in the `Option`
+/// fields.
 #[derive(Debug, Clone)]
 #[non_exhaustive]
 pub struct SolveOutcome {
@@ -206,26 +260,52 @@ pub struct SolveOutcome {
     /// What the supervisor did (present whenever supervision was active
     /// on a path that runs the full supervised loop).
     pub supervision: Option<SupervisionReport>,
+    /// The rendered telemetry report, when the solve ran through
+    /// [`Engine::solve_with_telemetry`] (the handle rides on the outcome
+    /// so callers no longer juggle a parallel tuple).
+    pub telemetry: Option<TelemetryReport>,
 }
 
-impl SolveOutcome {
-    pub(crate) fn from_result(backend: &'static str, r: SolveResult) -> Self {
+impl Default for SolveOutcome {
+    /// An empty outcome (no iterates, zero objective, `MaxIters` stop) —
+    /// the functional-update base the solvers build their results on.
+    fn default() -> Self {
         SolveOutcome {
-            backend,
-            x: r.x,
-            z: r.z,
-            lambda: r.lambda,
-            objective: r.objective,
-            iterations: r.iterations,
-            converged: r.converged,
-            stop: r.stop,
-            residuals: r.residuals,
-            timings: r.timings,
-            trace: r.trace,
+            backend: "",
+            x: Vec::new(),
+            z: Vec::new(),
+            lambda: Vec::new(),
+            objective: 0.0,
+            iterations: 0,
+            converged: false,
+            stop: StopReason::MaxIters,
+            residuals: Residuals::default(),
+            timings: Timings::default(),
+            trace: Vec::new(),
             qp: None,
             cluster: None,
             degradation: None,
             supervision: None,
+            telemetry: None,
+        }
+    }
+}
+
+impl SolveOutcome {
+    /// Stamp the backend label on a solver-produced outcome.
+    pub(crate) fn from_result(backend: &'static str, mut r: SolveOutcome) -> Self {
+        r.backend = backend;
+        r
+    }
+
+    /// The final iterates as a [`WarmStart`] — hand this to the next
+    /// [`SolveRequest::with_warm_start`] to chain solves (MPC re-dispatch,
+    /// swept parameters, repeat service clients).
+    pub fn warm_start(&self) -> WarmStart {
+        WarmStart {
+            x: self.x.clone(),
+            z: self.z.clone(),
+            lambda: self.lambda.clone(),
         }
     }
 }
@@ -290,7 +370,7 @@ pub trait AdmmBackend {
     /// Run the request to completion, reporting into `obs`.
     fn run<O: IterationObserver>(
         &self,
-        engine: &Engine<'_>,
+        engine: &Engine,
         req: &SolveRequest,
         obs: &mut O,
     ) -> Result<SolveOutcome, SolveError>;
@@ -306,7 +386,7 @@ impl AdmmBackend for SingleProcessBackend {
 
     fn run<O: IterationObserver>(
         &self,
-        engine: &Engine<'_>,
+        engine: &Engine,
         req: &SolveRequest,
         obs: &mut O,
     ) -> Result<SolveOutcome, SolveError> {
@@ -319,7 +399,7 @@ impl AdmmBackend for SingleProcessBackend {
                 |x| vec_ops::dot(&engine.problem().c, x),
                 |opts, ctx, state| {
                     let st = state
-                        .or_else(|| req.warm_start.clone())
+                        .or_else(|| req.warm_start.clone().map(WarmStart::into_tuple))
                         .unwrap_or_else(|| solver.initial_state());
                     solver.solve_from_supervised(opts, st, obs, ctx)
                 },
@@ -330,9 +410,11 @@ impl AdmmBackend for SingleProcessBackend {
             return Ok(out);
         }
         let result = match &req.warm_start {
-            Some(state) => engine
-                .solver
-                .solve_from_observed(&req.options, state.clone(), obs),
+            Some(state) => {
+                engine
+                    .solver
+                    .solve_from_observed(&req.options, state.clone().into_tuple(), obs)
+            }
             None => engine.solver.solve_observed(&req.options, obs),
         };
         Ok(SolveOutcome::from_result(label, result))
@@ -349,7 +431,7 @@ impl AdmmBackend for BenchmarkQpBackend {
 
     fn run<O: IterationObserver>(
         &self,
-        engine: &Engine<'_>,
+        engine: &Engine,
         req: &SolveRequest,
         obs: &mut O,
     ) -> Result<SolveOutcome, SolveError> {
@@ -400,7 +482,7 @@ impl AdmmBackend for ClusterBackend {
 
     fn run<O: IterationObserver>(
         &self,
-        engine: &Engine<'_>,
+        engine: &Engine,
         req: &SolveRequest,
         obs: &mut O,
     ) -> Result<SolveOutcome, SolveError> {
@@ -448,11 +530,8 @@ impl AdmmBackend for ClusterBackend {
                 iterations: bd.iterations,
                 simulated: true,
             },
-            trace: Vec::new(),
-            qp: None,
             cluster: Some(bd),
-            degradation: None,
-            supervision: None,
+            ..SolveOutcome::default()
         })
     }
 }
@@ -467,7 +546,7 @@ impl AdmmBackend for DistributedBackend {
 
     fn run<O: IterationObserver>(
         &self,
-        engine: &Engine<'_>,
+        engine: &Engine,
         req: &SolveRequest,
         obs: &mut O,
     ) -> Result<SolveOutcome, SolveError> {
@@ -475,7 +554,7 @@ impl AdmmBackend for DistributedBackend {
             panic!("DistributedBackend requires ExecutionMode::Distributed");
         };
         let state = match &req.warm_start {
-            Some(state) => state.clone(),
+            Some(state) => state.clone().into_tuple(),
             None => engine.solver.initial_state(),
         };
         let result = engine.solver.solve_distributed_supervised(
@@ -545,37 +624,49 @@ impl AdmmBackend for DistributedBackend {
             stop: result.stop,
             residuals: result.residuals,
             timings: result.timings,
-            trace: Vec::new(),
-            qp: None,
-            cluster: None,
             degradation: Some(result.degradation),
-            supervision: None,
+            ..SolveOutcome::default()
         })
     }
 }
 
 /// The facade: owns a built solver (precompute done once) and dispatches
 /// [`SolveRequest`]s to backends.
-pub struct Engine<'a> {
-    solver: SolverFreeAdmm<'a>,
+///
+/// The engine owns its problem and arena behind [`Arc`]s (see
+/// [`SolverFreeAdmm`]), so it is `Send + Sync + 'static` and clones
+/// cheaply — one warm engine can serve concurrent request threads, which
+/// is what the `opf-service` daemon's topology cache stores.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    solver: SolverFreeAdmm,
 }
 
-impl<'a> Engine<'a> {
-    /// Build the engine (runs Algorithm 1's precomputation once).
-    pub fn new(dec: &'a DecomposedProblem) -> Result<Self, LinalgError> {
+impl Engine {
+    /// Build the engine (runs Algorithm 1's precomputation once). The
+    /// problem is cloned into shared ownership; callers already holding
+    /// an `Arc` should use [`Engine::from_shared`].
+    pub fn new(dec: &DecomposedProblem) -> Result<Self, LinalgError> {
         Ok(Engine {
             solver: SolverFreeAdmm::new(dec)?,
         })
     }
 
+    /// Build the engine around an already-shared problem (no clone).
+    pub fn from_shared(dec: Arc<DecomposedProblem>) -> Result<Self, LinalgError> {
+        Ok(Engine {
+            solver: SolverFreeAdmm::shared(dec)?,
+        })
+    }
+
     /// Wrap an already-built solver.
-    pub fn from_solver(solver: SolverFreeAdmm<'a>) -> Self {
+    pub fn from_solver(solver: SolverFreeAdmm) -> Self {
         Engine { solver }
     }
 
     /// The underlying solver (for paths the facade does not cover, e.g.
     /// `diagnose`).
-    pub fn solver(&self) -> &SolverFreeAdmm<'a> {
+    pub fn solver(&self) -> &SolverFreeAdmm {
         &self.solver
     }
 
@@ -591,13 +682,13 @@ impl<'a> Engine<'a> {
         req.supervisor
             .validate()
             .map_err(SolveError::InvalidSupervisor)?;
-        if let Some((x, z, lambda)) = &req.warm_start {
+        if let Some(ws) = &req.warm_start {
             let n = self.problem().n;
             let total = self.solver.precomputed().total_dim();
             for (field, got, expected) in [
-                ("x", x.len(), n),
-                ("z", z.len(), total),
-                ("lambda", lambda.len(), total),
+                ("x", ws.x.len(), n),
+                ("z", ws.z.len(), total),
+                ("lambda", ws.lambda.len(), total),
             ] {
                 if got != expected {
                     return Err(SolveError::WarmStartDimension {
@@ -644,9 +735,11 @@ impl<'a> Engine<'a> {
         if let Some(name) = instance {
             rec.set_instance(name);
         }
-        let outcome = self.solve_observed(req, &mut rec)?;
+        let mut outcome = self.solve_observed(req, &mut rec)?;
         rec.set_backend(outcome.backend);
-        Ok((outcome, rec.report()))
+        let report = rec.report();
+        outcome.telemetry = Some(report.clone());
+        Ok((outcome, report))
     }
 }
 

@@ -35,7 +35,9 @@ pub use distributed::{
     CheckpointSpec, DegradationReport, DistributedOptions, DistributedOptionsBuilder,
     DistributedResult, RankExit,
 };
-pub use engine::{AdmmBackend, Engine, ExecutionMode, SolveError, SolveOutcome, SolveRequest};
+pub use engine::{
+    AdmmBackend, Engine, ExecutionMode, SolveError, SolveOutcome, SolveRequest, WarmStart,
+};
 pub use nonideal::NonIdealComm;
 pub use precompute::{Precomputed, ReferencePrecomputed};
 pub use solver::SolverFreeAdmm;
@@ -60,7 +62,7 @@ pub mod prelude {
         DistributedResult,
     };
     pub use crate::engine::{
-        AdmmBackend, Engine, ExecutionMode, SolveError, SolveOutcome, SolveRequest,
+        AdmmBackend, Engine, ExecutionMode, SolveError, SolveOutcome, SolveRequest, WarmStart,
     };
     pub use crate::solver::SolverFreeAdmm;
     pub use crate::supervise::{

@@ -23,7 +23,7 @@
 use crate::precompute::Precomputed;
 use crate::solver::SolverFreeAdmm;
 use crate::supervise::StopReason;
-use crate::types::{AdmmOptions, SolveResult, Timings};
+use crate::types::{AdmmOptions, SolveResult};
 use crate::updates::{self, Residuals};
 use opf_linalg::vec_ops;
 
@@ -72,7 +72,7 @@ impl XorShift {
     }
 }
 
-impl SolverFreeAdmm<'_> {
+impl SolverFreeAdmm {
     /// Run Algorithm 1 with simulated link defects. Serial arithmetic;
     /// timings are not collected (this is a robustness study, not a
     /// performance path).
@@ -201,8 +201,7 @@ impl SolverFreeAdmm<'_> {
                 StopReason::MaxIters
             },
             residuals: res,
-            timings: Timings::default(),
-            trace: Vec::new(),
+            ..SolveResult::default()
         }
     }
 }

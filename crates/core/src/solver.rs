@@ -13,6 +13,7 @@ use opf_linalg::{vec_ops, LinalgError};
 use opf_model::DecomposedProblem;
 use opf_telemetry::{IterationObserver, IterationSample, KernelSample, NoopObserver, Phase};
 use rayon::prelude::*;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Split a stacked buffer into per-component mutable slices (allocates a
@@ -323,23 +324,47 @@ pub(crate) struct ProblemView<'v> {
 
 /// The solver-free ADMM of the paper: precomputed projections, clipped
 /// global update, closed-form local update, dual ascent.
-pub struct SolverFreeAdmm<'a> {
-    dec: &'a DecomposedProblem,
-    pre: Precomputed,
+///
+/// The solver *owns* its problem and arena behind [`Arc`]s, so it is
+/// `Send + Sync + 'static` and clones cheaply — a warm solver can be
+/// cached and shared across request threads (the `opf-service` daemon's
+/// whole premise). [`SolverFreeAdmm::new`] still accepts a borrowed
+/// problem for existing callers; [`SolverFreeAdmm::shared`] takes an
+/// `Arc` directly and skips the clone.
+#[derive(Debug, Clone)]
+pub struct SolverFreeAdmm {
+    dec: Arc<DecomposedProblem>,
+    pre: Arc<Precomputed>,
 }
 
-impl<'a> SolverFreeAdmm<'a> {
+impl SolverFreeAdmm {
     /// Build the solver: runs Algorithm 1's precomputation (lines 2–3).
-    pub fn new(dec: &'a DecomposedProblem) -> Result<Self, LinalgError> {
+    ///
+    /// The problem is cloned into shared ownership; the clone is cheap
+    /// relative to the factorization work `Precomputed::build` performs.
+    /// Callers that already hold an `Arc` should use
+    /// [`SolverFreeAdmm::shared`] instead.
+    pub fn new(dec: &DecomposedProblem) -> Result<Self, LinalgError> {
+        Self::shared(Arc::new(dec.clone()))
+    }
+
+    /// Build the solver around an already-shared problem (no clone).
+    pub fn shared(dec: Arc<DecomposedProblem>) -> Result<Self, LinalgError> {
         Ok(SolverFreeAdmm {
-            pre: Precomputed::build(dec)?,
+            pre: Arc::new(Precomputed::build(&dec)?),
             dec,
         })
     }
 
     /// The decomposed problem.
     pub fn problem(&self) -> &DecomposedProblem {
-        self.dec
+        &self.dec
+    }
+
+    /// The decomposed problem's shared handle (for callers that need to
+    /// build another solver or engine over the same structure).
+    pub fn problem_shared(&self) -> Arc<DecomposedProblem> {
+        Arc::clone(&self.dec)
     }
 
     /// The precomputed data (exposed for the cluster simulator and
@@ -351,7 +376,7 @@ impl<'a> SolverFreeAdmm<'a> {
     /// The paper's initial iterates (§V-A): `λ = 0`; `x` and `x_s` from
     /// the zero / bound-midpoint / unit-voltage rule.
     pub fn initial_state(&self) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
-        self.pre.initial_state(self.dec)
+        self.pre.initial_state(&self.dec)
     }
 
     /// Run Algorithm 1 from the paper's initial point.
@@ -730,6 +755,7 @@ impl<'a> SolverFreeAdmm<'a> {
             residuals: res,
             timings,
             trace,
+            ..SolveResult::default()
         }
     }
 

@@ -1,7 +1,5 @@
 //! Options, timings, traces, and results shared by the solvers.
 
-use crate::supervise::StopReason;
-use crate::updates::Residuals;
 use gpu_sim::DeviceProps;
 
 /// Execution backend for the update kernels.
@@ -312,31 +310,19 @@ pub struct TraceEntry {
     pub rho: f64,
 }
 
-/// Result of a solve.
-#[derive(Debug, Clone)]
-pub struct SolveResult {
-    /// Global iterate `x` (bound-feasible for the solver-free method).
-    pub x: Vec<f64>,
-    /// Stacked local iterate `z = [x_1; …; x_S]`.
-    pub z: Vec<f64>,
-    /// Stacked duals `λ`.
-    pub lambda: Vec<f64>,
-    /// Objective `cᵀx`.
-    pub objective: f64,
-    /// Iterations performed.
-    pub iterations: usize,
-    /// Whether (16) was met within the budget.
-    pub converged: bool,
-    /// Why the solve stopped (supersedes `converged`, which is kept for
-    /// compatibility and equals `stop.is_converged()`).
-    pub stop: StopReason,
-    /// Final residuals.
-    pub residuals: Residuals,
-    /// Accumulated update times.
-    pub timings: Timings,
-    /// Residual trace (empty unless `trace_every > 0`).
-    pub trace: Vec<TraceEntry>,
-}
+/// Result of a solve — a deprecated alias for [`SolveOutcome`].
+///
+/// The raw solvers and the [`Engine`] facade used to return two
+/// near-identical structs (`SolveResult` with the ten numeric fields,
+/// `SolveOutcome` re-listing them plus the backend label and
+/// mode-specific extras). They are now one type; the solver entry
+/// points leave `backend` empty and the facade stamps it. Existing
+/// callers keep compiling through this alias, but new code should name
+/// [`SolveOutcome`].
+///
+/// [`SolveOutcome`]: crate::engine::SolveOutcome
+/// [`Engine`]: crate::engine::Engine
+pub type SolveResult = crate::engine::SolveOutcome;
 
 #[cfg(test)]
 mod tests {

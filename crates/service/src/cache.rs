@@ -1,0 +1,175 @@
+//! LRU cache of warm engines, keyed by feeder-topology content hash.
+//!
+//! An [`Engine`] owns its [`Precomputed`] arena behind an `Arc`, so one
+//! cached engine serves any number of request threads concurrently; the
+//! cache's job is purely to stop redundant `Precomputed::build` runs
+//! when the same feeder comes back. Recency order is a `VecDeque` of
+//! keys (MRU at the front) — capacities are small (a daemon holds a
+//! handful of feeders), so O(capacity) touches beat a linked-list LRU's
+//! constant factors and unsafe code.
+//!
+//! [`Precomputed`]: opf_admm::precompute::Precomputed
+
+use crate::hash::TopologyKey;
+use opf_admm::Engine;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+/// What a lookup did: the engine plus hit/build/eviction accounting.
+#[derive(Debug, Clone)]
+pub struct CacheLookup {
+    /// The warm (or freshly built) engine.
+    pub engine: Arc<Engine>,
+    /// Whether the arena was already warm.
+    pub hit: bool,
+    /// `Precomputed::build` runs this lookup performed (0 or 1).
+    pub builds: u64,
+    /// Entries evicted to make room (0 or 1).
+    pub evictions: u64,
+}
+
+/// The warm-arena LRU.
+#[derive(Debug)]
+pub struct EngineCache {
+    capacity: usize,
+    map: HashMap<TopologyKey, Arc<Engine>>,
+    /// Recency order, most recent first.
+    order: VecDeque<TopologyKey>,
+}
+
+impl EngineCache {
+    /// An empty cache holding at most `capacity` warm engines
+    /// (`capacity` is clamped to ≥ 1 — a cache that can hold nothing
+    /// would rebuild on every request).
+    pub fn new(capacity: usize) -> Self {
+        EngineCache {
+            capacity: capacity.max(1),
+            map: HashMap::new(),
+            order: VecDeque::new(),
+        }
+    }
+
+    /// Number of warm engines currently held.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Keys in recency order (most recent first) — diagnostics.
+    pub fn keys(&self) -> impl Iterator<Item = &TopologyKey> {
+        self.order.iter()
+    }
+
+    fn touch(&mut self, key: TopologyKey) {
+        if let Some(pos) = self.order.iter().position(|k| *k == key) {
+            self.order.remove(pos);
+        }
+        self.order.push_front(key);
+    }
+
+    /// Look up `key`, building (and inserting) via `build` on a miss.
+    /// The LRU entry is evicted when the cache is full.
+    pub fn get_or_build<F, E>(&mut self, key: TopologyKey, build: F) -> Result<CacheLookup, E>
+    where
+        F: FnOnce() -> Result<Engine, E>,
+    {
+        if let Some(engine) = self.map.get(&key) {
+            let engine = Arc::clone(engine);
+            self.touch(key);
+            return Ok(CacheLookup {
+                engine,
+                hit: true,
+                builds: 0,
+                evictions: 0,
+            });
+        }
+        let engine = Arc::new(build()?);
+        let mut evictions = 0;
+        if self.map.len() >= self.capacity {
+            if let Some(lru) = self.order.pop_back() {
+                self.map.remove(&lru);
+                evictions = 1;
+            }
+        }
+        self.map.insert(key, Arc::clone(&engine));
+        self.touch(key);
+        Ok(CacheLookup {
+            engine,
+            hit: false,
+            builds: 1,
+            evictions,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::topology_key;
+    use opf_model::decompose;
+    use opf_net::{feeders, ComponentGraph};
+
+    fn engine_for(name: &str) -> (TopologyKey, Engine) {
+        let net = feeders::by_name(name).unwrap();
+        let g = ComponentGraph::build(&net);
+        let dec = decompose(&net, &g).unwrap();
+        let key = topology_key(&dec);
+        (key, Engine::new(&dec).unwrap())
+    }
+
+    #[test]
+    fn hit_after_miss_and_no_rebuild() {
+        let (key, engine) = engine_for("ieee13");
+        let mut cache = EngineCache::new(2);
+        let first = cache
+            .get_or_build::<_, ()>(key, || Ok(engine.clone()))
+            .unwrap();
+        assert!(!first.hit);
+        assert_eq!(first.builds, 1);
+        let second = cache
+            .get_or_build::<_, ()>(key, || panic!("must not rebuild a warm key"))
+            .unwrap();
+        assert!(second.hit);
+        assert_eq!(second.builds, 0);
+        // Both lookups hand out the same arena.
+        assert!(Arc::ptr_eq(&first.engine, &second.engine));
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let (k13, e13) = engine_for("ieee13");
+        let (k13d, e13d) = engine_for("ieee13-detailed");
+        let (k123, e123) = engine_for("ieee123");
+        let mut cache = EngineCache::new(2);
+        cache
+            .get_or_build::<_, ()>(k13, || Ok(e13.clone()))
+            .unwrap();
+        cache
+            .get_or_build::<_, ()>(k13d, || Ok(e13d.clone()))
+            .unwrap();
+        // Touch ieee13 so ieee13-detailed becomes the LRU victim.
+        cache.get_or_build::<_, ()>(k13, || panic!("warm")).unwrap();
+        let third = cache
+            .get_or_build::<_, ()>(k123, || Ok(e123.clone()))
+            .unwrap();
+        assert_eq!(third.evictions, 1);
+        assert_eq!(cache.len(), 2);
+        // ieee13 survived; ieee13-detailed did not.
+        assert!(
+            cache
+                .get_or_build::<_, ()>(k13, || panic!("warm"))
+                .unwrap()
+                .hit
+        );
+        assert!(
+            !cache
+                .get_or_build::<_, ()>(k13d, || Ok(e13d.clone()))
+                .unwrap()
+                .hit
+        );
+    }
+}

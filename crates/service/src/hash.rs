@@ -1,0 +1,152 @@
+//! Feeder-topology content hashing.
+//!
+//! The cache key for a warm [`Precomputed`] arena must cover everything
+//! the arena and the objective depend on: the dimension, the cost
+//! vector, the component structure (consensus maps and equality blocks),
+//! and the base injections/bounds that per-request scale factors
+//! multiply. Two problems with equal hashes share one engine; requests
+//! against that engine differ only in `(load_scale, bound_scale)` —
+//! exactly the variation [`ScenarioBatch::from_scales`] encodes without
+//! re-factorization.
+//!
+//! FNV-1a (64-bit) keeps the hash dependency-free and deterministic
+//! across runs — the same property the slab interner relies on.
+//!
+//! [`Precomputed`]: opf_admm::precompute::Precomputed
+//! [`ScenarioBatch::from_scales`]: opf_admm::batch::ScenarioBatch::from_scales
+
+use opf_model::DecomposedProblem;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Streaming FNV-1a hasher over raw bytes.
+#[derive(Debug, Clone)]
+pub struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a(FNV_OFFSET)
+    }
+}
+
+impl Fnv1a {
+    /// Absorb a byte slice.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Absorb a `u64` (little-endian).
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Absorb an `usize` slice as `u64`s.
+    pub fn write_usizes(&mut self, vs: &[usize]) {
+        for &v in vs {
+            self.write_u64(v as u64);
+        }
+    }
+
+    /// Absorb an `f64` slice bit-exactly (`to_bits`, so `-0.0 ≠ 0.0`
+    /// and NaN payloads count — content identity, not numeric equality).
+    pub fn write_f64s(&mut self, vs: &[f64]) {
+        for &v in vs {
+            self.write_u64(v.to_bits());
+        }
+    }
+
+    /// The digest.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// A feeder-topology content hash — the warm-arena cache key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TopologyKey(pub u64);
+
+impl std::fmt::Display for TopologyKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// Content-hash a decomposed problem into its cache key.
+///
+/// Covers `n`, `c`, the base bounds, every component's consensus map,
+/// equality block (dimensions + entries) and right-hand side, the copy
+/// counts, and the variable space's initial point. Field-length
+/// prefixes keep the encoding prefix-free, so concatenation ambiguities
+/// cannot collide two different problems.
+pub fn topology_key(dec: &DecomposedProblem) -> TopologyKey {
+    let mut h = Fnv1a::default();
+    h.write_u64(dec.n as u64);
+    h.write_u64(dec.components.len() as u64);
+    h.write_f64s(&dec.c);
+    h.write_f64s(&dec.lower);
+    h.write_f64s(&dec.upper);
+    h.write_f64s(&dec.copy_counts);
+    for comp in &dec.components {
+        h.write_u64(comp.global_idx.len() as u64);
+        h.write_usizes(&comp.global_idx);
+        h.write_u64(comp.a.rows() as u64);
+        h.write_u64(comp.a.cols() as u64);
+        h.write_f64s(comp.a.data());
+        h.write_u64(comp.b.len() as u64);
+        h.write_f64s(&comp.b);
+    }
+    let init = dec.vars.initial_point();
+    h.write_u64(init.len() as u64);
+    h.write_f64s(&init);
+    TopologyKey(h.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opf_model::decompose;
+    use opf_net::{feeders, ComponentGraph};
+
+    fn dec_for(name: &str) -> DecomposedProblem {
+        let net = feeders::by_name(name).unwrap();
+        let g = ComponentGraph::build(&net);
+        decompose(&net, &g).unwrap()
+    }
+
+    #[test]
+    fn key_is_deterministic_across_builds() {
+        assert_eq!(
+            topology_key(&dec_for("ieee13")),
+            topology_key(&dec_for("ieee13"))
+        );
+    }
+
+    #[test]
+    fn distinct_feeders_get_distinct_keys() {
+        let keys = ["ieee13", "ieee13-detailed", "ieee123"]
+            .iter()
+            .map(|n| topology_key(&dec_for(n)))
+            .collect::<std::collections::BTreeSet<_>>();
+        assert_eq!(keys.len(), 3);
+    }
+
+    #[test]
+    fn perturbing_cost_changes_the_key() {
+        let base = dec_for("ieee13");
+        let mut tweaked = base.clone();
+        tweaked.c[0] += 1.0;
+        assert_ne!(topology_key(&base), topology_key(&tweaked));
+    }
+
+    #[test]
+    fn fnv_vector() {
+        // FNV-1a("a") — the published test vector.
+        let mut h = Fnv1a::default();
+        h.write(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+    }
+}

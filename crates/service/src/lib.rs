@@ -1,0 +1,281 @@
+//! `opf-service` — OPF as a service: a persistent engine daemon over
+//! the solver-free ADMM engine.
+//!
+//! The paper's throughput story assumes amortized setup — factorize
+//! once, iterate fast. A one-shot CLI throws that away; this daemon
+//! keeps it:
+//!
+//! * [`hash`] — feeder-topology content hashing ([`TopologyKey`]), the
+//!   warm-arena cache key;
+//! * [`cache`] — [`EngineCache`]: an LRU of warm [`Engine`]s, one
+//!   `Precomputed::build` per unique topology;
+//! * [`service`] — [`OpfService`]: admission queue, worker pool,
+//!   same-topology request coalescing into [`ScenarioBatch`]es, and
+//!   per-client warm-start chaining;
+//! * [`stats`] — admission/queueing telemetry (queue depth, coalesce
+//!   width, cache hit rate, p50/p99 latency) on `opf-telemetry/v1`;
+//! * [`protocol`] — the line-delimited-JSON request protocol over
+//!   stdio or TCP (`gridflow serve`).
+//!
+//! Coalesced and cache-hit solves are bit-identical to their
+//! sequential cold-start equivalents — the serial batch path is the
+//! PR 4 invariant, and a warm arena's contents are a pure function of
+//! the topology hash's preimage.
+//!
+//! [`Engine`]: opf_admm::Engine
+//! [`ScenarioBatch`]: opf_admm::ScenarioBatch
+
+pub mod cache;
+pub mod hash;
+pub mod protocol;
+pub mod service;
+pub mod stats;
+
+pub use cache::{CacheLookup, EngineCache};
+pub use hash::{topology_key, Fnv1a, TopologyKey};
+pub use protocol::{handle_line, serve_stdio, serve_stream, serve_tcp};
+pub use service::{
+    JobRequest, JobTicket, OpfService, ProblemSource, ServiceConfig, ServiceError, ServiceReply,
+};
+pub use stats::{ServiceStats, StatsSnapshot};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opf_admm::{AdmmOptions, BatchRequest, Engine, ScenarioBatch, SolveRequest};
+    use opf_model::decompose;
+    use opf_net::{feeders, ComponentGraph};
+    use std::sync::Arc;
+
+    fn opts() -> AdmmOptions {
+        AdmmOptions::builder().max_iters(300).build()
+    }
+
+    fn dec_for(name: &str) -> Arc<opf_model::DecomposedProblem> {
+        let net = feeders::by_name(name).unwrap();
+        let g = ComponentGraph::build(&net);
+        Arc::new(decompose(&net, &g).unwrap())
+    }
+
+    #[test]
+    fn drained_group_coalesces_and_matches_cold_solves() {
+        let svc = OpfService::start(ServiceConfig {
+            cache_capacity: 2,
+            workers: 0,
+            options: opts(),
+        });
+        let scales = [(1.0, 1.0), (1.03, 1.0), (0.97, 1.02)];
+        let tickets: Vec<_> = scales
+            .iter()
+            .map(|&(l, b)| {
+                svc.submit(
+                    JobRequest::feeder("ieee13")
+                        .with_load_scale(l)
+                        .with_bound_scale(b),
+                )
+                .unwrap()
+            })
+            .collect();
+        assert_eq!(svc.drain_now(), 1, "one topology → one group");
+        let replies: Vec<_> = tickets.into_iter().map(JobTicket::wait).collect();
+
+        // Cold reference: a fresh engine, same scales, sequential
+        // scenario solves — the bit-identity target.
+        let dec = dec_for("ieee13");
+        let cold_engine = Engine::from_shared(Arc::clone(&dec)).unwrap();
+        let batch = ScenarioBatch::from_scales(cold_engine.solver(), &scales).unwrap();
+        for (k, reply) in replies.iter().enumerate() {
+            assert_eq!(reply.coalesce_width, 3);
+            let out = reply.outcome.as_ref().expect("solve ok");
+            let cold = cold_engine
+                .solve_scenario(&batch, k, &SolveRequest::new(opts()))
+                .unwrap();
+            assert_eq!(out.x, cold.x, "scenario {k} x must be bit-identical");
+            assert_eq!(out.z, cold.z);
+            assert_eq!(out.lambda, cold.lambda);
+            assert_eq!(out.objective.to_bits(), cold.objective.to_bits());
+        }
+        let snap = svc.stats();
+        assert_eq!(snap.coalesced_batches, 1);
+        assert_eq!(snap.coalesce_width_max, 3);
+        assert_eq!(snap.precompute_builds, 1);
+    }
+
+    #[test]
+    fn cache_hit_solve_is_bit_identical_to_cold() {
+        let svc = OpfService::start(ServiceConfig {
+            cache_capacity: 2,
+            workers: 0,
+            options: opts(),
+        });
+        // Cold pass builds the arena; second pass must hit it.
+        let t1 = svc.submit(JobRequest::feeder("ieee13")).unwrap();
+        svc.drain_now();
+        let first = t1.wait();
+        assert!(!first.cache_hit);
+        let t2 = svc.submit(JobRequest::feeder("ieee13")).unwrap();
+        svc.drain_now();
+        let second = t2.wait();
+        assert!(second.cache_hit);
+        let (a, b) = (first.outcome.unwrap(), second.outcome.unwrap());
+        assert_eq!(a.x, b.x);
+        assert_eq!(a.objective.to_bits(), b.objective.to_bits());
+        assert_eq!(svc.stats().precompute_builds, 1);
+    }
+
+    #[test]
+    fn warm_chaining_kicks_in_for_repeat_clients() {
+        let svc = OpfService::start(ServiceConfig {
+            cache_capacity: 2,
+            workers: 0,
+            options: opts(),
+        });
+        let t1 = svc
+            .submit(JobRequest::feeder("ieee13").with_client("agent"))
+            .unwrap();
+        svc.drain_now();
+        let first = t1.wait();
+        assert!(!first.warm_chained, "first contact is cold");
+        let t2 = svc
+            .submit(
+                JobRequest::feeder("ieee13")
+                    .with_client("agent")
+                    .with_load_scale(1.01),
+            )
+            .unwrap();
+        svc.drain_now();
+        let second = t2.wait();
+        assert!(second.warm_chained, "repeat (client, topology) chains");
+        let (a, b) = (first.outcome.unwrap(), second.outcome.unwrap());
+        // Warm-started from the adjacent optimum, the chained solve
+        // must not work harder than the cold one.
+        assert!(
+            b.iterations <= a.iterations,
+            "{} > {}",
+            b.iterations,
+            a.iterations
+        );
+    }
+
+    #[test]
+    fn distinct_topologies_build_distinct_arenas() {
+        let svc = OpfService::start(ServiceConfig {
+            cache_capacity: 4,
+            workers: 0,
+            options: opts(),
+        });
+        let t = [
+            svc.submit(JobRequest::feeder("ieee13")).unwrap(),
+            svc.submit(JobRequest::feeder("ieee13-detailed")).unwrap(),
+            svc.submit(JobRequest::feeder("ieee13")).unwrap(),
+        ];
+        assert_eq!(svc.drain_now(), 2, "two topology groups");
+        let keys: Vec<_> = t.map(JobTicket::wait).iter().map(|r| r.topology).collect();
+        assert_eq!(keys[0], keys[2]);
+        assert_ne!(keys[0], keys[1]);
+        let snap = svc.stats();
+        assert_eq!(snap.precompute_builds, 2, "one build per unique topology");
+    }
+
+    #[test]
+    fn shared_problems_and_feeder_names_share_the_cache() {
+        let svc = OpfService::start(ServiceConfig {
+            cache_capacity: 2,
+            workers: 0,
+            options: opts(),
+        });
+        let t1 = svc.submit(JobRequest::feeder("ieee13")).unwrap();
+        let t2 = svc.submit(JobRequest::shared(dec_for("ieee13"))).unwrap();
+        svc.drain_now();
+        let (a, b) = (t1.wait(), t2.wait());
+        // The shared decomposition is a different allocation but the
+        // same content — one key, one arena.
+        assert_eq!(a.topology, b.topology);
+        assert_eq!(svc.stats().precompute_builds, 1);
+    }
+
+    #[test]
+    fn invalid_scales_are_rejected_at_admission() {
+        let svc = OpfService::start(ServiceConfig {
+            cache_capacity: 1,
+            workers: 0,
+            options: opts(),
+        });
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let err = svc
+                .submit(JobRequest::feeder("ieee13").with_load_scale(bad))
+                .err()
+                .expect("must reject");
+            assert!(matches!(err, ServiceError::InvalidRequest(_)));
+        }
+        assert!(matches!(
+            svc.submit(JobRequest::feeder("nonesuch")).err().unwrap(),
+            ServiceError::UnknownFeeder(_)
+        ));
+    }
+
+    #[test]
+    fn threaded_workers_serve_concurrent_submitters() {
+        let svc = OpfService::start(ServiceConfig {
+            cache_capacity: 4,
+            workers: 2,
+            options: opts(),
+        });
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let svc = Arc::clone(&svc);
+                std::thread::spawn(move || {
+                    let name = if i % 2 == 0 {
+                        "ieee13"
+                    } else {
+                        "ieee13-detailed"
+                    };
+                    let scale = 1.0 + 0.01 * (i as f64);
+                    svc.solve(JobRequest::feeder(name).with_load_scale(scale))
+                })
+            })
+            .collect();
+        for h in handles {
+            let reply = h.join().unwrap();
+            assert!(reply.outcome.is_ok());
+        }
+        let snap = svc.stats();
+        assert_eq!(snap.completed, 8);
+        assert_eq!(snap.precompute_builds, 2, "two unique topologies");
+        svc.shutdown();
+    }
+
+    #[test]
+    fn batch_request_path_equals_service_path() {
+        // The daemon's coalesced path is exactly the public batch API:
+        // nothing service-private touches the numerics.
+        let dec = dec_for("ieee13");
+        let engine = Engine::from_shared(Arc::clone(&dec)).unwrap();
+        let scales = [(1.02, 1.0), (0.98, 1.0)];
+        let batch = ScenarioBatch::from_scales(engine.solver(), &scales).unwrap();
+        let out = engine
+            .solve_batch(&BatchRequest::new(batch, opts()))
+            .unwrap();
+        let svc = OpfService::start(ServiceConfig {
+            cache_capacity: 1,
+            workers: 0,
+            options: opts(),
+        });
+        let tickets: Vec<_> = scales
+            .iter()
+            .map(|&(l, b)| {
+                svc.submit(
+                    JobRequest::shared(Arc::clone(&dec))
+                        .with_load_scale(l)
+                        .with_bound_scale(b),
+                )
+                .unwrap()
+            })
+            .collect();
+        svc.drain_now();
+        for (k, t) in tickets.into_iter().enumerate() {
+            let got = t.wait().outcome.unwrap();
+            assert_eq!(got.x, out.scenarios[k].x);
+        }
+    }
+}

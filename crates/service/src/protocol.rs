@@ -1,0 +1,305 @@
+//! Line-delimited-JSON protocol: one request object per line in, one
+//! response object per line out — over stdio or TCP (`gridflow serve`).
+//!
+//! ## Requests
+//!
+//! ```json
+//! {"cmd":"solve","feeder":"ieee13","load_scale":1.02,"bound_scale":1.0,"client":"agent-7"}
+//! {"cmd":"solve_many","requests":[{"feeder":"ieee13"},{"feeder":"ieee123","load_scale":0.97}]}
+//! {"cmd":"stats"}
+//! {"cmd":"shutdown"}
+//! ```
+//!
+//! `solve` blocks the connection until the reply; `solve_many` submits
+//! every element first and then waits, so its requests can coalesce
+//! with each other (and with other connections'). `stats` returns the
+//! snapshot plus the `opf-telemetry/v1` counter report. `shutdown`
+//! stops the server loop after acknowledging.
+//!
+//! ## Responses
+//!
+//! Every response line carries `"ok"`; successful solves add the
+//! objective/iterations/stop fields plus the admission metadata
+//! (`cache_hit`, `coalesce_width`, `warm_chained`, `latency_s`).
+
+use crate::service::{JobRequest, JobTicket, OpfService, ServiceReply};
+use serde_json::{json, Value};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Parse one `solve`(-element) object into a [`JobRequest`].
+fn parse_job(v: &Value) -> Result<JobRequest, String> {
+    let feeder = v
+        .get("feeder")
+        .and_then(Value::as_str)
+        .ok_or_else(|| "missing \"feeder\"".to_string())?;
+    let mut req = JobRequest::feeder(feeder);
+    if let Some(s) = v.get("load_scale") {
+        req.load_scale = s.as_f64().ok_or("\"load_scale\" must be a number")?;
+    }
+    if let Some(s) = v.get("bound_scale") {
+        req.bound_scale = s.as_f64().ok_or("\"bound_scale\" must be a number")?;
+    }
+    if let Some(c) = v.get("client") {
+        req.client = Some(c.as_str().ok_or("\"client\" must be a string")?.to_string());
+    }
+    Ok(req)
+}
+
+/// Render a reply as a response object.
+fn reply_json(reply: &ServiceReply) -> Value {
+    match &reply.outcome {
+        Ok(out) => json!({
+            "ok": true,
+            "type": "solve",
+            "topology": reply.topology.to_string(),
+            "backend": out.backend,
+            "objective": out.objective,
+            "iterations": out.iterations,
+            "converged": out.converged,
+            "stop": format!("{:?}", out.stop),
+            "cache_hit": reply.cache_hit,
+            "coalesce_width": reply.coalesce_width,
+            "warm_chained": reply.warm_chained,
+            "latency_s": reply.latency_s,
+        }),
+        Err(e) => json!({
+            "ok": false,
+            "type": "solve",
+            "error": e.to_string(),
+        }),
+    }
+}
+
+fn stats_json(service: &OpfService) -> Value {
+    let snap = service.stats();
+    let telemetry: Value =
+        serde_json::from_str(&snap.to_telemetry_report().to_json_string()).unwrap_or(Value::Null);
+    json!({
+        "ok": true,
+        "type": "stats",
+        "service": snap.to_json(),
+        "telemetry": telemetry,
+    })
+}
+
+/// Handle one request line; returns `(response, keep_serving)`.
+pub fn handle_line(service: &OpfService, line: &str, stop: &AtomicBool) -> (Value, bool) {
+    let v: Value = match serde_json::from_str(line) {
+        Ok(v) => v,
+        Err(e) => {
+            return (
+                json!({"ok": false, "error": format!("bad JSON: {e}")}),
+                true,
+            )
+        }
+    };
+    match v.get("cmd").and_then(Value::as_str) {
+        Some("solve") => match parse_job(&v) {
+            Ok(req) => (reply_json(&service.solve(req)), true),
+            Err(e) => (json!({"ok": false, "error": e}), true),
+        },
+        Some("solve_many") => {
+            let Some(items) = v.get("requests").and_then(Value::as_array) else {
+                return (
+                    json!({"ok": false, "error": "\"requests\" must be an array"}),
+                    true,
+                );
+            };
+            // Submit everything before waiting on anything, so the
+            // elements are all in the queue together and coalesce.
+            let tickets: Vec<Result<JobTicket, String>> = items
+                .iter()
+                .map(|item| {
+                    parse_job(item).and_then(|req| service.submit(req).map_err(|e| e.to_string()))
+                })
+                .collect();
+            let replies: Vec<Value> = tickets
+                .into_iter()
+                .map(|t| match t {
+                    Ok(ticket) => reply_json(&ticket.wait()),
+                    Err(e) => json!({"ok": false, "error": e}),
+                })
+                .collect();
+            (
+                json!({"ok": true, "type": "solve_many", "replies": replies}),
+                true,
+            )
+        }
+        Some("stats") => (stats_json(service), true),
+        Some("shutdown") => {
+            stop.store(true, Ordering::SeqCst);
+            (json!({"ok": true, "type": "shutdown"}), false)
+        }
+        Some(other) => (
+            json!({"ok": false, "error": format!("unknown cmd {other:?}")}),
+            true,
+        ),
+        None => (json!({"ok": false, "error": "missing \"cmd\""}), true),
+    }
+}
+
+/// Serve one byte stream (stdio or one TCP connection) until EOF or a
+/// `shutdown` command. `stop` is shared across connections: a shutdown
+/// from any connection stops the whole server.
+pub fn serve_stream<R: BufRead, W: Write>(
+    service: &OpfService,
+    reader: R,
+    mut writer: W,
+    stop: &AtomicBool,
+) -> std::io::Result<()> {
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (resp, keep) = handle_line(service, line.trim(), stop);
+        let resp = serde_json::to_string(&resp).expect("serialize response");
+        writeln!(writer, "{resp}")?;
+        writer.flush()?;
+        if !keep || stop.load(Ordering::SeqCst) {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Serve the protocol over stdin/stdout until EOF or `shutdown`, then
+/// stop the service workers.
+pub fn serve_stdio(service: &Arc<OpfService>) -> std::io::Result<()> {
+    let stop = AtomicBool::new(false);
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let result = serve_stream(service, stdin.lock(), stdout.lock(), &stop);
+    service.shutdown();
+    result
+}
+
+/// Serve the protocol over TCP: one thread per connection, all sharing
+/// the service and the stop flag. Returns after a `shutdown` command
+/// (or an accept error), with the service workers stopped and every
+/// connection thread joined.
+pub fn serve_tcp(service: &Arc<OpfService>, listener: TcpListener) -> std::io::Result<()> {
+    listener.set_nonblocking(true)?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut conns: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let service = Arc::clone(service);
+                let stop = Arc::clone(&stop);
+                conns.push(std::thread::spawn(move || {
+                    stream
+                        .set_nodelay(true)
+                        .and_then(|()| {
+                            let reader = BufReader::new(stream.try_clone()?);
+                            serve_stream(&service, reader, &stream, &stop)
+                        })
+                        .unwrap_or(());
+                }));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+            Err(e) => {
+                service.shutdown();
+                return Err(e);
+            }
+        }
+        conns.retain(|h| !h.is_finished());
+    }
+    for h in conns {
+        let _ = h.join();
+    }
+    service.shutdown();
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::{OpfService, ServiceConfig};
+    use opf_admm::AdmmOptions;
+
+    fn quick_service() -> Arc<OpfService> {
+        OpfService::start(ServiceConfig {
+            cache_capacity: 2,
+            workers: 1,
+            options: AdmmOptions::builder().max_iters(200).build(),
+        })
+    }
+
+    #[test]
+    fn solve_line_round_trips() {
+        let svc = quick_service();
+        let stop = AtomicBool::new(false);
+        let (resp, keep) = handle_line(&svc, r#"{"cmd":"solve","feeder":"ieee13"}"#, &stop);
+        assert!(keep);
+        assert_eq!(resp["ok"].as_bool(), Some(true));
+        assert_eq!(resp["type"].as_str(), Some("solve"));
+        assert!(resp["objective"].as_f64().is_some());
+        let (stats, _) = handle_line(&svc, r#"{"cmd":"stats"}"#, &stop);
+        assert_eq!(stats["service"]["requests"].as_u64(), Some(1));
+        assert_eq!(
+            stats["telemetry"]["schema"].as_str(),
+            Some("opf-telemetry/v1")
+        );
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected_not_fatal() {
+        let svc = quick_service();
+        let stop = AtomicBool::new(false);
+        for bad in [
+            "not json",
+            r#"{"cmd":"solve"}"#,
+            r#"{"cmd":"solve","feeder":"nonesuch"}"#,
+            r#"{"cmd":"frobnicate"}"#,
+            r#"{}"#,
+        ] {
+            let (resp, keep) = handle_line(&svc, bad, &stop);
+            assert_eq!(
+                resp["ok"].as_bool(),
+                Some(false),
+                "line {bad:?} should fail"
+            );
+            assert!(keep, "errors must not kill the connection");
+        }
+    }
+
+    #[test]
+    fn shutdown_line_sets_stop_flag() {
+        let svc = quick_service();
+        let stop = AtomicBool::new(false);
+        let (resp, keep) = handle_line(&svc, r#"{"cmd":"shutdown"}"#, &stop);
+        assert_eq!(resp["ok"].as_bool(), Some(true));
+        assert!(!keep);
+        assert!(stop.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn solve_many_shares_one_arena() {
+        let svc = quick_service();
+        let stop = AtomicBool::new(false);
+        let line = r#"{"cmd":"solve_many","requests":[
+            {"feeder":"ieee13","load_scale":1.0},
+            {"feeder":"ieee13","load_scale":1.01},
+            {"feeder":"ieee13","load_scale":0.99}]}"#
+            .replace('\n', " ");
+        let (resp, _) = handle_line(&svc, &line, &stop);
+        assert_eq!(resp["ok"].as_bool(), Some(true));
+        let replies = resp["replies"].as_array().unwrap();
+        assert_eq!(replies.len(), 3);
+        for r in replies {
+            assert_eq!(r["ok"].as_bool(), Some(true));
+        }
+        // However the worker sliced the queue, one feeder means one
+        // arena build (coalesce width itself is timing-dependent here;
+        // the service tests pin it down with drain_now).
+        let snap = svc.stats();
+        assert_eq!(snap.precompute_builds, 1);
+        assert_eq!(snap.completed, 3);
+    }
+}

@@ -1,0 +1,545 @@
+//! The persistent engine service: admission queue, worker pool,
+//! topology-keyed coalescing, and warm-start chaining.
+//!
+//! ## Execution model
+//!
+//! Submitters resolve their problem (feeder name or shared
+//! [`DecomposedProblem`]) to a [`TopologyKey`] and push a job onto one
+//! admission queue. Worker threads pop the queue head and *drain every
+//! queued job with the same key* — those jobs differ only in their
+//! `(load_scale, bound_scale)` pair, so they fold into one
+//! [`ScenarioBatch::from_scales`] against one warm arena: one
+//! factorization, N scenarios, no barrier between topologies.
+//!
+//! ## Bit-identity
+//!
+//! A coalesced solve runs the serial batch path, which is bit-identical
+//! to sequential [`Engine::solve_scenario`] calls (the PR 4 invariant);
+//! a cache-hit solve reuses a [`Precomputed`] arena whose contents are
+//! a pure function of the topology hash's preimage. Both are therefore
+//! bit-identical to a cold, sequential solve of the same scaled problem
+//! — the soak harness and the service integration tests assert this.
+//!
+//! [`Precomputed`]: opf_admm::precompute::Precomputed
+
+use crate::cache::EngineCache;
+use crate::hash::{topology_key, TopologyKey};
+use crate::stats::{ServiceStats, StatsSnapshot};
+use opf_admm::{
+    AdmmOptions, BatchRequest, Engine, ScenarioBatch, SolveOutcome, SolveRequest, WarmStart,
+};
+use opf_model::DecomposedProblem;
+use opf_net::{feeders, ComponentGraph};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Warm engines the LRU holds (≥ 1).
+    pub cache_capacity: usize,
+    /// Worker threads draining the admission queue. `0` spawns none:
+    /// queued jobs then run only when [`OpfService::drain_now`] is
+    /// called — the deterministic mode tests use to control exactly
+    /// which requests coalesce.
+    pub workers: usize,
+    /// ADMM parameters shared by every solve. Coalescing requires one
+    /// option set per batch, so options are service-level, not
+    /// per-request; the serial backend is the bit-identity reference.
+    pub options: AdmmOptions,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            cache_capacity: 4,
+            workers: 2,
+            options: AdmmOptions::default(),
+        }
+    }
+}
+
+/// Where a job's problem comes from.
+#[derive(Debug, Clone)]
+pub enum ProblemSource {
+    /// A named feeder resolved through [`opf_net::feeders::by_name`]
+    /// (decompositions are memoized per name).
+    Feeder(String),
+    /// A pre-decomposed problem shared by the caller.
+    Shared(Arc<DecomposedProblem>),
+}
+
+/// One solve request against the daemon.
+#[derive(Debug, Clone)]
+pub struct JobRequest {
+    /// The feeder/problem to solve.
+    pub problem: ProblemSource,
+    /// Uniform scale on the stacked injections `b̄` (1.0 = base case).
+    pub load_scale: f64,
+    /// Uniform scale on both global bound vectors (1.0 = base case).
+    pub bound_scale: f64,
+    /// Client identity for warm-start chaining: a repeat `(client,
+    /// topology)` pair is seeded from the client's previous final
+    /// iterates instead of joining the cold coalesced batch.
+    pub client: Option<String>,
+}
+
+impl JobRequest {
+    /// A base-case request for a named feeder.
+    pub fn feeder(name: impl Into<String>) -> Self {
+        JobRequest {
+            problem: ProblemSource::Feeder(name.into()),
+            load_scale: 1.0,
+            bound_scale: 1.0,
+            client: None,
+        }
+    }
+
+    /// A base-case request for a shared decomposition.
+    pub fn shared(dec: Arc<DecomposedProblem>) -> Self {
+        JobRequest {
+            problem: ProblemSource::Shared(dec),
+            load_scale: 1.0,
+            bound_scale: 1.0,
+            client: None,
+        }
+    }
+
+    /// Set the injection scale.
+    pub fn with_load_scale(mut self, s: f64) -> Self {
+        self.load_scale = s;
+        self
+    }
+
+    /// Set the bound scale.
+    pub fn with_bound_scale(mut self, s: f64) -> Self {
+        self.bound_scale = s;
+        self
+    }
+
+    /// Tag the request with a client identity (enables chaining).
+    pub fn with_client(mut self, client: impl Into<String>) -> Self {
+        self.client = Some(client.into());
+        self
+    }
+}
+
+/// Errors surfaced by the service.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceError {
+    /// The feeder name did not resolve.
+    UnknownFeeder(String),
+    /// Decomposition failed.
+    Decompose(String),
+    /// Engine construction (factorization) failed.
+    Build(String),
+    /// The solve itself failed.
+    Solve(String),
+    /// The request was malformed (non-finite or non-positive scales).
+    InvalidRequest(String),
+    /// The daemon is shutting down.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::UnknownFeeder(n) => write!(f, "unknown feeder {n:?}"),
+            ServiceError::Decompose(e) => write!(f, "decomposition failed: {e}"),
+            ServiceError::Build(e) => write!(f, "engine build failed: {e}"),
+            ServiceError::Solve(e) => write!(f, "solve failed: {e}"),
+            ServiceError::InvalidRequest(e) => write!(f, "invalid request: {e}"),
+            ServiceError::ShuttingDown => write!(f, "service is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// A completed request: the outcome plus its admission metadata.
+#[derive(Debug, Clone)]
+pub struct ServiceReply {
+    /// The solve outcome, or what went wrong.
+    pub outcome: Result<SolveOutcome, ServiceError>,
+    /// The topology the request hashed to.
+    pub topology: TopologyKey,
+    /// Whether the arena was warm.
+    pub cache_hit: bool,
+    /// How many requests the executing batch folded together (1 = solo).
+    pub coalesce_width: usize,
+    /// Whether this solve chained a stored warm start.
+    pub warm_chained: bool,
+    /// Submit→reply wall latency, seconds.
+    pub latency_s: f64,
+}
+
+/// Handle to one in-flight request.
+pub struct JobTicket {
+    rx: mpsc::Receiver<ServiceReply>,
+}
+
+impl JobTicket {
+    /// Block until the reply arrives.
+    pub fn wait(self) -> ServiceReply {
+        self.rx.recv().unwrap_or(ServiceReply {
+            outcome: Err(ServiceError::ShuttingDown),
+            topology: TopologyKey(0),
+            cache_hit: false,
+            coalesce_width: 0,
+            warm_chained: false,
+            latency_s: 0.0,
+        })
+    }
+}
+
+struct QueuedJob {
+    key: TopologyKey,
+    dec: Arc<DecomposedProblem>,
+    load_scale: f64,
+    bound_scale: f64,
+    client: Option<String>,
+    submitted: Instant,
+    reply: mpsc::Sender<ServiceReply>,
+}
+
+struct Shared {
+    queue: Mutex<VecDeque<QueuedJob>>,
+    cv: Condvar,
+    shutdown: AtomicBool,
+    cache: Mutex<EngineCache>,
+    /// `(client, topology) → last final iterates` — the chaining store.
+    warm: Mutex<HashMap<(String, u64), WarmStart>>,
+    /// Feeder-name decomposition memo (`name → (key, problem)`).
+    feeders: Mutex<HashMap<String, (TopologyKey, Arc<DecomposedProblem>)>>,
+    stats: ServiceStats,
+    options: AdmmOptions,
+}
+
+/// The persistent engine daemon. Construct once, [`submit`] from any
+/// number of threads, [`shutdown`] when done.
+///
+/// [`submit`]: OpfService::submit
+/// [`shutdown`]: OpfService::shutdown
+pub struct OpfService {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl OpfService {
+    /// Start the daemon: allocate the cache and spawn the worker pool.
+    pub fn start(config: ServiceConfig) -> Arc<OpfService> {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            cache: Mutex::new(EngineCache::new(config.cache_capacity)),
+            warm: Mutex::new(HashMap::new()),
+            feeders: Mutex::new(HashMap::new()),
+            stats: ServiceStats::default(),
+            options: config.options,
+        });
+        let workers = (0..config.workers)
+            .map(|i| {
+                let sh = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("opf-service-worker-{i}"))
+                    .spawn(move || worker_loop(&sh))
+                    .expect("spawn service worker")
+            })
+            .collect();
+        Arc::new(OpfService {
+            shared,
+            workers: Mutex::new(workers),
+        })
+    }
+
+    /// Resolve a request's problem to its topology key (decomposing and
+    /// memoizing feeder names as needed) without submitting it.
+    pub fn resolve(
+        &self,
+        problem: &ProblemSource,
+    ) -> Result<(TopologyKey, Arc<DecomposedProblem>), ServiceError> {
+        match problem {
+            ProblemSource::Shared(dec) => Ok((topology_key(dec), Arc::clone(dec))),
+            ProblemSource::Feeder(name) => {
+                if let Some(hit) = self.shared.feeders.lock().unwrap().get(name) {
+                    return Ok(hit.clone());
+                }
+                let net = feeders::by_name(name)
+                    .ok_or_else(|| ServiceError::UnknownFeeder(name.clone()))?;
+                let graph = ComponentGraph::build(&net);
+                let dec = opf_model::decompose(&net, &graph)
+                    .map_err(|e| ServiceError::Decompose(e.to_string()))?;
+                let dec = Arc::new(dec);
+                let key = topology_key(&dec);
+                self.shared
+                    .feeders
+                    .lock()
+                    .unwrap()
+                    .insert(name.clone(), (key, Arc::clone(&dec)));
+                Ok((key, dec))
+            }
+        }
+    }
+
+    /// Admit a request; returns a ticket the caller can block on.
+    pub fn submit(&self, req: JobRequest) -> Result<JobTicket, ServiceError> {
+        if self.shared.shutdown.load(Ordering::SeqCst) {
+            return Err(ServiceError::ShuttingDown);
+        }
+        for (label, v) in [
+            ("load_scale", req.load_scale),
+            ("bound_scale", req.bound_scale),
+        ] {
+            if !v.is_finite() || v <= 0.0 {
+                return Err(ServiceError::InvalidRequest(format!(
+                    "{label} must be finite and positive, got {v}"
+                )));
+            }
+        }
+        let (key, dec) = self.resolve(&req.problem)?;
+        let (tx, rx) = mpsc::channel();
+        let job = QueuedJob {
+            key,
+            dec,
+            load_scale: req.load_scale,
+            bound_scale: req.bound_scale,
+            client: req.client,
+            submitted: Instant::now(),
+            reply: tx,
+        };
+        let depth = {
+            let mut q = self.shared.queue.lock().unwrap();
+            q.push_back(job);
+            q.len()
+        };
+        self.shared.stats.on_submit(depth);
+        self.shared.cv.notify_one();
+        Ok(JobTicket { rx })
+    }
+
+    /// Convenience: submit and block for the reply.
+    pub fn solve(&self, req: JobRequest) -> ServiceReply {
+        match self.submit(req) {
+            Ok(ticket) => ticket.wait(),
+            Err(e) => ServiceReply {
+                outcome: Err(e),
+                topology: TopologyKey(0),
+                cache_hit: false,
+                coalesce_width: 0,
+                warm_chained: false,
+                latency_s: 0.0,
+            },
+        }
+    }
+
+    /// Process every queued job on the calling thread; returns the
+    /// number of same-topology groups served. With `workers: 0` this is
+    /// the only execution path, which makes coalescing deterministic:
+    /// everything submitted before the call that shares a topology key
+    /// folds into one batch.
+    pub fn drain_now(&self) -> usize {
+        let mut groups = 0;
+        loop {
+            let jobs = {
+                let mut q = self.shared.queue.lock().unwrap();
+                match take_group(&mut q) {
+                    Some(jobs) => jobs,
+                    None => break,
+                }
+            };
+            process_group(&self.shared, jobs);
+            groups += 1;
+        }
+        groups
+    }
+
+    /// A point-in-time statistics snapshot.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.stats.snapshot()
+    }
+
+    /// The solve options every request runs under.
+    pub fn options(&self) -> &AdmmOptions {
+        &self.shared.options
+    }
+
+    /// Drain the queue and stop the workers. Queued jobs are still
+    /// served; new submissions are rejected. Idempotent.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.cv.notify_all();
+        let mut workers = self.workers.lock().unwrap();
+        for h in workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for OpfService {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Coalesce: pop the head job plus every queued job sharing its
+/// topology key. One arena, one batch, no re-factorization.
+fn take_group(q: &mut VecDeque<QueuedJob>) -> Option<Vec<QueuedJob>> {
+    let key = q.front()?.key;
+    let mut taken = Vec::new();
+    let mut i = 0;
+    while i < q.len() {
+        if q[i].key == key {
+            taken.push(q.remove(i).expect("index in range"));
+        } else {
+            i += 1;
+        }
+    }
+    Some(taken)
+}
+
+fn worker_loop(sh: &Shared) {
+    loop {
+        let jobs = {
+            let mut q = sh.queue.lock().unwrap();
+            loop {
+                if let Some(jobs) = take_group(&mut q) {
+                    break jobs;
+                }
+                if sh.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                q = sh.cv.wait(q).unwrap();
+            }
+        };
+        process_group(sh, jobs);
+    }
+}
+
+/// Serve one same-topology group: cache lookup, warm-chained solos,
+/// coalesced batch for the rest.
+fn process_group(sh: &Shared, jobs: Vec<QueuedJob>) {
+    debug_assert!(!jobs.is_empty());
+    let key = jobs[0].key;
+    let dec = Arc::clone(&jobs[0].dec);
+    let lookup = {
+        let mut cache = sh.cache.lock().unwrap();
+        cache.get_or_build(key, || Engine::from_shared(dec))
+    };
+    let lookup = match lookup {
+        Ok(l) => l,
+        Err(e) => {
+            let err = ServiceError::Build(e.to_string());
+            for job in jobs {
+                reply(sh, &job, Err(err.clone()), false, 1, false);
+            }
+            return;
+        }
+    };
+    sh.stats
+        .on_cache(lookup.hit, lookup.builds, lookup.evictions);
+    let engine = lookup.engine;
+
+    // Split: requests whose (client, topology) has stored iterates chain
+    // them in a solo solve; everything else folds into one cold batch.
+    let mut warm_jobs = Vec::new();
+    let mut cold_jobs = Vec::new();
+    for job in jobs {
+        let chained = job
+            .client
+            .as_ref()
+            .and_then(|c| sh.warm.lock().unwrap().get(&(c.clone(), key.0)).cloned());
+        match chained {
+            Some(ws) => warm_jobs.push((job, ws)),
+            None => cold_jobs.push(job),
+        }
+    }
+
+    let width = cold_jobs.len();
+    if width > 1 {
+        sh.stats.on_coalesce(width);
+    }
+    if width > 0 {
+        let scales: Vec<(f64, f64)> = cold_jobs
+            .iter()
+            .map(|j| (j.load_scale, j.bound_scale))
+            .collect();
+        match ScenarioBatch::from_scales(engine.solver(), &scales)
+            .and_then(|batch| engine.solve_batch(&BatchRequest::new(batch, sh.options.clone())))
+        {
+            Ok(out) => {
+                for (job, outcome) in cold_jobs.iter().zip(out.scenarios) {
+                    remember_warm(sh, job, key, &outcome);
+                    reply(sh, job, Ok(outcome), lookup.hit, width, false);
+                }
+            }
+            Err(e) => {
+                let err = ServiceError::Solve(e.to_string());
+                for job in &cold_jobs {
+                    reply(sh, job, Err(err.clone()), lookup.hit, width, false);
+                }
+            }
+        }
+    }
+
+    for (job, ws) in warm_jobs {
+        sh.stats.on_warm_chained();
+        let solved =
+            ScenarioBatch::from_scales(engine.solver(), &[(job.load_scale, job.bound_scale)])
+                .and_then(|batch| {
+                    let req = SolveRequest::new(sh.options.clone()).with_warm_start(ws);
+                    engine.solve_scenario(&batch, 0, &req)
+                });
+        match solved {
+            Ok(outcome) => {
+                remember_warm(sh, &job, key, &outcome);
+                reply(sh, &job, Ok(outcome), lookup.hit, 1, true);
+            }
+            Err(e) => {
+                reply(
+                    sh,
+                    &job,
+                    Err(ServiceError::Solve(e.to_string())),
+                    lookup.hit,
+                    1,
+                    true,
+                );
+            }
+        }
+    }
+}
+
+fn remember_warm(sh: &Shared, job: &QueuedJob, key: TopologyKey, outcome: &SolveOutcome) {
+    if let Some(client) = &job.client {
+        sh.warm
+            .lock()
+            .unwrap()
+            .insert((client.clone(), key.0), outcome.warm_start());
+    }
+}
+
+fn reply(
+    sh: &Shared,
+    job: &QueuedJob,
+    outcome: Result<SolveOutcome, ServiceError>,
+    cache_hit: bool,
+    coalesce_width: usize,
+    warm_chained: bool,
+) {
+    let latency_s = job.submitted.elapsed().as_secs_f64();
+    let ok = outcome.is_ok();
+    sh.stats.on_complete(latency_s, ok);
+    // A dropped ticket (caller gave up) is not an error.
+    let _ = job.reply.send(ServiceReply {
+        outcome,
+        topology: job.key,
+        cache_hit,
+        coalesce_width,
+        warm_chained,
+        latency_s,
+    });
+}

@@ -1,0 +1,267 @@
+//! Admission/queueing telemetry for the daemon.
+//!
+//! One [`ServiceStats`] instance rides inside the service behind an
+//! `Arc`; submit/worker paths update it under a short mutex, and
+//! [`ServiceStats::snapshot`] folds the raw counters and the latency
+//! reservoir into the numbers the `service` bench section and the
+//! `opf-telemetry/v1` counters report.
+
+use opf_telemetry::{IterationObserver, TelemetryRecorder, TelemetryReport};
+use std::sync::Mutex;
+
+/// Raw counters, guarded by one mutex (every update is a handful of
+/// integer ops — contention is invisible next to a solve).
+#[derive(Debug, Default)]
+struct StatsInner {
+    requests: u64,
+    completed: u64,
+    errors: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    precompute_builds: u64,
+    evictions: u64,
+    coalesced_batches: u64,
+    coalesce_width_sum: u64,
+    coalesce_width_max: u64,
+    warm_chained: u64,
+    queue_depth_max: u64,
+    /// Per-request wall latency (submit → reply), seconds.
+    latencies_s: Vec<f64>,
+}
+
+/// Shared, thread-safe service statistics.
+#[derive(Debug, Default)]
+pub struct ServiceStats {
+    inner: Mutex<StatsInner>,
+}
+
+/// A point-in-time summary: counters plus derived latency quantiles.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsSnapshot {
+    /// Requests admitted (submitted).
+    pub requests: u64,
+    /// Requests answered (success or solver error).
+    pub completed: u64,
+    /// Requests that ended in an error reply.
+    pub errors: u64,
+    /// Warm-arena cache hits.
+    pub cache_hits: u64,
+    /// Warm-arena cache misses (each one built an engine).
+    pub cache_misses: u64,
+    /// [`Precomputed::build`] runs the cache performed — the redundancy
+    /// observable: equals the number of unique topologies when the LRU
+    /// never evicts.
+    ///
+    /// [`Precomputed::build`]: opf_admm::precompute::Precomputed::build
+    pub precompute_builds: u64,
+    /// LRU evictions.
+    pub evictions: u64,
+    /// Coalesced batch solves executed.
+    pub coalesced_batches: u64,
+    /// Requests folded into coalesced batches.
+    pub coalesce_width_sum: u64,
+    /// Widest single coalesced batch.
+    pub coalesce_width_max: u64,
+    /// Mean coalesce width (0 when no batch ran).
+    pub coalesce_width_mean: f64,
+    /// Requests solved individually with a chained warm start.
+    pub warm_chained: u64,
+    /// High-water mark of the admission queue.
+    pub queue_depth_max: u64,
+    /// Cache hit rate in `[0, 1]` (0 when no lookups).
+    pub cache_hit_rate: f64,
+    /// Median submit→reply latency, seconds.
+    pub latency_p50_s: f64,
+    /// 99th-percentile submit→reply latency, seconds.
+    pub latency_p99_s: f64,
+}
+
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    // Nearest-rank on the sorted sample.
+    let idx = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx]
+}
+
+impl ServiceStats {
+    /// Record an admission and the queue depth right after it.
+    pub fn on_submit(&self, queue_depth: usize) {
+        let mut s = self.inner.lock().unwrap();
+        s.requests += 1;
+        s.queue_depth_max = s.queue_depth_max.max(queue_depth as u64);
+    }
+
+    /// Record a cache lookup outcome; misses carry the build count the
+    /// lookup triggered (1 per engine construction).
+    pub fn on_cache(&self, hit: bool, builds: u64, evictions: u64) {
+        let mut s = self.inner.lock().unwrap();
+        if hit {
+            s.cache_hits += 1;
+        } else {
+            s.cache_misses += 1;
+        }
+        s.precompute_builds += builds;
+        s.evictions += evictions;
+    }
+
+    /// Record a coalesced batch of `width` requests.
+    pub fn on_coalesce(&self, width: usize) {
+        let mut s = self.inner.lock().unwrap();
+        s.coalesced_batches += 1;
+        s.coalesce_width_sum += width as u64;
+        s.coalesce_width_max = s.coalesce_width_max.max(width as u64);
+    }
+
+    /// Record a warm-start-chained individual solve.
+    pub fn on_warm_chained(&self) {
+        self.inner.lock().unwrap().warm_chained += 1;
+    }
+
+    /// Record a reply (and its submit→reply latency).
+    pub fn on_complete(&self, latency_s: f64, ok: bool) {
+        let mut s = self.inner.lock().unwrap();
+        s.completed += 1;
+        if !ok {
+            s.errors += 1;
+        }
+        s.latencies_s.push(latency_s);
+    }
+
+    /// Fold the counters into a snapshot.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let s = self.inner.lock().unwrap();
+        let mut lat = s.latencies_s.clone();
+        lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let lookups = s.cache_hits + s.cache_misses;
+        StatsSnapshot {
+            requests: s.requests,
+            completed: s.completed,
+            errors: s.errors,
+            cache_hits: s.cache_hits,
+            cache_misses: s.cache_misses,
+            precompute_builds: s.precompute_builds,
+            evictions: s.evictions,
+            coalesced_batches: s.coalesced_batches,
+            coalesce_width_sum: s.coalesce_width_sum,
+            coalesce_width_max: s.coalesce_width_max,
+            coalesce_width_mean: if s.coalesced_batches == 0 {
+                0.0
+            } else {
+                s.coalesce_width_sum as f64 / s.coalesced_batches as f64
+            },
+            warm_chained: s.warm_chained,
+            queue_depth_max: s.queue_depth_max,
+            cache_hit_rate: if lookups == 0 {
+                0.0
+            } else {
+                s.cache_hits as f64 / lookups as f64
+            },
+            latency_p50_s: quantile(&lat, 0.50),
+            latency_p99_s: quantile(&lat, 0.99),
+        }
+    }
+}
+
+impl StatsSnapshot {
+    /// Render the snapshot as `opf-telemetry/v1` counters (latencies in
+    /// integer microseconds — the schema's counters are `u64`).
+    pub fn to_telemetry_report(&self) -> TelemetryReport {
+        let mut rec = TelemetryRecorder::new();
+        rec.set_backend("service");
+        rec.on_counter("service.requests", self.requests);
+        rec.on_counter("service.completed", self.completed);
+        rec.on_counter("service.errors", self.errors);
+        rec.on_counter("service.cache_hits", self.cache_hits);
+        rec.on_counter("service.cache_misses", self.cache_misses);
+        rec.on_counter("service.precompute_builds", self.precompute_builds);
+        rec.on_counter("service.evictions", self.evictions);
+        rec.on_counter("service.coalesced_batches", self.coalesced_batches);
+        rec.on_counter("service.coalesce_width_sum", self.coalesce_width_sum);
+        rec.on_counter("service.coalesce_width_max", self.coalesce_width_max);
+        rec.on_counter("service.warm_chained", self.warm_chained);
+        rec.on_counter("service.queue_depth_max", self.queue_depth_max);
+        rec.on_counter(
+            "service.cache_hit_rate_ppm",
+            (self.cache_hit_rate * 1e6).round() as u64,
+        );
+        rec.on_counter(
+            "service.latency_p50_us",
+            (self.latency_p50_s * 1e6).round() as u64,
+        );
+        rec.on_counter(
+            "service.latency_p99_us",
+            (self.latency_p99_s * 1e6).round() as u64,
+        );
+        rec.report()
+    }
+
+    /// Render the snapshot as a JSON object (the `service` bench section).
+    pub fn to_json(&self) -> serde_json::Value {
+        serde_json::json!({
+            "requests": self.requests,
+            "completed": self.completed,
+            "errors": self.errors,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "precompute_builds": self.precompute_builds,
+            "evictions": self.evictions,
+            "cache_hit_rate": self.cache_hit_rate,
+            "coalesced_batches": self.coalesced_batches,
+            "coalesce_width_mean": self.coalesce_width_mean,
+            "coalesce_width_max": self.coalesce_width_max,
+            "warm_chained": self.warm_chained,
+            "queue_depth_max": self.queue_depth_max,
+            "latency_p50_s": self.latency_p50_s,
+            "latency_p99_s": self.latency_p99_s,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_nearest_rank() {
+        let v = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&v, 0.50), 2.0);
+        assert_eq!(quantile(&v, 0.99), 4.0);
+        assert_eq!(quantile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn snapshot_folds_counters() {
+        let st = ServiceStats::default();
+        st.on_submit(3);
+        st.on_submit(1);
+        st.on_cache(false, 1, 0);
+        st.on_cache(true, 0, 0);
+        st.on_coalesce(4);
+        st.on_complete(0.010, true);
+        st.on_complete(0.030, true);
+        let s = st.snapshot();
+        assert_eq!(s.requests, 2);
+        assert_eq!(s.queue_depth_max, 3);
+        assert_eq!(s.precompute_builds, 1);
+        assert_eq!(s.cache_hit_rate, 0.5);
+        assert_eq!(s.coalesce_width_max, 4);
+        assert_eq!(s.latency_p50_s, 0.010);
+        assert_eq!(s.latency_p99_s, 0.030);
+    }
+
+    #[test]
+    fn telemetry_counters_round_trip() {
+        let st = ServiceStats::default();
+        st.on_submit(1);
+        st.on_cache(false, 1, 0);
+        st.on_complete(0.5, true);
+        let rep = st.snapshot().to_telemetry_report();
+        assert_eq!(rep.schema, opf_telemetry::SCHEMA_VERSION);
+        assert_eq!(rep.counter("service.requests"), 1);
+        assert_eq!(rep.counter("service.latency_p50_us"), 500_000);
+        let back = TelemetryReport::from_json_str(&rep.to_json_string()).unwrap();
+        assert_eq!(back.counter("service.precompute_builds"), 1);
+    }
+}

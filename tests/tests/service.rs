@@ -1,0 +1,213 @@
+//! Service-layer integration: concurrent clients against one persistent
+//! daemon must build each topology's arena exactly once (counted against
+//! the unique content hashes actually requested), and cache-hit solves
+//! must stay bit-identical to cold single-engine solves.
+
+use std::sync::Arc;
+use std::thread;
+
+use opf_admm::prelude::*;
+use opf_integration::decompose_net;
+use opf_net::feeders;
+use opf_service::{topology_key, JobRequest, OpfService, ServiceConfig};
+
+fn opts() -> AdmmOptions {
+    AdmmOptions::builder().eps_rel(0.0).max_iters(80).build()
+}
+
+/// A fresh engine + single-scenario batch, the reference the service
+/// path must match bit for bit.
+fn cold_solve(net_name: &str, load: f64, bound: f64, options: &AdmmOptions) -> SolveOutcome {
+    let net = feeders::by_name(net_name).expect("known feeder");
+    let dec = decompose_net(&net);
+    let engine = Engine::new(&dec).expect("cold engine");
+    let batch = ScenarioBatch::from_scales(engine.solver(), &[(load, bound)]).expect("batch");
+    engine
+        .solve_scenario(&batch, 0, &SolveRequest::new(options.clone()))
+        .expect("cold solve")
+}
+
+#[test]
+fn concurrent_clients_build_one_arena_per_unique_topology() {
+    let service = OpfService::start(ServiceConfig {
+        cache_capacity: 4,
+        workers: 2,
+        options: opts(),
+    });
+
+    // Two distinct topologies → exactly two content hashes.
+    let feeders_used = ["ieee13", "ieee123"];
+    let unique_hashes: std::collections::BTreeSet<u64> = feeders_used
+        .iter()
+        .map(|name| {
+            let net = feeders::by_name(name).expect("known feeder");
+            topology_key(&decompose_net(&net)).0
+        })
+        .collect();
+    assert_eq!(unique_hashes.len(), 2, "fixture feeders must hash apart");
+
+    let handles: Vec<_> = (0..8)
+        .map(|t| {
+            let service = Arc::clone(&service);
+            thread::spawn(move || {
+                let mut replies = Vec::new();
+                for r in 0..4 {
+                    let name = feeders_used[(t + r) % feeders_used.len()];
+                    let load = 1.0 + 0.01 * (t * 4 + r) as f64;
+                    let reply = service.solve(JobRequest::feeder(name).with_load_scale(load));
+                    replies.push(reply);
+                }
+                replies
+            })
+        })
+        .collect();
+
+    let mut seen_hashes = std::collections::BTreeSet::new();
+    for handle in handles {
+        for reply in handle.join().expect("client thread") {
+            let out = reply.outcome.expect("service solve");
+            assert!(out.iterations > 0, "solve ran no iterations");
+            seen_hashes.insert(reply.topology.0);
+        }
+    }
+    assert_eq!(
+        seen_hashes, unique_hashes,
+        "replies tagged with wrong hashes"
+    );
+
+    let stats = service.stats();
+    assert_eq!(stats.completed, 32);
+    assert_eq!(stats.errors, 0);
+    assert_eq!(
+        stats.precompute_builds,
+        unique_hashes.len() as u64,
+        "every request past the first per topology must reuse the warm arena"
+    );
+    service.shutdown();
+}
+
+#[test]
+fn cache_hit_solve_is_bit_identical_to_cold_engine() {
+    let options = opts();
+    let service = OpfService::start(ServiceConfig {
+        cache_capacity: 2,
+        workers: 1,
+        options: options.clone(),
+    });
+
+    // First request warms the arena; the second is the cache hit under
+    // test. Both are anonymous so no warm-start chaining perturbs them.
+    let warmup = service.solve(JobRequest::feeder("ieee13"));
+    warmup.outcome.expect("warmup solve");
+
+    let hit = service.solve(
+        JobRequest::feeder("ieee13")
+            .with_load_scale(1.05)
+            .with_bound_scale(0.95),
+    );
+    assert!(
+        hit.cache_hit,
+        "second same-topology request must hit the cache"
+    );
+    let hot = hit.outcome.expect("cache-hit solve");
+
+    let cold = cold_solve("ieee13", 1.05, 0.95, &options);
+    assert_eq!(hot.x, cold.x, "x diverged from cold solve");
+    assert_eq!(hot.z, cold.z, "z diverged from cold solve");
+    assert_eq!(hot.lambda, cold.lambda, "λ diverged from cold solve");
+    assert_eq!(hot.iterations, cold.iterations);
+    assert_eq!(
+        hot.objective.to_bits(),
+        cold.objective.to_bits(),
+        "objective diverged from cold solve"
+    );
+    service.shutdown();
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn unit(state: &mut u64) -> f64 {
+    (splitmix64(state) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Long-haul soak: a thousand mixed requests with a fixed seed. Run with
+/// `cargo test -p opf-integration --test service -- --ignored`.
+#[test]
+#[ignore = "soak: ~1000 solves, run explicitly in CI's soak lane"]
+fn soak_thousand_mixed_requests_zero_redundant_builds() {
+    const REQUESTS: usize = 1000;
+    let names = ["ieee13", "ieee13-detailed", "ieee123"];
+    let options = AdmmOptions::builder().eps_rel(0.0).max_iters(100).build();
+    let service = OpfService::start(ServiceConfig {
+        cache_capacity: 4,
+        workers: 3,
+        options: options.clone(),
+    });
+
+    let mut rng = 2026_u64;
+    let mut witnesses = Vec::new();
+    let mut done = 0usize;
+    while done < REQUESTS {
+        // Bursts keep the queue deep enough that coalescing happens.
+        let burst = 16.min(REQUESTS - done);
+        let mut tickets = Vec::with_capacity(burst);
+        for _ in 0..burst {
+            let name = names[(splitmix64(&mut rng) % names.len() as u64) as usize];
+            let load = 0.9 + 0.2 * unit(&mut rng);
+            let bound = 0.95 + 0.1 * unit(&mut rng);
+            let mut req = JobRequest::feeder(name)
+                .with_load_scale(load)
+                .with_bound_scale(bound);
+            let anonymous = !done.is_multiple_of(3);
+            if !anonymous {
+                req = req.with_client(format!("client-{}", done % 7));
+            }
+            let witness = anonymous && done.is_multiple_of(101);
+            tickets.push((
+                name,
+                load,
+                bound,
+                witness,
+                service.submit(req).expect("submit"),
+            ));
+            done += 1;
+        }
+        for (name, load, bound, witness, ticket) in tickets {
+            let reply = ticket.wait();
+            let out = reply.outcome.expect("soak solve");
+            if witness {
+                witnesses.push((name, load, bound, out));
+            }
+        }
+    }
+
+    let stats = service.stats();
+    assert_eq!(stats.completed, REQUESTS as u64);
+    assert_eq!(stats.errors, 0);
+    assert_eq!(
+        stats.precompute_builds, 3,
+        "redundant arena build: every feeder must be built exactly once"
+    );
+    assert!(stats.coalesced_batches > 0, "soak never coalesced");
+    assert!(
+        stats.cache_hit_rate > 0.9,
+        "cache hit rate {} too low",
+        stats.cache_hit_rate
+    );
+
+    assert!(!witnesses.is_empty());
+    for (name, load, bound, hot) in witnesses {
+        let cold = cold_solve(name, load, bound, &options);
+        assert_eq!(hot.x, cold.x, "{name}: x diverged");
+        assert_eq!(hot.z, cold.z, "{name}: z diverged");
+        assert_eq!(hot.lambda, cold.lambda, "{name}: λ diverged");
+        assert_eq!(hot.objective.to_bits(), cold.objective.to_bits());
+    }
+    service.shutdown();
+}
