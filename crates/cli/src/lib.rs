@@ -10,7 +10,7 @@ use opf_admm::{
     ScenarioBatch, SolveRequest, SupervisorOptions,
 };
 use opf_model::{decompose, report, VarSpace};
-use opf_net::{feeders, ComponentGraph};
+use opf_net::{feeders, ComponentGraph, TopologyDelta};
 
 /// A parsed CLI invocation.
 // One `Command` exists per process; the size skew of the fully-optioned
@@ -47,6 +47,17 @@ pub enum Command {
         deadline_ms: Option<u64>,
         max_retries: usize,
         allow_partial: bool,
+    },
+    /// `gridflow solve <instance> --contingency-sweep [--delta SPEC]...`
+    Contingency {
+        instance: String,
+        /// Delta specs (`outage:B`, `open:S`, `close:S`, `resect:A:B`);
+        /// empty means the full N-1 line-outage set.
+        deltas: Vec<String>,
+        rho: f64,
+        eps: f64,
+        max_iters: usize,
+        telemetry_json: Option<String>,
     },
     /// `gridflow serve [--listen ADDR] [options]`
     Serve {
@@ -112,6 +123,7 @@ USAGE:
                  [--fault-delay P:D] [--fault-crash R@T]...
                  [--fault-straggler R:P]... [--quorum F]
                  [--rank-timeout-ms N]
+                 [--contingency-sweep [--delta SPEC]...]
 
 Fault injection (with --distributed N): links drop/duplicate/delay
 messages with the given seeded probabilities, rank R crashes at
@@ -146,6 +158,20 @@ scenario × component grid per kernel) — and is bit-identical to N
 sequential solves. --scenario-chain warm-starts scenario k+1 from
 scenario k (sequential). Incompatible with --distributed, --resume,
 --save-state, and --report.
+--contingency-sweep screens topology deltas against the base case:
+each delta is applied (radiality revalidated, islanded subtrees
+de-energized), the precompute arena is *patched* — only slabs of
+components incident to the change are re-factorized, everything else
+is shared byte-for-byte with the base — and the case is solved
+warm-started from the base solution. Cases rank by severity (failures,
+then non-converged, then converged by |Δ objective| descending;
+rejected deltas last). --delta picks the cases (repeatable;
+`outage:BRANCH`, `open:SWITCH`, `close:SWITCH`,
+`resect:OPEN:CLOSE`); with no --delta the full N-1 in-service
+line-outage set is screened. Patched solves are bit-identical to cold
+rebuilds of the post-delta feeder. Incompatible with --distributed,
+--scenarios, --resume, --save-state, --report, and --slab-batched;
+--telemetry-json captures the contingency.* counters.
 --deadline-ms N supervises the solve: it stops at the next
 --check-every boundary once N ms of wall clock have elapsed (with
 --scenarios the deadline spans the whole batch). --max-retries N
@@ -297,6 +323,8 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             let mut deadline_ms = None;
             let mut max_retries = 0usize;
             let mut allow_partial = false;
+            let mut contingency_sweep = false;
+            let mut delta_specs: Vec<String> = Vec::new();
             while let Some(a) = it.next() {
                 match a.as_str() {
                     "--backend" => {
@@ -394,6 +422,14 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     "--deadline-ms" => deadline_ms = Some(parse_u64(it.next(), "--deadline-ms")?),
                     "--max-retries" => max_retries = parse_usize(it.next(), "--max-retries")?,
                     "--allow-partial" => allow_partial = true,
+                    "--contingency-sweep" => contingency_sweep = true,
+                    "--delta" => {
+                        delta_specs.push(
+                            it.next()
+                                .ok_or(CliError("--delta needs a spec".into()))?
+                                .clone(),
+                        );
+                    }
                     other => return Err(CliError(format!("unknown flag {other}"))),
                 }
             }
@@ -436,6 +472,36 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                         )));
                     }
                 }
+            }
+            if !delta_specs.is_empty() && !contingency_sweep {
+                return Err(CliError(
+                    "--delta only applies with --contingency-sweep".into(),
+                ));
+            }
+            if contingency_sweep {
+                for (on, flag) in [
+                    (distributed.is_some(), "--distributed"),
+                    (scenarios > 0, "--scenarios"),
+                    (resume.is_some(), "--resume"),
+                    (save_state.is_some(), "--save-state"),
+                    (show_report, "--report"),
+                    (slab_batched, "--slab-batched"),
+                ] {
+                    if on {
+                        return Err(CliError(format!(
+                            "--contingency-sweep screens topology deltas single-process; \
+                             {flag} is not supported"
+                        )));
+                    }
+                }
+                return Ok(Command::Contingency {
+                    instance,
+                    deltas: delta_specs,
+                    rho,
+                    eps,
+                    max_iters,
+                    telemetry_json,
+                });
             }
             Ok(Command::Solve {
                 instance,
@@ -569,6 +635,45 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                 dec.total_local_rows(),
                 net.total_p_ref(),
             ))
+        }
+        Command::Contingency {
+            instance,
+            deltas,
+            rho,
+            eps,
+            max_iters,
+            telemetry_json,
+        } => {
+            let net = load(&instance)?;
+            let graph = ComponentGraph::build(&net);
+            let dec = decompose(&net, &graph).map_err(|e| CliError(e.to_string()))?;
+            let engine = Engine::new(&dec).map_err(|e| CliError(e.to_string()))?;
+            let parsed: Vec<TopologyDelta> = if deltas.is_empty() {
+                TopologyDelta::n_minus_one(&net)
+            } else {
+                deltas
+                    .iter()
+                    .map(|s| TopologyDelta::parse(s).map_err(CliError))
+                    .collect::<Result<_, _>>()?
+            };
+            let options = AdmmOptions::builder()
+                .rho(rho)
+                .eps_rel(eps)
+                .max_iters(max_iters)
+                .build();
+            let (report, tel) = opf_admm::contingency_sweep_with_telemetry(
+                &net,
+                &engine,
+                &parsed,
+                &options,
+                Some(&instance),
+            )
+            .map_err(|e| CliError(e.to_string()))?;
+            if let Some(path) = telemetry_json {
+                std::fs::write(&path, tel.to_json_string())
+                    .map_err(|e| CliError(format!("write {path}: {e}")))?;
+            }
+            Ok(render_contingency(&instance, &report))
         }
         Command::Serve {
             listen,
@@ -943,6 +1048,47 @@ fn run_batch(
     Ok(out)
 }
 
+/// Ranked contingency table: one row per case, most severe first.
+fn render_contingency(instance: &str, report: &opf_admm::ContingencyReport) -> String {
+    let totals = report.patch_totals();
+    let mut out = format!(
+        "{instance}: screened {} contingency case(s) in {:.3}s \
+         ({} converged, {} rejected)\n\
+         base case: objective {:.6}, {} iterations\n\
+         arena patching: {} slabs reused, {} re-factorized \
+         ({:.1}% of the base precompute shared per case)\n",
+        report.cases.len(),
+        report.wall_s,
+        report.converged(),
+        report.rejected(),
+        report.base_objective,
+        report.base_iterations,
+        totals.reused_slabs,
+        totals.computed_slabs,
+        100.0 * totals.reuse_fraction(),
+    );
+    out += "rank  case                     status         Δ objective      iters  dead  patch\n";
+    for (i, c) in report.cases.iter().enumerate() {
+        let patch = match &c.patch {
+            Some(p) => format!("{}/{} reused", p.reused_slabs, p.unique_slabs),
+            None => "-".into(),
+        };
+        out += &format!(
+            "{:>4}  {:<24} {:<14} {:>+14.6}  {:>7}  {:>4}  {patch}\n",
+            i + 1,
+            c.label,
+            c.status.label(),
+            c.objective_delta,
+            c.iterations,
+            c.de_energized,
+        );
+        if let opf_admm::CaseStatus::Rejected(why) | opf_admm::CaseStatus::Failed(why) = &c.status {
+            out += &format!("      └ {why}\n");
+        }
+    }
+    out
+}
+
 /// Warm-start iterates `(x, z, λ)` as stored in a checkpoint file.
 type WarmState = (Vec<f64>, Vec<f64>, Vec<f64>);
 
@@ -1025,6 +1171,73 @@ mod tests {
         assert_eq!(parse(&sv(&["help"])), Ok(Command::Help));
         assert_eq!(parse(&[]), Ok(Command::Help));
         assert!(parse(&sv(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn parses_contingency_flags() {
+        let c = parse(&sv(&[
+            "solve",
+            "ieee13",
+            "--contingency-sweep",
+            "--delta",
+            "outage:632-645",
+            "--delta",
+            "resect:684-611:sw671-692",
+            "--eps",
+            "1e-4",
+            "--telemetry-json",
+            "tel.json",
+        ]))
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Contingency {
+                instance: "ieee13".into(),
+                deltas: sv(&["outage:632-645", "resect:684-611:sw671-692"]),
+                rho: 100.0,
+                eps: 1e-4,
+                max_iters: 200_000,
+                telemetry_json: Some("tel.json".into()),
+            }
+        );
+        // No --delta ⇒ the full N-1 set, resolved at run time.
+        let c = parse(&sv(&["solve", "ieee123", "--contingency-sweep"])).unwrap();
+        assert!(matches!(c, Command::Contingency { ref deltas, .. } if deltas.is_empty()));
+        // Sweeps are single-process and delta-free solves take no --delta.
+        for bad in [
+            &[
+                "solve",
+                "ieee13",
+                "--contingency-sweep",
+                "--distributed",
+                "2",
+            ][..],
+            &["solve", "ieee13", "--contingency-sweep", "--scenarios", "4"][..],
+            &["solve", "ieee13", "--contingency-sweep", "--report"][..],
+            &["solve", "ieee13", "--delta", "outage:632-645"][..],
+        ] {
+            assert!(parse(&sv(bad)).is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn contingency_sweep_screens_and_ranks() {
+        let out = run(Command::Contingency {
+            instance: "ieee13-detailed".into(),
+            deltas: sv(&["open:sw671-692", "outage:nonesuch"]),
+            rho: 100.0,
+            eps: 1e-3,
+            max_iters: 20_000,
+            telemetry_json: None,
+        })
+        .unwrap();
+        assert!(out.contains("screened 2 contingency case(s)"), "{out}");
+        assert!(out.contains("1 converged, 1 rejected"), "{out}");
+        assert!(out.contains("open:sw671-692"), "{out}");
+        assert!(out.contains("slabs reused"), "{out}");
+        // The unknown branch is reported inline, ranked last.
+        assert!(out.contains("rejected"), "{out}");
+        assert!(out.contains("nonesuch"), "{out}");
     }
 
     #[test]

@@ -1,0 +1,481 @@
+//! N-1 contingency screening over topology deltas (ROADMAP item 3).
+//!
+//! A contingency sweep takes a base network, its already-built
+//! [`Engine`], and a list of [`TopologyDelta`]s (by default the N-1
+//! line-outage set). Each case:
+//!
+//! 1. applies the delta (`opf-net` revalidates radiality and
+//!    de-energizes islanded buses),
+//! 2. re-decomposes the post-delta network (cheap integer/RREF work on
+//!    the few components whose equations changed),
+//! 3. **patches** the base precompute arena ([`Precomputed::patched`]):
+//!    every slab whose `(A_s, b_s)` survived the delta is copied
+//!    byte-for-byte, only the components incident to the change are
+//!    re-factorized — N−1 of the precompute is shared with the base,
+//! 4. solves warm-started from the base-case solution (`x` carries over
+//!    unchanged — deltas preserve the variable space; `z` is re-gathered
+//!    through the patched layout, `λ` restarts at zero).
+//!
+//! The report ranks cases the way `DegradationReport` ranks fault runs:
+//! solver failures first, non-converged cases next (no post-contingency
+//! feasibility certificate), then converged cases by `|Δ objective|`
+//! descending; structurally rejected deltas (radiality violations,
+//! no-ops) sort last. Bit-identity is pinned by tests: a patched-arena
+//! solve equals a cold rebuild of the post-delta feeder bit-for-bit.
+
+use crate::engine::{Engine, SolveError, SolveOutcome, SolveRequest, WarmStart};
+use crate::precompute::{PatchStats, Precomputed};
+use crate::solver::SolverFreeAdmm;
+use crate::types::AdmmOptions;
+use opf_model::decompose;
+use opf_net::{ComponentGraph, DeltaError, Network, TopologyDelta};
+use opf_telemetry::{IterationObserver, NoopObserver, TelemetryRecorder, TelemetryReport};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// How one contingency case ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CaseStatus {
+    /// Solved and converged: the post-contingency OPF is certified.
+    Converged,
+    /// Solved but hit the iteration limit — no feasibility certificate.
+    NotConverged,
+    /// The delta could not be applied (radiality violation, unknown
+    /// branch, no-op). The case never reached the solver.
+    Rejected(String),
+    /// Decompose/patch/solve error after a structurally valid delta.
+    Failed(String),
+}
+
+impl CaseStatus {
+    /// Ranking class: failures outrank non-convergence outrank converged
+    /// cases; rejected deltas sort last.
+    fn severity(&self) -> u8 {
+        match self {
+            CaseStatus::Failed(_) => 3,
+            CaseStatus::NotConverged => 2,
+            CaseStatus::Converged => 1,
+            CaseStatus::Rejected(_) => 0,
+        }
+    }
+
+    /// Short label for reports (`"converged"`, `"not-converged"`, …).
+    pub fn label(&self) -> &'static str {
+        match self {
+            CaseStatus::Converged => "converged",
+            CaseStatus::NotConverged => "not-converged",
+            CaseStatus::Rejected(_) => "rejected",
+            CaseStatus::Failed(_) => "failed",
+        }
+    }
+}
+
+/// One screened contingency.
+#[derive(Debug, Clone)]
+pub struct ContingencyOutcome {
+    /// The delta's [`TopologyDelta::label`].
+    pub label: String,
+    /// How the case ended.
+    pub status: CaseStatus,
+    /// Post-contingency objective (0 unless solved).
+    pub objective: f64,
+    /// `objective − base_objective` (0 unless solved).
+    pub objective_delta: f64,
+    /// Iterations the solve took (0 unless solved).
+    pub iterations: usize,
+    /// Buses de-energized by the delta (islanded subtrees).
+    pub de_energized: usize,
+    /// What the arena patch reused vs. re-factorized (absent when the
+    /// delta was rejected before patching).
+    pub patch: Option<PatchStats>,
+    /// Wall-clock of decompose + arena patch.
+    pub patch_s: f64,
+    /// Wall-clock of the solve.
+    pub solve_s: f64,
+}
+
+/// A ranked contingency screening report.
+#[derive(Debug, Clone)]
+pub struct ContingencyReport {
+    /// Base-case objective the deltas are measured against.
+    pub base_objective: f64,
+    /// Base-case iteration count.
+    pub base_iterations: usize,
+    /// Screened cases, most severe first (see [`CaseStatus::severity`];
+    /// converged cases rank by `|Δ objective|` descending).
+    pub cases: Vec<ContingencyOutcome>,
+    /// Host wall-clock for the whole sweep (base solve included).
+    pub wall_s: f64,
+}
+
+impl ContingencyReport {
+    /// Cases that reached the solver and converged.
+    pub fn converged(&self) -> usize {
+        self.cases
+            .iter()
+            .filter(|c| c.status == CaseStatus::Converged)
+            .count()
+    }
+
+    /// Cases rejected at delta application.
+    pub fn rejected(&self) -> usize {
+        self.cases
+            .iter()
+            .filter(|c| matches!(c.status, CaseStatus::Rejected(_)))
+            .count()
+    }
+
+    /// Aggregate patch stats over every patched case.
+    pub fn patch_totals(&self) -> PatchStats {
+        let mut t = PatchStats {
+            unique_slabs: 0,
+            reused_slabs: 0,
+            computed_slabs: 0,
+        };
+        for c in self.cases.iter().filter_map(|c| c.patch.as_ref()) {
+            t.unique_slabs += c.unique_slabs;
+            t.reused_slabs += c.reused_slabs;
+            t.computed_slabs += c.computed_slabs;
+        }
+        t
+    }
+}
+
+/// A patched engine for one applied delta, ready to solve.
+#[derive(Debug, Clone)]
+pub struct PatchedCase {
+    /// Engine over the post-delta problem with the patched arena.
+    pub engine: Engine,
+    /// What the patch reused vs. re-factorized.
+    pub stats: PatchStats,
+    /// Buses the delta de-energized.
+    pub de_energized: usize,
+}
+
+/// Why a delta never became a [`PatchedCase`].
+#[derive(Debug, Clone)]
+pub enum ContingencyError {
+    /// The delta was structurally invalid on this network.
+    Delta(DeltaError),
+    /// The post-delta network failed to decompose or factorize.
+    Build(String),
+}
+
+impl std::fmt::Display for ContingencyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ContingencyError::Delta(e) => write!(f, "delta rejected: {e}"),
+            ContingencyError::Build(e) => write!(f, "post-delta build failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ContingencyError {}
+
+/// Apply one delta to `net` and build an engine over it by patching
+/// `base`'s precompute arena — the single-case entry point the sweep,
+/// the CLI, and the service verb all share.
+pub fn patched_case(
+    net: &Network,
+    base: &Engine,
+    delta: &TopologyDelta,
+) -> Result<PatchedCase, ContingencyError> {
+    let applied = delta.apply(net).map_err(ContingencyError::Delta)?;
+    let graph = ComponentGraph::build(&applied.network);
+    let dec =
+        decompose(&applied.network, &graph).map_err(|e| ContingencyError::Build(e.to_string()))?;
+    let (pre, stats) = base
+        .solver()
+        .precomputed()
+        .patched(base.problem(), &dec)
+        .map_err(|e| ContingencyError::Build(e.to_string()))?;
+    let solver = SolverFreeAdmm::from_parts(Arc::new(dec), Arc::new(pre));
+    Ok(PatchedCase {
+        engine: Engine::from_solver(solver),
+        stats,
+        de_energized: applied.de_energized.len(),
+    })
+}
+
+/// Warm start for a patched case: the base `x` clipped to the
+/// post-delta bounds, `z` re-gathered through the patched stacked
+/// layout, `λ` restarted at zero (the stacked dual space changed shape
+/// with the component structure).
+fn case_warm_start(base: &SolveOutcome, engine: &Engine) -> Option<WarmStart> {
+    let dec = engine.problem();
+    if base.x.len() != dec.n {
+        return None;
+    }
+    let mut x = base.x.clone();
+    opf_linalg::vec_ops::clip(&mut x, &dec.lower, &dec.upper);
+    let pre: &Precomputed = engine.solver().precomputed();
+    let z: Vec<f64> = pre.stacked_to_global.iter().map(|&g| x[g]).collect();
+    let lambda = vec![0.0; pre.total_dim()];
+    Some(WarmStart::new(x, z, lambda))
+}
+
+/// Screen `deltas` against `net`/`base` (see module docs), emitting
+/// `contingency.*` telemetry counters on `obs`.
+pub fn contingency_sweep_observed<O: IterationObserver>(
+    net: &Network,
+    base: &Engine,
+    deltas: &[TopologyDelta],
+    options: &AdmmOptions,
+    obs: &mut O,
+) -> Result<ContingencyReport, SolveError> {
+    let sweep_start = Instant::now();
+    let base_out = base.solve(&SolveRequest::new(options.clone()))?;
+
+    let mut cases = Vec::with_capacity(deltas.len());
+    for delta in deltas {
+        let label = delta.label();
+        let patch_start = Instant::now();
+        let case = match patched_case(net, base, delta) {
+            Ok(c) => c,
+            Err(e) => {
+                let status = match e {
+                    ContingencyError::Delta(d) => CaseStatus::Rejected(d.to_string()),
+                    ContingencyError::Build(b) => CaseStatus::Failed(b),
+                };
+                cases.push(ContingencyOutcome {
+                    label,
+                    status,
+                    objective: 0.0,
+                    objective_delta: 0.0,
+                    iterations: 0,
+                    de_energized: 0,
+                    patch: None,
+                    patch_s: patch_start.elapsed().as_secs_f64(),
+                    solve_s: 0.0,
+                });
+                continue;
+            }
+        };
+        let patch_s = patch_start.elapsed().as_secs_f64();
+
+        let mut req = SolveRequest::new(options.clone());
+        if let Some(ws) = case_warm_start(&base_out, &case.engine) {
+            req = req.with_warm_start(ws);
+        }
+        let solve_start = Instant::now();
+        let outcome = match case.engine.solve(&req) {
+            Ok(out) => out,
+            Err(e) => {
+                cases.push(ContingencyOutcome {
+                    label,
+                    status: CaseStatus::Failed(e.to_string()),
+                    objective: 0.0,
+                    objective_delta: 0.0,
+                    iterations: 0,
+                    de_energized: case.de_energized,
+                    patch: Some(case.stats),
+                    patch_s,
+                    solve_s: solve_start.elapsed().as_secs_f64(),
+                });
+                continue;
+            }
+        };
+        cases.push(ContingencyOutcome {
+            label,
+            status: if outcome.converged {
+                CaseStatus::Converged
+            } else {
+                CaseStatus::NotConverged
+            },
+            objective: outcome.objective,
+            objective_delta: outcome.objective - base_out.objective,
+            iterations: outcome.iterations,
+            de_energized: case.de_energized,
+            patch: Some(case.stats),
+            patch_s,
+            solve_s: solve_start.elapsed().as_secs_f64(),
+        });
+    }
+
+    // Severity ranking (stable sort keeps equal-severity cases in delta
+    // order, so reports are deterministic).
+    cases.sort_by(|a, b| {
+        (b.status.severity(), b.objective_delta.abs())
+            .partial_cmp(&(a.status.severity(), a.objective_delta.abs()))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+
+    let mut iterations_total = 0usize;
+    let mut converged = 0u64;
+    let mut rejected = 0u64;
+    let mut failed = 0u64;
+    let mut reused = 0u64;
+    let mut computed = 0u64;
+    let mut de_energized = 0u64;
+    for c in &cases {
+        iterations_total += c.iterations;
+        de_energized += c.de_energized as u64;
+        match &c.status {
+            CaseStatus::Converged => converged += 1,
+            CaseStatus::Rejected(_) => rejected += 1,
+            CaseStatus::Failed(_) => failed += 1,
+            CaseStatus::NotConverged => {}
+        }
+        if let Some(p) = &c.patch {
+            reused += p.reused_slabs as u64;
+            computed += p.computed_slabs as u64;
+        }
+    }
+    obs.on_counter("contingency.cases", cases.len() as u64);
+    obs.on_counter("contingency.converged", converged);
+    obs.on_counter("contingency.rejected", rejected);
+    obs.on_counter("contingency.failed", failed);
+    obs.on_counter("contingency.iterations_total", iterations_total as u64);
+    obs.on_counter("contingency.slabs_reused", reused);
+    obs.on_counter("contingency.slabs_computed", computed);
+    obs.on_counter("contingency.de_energized_buses", de_energized);
+
+    Ok(ContingencyReport {
+        base_objective: base_out.objective,
+        base_iterations: base_out.iterations,
+        cases,
+        wall_s: sweep_start.elapsed().as_secs_f64(),
+    })
+}
+
+/// [`contingency_sweep_observed`] with no observer attached.
+pub fn contingency_sweep(
+    net: &Network,
+    base: &Engine,
+    deltas: &[TopologyDelta],
+    options: &AdmmOptions,
+) -> Result<ContingencyReport, SolveError> {
+    contingency_sweep_observed(net, base, deltas, options, &mut NoopObserver)
+}
+
+/// [`contingency_sweep_observed`] through a [`TelemetryRecorder`], so the
+/// `contingency.*` counters land in a rendered report.
+pub fn contingency_sweep_with_telemetry(
+    net: &Network,
+    base: &Engine,
+    deltas: &[TopologyDelta],
+    options: &AdmmOptions,
+    instance: Option<&str>,
+) -> Result<(ContingencyReport, TelemetryReport), SolveError> {
+    let mut rec = TelemetryRecorder::new();
+    if let Some(name) = instance {
+        rec.set_instance(name);
+    }
+    let report = contingency_sweep_observed(net, base, deltas, options, &mut rec)?;
+    Ok((report, rec.report()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::precompute::{build_count, patch_count};
+    use opf_net::feeders;
+
+    fn engine_for(net: &Network) -> Engine {
+        let graph = ComponentGraph::build(net);
+        let dec = decompose(net, &graph).unwrap();
+        Engine::from_shared(Arc::new(dec)).unwrap()
+    }
+
+    fn quick_opts() -> AdmmOptions {
+        AdmmOptions::builder().max_iters(20_000).build()
+    }
+
+    #[test]
+    fn patched_case_is_bit_identical_to_cold_rebuild() {
+        let net = feeders::ieee13_detailed();
+        let base = engine_for(&net);
+        let delta = TopologyDelta::SwitchState {
+            switch: "sw671-692".into(),
+            closed: false,
+        };
+        let case = patched_case(&net, &base, &delta).unwrap();
+        assert!(case.stats.computed_slabs > 0);
+        assert!(case.stats.reused_slabs > case.stats.computed_slabs);
+
+        // Cold rebuild of the post-delta feeder.
+        let applied = delta.apply(&net).unwrap();
+        let graph = ComponentGraph::build(&applied.network);
+        let dec = decompose(&applied.network, &graph).unwrap();
+        let cold = Engine::from_shared(Arc::new(dec)).unwrap();
+
+        let warm_pre = case.engine.solver().precomputed();
+        let cold_pre = cold.solver().precomputed();
+        assert_eq!(warm_pre.abar_data, cold_pre.abar_data);
+        assert_eq!(warm_pre.bbar, cold_pre.bbar);
+        assert_eq!(warm_pre.slab_id, cold_pre.slab_id);
+        assert_eq!(warm_pre.group_members, cold_pre.group_members);
+
+        let opts = quick_opts();
+        let a = case.engine.solve(&SolveRequest::new(opts.clone())).unwrap();
+        let b = cold.solve(&SolveRequest::new(opts)).unwrap();
+        assert_eq!(a.x, b.x, "patched vs cold solve diverged");
+        assert_eq!(a.objective.to_bits(), b.objective.to_bits());
+        assert_eq!(a.iterations, b.iterations);
+    }
+
+    #[test]
+    fn sweep_patches_instead_of_rebuilding() {
+        let net = feeders::ieee13();
+        let base = engine_for(&net);
+        let deltas = TopologyDelta::n_minus_one(&net);
+        let builds_before = build_count();
+        let patches_before = patch_count();
+        let report = contingency_sweep(&net, &base, &deltas, &quick_opts()).unwrap();
+        assert_eq!(report.cases.len(), deltas.len());
+        // Every case patched; zero full precompute builds in the sweep.
+        assert_eq!(build_count() - builds_before, 0);
+        assert_eq!(patch_count() - patches_before, deltas.len() as u64);
+        let totals = report.patch_totals();
+        assert!(
+            totals.reused_slabs > totals.computed_slabs,
+            "sweep should reuse most slabs ({totals:?})"
+        );
+        // Severity ranking: converged cases ordered by |Δobj| descending.
+        let deltas_abs: Vec<f64> = report
+            .cases
+            .iter()
+            .filter(|c| c.status == CaseStatus::Converged)
+            .map(|c| c.objective_delta.abs())
+            .collect();
+        for w in deltas_abs.windows(2) {
+            assert!(w[0] >= w[1], "converged cases out of rank order");
+        }
+    }
+
+    #[test]
+    fn rejected_deltas_rank_last_and_do_not_poison_the_sweep() {
+        let net = feeders::ieee13();
+        let base = engine_for(&net);
+        let deltas = vec![
+            TopologyDelta::LineOutage {
+                branch: net.branches[1].name.clone(),
+            },
+            TopologyDelta::LineOutage {
+                branch: "nonesuch".into(),
+            },
+        ];
+        let report = contingency_sweep(&net, &base, &deltas, &quick_opts()).unwrap();
+        assert_eq!(report.cases.len(), 2);
+        assert_eq!(report.rejected(), 1);
+        assert!(matches!(
+            report.cases.last().unwrap().status,
+            CaseStatus::Rejected(_)
+        ));
+    }
+
+    #[test]
+    fn sweep_counters_land_in_telemetry() {
+        let net = feeders::ieee13();
+        let base = engine_for(&net);
+        let deltas = vec![TopologyDelta::LineOutage {
+            branch: net.branches[2].name.clone(),
+        }];
+        let (report, tel) =
+            contingency_sweep_with_telemetry(&net, &base, &deltas, &quick_opts(), Some("ieee13"))
+                .unwrap();
+        assert_eq!(report.cases.len(), 1);
+        assert_eq!(tel.counter("contingency.cases"), 1);
+        assert!(tel.counter("contingency.slabs_reused") > 0);
+    }
+}

@@ -757,6 +757,18 @@ impl SolverFreeAdmm {
                             &lambda,
                         );
                         let mut stop = final_res.converged();
+                        if stop && missing_any {
+                            // Stale-slice guard: a live slice that missed
+                            // this round's quorum still holds its previous
+                            // iterate, so it contributes exactly zero to
+                            // `dres = ρ‖z − z_prev‖` — the residual test is
+                            // deflated, not passed. Only a round where every
+                            // live slice arrived is allowed to declare
+                            // convergence. (Dead ranks' partitions are
+                            // adopted and always fresh, so a permanent crash
+                            // cannot block termination.)
+                            stop = false;
+                        }
                         if active && stop {
                             // λ-drift guard (see `nonideal`): stale duals
                             // must have actually settled, not merely

@@ -16,6 +16,7 @@
 pub mod batch;
 pub mod benchmark;
 pub mod cluster;
+pub mod contingency;
 pub mod diagnose;
 pub mod distributed;
 pub mod engine;
@@ -30,6 +31,10 @@ pub mod updates;
 pub use batch::{BatchOutcome, BatchRequest, ScenarioBatch};
 pub use benchmark::{BenchmarkAdmm, QpStats};
 pub use cluster::{partition_components, ClusterBreakdown, ClusterSpec, RankKind};
+pub use contingency::{
+    contingency_sweep, contingency_sweep_with_telemetry, CaseStatus, ContingencyOutcome,
+    ContingencyReport, PatchedCase,
+};
 pub use diagnose::{gap_report, worst_components, ComponentGap};
 pub use distributed::{
     CheckpointSpec, DegradationReport, DistributedOptions, DistributedOptionsBuilder,
@@ -39,7 +44,7 @@ pub use engine::{
     AdmmBackend, Engine, ExecutionMode, SolveError, SolveOutcome, SolveRequest, WarmStart,
 };
 pub use nonideal::NonIdealComm;
-pub use precompute::{Precomputed, ReferencePrecomputed};
+pub use precompute::{PatchStats, Precomputed, ReferencePrecomputed};
 pub use solver::SolverFreeAdmm;
 pub use supervise::{CancelToken, StallPolicy, StopReason, SupervisionReport, SupervisorOptions};
 pub use types::{
@@ -57,6 +62,9 @@ pub mod prelude {
     pub use crate::batch::{BatchOutcome, BatchRequest, ScenarioBatch};
     pub use crate::benchmark::{BenchmarkAdmm, QpStats};
     pub use crate::cluster::{ClusterBreakdown, ClusterSpec, RankKind};
+    pub use crate::contingency::{
+        contingency_sweep, CaseStatus, ContingencyOutcome, ContingencyReport,
+    };
     pub use crate::distributed::{
         CheckpointSpec, DegradationReport, DistributedOptions, DistributedOptionsBuilder,
         DistributedResult,

@@ -55,6 +55,40 @@ pub fn build_count() -> u64 {
     BUILD_COUNT.with(|c| c.get())
 }
 
+thread_local! {
+    /// How many times [`Precomputed::patched`] ran on this thread — the
+    /// contingency-sweep counterpart of [`BUILD_COUNT`]: sweeps assert
+    /// one full build plus one *patch* (not build) per contingency.
+    static PATCH_COUNT: Cell<u64> = const { Cell::new(0) };
+}
+
+/// The number of [`Precomputed::patched`] invocations on the current thread.
+pub fn patch_count() -> u64 {
+    PATCH_COUNT.with(|c| c.get())
+}
+
+/// What [`Precomputed::patched`] reused vs. re-factorized — the
+/// observable behind the "incremental patch ≪ full rebuild" claim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PatchStats {
+    /// Unique slabs in the patched arena.
+    pub unique_slabs: usize,
+    /// Slabs copied byte-for-byte from the base arena (content-hash hit).
+    pub reused_slabs: usize,
+    /// Slabs factorized fresh (components incident to the delta).
+    pub computed_slabs: usize,
+}
+
+impl PatchStats {
+    /// Fraction of the patched arena's slabs that were reused (in `[0, 1]`).
+    pub fn reuse_fraction(&self) -> f64 {
+        if self.unique_slabs == 0 {
+            return 1.0;
+        }
+        self.reused_slabs as f64 / self.unique_slabs as f64
+    }
+}
+
 /// Precomputed per-component data plus the stacked layout.
 #[derive(Debug, Clone)]
 pub struct Precomputed {
@@ -122,10 +156,19 @@ pub struct Precomputed {
     /// traversal) beats paying the group-order scatter for nothing.
     /// Together with the groups' full tiles this partitions `0..S`.
     pub tile_tail: Vec<usize>,
+    /// Interning bucket hash of each unique slab's `(A, b)` bits (see
+    /// [`Precomputed::patched`]): lets a patch index this arena by
+    /// content without re-reading the base decomposition's class data.
+    /// Derived from the decomposition alone, so a patched arena carries
+    /// the same hashes a cold rebuild would.
+    pub class_hash: Vec<u64>,
 }
 
+/// One factorized slab payload: `(Ā, b̄)` or the factorization error.
+type SlabResult = Result<(Mat, Vec<f64>), LinalgError>;
+
 /// Compute one component's `(Ā, b̄)` pair (15b)/(15c).
-fn compute_slab(a: &Mat, b: &[f64], n: usize, m: usize) -> Result<(Mat, Vec<f64>), LinalgError> {
+fn compute_slab(a: &Mat, b: &[f64], n: usize, m: usize) -> SlabResult {
     if m == 0 {
         // No equalities: projection onto the (empty) row space is 0;
         // Ā = −I, b̄ = 0, giving x_s = −d/ρ = B_s x + λ/ρ as expected.
@@ -149,15 +192,100 @@ fn compute_slab(a: &Mat, b: &[f64], n: usize, m: usize) -> Result<(Mat, Vec<f64>
     Ok((abar, bbar))
 }
 
-/// Content-hash key for the interning pass: the exact bits of the
-/// row-reduced `(A_s, b_s)` plus its dimensions. Bit-equality is the
-/// only safe notion here — the shared slab must be *exactly* what each
-/// member would have computed on its own.
-fn structural_key(a: &Mat, b: &[f64]) -> (usize, usize, Vec<u64>) {
-    let mut bits = Vec::with_capacity(a.data().len() + b.len());
-    bits.extend(a.data().iter().map(|v| v.to_bits()));
-    bits.extend(b.iter().map(|v| v.to_bits()));
-    (a.rows(), a.cols(), bits)
+/// FNV-1a over the dimensions and exact IEEE-754 bits of the row-reduced
+/// `(A_s, b_s)` — the interning pass's bucket hash. A collision only
+/// costs an extra [`same_inputs`] comparison; class identity itself is
+/// always decided by full bit equality, never by this hash.
+fn prehash(a: &Mat, b: &[f64]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut mix = |v: u64| {
+        h ^= v;
+        h = h.wrapping_mul(PRIME);
+    };
+    mix(a.rows() as u64);
+    mix(a.cols() as u64);
+    for v in a.data() {
+        mix(v.to_bits());
+    }
+    for v in b {
+        mix(v.to_bits());
+    }
+    h
+}
+
+/// Exact structural equality of two components' row-reduced `(A, b)`:
+/// dimensions plus bit-for-bit entries. Bit-equality is the only safe
+/// notion here — a shared slab must be *exactly* what each member would
+/// have computed on its own (`-0.0 ≠ +0.0`: their factorizations can
+/// differ in the last ulp).
+fn same_inputs(xa: &Mat, xb: &[f64], ya: &Mat, yb: &[f64]) -> bool {
+    xa.rows() == ya.rows()
+        && xa.cols() == ya.cols()
+        && xa
+            .data()
+            .iter()
+            .zip(ya.data())
+            .all(|(p, q)| p.to_bits() == q.to_bits())
+        && xb.iter().zip(yb).all(|(p, q)| p.to_bits() == q.to_bits())
+}
+
+/// Output of the interning pass: the component → slab-class map and the
+/// pre-sized arena offsets, before any factorization has run.
+struct Interned {
+    /// `slab_id[s]`: the unique slab component `s` reads.
+    slab_id: Vec<usize>,
+    /// `slab_owner[k]`: lowest-index component of class `k`.
+    slab_owner: Vec<usize>,
+    /// Arena offsets: slab `k` holds `n_k²` entries.
+    slab_off: Vec<usize>,
+    /// [`prehash`] of class `k`'s `(A, b)` bits, computed when the class
+    /// was first encountered — retained so later passes (the arena
+    /// lookup in [`Precomputed::patched`]) never re-read the class data
+    /// just to hash it.
+    class_hash: Vec<u64>,
+}
+
+/// Interning pass: map each component to a slab class (classes numbered
+/// in first-encounter order, so the arena layout is deterministic), and
+/// pre-size the arena. Pure integer/hash work — no factorization and no
+/// per-component allocation: buckets hash on [`prehash`], membership is
+/// decided by [`same_inputs`] against each candidate class's
+/// representative, read straight out of `dec`.
+fn intern(dec: &DecomposedProblem) -> Interned {
+    let mut classes: HashMap<u64, Vec<usize>> = HashMap::new();
+    let mut slab_id = Vec::with_capacity(dec.s());
+    let mut slab_owner: Vec<usize> = Vec::new();
+    let mut class_hash: Vec<u64> = Vec::new();
+    for (s, c) in dec.components.iter().enumerate() {
+        let h = prehash(&c.a, &c.b);
+        let bucket = classes.entry(h).or_default();
+        let hit = bucket.iter().copied().find(|&k| {
+            let rep = &dec.components[slab_owner[k]];
+            same_inputs(&c.a, &c.b, &rep.a, &rep.b)
+        });
+        let k = hit.unwrap_or_else(|| {
+            let k = slab_owner.len();
+            bucket.push(k);
+            slab_owner.push(s);
+            class_hash.push(h);
+            k
+        });
+        slab_id.push(k);
+    }
+    let mut slab_off = Vec::with_capacity(slab_owner.len() + 1);
+    slab_off.push(0usize);
+    for &rep in &slab_owner {
+        let n = dec.components[rep].n();
+        slab_off.push(slab_off.last().unwrap() + n * n);
+    }
+    Interned {
+        slab_id,
+        slab_owner,
+        slab_off,
+        class_hash,
+    }
 }
 
 impl Precomputed {
@@ -171,33 +299,11 @@ impl Precomputed {
     /// SPD — i.e. the decomposition skipped row reduction.
     pub fn build(dec: &DecomposedProblem) -> Result<Self, LinalgError> {
         BUILD_COUNT.with(|c| c.set(c.get() + 1));
-        let s_total = dec.s();
-
-        // Interning pass: map each component to a slab class (classes
-        // numbered in first-encounter order, so the arena layout is
-        // deterministic).
-        let mut classes: HashMap<(usize, usize, Vec<u64>), usize> = HashMap::new();
-        let mut slab_id = Vec::with_capacity(s_total);
-        let mut slab_owner: Vec<usize> = Vec::new();
-        for (s, c) in dec.components.iter().enumerate() {
-            let next = slab_owner.len();
-            let k = *classes.entry(structural_key(&c.a, &c.b)).or_insert(next);
-            if k == next {
-                slab_owner.push(s);
-            }
-            slab_id.push(k);
-        }
-
-        // Pre-size the arena: slab k holds n_k² entries.
-        let mut slab_off = Vec::with_capacity(slab_owner.len() + 1);
-        slab_off.push(0usize);
-        for &rep in &slab_owner {
-            let n = dec.components[rep].n();
-            slab_off.push(slab_off.last().unwrap() + n * n);
-        }
+        let it = intern(dec);
 
         // Factorize once per unique class (component-parallel).
-        let per_class: Vec<Result<(Mat, Vec<f64>), LinalgError>> = slab_owner
+        let per_class: Vec<SlabResult> = it
+            .slab_owner
             .par_iter()
             .map(|&rep| {
                 let c = &dec.components[rep];
@@ -206,14 +312,120 @@ impl Precomputed {
             .collect();
 
         // Pack the slabs into the arena and keep the class b̄ vectors for
-        // the stacked scatter below.
-        let mut abar_data = vec![0.0f64; *slab_off.last().unwrap()];
-        let mut class_bbar: Vec<Vec<f64>> = Vec::with_capacity(slab_owner.len());
+        // the stacked scatter in `assemble`.
+        let mut abar_data = vec![0.0f64; *it.slab_off.last().unwrap()];
+        let mut class_bbar: Vec<Vec<f64>> = Vec::with_capacity(it.slab_owner.len());
         for (k, r) in per_class.into_iter().enumerate() {
             let (a, b) = r?;
-            abar_data[slab_off[k]..slab_off[k + 1]].copy_from_slice(a.data());
+            abar_data[it.slab_off[k]..it.slab_off[k + 1]].copy_from_slice(a.data());
             class_bbar.push(b);
         }
+
+        Ok(Self::assemble(dec, it, abar_data, class_bbar))
+    }
+
+    /// Patch this precompute onto a delta'd decomposition: reuse every
+    /// slab whose row-reduced `(A_s, b_s)` already exists in the base
+    /// arena (byte-for-byte copy — the content-hash key *is* the slab's
+    /// input, so the cached factorization is exactly what a cold build
+    /// would produce) and factorize only the classes the delta created.
+    /// A line outage touches the handful of components incident to the
+    /// line, so almost every class hits.
+    ///
+    /// `base_dec` must be the decomposition this precompute was built
+    /// from; `dec` is the post-delta decomposition. The result is
+    /// bit-identical to `Precomputed::build(dec)` — pinned by the
+    /// differential tests — because class numbering, arena packing, and
+    /// the assembly pass depend only on `dec`, and slab payloads are
+    /// either verbatim copies keyed on their full input bits or fresh
+    /// deterministic factorizations.
+    pub fn patched(
+        &self,
+        base_dec: &DecomposedProblem,
+        dec: &DecomposedProblem,
+    ) -> Result<(Self, PatchStats), LinalgError> {
+        PATCH_COUNT.with(|c| c.set(c.get() + 1));
+        let it = intern(dec);
+
+        // Index the base arena by content hash. The hashes were computed
+        // when the base interned its classes ([`Precomputed::class_hash`]),
+        // so this is pure integer work — no pass over the base class
+        // data. Hits are confirmed by full bit comparison against the
+        // base representative, so a bucket collision can never alias two
+        // distinct slabs.
+        let mut base_classes: HashMap<u64, Vec<usize>> = HashMap::new();
+        for (k, &h) in self.class_hash.iter().enumerate() {
+            base_classes.entry(h).or_default().push(k);
+        }
+
+        let mut abar_data = vec![0.0f64; *it.slab_off.last().unwrap()];
+        let mut class_bbar: Vec<Vec<f64>> = vec![Vec::new(); it.slab_owner.len()];
+        let mut misses: Vec<usize> = Vec::new();
+        for (k, &rep) in it.slab_owner.iter().enumerate() {
+            let c = &dec.components[rep];
+            let hit = base_classes.get(&it.class_hash[k]).and_then(|bucket| {
+                bucket.iter().copied().find(|&base_k| {
+                    let b = &base_dec.components[self.slab_owner[base_k]];
+                    same_inputs(&c.a, &c.b, &b.a, &b.b)
+                })
+            });
+            match hit {
+                Some(base_k) => {
+                    abar_data[it.slab_off[k]..it.slab_off[k + 1]]
+                        .copy_from_slice(self.abar_slab(base_k));
+                    // The base slab owner's b̄ slice is the class b̄.
+                    class_bbar[k] = self.bbar_slice(self.slab_owner[base_k]).to_vec();
+                }
+                None => misses.push(k),
+            }
+        }
+
+        // Factorize only the delta-created classes — the same pipeline
+        // as the full build, but serial below a handful of misses: the
+        // slabs are microseconds each, and rayon's dispatch costs more
+        // than the work it would spread. (Parallelism never affects the
+        // payload bits: `compute_slab` is per-class deterministic.)
+        let factor = |&k: &usize| {
+            let c = &dec.components[it.slab_owner[k]];
+            (k, compute_slab(&c.a, &c.b, c.n(), c.m()))
+        };
+        let fresh: Vec<(usize, SlabResult)> = if misses.len() < 64 {
+            misses.iter().map(factor).collect()
+        } else {
+            misses.par_iter().map(factor).collect()
+        };
+        for (k, r) in fresh {
+            let (a, b) = r?;
+            abar_data[it.slab_off[k]..it.slab_off[k + 1]].copy_from_slice(a.data());
+            class_bbar[k] = b;
+        }
+
+        let stats = PatchStats {
+            unique_slabs: it.slab_owner.len(),
+            reused_slabs: it.slab_owner.len() - misses.len(),
+            computed_slabs: misses.len(),
+        };
+        Ok((Self::assemble(dec, it, abar_data, class_bbar), stats))
+    }
+
+    /// Everything downstream of the slab payloads: the stacked layout,
+    /// transpose scatter, slab-batch grouping, and panel permutation.
+    /// Shared by [`Precomputed::build`] and [`Precomputed::patched`] so
+    /// the two paths cannot drift — bit-identity of a patched arena
+    /// reduces to bit-identity of the slab payloads.
+    fn assemble(
+        dec: &DecomposedProblem,
+        it: Interned,
+        abar_data: Vec<f64>,
+        class_bbar: Vec<Vec<f64>>,
+    ) -> Self {
+        let s_total = dec.s();
+        let Interned {
+            slab_id,
+            slab_owner,
+            slab_off,
+            class_hash,
+        } = it;
 
         // Stacked layout + flattened b̄.
         let mut offsets = Vec::with_capacity(s_total + 1);
@@ -295,7 +507,7 @@ impl Precomputed {
         }
         tile_tail.sort_unstable();
 
-        Ok(Precomputed {
+        Precomputed {
             abar_data,
             slab_off,
             slab_id,
@@ -313,7 +525,8 @@ impl Precomputed {
             max_group_width,
             max_group_span,
             tile_tail,
-        })
+            class_hash,
+        }
     }
 
     /// Total stacked dimension `Σ n_s`.
@@ -457,7 +670,7 @@ impl ReferencePrecomputed {
     /// The seed per-component build: every component factorized
     /// independently, results boxed per component.
     pub fn build(dec: &DecomposedProblem) -> Result<Self, LinalgError> {
-        let per_comp: Vec<Result<(Mat, Vec<f64>), LinalgError>> = dec
+        let per_comp: Vec<SlabResult> = dec
             .components
             .par_iter()
             .map(|c| compute_slab(&c.a, &c.b, c.n(), c.m()))

@@ -356,6 +356,20 @@ impl SolverFreeAdmm {
         })
     }
 
+    /// Assemble a solver from a problem and an already-built precompute
+    /// (e.g. one produced by [`Precomputed::patched`] for a topology
+    /// delta). The precompute must belong to exactly this problem; the
+    /// constructor checks the cheap structural invariants.
+    pub fn from_parts(dec: Arc<DecomposedProblem>, pre: Arc<Precomputed>) -> Self {
+        assert_eq!(pre.s(), dec.s(), "precompute is for a different problem");
+        assert_eq!(
+            pre.total_dim(),
+            dec.total_local_dim(),
+            "precompute is for a different problem"
+        );
+        SolverFreeAdmm { dec, pre }
+    }
+
     /// The decomposed problem.
     pub fn problem(&self) -> &DecomposedProblem {
         &self.dec

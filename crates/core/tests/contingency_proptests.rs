@@ -1,0 +1,136 @@
+//! Property tests for incremental arena patching: on random radial
+//! feeders, patching the base precompute through a random line-outage
+//! delta must reproduce the cold rebuild of the post-outage feeder
+//! bit-for-bit — arena bytes, slab grouping, and solver iterates — and
+//! loop-creating deltas must be rejected at application, never reaching
+//! the solver.
+
+use std::sync::Arc;
+
+use opf_admm::{contingency::patched_case, AdmmOptions, Engine, SolveRequest};
+use opf_model::decompose;
+use opf_net::{
+    data::BranchKind,
+    feeders::{generate, SyntheticSpec},
+    ComponentGraph, DeltaError, TopologyDelta,
+};
+use proptest::prelude::*;
+
+/// A small random *radial* feeder (no parallel service legs — deltas
+/// require the base to be a forest).
+fn arb_radial_spec() -> impl Strategy<Value = SyntheticSpec> {
+    (
+        4usize..24,         // n_nodes
+        0u64..u64::MAX / 2, // leaf draw
+        0u64..u64::MAX,     // generation seed
+        0.0f64..1.0,        // load fraction
+    )
+        .prop_map(|(n_nodes, leaf_draw, seed, load_frac)| {
+            let n_leaves = 1 + (leaf_draw as usize) % (n_nodes - 2).max(1);
+            SyntheticSpec {
+                name: format!("prop-{seed:x}"),
+                n_nodes,
+                n_lines: n_nodes - 1,
+                n_leaves,
+                phase_weights: [0.4, 0.3, 0.3],
+                load_node_fraction: 0.3 + 0.6 * load_frac,
+                delta_fraction: 0.25,
+                zip_weights: [0.5, 0.25, 0.25],
+                der_count: n_nodes / 8,
+                transformer_fraction: 0.2,
+                avg_load_p: 0.05,
+                seed,
+            }
+        })
+}
+
+fn quick_opts() -> AdmmOptions {
+    AdmmOptions::builder().eps_rel(0.0).max_iters(40).build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn patched_arena_matches_cold_rebuild_bit_for_bit(
+        spec in arb_radial_spec(),
+        branch_draw in 0usize..1024,
+    ) {
+        let net = generate(&spec);
+        let graph = ComponentGraph::build(&net);
+        let dec = decompose(&net, &graph).unwrap();
+        let base = Engine::from_shared(Arc::new(dec)).unwrap();
+
+        let delta = TopologyDelta::LineOutage {
+            branch: net.branches[branch_draw % net.branches.len()].name.clone(),
+        };
+        let case = patched_case(&net, &base, &delta).unwrap();
+
+        // Patch accounting: every unique slab is either reused or
+        // re-factorized, and the outage touches at least one.
+        prop_assert_eq!(
+            case.stats.reused_slabs + case.stats.computed_slabs,
+            case.stats.unique_slabs
+        );
+        prop_assert!(case.stats.computed_slabs > 0);
+
+        // Cold rebuild of the post-outage feeder.
+        let applied = delta.apply(&net).unwrap();
+        let cold_graph = ComponentGraph::build(&applied.network);
+        let cold_dec = decompose(&applied.network, &cold_graph).unwrap();
+        let cold = Engine::from_shared(Arc::new(cold_dec)).unwrap();
+
+        // Arena bytes and slab grouping.
+        let patched_pre = case.engine.solver().precomputed();
+        let cold_pre = cold.solver().precomputed();
+        prop_assert_eq!(&patched_pre.abar_data, &cold_pre.abar_data, "Ā arena bytes");
+        prop_assert_eq!(&patched_pre.bbar, &cold_pre.bbar, "b̄ arena");
+        prop_assert_eq!(&patched_pre.slab_id, &cold_pre.slab_id, "slab interning");
+        prop_assert_eq!(&patched_pre.group_members, &cold_pre.group_members, "slab grouping");
+        prop_assert_eq!(&patched_pre.stacked_to_global, &cold_pre.stacked_to_global);
+
+        // Solver iterates on top of the patched arena.
+        let a = case.engine.solve(&SolveRequest::new(quick_opts())).unwrap();
+        let b = cold.solve(&SolveRequest::new(quick_opts())).unwrap();
+        prop_assert_eq!(&a.x, &b.x, "x diverged");
+        prop_assert_eq!(&a.z, &b.z, "z diverged");
+        prop_assert_eq!(&a.lambda, &b.lambda, "λ diverged");
+        prop_assert_eq!(a.objective.to_bits(), b.objective.to_bits());
+    }
+
+    #[test]
+    fn loop_creating_close_is_rejected(
+        spec in arb_radial_spec(),
+        from_draw in 0usize..1024,
+        to_draw in 0usize..1024,
+    ) {
+        let mut net = generate(&spec);
+        let from = opf_net::data::BusId((from_draw % net.buses.len()) as u32);
+        let to = opf_net::data::BusId((to_draw % net.buses.len()) as u32);
+        prop_assume!(from != to);
+
+        // Graft a normally-open tie switch between two random buses.
+        // The base stays radial (open switches are out of service), but
+        // closing the tie adds an edge to a spanning tree — always a
+        // loop, whatever the endpoints.
+        let template = net.branches[0].clone();
+        net.branches.push(opf_net::data::Branch {
+            name: "prop-tie".into(),
+            from,
+            to,
+            kind: BranchKind::Switch { closed: false },
+            ..template
+        });
+
+        let err = TopologyDelta::SwitchState {
+            switch: "prop-tie".into(),
+            closed: true,
+        }
+        .apply(&net)
+        .unwrap_err();
+        prop_assert!(
+            matches!(err, DeltaError::RadialityViolated { .. }),
+            "closing a tie into a radial feeder must violate radiality, got {err:?}"
+        );
+    }
+}

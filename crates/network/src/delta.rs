@@ -1,0 +1,471 @@
+//! Topology deltas: line outages, switch operations, re-sectionalizing.
+//!
+//! A [`TopologyDelta`] is a small edit to an existing [`Network`] —
+//! take a line out of service, open/close a sectionalizing switch, or
+//! swap which of two switches is open (re-sectionalize). Applying a
+//! delta clones the base network, mutates the affected branches, and
+//! revalidates the result with contingency semantics:
+//!
+//! * the in-service graph must stay a **forest** (no loops — closing a
+//!   tie switch without opening another is rejected), and
+//! * buses cut off from the source are **de-energized** rather than
+//!   rejected: their loads, shunts, and generators are zeroed/pinned so
+//!   the islanded subtree stays feasible (flat voltage, zero flow)
+//!   without changing the element sets.
+//!
+//! Keeping the element sets intact is load-bearing: the variable space
+//! (`opf-model`'s `VarSpace`) is sized by the bus/branch/load/generator
+//! lists, so a delta never changes `n` — which is what lets the solver
+//! warm-start a contingency from the base-case solution and lets the
+//! precompute arena be patched instead of rebuilt.
+
+use crate::data::{BranchKind, BusId};
+use crate::network::Network;
+use serde::{Deserialize, Serialize};
+
+/// A small topology edit applied to a base [`Network`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TopologyDelta {
+    /// Take a line/transformer (or close-state switch) out of service.
+    LineOutage {
+        /// Branch name.
+        branch: String,
+    },
+    /// Set a sectionalizing/tie switch to a given state.
+    SwitchState {
+        /// Switch branch name.
+        switch: String,
+        /// Desired state.
+        closed: bool,
+    },
+    /// Re-sectionalize: open one in-service branch and close one open
+    /// tie switch in a single delta (net radial if the pair transfers
+    /// load between feeders).
+    Resectionalize {
+        /// In-service branch to open.
+        open: String,
+        /// Open tie switch to close.
+        close: String,
+    },
+}
+
+/// Why a delta could not be applied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeltaError {
+    /// Named branch does not exist.
+    UnknownBranch(String),
+    /// Switch operation targeted a non-switch branch.
+    NotASwitch(String),
+    /// Outage/open of a branch that is already out of service, or
+    /// close of a switch already closed.
+    NoOp(String),
+    /// The resulting in-service graph contains a loop (e.g. closing a
+    /// tie switch without opening a sectionalizer).
+    RadialityViolated {
+        /// In-service branch count.
+        branches: usize,
+        /// Bus count.
+        buses: usize,
+        /// Connected components of the in-service graph.
+        islands: usize,
+    },
+}
+
+impl std::fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeltaError::UnknownBranch(n) => write!(f, "unknown branch {n:?}"),
+            DeltaError::NotASwitch(n) => write!(f, "branch {n:?} is not a switch"),
+            DeltaError::NoOp(n) => write!(f, "delta on {n:?} would not change the topology"),
+            DeltaError::RadialityViolated {
+                branches,
+                buses,
+                islands,
+            } => write!(
+                f,
+                "radiality violated: {branches} in-service branches over {buses} buses \
+                 in {islands} island(s) is not a forest"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+/// Result of applying a delta: the post-delta network plus what the
+/// revalidation found.
+#[derive(Debug, Clone)]
+pub struct AppliedDelta {
+    /// The post-delta network (same element sets as the base).
+    pub network: Network,
+    /// Buses no longer reachable from the source (de-energized).
+    pub de_energized: Vec<BusId>,
+}
+
+impl TopologyDelta {
+    /// Short human-readable label (used by sweep reports and telemetry).
+    pub fn label(&self) -> String {
+        match self {
+            TopologyDelta::LineOutage { branch } => format!("outage:{branch}"),
+            TopologyDelta::SwitchState { switch, closed } => {
+                format!("{}:{switch}", if *closed { "close" } else { "open" })
+            }
+            TopologyDelta::Resectionalize { open, close } => format!("resect:{open}:{close}"),
+        }
+    }
+
+    /// Parse a delta from its [`label`](Self::label) syntax:
+    /// `outage:<branch>`, `open:<switch>`, `close:<switch>`,
+    /// `resect:<open>:<close>`.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let (verb, rest) = spec
+            .split_once(':')
+            .ok_or_else(|| format!("bad delta {spec:?}: expected <verb>:<branch>"))?;
+        if rest.is_empty() {
+            return Err(format!("bad delta {spec:?}: empty branch name"));
+        }
+        match verb {
+            "outage" => Ok(TopologyDelta::LineOutage {
+                branch: rest.to_string(),
+            }),
+            "open" => Ok(TopologyDelta::SwitchState {
+                switch: rest.to_string(),
+                closed: false,
+            }),
+            "close" => Ok(TopologyDelta::SwitchState {
+                switch: rest.to_string(),
+                closed: true,
+            }),
+            "resect" => {
+                let (open, close) = rest
+                    .split_once(':')
+                    .ok_or_else(|| format!("bad delta {spec:?}: expected resect:<open>:<close>"))?;
+                if open.is_empty() || close.is_empty() {
+                    return Err(format!("bad delta {spec:?}: empty branch name"));
+                }
+                Ok(TopologyDelta::Resectionalize {
+                    open: open.to_string(),
+                    close: close.to_string(),
+                })
+            }
+            other => Err(format!(
+                "bad delta {spec:?}: unknown verb {other:?} (expected outage/open/close/resect)"
+            )),
+        }
+    }
+
+    /// Enumerate the N-1 line-outage set of a network: one
+    /// [`TopologyDelta::LineOutage`] per in-service branch.
+    pub fn n_minus_one(net: &Network) -> Vec<TopologyDelta> {
+        net.branches
+            .iter()
+            .filter(|b| b.in_service())
+            .map(|b| TopologyDelta::LineOutage {
+                branch: b.name.clone(),
+            })
+            .collect()
+    }
+
+    /// Apply the delta to a base network.
+    ///
+    /// Clones the base, mutates the named branches, checks the
+    /// in-service graph is still a forest, and de-energizes any buses
+    /// that lost their path to the source. Element sets (and therefore
+    /// the model's variable space) are never changed.
+    pub fn apply(&self, base: &Network) -> Result<AppliedDelta, DeltaError> {
+        let mut net = base.clone();
+        match self {
+            TopologyDelta::LineOutage { branch } => take_out(&mut net, branch)?,
+            TopologyDelta::SwitchState { switch, closed } => {
+                set_switch_checked(&mut net, switch, *closed)?
+            }
+            TopologyDelta::Resectionalize { open, close } => {
+                take_out(&mut net, open)?;
+                set_switch_checked(&mut net, close, true)?;
+            }
+        }
+        let de_energized = revalidate(&mut net)?;
+        Ok(AppliedDelta {
+            network: net,
+            de_energized,
+        })
+    }
+}
+
+/// Take a branch out of service (by converting it to an open switch —
+/// the repo-wide idiom for "not in the component graph").
+fn take_out(net: &mut Network, name: &str) -> Result<(), DeltaError> {
+    let Some((_, b)) = net.branch_named_mut(name) else {
+        return Err(DeltaError::UnknownBranch(name.to_string()));
+    };
+    if !b.in_service() {
+        return Err(DeltaError::NoOp(name.to_string()));
+    }
+    b.kind = BranchKind::Switch { closed: false };
+    Ok(())
+}
+
+/// Set a switch state, rejecting non-switches and no-ops.
+fn set_switch_checked(net: &mut Network, name: &str, closed: bool) -> Result<(), DeltaError> {
+    let Some((_, b)) = net.branch_named_mut(name) else {
+        return Err(DeltaError::UnknownBranch(name.to_string()));
+    };
+    match &mut b.kind {
+        BranchKind::Switch { closed: state } => {
+            if *state == closed {
+                return Err(DeltaError::NoOp(name.to_string()));
+            }
+            *state = closed;
+            Ok(())
+        }
+        _ => Err(DeltaError::NotASwitch(name.to_string())),
+    }
+}
+
+/// Contingency-semantics revalidation: forest check over the whole
+/// in-service graph (loops rejected), then de-energize any island not
+/// containing the source. Returns the de-energized buses.
+fn revalidate(net: &mut Network) -> Result<Vec<BusId>, DeltaError> {
+    let nb = net.buses.len();
+    // Label connected components of the in-service graph.
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); nb];
+    let mut in_service = 0usize;
+    for b in &net.branches {
+        if b.in_service() {
+            in_service += 1;
+            adj[b.from.0 as usize].push(b.to.0 as usize);
+            adj[b.to.0 as usize].push(b.from.0 as usize);
+        }
+    }
+    let mut island = vec![usize::MAX; nb];
+    let mut islands = 0usize;
+    for start in 0..nb {
+        if island[start] != usize::MAX {
+            continue;
+        }
+        let mut stack = vec![start];
+        island[start] = islands;
+        while let Some(i) = stack.pop() {
+            for &j in &adj[i] {
+                if island[j] == usize::MAX {
+                    island[j] = islands;
+                    stack.push(j);
+                }
+            }
+        }
+        islands += 1;
+    }
+    // A forest with `islands` trees over `nb` nodes has exactly
+    // `nb - islands` edges; more means a loop somewhere.
+    if in_service != nb - islands {
+        return Err(DeltaError::RadialityViolated {
+            branches: in_service,
+            buses: nb,
+            islands,
+        });
+    }
+    // De-energize everything outside the source's island.
+    let source_island = net
+        .buses
+        .iter()
+        .position(|b| b.is_source)
+        .map(|i| island[i]);
+    let mut dead = Vec::new();
+    for (i, bus) in net.buses.iter_mut().enumerate() {
+        if Some(island[i]) == source_island {
+            continue;
+        }
+        dead.push(BusId(i as u32));
+        bus.g_sh = [0.0; 3];
+        bus.b_sh = [0.0; 3];
+    }
+    let is_dead = |bus: BusId| Some(island[bus.0 as usize]) != source_island;
+    for load in &mut net.loads {
+        if is_dead(load.bus) {
+            load.p_ref = [0.0; 3];
+            load.q_ref = [0.0; 3];
+        }
+    }
+    for gen in &mut net.generators {
+        if is_dead(gen.bus) {
+            gen.p_min = [0.0; 3];
+            gen.p_max = [0.0; 3];
+            gen.q_min = [0.0; 3];
+            gen.q_max = [0.0; 3];
+        }
+    }
+    for br in &mut net.branches {
+        // A branch fully inside a dead island would otherwise inject
+        // shunt power with no source to balance it.
+        if is_dead(br.from) && is_dead(br.to) {
+            br.g_sh_from = [0.0; 3];
+            br.g_sh_to = [0.0; 3];
+            br.b_sh_from = [0.0; 3];
+            br.b_sh_to = [0.0; 3];
+        }
+    }
+    Ok(dead)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::feeders;
+
+    #[test]
+    fn parse_round_trips_every_variant() {
+        for spec in [
+            "outage:l650-632",
+            "open:sw671-692",
+            "close:sw671-692",
+            "resect:l684-611:sw671-692",
+        ] {
+            let d = TopologyDelta::parse(spec).unwrap();
+            assert_eq!(d.label(), spec);
+        }
+        assert!(TopologyDelta::parse("outage").is_err());
+        assert!(TopologyDelta::parse("outage:").is_err());
+        assert!(TopologyDelta::parse("frob:x").is_err());
+        assert!(TopologyDelta::parse("resect:x").is_err());
+    }
+
+    #[test]
+    fn leaf_outage_de_energizes_exactly_the_leaf() {
+        let net = feeders::ieee123();
+        // Pick a branch feeding a leaf bus: any degree-1 non-source bus.
+        let deg = net.degrees();
+        let leaf = net
+            .buses
+            .iter()
+            .enumerate()
+            .find(|(i, b)| !b.is_source && deg[*i] == 1)
+            .map(|(i, _)| i)
+            .expect("ieee123 has leaves");
+        let branch = net
+            .branches
+            .iter()
+            .find(|b| b.from.0 as usize == leaf || b.to.0 as usize == leaf)
+            .unwrap();
+        let delta = TopologyDelta::LineOutage {
+            branch: branch.name.clone(),
+        };
+        let applied = delta.apply(&net).unwrap();
+        assert_eq!(applied.de_energized, vec![BusId(leaf as u32)]);
+        // Element sets unchanged — the model's variable space is
+        // invariant under deltas.
+        assert_eq!(applied.network.buses.len(), net.buses.len());
+        assert_eq!(applied.network.branches.len(), net.branches.len());
+        assert_eq!(applied.network.loads.len(), net.loads.len());
+        // The outaged branch is now an open switch.
+        let (_, b) = applied.network.branch_named(&branch.name).unwrap();
+        assert!(!b.in_service());
+        // De-energized loads are zeroed.
+        for load in &applied.network.loads {
+            if load.bus == BusId(leaf as u32) {
+                assert_eq!(load.p_ref, [0.0; 3]);
+                assert_eq!(load.q_ref, [0.0; 3]);
+            }
+        }
+    }
+
+    #[test]
+    fn closing_the_tie_switch_without_opening_is_rejected() {
+        let net = feeders::ieee13_detailed();
+        // sw671-692 is modeled closed in the detailed feeder; open it
+        // first, then closing it again while the rest of the tree is
+        // intact must round-trip, but closing a *parallel* path loops.
+        let opened = TopologyDelta::SwitchState {
+            switch: "sw671-692".into(),
+            closed: false,
+        }
+        .apply(&net)
+        .unwrap();
+        assert!(!opened.de_energized.is_empty());
+        let reclosed = TopologyDelta::SwitchState {
+            switch: "sw671-692".into(),
+            closed: true,
+        }
+        .apply(&opened.network)
+        .unwrap();
+        assert!(reclosed.de_energized.is_empty());
+
+        // Re-sectionalize on the *base* network: opening one branch and
+        // closing the already-closed switch is a no-op on the switch.
+        let err = TopologyDelta::Resectionalize {
+            open: "684-611".into(),
+            close: "sw671-692".into(),
+        }
+        .apply(&net)
+        .unwrap_err();
+        assert_eq!(err, DeltaError::NoOp("sw671-692".into()));
+    }
+
+    #[test]
+    fn loop_creating_close_violates_radiality() {
+        // Graft a spare open tie switch across two existing ieee13
+        // buses, then close it without opening anything: loop.
+        let mut net = feeders::ieee13_detailed();
+        let from = net.bus_id("632").unwrap();
+        let to = net.bus_id("675").unwrap();
+        let template = net.branches[0].clone();
+        net.branches.push(crate::Branch {
+            name: "tie-632-675".into(),
+            from,
+            to,
+            kind: BranchKind::Switch { closed: false },
+            ..template
+        });
+        let err = TopologyDelta::SwitchState {
+            switch: "tie-632-675".into(),
+            closed: true,
+        }
+        .apply(&net)
+        .unwrap_err();
+        assert!(matches!(err, DeltaError::RadialityViolated { .. }));
+        // The matching re-sectionalize (open a tree branch on the new
+        // loop's path) is accepted and leaves everything energized.
+        let ok = TopologyDelta::Resectionalize {
+            open: "692-675".into(),
+            close: "tie-632-675".into(),
+        }
+        .apply(&net)
+        .unwrap();
+        assert!(ok.de_energized.is_empty());
+    }
+
+    #[test]
+    fn unknown_and_noop_errors() {
+        let net = feeders::ieee13();
+        assert_eq!(
+            TopologyDelta::LineOutage {
+                branch: "nope".into()
+            }
+            .apply(&net)
+            .unwrap_err(),
+            DeltaError::UnknownBranch("nope".into())
+        );
+        let name = net.branches[0].name.clone();
+        assert_eq!(
+            TopologyDelta::SwitchState {
+                switch: name.clone(),
+                closed: true
+            }
+            .apply(&net)
+            .unwrap_err(),
+            DeltaError::NotASwitch(name)
+        );
+    }
+
+    #[test]
+    fn n_minus_one_enumerates_in_service_branches() {
+        let net = feeders::ieee13();
+        let deltas = TopologyDelta::n_minus_one(&net);
+        assert_eq!(
+            deltas.len(),
+            net.branches.iter().filter(|b| b.in_service()).count()
+        );
+        for d in &deltas {
+            d.apply(&net).unwrap();
+        }
+    }
+}

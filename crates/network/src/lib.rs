@@ -19,6 +19,7 @@
 pub mod components;
 pub mod configs;
 pub mod data;
+pub mod delta;
 pub mod feeders;
 pub mod network;
 pub mod phase;
@@ -28,5 +29,6 @@ pub use data::{
     Branch, BranchId, BranchKind, Bus, BusId, Connection, GenId, Generator, Load, LoadId, PerPhase,
     ZipClass,
 };
+pub use delta::{AppliedDelta, DeltaError, TopologyDelta};
 pub use network::{Network, NetworkError};
 pub use phase::{Phase, PhaseSet};

@@ -107,6 +107,30 @@ impl Network {
         &self.branches[id.0 as usize]
     }
 
+    /// Bus lookup by name.
+    pub fn bus_id(&self, name: &str) -> Option<BusId> {
+        self.buses
+            .iter()
+            .position(|b| b.name == name)
+            .map(|i| BusId(i as u32))
+    }
+
+    /// Branch lookup by name.
+    pub fn branch_named(&self, name: &str) -> Option<(BranchId, &Branch)> {
+        self.branches
+            .iter()
+            .position(|b| b.name == name)
+            .map(|i| (BranchId(i as u32), &self.branches[i]))
+    }
+
+    /// Mutable branch lookup by name.
+    pub fn branch_named_mut(&mut self, name: &str) -> Option<(BranchId, &mut Branch)> {
+        self.branches
+            .iter()
+            .position(|b| b.name == name)
+            .map(|i| (BranchId(i as u32), &mut self.branches[i]))
+    }
+
     /// Generators at a bus.
     pub fn generators_at(&self, bus: BusId) -> impl Iterator<Item = (GenId, &Generator)> {
         self.generators

@@ -6,15 +6,20 @@
 //! ```json
 //! {"cmd":"solve","feeder":"ieee13","load_scale":1.02,"bound_scale":1.0,"client":"agent-7"}
 //! {"cmd":"solve_many","requests":[{"feeder":"ieee13"},{"feeder":"ieee123","load_scale":0.97}]}
+//! {"cmd":"contingency","feeder":"ieee13","deltas":["outage:632-645","open:sw671-692"]}
 //! {"cmd":"stats"}
 //! {"cmd":"shutdown"}
 //! ```
 //!
 //! `solve` blocks the connection until the reply; `solve_many` submits
 //! every element first and then waits, so its requests can coalesce
-//! with each other (and with other connections'). `stats` returns the
-//! snapshot plus the `opf-telemetry/v1` counter report. `shutdown`
-//! stops the server loop after acknowledging.
+//! with each other (and with other connections'). `contingency`
+//! screens topology deltas against the feeder's base case by patching
+//! the warm precompute arena per case (omit `"deltas"` for the full
+//! N-1 line-outage set); it runs on the connection thread and returns
+//! the ranked report. `stats` returns the snapshot plus the
+//! `opf-telemetry/v1` counter report. `shutdown` stops the server loop
+//! after acknowledging.
 //!
 //! ## Responses
 //!
@@ -73,6 +78,41 @@ fn reply_json(reply: &ServiceReply) -> Value {
     }
 }
 
+/// Render a [`opf_admm::ContingencyReport`] as the `contingency`
+/// response object: ranked cases plus patch-reuse accounting.
+fn contingency_json(feeder: &str, report: &opf_admm::ContingencyReport) -> Value {
+    let totals = report.patch_totals();
+    let cases: Vec<Value> = report
+        .cases
+        .iter()
+        .map(|c| {
+            json!({
+                "case": c.label,
+                "status": c.status.label(),
+                "objective": c.objective,
+                "objective_delta": c.objective_delta,
+                "iterations": c.iterations,
+                "de_energized": c.de_energized,
+                "slabs_reused": c.patch.as_ref().map_or(0, |p| p.reused_slabs),
+                "slabs_computed": c.patch.as_ref().map_or(0, |p| p.computed_slabs),
+            })
+        })
+        .collect();
+    json!({
+        "ok": true,
+        "type": "contingency",
+        "feeder": feeder,
+        "base_objective": report.base_objective,
+        "base_iterations": report.base_iterations,
+        "cases": cases,
+        "converged": report.converged(),
+        "rejected": report.rejected(),
+        "slabs_reused": totals.reused_slabs,
+        "slabs_computed": totals.computed_slabs,
+        "wall_s": report.wall_s,
+    })
+}
+
 fn stats_json(service: &OpfService) -> Value {
     let snap = service.stats();
     let telemetry: Value =
@@ -127,6 +167,43 @@ pub fn handle_line(service: &OpfService, line: &str, stop: &AtomicBool) -> (Valu
                 json!({"ok": true, "type": "solve_many", "replies": replies}),
                 true,
             )
+        }
+        Some("contingency") => {
+            let Some(feeder) = v.get("feeder").and_then(Value::as_str) else {
+                return (json!({"ok": false, "error": "missing \"feeder\""}), true);
+            };
+            let specs: Vec<String> = match v.get("deltas") {
+                None => Vec::new(),
+                Some(Value::Array(items)) => {
+                    let mut specs = Vec::with_capacity(items.len());
+                    for item in items {
+                        match item.as_str() {
+                            Some(s) => specs.push(s.to_string()),
+                            None => {
+                                return (
+                                    json!({"ok": false,
+                                           "error": "\"deltas\" must be an array of spec strings"}),
+                                    true,
+                                )
+                            }
+                        }
+                    }
+                    specs
+                }
+                Some(_) => {
+                    return (
+                        json!({"ok": false, "error": "\"deltas\" must be an array of spec strings"}),
+                        true,
+                    )
+                }
+            };
+            match service.contingency(feeder, &specs) {
+                Ok(report) => (contingency_json(feeder, &report), true),
+                Err(e) => (
+                    json!({"ok": false, "type": "contingency", "error": e.to_string()}),
+                    true,
+                ),
+            }
         }
         Some("stats") => (stats_json(service), true),
         Some("shutdown") => {
@@ -265,6 +342,43 @@ mod tests {
                 Some(false),
                 "line {bad:?} should fail"
             );
+            assert!(keep, "errors must not kill the connection");
+        }
+    }
+
+    #[test]
+    fn contingency_line_reports_ranked_cases() {
+        let svc = quick_service();
+        let stop = AtomicBool::new(false);
+        let line = r#"{"cmd":"contingency","feeder":"ieee13-detailed",
+                       "deltas":["open:sw671-692","outage:nonesuch"]}"#
+            .replace('\n', " ");
+        let (resp, keep) = handle_line(&svc, &line, &stop);
+        assert!(keep);
+        assert_eq!(resp["ok"].as_bool(), Some(true), "{resp:?}");
+        assert_eq!(resp["type"].as_str(), Some("contingency"));
+        let cases = resp["cases"].as_array().unwrap();
+        assert_eq!(cases.len(), 2);
+        assert_eq!(resp["rejected"].as_u64(), Some(1));
+        // The valid switch-open case patched the warm arena.
+        assert!(resp["slabs_reused"].as_u64().unwrap() > 0);
+        let open_case = cases
+            .iter()
+            .find(|c| c["case"].as_str() == Some("open:sw671-692"))
+            .expect("screened case present");
+        assert!(open_case["slabs_reused"].as_u64().unwrap() > 0);
+        // Rejected deltas rank last.
+        assert_eq!(cases.last().unwrap()["status"].as_str(), Some("rejected"));
+
+        for bad in [
+            r#"{"cmd":"contingency"}"#,
+            r#"{"cmd":"contingency","feeder":"nonesuch"}"#,
+            r#"{"cmd":"contingency","feeder":"ieee13","deltas":"outage:x"}"#,
+            r#"{"cmd":"contingency","feeder":"ieee13","deltas":[42]}"#,
+            r#"{"cmd":"contingency","feeder":"ieee13","deltas":["frob:x"]}"#,
+        ] {
+            let (resp, keep) = handle_line(&svc, bad, &stop);
+            assert_eq!(resp["ok"].as_bool(), Some(false), "line {bad:?}");
             assert!(keep, "errors must not kill the connection");
         }
     }

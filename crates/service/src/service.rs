@@ -337,6 +337,43 @@ impl OpfService {
         }
     }
 
+    /// Screen topology deltas against a feeder's base case (the
+    /// `contingency` protocol verb). The base engine comes through the
+    /// same warm-arena LRU the solve path uses; each case then *patches*
+    /// that arena ([`opf_admm::contingency_sweep`]) instead of
+    /// rebuilding it. Empty `specs` screens the full N-1 in-service
+    /// line-outage set. Runs on the calling thread — contingency sweeps
+    /// are topology-mutating scans, not coalescible point solves, so
+    /// they bypass the admission queue.
+    pub fn contingency(
+        &self,
+        feeder: &str,
+        specs: &[String],
+    ) -> Result<opf_admm::ContingencyReport, ServiceError> {
+        let net = feeders::by_name(feeder)
+            .ok_or_else(|| ServiceError::UnknownFeeder(feeder.to_string()))?;
+        let (key, dec) = self.resolve(&ProblemSource::Feeder(feeder.to_string()))?;
+        let lookup = {
+            let mut cache = self.shared.cache.lock().unwrap();
+            cache.get_or_build(key, || Engine::from_shared(dec))
+        }
+        .map_err(|e| ServiceError::Build(e.to_string()))?;
+        self.shared
+            .stats
+            .on_cache(lookup.hit, lookup.builds, lookup.evictions);
+        let deltas = if specs.is_empty() {
+            opf_net::TopologyDelta::n_minus_one(&net)
+        } else {
+            specs
+                .iter()
+                .map(|s| opf_net::TopologyDelta::parse(s))
+                .collect::<Result<Vec<_>, _>>()
+                .map_err(ServiceError::InvalidRequest)?
+        };
+        opf_admm::contingency_sweep(&net, &lookup.engine, &deltas, self.options())
+            .map_err(|e| ServiceError::Solve(e.to_string()))
+    }
+
     /// Process every queued job on the calling thread; returns the
     /// number of same-topology groups served. With `workers: 0` this is
     /// the only execution path, which makes coalescing deterministic:

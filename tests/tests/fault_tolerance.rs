@@ -39,9 +39,25 @@ fn ieee123_converges_through_drops_crash_and_quorum() {
     let r = solver.solve_distributed_opts(&opts, &faulted_opts());
     assert!(r.converged, "faulted run failed: {:?}", r.degradation.fatal);
 
-    // Same answer as the fault-free run, to the solver's own tolerance.
+    // Same answer as the fault-free run — to the accuracy the
+    // termination test actually certifies. The residual test (16)
+    // bounds pres/dres at the stopping iterate, not the objective:
+    // each run's objective sits O(κ·eps_rel) above the optimum (on
+    // ieee123 at eps_rel 1e-3 the *fault-free* run alone stops 5.6e-3
+    // relative above it), and two independently-stopped trajectories
+    // differ by up to the sum of their suboptimalities. The old
+    // `rel ≤ eps_rel` bar compared that O(κ·eps) quantity against
+    // eps itself — mis-derived, and failing on a run that reaches the
+    // very same fixed point (tighten eps_rel to 1e-4 and the two runs
+    // agree to 8e-5; see `ieee123_faulted_run_shares_the_fault_free_
+    // fixed_point`). 10·eps_rel covers the measured κ ≈ 6 with slack
+    // while still catching a genuinely corrupted fixed point, which
+    // shows up at percent level.
     let rel = (r.objective - clean.objective).abs() / clean.objective.abs().max(1.0);
-    assert!(rel <= opts.eps_rel, "objectives diverged: rel {rel}");
+    assert!(
+        rel <= 10.0 * opts.eps_rel,
+        "objectives diverged beyond the termination test's certainty: rel {rel}"
+    );
 
     // The degradation report accounts for everything that was injected:
     // lossy links were exercised and repaired by the transport...
@@ -56,6 +72,32 @@ fn ieee123_converges_through_drops_crash_and_quorum() {
     // ...and the partial barrier carried the run over missing slices.
     assert!(d.quorum_rounds > 0);
     assert!(d.stale_iterations[3] > 0);
+}
+
+/// The faulted trajectory converges to the *same fixed point* as the
+/// fault-free one — drops, a crash, and quorum staleness perturb the
+/// path, not the destination. At eps_rel 1e-4 each run's objective
+/// error is ≪ the 1e-3 agreement bar, so the comparison is properly
+/// scaled (unlike at 1e-3, where the stopping-point suboptimality
+/// dominates — see the comment in the convergence test above).
+/// Ignored by default (~2× 34k iterations); the CI chaos lane runs it.
+#[test]
+#[ignore]
+fn ieee123_faulted_run_shares_the_fault_free_fixed_point() {
+    let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let net = feeders::ieee123();
+    let dec = decompose_net(&net);
+    let solver = SolverFreeAdmm::new(&dec).expect("precompute");
+    let opts = AdmmOptions::builder()
+        .eps_rel(1e-4)
+        .max_iters(60_000)
+        .build();
+    let clean = solver.solve_distributed(&opts, 4);
+    assert!(clean.converged, "fault-free baseline must converge");
+    let r = solver.solve_distributed_opts(&opts, &faulted_opts());
+    assert!(r.converged, "faulted run failed: {:?}", r.degradation.fatal);
+    let rel = (r.objective - clean.objective).abs() / clean.objective.abs().max(1.0);
+    assert!(rel <= 1e-3, "fixed points diverged: rel {rel}");
 }
 
 #[test]

@@ -8,7 +8,7 @@ use std::thread;
 
 use opf_admm::prelude::*;
 use opf_integration::decompose_net;
-use opf_net::feeders;
+use opf_net::{feeders, TopologyDelta};
 use opf_service::{topology_key, JobRequest, OpfService, ServiceConfig};
 
 fn opts() -> AdmmOptions {
@@ -209,5 +209,56 @@ fn soak_thousand_mixed_requests_zero_redundant_builds() {
         assert_eq!(hot.lambda, cold.lambda, "{name}: λ diverged");
         assert_eq!(hot.objective.to_bits(), cold.objective.to_bits());
     }
+    service.shutdown();
+}
+
+/// Topology-delta cache audit: a line outage patched from the base case
+/// must hash to its own topology key (the key covers every component's
+/// pinned equations, which the outage rewrites), so the service can
+/// never fold an outage solve and a base-case solve into one coalesced
+/// batch — they'd share one arena and one of them would be silently
+/// wrong.
+#[test]
+fn outage_and_base_case_never_coalesce() {
+    let net = feeders::ieee13();
+    let base_dec = Arc::new(decompose_net(&net));
+    let delta = TopologyDelta::LineOutage {
+        branch: net.branches.last().expect("branches").name.clone(),
+    };
+    let applied = delta.apply(&net).expect("leaf outage applies");
+    let outage_dec = Arc::new(decompose_net(&applied.network));
+    assert_ne!(
+        topology_key(&base_dec),
+        topology_key(&outage_dec),
+        "outage must change the topology content hash"
+    );
+
+    // workers: 0 — nothing runs until drain_now, so everything
+    // submitted here sits in the queue together and coalescing is
+    // deterministic: same-key jobs fold, distinct keys cannot.
+    let service = OpfService::start(ServiceConfig {
+        cache_capacity: 4,
+        workers: 0,
+        options: opts(),
+    });
+    let tickets = [
+        service.submit(JobRequest::shared(Arc::clone(&base_dec))),
+        service.submit(JobRequest::shared(Arc::clone(&outage_dec))),
+        service.submit(JobRequest::shared(Arc::clone(&base_dec))),
+    ];
+    let groups = service.drain_now();
+    assert_eq!(
+        groups, 2,
+        "an outage and the base case coalesced into one batch"
+    );
+    let mut topologies = std::collections::BTreeSet::new();
+    for t in tickets {
+        let reply = t.expect("submit").wait();
+        assert!(reply.outcome.is_ok());
+        topologies.insert(reply.topology.0);
+    }
+    assert_eq!(topologies.len(), 2, "replies tagged with merged hashes");
+    let snap = service.stats();
+    assert_eq!(snap.precompute_builds, 2, "one arena per topology");
     service.shutdown();
 }
