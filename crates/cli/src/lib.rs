@@ -7,10 +7,10 @@ use comm_sim::{Compression, FaultPlan};
 use gpu_sim::DeviceProps;
 use opf_admm::{
     AdmmOptions, Backend, BatchRequest, CheckpointSpec, DistributedOptions, Engine, ExecutionMode,
-    ScenarioBatch, SolveRequest, SupervisorOptions,
+    ScenarioBatch, SolveRequest, SupervisorOptions, TwoLevelOptions,
 };
 use opf_model::{decompose, report, VarSpace};
-use opf_net::{feeders, ComponentGraph, TopologyDelta};
+use opf_net::{feeders, partition_areas, ComponentGraph, TopologyDelta};
 
 /// A parsed CLI invocation.
 // One `Command` exists per process; the size skew of the fully-optioned
@@ -47,6 +47,12 @@ pub enum Command {
         deadline_ms: Option<u64>,
         max_retries: usize,
         allow_partial: bool,
+        /// `--mega N`: solve the synthetic `mega123xN` feeder instead of a
+        /// named instance (`0` = off; `instance` is empty when set).
+        mega: usize,
+        /// `--areas K`: two-level consensus over `K` radial areas
+        /// (`0` = single-level).
+        areas: usize,
     },
     /// `gridflow solve <instance> --contingency-sweep [--delta SPEC]...`
     Contingency {
@@ -69,6 +75,9 @@ pub enum Command {
         rho: f64,
         eps: f64,
         max_iters: usize,
+        /// Feeders whose arenas are built into the cache before the first
+        /// request (`--prewarm`, repeatable).
+        prewarm: Vec<String>,
     },
     /// `gridflow export <instance> <path.json>`
     Export { instance: String, path: String },
@@ -124,6 +133,8 @@ USAGE:
                  [--fault-straggler R:P]... [--quorum F]
                  [--rank-timeout-ms N]
                  [--contingency-sweep [--delta SPEC]...]
+                 [--areas K]
+  gridflow solve --mega N [--areas K] [options]
 
 Fault injection (with --distributed N): links drop/duplicate/delay
 messages with the given seeded probabilities, rank R crashes at
@@ -172,6 +183,20 @@ line-outage set is screened. Patched solves are bit-identical to cold
 rebuilds of the post-delta feeder. Incompatible with --distributed,
 --scenarios, --resume, --save-state, --report, and --slab-batched;
 --telemetry-json captures the contingency.* counters.
+--mega N solves the synthetic mega feeder `mega123xN` — N perturbed
+ieee123-scale replicas (≈ 252·N components) stitched under a spine —
+in place of a named instance; drop the <instance> argument.
+--areas K partitions the feeder into K radial areas (greedy post-order
+subtree packing) and runs the hierarchical two-level consensus mode:
+components are re-ordered area-major so each area sweeps its own
+contiguous arena slice with the slab-batched kernels, areas run in
+parallel under --backend rayon:N, and only the multi-area boundary
+copies are exchanged per iteration (compressed with --compress via
+error feedback; exact exchange keeps the solve bit-identical to the
+single-level fused path, and --areas 1 *is* that path bit for bit).
+Single-process CPU only: incompatible with --distributed, --scenarios,
+--contingency-sweep, --resume, --save-state, --slab-batched, and
+--backend gpu.
 --deadline-ms N supervises the solve: it stops at the next
 --check-every boundary once N ms of wall clock have elapsed (with
 --scenarios the deadline spans the whole batch). --max-retries N
@@ -183,6 +208,7 @@ how far it got. Resumable checkpoints (--resume) are validated: files
 carrying NaN or infinite iterates are rejected.
   gridflow serve [--listen ADDR] [--cache N] [--workers N]
                  [--rho R] [--eps E] [--max-iters N]
+                 [--prewarm FEEDER]...
   gridflow export <instance> <path.json>
   gridflow tables  [--full]
   gridflow figures [--full]
@@ -193,6 +219,9 @@ an LRU cache of --cache warm precompute arenas keyed by feeder-topology
 content hash (default 4) and --workers solve threads (default 2).
 Queued requests sharing a topology coalesce into one scenario batch
 (one factorization, N scenarios); repeat clients chain warm starts.
+--prewarm FEEDER (repeatable) builds the named feeders' arenas into the
+cache before the first request — unknown names are skipped, and the
+count rides the service.prewarmed telemetry counter.
 Protocol: {\"cmd\":\"solve\",\"feeder\":\"ieee13\",\"load_scale\":1.02,
 \"bound_scale\":1.0,\"client\":\"id\"}, {\"cmd\":\"solve_many\",
 \"requests\":[...]}, {\"cmd\":\"stats\"} (returns the service counters —
@@ -202,7 +231,8 @@ service.queue_depth_max, service.warm_chained, service.latency_p50_us,
 service.latency_p99_us — as an opf-telemetry/v1 report), and
 {\"cmd\":\"shutdown\"}.
 
-Instances: ieee13, ieee123, ieee8500, ieee13-detailed.
+Instances: ieee13, ieee123, ieee8500, ieee13-detailed (plus the
+synthetic mega123xN family via solve --mega N).
 ";
 
 /// Errors from parsing or running a command.
@@ -236,6 +266,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             let mut rho = 100.0;
             let mut eps = 1e-3;
             let mut max_iters = 200_000;
+            let mut prewarm: Vec<String> = Vec::new();
             while let Some(a) = it.next() {
                 match a.as_str() {
                     "--listen" => {
@@ -261,6 +292,13 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     "--rho" => rho = parse_num(it.next(), "--rho")?,
                     "--eps" => eps = parse_num(it.next(), "--eps")?,
                     "--max-iters" => max_iters = parse_usize(it.next(), "--max-iters")?,
+                    "--prewarm" => {
+                        prewarm.push(
+                            it.next()
+                                .ok_or(CliError("--prewarm needs a feeder name".into()))?
+                                .clone(),
+                        );
+                    }
                     other => return Err(CliError(format!("serve: unknown flag {other}"))),
                 }
             }
@@ -271,6 +309,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 rho,
                 eps,
                 max_iters,
+                prewarm,
             })
         }
         "export" => {
@@ -291,10 +330,17 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             full: args.iter().any(|a| a == "--full"),
         }),
         "solve" => {
-            let instance = it
-                .next()
-                .ok_or(CliError("solve: missing <instance>".into()))?
-                .clone();
+            // `--mega` replaces the named instance, so the positional is
+            // optional when the first token is already a flag.
+            let mut pending: Option<&String> = None;
+            let instance = match it.next() {
+                Some(a) if !a.starts_with("--") => a.clone(),
+                Some(a) => {
+                    pending = Some(a);
+                    String::new()
+                }
+                None => String::new(),
+            };
             let mut backend = BackendArg::Serial;
             let mut rho = 100.0;
             let mut eps = 1e-3;
@@ -325,7 +371,9 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             let mut allow_partial = false;
             let mut contingency_sweep = false;
             let mut delta_specs: Vec<String> = Vec::new();
-            while let Some(a) = it.next() {
+            let mut mega = 0usize;
+            let mut areas = 0usize;
+            while let Some(a) = pending.take().or_else(|| it.next()) {
                 match a.as_str() {
                     "--backend" => {
                         let v = it
@@ -423,6 +471,18 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     "--max-retries" => max_retries = parse_usize(it.next(), "--max-retries")?,
                     "--allow-partial" => allow_partial = true,
                     "--contingency-sweep" => contingency_sweep = true,
+                    "--mega" => {
+                        mega = parse_usize(it.next(), "--mega")?;
+                        if mega == 0 {
+                            return Err(CliError("--mega must be ≥ 1".into()));
+                        }
+                    }
+                    "--areas" => {
+                        areas = parse_usize(it.next(), "--areas")?;
+                        if areas == 0 {
+                            return Err(CliError("--areas must be ≥ 1".into()));
+                        }
+                    }
                     "--delta" => {
                         delta_specs.push(
                             it.next()
@@ -469,6 +529,53 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     if on {
                         return Err(CliError(format!(
                             "--scenarios runs a single-process batch; {flag} is not supported"
+                        )));
+                    }
+                }
+            }
+            if instance.is_empty() && mega == 0 {
+                return Err(CliError("solve: missing <instance> (or --mega N)".into()));
+            }
+            if mega > 0 && !instance.is_empty() {
+                return Err(CliError(format!(
+                    "--mega builds the synthetic mega123 feeder; drop the \
+                     <instance> argument ({instance})"
+                )));
+            }
+            if areas > 0 {
+                // The two-level path is a single-process fused sweep over
+                // an area-major permuted layout: distributed ranks, batch
+                // scenarios, contingency patching, and checkpoints (whose
+                // stacked iterates assume the canonical order) are out.
+                for (on, flag) in [
+                    (distributed.is_some(), "--distributed"),
+                    (scenarios > 0, "--scenarios"),
+                    (contingency_sweep, "--contingency-sweep"),
+                    (resume.is_some(), "--resume"),
+                    (save_state.is_some(), "--save-state"),
+                    (slab_batched, "--slab-batched"),
+                    (matches!(backend, BackendArg::Gpu(_)), "--backend gpu"),
+                ] {
+                    if on {
+                        return Err(CliError(format!(
+                            "--areas runs the two-level consensus mode \
+                             single-process on CPU; {flag} is not supported"
+                        )));
+                    }
+                }
+            }
+            if mega > 0 {
+                for (on, flag) in [
+                    (distributed.is_some(), "--distributed"),
+                    (scenarios > 0, "--scenarios"),
+                    (contingency_sweep, "--contingency-sweep"),
+                    (resume.is_some(), "--resume"),
+                    (save_state.is_some(), "--save-state"),
+                ] {
+                    if on {
+                        return Err(CliError(format!(
+                            "--mega solves a synthetic instance one-shot; \
+                             {flag} is not supported"
                         )));
                     }
                 }
@@ -528,6 +635,8 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 deadline_ms,
                 max_retries,
                 allow_partial,
+                mega,
+                areas,
             })
         }
         other => Err(CliError(format!("unknown command {other}"))),
@@ -682,6 +791,7 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             rho,
             eps,
             max_iters,
+            prewarm,
         } => {
             let options = AdmmOptions::builder()
                 .rho(rho)
@@ -692,6 +802,7 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                 cache_capacity: cache,
                 workers,
                 options,
+                prewarm,
             });
             match listen {
                 Some(addr) => {
@@ -710,14 +821,15 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             let snap = service.stats();
             Ok(format!(
                 "served {} requests ({} errors): cache {} hits / {} misses \
-                 ({} arena builds, {} evictions), {} coalesced batches \
-                 (max width {}), {} warm-chained, queue depth max {}, \
+                 ({} arena builds, {} prewarmed, {} evictions), {} coalesced \
+                 batches (max width {}), {} warm-chained, queue depth max {}, \
                  latency p50 {:.1} ms / p99 {:.1} ms\n",
                 snap.completed,
                 snap.errors,
                 snap.cache_hits,
                 snap.cache_misses,
                 snap.precompute_builds,
+                snap.prewarmed,
                 snap.evictions,
                 snap.coalesced_batches,
                 snap.coalesce_width_max,
@@ -773,10 +885,23 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             deadline_ms,
             max_retries,
             allow_partial,
+            mega,
+            areas,
         } => {
-            let net = load(&instance)?;
+            let (net, instance) = if mega > 0 {
+                (feeders::mega_ieee123(mega), format!("mega123x{mega}"))
+            } else {
+                (load(&instance)?, instance)
+            };
             let graph = ComponentGraph::build(&net);
-            let dec = decompose(&net, &graph).map_err(|e| CliError(e.to_string()))?;
+            // Two-level mode re-orders components area-major so each
+            // area's stacked iterates are one contiguous arena slice.
+            let assignment = (areas > 0).then(|| partition_areas(&net, &graph, areas));
+            let dec = match &assignment {
+                Some(asg) => decompose(&net, &asg.permuted(&graph)),
+                None => decompose(&net, &graph),
+            }
+            .map_err(|e| CliError(e.to_string()))?;
             let engine = Engine::new(&dec).map_err(|e| CliError(e.to_string()))?;
             let mut sup = SupervisorOptions::default();
             if let Some(ms) = deadline_ms {
@@ -818,22 +943,35 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                 .slab_batched(slab_batched)
                 .backend(backend.to_backend())
                 .build();
-            let mode = match distributed {
-                Some(ranks) => ExecutionMode::Distributed {
-                    options: DistributedOptions::builder()
-                        .n_ranks(ranks)
-                        .compression(compress)
-                        .faults(*faults)
-                        .quorum_frac(quorum)
-                        .rank_timeout(std::time::Duration::from_millis(rank_timeout_ms))
-                        .checkpoint(save_state.as_ref().map(|path| CheckpointSpec {
-                            path: path.into(),
-                            instance: instance.clone(),
-                            every: checkpoint_every,
-                        }))
-                        .build(),
-                },
-                None => ExecutionMode::SingleProcess,
+            let mut twolevel_note = None;
+            let mode = if let Some(asg) = &assignment {
+                let tl = TwoLevelOptions::from_assignment(asg).with_compression(compress);
+                twolevel_note = Some(format!(
+                    "two-level: {} area(s), sizes {:?}, boundary exchange \
+                     {} bytes/iteration\n",
+                    asg.n_areas,
+                    asg.area_sizes(),
+                    engine.solver().two_level_boundary_bytes(&tl),
+                ));
+                ExecutionMode::TwoLevel { options: tl }
+            } else {
+                match distributed {
+                    Some(ranks) => ExecutionMode::Distributed {
+                        options: DistributedOptions::builder()
+                            .n_ranks(ranks)
+                            .compression(compress)
+                            .faults(*faults)
+                            .quorum_frac(quorum)
+                            .rank_timeout(std::time::Duration::from_millis(rank_timeout_ms))
+                            .checkpoint(save_state.as_ref().map(|path| CheckpointSpec {
+                                path: path.into(),
+                                instance: instance.clone(),
+                                every: checkpoint_every,
+                            }))
+                            .build(),
+                    },
+                    None => ExecutionMode::SingleProcess,
+                }
             };
             let mut req = SolveRequest::new(opts).with_mode(mode);
             if let Some(state) = resume_state {
@@ -843,6 +981,9 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
                 req = req.with_supervisor(sup);
             }
             let mut out = String::new();
+            if let Some(note) = twolevel_note {
+                out += &note;
+            }
             let r = match &telemetry_json {
                 Some(path) => {
                     let (r, report) = engine
@@ -1569,6 +1710,8 @@ mod tests {
             deadline_ms: None,
             max_retries: 0,
             allow_partial: false,
+            mega: 0,
+            areas: 0,
         })
         .unwrap();
         assert!(out.contains("converged = false"), "{out}");
@@ -1636,6 +1779,8 @@ mod tests {
             deadline_ms: None,
             max_retries: 0,
             allow_partial: false,
+            mega: 0,
+            areas: 0,
         };
         let out = run(base).unwrap();
         assert!(out.contains("state saved"));
@@ -1665,6 +1810,8 @@ mod tests {
             deadline_ms: None,
             max_retries: 0,
             allow_partial: false,
+            mega: 0,
+            areas: 0,
         })
         .unwrap();
         assert!(resumed.contains("converged = true"), "{resumed}");
@@ -1694,6 +1841,8 @@ mod tests {
             deadline_ms: None,
             max_retries: 0,
             allow_partial: false,
+            mega: 0,
+            areas: 0,
         })
         .unwrap_err();
         assert!(e.0.contains("checkpoint is for"), "{e}");
@@ -1764,6 +1913,154 @@ mod tests {
         .unwrap();
         let e = run(parse(&sv(&["solve", "ieee13", "--resume", &path])).unwrap()).unwrap_err();
         assert!(e.0.contains("non-finite"), "{e}");
+    }
+
+    #[test]
+    fn parses_mega_and_areas_flags() {
+        let c = parse(&sv(&[
+            "solve",
+            "--mega",
+            "20",
+            "--areas",
+            "4",
+            "--max-iters",
+            "50",
+        ]))
+        .unwrap();
+        match c {
+            Command::Solve {
+                instance,
+                mega,
+                areas,
+                max_iters,
+                ..
+            } => {
+                assert_eq!(instance, "");
+                assert_eq!(mega, 20);
+                assert_eq!(areas, 4);
+                assert_eq!(max_iters, 50);
+            }
+            _ => panic!("wrong command"),
+        }
+        // Named instances take --areas too.
+        let c = parse(&sv(&["solve", "ieee123", "--areas", "4"])).unwrap();
+        assert!(matches!(
+            c,
+            Command::Solve {
+                areas: 4,
+                mega: 0,
+                ..
+            }
+        ));
+        assert!(parse(&sv(&["solve", "--mega", "0"])).is_err());
+        assert!(parse(&sv(&["solve", "ieee13", "--areas", "0"])).is_err());
+        // --mega replaces the positional instance; both together is a
+        // contradiction, neither is a missing instance.
+        assert!(parse(&sv(&["solve", "ieee13", "--mega", "4"])).is_err());
+        assert!(parse(&sv(&["solve"])).is_err());
+        assert!(parse(&sv(&["solve", "--areas", "2"])).is_err());
+        // The two-level mode is a single-process fused CPU sweep.
+        for incompatible in [
+            ["--distributed", "2"].as_slice(),
+            ["--scenarios", "4"].as_slice(),
+            ["--contingency-sweep"].as_slice(),
+            ["--resume", "x.json"].as_slice(),
+            ["--save-state", "x.json"].as_slice(),
+            ["--slab-batched"].as_slice(),
+            ["--backend", "gpu"].as_slice(),
+        ] {
+            let mut args = vec!["solve", "ieee13", "--areas", "2"];
+            args.extend_from_slice(incompatible);
+            let e = parse(&sv(&args)).unwrap_err();
+            assert!(e.0.contains("not supported"), "{args:?}: {e}");
+        }
+    }
+
+    #[test]
+    fn parses_serve_prewarm() {
+        let c = parse(&sv(&[
+            "serve",
+            "--cache",
+            "2",
+            "--prewarm",
+            "ieee13",
+            "--prewarm",
+            "ieee123",
+        ]))
+        .unwrap();
+        match c {
+            Command::Serve { prewarm, cache, .. } => {
+                assert_eq!(prewarm, sv(&["ieee13", "ieee123"]));
+                assert_eq!(cache, 2);
+            }
+            _ => panic!("wrong command"),
+        }
+        assert!(parse(&sv(&["serve", "--prewarm"])).is_err());
+    }
+
+    #[test]
+    fn two_level_solve_reports_areas_and_matches_single_level() {
+        // Same permuted problem, two-level vs plain fused: the CLI's
+        // --areas path must land on the same iterate (objective printed
+        // with 4 decimals is a coarse witness; the bit-level proof lives
+        // in opf-admm's twolevel tests).
+        let two = run(parse(&sv(&[
+            "solve",
+            "ieee13",
+            "--areas",
+            "2",
+            "--max-iters",
+            "400",
+        ]))
+        .unwrap())
+        .unwrap();
+        assert!(two.contains("two-level: 2 area(s)"), "{two}");
+        assert!(two.contains("boundary exchange"), "{two}");
+        let one = run(parse(&sv(&[
+            "solve",
+            "ieee13",
+            "--areas",
+            "1",
+            "--max-iters",
+            "400",
+        ]))
+        .unwrap())
+        .unwrap();
+        assert!(one.contains("two-level: 1 area(s)"), "{one}");
+        let single = run(parse(&sv(&["solve", "ieee13", "--max-iters", "400"])).unwrap()).unwrap();
+        let obj = |s: &str| {
+            s.lines()
+                .find(|l| l.contains("Σp^g"))
+                .unwrap()
+                .split("Σp^g = ")
+                .nth(1)
+                .unwrap()
+                .to_string()
+        };
+        // areas=1 is the identity permutation: exactly the fused solve.
+        assert_eq!(obj(&one), obj(&single));
+        assert_eq!(obj(&two), obj(&single));
+    }
+
+    #[test]
+    fn mega_solve_runs_two_level_end_to_end() {
+        let out = run(parse(&sv(&[
+            "solve",
+            "--mega",
+            "2",
+            "--areas",
+            "4",
+            "--max-iters",
+            "40",
+        ]))
+        .unwrap())
+        .unwrap();
+        assert!(out.contains("mega123x2:"), "{out}");
+        // The packer may saturate below the requested k; it must still
+        // split a 500-component instance into more than one area.
+        assert!(out.contains("two-level: "), "{out}");
+        assert!(!out.contains("two-level: 1 area(s)"), "{out}");
+        assert!(out.contains("boundary exchange"), "{out}");
     }
 
     #[test]

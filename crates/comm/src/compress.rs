@@ -90,6 +90,92 @@ impl Compression {
     }
 }
 
+/// Stateful difference (delta) compression over a fixed-size exchange —
+/// the EF21-style scheme the distributed runtime uses for the shared-λ
+/// stream, packaged for in-process reuse by the two-level consensus
+/// solver's inter-area boundary exchange.
+///
+/// Both ends of the exchange keep the same `mirror` of the last
+/// reconstructed values. Each round the sender ships `C(value − mirror)`
+/// and **both** ends accumulate the compressed delta into the mirror, so
+/// compression error feeds back into the next delta instead of
+/// accumulating silently (error feedback). With [`Compression::None`]
+/// the sync is exact and the mirror equals the values.
+#[derive(Debug, Clone)]
+pub struct DeltaStream {
+    mirror: Vec<f64>,
+    compression: Compression,
+    scratch: Vec<f64>,
+    total_wire_bytes: u64,
+    rounds: u64,
+}
+
+impl DeltaStream {
+    /// A stream over `n` values (mirror starts at zero, matching a
+    /// receiver that has seen nothing yet).
+    pub fn new(n: usize, compression: Compression) -> Self {
+        DeltaStream {
+            mirror: vec![0.0; n],
+            compression,
+            scratch: vec![0.0; n],
+            total_wire_bytes: 0,
+            rounds: 0,
+        }
+    }
+
+    /// One exchange round: compress the delta against the mirror, fold it
+    /// back, and overwrite `values` with what the receiver reconstructs.
+    /// Returns the wire bytes of this round.
+    ///
+    /// # Panics
+    /// Panics if `values.len()` differs from the stream size.
+    pub fn sync(&mut self, values: &mut [f64]) -> usize {
+        assert_eq!(values.len(), self.mirror.len(), "delta stream size");
+        let n = values.len();
+        let bytes = self.compression.wire_bytes(n);
+        self.rounds += 1;
+        self.total_wire_bytes += bytes as u64;
+        if matches!(self.compression, Compression::None) {
+            self.mirror.copy_from_slice(values);
+            return bytes;
+        }
+        for ((d, &v), &m) in self.scratch.iter_mut().zip(&*values).zip(&self.mirror) {
+            *d = v - m;
+        }
+        self.compression.apply(&mut self.scratch);
+        for ((m, v), &d) in self.mirror.iter_mut().zip(values).zip(&self.scratch) {
+            *m += d;
+            *v = *m;
+        }
+        bytes
+    }
+
+    /// Number of values per round.
+    pub fn len(&self) -> usize {
+        self.mirror.len()
+    }
+
+    /// Whether the stream carries no values.
+    pub fn is_empty(&self) -> bool {
+        self.mirror.is_empty()
+    }
+
+    /// Cumulative wire bytes across all rounds.
+    pub fn total_wire_bytes(&self) -> u64 {
+        self.total_wire_bytes
+    }
+
+    /// Rounds synced so far.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// The configured scheme.
+    pub fn compression(&self) -> Compression {
+        self.compression
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -154,5 +240,58 @@ mod tests {
     fn ratios() {
         assert_eq!(Compression::Fp32.ratio(100), 0.5);
         assert_eq!(Compression::None.ratio(0), 1.0);
+    }
+
+    #[test]
+    fn delta_stream_none_is_exact() {
+        let mut ds = DeltaStream::new(4, Compression::None);
+        let mut v = vec![1.5, -2.25, 0.0, 1e-17];
+        let orig = v.clone();
+        let bytes = ds.sync(&mut v);
+        assert_eq!(bytes, 32);
+        assert_eq!(v, orig);
+        let mut v2 = vec![9.0, 9.0, 9.0, 9.0];
+        ds.sync(&mut v2);
+        assert_eq!(v2, vec![9.0; 4]);
+        assert_eq!(ds.rounds(), 2);
+        assert_eq!(ds.total_wire_bytes(), 64);
+    }
+
+    #[test]
+    fn delta_stream_error_feedback_converges() {
+        // Under TopK only a fraction ships per round, but the mirror's
+        // error feedback means a *constant* target is reconstructed
+        // exactly after enough rounds (each round ships the largest
+        // remaining residuals).
+        let target: Vec<f64> = (0..10).map(|i| (i as f64) - 4.5).collect();
+        let mut ds = DeltaStream::new(10, Compression::TopK { fraction: 0.3 });
+        let mut last = vec![0.0; 10];
+        for _ in 0..8 {
+            let mut v = target.clone();
+            ds.sync(&mut v);
+            last = v;
+        }
+        for (a, b) in last.iter().zip(&target) {
+            assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn delta_stream_fp32_bounded_drift() {
+        let mut ds = DeltaStream::new(3, Compression::Fp32);
+        let target = vec![1.0e3, -7.25, 0.125];
+        let mut v = target.clone();
+        ds.sync(&mut v);
+        for (a, b) in v.iter().zip(&target) {
+            let rel = (a - b).abs() / b.abs().max(1e-30);
+            assert!(rel < 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "delta stream size")]
+    fn delta_stream_size_mismatch_panics() {
+        let mut ds = DeltaStream::new(3, Compression::None);
+        ds.sync(&mut [1.0, 2.0]);
     }
 }

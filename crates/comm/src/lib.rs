@@ -15,7 +15,7 @@ pub mod faults;
 pub mod model;
 pub mod runtime;
 
-pub use compress::Compression;
+pub use compress::{Compression, DeltaStream};
 pub use faults::{CrashAt, FaultPlan, LinkFaults, RetryPolicy, Straggler};
 pub use model::{CommModel, Endpoint};
 pub use runtime::{

@@ -14,6 +14,7 @@ use crate::cluster::{ClusterBreakdown, ClusterSpec};
 use crate::distributed::{DegradationReport, DistributedOptions};
 use crate::solver::SolverFreeAdmm;
 use crate::supervise::{self, StopReason, SupervisionReport, SupervisorOptions};
+use crate::twolevel::TwoLevelOptions;
 use crate::types::{AdmmOptions, Backend, Timings, TraceEntry};
 use crate::updates::Residuals;
 use opf_linalg::{vec_ops, LinalgError};
@@ -149,6 +150,16 @@ pub enum ExecutionMode {
     Distributed {
         /// Distribution-specific knobs.
         options: DistributedOptions,
+    },
+    /// The two-level hierarchical consensus solve for multi-area
+    /// instances: area-parallel fused slab-batched sweeps under one
+    /// top-level aggregator, with optional compression on the inter-area
+    /// boundary exchange. Requires a fused-path request on a CPU backend
+    /// and an area partition matching the problem's (area-major)
+    /// component stacking.
+    TwoLevel {
+        /// Area boundaries and boundary-exchange compression.
+        options: TwoLevelOptions,
     },
 }
 
@@ -417,6 +428,73 @@ impl AdmmBackend for SingleProcessBackend {
             }
             None => engine.solver.solve_observed(&req.options, obs),
         };
+        Ok(SolveOutcome::from_result(label, result))
+    }
+}
+
+/// The two-level hierarchical consensus path (area-parallel fused
+/// sweeps, top-level aggregator, optional boundary compression).
+pub struct TwoLevelBackend;
+
+impl AdmmBackend for TwoLevelBackend {
+    fn name(&self) -> &'static str {
+        "two-level"
+    }
+
+    fn run<O: IterationObserver>(
+        &self,
+        engine: &Engine,
+        req: &SolveRequest,
+        obs: &mut O,
+    ) -> Result<SolveOutcome, SolveError> {
+        let ExecutionMode::TwoLevel { options: tl } = &req.mode else {
+            panic!("TwoLevelBackend requires ExecutionMode::TwoLevel");
+        };
+        tl.validate(engine.solver.precomputed().s())
+            .map_err(SolveError::InvalidOptions)?;
+        if !req.options.fused {
+            return Err(SolveError::InvalidOptions(
+                "two-level mode is a fused path; set AdmmOptions::fused".into(),
+            ));
+        }
+        if matches!(req.options.backend, Backend::Gpu { .. }) {
+            return Err(SolveError::InvalidOptions(
+                "two-level mode runs on CPU backends (serial or rayon); \
+                 model multi-device GPU execution with gpu_sim::MultiDevice"
+                    .into(),
+            ));
+        }
+        let label = backend_label(&req.options.backend);
+        if req.supervisor.is_active() {
+            let solver = &engine.solver;
+            let (result, report) = supervise::run_supervised(
+                &req.options,
+                &req.supervisor,
+                |x| vec_ops::dot(&engine.problem().c, x),
+                |opts, ctx, state| {
+                    let st = state
+                        .or_else(|| req.warm_start.clone().map(WarmStart::into_tuple))
+                        .unwrap_or_else(|| solver.initial_state());
+                    solver.solve_two_level_from_supervised(opts, tl, st, obs, ctx)
+                },
+            );
+            emit_supervisor_counters(obs, result.stop, Some(&report));
+            let mut out = SolveOutcome::from_result(label, result);
+            out.supervision = Some(report);
+            return Ok(out);
+        }
+        let st = req
+            .warm_start
+            .clone()
+            .map(WarmStart::into_tuple)
+            .unwrap_or_else(|| engine.solver.initial_state());
+        let result = engine.solver.solve_two_level_from_supervised(
+            &req.options,
+            tl,
+            st,
+            obs,
+            &mut crate::supervise::SupervisorCtx::inert(),
+        );
         Ok(SolveOutcome::from_result(label, result))
     }
 }
@@ -719,6 +797,7 @@ impl Engine {
             ExecutionMode::BenchmarkQp => BenchmarkQpBackend.run(self, req, obs),
             ExecutionMode::Cluster { .. } => ClusterBackend.run(self, req, obs),
             ExecutionMode::Distributed { .. } => DistributedBackend.run(self, req, obs),
+            ExecutionMode::TwoLevel { .. } => TwoLevelBackend.run(self, req, obs),
         }
     }
 

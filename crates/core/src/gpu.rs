@@ -145,7 +145,11 @@ fn fused_block_cost(n: usize, streams_slab: bool) -> BlockCost {
 /// and, on check iterations, the inline residual partials: `z_prev`
 /// streams in (8 B/item); `x`, the fresh `z`, and the fresh `λ` are
 /// already in registers, so the partials add flops, not traffic.
-fn fused_iter_block_cost(n: usize, streams_slab: bool, with_partials: bool) -> BlockCost {
+pub(crate) fn fused_iter_block_cost(
+    n: usize,
+    streams_slab: bool,
+    with_partials: bool,
+) -> BlockCost {
     let matrix = 8.0 * n as f64;
     let mut vectors = 8.0 * 2.0 + 40.0 + 8.0;
     let mut flops = 4.0 * n as f64 + 3.0 + 2.0;
@@ -391,7 +395,7 @@ impl MultiBlockKernel for FusedIterKernel<'_> {
 /// from HBM; later scenarios re-read the slab through L2
 /// (`streams_slab == false` charges the amortized matrix bytes to
 /// `cached_bytes_per_item`).
-fn slab_batch_block_cost(
+pub(crate) fn slab_batch_block_cost(
     n: usize,
     width: usize,
     streams_slab: bool,
@@ -414,6 +418,35 @@ fn slab_batch_block_cost(
         },
         cached_bytes_per_item: if streams_slab { 0.0 } else { matrix },
     }
+}
+
+/// Modeled [`BlockCost`]s of one per-component fused sweep over `pre` —
+/// what [`FusedIterKernel::block_cost`] reports block by block, exposed
+/// so benches can price the launch on a device model without running
+/// the simulator. Deterministic: pure arithmetic over the arena layout.
+pub fn fused_sweep_block_costs(pre: &Precomputed, with_partials: bool) -> Vec<BlockCost> {
+    (0..pre.s())
+        .map(|s| fused_iter_block_cost(pre.range(s).len(), pre.is_slab_owner(s), with_partials))
+        .collect()
+}
+
+/// Modeled [`BlockCost`]s of one slab-batched panel sweep over `pre` —
+/// the [`SlabBatchIterKernel::block_cost`] schedule (one block per
+/// unique slab, each streaming its matrix once per panel). Compare
+/// against [`fused_sweep_block_costs`] under a device model to get the
+/// arithmetic-intensity gain of the GEMM formulation, independent of
+/// host wall-clock noise.
+pub fn slab_batch_sweep_block_costs(pre: &Precomputed, with_partials: bool) -> Vec<BlockCost> {
+    (0..pre.unique_slabs())
+        .map(|k| {
+            slab_batch_block_cost(
+                pre.slab_dim(k),
+                pre.slab_members(k).len(),
+                true,
+                with_partials,
+            )
+        })
+        .collect()
 }
 
 /// Slab-batched fused-iteration launch: one block per *slab group* runs

@@ -25,6 +25,7 @@ pub mod nonideal;
 pub mod precompute;
 pub mod solver;
 pub mod supervise;
+pub mod twolevel;
 pub mod types;
 pub mod updates;
 
@@ -47,6 +48,7 @@ pub use nonideal::NonIdealComm;
 pub use precompute::{PatchStats, Precomputed, ReferencePrecomputed};
 pub use solver::SolverFreeAdmm;
 pub use supervise::{CancelToken, StallPolicy, StopReason, SupervisionReport, SupervisorOptions};
+pub use twolevel::TwoLevelOptions;
 pub use types::{
     AdmmOptions, AdmmOptionsBuilder, Backend, ResidualBalancing, SolveResult, Timings, TraceEntry,
 };
@@ -76,6 +78,7 @@ pub mod prelude {
     pub use crate::supervise::{
         CancelToken, StallPolicy, StopReason, SupervisionReport, SupervisorOptions,
     };
+    pub use crate::twolevel::TwoLevelOptions;
     pub use crate::types::{
         AdmmOptions, AdmmOptionsBuilder, Backend, ResidualBalancing, SolveResult, Timings,
     };

@@ -1,0 +1,811 @@
+//! Two-level hierarchical consensus solve for multi-area instances.
+//!
+//! The single-level loop treats the feeder as one flat component set: one
+//! global average, one sweep over every component. At 10⁵–10⁶ components
+//! (ROADMAP item 5's mega-feeders) that flat sweep leaves structure on
+//! the table — the instance is hundreds of feeder replicas hanging off a
+//! spine, and almost every consensus variable is *interior* to one
+//! replica. This module adds the hierarchy:
+//!
+//! * **Areas.** The component set is split into `K` contiguous ranges
+//!   (`area_ptr`), each a radial subtree rooted at a spine bus — see
+//!   `opf_net::partition_areas`. The decomposition must be built from the
+//!   area-major permuted [`opf_net::ComponentGraph`]
+//!   ([`opf_net::AreaAssignment::permuted`]), so each area owns one
+//!   contiguous span of the stacked arena layout and the per-area sweeps
+//!   split the stacked buffers without copying.
+//! * **Within an area**: the fused slab-batched kernels run over the
+//!   area's members of each unique slab ([`updates::slab_batch_run`] for
+//!   full [`updates::SLAB_TILE`] tiles, the fused per-component kernel
+//!   for the sub-tile tail). Because replicas of the same jitter class
+//!   intern onto the same slabs, per-iteration matrix traffic scales in
+//!   *unique slabs*, not components, and areas sweep in parallel
+//!   (recursive `rayon::join` at area boundaries).
+//! * **Between areas**: only the *boundary* consensus variables — globals
+//!   whose component copies span ≥ 2 areas, i.e. the spine couplings —
+//!   logically travel between areas each iteration. Their consensus-feed
+//!   entries can ride a shared-λ difference stream
+//!   ([`comm_sim::DeltaStream`], the EF21 error-feedback scheme) with
+//!   lossy [`comm_sim::Compression`]; with [`comm_sim::Compression::None`]
+//!   the exchange is exact and the whole two-level solve is
+//!   **bit-identical** to the single-level fused path on the same
+//!   (permuted) problem — for *any* area count, pinned by
+//!   `tests/tests/twolevel.rs`.
+//!
+//! The iteration loop itself mirrors `solve_view_exec_supervised` step
+//! for step (global update, ping-pong swap, sweep, check cadence,
+//! supervisor hook, ρ-adaptation); only the local sweep's scheduling and
+//! the optional boundary compression differ.
+
+use crate::precompute::Precomputed;
+use crate::solver::{sum_partials, Exec, SolverFreeAdmm};
+use crate::supervise::{StopReason, SupervisorCtx};
+use crate::types::*;
+use crate::updates::{self, Residuals, SLAB_TILE};
+use comm_sim::{Compression, DeltaStream};
+use opf_net::AreaAssignment;
+use opf_telemetry::{IterationObserver, IterationSample, NoopObserver, Phase};
+use std::time::Instant;
+
+/// Configuration of the two-level consensus solve.
+#[derive(Debug, Clone)]
+pub struct TwoLevelOptions {
+    /// Area boundaries over the component index space: `K + 1` entries,
+    /// `area_ptr[a]..area_ptr[a+1]` is area `a`. Must start at 0, be
+    /// strictly increasing, and end at `S`. Components must be stacked
+    /// area-major (build the problem from the permuted component graph).
+    pub area_ptr: Vec<usize>,
+    /// Compression applied to the inter-area boundary exchange (the
+    /// consensus-feed entries of multi-area globals) through an
+    /// error-feedback delta stream. [`Compression::None`] keeps the
+    /// exchange exact — and the solve bit-identical to single-level.
+    pub compression: Compression,
+}
+
+impl TwoLevelOptions {
+    /// Areas from an explicit component-boundary vector, exact exchange.
+    pub fn new(area_ptr: Vec<usize>) -> Self {
+        TwoLevelOptions {
+            area_ptr,
+            compression: Compression::None,
+        }
+    }
+
+    /// Areas from a partition produced by [`opf_net::partition_areas`]
+    /// (the decomposition must then be built from
+    /// [`AreaAssignment::permuted`]).
+    pub fn from_assignment(asg: &AreaAssignment) -> Self {
+        TwoLevelOptions::new(asg.area_ptr.clone())
+    }
+
+    /// Select a boundary compression scheme.
+    pub fn with_compression(mut self, compression: Compression) -> Self {
+        self.compression = compression;
+        self
+    }
+
+    /// Number of areas.
+    pub fn n_areas(&self) -> usize {
+        self.area_ptr.len().saturating_sub(1)
+    }
+
+    /// Structural validation against a problem with `s` components.
+    pub fn validate(&self, s: usize) -> Result<(), String> {
+        if self.area_ptr.len() < 2 {
+            return Err("area_ptr needs at least one area".into());
+        }
+        if self.area_ptr[0] != 0 {
+            return Err("area_ptr must start at component 0".into());
+        }
+        if *self.area_ptr.last().expect("non-empty") != s {
+            return Err(format!(
+                "area_ptr must end at S = {s}, ends at {}",
+                self.area_ptr.last().expect("non-empty")
+            ));
+        }
+        if self.area_ptr.windows(2).any(|w| w[0] >= w[1]) {
+            return Err("area_ptr must be strictly increasing".into());
+        }
+        if let Compression::TopK { fraction } = self.compression {
+            if !(fraction > 0.0 && fraction <= 1.0) {
+                return Err(format!("TopK fraction {fraction} outside (0, 1]"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One full-tile run of an area's members of a slab: indices
+/// `start..end` into `pre.slab_members(slab)`, `end − start` a multiple
+/// of [`SLAB_TILE`].
+#[derive(Debug, Clone, Copy)]
+struct AreaRun {
+    slab: usize,
+    start: usize,
+    end: usize,
+}
+
+/// The per-solve sweep schedule: each area's full-tile slab runs and its
+/// ascending sub-tile tail, plus the inter-area boundary index set.
+pub(crate) struct AreaLayout {
+    area_ptr: Vec<usize>,
+    runs: Vec<Vec<AreaRun>>,
+    tails: Vec<Vec<usize>>,
+    /// Stacked positions of every copy of a multi-area global, ascending.
+    boundary: Vec<usize>,
+    /// Number of distinct globals with copies in ≥ 2 areas.
+    boundary_globals: usize,
+    full_tile_members: usize,
+}
+
+impl AreaLayout {
+    pub(crate) fn build(pre: &Precomputed, n_globals: usize, area_ptr: &[usize]) -> AreaLayout {
+        let k_areas = area_ptr.len() - 1;
+        let mut runs = vec![Vec::new(); k_areas];
+        let mut tails = vec![Vec::new(); k_areas];
+        let mut full_tile_members = 0;
+        for k in 0..pre.unique_slabs() {
+            let members = pre.slab_members(k);
+            for a in 0..k_areas {
+                // Members are ascending and areas are contiguous component
+                // ranges, so each area's members of this slab are one
+                // contiguous segment of the member list.
+                let lo = members.partition_point(|&s| s < area_ptr[a]);
+                let hi = members.partition_point(|&s| s < area_ptr[a + 1]);
+                if lo == hi {
+                    continue;
+                }
+                let full = (hi - lo) / SLAB_TILE * SLAB_TILE;
+                if full > 0 {
+                    runs[a].push(AreaRun {
+                        slab: k,
+                        start: lo,
+                        end: lo + full,
+                    });
+                    full_tile_members += full;
+                }
+                tails[a].extend_from_slice(&members[lo + full..hi]);
+            }
+        }
+        // Sub-tile members from different slabs interleave in component
+        // index; sweep them ascending to restore the streaming traversal
+        // (same rationale as the single-level tile tail).
+        for t in &mut tails {
+            t.sort_unstable();
+        }
+
+        let area_of = |p: usize| {
+            let s = pre.offsets.partition_point(|&o| o <= p) - 1;
+            area_ptr.partition_point(|&q| q <= s) - 1
+        };
+        let mut boundary = Vec::new();
+        let mut boundary_globals = 0;
+        for j in 0..n_globals {
+            let copies = &pre.copies_idx[pre.copies_ptr[j]..pre.copies_ptr[j + 1]];
+            if copies.len() < 2 {
+                continue;
+            }
+            let a0 = area_of(copies[0]);
+            if copies.iter().skip(1).any(|&p| area_of(p) != a0) {
+                boundary_globals += 1;
+                boundary.extend_from_slice(copies);
+            }
+        }
+        boundary.sort_unstable();
+        AreaLayout {
+            area_ptr: area_ptr.to_vec(),
+            runs,
+            tails,
+            boundary,
+            boundary_globals,
+            full_tile_members,
+        }
+    }
+
+    fn n_areas(&self) -> usize {
+        self.area_ptr.len() - 1
+    }
+
+    fn tail_members(&self) -> usize {
+        self.tails.iter().map(Vec::len).sum()
+    }
+}
+
+/// Sweep one area: full-tile slab runs first (ascending slab id), then
+/// the sub-tile tail ascending. `z`/`lambda`/`w` are the area's stacked
+/// spans; `partials` — on check iterations — the area's `5·`(components)
+/// span. Components are independent given `x`, so the run/tail order
+/// never changes any member's result — every member's arithmetic is the
+/// single-level kernels' verbatim.
+#[allow(clippy::too_many_arguments)]
+fn sweep_area(
+    pre: &Precomputed,
+    layout: &AreaLayout,
+    a: usize,
+    rho: f64,
+    bbar: &[f64],
+    x: &[f64],
+    z_prev: &[f64],
+    z: &mut [f64],
+    lambda: &mut [f64],
+    w: &mut [f64],
+    mut partials: Option<&mut [f64]>,
+) {
+    let s0 = layout.area_ptr[a];
+    let dim0 = pre.offsets[s0];
+    for run in &layout.runs[a] {
+        let members = &pre.slab_members(run.slab)[run.start..run.end];
+        updates::slab_batch_run(
+            run.slab,
+            members,
+            pre,
+            bbar,
+            rho,
+            x,
+            z_prev,
+            dim0,
+            s0,
+            z,
+            lambda,
+            w,
+            partials.as_deref_mut(),
+        );
+    }
+    for &s in &layout.tails[a] {
+        let r = pre.range(s);
+        let rel = r.start - dim0..r.end - dim0;
+        let part = partials
+            .as_mut()
+            .map(|p| &mut p[5 * (s - s0)..5 * (s - s0) + 5]);
+        updates::fused_iteration_component(
+            s,
+            pre,
+            &bbar[r.clone()],
+            rho,
+            x,
+            &z_prev[r],
+            &mut z[rel.clone()],
+            &mut lambda[rel.clone()],
+            &mut w[rel],
+            part,
+        );
+    }
+}
+
+/// Recursive `rayon::join` driver over areas `alo..ahi`, splitting the
+/// stacked buffers at area boundaries (and the component-order partials
+/// at `5·area_ptr`). Splitting only changes scheduling, never per-member
+/// results.
+#[allow(clippy::too_many_arguments)]
+fn sweep_areas(
+    pre: &Precomputed,
+    layout: &AreaLayout,
+    alo: usize,
+    ahi: usize,
+    rho: f64,
+    bbar: &[f64],
+    x: &[f64],
+    z_prev: &[f64],
+    z: &mut [f64],
+    lambda: &mut [f64],
+    w: &mut [f64],
+    partials: Option<&mut [f64]>,
+) {
+    if ahi - alo <= 1 {
+        if ahi > alo {
+            sweep_area(
+                pre, layout, alo, rho, bbar, x, z_prev, z, lambda, w, partials,
+            );
+        }
+        return;
+    }
+    let mid = alo + (ahi - alo) / 2;
+    let cut = pre.offsets[layout.area_ptr[mid]] - pre.offsets[layout.area_ptr[alo]];
+    let (z_a, z_b) = z.split_at_mut(cut);
+    let (l_a, l_b) = lambda.split_at_mut(cut);
+    let (w_a, w_b) = w.split_at_mut(cut);
+    let (p_a, p_b) = match partials {
+        Some(p) => {
+            let (a, b) = p.split_at_mut(5 * (layout.area_ptr[mid] - layout.area_ptr[alo]));
+            (Some(a), Some(b))
+        }
+        None => (None, None),
+    };
+    rayon::join(
+        || {
+            sweep_areas(
+                pre, layout, alo, mid, rho, bbar, x, z_prev, z_a, l_a, w_a, p_a,
+            )
+        },
+        || {
+            sweep_areas(
+                pre, layout, mid, ahi, rho, bbar, x, z_prev, z_b, l_b, w_b, p_b,
+            )
+        },
+    );
+}
+
+impl SolverFreeAdmm {
+    /// Two-level solve from the paper's initial point.
+    ///
+    /// # Panics
+    /// Panics if `tl` fails [`TwoLevelOptions::validate`] for this
+    /// problem (the engine facade validates and returns errors instead).
+    pub fn solve_two_level(&self, opts: &AdmmOptions, tl: &TwoLevelOptions) -> SolveResult {
+        self.solve_two_level_observed(opts, tl, &mut NoopObserver)
+    }
+
+    /// [`SolverFreeAdmm::solve_two_level`] with an observer attached.
+    pub fn solve_two_level_observed<O: IterationObserver>(
+        &self,
+        opts: &AdmmOptions,
+        tl: &TwoLevelOptions,
+        obs: &mut O,
+    ) -> SolveResult {
+        self.solve_two_level_from_supervised(
+            opts,
+            tl,
+            self.initial_state(),
+            obs,
+            &mut SupervisorCtx::inert(),
+        )
+    }
+
+    /// The two-level iteration loop — `solve_view_exec_supervised` with
+    /// the local sweep scheduled per area and the optional boundary
+    /// compression. With [`Compression::None`] every iterate, residual,
+    /// and stop decision is bit-identical to the single-level fused path
+    /// on the same problem.
+    pub(crate) fn solve_two_level_from_supervised<O: IterationObserver>(
+        &self,
+        opts: &AdmmOptions,
+        tl: &TwoLevelOptions,
+        state: (Vec<f64>, Vec<f64>, Vec<f64>),
+        obs: &mut O,
+        sup: &mut SupervisorCtx,
+    ) -> SolveResult {
+        let pre = self.precomputed();
+        let dec = self.problem();
+        tl.validate(pre.s()).expect("validated two-level options");
+        assert!(
+            opts.fused,
+            "two-level mode is a fused path; set AdmmOptions::fused"
+        );
+        let mut exec = Exec::from_backend(&opts.backend);
+        assert!(
+            !matches!(exec, Exec::Gpu(..)),
+            "two-level mode runs on CPU backends (single-device GPU has no areas)"
+        );
+        if obs.enabled() {
+            exec.enable_profiling();
+        }
+        let layout = AreaLayout::build(pre, dec.n, &tl.area_ptr);
+        let view = self.base_view();
+
+        let (mut x, mut z, mut lambda) = state;
+        assert_eq!(x.len(), dec.n, "warm start: x dimension");
+        assert_eq!(z.len(), pre.total_dim(), "warm start: z dimension");
+        assert_eq!(lambda.len(), pre.total_dim(), "warm start: λ dimension");
+        let mut z_prev = z.clone();
+        let mut rho = opts.rho;
+        let mut timings = Timings {
+            simulated: false,
+            ..Timings::default()
+        };
+        let mut trace = Vec::with_capacity(
+            opts.max_iters
+                .checked_div(opts.trace_every)
+                .map_or(0, |n| n + 2),
+        );
+        updates::warm_scratch(2 * SLAB_TILE * pre.max_component_dim());
+        let mut partials_buf = vec![0.0; 5 * pre.s()];
+        // Boundary exchange state: the delta stream plus gather scratch.
+        // With exact exchange (None) the stream is never consulted.
+        let compressing = !matches!(tl.compression, Compression::None);
+        let mut stream =
+            compressing.then(|| DeltaStream::new(layout.boundary.len(), tl.compression));
+        let mut boundary_scratch = vec![
+            0.0;
+            if compressing {
+                layout.boundary.len()
+            } else {
+                0
+            }
+        ];
+        let mut boundary_bytes: u64 = 0;
+
+        // Seed the consensus feed exactly as the single-level fused loop.
+        let inv_rho = 1.0 / rho;
+        let mut w: Vec<f64> = z
+            .iter()
+            .zip(lambda.iter())
+            .map(|(&zj, &lj)| zj - lj * inv_rho)
+            .collect();
+        let mut w_rho = rho;
+
+        let mut res = Residuals::default();
+        let mut converged = false;
+        let mut stop = StopReason::MaxIters;
+        let mut iterations = 0;
+
+        let stride = opts.check_every.max(1);
+        for t in 1..=opts.max_iters {
+            iterations = t;
+            let checking = t % stride == 0 || t == opts.max_iters;
+            let feed_valid = w_rho == rho;
+            // --- Inter-area boundary exchange. The areas' interior feed
+            //     entries never cross the fabric; only the multi-area
+            //     globals' copies do, optionally through the lossy
+            //     error-feedback delta stream. ---
+            if feed_valid {
+                if let Some(ds) = stream.as_mut() {
+                    for (dst, &p) in boundary_scratch.iter_mut().zip(&layout.boundary) {
+                        *dst = w[p];
+                    }
+                    boundary_bytes += ds.sync(&mut boundary_scratch) as u64;
+                    for (&src, &p) in boundary_scratch.iter().zip(&layout.boundary) {
+                        w[p] = src;
+                    }
+                }
+            }
+            // --- Global update (13), top level: one clipped average over
+            //     all areas (the aggregator). ---
+            let feed = feed_valid.then_some(w.as_slice());
+            let dt = self.run_global(&mut exec, rho, true, view, &z, &lambda, feed, &mut x);
+            timings.global_s += dt;
+            obs.on_phase(Phase::Global, dt);
+            std::mem::swap(&mut z, &mut z_prev);
+            // --- Per-area fused slab-batched sweep (15) + (12) + feed,
+            //     areas in parallel. ---
+            let part = checking.then_some(partials_buf.as_mut_slice());
+            let t0 = Instant::now();
+            match &mut exec {
+                Exec::Pool(pool) => pool.install(|| {
+                    sweep_areas(
+                        pre,
+                        &layout,
+                        0,
+                        layout.n_areas(),
+                        rho,
+                        view.bbar,
+                        &x,
+                        &z_prev,
+                        &mut z,
+                        &mut lambda,
+                        &mut w,
+                        part,
+                    )
+                }),
+                Exec::Inherit => sweep_areas(
+                    pre,
+                    &layout,
+                    0,
+                    layout.n_areas(),
+                    rho,
+                    view.bbar,
+                    &x,
+                    &z_prev,
+                    &mut z,
+                    &mut lambda,
+                    &mut w,
+                    part,
+                ),
+                _ => {
+                    // Serial: areas in order, same per-member arithmetic.
+                    let mut part = part;
+                    for a in 0..layout.n_areas() {
+                        let s_lo = layout.area_ptr[a];
+                        let s_hi = layout.area_ptr[a + 1];
+                        let d = pre.offsets[s_lo]..pre.offsets[s_hi];
+                        let pa = part.as_mut().map(|p| &mut p[5 * s_lo..5 * s_hi]);
+                        // Split borrows per area; NLL ends each before the
+                        // next iteration.
+                        let (z_a, l_a, w_a) =
+                            (&mut z[d.clone()], &mut lambda[d.clone()], &mut w[d]);
+                        sweep_area(
+                            pre, &layout, a, rho, view.bbar, &x, &z_prev, z_a, l_a, w_a, pa,
+                        );
+                    }
+                }
+            }
+            w_rho = rho;
+            let dt = t0.elapsed().as_secs_f64();
+            timings.slab_batch_s += dt;
+            obs.on_phase(Phase::SlabBatch, dt);
+
+            if checking {
+                // Component-order global reduction — the partials buffer
+                // is component-indexed, so the sum order (and hence the
+                // residual bits) matches the single-level path.
+                res = Residuals::from_sums(
+                    sum_partials(&partials_buf),
+                    opts.eps_rel,
+                    opts.eps_abs,
+                    pre.total_dim(),
+                    rho,
+                );
+                if sup.active {
+                    if let Some(s) = sup.at_check(t, &mut res, &x, &z, &mut lambda) {
+                        stop = s;
+                        break;
+                    }
+                }
+                if obs.enabled() {
+                    obs.on_iteration(&IterationSample {
+                        iter: t as u64,
+                        pres: res.pres,
+                        dres: res.dres,
+                        eps_prim: res.eps_prim,
+                        eps_dual: res.eps_dual,
+                        rho,
+                    });
+                }
+                if opts.trace_every > 0 && (t % opts.trace_every == 0 || t == 1) {
+                    trace.push(TraceEntry {
+                        iter: t,
+                        pres: res.pres,
+                        dres: res.dres,
+                        eps_prim: res.eps_prim,
+                        eps_dual: res.eps_dual,
+                        rho,
+                    });
+                }
+                if res.converged() {
+                    converged = true;
+                    stop = StopReason::Converged;
+                    break;
+                }
+                if !res.pres.is_finite() || !res.dres.is_finite() {
+                    stop = StopReason::NonFinite;
+                    break;
+                }
+                if let Some(rb) = opts.rho_adapt {
+                    if t % rb.every == 0 {
+                        if res.pres > rb.mu * res.dres {
+                            rho *= rb.tau;
+                        } else if res.dres > rb.mu * res.pres {
+                            rho /= rb.tau;
+                        }
+                    }
+                }
+            }
+        }
+        timings.iterations = iterations;
+        if obs.enabled() {
+            exec.report_kernels(obs);
+            obs.on_counter("twolevel.areas", layout.n_areas() as u64);
+            obs.on_counter("twolevel.boundary_globals", layout.boundary_globals as u64);
+            obs.on_counter("twolevel.boundary_stacked", layout.boundary.len() as u64);
+            obs.on_counter("twolevel.boundary_bytes", boundary_bytes);
+            obs.on_counter(
+                "twolevel.full_tile_members",
+                layout.full_tile_members as u64,
+            );
+            obs.on_counter("twolevel.tail_members", layout.tail_members() as u64);
+            obs.on_counter("slab_batch.groups", pre.unique_slabs() as u64);
+        }
+
+        let objective = opf_linalg::vec_ops::dot(&dec.c, &x);
+        SolveResult {
+            x,
+            z,
+            lambda,
+            objective,
+            iterations,
+            converged,
+            stop,
+            residuals: res,
+            timings,
+            trace,
+            ..SolveResult::default()
+        }
+    }
+
+    /// Per-iteration inter-area traffic in bytes for a given layout —
+    /// what one consensus round ships over the fabric (used by the
+    /// multi-device comm model and the scaling bench).
+    pub fn two_level_boundary_bytes(&self, tl: &TwoLevelOptions) -> usize {
+        let layout = AreaLayout::build(self.precomputed(), self.problem().n, &tl.area_ptr);
+        tl.compression.wire_bytes(layout.boundary.len())
+    }
+
+    /// Per-area analytic GPU block costs for the two-level sweep: one
+    /// [`gpu_sim::BlockCost`] per full-tile slab run (the slab-batched
+    /// matrix × panel model — the `8n²`-byte slab streams once per run,
+    /// so matrix traffic scales in *unique slabs per area*, not members)
+    /// plus one per sub-tile tail member (the fused-iteration model; the
+    /// first tail member of a slab streams it unless a full-tile run in
+    /// the same area already did). Feed the result to
+    /// [`gpu_sim::MultiDevice::iteration_time`] together with
+    /// [`SolverFreeAdmm::two_level_boundary_bytes`] to price an
+    /// area-per-device schedule against *measured* boundary traffic —
+    /// the scaling bench's modeled per-iteration time.
+    pub fn two_level_device_blocks(&self, tl: &TwoLevelOptions) -> Vec<Vec<gpu_sim::BlockCost>> {
+        let pre = self.precomputed();
+        let k_areas = tl.n_areas();
+        let mut blocks = vec![Vec::new(); k_areas];
+        for k in 0..pre.unique_slabs() {
+            let members = pre.slab_members(k);
+            let n = pre.slab_dim(k);
+            for (a, area_blocks) in blocks.iter_mut().enumerate() {
+                let lo = members.partition_point(|&s| s < tl.area_ptr[a]);
+                let hi = members.partition_point(|&s| s < tl.area_ptr[a + 1]);
+                if lo == hi {
+                    continue;
+                }
+                let full = (hi - lo) / SLAB_TILE * SLAB_TILE;
+                if full > 0 {
+                    area_blocks.push(crate::gpu::slab_batch_block_cost(n, full, true, true));
+                }
+                for t in 0..(hi - lo - full) {
+                    area_blocks.push(crate::gpu::fused_iter_block_cost(
+                        n,
+                        full == 0 && t == 0,
+                        true,
+                    ));
+                }
+            }
+        }
+        blocks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opf_model::decompose;
+    use opf_net::{feeders, partition_areas, ComponentGraph};
+
+    fn two_level_setup_on(name: &str, k: usize) -> (SolverFreeAdmm, TwoLevelOptions) {
+        let net = feeders::by_name(name).unwrap();
+        let g = ComponentGraph::build(&net);
+        let asg = partition_areas(&net, &g, k);
+        let dec = decompose(&net, &asg.permuted(&g)).unwrap();
+        let solver = SolverFreeAdmm::new(&dec).unwrap();
+        let tl = TwoLevelOptions::from_assignment(&asg);
+        (solver, tl)
+    }
+
+    fn two_level_setup(k: usize) -> (SolverFreeAdmm, TwoLevelOptions) {
+        two_level_setup_on("ieee123", k)
+    }
+
+    #[test]
+    fn options_validate() {
+        assert!(TwoLevelOptions::new(vec![0, 5, 10]).validate(10).is_ok());
+        assert!(TwoLevelOptions::new(vec![0, 10]).validate(10).is_ok());
+        assert!(TwoLevelOptions::new(vec![0]).validate(10).is_err());
+        assert!(TwoLevelOptions::new(vec![1, 10]).validate(10).is_err());
+        assert!(TwoLevelOptions::new(vec![0, 5, 5, 10])
+            .validate(10)
+            .is_err());
+        assert!(TwoLevelOptions::new(vec![0, 5]).validate(10).is_err());
+        let bad =
+            TwoLevelOptions::new(vec![0, 10]).with_compression(Compression::TopK { fraction: 0.0 });
+        assert!(bad.validate(10).is_err());
+    }
+
+    #[test]
+    fn layout_covers_every_component_once() {
+        let (solver, tl) = two_level_setup(4);
+        let pre = solver.precomputed();
+        let layout = AreaLayout::build(pre, solver.problem().n, &tl.area_ptr);
+        let mut seen = vec![0usize; pre.s()];
+        for a in 0..layout.n_areas() {
+            for run in &layout.runs[a] {
+                for &s in &pre.slab_members(run.slab)[run.start..run.end] {
+                    assert!(s >= tl.area_ptr[a] && s < tl.area_ptr[a + 1]);
+                    seen[s] += 1;
+                }
+            }
+            for &s in &layout.tails[a] {
+                assert!(s >= tl.area_ptr[a] && s < tl.area_ptr[a + 1]);
+                seen[s] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1), "each component swept once");
+    }
+
+    #[test]
+    fn boundary_is_multi_area_copies_only() {
+        let (solver, tl) = two_level_setup(4);
+        let pre = solver.precomputed();
+        let layout = AreaLayout::build(pre, solver.problem().n, &tl.area_ptr);
+        // A 4-area split of a radial feeder cuts ≥ 3 edges; each cut
+        // consensus variable has ≥ 2 stacked copies.
+        assert!(layout.boundary_globals >= 3);
+        assert!(layout.boundary.len() >= 2 * layout.boundary_globals);
+        // Far fewer boundary than interior variables.
+        assert!(layout.boundary.len() < pre.total_dim() / 4);
+        // Ascending, unique.
+        assert!(layout.boundary.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn device_blocks_cover_total_dim_and_price_schedule() {
+        let (solver, tl) = two_level_setup(4);
+        let pre = solver.precomputed();
+        let blocks = solver.two_level_device_blocks(&tl);
+        assert_eq!(blocks.len(), tl.n_areas());
+        let items: usize = blocks.iter().flatten().map(|b| b.items).sum();
+        assert_eq!(items, pre.total_dim(), "every stacked entry priced once");
+        let m = gpu_sim::MultiDevice::a100_cluster(tl.n_areas());
+        let bytes = solver.two_level_boundary_bytes(&tl);
+        let t = m.iteration_time(&blocks, 32, bytes);
+        assert!(t > 0.0);
+        let s = m.speedup(&blocks, 32, bytes);
+        assert!(s > 0.0 && s <= tl.n_areas() as f64 + 1e-9, "speedup {s}");
+    }
+
+    #[test]
+    fn two_level_single_area_matches_single_level_bitwise() {
+        let (solver, tl) = two_level_setup(1);
+        assert_eq!(tl.n_areas(), 1);
+        let opts = AdmmOptions::builder()
+            .max_iters(300)
+            .fused(true)
+            .slab_batched(true)
+            .build();
+        let single = solver.solve(&opts);
+        let two = solver.solve_two_level(&opts, &tl);
+        assert_eq!(single.x, two.x);
+        assert_eq!(single.z, two.z);
+        assert_eq!(single.lambda, two.lambda);
+        assert_eq!(single.iterations, two.iterations);
+        assert_eq!(single.residuals.pres, two.residuals.pres);
+        assert_eq!(single.residuals.dres, two.residuals.dres);
+    }
+
+    #[test]
+    fn two_level_many_areas_matches_single_level_bitwise() {
+        let (solver, tl) = two_level_setup(4);
+        assert!(tl.n_areas() >= 2);
+        let opts = AdmmOptions::builder()
+            .max_iters(200)
+            .fused(true)
+            .slab_batched(true)
+            .build();
+        let single = solver.solve(&opts);
+        let two = solver.solve_two_level(&opts, &tl);
+        assert_eq!(single.x, two.x);
+        assert_eq!(single.z, two.z);
+        assert_eq!(single.lambda, two.lambda);
+    }
+
+    #[test]
+    fn compressed_boundary_still_converges() {
+        // ieee13 keeps this fast; the lossy boundary exchange must not
+        // break convergence (error feedback bounds the drift), and the
+        // exact solve at the same tolerance pins the iteration overhead.
+        let (solver, tl) = two_level_setup_on("ieee13", 4);
+        let exact = solver.solve_two_level(
+            &AdmmOptions::builder()
+                .fused(true)
+                .slab_batched(true)
+                .build(),
+            &tl,
+        );
+        assert!(exact.converged);
+        let tl = tl.with_compression(Compression::Fp32);
+        let opts = AdmmOptions::builder()
+            .max_iters(4 * exact.iterations.max(1000))
+            .fused(true)
+            .slab_batched(true)
+            .build();
+        let out = solver.solve_two_level(&opts, &tl);
+        assert!(
+            out.converged,
+            "stopped {:?} after {} (exact took {})",
+            out.stop, out.iterations, exact.iterations
+        );
+    }
+
+    #[test]
+    fn boundary_bytes_shrink_with_compression() {
+        let (solver, tl) = two_level_setup(4);
+        let exact = solver.two_level_boundary_bytes(&tl);
+        let fp32 = solver.two_level_boundary_bytes(&tl.clone().with_compression(Compression::Fp32));
+        assert!(exact > 0);
+        assert_eq!(fp32 * 2, exact);
+    }
+}

@@ -426,6 +426,114 @@ pub fn slab_batch_group(
     }
 }
 
+/// [`slab_batch_group`] over an explicit *full-tile* member run with
+/// area-relative output slices — the two-level consensus solver's form,
+/// where each area owns one contiguous span of the (area-major) stacked
+/// layout and sweeps only its own members of each slab. `members` must be
+/// a multiple of [`SLAB_TILE`] long (the area layout splits sub-tile
+/// remainders into a per-area tail swept with
+/// [`fused_iteration_component`]); `z`/`lambda`/`w` are the area's
+/// stacked spans starting at stacked offset `dim0`, and `partials` — when
+/// given — is the area's `5·(s − s0)`-indexed span of the component-order
+/// residual buffer. `bbar`/`x`/`z_prev` stay full and absolute
+/// (read-shared across areas). The arithmetic is [`slab_batch_group`]
+/// verbatim — only the write addressing is rebased — so every member's
+/// `z`/`λ`/`w`/partials are bit-identical to the single-level path.
+#[allow(clippy::too_many_arguments)]
+pub fn slab_batch_run(
+    k: usize,
+    members: &[usize],
+    pre: &Precomputed,
+    bbar: &[f64],
+    rho: f64,
+    x: &[f64],
+    z_prev: &[f64],
+    dim0: usize,
+    s0: usize,
+    z: &mut [f64],
+    lambda: &mut [f64],
+    w: &mut [f64],
+    mut partials: Option<&mut [f64]>,
+) {
+    debug_assert_eq!(members.len() % SLAB_TILE, 0, "full tiles only");
+    let n = pre.slab_dim(k);
+    let abar = pre.abar_slab(k);
+    debug_assert_eq!(abar.len(), n * n);
+    let inv_rho = 1.0 / rho;
+    for tile in members.chunks_exact(SLAB_TILE) {
+        with_scratch(2 * SLAB_TILE * n, |scratch| {
+            let (bx_t, t_t) = scratch.split_at_mut(SLAB_TILE * n);
+            let mut bases = [0usize; SLAB_TILE];
+            for (c, &s) in tile.iter().enumerate() {
+                let base = pre.offsets[s];
+                bases[c] = base;
+                let globals = &pre.stacked_to_global[base..base + n];
+                let lam = &lambda[base - dim0..base - dim0 + n];
+                let bx = &mut bx_t[c * n..(c + 1) * n];
+                for j in 0..n {
+                    let v = x[globals[j]];
+                    bx[j] = v;
+                    t_t[j * SLAB_TILE + c] = v + lam[j] * inv_rho;
+                }
+            }
+            for (i, row) in abar.chunks_exact(n).enumerate() {
+                let mut acc = [0.0f64; SLAB_TILE];
+                for (c, &b) in bases.iter().enumerate() {
+                    acc[c] = bbar[b + i];
+                }
+                for (j, &a) in row.iter().enumerate() {
+                    let lanes = &t_t[j * SLAB_TILE..(j + 1) * SLAB_TILE];
+                    for c in 0..SLAB_TILE {
+                        acc[c] -= a * lanes[c];
+                    }
+                }
+                for (c, &b) in bases.iter().enumerate() {
+                    z[b - dim0 + i] = acc[c];
+                }
+            }
+            for (c, &s) in tile.iter().enumerate() {
+                let base = bases[c];
+                let rb = base - dim0;
+                let bx = &bx_t[c * n..(c + 1) * n];
+                let lambda_s = &mut lambda[rb..rb + n];
+                let w_out = &mut w[rb..rb + n];
+                match partials.as_mut() {
+                    Some(buf) => {
+                        let out = &mut buf[5 * (s - s0)..5 * (s - s0) + 5];
+                        let (mut pres2, mut bx2, mut z2, mut dz2, mut l2) =
+                            (0.0, 0.0, 0.0, 0.0, 0.0);
+                        for j in 0..n {
+                            let b = bx[j];
+                            let zj = z[rb + j];
+                            let l = lambda_s[j] + rho * (b - zj);
+                            lambda_s[j] = l;
+                            w_out[j] = zj - l * inv_rho;
+                            pres2 += (b - zj) * (b - zj);
+                            bx2 += b * b;
+                            z2 += zj * zj;
+                            dz2 += (zj - z_prev[base + j]) * (zj - z_prev[base + j]);
+                            l2 += l * l;
+                        }
+                        out[0] = pres2;
+                        out[1] = bx2;
+                        out[2] = z2;
+                        out[3] = dz2;
+                        out[4] = l2;
+                    }
+                    None => {
+                        for j in 0..n {
+                            let zj = z[rb + j];
+                            let l = lambda_s[j] + rho * (bx[j] - zj);
+                            lambda_s[j] = l;
+                            w_out[j] = zj - l * inv_rho;
+                        }
+                    }
+                }
+            }
+        });
+    }
+}
+
 /// [`slab_batch_group`] writing group-local *panels* instead of the
 /// stacked buffers — the form the rayon driver and the gpu-sim kernel
 /// use, where each group owns one contiguous slice of the panel-permuted

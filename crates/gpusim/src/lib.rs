@@ -14,6 +14,8 @@
 
 pub mod device;
 pub mod kernel;
+pub mod multi;
 
 pub use device::{BlockCost, DeviceProps};
 pub use kernel::{BlockKernel, Device, KernelProfile, MultiBlockKernel, PairBlockKernel, SimTime};
+pub use multi::MultiDevice;

@@ -1,0 +1,140 @@
+//! Multi-device analytic timing: one GPU per area under an α–β fabric.
+//!
+//! The two-level consensus solve maps each *area* onto its own device:
+//! per-iteration compute is the slowest device's kernel time (areas run
+//! concurrently), and the inter-area exchange ships exactly the boundary
+//! consensus traffic the solver reports (`twolevel.boundary_bytes` /
+//! [`opf_admm` counter semantics]) through a [`comm_sim::CommModel`] —
+//! gather the per-device boundary shares onto the aggregator, broadcast
+//! the merged values back. Nothing here executes; like the single-device
+//! [`crate::device::DeviceProps`] model it prices a schedule, and the
+//! scaling bench feeds it *measured* boundary byte counts rather than
+//! assumed ones.
+
+use crate::device::{BlockCost, DeviceProps};
+use comm_sim::CommModel;
+
+/// A homogeneous multi-GPU execution model.
+#[derive(Debug, Clone)]
+pub struct MultiDevice {
+    /// Per-device properties (all devices identical).
+    pub props: DeviceProps,
+    /// Inter-device fabric (α–β with endpoint staging).
+    pub link: CommModel,
+    /// Device count (= area count in the two-level mapping).
+    pub devices: usize,
+}
+
+impl MultiDevice {
+    /// `devices` A100s over the paper's GPU-MPI fabric.
+    pub fn a100_cluster(devices: usize) -> Self {
+        MultiDevice {
+            props: DeviceProps::a100(),
+            link: CommModel::gpu_cluster_mpi(),
+            devices,
+        }
+    }
+
+    /// Per-iteration inter-area exchange time for `boundary_bytes` of
+    /// total boundary traffic: each device's share is gathered onto the
+    /// aggregator, and the merged boundary values are broadcast back.
+    /// One device means no fabric crossing at all.
+    pub fn exchange_time(&self, boundary_bytes: usize) -> f64 {
+        if self.devices <= 1 {
+            return 0.0;
+        }
+        let share = boundary_bytes.div_ceil(self.devices);
+        let per_rank = vec![share; self.devices];
+        self.link.gather_time(&per_rank) + self.link.broadcast_time(boundary_bytes, self.devices)
+    }
+
+    /// Per-iteration time for one area-per-device schedule:
+    /// `per_device_blocks[d]` holds device `d`'s block costs (its area's
+    /// components), `threads` the per-block thread count, and
+    /// `boundary_bytes` the measured inter-area traffic. Devices compute
+    /// concurrently — the compute term is the slowest device — and the
+    /// exchange serializes after the sweep (the aggregator needs every
+    /// area's boundary values).
+    pub fn iteration_time(
+        &self,
+        per_device_blocks: &[Vec<BlockCost>],
+        threads: usize,
+        boundary_bytes: usize,
+    ) -> f64 {
+        let compute = per_device_blocks
+            .iter()
+            .map(|blocks| self.props.kernel_time(blocks, threads))
+            .fold(0.0, f64::max);
+        compute + self.exchange_time(boundary_bytes)
+    }
+
+    /// Modeled speedup of this multi-device schedule over one device
+    /// running every block: `T₁ / T_K`. Sub-linear whenever the exchange
+    /// or load imbalance bites — the scaling bench records it alongside
+    /// the measured CPU numbers.
+    pub fn speedup(
+        &self,
+        per_device_blocks: &[Vec<BlockCost>],
+        threads: usize,
+        boundary_bytes: usize,
+    ) -> f64 {
+        let all: Vec<BlockCost> = per_device_blocks.iter().flatten().copied().collect();
+        let single = self.props.kernel_time(&all, threads);
+        let multi = self.iteration_time(per_device_blocks, threads, boundary_bytes);
+        if multi <= 0.0 {
+            return 1.0;
+        }
+        single / multi
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blocks(n: usize) -> Vec<BlockCost> {
+        (0..n)
+            .map(|_| BlockCost {
+                items: 18,
+                flops_per_item: 40.0,
+                bytes_per_item: 160.0,
+                cached_bytes_per_item: 0.0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn single_device_has_no_exchange() {
+        let m = MultiDevice::a100_cluster(1);
+        assert_eq!(m.exchange_time(1 << 20), 0.0);
+    }
+
+    #[test]
+    fn exchange_grows_with_bytes_and_devices() {
+        let m4 = MultiDevice::a100_cluster(4);
+        let m8 = MultiDevice::a100_cluster(8);
+        assert!(m4.exchange_time(1 << 20) > m4.exchange_time(1 << 10));
+        assert!(m8.exchange_time(1 << 20) > m4.exchange_time(1 << 20));
+    }
+
+    #[test]
+    fn compute_term_is_slowest_device() {
+        let m = MultiDevice::a100_cluster(2);
+        let balanced = [blocks(500), blocks(500)];
+        let skewed = [blocks(900), blocks(100)];
+        // Same total work, worse balance ⇒ no faster (boundary = 0 keeps
+        // the comparison pure compute).
+        assert!(m.iteration_time(&skewed, 32, 0) >= m.iteration_time(&balanced, 32, 0));
+    }
+
+    #[test]
+    fn speedup_is_positive_and_bounded_by_devices() {
+        let m = MultiDevice::a100_cluster(4);
+        let per = vec![blocks(2_000); 4];
+        let s = m.speedup(&per, 32, 64 * 1024);
+        assert!(s > 0.0);
+        // Perfect scaling is `devices`; fixed launch overhead and the
+        // exchange keep the model under it.
+        assert!(s <= 4.0 + 1e-9, "speedup {s}");
+    }
+}

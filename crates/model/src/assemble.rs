@@ -62,8 +62,9 @@ impl CentralizedLp {
 /// decomposition sees the same per-component blocks).
 pub fn all_equations(net: &Network, vs: &VarSpace) -> Vec<Equation> {
     let mut eqs = Vec::new();
+    let inc = net.incidence();
     for i in 0..net.buses.len() {
-        eqs.extend(bus_equations(net, vs, BusId(i as u32)));
+        eqs.extend(bus_equations(net, &inc, vs, BusId(i as u32)));
     }
     for e in 0..net.branches.len() {
         eqs.extend(branch_equations(net, vs, BranchId(e as u32)));

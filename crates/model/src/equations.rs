@@ -12,7 +12,7 @@
 //! each component's block.
 
 use crate::vars::VarSpace;
-use opf_net::{BranchId, BusId, Connection, Network, Phase};
+use opf_net::{BranchId, BusId, BusIncidence, Connection, Network, Phase};
 
 /// One linear equality `Σ coefᵥ·xᵥ = rhs` over global variable indices.
 #[derive(Debug, Clone, PartialEq)]
@@ -61,7 +61,7 @@ pub fn mp_mq(r: &[[f64; 3]; 3], x: &[[f64; 3]; 3]) -> ([[f64; 3]; 3], [[f64; 3];
 /// the ZIP load model (4a)/(4b) with the wye/delta voltage coupling
 /// (4c)/(4d) substituted, and the wye (4e) / delta (4f)–(4j) links between
 /// bus withdrawals and load consumptions.
-pub fn bus_equations(net: &Network, vs: &VarSpace, i: BusId) -> Vec<Equation> {
+pub fn bus_equations(net: &Network, inc: &BusIncidence, vs: &VarSpace, i: BusId) -> Vec<Equation> {
     let bus = net.bus(i);
     let mut eqs = Vec::new();
 
@@ -70,13 +70,13 @@ pub fn bus_equations(net: &Network, vs: &VarSpace, i: BusId) -> Vec<Equation> {
         let k = p.index();
         let mut pa = Vec::new();
         let mut qa = Vec::new();
-        for (e, br, from_side) in net.branches_at(i) {
+        for (e, br, from_side) in inc.branches_at(net, i) {
             if br.phases.contains(p) {
                 pa.push((vs.flow_p(net, e, from_side, p), 1.0));
                 qa.push((vs.flow_q(net, e, from_side, p), 1.0));
             }
         }
-        for (l, ld) in net.loads_at(i) {
+        for (l, ld) in inc.loads_at(net, i) {
             if ld.phases.contains(p) {
                 pa.push((vs.load_pb(net, l, p), 1.0));
                 qa.push((vs.load_qb(net, l, p), 1.0));
@@ -88,7 +88,7 @@ pub fn bus_equations(net: &Network, vs: &VarSpace, i: BusId) -> Vec<Equation> {
         if bus.b_sh[k] != 0.0 {
             qa.push((vs.bus_w(net, i, p), -bus.b_sh[k]));
         }
-        for (g, gen) in net.generators_at(i) {
+        for (g, gen) in inc.generators_at(net, i) {
             if gen.phases.contains(p) {
                 pa.push((vs.gen_p(net, g, p), -1.0));
                 qa.push((vs.gen_q(net, g, p), -1.0));
@@ -105,7 +105,7 @@ pub fn bus_equations(net: &Network, vs: &VarSpace, i: BusId) -> Vec<Equation> {
     }
 
     // --- (4): load model per load at the bus. ---
-    for (l, ld) in net.loads_at(i) {
+    for (l, ld) in inc.loads_at(net, i) {
         let alpha = ld.zip.alpha();
         // ŵ = κ·w with κ = 1 (wye, (4c)) or 3 (delta, (4d)).
         let kappa = match ld.conn {
@@ -308,19 +308,19 @@ pub fn branch_equations(net: &Network, vs: &VarSpace, e: BranchId) -> Vec<Equati
 /// The structural variable set of the bus component of `i` (sorted global
 /// indices): its voltages, attached generator and load variables, and the
 /// incident flow ends.
-pub fn bus_var_set(net: &Network, vs: &VarSpace, i: BusId) -> Vec<usize> {
+pub fn bus_var_set(net: &Network, inc: &BusIncidence, vs: &VarSpace, i: BusId) -> Vec<usize> {
     let bus = net.bus(i);
     let mut set = Vec::new();
     for p in bus.phases.iter() {
         set.push(vs.bus_w(net, i, p));
     }
-    for (g, gen) in net.generators_at(i) {
+    for (g, gen) in inc.generators_at(net, i) {
         for p in gen.phases.iter() {
             set.push(vs.gen_p(net, g, p));
             set.push(vs.gen_q(net, g, p));
         }
     }
-    for (l, ld) in net.loads_at(i) {
+    for (l, ld) in inc.loads_at(net, i) {
         for p in ld.phases.iter() {
             set.push(vs.load_pb(net, l, p));
             set.push(vs.load_qb(net, l, p));
@@ -328,7 +328,7 @@ pub fn bus_var_set(net: &Network, vs: &VarSpace, i: BusId) -> Vec<usize> {
             set.push(vs.load_qd(net, l, p));
         }
     }
-    for (e, br, from_side) in net.branches_at(i) {
+    for (e, br, from_side) in inc.branches_at(net, i) {
         for p in br.phases.iter() {
             set.push(vs.flow_p(net, e, from_side, p));
             set.push(vs.flow_q(net, e, from_side, p));
@@ -404,7 +404,7 @@ mod tests {
         // 2 wye-link equations.
         let bus_611 =
             opf_net::BusId(net.buses.iter().position(|b| b.name == "611").unwrap() as u32);
-        let eqs = bus_equations(&net, &vs, bus_611);
+        let eqs = bus_equations(&net, &net.incidence(), &vs, bus_611);
         assert_eq!(eqs.len(), 6);
     }
 
@@ -416,7 +416,7 @@ mod tests {
         // + 6 load-model + 2·(4f) + 4 rotation equations.
         let bus_671 =
             opf_net::BusId(net.buses.iter().position(|b| b.name == "671").unwrap() as u32);
-        let eqs = bus_equations(&net, &vs, bus_671);
+        let eqs = bus_equations(&net, &net.incidence(), &vs, bus_671);
         assert_eq!(eqs.len(), 6 + 6 + 6);
     }
 
@@ -459,8 +459,10 @@ mod tests {
         for i in 0..net.buses.len() {
             let id = BusId(i as u32);
             let set: std::collections::HashSet<usize> =
-                bus_var_set(&net, &vs, id).into_iter().collect();
-            for eq in bus_equations(&net, &vs, id) {
+                bus_var_set(&net, &net.incidence(), &vs, id)
+                    .into_iter()
+                    .collect();
+            for eq in bus_equations(&net, &net.incidence(), &vs, id) {
                 for (v, _) in eq.terms {
                     assert!(set.contains(&v), "bus {i}: var {v} outside set");
                 }

@@ -65,9 +65,18 @@ impl ComponentGraph {
             .filter(|(_, b)| b.in_service())
             .collect();
         let mut degree = vec![0usize; n_buses];
-        for (_, b) in &in_service {
-            degree[b.from.0 as usize] += 1;
-            degree[b.to.0 as usize] += 1;
+        // First in-service branch touching each bus, in `in_service`
+        // iteration order — the same element the old per-leaf `find`
+        // scan returned, computed in one pass so mega-scale instances
+        // (10⁵ branches) don't pay `O(leaves · branches)`.
+        let mut first_incident = vec![usize::MAX; n_buses];
+        for (bid, b) in &in_service {
+            for bus in [b.from.0 as usize, b.to.0 as usize] {
+                degree[bus] += 1;
+                if first_incident[bus] == usize::MAX {
+                    first_incident[bus] = *bid;
+                }
+            }
         }
         let source = net.source();
 
@@ -80,13 +89,11 @@ impl ComponentGraph {
             if !merge_leaves || degree[bus] != 1 || source == Some(BusId(bus as u32)) {
                 continue;
             }
-            let (bid, _) = in_service
-                .iter()
-                .find(|(_, b)| b.from.0 as usize == bus || b.to.0 as usize == bus)
-                .expect("degree-1 bus must have an incident branch");
-            if !branch_claimed[*bid] {
-                branch_claimed[*bid] = true;
-                merged_with[bus] = Some(BranchId(*bid as u32));
+            let bid = first_incident[bus];
+            debug_assert_ne!(bid, usize::MAX, "degree-1 bus must have an incident branch");
+            if !branch_claimed[bid] {
+                branch_claimed[bid] = true;
+                merged_with[bus] = Some(BranchId(bid as u32));
             }
         }
 

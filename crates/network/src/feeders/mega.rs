@@ -1,0 +1,314 @@
+//! Synthetic mega-feeder generator: hundreds of perturbed feeder replicas
+//! stitched under a transmission spine.
+//!
+//! ROADMAP item 5 wants 10⁵–10⁶-component radial instances whose
+//! per-iteration solve cost scales in *unique slabs*, not components. The
+//! construction here makes that regime real without degenerating the slab
+//! dedup into a single template:
+//!
+//! * `jitter_classes` distinct template variants are generated from the
+//!   base [`SyntheticSpec`] with per-class seeds and load-level jitter, so
+//!   the arena holds a few hundred to a few thousand unique `Ā` slabs;
+//! * replicas of the **same** class are byte-for-byte copies (only names
+//!   and indices shift), so their `(A_s, b_s)` blocks intern onto the same
+//!   slabs — unique-slab count stays ~constant as replicas grow;
+//! * a chain of identical 3-phase spine buses carries `taps` replicas
+//!   each; every replica hangs off the spine through one fixed coupling
+//!   branch, its own substation demoted to an ordinary root bus (the
+//!   single mega substation at the spine head supplies the whole system);
+//! * the final conductor-sizing rescale is a **uniform** factor over all
+//!   branches, preserving same-class bit-identity (and hence dedup).
+//!
+//! The result is radial (tree + trees = tree), validates, and its
+//! component graph is `replicas · (S_template + 1) + spine` — e.g.
+//! [`mega_ieee123`] lands at ≈ 252 components per replica.
+
+use super::synthetic::{generate, rescale_for_voltage_band, SyntheticSpec};
+use crate::configs;
+use crate::data::*;
+use crate::network::Network;
+use crate::phase::PhaseSet;
+
+/// Parameters of a stitched mega-feeder.
+#[derive(Debug, Clone)]
+pub struct MegaSpec {
+    /// Case name.
+    pub name: String,
+    /// Template feeder spec; each jitter class perturbs its seed and
+    /// load level.
+    pub template: SyntheticSpec,
+    /// Number of feeder replicas grafted under the spine.
+    pub replicas: usize,
+    /// Number of distinct template variants (`≥ 1`). Unique slabs grow
+    /// with classes, not replicas.
+    pub jitter_classes: usize,
+    /// Replicas served per spine bus (`≥ 1`).
+    pub taps_per_spine_bus: usize,
+    /// Seed for the per-class jitter derivation.
+    pub seed: u64,
+}
+
+/// splitmix64 — the repo's standard cheap seed derivation.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministically build the mega-feeder for a spec.
+///
+/// # Panics
+/// Panics if `replicas == 0`, `jitter_classes == 0`, or
+/// `taps_per_spine_bus == 0`.
+pub fn mega(spec: &MegaSpec) -> Network {
+    assert!(spec.replicas >= 1, "need at least one replica");
+    assert!(spec.jitter_classes >= 1, "need at least one jitter class");
+    assert!(spec.taps_per_spine_bus >= 1, "need at least one tap");
+    let classes = spec.jitter_classes.min(spec.replicas);
+
+    // --- Class templates: perturbed seeds + load levels. ---
+    let mut seed_state = spec.seed;
+    let templates: Vec<Network> = (0..classes)
+        .map(|c| {
+            let mut t = spec.template.clone();
+            t.seed = spec.template.seed ^ splitmix64(&mut seed_state);
+            // ±10 % load-level spread across classes — enough to make
+            // every class's slabs distinct without touching feasibility.
+            let f = 0.90 + 0.20 * (c as f64) / (classes.max(2) - 1).max(1) as f64;
+            t.avg_load_p *= f;
+            t.name = format!("{}-class{}", spec.template.name, c);
+            generate(&t)
+        })
+        .collect();
+
+    let mut net = Network::new(spec.name.clone());
+
+    // --- Spine: a chain of identical 3-phase buses, stiff line params so
+    //     the spine's own voltage drop is negligible next to the
+    //     replicas' (the final uniform rescale keeps the whole system in
+    //     band either way). Fixed params ⇒ interior spine components all
+    //     intern onto a handful of slabs. ---
+    let spine_len = spec.replicas.div_ceil(spec.taps_per_spine_bus);
+    let z_base = 4.16_f64 * 4.16;
+    let (r_raw, x_raw) = configs::CFG_601.to_per_unit(300.0, z_base);
+    let mut spine_r = r_raw;
+    let mut spine_x = x_raw;
+    for row in spine_r.iter_mut().chain(spine_x.iter_mut()) {
+        for v in row.iter_mut() {
+            *v *= 0.05;
+        }
+    }
+    let mut spine = Vec::with_capacity(spine_len);
+    for p in 0..spine_len {
+        let mut bus = Bus::new(format!("spine{p}"), PhaseSet::ABC);
+        bus.is_source = p == 0;
+        let id = net.add_bus(bus);
+        if p > 0 {
+            net.add_branch(Branch {
+                name: format!("spine_e{p}"),
+                from: spine[p - 1],
+                to: id,
+                phases: PhaseSet::ABC,
+                kind: BranchKind::Line,
+                r: spine_r,
+                x: spine_x,
+                g_sh_from: [0.0; 3],
+                g_sh_to: [0.0; 3],
+                b_sh_from: [0.0; 3],
+                b_sh_to: [0.0; 3],
+                s_max: 1.0e4,
+            });
+        }
+        spine.push(id);
+    }
+
+    // --- Coupling branch template (identical for every replica). ---
+    let (c_r_raw, c_x_raw) = configs::CFG_601.to_per_unit(500.0, z_base);
+    let mut cpl_r = c_r_raw;
+    let mut cpl_x = c_x_raw;
+    for row in cpl_r.iter_mut().chain(cpl_x.iter_mut()) {
+        for v in row.iter_mut() {
+            *v *= 0.1;
+        }
+    }
+
+    // --- Graft replicas. ---
+    for r in 0..spec.replicas {
+        let tpl = &templates[r % classes];
+        let off = net.buses.len() as u32;
+        for (i, b) in tpl.buses.iter().enumerate() {
+            let mut bus = b.clone();
+            bus.name = format!("r{r}_{}", b.name);
+            bus.is_source = false;
+            let id = net.add_bus(bus);
+            debug_assert_eq!(id.0, off + i as u32);
+        }
+        for b in &tpl.branches {
+            let mut br = b.clone();
+            br.name = format!("r{r}_{}", b.name);
+            br.from = BusId(b.from.0 + off);
+            br.to = BusId(b.to.0 + off);
+            net.add_branch(br);
+        }
+        for l in &tpl.loads {
+            let mut ld = l.clone();
+            ld.name = format!("r{r}_{}", l.name);
+            ld.bus = BusId(l.bus.0 + off);
+            net.add_load(ld);
+        }
+        // Template generators: drop the substation (the spine head's mega
+        // unit replaces it), keep the DERs — identical per class.
+        for g in &tpl.generators {
+            if g.bus == BusId(0) {
+                continue;
+            }
+            let mut gen = g.clone();
+            gen.name = format!("r{r}_{}", g.name);
+            gen.bus = BusId(g.bus.0 + off);
+            net.add_generator(gen);
+        }
+        net.add_branch(Branch {
+            name: format!("cpl{r}"),
+            from: spine[r / spec.taps_per_spine_bus],
+            to: BusId(off),
+            phases: PhaseSet::ABC,
+            kind: BranchKind::Line,
+            r: cpl_r,
+            x: cpl_x,
+            g_sh_from: [0.0; 3],
+            g_sh_to: [0.0; 3],
+            b_sh_from: [0.0; 3],
+            b_sh_to: [0.0; 3],
+            s_max: 1.0e3,
+        });
+    }
+
+    // --- One mega substation at the spine head. ---
+    let total_p = net.total_p_ref();
+    let cap = (4.0 * total_p).max(10.0);
+    net.add_generator(Generator {
+        name: "substation".into(),
+        bus: spine[0],
+        phases: PhaseSet::ABC,
+        p_min: [0.0; 3],
+        p_max: [cap; 3],
+        q_min: [-cap; 3],
+        q_max: [cap; 3],
+    });
+
+    // --- Uniform conductor re-sizing: one global factor (bit-identity of
+    //     same-class replicas survives) keeping the cumulative spine +
+    //     replica drop inside the band. ---
+    rescale_for_voltage_band(&mut net, 0.06);
+
+    net
+}
+
+/// The canonical mega instance: `replicas` perturbed ieee123-scale
+/// feeders (4 jitter classes, 8 taps per spine bus). Component count is
+/// ≈ `252 · replicas` — 100 replicas ≈ 25k components, 400 ≈ 101k,
+/// 1000 ≈ 252k.
+pub fn mega_ieee123(replicas: usize) -> Network {
+    mega(&MegaSpec {
+        name: format!("mega123x{replicas}"),
+        template: SyntheticSpec {
+            name: "ieee123".into(),
+            n_nodes: 147,
+            n_lines: 146,
+            n_leaves: 43,
+            phase_weights: [0.45, 0.25, 0.30],
+            load_node_fraction: 0.55,
+            delta_fraction: 0.2,
+            zip_weights: [0.6, 0.2, 0.2],
+            der_count: 4,
+            transformer_fraction: 0.1,
+            avg_load_p: 0.03,
+            seed: 0x123,
+        },
+        replicas,
+        jitter_classes: 4,
+        taps_per_spine_bus: 8,
+        seed: 0x5CA1E,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::ComponentGraph;
+
+    #[test]
+    fn small_mega_validates_and_counts() {
+        let net = mega_ieee123(8);
+        net.validate().unwrap();
+        let g = ComponentGraph::build(&net);
+        // 8 replicas × (250 template components + 1 coupling branch) +
+        // 1 spine bus; replica roots gain a coupling edge but were never
+        // leaves, so template leaf counts carry over.
+        assert_eq!(g.s(), 8 * 251 + 1);
+        // Radial: lines = nodes − 1.
+        assert_eq!(g.n_lines, g.n_nodes - 1);
+    }
+
+    #[test]
+    fn same_class_replicas_are_bit_identical() {
+        let net = mega_ieee123(8);
+        // Replicas 0 and 4 share class 0 (4 jitter classes). Their
+        // branch impedances must match bit for bit (uniform rescale only)
+        // so slab interning dedups across them.
+        let b0: Vec<&Branch> = net
+            .branches
+            .iter()
+            .filter(|b| b.name.starts_with("r0_"))
+            .collect();
+        let b4: Vec<&Branch> = net
+            .branches
+            .iter()
+            .filter(|b| b.name.starts_with("r4_"))
+            .collect();
+        assert_eq!(b0.len(), b4.len());
+        for (x, y) in b0.iter().zip(&b4) {
+            assert_eq!(x.r, y.r, "same-class impedances must be identical");
+            assert_eq!(x.x, y.x);
+            assert_eq!(
+                x.from.0 - net.bus_id("r0_sub").unwrap().0,
+                y.from.0 - net.bus_id("r4_sub").unwrap().0
+            );
+        }
+        let l0 = net
+            .loads
+            .iter()
+            .filter(|l| l.name.starts_with("r0_"))
+            .count();
+        let l4 = net
+            .loads
+            .iter()
+            .filter(|l| l.name.starts_with("r4_"))
+            .count();
+        assert_eq!(l0, l4);
+    }
+
+    #[test]
+    fn classes_differ() {
+        let net = mega_ieee123(4);
+        // Replicas 0 and 1 are different classes; their load totals
+        // differ (per-class jitter).
+        let sum = |prefix: &str| -> f64 {
+            net.loads
+                .iter()
+                .filter(|l| l.name.starts_with(prefix))
+                .flat_map(|l| l.p_ref.iter())
+                .sum()
+        };
+        assert_ne!(sum("r0_"), sum("r1_"));
+    }
+
+    #[test]
+    fn single_source_at_spine_head() {
+        let net = mega_ieee123(4);
+        assert_eq!(net.source(), Some(BusId(0)));
+        assert_eq!(net.buses.iter().filter(|b| b.is_source).count(), 1);
+    }
+}

@@ -3,9 +3,11 @@
 //! paper's Table III exactly.
 
 pub mod ieee13;
+pub mod mega;
 pub mod synthetic;
 
 pub use ieee13::ieee13_detailed;
+pub use mega::{mega, mega_ieee123, MegaSpec};
 pub use synthetic::{generate, SyntheticSpec};
 
 use crate::network::Network;

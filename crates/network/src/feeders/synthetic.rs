@@ -315,7 +315,7 @@ pub fn generate(spec: &SyntheticSpec) -> Network {
 /// squared-magnitude variable `w`). Delta constant-impedance loads see
 /// `ŵ = 3w` (eq. (4d)), so their effective draw is inflated ×3 in the
 /// estimate.
-fn rescale_for_voltage_band(net: &mut Network, target: f64) {
+pub(crate) fn rescale_for_voltage_band(net: &mut Network, target: f64) {
     let n = net.buses.len();
     let Some(src) = net.source() else { return };
     // Children adjacency over the first spanning structure (ignore

@@ -22,6 +22,7 @@ pub mod data;
 pub mod delta;
 pub mod feeders;
 pub mod network;
+pub mod partition;
 pub mod phase;
 
 pub use components::{Component, ComponentGraph};
@@ -30,5 +31,6 @@ pub use data::{
     ZipClass,
 };
 pub use delta::{AppliedDelta, DeltaError, TopologyDelta};
-pub use network::{Network, NetworkError};
+pub use network::{BusIncidence, Network, NetworkError};
+pub use partition::{partition_areas, AreaAssignment};
 pub use phase::{Phase, PhaseSet};

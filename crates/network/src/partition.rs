@@ -1,0 +1,344 @@
+//! Multi-area partitioning for the hierarchical two-level consensus mode.
+//!
+//! Peng & Low's radial decompositions (see `PAPERS.md`) justify splitting
+//! a large radial feeder into **areas**: each area is a subtree hanging
+//! off the spine, coupled to the rest only through its root bus. This
+//! module turns a [`ComponentGraph`] into such a split:
+//!
+//! * every component is assigned to exactly one area (a partition),
+//! * each area's buses form a connected subtree of the feeder tree, so
+//!   the area is itself radial,
+//! * components are re-ordered **area-major** (stable within an area), so
+//!   the stacked vectors of the decomposed problem become one contiguous
+//!   slice per area — the layout the two-level solver's area-parallel
+//!   sweep splits with `split_at_mut`.
+//!
+//! The partition rule is greedy post-order subtree packing: walk the bus
+//! tree children-before-parents accumulating per-subtree component
+//! weight; whenever a subtree reaches `⌈S/K⌉` components, cut it off as a
+//! new area. The remainder (always containing the source) becomes the
+//! last area. `k = 1` yields a single area and the **identity** order, so
+//! the two-level solver degenerates to the single-level path bit for bit.
+
+use crate::components::{Component, ComponentGraph};
+use crate::network::Network;
+
+/// The outcome of [`partition_areas`]: the component → area map and the
+/// area-major component order.
+#[derive(Debug, Clone)]
+pub struct AreaAssignment {
+    /// Number of areas actually produced (`≤` the requested `k`; small
+    /// trees can saturate earlier).
+    pub n_areas: usize,
+    /// Area of each component, indexed by the **original** component
+    /// order.
+    pub area_of: Vec<usize>,
+    /// Area-major permutation: `order[p]` is the original index of the
+    /// component at permuted position `p`. Stable within an area (the
+    /// original relative order is preserved), and the identity when
+    /// `n_areas == 1`.
+    pub order: Vec<usize>,
+    /// Component boundaries of the permuted order: area `a` is
+    /// `area_ptr[a]..area_ptr[a + 1]`; `area_ptr.len() == n_areas + 1`.
+    pub area_ptr: Vec<usize>,
+}
+
+impl AreaAssignment {
+    /// The component graph re-ordered area-major — hand this to
+    /// `opf_model::decompose` so the stacked layout is area-contiguous.
+    /// With one area this is a verbatim clone (identity order).
+    pub fn permuted(&self, g: &ComponentGraph) -> ComponentGraph {
+        let mut out = g.clone();
+        out.components = self
+            .order
+            .iter()
+            .map(|&i| g.components[i].clone())
+            .collect();
+        out
+    }
+
+    /// Components per area, in area order (diagnostics).
+    pub fn area_sizes(&self) -> Vec<usize> {
+        self.area_ptr.windows(2).map(|w| w[1] - w[0]).collect()
+    }
+}
+
+/// Partition the components of `g` into (at most) `k` radial areas.
+///
+/// Anchoring rule: a bus or merged-leaf component belongs to its bus's
+/// area; an in-service branch belongs to its **child** endpoint's area
+/// (the endpoint farther from the source), so a cut subtree takes its
+/// incoming spine branch with it and stays a tree. Out-of-service branch
+/// components (open switches) and buses isolated from the source carry no
+/// coupling and land in the remainder area.
+///
+/// # Panics
+/// Panics if `k == 0` or the network has no source.
+pub fn partition_areas(net: &Network, g: &ComponentGraph, k: usize) -> AreaAssignment {
+    assert!(k >= 1, "need at least one area");
+    let s_total = g.s();
+    let n = net.buses.len();
+    let src = net.source().expect("partitioning needs a source bus").0 as usize;
+
+    // --- Bus tree over in-service branches (BFS from the source). ---
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for b in net.branches.iter().filter(|b| b.in_service()) {
+        adj[b.from.0 as usize].push(b.to.0 as usize);
+        adj[b.to.0 as usize].push(b.from.0 as usize);
+    }
+    let mut parent = vec![usize::MAX; n];
+    let mut depth = vec![usize::MAX; n];
+    let mut order = Vec::with_capacity(n);
+    let mut queue = std::collections::VecDeque::from([src]);
+    depth[src] = 0;
+    while let Some(u) = queue.pop_front() {
+        order.push(u);
+        for &v in &adj[u] {
+            if depth[v] == usize::MAX {
+                depth[v] = depth[u] + 1;
+                parent[v] = u;
+                queue.push_back(v);
+            }
+        }
+    }
+
+    // --- Anchor every component at a bus. ---
+    const UNANCHORED: usize = usize::MAX;
+    let anchor: Vec<usize> = g
+        .components
+        .iter()
+        .map(|c| match c {
+            Component::Bus(b) => {
+                let b = b.0 as usize;
+                if depth[b] == usize::MAX {
+                    UNANCHORED
+                } else {
+                    b
+                }
+            }
+            Component::LeafMerged { bus, .. } => bus.0 as usize,
+            Component::Branch(e) => {
+                let br = &net.branches[e.0 as usize];
+                let (f, t) = (br.from.0 as usize, br.to.0 as usize);
+                if !br.in_service() || depth[f] == usize::MAX || depth[t] == usize::MAX {
+                    UNANCHORED
+                } else if parent[t] == f {
+                    t
+                } else if parent[f] == t {
+                    f
+                } else {
+                    // Parallel edge between non-adjacent tree nodes cannot
+                    // occur in a connected graph's BFS tree; deeper
+                    // endpoint is still the child side of the cycle edge.
+                    if depth[t] >= depth[f] {
+                        t
+                    } else {
+                        f
+                    }
+                }
+            }
+        })
+        .collect();
+
+    // --- Per-bus component weight, then post-order subtree packing. ---
+    let mut weight = vec![0usize; n];
+    for &a in anchor.iter().filter(|&&a| a != UNANCHORED) {
+        weight[a] += 1;
+    }
+    let target = s_total.div_ceil(k).max(1);
+    // `cut[b]` = area index rooted at b. Reverse BFS order visits children
+    // before parents, so subtree weights accumulate bottom-up.
+    let mut cut = vec![usize::MAX; n];
+    let mut subtree = weight.clone();
+    let mut cuts = 0usize;
+    for &u in order.iter().rev() {
+        if u != src && cuts + 1 < k && subtree[u] >= target {
+            cut[u] = cuts;
+            cuts += 1;
+            continue; // nothing propagates past a cut root
+        }
+        if parent[u] != usize::MAX {
+            subtree[parent[u]] += subtree[u];
+        }
+    }
+    let remainder = cuts; // the source's area, last
+    let n_areas = cuts + 1;
+
+    // --- Top-down: every bus inherits its nearest cut ancestor. ---
+    let mut area_of_bus = vec![remainder; n];
+    for &u in &order {
+        area_of_bus[u] = if cut[u] != usize::MAX {
+            cut[u]
+        } else if parent[u] != usize::MAX {
+            area_of_bus[parent[u]]
+        } else {
+            remainder
+        };
+    }
+
+    let area_of: Vec<usize> = anchor
+        .iter()
+        .map(|&a| {
+            if a == UNANCHORED {
+                remainder
+            } else {
+                area_of_bus[a]
+            }
+        })
+        .collect();
+
+    // --- Stable area-major counting sort. ---
+    let mut counts = vec![0usize; n_areas];
+    for &a in &area_of {
+        counts[a] += 1;
+    }
+    let mut area_ptr = vec![0usize; n_areas + 1];
+    for a in 0..n_areas {
+        area_ptr[a + 1] = area_ptr[a] + counts[a];
+    }
+    let mut next = area_ptr[..n_areas].to_vec();
+    let mut perm = vec![0usize; s_total];
+    for (i, &a) in area_of.iter().enumerate() {
+        perm[next[a]] = i;
+        next[a] += 1;
+    }
+
+    AreaAssignment {
+        n_areas,
+        area_of,
+        order: perm,
+        area_ptr,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::feeders;
+
+    fn check_partition(net: &Network, g: &ComponentGraph, k: usize) -> AreaAssignment {
+        let asg = partition_areas(net, g, k);
+        assert!(asg.n_areas >= 1 && asg.n_areas <= k);
+        assert_eq!(asg.area_of.len(), g.s());
+        assert_eq!(asg.order.len(), g.s());
+        assert_eq!(asg.area_ptr[asg.n_areas], g.s());
+        // `order` is a permutation, area-major and stable within areas.
+        let mut seen = vec![false; g.s()];
+        for (p, &i) in asg.order.iter().enumerate() {
+            assert!(!seen[i], "duplicate component in order");
+            seen[i] = true;
+            let a = asg.area_of[i];
+            assert!(p >= asg.area_ptr[a] && p < asg.area_ptr[a + 1]);
+        }
+        for w in asg.order.windows(2) {
+            if asg.area_of[w[0]] == asg.area_of[w[1]] {
+                assert!(w[0] < w[1], "order not stable within area");
+            }
+        }
+        asg
+    }
+
+    #[test]
+    fn single_area_is_identity() {
+        let net = feeders::ieee13();
+        let g = ComponentGraph::build(&net);
+        let asg = check_partition(&net, &g, 1);
+        assert_eq!(asg.n_areas, 1);
+        assert!(asg.order.iter().enumerate().all(|(p, &i)| p == i));
+        let pg = asg.permuted(&g);
+        assert_eq!(pg.components, g.components);
+    }
+
+    #[test]
+    fn ieee123_four_areas_are_balanced() {
+        let net = feeders::ieee123();
+        let g = ComponentGraph::build(&net);
+        let asg = check_partition(&net, &g, 4);
+        assert_eq!(asg.n_areas, 4);
+        let sizes = asg.area_sizes();
+        let target = g.s().div_ceil(4);
+        for (a, &sz) in sizes.iter().enumerate() {
+            assert!(sz >= 1, "area {a} is empty");
+            // Cut areas stop growing once they reach the target plus one
+            // subtree's overshoot; nothing should dwarf the target.
+            assert!(sz <= 3 * target, "area {a} holds {sz} of {}", g.s());
+        }
+    }
+
+    #[test]
+    fn areas_are_radial_subtrees() {
+        let net = feeders::ieee123();
+        let g = ComponentGraph::build(&net);
+        let asg = check_partition(&net, &g, 6);
+        // Per area: collect the bus set and the in-service branch
+        // components; the area's graph must be a tree (connected,
+        // |edges| = |buses| − 1 counting the boundary bus).
+        for a in 0..asg.n_areas {
+            let mut buses = std::collections::BTreeSet::new();
+            let mut edges = Vec::new();
+            for (i, c) in g.components.iter().enumerate() {
+                if asg.area_of[i] != a {
+                    continue;
+                }
+                match c {
+                    Component::Bus(b) => {
+                        buses.insert(b.0 as usize);
+                    }
+                    Component::LeafMerged { bus, branch } => {
+                        buses.insert(bus.0 as usize);
+                        let br = &net.branches[branch.0 as usize];
+                        edges.push((br.from.0 as usize, br.to.0 as usize));
+                    }
+                    Component::Branch(e) => {
+                        let br = &net.branches[e.0 as usize];
+                        if br.in_service() {
+                            edges.push((br.from.0 as usize, br.to.0 as usize));
+                        }
+                    }
+                }
+            }
+            for &(f, t) in &edges {
+                buses.insert(f);
+                buses.insert(t);
+            }
+            assert_eq!(
+                edges.len() + 1,
+                buses.len(),
+                "area {a} is not a tree: {} edges over {} buses",
+                edges.len(),
+                buses.len()
+            );
+            // Connectivity via union-find over the area's edges.
+            let idx: std::collections::BTreeMap<usize, usize> =
+                buses.iter().enumerate().map(|(i, &b)| (b, i)).collect();
+            let mut uf: Vec<usize> = (0..buses.len()).collect();
+            fn find(uf: &mut [usize], i: usize) -> usize {
+                let mut r = i;
+                while uf[r] != r {
+                    r = uf[r];
+                }
+                uf[i] = r;
+                r
+            }
+            let mut merges = 0;
+            for &(f, t) in &edges {
+                let (rf, rt) = (find(&mut uf, idx[&f]), find(&mut uf, idx[&t]));
+                if rf != rt {
+                    uf[rf] = rt;
+                    merges += 1;
+                }
+            }
+            assert_eq!(merges, edges.len(), "area {a} has a cycle");
+            assert_eq!(merges + 1, buses.len(), "area {a} is disconnected");
+        }
+    }
+
+    #[test]
+    fn oversubscribed_k_clamps() {
+        let net = feeders::ieee13();
+        let g = ComponentGraph::build(&net);
+        let asg = check_partition(&net, &g, 1000);
+        assert!(asg.n_areas <= 1000);
+        assert!(asg.n_areas >= 2, "ieee13 should still split");
+    }
+}

@@ -63,6 +63,7 @@ mod tests {
             cache_capacity: 2,
             workers: 0,
             options: opts(),
+            prewarm: Vec::new(),
         });
         let scales = [(1.0, 1.0), (1.03, 1.0), (0.97, 1.02)];
         let tickets: Vec<_> = scales
@@ -107,6 +108,7 @@ mod tests {
             cache_capacity: 2,
             workers: 0,
             options: opts(),
+            prewarm: Vec::new(),
         });
         // Cold pass builds the arena; second pass must hit it.
         let t1 = svc.submit(JobRequest::feeder("ieee13")).unwrap();
@@ -129,6 +131,7 @@ mod tests {
             cache_capacity: 2,
             workers: 0,
             options: opts(),
+            prewarm: Vec::new(),
         });
         let t1 = svc
             .submit(JobRequest::feeder("ieee13").with_client("agent"))
@@ -163,6 +166,7 @@ mod tests {
             cache_capacity: 4,
             workers: 0,
             options: opts(),
+            prewarm: Vec::new(),
         });
         let t = [
             svc.submit(JobRequest::feeder("ieee13")).unwrap(),
@@ -183,6 +187,7 @@ mod tests {
             cache_capacity: 2,
             workers: 0,
             options: opts(),
+            prewarm: Vec::new(),
         });
         let t1 = svc.submit(JobRequest::feeder("ieee13")).unwrap();
         let t2 = svc.submit(JobRequest::shared(dec_for("ieee13"))).unwrap();
@@ -200,6 +205,7 @@ mod tests {
             cache_capacity: 1,
             workers: 0,
             options: opts(),
+            prewarm: Vec::new(),
         });
         for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
             let err = svc
@@ -220,6 +226,7 @@ mod tests {
             cache_capacity: 4,
             workers: 2,
             options: opts(),
+            prewarm: Vec::new(),
         });
         let handles: Vec<_> = (0..8)
             .map(|i| {
@@ -260,6 +267,7 @@ mod tests {
             cache_capacity: 1,
             workers: 0,
             options: opts(),
+            prewarm: Vec::new(),
         });
         let tickets: Vec<_> = scales
             .iter()
@@ -277,5 +285,37 @@ mod tests {
             let got = t.wait().outcome.unwrap();
             assert_eq!(got.x, out.scenarios[k].x);
         }
+    }
+
+    #[test]
+    fn prewarmed_feeders_hit_warm_arenas() {
+        let svc = OpfService::start(ServiceConfig {
+            cache_capacity: 4,
+            workers: 0,
+            options: opts(),
+            prewarm: vec![
+                "ieee13".into(),
+                "ieee123".into(),
+                "no-such-feeder".into(), // stale names must not kill startup
+            ],
+        });
+        let snap = svc.stats();
+        assert_eq!(snap.prewarmed, 2);
+        assert_eq!(snap.errors, 0);
+        // The first request for a prewarmed topology hits the cache.
+        let t = svc.submit(JobRequest::feeder("ieee13")).unwrap();
+        svc.drain_now();
+        let reply = t.wait();
+        assert!(reply.outcome.is_ok());
+        assert!(reply.cache_hit, "prewarmed arena must be warm");
+        let snap = svc.stats();
+        assert_eq!(snap.cache_hits, 1);
+        assert_eq!(snap.cache_misses, 0);
+        assert_eq!(
+            snap.to_telemetry_report().counter("service.prewarmed"),
+            2,
+            "prewarm count must ride the service.* telemetry"
+        );
+        svc.shutdown();
     }
 }

@@ -305,6 +305,7 @@ mod tests {
             cache_capacity: 2,
             workers: 1,
             options: AdmmOptions::builder().max_iters(200).build(),
+            prewarm: Vec::new(),
         })
     }
 

@@ -51,6 +51,14 @@ pub struct ServiceConfig {
     /// option set per batch, so options are service-level, not
     /// per-request; the serial backend is the bit-identity reference.
     pub options: AdmmOptions,
+    /// Feeder names whose engines are built into the warm-arena cache at
+    /// startup, before the first request — the first client of each
+    /// listed topology then hits a warm arena instead of paying the
+    /// precompute. Unknown names fail [`OpfService::start`]'s prewarm
+    /// pass silently into the stats (`service.errors` stays untouched;
+    /// the name simply isn't warmed) — startup must not die because a
+    /// feeder list went stale.
+    pub prewarm: Vec<String>,
 }
 
 impl Default for ServiceConfig {
@@ -59,6 +67,7 @@ impl Default for ServiceConfig {
             cache_capacity: 4,
             workers: 2,
             options: AdmmOptions::default(),
+            prewarm: Vec::new(),
         }
     }
 }
@@ -251,10 +260,26 @@ impl OpfService {
                     .expect("spawn service worker")
             })
             .collect();
-        Arc::new(OpfService {
+        let service = Arc::new(OpfService {
             shared,
             workers: Mutex::new(workers),
-        })
+        });
+        // Prewarm listed feeders into the LRU before any request lands;
+        // counted separately from request-driven cache traffic so the
+        // hit-rate numbers stay about real clients.
+        for name in &config.prewarm {
+            let Ok((key, dec)) = service.resolve(&ProblemSource::Feeder(name.clone())) else {
+                continue;
+            };
+            let built = {
+                let mut cache = service.shared.cache.lock().unwrap();
+                cache.get_or_build(key, || Engine::from_shared(dec))
+            };
+            if built.is_ok() {
+                service.shared.stats.on_prewarmed();
+            }
+        }
+        service
     }
 
     /// Resolve a request's problem to its topology key (decomposing and

@@ -24,6 +24,7 @@ struct StatsInner {
     coalesce_width_sum: u64,
     coalesce_width_max: u64,
     warm_chained: u64,
+    prewarmed: u64,
     queue_depth_max: u64,
     /// Per-request wall latency (submit → reply), seconds.
     latencies_s: Vec<f64>,
@@ -66,6 +67,9 @@ pub struct StatsSnapshot {
     pub coalesce_width_mean: f64,
     /// Requests solved individually with a chained warm start.
     pub warm_chained: u64,
+    /// Engines built into the cache at startup (`--prewarm`), before any
+    /// request arrived.
+    pub prewarmed: u64,
     /// High-water mark of the admission queue.
     pub queue_depth_max: u64,
     /// Cache hit rate in `[0, 1]` (0 when no lookups).
@@ -119,6 +123,11 @@ impl ServiceStats {
         self.inner.lock().unwrap().warm_chained += 1;
     }
 
+    /// Record one startup-prewarmed engine.
+    pub fn on_prewarmed(&self) {
+        self.inner.lock().unwrap().prewarmed += 1;
+    }
+
     /// Record a reply (and its submit→reply latency).
     pub fn on_complete(&self, latency_s: f64, ok: bool) {
         let mut s = self.inner.lock().unwrap();
@@ -152,6 +161,7 @@ impl ServiceStats {
                 s.coalesce_width_sum as f64 / s.coalesced_batches as f64
             },
             warm_chained: s.warm_chained,
+            prewarmed: s.prewarmed,
             queue_depth_max: s.queue_depth_max,
             cache_hit_rate: if lookups == 0 {
                 0.0
@@ -181,6 +191,7 @@ impl StatsSnapshot {
         rec.on_counter("service.coalesce_width_sum", self.coalesce_width_sum);
         rec.on_counter("service.coalesce_width_max", self.coalesce_width_max);
         rec.on_counter("service.warm_chained", self.warm_chained);
+        rec.on_counter("service.prewarmed", self.prewarmed);
         rec.on_counter("service.queue_depth_max", self.queue_depth_max);
         rec.on_counter(
             "service.cache_hit_rate_ppm",
@@ -212,6 +223,7 @@ impl StatsSnapshot {
             "coalesce_width_mean": self.coalesce_width_mean,
             "coalesce_width_max": self.coalesce_width_max,
             "warm_chained": self.warm_chained,
+            "prewarmed": self.prewarmed,
             "queue_depth_max": self.queue_depth_max,
             "latency_p50_s": self.latency_p50_s,
             "latency_p99_s": self.latency_p99_s,

@@ -33,6 +33,7 @@ fn concurrent_clients_build_one_arena_per_unique_topology() {
         cache_capacity: 4,
         workers: 2,
         options: opts(),
+        prewarm: Vec::new(),
     });
 
     // Two distinct topologies → exactly two content hashes.
@@ -93,6 +94,7 @@ fn cache_hit_solve_is_bit_identical_to_cold_engine() {
         cache_capacity: 2,
         workers: 1,
         options: options.clone(),
+        prewarm: Vec::new(),
     });
 
     // First request warms the arena; the second is the cache hit under
@@ -148,6 +150,7 @@ fn soak_thousand_mixed_requests_zero_redundant_builds() {
         cache_capacity: 4,
         workers: 3,
         options: options.clone(),
+        prewarm: Vec::new(),
     });
 
     let mut rng = 2026_u64;
@@ -240,6 +243,7 @@ fn outage_and_base_case_never_coalesce() {
         cache_capacity: 4,
         workers: 0,
         options: opts(),
+        prewarm: Vec::new(),
     });
     let tickets = [
         service.submit(JobRequest::shared(Arc::clone(&base_dec))),

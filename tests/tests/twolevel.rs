@@ -1,0 +1,249 @@
+//! Two-level hierarchical consensus, cross-crate: partition properties
+//! on *random* radial feeders (proptest), engine-facade bit identity
+//! against the single-level fused path for any area count, boundary
+//! compression behavior, and a mega-feeder end-to-end smoke.
+
+use opf_admm::{AdmmOptions, Engine, ExecutionMode, SolveRequest, SolverFreeAdmm, TwoLevelOptions};
+use opf_integration::small_spec;
+use opf_net::feeders::generate;
+use opf_net::{feeders, partition_areas, AreaAssignment, Component, ComponentGraph, Network};
+use proptest::prelude::*;
+
+fn opts(iters: usize) -> AdmmOptions {
+    AdmmOptions::builder()
+        .max_iters(iters)
+        .fused(true)
+        .slab_batched(true)
+        .build()
+}
+
+/// `order` must be an area-major permutation, stable within areas, with
+/// `area_ptr` delimiting exactly the areas `area_of` claims.
+fn assert_partition_covers(asg: &AreaAssignment, s: usize) {
+    assert!(asg.n_areas >= 1);
+    assert_eq!(asg.area_of.len(), s);
+    assert_eq!(asg.order.len(), s);
+    assert_eq!(asg.area_ptr.len(), asg.n_areas + 1);
+    assert_eq!(asg.area_ptr[0], 0);
+    assert_eq!(asg.area_ptr[asg.n_areas], s);
+    let mut seen = vec![false; s];
+    for (p, &i) in asg.order.iter().enumerate() {
+        assert!(!seen[i], "component {i} appears twice in order");
+        seen[i] = true;
+        let a = asg.area_of[i];
+        assert!(
+            p >= asg.area_ptr[a] && p < asg.area_ptr[a + 1],
+            "component {i} placed outside its area's span"
+        );
+    }
+    assert!(seen.iter().all(|&b| b), "order must cover every component");
+    for w in asg.order.windows(2) {
+        if asg.area_of[w[0]] == asg.area_of[w[1]] {
+            assert!(w[0] < w[1], "order not stable within an area");
+        }
+    }
+}
+
+/// Every area's bus/branch subgraph must be a radial (connected,
+/// acyclic) subtree — the structural contract `partition_areas`
+/// guarantees by cutting a post-order traversal of the feeder tree.
+fn assert_areas_radial(net: &Network, g: &ComponentGraph, asg: &AreaAssignment) {
+    for a in 0..asg.n_areas {
+        let mut buses = std::collections::BTreeSet::new();
+        let mut edges = Vec::new();
+        for (i, c) in g.components.iter().enumerate() {
+            if asg.area_of[i] != a {
+                continue;
+            }
+            match c {
+                Component::Bus(b) => {
+                    buses.insert(b.0 as usize);
+                }
+                Component::LeafMerged { bus, branch } => {
+                    buses.insert(bus.0 as usize);
+                    let br = &net.branches[branch.0 as usize];
+                    edges.push((br.from.0 as usize, br.to.0 as usize));
+                }
+                Component::Branch(e) => {
+                    let br = &net.branches[e.0 as usize];
+                    if br.in_service() {
+                        edges.push((br.from.0 as usize, br.to.0 as usize));
+                    }
+                }
+            }
+        }
+        for &(f, t) in &edges {
+            buses.insert(f);
+            buses.insert(t);
+        }
+        assert_eq!(
+            edges.len() + 1,
+            buses.len(),
+            "area {a} is not a tree: {} edges over {} buses",
+            edges.len(),
+            buses.len()
+        );
+        let idx: std::collections::BTreeMap<usize, usize> =
+            buses.iter().enumerate().map(|(i, &b)| (b, i)).collect();
+        let mut uf: Vec<usize> = (0..buses.len()).collect();
+        fn find(uf: &mut [usize], i: usize) -> usize {
+            let mut r = i;
+            while uf[r] != r {
+                r = uf[r];
+            }
+            uf[i] = r;
+            r
+        }
+        let mut merges = 0;
+        for &(f, t) in &edges {
+            let (rf, rt) = (find(&mut uf, idx[&f]), find(&mut uf, idx[&t]));
+            if rf != rt {
+                uf[rf] = rt;
+                merges += 1;
+            }
+        }
+        assert_eq!(merges, edges.len(), "area {a} has a cycle");
+        assert_eq!(merges + 1, buses.len(), "area {a} is disconnected");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For any random radial feeder and any requested area count, the
+    /// partition is a disjoint cover of the components, area-major and
+    /// stable, and every area is a radial subtree.
+    #[test]
+    fn partitions_are_disjoint_radial_covers(
+        nodes in 8usize..28,
+        leaves in 2usize..5,
+        seed in 0u64..400,
+        k in 1usize..6,
+    ) {
+        prop_assume!(leaves < nodes - 1);
+        let net = generate(&small_spec(nodes, leaves, seed));
+        net.validate().expect("generated network valid");
+        let g = ComponentGraph::build(&net);
+        let asg = partition_areas(&net, &g, k);
+        prop_assert!(asg.n_areas <= k, "packer must not exceed the request");
+        assert_partition_covers(&asg, g.s());
+        assert_areas_radial(&net, &g, &asg);
+        // The permuted graph stays decomposable (the two-level solve's
+        // precondition).
+        let pg = asg.permuted(&g);
+        opf_model::decompose(&net, &pg).expect("permuted decompose");
+    }
+
+    /// On random feeders the two-level solve with exact exchange is
+    /// bit-identical to the single-level fused path on the same
+    /// permuted problem — for whatever area count the packer returns.
+    #[test]
+    fn random_feeders_two_level_bitwise(
+        nodes in 10usize..24,
+        seed in 0u64..200,
+        k in 1usize..5,
+    ) {
+        let net = generate(&small_spec(nodes, 2, seed));
+        let g = ComponentGraph::build(&net);
+        let asg = partition_areas(&net, &g, k);
+        let dec = opf_model::decompose(&net, &asg.permuted(&g)).expect("decompose");
+        let solver = SolverFreeAdmm::new(&dec).expect("precompute");
+        let tl = TwoLevelOptions::from_assignment(&asg);
+        let o = opts(120);
+        let single = solver.solve(&o);
+        let two = solver.solve_two_level(&o, &tl);
+        prop_assert_eq!(single.x, two.x);
+        prop_assert_eq!(single.z, two.z);
+        prop_assert_eq!(single.lambda, two.lambda);
+    }
+}
+
+/// The engine facade's `ExecutionMode::TwoLevel` runs the same numerics
+/// as the solver-level entry point, and with exact exchange both match
+/// the single-level fused solve bitwise on ieee123 for K = 1 and K = 4.
+#[test]
+fn engine_two_level_matches_single_level_on_ieee123() {
+    let net = feeders::ieee123();
+    let g = ComponentGraph::build(&net);
+    for k in [1usize, 4] {
+        let asg = partition_areas(&net, &g, k);
+        let dec = opf_model::decompose(&net, &asg.permuted(&g)).expect("decompose");
+        let engine = Engine::new(&dec).expect("engine");
+        let o = opts(400);
+        let tl = TwoLevelOptions::from_assignment(&asg);
+        let single = engine
+            .solve(&SolveRequest::new(o.clone()))
+            .expect("single-level solve");
+        let two = engine
+            .solve(&SolveRequest::new(o).with_mode(ExecutionMode::TwoLevel { options: tl }))
+            .expect("two-level solve");
+        assert_eq!(single.x, two.x, "k = {k}: x diverged");
+        assert_eq!(single.z, two.z, "k = {k}: z diverged");
+        assert_eq!(single.lambda, two.lambda, "k = {k}: λ diverged");
+        assert_eq!(single.iterations, two.iterations, "k = {k}");
+        assert_eq!(
+            single.objective.to_bits(),
+            two.objective.to_bits(),
+            "k = {k}: objective diverged"
+        );
+    }
+}
+
+/// Lossy boundary compression perturbs the iterates (it is not the
+/// exact exchange) but the error-feedback stream keeps the solve
+/// convergent at the production tolerance.
+#[test]
+fn compressed_boundary_exchange_still_converges() {
+    let net = feeders::ieee123();
+    let g = ComponentGraph::build(&net);
+    let asg = partition_areas(&net, &g, 4);
+    let dec = opf_model::decompose(&net, &asg.permuted(&g)).expect("decompose");
+    let solver = SolverFreeAdmm::new(&dec).expect("precompute");
+    let o = AdmmOptions::builder()
+        .max_iters(60_000)
+        .fused(true)
+        .slab_batched(true)
+        .build();
+    let exact = solver.solve_two_level(&o, &TwoLevelOptions::from_assignment(&asg));
+    let fp32 = solver.solve_two_level(
+        &o,
+        &TwoLevelOptions::from_assignment(&asg).with_compression(comm_sim::Compression::Fp32),
+    );
+    assert!(exact.converged, "exact exchange must converge");
+    assert!(fp32.converged, "fp32 boundary exchange must converge");
+    assert!(
+        (exact.objective - fp32.objective).abs() <= 1e-3 * exact.objective.abs().max(1.0),
+        "fp32 boundary exchange moved the objective: {} vs {}",
+        exact.objective,
+        fp32.objective
+    );
+}
+
+/// Mega-feeder end-to-end smoke: a ~2 k-component replica instance
+/// partitions, solves two-level, and matches the single-level fused
+/// path bitwise; the boundary exchange is a vanishing fraction of the
+/// stacked dimension.
+#[test]
+fn mega_feeder_two_level_smoke() {
+    let net = feeders::mega_ieee123(8);
+    let g = ComponentGraph::build(&net);
+    let asg = partition_areas(&net, &g, 4);
+    assert_partition_covers(&asg, g.s());
+    assert_areas_radial(&net, &g, &asg);
+    let dec = opf_model::decompose(&net, &asg.permuted(&g)).expect("decompose");
+    let solver = SolverFreeAdmm::new(&dec).expect("precompute");
+    let tl = TwoLevelOptions::from_assignment(&asg);
+    let o = opts(100);
+    let single = solver.solve(&o);
+    let two = solver.solve_two_level(&o, &tl);
+    assert_eq!(single.x, two.x);
+    assert_eq!(single.z, two.z);
+    assert_eq!(single.lambda, two.lambda);
+    let bytes = solver.two_level_boundary_bytes(&tl);
+    let stacked_bytes = 8 * solver.precomputed().total_dim();
+    assert!(
+        bytes * 20 < stacked_bytes,
+        "boundary exchange ({bytes} B) must be a small fraction of the stacked state \
+         ({stacked_bytes} B)"
+    );
+}
